@@ -1,0 +1,227 @@
+// Command coldbench regenerates the paper's evaluation figures. Each
+// -fig target prints the same rows/series the corresponding figure
+// reports; "all" runs everything.
+//
+// Usage:
+//
+//	coldbench -fig 9                 # perplexity vs K
+//	coldbench -fig 13b -workers 1,2,4,8
+//	coldbench -fig all -quick        # smoke-run every figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/eval"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coldbench: ")
+
+	fig := flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,10,11,12,13a,13b,14,15,16,17,18,19,table2 or all")
+	dataPath := flag.String("data", "", "dataset JSON (default: synthesize the small preset)")
+	preset := flag.String("preset", "small", "synthetic preset when -data is empty")
+	comms := flag.Int("comms", 0, "communities C (default: preset's planted C)")
+	topics := flag.Int("topics", 0, "topics K (default: preset's planted K)")
+	workersFlag := flag.String("workers", "1,2,4,8", "worker counts for fig 13b")
+	quickFlag := flag.Bool("quick", false, "reduced schedule (fewer folds/iterations)")
+	format := flag.String("format", "table", "output format for series figures: table or tsv")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var data *corpus.Dataset
+	var plantedC, plantedK int
+	if *dataPath != "" {
+		var err error
+		data, err = corpus.LoadFile(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plantedC, plantedK = 6, 8
+	} else {
+		var cfg synth.Config
+		var err error
+		switch *preset {
+		case "small":
+			cfg = synth.Small(*seed)
+			data, _, err = synth.Generate(cfg)
+		case "medium":
+			cfg = synth.Medium(*seed)
+			data, _, err = synth.Generate(cfg)
+		case "large":
+			cfg = synth.Large(*seed)
+			data, _, err = synth.Generate(cfg)
+		case "event":
+			ecfg := synth.EventStream(*seed)
+			cfg = ecfg.Base
+			data, _, _, err = synth.GenerateEvent(ecfg)
+		default:
+			log.Fatalf("unknown preset %q (want small, medium, large or event)", *preset)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		plantedC, plantedK = cfg.C, cfg.K
+	}
+	c, k := plantedC, plantedK
+	if *comms > 0 {
+		c = *comms
+	}
+	if *topics > 0 {
+		k = *topics
+	}
+
+	sched := eval.DefaultSchedule()
+	if *quickFlag {
+		sched = eval.QuickSchedule()
+	}
+	sched.Seed = *seed
+
+	fmt.Printf("dataset: %s\nmodel: C=%d K=%d schedule: %+v\n\n", data.Stats(), c, k, sched)
+
+	workerCounts := parseInts(*workersFlag)
+	run := runner{data: data, c: c, k: k, sched: sched, workers: workerCounts,
+		seed: *seed, tsv: *format == "tsv"}
+
+	targets := strings.Split(*fig, ",")
+	if *fig == "all" {
+		targets = []string{"table2", "8", "5", "6", "7", "9", "10", "11", "12", "13a", "13b", "14", "15", "16", "17", "18", "19"}
+	}
+	for _, t := range targets {
+		run.one(strings.TrimSpace(t))
+	}
+}
+
+type runner struct {
+	data    *corpus.Dataset
+	c, k    int
+	sched   eval.Schedule
+	workers []int
+	seed    uint64
+	tsv     bool
+}
+
+// print renders a series result in the selected format.
+func (r runner) print(res *eval.Result) {
+	if r.tsv {
+		fmt.Printf("# %s\n%s\n", res.Name, res.RenderTSV())
+		return
+	}
+	fmt.Println(res.Render())
+}
+
+func (r runner) one(fig string) {
+	ks := sweepAround(r.k)
+	cs := sweepAround(r.c)
+	switch fig {
+	case "5", "6", "7", "8", "16":
+		r.explore(fig)
+	case "9":
+		r.print(eval.Fig9(r.data, r.c, ks, r.sched))
+	case "10":
+		r.print(eval.Fig10(r.data, r.c, r.k, r.sched))
+	case "11":
+		r.print(eval.Fig11(r.data, r.c, r.k, nil, r.sched))
+	case "12":
+		r.print(eval.Fig12(r.data, r.c, r.k, r.sched))
+	case "13a":
+		r.print(eval.Fig13a(r.data, r.c, r.k, nil, 4, r.sched))
+	case "13b":
+		r.print(eval.Fig13b(r.data, r.c, r.k, r.workers, r.sched))
+	case "14":
+		r.print(eval.Fig14(r.data, r.c, r.k, 4, r.sched))
+	case "15":
+		r.print(eval.Fig15(r.data, r.c, r.k, r.sched))
+	case "17":
+		r.print(eval.Fig17(r.data, cs, ks, r.sched))
+	case "18":
+		r.print(eval.Fig18(r.data, cs, ks, r.sched))
+	case "19":
+		r.print(eval.Fig19(r.data, cs, ks, r.sched))
+	case "table2":
+		fmt.Println(eval.Table2())
+	case "sig":
+		cis, err := eval.Fig10CI(r.data, r.c, r.k, r.sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.RenderCIs("fig10 link-prediction AUC", cis))
+	default:
+		log.Printf("unknown figure %q", fig)
+	}
+}
+
+// explore trains one model and renders the qualitative figures from it.
+func (r runner) explore(fig string) {
+	model, err := trainOnce(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topic := eval.PickBurstyTopic(model)
+	switch fig {
+	case "5":
+		fmt.Println(eval.Fig5(model, r.data, topic))
+	case "6":
+		fmt.Println(eval.Fig6(model))
+	case "7":
+		fmt.Println(eval.Fig7(model, topic, max(2, r.c/3)))
+	case "8":
+		fmt.Println(eval.Fig8(model, r.data, r.k))
+	case "16":
+		res, err := eval.Fig16(model, topic, 300, r.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Render())
+		fmt.Println("pentagon layout (first 10 rows):")
+		lines := strings.SplitN(res.PentagonTSV, "\n", 12)
+		for i, l := range lines {
+			if i > 10 {
+				break
+			}
+			fmt.Println(l)
+		}
+	}
+}
+
+func trainOnce(r runner) (*core.Model, error) {
+	cfg := core.DefaultConfig(r.c, r.k)
+	cfg.Iterations = r.sched.Iterations
+	cfg.BurnIn = r.sched.BurnIn
+	cfg.SampleLag = r.sched.SampleLag
+	cfg.Seed = r.seed
+	return core.Train(r.data, cfg)
+}
+
+func sweepAround(v int) []int {
+	lo := v / 2
+	if lo < 2 {
+		lo = 2
+	}
+	return []int{lo, v, v + v/2}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if v, err := strconv.Atoi(strings.TrimSpace(part)); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

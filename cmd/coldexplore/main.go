@@ -1,0 +1,86 @@
+// Command coldexplore renders the qualitative analyses of a trained
+// model: the community-level diffusion map of a topic (Fig 5), the topic
+// word clouds (Fig 8), and the influential-community pentagon (Fig 16).
+//
+// Usage:
+//
+//	coldexplore -what topics                 # synthesize + train + word clouds
+//	coldexplore -what diffusion -topic 3
+//	coldexplore -what influence -model model.json -data dataset.json
+//	coldexplore -what patterns               # figs 6 and 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/eval"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coldexplore: ")
+
+	what := flag.String("what", "diffusion", "analysis: diffusion, topics, influence or patterns")
+	dataPath := flag.String("data", "", "dataset JSON (default: synthesize the small preset)")
+	modelPath := flag.String("model", "", "model JSON (default: train in-process)")
+	topicFlag := flag.Int("topic", -1, "topic index (default: the burstiest topic)")
+	comms := flag.Int("comms", 6, "communities C when training in-process")
+	topics := flag.Int("topics", 8, "topics K when training in-process")
+	iters := flag.Int("iters", 40, "Gibbs sweeps when training in-process")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	var data *corpus.Dataset
+	var err error
+	if *dataPath != "" {
+		data, err = corpus.LoadFile(*dataPath)
+	} else {
+		data, _, err = synth.Generate(synth.Small(*seed))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var model *core.Model
+	if *modelPath != "" {
+		model, err = core.LoadModelFile(*modelPath)
+	} else {
+		cfg := core.DefaultConfig(*comms, *topics)
+		cfg.Iterations = *iters
+		cfg.BurnIn = *iters * 5 / 8
+		cfg.Seed = *seed
+		model, err = core.Train(data, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topic := *topicFlag
+	if topic < 0 || topic >= model.Cfg.K {
+		topic = eval.PickBurstyTopic(model)
+	}
+
+	switch *what {
+	case "diffusion":
+		fmt.Println(eval.Fig5(model, data, topic))
+	case "topics":
+		fmt.Println(eval.Fig8(model, data, model.Cfg.K))
+	case "influence":
+		res, err := eval.Fig16(model, topic, 300, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Render())
+		fmt.Println(res.PentagonTSV)
+	case "patterns":
+		fmt.Println(eval.Fig6(model))
+		fmt.Println(eval.Fig7(model, topic, 2))
+	default:
+		log.Fatalf("unknown analysis %q", *what)
+	}
+}

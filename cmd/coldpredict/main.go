@@ -1,0 +1,140 @@
+// Command coldpredict serves online predictions from a trained model:
+// diffusion scores (will i' retweet i's post?), link probabilities,
+// time-stamp predictions and post topic posteriors.
+//
+// Queries are read line-by-line from stdin:
+//
+//	retweet <publisher> <candidate> <postIndex>   → diffusion probability
+//	link <from> <to>                              → link probability
+//	time <user> <postIndex>                       → predicted time slice
+//	topics <user> <postIndex>                     → top-3 topic posterior
+//
+// Usage:
+//
+//	coldpredict -model model.json -data dataset.json < queries.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coldpredict: ")
+
+	modelPath := flag.String("model", "model.json", "trained model (from coldtrain)")
+	dataPath := flag.String("data", "dataset.json", "dataset providing post content")
+	topComm := flag.Int("topcomm", 5, "TopComm size for the predictor")
+	flag.Parse()
+
+	model, err := core.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := corpus.LoadFile(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor := core.NewPredictor(model, *topComm)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	scanner := bufio.NewScanner(os.Stdin)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := handle(out, fields, model, predictor, data); err != nil {
+			fmt.Fprintf(out, "error line %d: %v\n", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func handle(out *bufio.Writer, fields []string, model *core.Model, predictor *core.Predictor, data *corpus.Dataset) error {
+	arg := func(i int, max int) (int, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("missing argument %d", i)
+		}
+		v, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return 0, fmt.Errorf("argument %d: %v", i, err)
+		}
+		if v < 0 || v >= max {
+			return 0, fmt.Errorf("argument %d out of range [0,%d)", i, max)
+		}
+		return v, nil
+	}
+	switch fields[0] {
+	case "retweet":
+		i, err := arg(1, model.U)
+		if err != nil {
+			return err
+		}
+		ip, err := arg(2, model.U)
+		if err != nil {
+			return err
+		}
+		post, err := arg(3, len(data.Posts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "retweet %d->%d post %d: %.6f\n", i, ip, post,
+			predictor.Score(i, ip, data.Posts[post].Words))
+	case "link":
+		i, err := arg(1, model.U)
+		if err != nil {
+			return err
+		}
+		ip, err := arg(2, model.U)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "link %d->%d: %.6f\n", i, ip, model.LinkScore(i, ip))
+	case "time":
+		i, err := arg(1, model.U)
+		if err != nil {
+			return err
+		}
+		post, err := arg(2, len(data.Posts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "time user %d post %d: slice %d (actual %d)\n", i, post,
+			model.PredictTimestamp(i, data.Posts[post].Words), data.Posts[post].Time)
+	case "topics":
+		i, err := arg(1, model.U)
+		if err != nil {
+			return err
+		}
+		post, err := arg(2, len(data.Posts))
+		if err != nil {
+			return err
+		}
+		tp := predictor.TopicPosterior(i, data.Posts[post].Words)
+		top := stats.ArgTopK(tp, 3)
+		fmt.Fprintf(out, "topics user %d post %d:", i, post)
+		for _, k := range top {
+			fmt.Fprintf(out, " t%d=%.3f", k, tp[k])
+		}
+		fmt.Fprintln(out)
+	default:
+		return fmt.Errorf("unknown query %q (want retweet, link, time or topics)", fields[0])
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package cold is the public API of the COLD (COmmunity Level Diffusion)
+// library, a from-scratch implementation of "Community Level Diffusion
+// Extraction" (Hu, Yao, Cui, Xing — SIGMOD 2015).
+//
+// COLD is a generative latent-variable model jointly over the text, time
+// stamps and interaction network of a social stream. Training extracts:
+//
+//   - overlapping communities with per-user membership vectors π,
+//   - topics with word distributions φ,
+//   - each community's interest mixture over topics θ,
+//   - community-specific temporal topic dynamics ψ, and
+//   - inter-community influence strengths η,
+//
+// from which the topic-sensitive community-level diffusion strengths
+// ζ_kcc' = θ_ck·θ_c'k·η_cc' are derived (Eq. 4 of the paper). On top of
+// the extraction the package offers the paper's diffusion prediction
+// method (will user i' retweet post d from user i?), link prediction,
+// time-stamp prediction, diffusion-pattern analyses, and influential
+// community identification via the Independent Cascade model.
+//
+// # Quickstart
+//
+//	data, _, err := cold.Synthesize(cold.SmallSynth(1))
+//	if err != nil { ... }
+//	model, err := cold.Train(data, cold.DefaultConfig(6, 8))
+//	if err != nil { ... }
+//	pred := cold.NewPredictor(model, 5)
+//	p := pred.Score(alice, bob, post.Words) // diffusion probability
+//
+// Training is deterministic for a fixed Config.Seed. Set Config.Workers
+// > 1 to use the parallel gather–apply–scatter sampler (an in-process
+// equivalent of the paper's GraphLab implementation).
+package cold
+
+import (
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+// Config configures the COLD model: dimensions (C communities, K
+// topics), Dirichlet/Beta hyper-parameters (zero values take the paper's
+// defaults), the Gibbs schedule, and the worker count.
+type Config = core.Config
+
+// Model holds trained posterior estimates (Pi, Theta, Phi, Psi, Eta) and
+// implements prediction and analysis methods.
+type Model = core.Model
+
+// TrainStats reports the per-sweep likelihood trace and timing.
+type TrainStats = core.TrainStats
+
+// Predictor evaluates the two-step diffusion prediction method (Eqs.
+// 5–7) with offline-cached per-user top communities.
+type Predictor = core.Predictor
+
+// Dataset is a social stream: users, time-stamped bag-of-words posts,
+// interaction links, and retweet records.
+type Dataset = corpus.Dataset
+
+// Post is one time-stamped bag-of-words post.
+type Post = corpus.Post
+
+// Retweet is one diffusion record: publisher, post and the followers who
+// did / did not spread it.
+type Retweet = corpus.Retweet
+
+// SynthConfig controls the synthetic social-stream generator used by the
+// examples and benchmarks (the stand-in for the paper's Weibo crawls).
+type SynthConfig = synth.Config
+
+// GroundTruth carries the generator's planted parameters for recovery
+// scoring.
+type GroundTruth = synth.GroundTruth
+
+// DefaultConfig returns a Config with the paper's hyper-parameter policy
+// for the given community and topic counts.
+func DefaultConfig(c, k int) Config { return core.DefaultConfig(c, k) }
+
+// Train fits COLD and returns the averaged posterior estimates.
+func Train(data *Dataset, cfg Config) (*Model, error) { return core.Train(data, cfg) }
+
+// TrainWithStats is Train plus the convergence/timing trace.
+func TrainWithStats(data *Dataset, cfg Config) (*Model, *TrainStats, error) {
+	return core.TrainWithStats(data, cfg)
+}
+
+// NewPredictor builds the offline caches for diffusion prediction.
+// topComm is the TopComm size; the paper uses 5.
+func NewPredictor(m *Model, topComm int) *Predictor { return core.NewPredictor(m, topComm) }
+
+// Synthesize generates a synthetic dataset with planted communities,
+// topics, temporal bursts and retweet cascades.
+func Synthesize(cfg SynthConfig) (*Dataset, *GroundTruth, error) { return synth.Generate(cfg) }
+
+// EventSynthConfig configures the breaking-news scenario generator.
+type EventSynthConfig = synth.EventConfig
+
+// SynthesizeEvent generates a stream whose final topic is a breaking
+// event sweeping across communities in adoption order; it returns the
+// dataset, ground truth and the event topic index.
+func SynthesizeEvent(cfg EventSynthConfig) (*Dataset, *GroundTruth, int, error) {
+	return synth.GenerateEvent(cfg)
+}
+
+// EventSynth is the breaking-news scenario preset.
+func EventSynth(seed uint64) EventSynthConfig { return synth.EventStream(seed) }
+
+// SmallSynth, MediumSynth and LargeSynth are generator presets.
+func SmallSynth(seed uint64) SynthConfig { return synth.Small(seed) }
+
+// MediumSynth is the mid-size generator preset.
+func MediumSynth(seed uint64) SynthConfig { return synth.Medium(seed) }
+
+// LargeSynth is the scaling-experiment generator preset.
+func LargeSynth(seed uint64) SynthConfig { return synth.Large(seed) }
+
+// FoldInPost is one post by a previously unseen user, for fold-in
+// membership inference against a trained model.
+type FoldInPost = core.FoldInPost
+
+// Diagnostics summarises a training run's likelihood trace.
+type Diagnostics = core.Diagnostics
+
+// Diagnose analyses a likelihood trace from TrainStats.
+func Diagnose(likelihood []float64) Diagnostics { return core.Diagnose(likelihood) }
+
+// Builder assembles a Dataset from raw social records (string user
+// names, free-text posts with unix time stamps, links and retweet
+// outcomes), applying the paper's preprocessing: tokenisation with
+// stop-word removal, low-activity user filtering, vocabulary pruning and
+// time discretisation.
+type Builder = corpus.Builder
+
+// NewBuilder returns a dataset builder with the default preprocessing
+// policy.
+func NewBuilder() *Builder { return corpus.NewBuilder() }
+
+// LoadDataset reads a JSON dataset from a file.
+func LoadDataset(path string) (*Dataset, error) { return corpus.LoadFile(path) }
+
+// LoadModel reads a JSON model from a file.
+func LoadModel(path string) (*Model, error) { return core.LoadModelFile(path) }

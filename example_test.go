@@ -1,0 +1,101 @@
+package cold_test
+
+import (
+	"fmt"
+
+	cold "github.com/cold-diffusion/cold"
+)
+
+// ExampleTrain shows the minimal synthesize → train → inspect loop.
+func ExampleTrain() {
+	data, _, err := cold.Synthesize(cold.SynthConfig{
+		U: 60, C: 3, K: 4, T: 8, V: 120,
+		PostsPerUser: 8, WordsPerPost: 6, LinksPerUser: 5, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := cold.DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 15, 8, 7
+	model, err := cold.Train(data, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("communities:", model.Cfg.C)
+	fmt.Println("topics:", model.Cfg.K)
+	fmt.Println("membership rows:", len(model.Pi))
+	// Output:
+	// communities: 3
+	// topics: 4
+	// membership rows: 60
+}
+
+// ExampleNewPredictor scores a diffusion candidate with the two-step
+// method of the paper's §5.2.
+func ExampleNewPredictor() {
+	data, _, err := cold.Synthesize(cold.SynthConfig{
+		U: 60, C: 3, K: 4, T: 8, V: 120,
+		PostsPerUser: 8, WordsPerPost: 6, LinksPerUser: 5, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := cold.DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 15, 8, 7
+	model, err := cold.Train(data, cfg)
+	if err != nil {
+		panic(err)
+	}
+	pred := cold.NewPredictor(model, 5)
+	rt := data.Retweets[0]
+	score := pred.Score(rt.Publisher, rt.Retweeters[0], data.Posts[rt.Post].Words)
+	fmt.Println("score in range:", score >= 0 && score <= 1)
+	// Output:
+	// score in range: true
+}
+
+// ExampleModel_Zeta derives the topic-sensitive community-level
+// influence strength of Eq. (4).
+func ExampleModel_Zeta() {
+	data, _, err := cold.Synthesize(cold.SynthConfig{
+		U: 60, C: 3, K: 4, T: 8, V: 120,
+		PostsPerUser: 8, WordsPerPost: 6, LinksPerUser: 5, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := cold.DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 15, 8, 7
+	model, err := cold.Train(data, cfg)
+	if err != nil {
+		panic(err)
+	}
+	z := model.Zeta(0, 1, 2) // topic 0, community 1 → community 2
+	manual := model.Theta[1][0] * model.Theta[2][0] * model.Eta[1][2]
+	fmt.Println("zeta equals theta*theta*eta:", z == manual)
+	// Output:
+	// zeta equals theta*theta*eta: true
+}
+
+// ExampleBuilder ingests raw social records the way cmd/coldingest does.
+func ExampleBuilder() {
+	b := cold.NewBuilder()
+	b.TimeSlices = 4
+	post := b.AddPost("alice", 1000, "community level diffusion extraction")
+	b.AddPost("bob", 2000, "topic models over social networks")
+	b.AddLink("alice", "bob")
+	if err := b.AddRetweet(post, []string{"bob"}, nil); err != nil {
+		panic(err)
+	}
+	data, names, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("users:", len(names))
+	fmt.Println("posts:", len(data.Posts))
+	fmt.Println("links:", len(data.Links))
+	// Output:
+	// users: 2
+	// posts: 2
+	// links: 1
+}

@@ -1,0 +1,97 @@
+// Quickstart: synthesize a small social stream, train COLD, and print
+// what the model extracted — topics, communities, their interests, the
+// temporal dynamics and the inter-community influence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cold "github.com/cold-diffusion/cold"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Data: a synthetic stream with planted communities and topics
+	//    (stand-in for a real crawl; see cold.Dataset for the schema).
+	data, _, err := cold.Synthesize(cold.SmallSynth(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s\n\n", data.Stats())
+
+	// 2. Train COLD: 6 communities, 8 topics.
+	cfg := cold.DefaultConfig(6, 8)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 40, 25, 7
+	model, stats, err := cold.TrainWithStats(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v (%d sweeps, %d samples averaged)\n",
+		stats.Elapsed.Round(1e6), stats.Sweeps, stats.Samples)
+	fmt.Printf("log-likelihood: %.0f -> %.0f\n\n",
+		stats.Likelihood[0], stats.Likelihood[len(stats.Likelihood)-1])
+
+	// 3. Topics: the top words of each φ_k.
+	fmt.Println("extracted topics (top words):")
+	for k := 0; k < model.Cfg.K; k++ {
+		ids := model.TopWords(k, 6)
+		words := make([]string, len(ids))
+		for i, id := range ids {
+			words[i] = data.Vocab.Word(id)
+		}
+		fmt.Printf("  topic %d: %v\n", k, words)
+	}
+
+	// 4. Communities: interest mixtures θ_c over topics.
+	fmt.Println("\ncommunity interests (top-3 topics by theta):")
+	for c := 0; c < model.Cfg.C; c++ {
+		top := model.TopTopics(c, 3)
+		fmt.Printf("  community %d:", c)
+		for _, k := range top {
+			fmt.Printf("  t%d=%.2f", k, model.Theta[c][k])
+		}
+		fmt.Println()
+	}
+
+	// 5. Community-level diffusion: the strongest ζ edge per topic.
+	fmt.Println("\nstrongest influence edge per topic (zeta = theta*theta*eta):")
+	for k := 0; k < model.Cfg.K; k++ {
+		bestA, bestB, best := 0, 0, -1.0
+		for a := 0; a < model.Cfg.C; a++ {
+			for b := 0; b < model.Cfg.C; b++ {
+				if a == b {
+					continue
+				}
+				if z := model.Zeta(k, a, b); z > best {
+					bestA, bestB, best = a, b, z
+				}
+			}
+		}
+		fmt.Printf("  topic %d: C%d -> C%d (zeta=%.4f)\n", k, bestA, bestB, best)
+	}
+
+	// 6. A diffusion prediction: will this follower retweet?
+	pred := cold.NewPredictor(model, 5)
+	if len(data.Retweets) > 0 {
+		rt := data.Retweets[0]
+		words := data.Posts[rt.Post].Words
+		fmt.Println("\ndiffusion prediction on one recorded cascade:")
+		for _, u := range rt.Retweeters[:min(2, len(rt.Retweeters))] {
+			fmt.Printf("  user %d (did retweet):     score %.4f\n", u,
+				pred.Score(rt.Publisher, u, words))
+		}
+		for _, u := range rt.Ignorers[:min(2, len(rt.Ignorers))] {
+			fmt.Printf("  user %d (did not retweet): score %.4f\n", u,
+				pred.Score(rt.Publisher, u, words))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

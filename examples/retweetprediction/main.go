@@ -1,0 +1,96 @@
+// Retweet prediction (§6.3 of the paper): hold out 20% of the recorded
+// retweet cascades, train COLD plus the TI and WTM baselines, and
+// compare averaged AUC on "will follower i' spread post d from user i?".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cold "github.com/cold-diffusion/cold"
+	"github.com/cold-diffusion/cold/internal/baselines/ti"
+	"github.com/cold-diffusion/cold/internal/baselines/wtm"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, _, err := cold.Synthesize(cold.SmallSynth(21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s\n", data.Stats())
+
+	// Hold out 20% of the retweet tuples.
+	r := rng.New(5)
+	perm := r.Perm(len(data.Retweets))
+	cut := len(perm) / 5
+	testIdx, trainIdx := perm[:cut], perm[cut:]
+	fmt.Printf("retweet tuples: %d train / %d test\n\n", len(trainIdx), len(testIdx))
+
+	// COLD never sees the tuples; it learns from text, time and links.
+	cfg := cold.DefaultConfig(6, 8)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 40, 25, 3
+	model, err := cold.Train(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor := cold.NewPredictor(model, 5)
+
+	// TI and WTM learn user-level influence from the training tuples.
+	tcfg := ti.DefaultConfig(8)
+	tcfg.Seed = 3
+	tiModel, _, err := ti.Train(data, trainIdx, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wtmModel, _, err := wtm.Train(data, trainIdx, wtm.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evaluate := func(name string, score func(i, ip int, w text.BagOfWords) float64) {
+		tuples := make([][2][]float64, 0, len(testIdx))
+		for _, ri := range testIdx {
+			rt := data.Retweets[ri]
+			words := data.Posts[rt.Post].Words
+			var pos, neg []float64
+			for _, u := range rt.Retweeters {
+				pos = append(pos, score(rt.Publisher, u, words))
+			}
+			for _, u := range rt.Ignorers {
+				neg = append(neg, score(rt.Publisher, u, words))
+			}
+			tuples = append(tuples, [2][]float64{pos, neg})
+		}
+		fmt.Printf("%-6s averaged AUC: %.4f\n", name, stats.AveragedAUC(tuples))
+	}
+	evaluate("COLD", predictor.Score)
+	evaluate("TI", tiModel.Score)
+	evaluate("WTM", wtmModel.Score)
+
+	// Show the anatomy of one prediction: Eq. (5) topic posterior and
+	// Eq. (6) community-level influence.
+	if len(testIdx) > 0 {
+		rt := data.Retweets[testIdx[0]]
+		words := data.Posts[rt.Post].Words
+		post := predictor.TopicPosterior(rt.Publisher, words)
+		bestK, bestP := 0, 0.0
+		for k, p := range post {
+			if p > bestP {
+				bestK, bestP = k, p
+			}
+		}
+		fmt.Printf("\nanatomy of one prediction (publisher %d):\n", rt.Publisher)
+		fmt.Printf("  inferred post topic: %d (posterior %.2f)\n", bestK, bestP)
+		fmt.Printf("  publisher top communities: %v\n", model.TopCommunities(rt.Publisher, 3))
+		if len(rt.Retweeters) > 0 {
+			u := rt.Retweeters[0]
+			fmt.Printf("  influence on retweeter %d at that topic: %.5f\n",
+				u, predictor.InfluenceAt(rt.Publisher, u, bestK))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/cold-diffusion/cold
+
+go 1.22

@@ -1,0 +1,350 @@
+// Package eutb implements the Enhanced User-Temporal model with
+// Burst-weighted smoothing (Yin et al., ICDE 2013), the strongest
+// temporal baseline in the paper's evaluation (Figs 9 and 11). Each post
+// draws its topic either from its author's topic distribution or from
+// its time slice's topic distribution (a latent source switch), words
+// come from the topic, and the per-slice topic distributions are
+// burst-weight smoothed over neighbouring slices after training.
+package eutb
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds EUTB dimensions and schedule.
+type Config struct {
+	K          int
+	Alpha      float64 // Dirichlet prior on user/time topic mixtures (default 1)
+	Beta       float64 // Dirichlet prior on word distributions (default 0.01)
+	Gamma      float64 // Beta prior on the user-vs-time source switch (default 1)
+	Iterations int
+	BurnIn     int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Iterations: 60, BurnIn: 30, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 60
+	}
+	if c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	return c
+}
+
+// Model holds the estimates.
+type Model struct {
+	Cfg     Config
+	U, T, V int
+	Mu      float64     // probability a post's topic comes from its user
+	ThetaU  [][]float64 // [U][K] user topic distributions
+	ThetaT  [][]float64 // [T][K] time-slice topic distributions (smoothed)
+	Phi     [][]float64 // [K][V]
+	TimePri []float64   // [T] empirical slice prior (post volume)
+}
+
+// Train fits EUTB on posts (users, words, time stamps).
+func Train(data *corpus.Dataset, cfg Config) (*Model, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, 0, fmt.Errorf("eutb: need K > 0")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(data.Posts) == 0 {
+		return nil, 0, fmt.Errorf("eutb: no posts")
+	}
+	start := time.Now()
+	U, T, V, K := data.U, data.T, data.V, cfg.K
+	r := rng.New(cfg.Seed)
+
+	z := make([]int, len(data.Posts))
+	src := make([]bool, len(data.Posts)) // true = user source
+	nUK := make([][]int, U)
+	for i := range nUK {
+		nUK[i] = make([]int, K)
+	}
+	nUSum := make([]int, U)
+	nTK := make([][]int, T)
+	for t := range nTK {
+		nTK[t] = make([]int, K)
+	}
+	nTSum := make([]int, T)
+	nKV := make([][]int, K)
+	for k := range nKV {
+		nKV[k] = make([]int, V)
+	}
+	nKSum := make([]int, K)
+	nSrc := [2]int{} // [0]=time, [1]=user
+
+	add := func(j int, delta int) {
+		p := &data.Posts[j]
+		k := z[j]
+		if src[j] {
+			nUK[p.User][k] += delta
+			nUSum[p.User] += delta
+			nSrc[1] += delta
+		} else {
+			nTK[p.Time][k] += delta
+			nTSum[p.Time] += delta
+			nSrc[0] += delta
+		}
+		p.Words.Each(func(v, count int) {
+			nKV[k][v] += delta * count
+			nKSum[k] += delta * count
+		})
+	}
+
+	for j := range data.Posts {
+		z[j] = r.Intn(K)
+		src[j] = r.Float64() < 0.5
+		add(j, 1)
+	}
+
+	weights := make([]float64, 2*K)
+	vBeta := float64(V) * cfg.Beta
+	kAlpha := float64(K) * cfg.Alpha
+
+	thetaUSum := matrix(U, K)
+	thetaTSum := matrix(T, K)
+	phiSum := matrix(K, V)
+	muSum := 0.0
+	samples := 0
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for j := range data.Posts {
+			p := &data.Posts[j]
+			add(j, -1)
+			nTokens := p.Words.Len()
+			maxLog := math.Inf(-1)
+			// Joint sample of (source, topic): entries [0,K) are the
+			// time source, [K,2K) the user source.
+			for k := 0; k < K; k++ {
+				base := float64(nKSum[k]) + vBeta
+				wordTerm := 0.0
+				p.Words.Each(func(v, count int) {
+					nv := float64(nKV[k][v]) + cfg.Beta
+					for q := 0; q < count; q++ {
+						wordTerm += math.Log(nv + float64(q))
+					}
+				})
+				for q := 0; q < nTokens; q++ {
+					wordTerm -= math.Log(base + float64(q))
+				}
+				lwTime := math.Log(float64(nSrc[0])+cfg.Gamma) +
+					math.Log(float64(nTK[p.Time][k])+cfg.Alpha) -
+					math.Log(float64(nTSum[p.Time])+kAlpha) + wordTerm
+				lwUser := math.Log(float64(nSrc[1])+cfg.Gamma) +
+					math.Log(float64(nUK[p.User][k])+cfg.Alpha) -
+					math.Log(float64(nUSum[p.User])+kAlpha) + wordTerm
+				weights[k] = lwTime
+				weights[K+k] = lwUser
+				if lwTime > maxLog {
+					maxLog = lwTime
+				}
+				if lwUser > maxLog {
+					maxLog = lwUser
+				}
+			}
+			for i := range weights {
+				weights[i] = math.Exp(weights[i] - maxLog)
+			}
+			pick := r.Categorical(weights)
+			src[j] = pick >= K
+			z[j] = pick % K
+			add(j, 1)
+		}
+		if it >= cfg.BurnIn {
+			for i := 0; i < U; i++ {
+				den := float64(nUSum[i]) + kAlpha
+				for k := 0; k < K; k++ {
+					thetaUSum[i][k] += (float64(nUK[i][k]) + cfg.Alpha) / den
+				}
+			}
+			for t := 0; t < T; t++ {
+				den := float64(nTSum[t]) + kAlpha
+				for k := 0; k < K; k++ {
+					thetaTSum[t][k] += (float64(nTK[t][k]) + cfg.Alpha) / den
+				}
+			}
+			for k := 0; k < K; k++ {
+				den := float64(nKSum[k]) + vBeta
+				for v := 0; v < V; v++ {
+					phiSum[k][v] += (float64(nKV[k][v]) + cfg.Beta) / den
+				}
+			}
+			muSum += (float64(nSrc[1]) + cfg.Gamma) /
+				(float64(nSrc[0]+nSrc[1]) + 2*cfg.Gamma)
+			samples++
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	inv := 1 / float64(samples)
+	m := &Model{Cfg: cfg, U: U, T: T, V: V,
+		ThetaU: thetaUSum, ThetaT: thetaTSum, Phi: phiSum, Mu: muSum * inv}
+	scale(m.ThetaU, inv)
+	scale(m.ThetaT, inv)
+	scale(m.Phi, inv)
+
+	// Empirical slice prior.
+	m.TimePri = make([]float64, T)
+	for _, p := range data.Posts {
+		m.TimePri[p.Time]++
+	}
+	stats.Normalize(m.TimePri)
+
+	m.burstSmooth()
+	return m, time.Since(start), nil
+}
+
+// burstSmooth applies burst-weighted smoothing to the per-slice topic
+// distributions: each slice is blended with its neighbours, weighting the
+// blend by relative post volume (bursty slices keep more of their own
+// signal; quiet slices borrow from neighbours).
+func (m *Model) burstSmooth() {
+	T, K := m.T, m.Cfg.K
+	mean := 1.0 / float64(T)
+	out := matrix(T, K)
+	for t := 0; t < T; t++ {
+		burst := m.TimePri[t] / mean
+		if burst > 1 {
+			burst = 1
+		}
+		self := 0.5 + 0.4*burst // 0.5 .. 0.9
+		rest := 1 - self
+		for k := 0; k < K; k++ {
+			v := self * m.ThetaT[t][k]
+			nb := 0.0
+			cnt := 0.0
+			if t > 0 {
+				nb += m.ThetaT[t-1][k]
+				cnt++
+			}
+			if t < T-1 {
+				nb += m.ThetaT[t+1][k]
+				cnt++
+			}
+			if cnt > 0 {
+				v += rest * nb / cnt
+			} else {
+				v += rest * m.ThetaT[t][k]
+			}
+			out[t][k] = v
+		}
+		stats.Normalize(out[t])
+	}
+	m.ThetaT = out
+}
+
+func matrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func scale(m [][]float64, f float64) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] *= f
+		}
+	}
+}
+
+// logWordLik fills lw[k] with Σ log φ_k,w.
+func (m *Model) logWordLik(words text.BagOfWords, lw []float64) {
+	for k := range lw {
+		acc := 0.0
+		words.Each(func(v, count int) {
+			p := m.Phi[k][v]
+			if p <= 0 {
+				p = 1e-300
+			}
+			acc += float64(count) * math.Log(p)
+		})
+		lw[k] = acc
+	}
+}
+
+// PostLogLikelihood returns log p(w_d | author i), marginalising the time
+// source over the empirical slice prior.
+func (m *Model) PostLogLikelihood(i int, words text.BagOfWords) float64 {
+	K := m.Cfg.K
+	lw := make([]float64, K)
+	m.logWordLik(words, lw)
+	terms := make([]float64, K)
+	for k := 0; k < K; k++ {
+		mix := m.Mu * m.ThetaU[i][k]
+		for t := 0; t < m.T; t++ {
+			mix += (1 - m.Mu) * m.TimePri[t] * m.ThetaT[t][k]
+		}
+		if mix <= 0 {
+			terms[k] = math.Inf(-1)
+			continue
+		}
+		terms[k] = math.Log(mix) + lw[k]
+	}
+	return stats.LogSumExp(terms)
+}
+
+// Perplexity evaluates held-out perplexity over (user, words) test posts.
+func (m *Model) Perplexity(users []int, posts []text.BagOfWords) float64 {
+	ll := 0.0
+	nWords := 0
+	for idx, words := range posts {
+		if words.Len() == 0 {
+			continue
+		}
+		ll += m.PostLogLikelihood(users[idx], words)
+		nWords += words.Len()
+	}
+	return stats.Perplexity(ll, nWords)
+}
+
+// PredictTimestamp returns argmax_t p(t) p(w | t, i) under the
+// user/time mixture with smoothed slice distributions.
+func (m *Model) PredictTimestamp(i int, words text.BagOfWords) int {
+	K := m.Cfg.K
+	lw := make([]float64, K)
+	m.logWordLik(words, lw)
+	maxLw, _ := stats.Max(lw)
+	best, bestScore := 0, math.Inf(-1)
+	for t := 0; t < m.T; t++ {
+		s := 0.0
+		for k := 0; k < K; k++ {
+			mix := m.Mu*m.ThetaU[i][k] + (1-m.Mu)*m.ThetaT[t][k]
+			s += mix * math.Exp(lw[k]-maxLw)
+		}
+		s *= m.TimePri[t]
+		if ls := math.Log(s); ls > bestScore {
+			best, bestScore = t, ls
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+package eutb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestTrainProducesValidEstimates(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 12, V: 120,
+		PostsPerUser: 8, WordsPerPost: 6, LinksPerUser: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn = 20, 10
+	m, elapsed, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if m.Mu <= 0 || m.Mu >= 1 {
+		t.Fatalf("mixing weight %v", m.Mu)
+	}
+	for i, th := range m.ThetaU {
+		if !stats.IsSimplex(th, 1e-9) {
+			t.Fatalf("ThetaU[%d] not a simplex", i)
+		}
+	}
+	for tt, th := range m.ThetaT {
+		if !stats.IsSimplex(th, 1e-9) {
+			t.Fatalf("ThetaT[%d] not a simplex", tt)
+		}
+	}
+	if !stats.IsSimplex(m.TimePri, 1e-9) {
+		t.Fatal("TimePri not a simplex")
+	}
+}
+
+func TestPerplexityFinite(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 12, V: 120,
+		PostsPerUser: 8, WordsPerPost: 6, LinksPerUser: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn = 20, 10
+	m, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []int
+	var posts []text.BagOfWords
+	for i, p := range data.Posts {
+		if i >= 100 {
+			break
+		}
+		users = append(users, p.User)
+		posts = append(posts, p.Words)
+	}
+	perp := m.Perplexity(users, posts)
+	if math.IsNaN(perp) || perp <= 1 || perp >= 120 {
+		t.Fatalf("perplexity %v", perp)
+	}
+}
+
+func TestPredictTimestampBeatsChance(t *testing.T) {
+	cfg := synth.Small(81)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 30, 15, 3
+	m, _, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]int, 0, 200)
+	actual := make([]int, 0, 200)
+	for i, p := range data.Posts {
+		if i >= 200 {
+			break
+		}
+		pred = append(pred, m.PredictTimestamp(p.User, p.Words))
+		actual = append(actual, p.Time)
+	}
+	tol := cfg.T / 8
+	acc := stats.AccuracyWithinTolerance(pred, actual, tol)
+	chance := float64(2*tol+1) / float64(cfg.T)
+	if acc < chance {
+		t.Fatalf("EUTB accuracy %.3f below chance %.3f", acc, chance)
+	}
+}
+
+func TestBurstSmoothKeepsDistributions(t *testing.T) {
+	m := &Model{Cfg: Config{K: 3}.withDefaults(), T: 4}
+	m.ThetaT = [][]float64{
+		{0.8, 0.1, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.1, 0.1, 0.8},
+		{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	}
+	m.TimePri = []float64{0.7, 0.1, 0.1, 0.1}
+	m.burstSmooth()
+	for t2, row := range m.ThetaT {
+		if !stats.IsSimplex(row, 1e-9) {
+			t.Fatalf("slice %d not a simplex after smoothing: %v", t2, row)
+		}
+	}
+	// Quiet slices borrow from neighbours: slice 1's mass on topic 0
+	// should have grown from 0.1.
+	if m.ThetaT[1][0] <= 0.1 {
+		t.Fatalf("no smoothing happened: %v", m.ThetaT[1])
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 20, C: 2, K: 2, T: 4, V: 30,
+		PostsPerUser: 2, WordsPerPost: 4, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Train(data, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package lda implements classic latent Dirichlet allocation (Blei et
+// al., JMLR 2003) with collapsed Gibbs sampling (Griffiths & Steyvers,
+// PNAS 2004), treating each user's post collection as one document with
+// a topic per word token — exactly the "huge document" treatment §3.5 of
+// the paper argues is wrong for social streams. It is the target of the
+// post-level-topic ablation and a general-purpose topic-model utility.
+package lda
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds LDA dimensions, priors and schedule.
+type Config struct {
+	K          int
+	Alpha      float64 // document–topic prior (default 50/K capped at 1)
+	Beta       float64 // topic–word prior (default 0.01)
+	Iterations int
+	BurnIn     int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Iterations: 60, BurnIn: 30, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 50 / float64(c.K)
+		if c.Alpha > 1 {
+			c.Alpha = 1
+		}
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 60
+	}
+	if c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	return c
+}
+
+// Model holds the estimates: per-user (document) topic mixtures and the
+// topic word distributions.
+type Model struct {
+	Cfg   Config
+	U, V  int
+	Theta [][]float64 // [U][K]
+	Phi   [][]float64 // [K][V]
+}
+
+// Train fits LDA on the dataset's posts, one document per user.
+func Train(data *corpus.Dataset, cfg Config) (*Model, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, 0, fmt.Errorf("lda: need K > 0")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(data.Posts) == 0 {
+		return nil, 0, fmt.Errorf("lda: no posts")
+	}
+	start := time.Now()
+	U, V, K := data.U, data.V, cfg.K
+	r := rng.New(cfg.Seed)
+
+	type token struct {
+		user, word int
+	}
+	var tokens []token
+	for _, p := range data.Posts {
+		p.Words.Each(func(v, count int) {
+			for q := 0; q < count; q++ {
+				tokens = append(tokens, token{p.User, v})
+			}
+		})
+	}
+	if len(tokens) == 0 {
+		return nil, 0, fmt.Errorf("lda: empty corpus")
+	}
+
+	z := make([]int, len(tokens))
+	nUK := matrixInt(U, K)
+	nUSum := make([]int, U)
+	nKV := matrixInt(K, V)
+	nKSum := make([]int, K)
+	for i, tk := range tokens {
+		k := r.Intn(K)
+		z[i] = k
+		nUK[tk.user][k]++
+		nUSum[tk.user]++
+		nKV[k][tk.word]++
+		nKSum[k]++
+	}
+
+	weights := make([]float64, K)
+	vBeta := float64(V) * cfg.Beta
+	thetaSum := matrix(U, K)
+	phiSum := matrix(K, V)
+	samples := 0
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for i, tk := range tokens {
+			k := z[i]
+			nUK[tk.user][k]--
+			nUSum[tk.user]--
+			nKV[k][tk.word]--
+			nKSum[k]--
+			for g := 0; g < K; g++ {
+				weights[g] = (float64(nUK[tk.user][g]) + cfg.Alpha) *
+					(float64(nKV[g][tk.word]) + cfg.Beta) / (float64(nKSum[g]) + vBeta)
+			}
+			k = r.Categorical(weights)
+			z[i] = k
+			nUK[tk.user][k]++
+			nUSum[tk.user]++
+			nKV[k][tk.word]++
+			nKSum[k]++
+		}
+		if it >= cfg.BurnIn {
+			kAlpha := float64(K) * cfg.Alpha
+			for u := 0; u < U; u++ {
+				den := float64(nUSum[u]) + kAlpha
+				for k := 0; k < K; k++ {
+					thetaSum[u][k] += (float64(nUK[u][k]) + cfg.Alpha) / den
+				}
+			}
+			for k := 0; k < K; k++ {
+				den := float64(nKSum[k]) + vBeta
+				for v := 0; v < V; v++ {
+					phiSum[k][v] += (float64(nKV[k][v]) + cfg.Beta) / den
+				}
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	inv := 1 / float64(samples)
+	m := &Model{Cfg: cfg, U: U, V: V, Theta: thetaSum, Phi: phiSum}
+	for u := range m.Theta {
+		for k := range m.Theta[u] {
+			m.Theta[u][k] *= inv
+		}
+	}
+	for k := range m.Phi {
+		for v := range m.Phi[k] {
+			m.Phi[k][v] *= inv
+		}
+	}
+	return m, time.Since(start), nil
+}
+
+func matrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func matrixInt(rows, cols int) [][]int {
+	backing := make([]int, rows*cols)
+	m := make([][]int, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// PostLogLikelihood returns log p(w_d | author i): each token
+// independent given the author's topic mixture (the word-level
+// treatment).
+func (m *Model) PostLogLikelihood(i int, words text.BagOfWords) float64 {
+	ll := 0.0
+	words.Each(func(v, count int) {
+		p := 0.0
+		for k := 0; k < m.Cfg.K; k++ {
+			p += m.Theta[i][k] * m.Phi[k][v]
+		}
+		if p <= 0 {
+			p = 1e-300
+		}
+		ll += float64(count) * math.Log(p)
+	})
+	return ll
+}
+
+// Perplexity evaluates held-out perplexity over (user, words) posts.
+func (m *Model) Perplexity(users []int, posts []text.BagOfWords) float64 {
+	ll := 0.0
+	nWords := 0
+	for idx, words := range posts {
+		if words.Len() == 0 {
+			continue
+		}
+		ll += m.PostLogLikelihood(users[idx], words)
+		nWords += words.Len()
+	}
+	return stats.Perplexity(ll, nWords)
+}
+
+// TopWords returns topic k's n highest-probability word ids.
+func (m *Model) TopWords(k, n int) []int {
+	return stats.ArgTopK(m.Phi[k], n)
+}

@@ -1,0 +1,126 @@
+package lda
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestTrainProducesValidEstimates(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 8, V: 120,
+		PostsPerUser: 8, WordsPerPost: 7, LinksPerUser: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn = 25, 12
+	m, elapsed, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time recorded")
+	}
+	for u, th := range m.Theta {
+		if !stats.IsSimplex(th, 1e-9) {
+			t.Fatalf("Theta[%d] not a simplex", u)
+		}
+	}
+	for k, ph := range m.Phi {
+		if !stats.IsSimplex(ph, 1e-9) {
+			t.Fatalf("Phi[%d] not a simplex", k)
+		}
+	}
+}
+
+func TestTopicsRecoverSignatureBlocks(t *testing.T) {
+	cfg := synth.Config{U: 80, C: 4, K: 4, T: 8, V: 200,
+		PostsPerUser: 12, WordsPerPost: 8, LinksPerUser: 4, Seed: 5}
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := DefaultConfig(4)
+	lcfg.Iterations, lcfg.BurnIn, lcfg.Seed = 40, 20, 3
+	m, _, err := Train(data, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each planted topic should match some learned topic's top words.
+	matched := 0
+	for kTrue := range gt.Phi {
+		best := 0.0
+		for kHat := range m.Phi {
+			if o := stats.TopKOverlap(gt.Phi[kTrue], m.Phi[kHat], 10); o > best {
+				best = o
+			}
+		}
+		if best >= 0.5 {
+			matched++
+		}
+	}
+	if matched < 3 {
+		t.Fatalf("LDA recovered only %d of 4 planted topics", matched)
+	}
+}
+
+func TestPerplexityFiniteAndBeatsUniform(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 8, V: 120,
+		PostsPerUser: 8, WordsPerPost: 7, LinksPerUser: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn = 25, 12
+	m, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []int
+	var bags []text.BagOfWords
+	for i, p := range data.Posts {
+		if i >= 150 {
+			break
+		}
+		users = append(users, p.User)
+		bags = append(bags, p.Words)
+	}
+	perp := m.Perplexity(users, bags)
+	if math.IsNaN(perp) || perp <= 1 || perp >= 120 {
+		t.Fatalf("perplexity %v", perp)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 20, C: 2, K: 2, T: 4, V: 30,
+		PostsPerUser: 2, WordsPerPost: 4, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Train(data, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestTopWordsSorted(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 2, K: 3, T: 4, V: 60,
+		PostsPerUser: 4, WordsPerPost: 5, LinksPerUser: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3)
+	cfg.Iterations, cfg.BurnIn = 10, 5
+	m, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopWords(0, 5)
+	for i := 1; i < len(top); i++ {
+		if m.Phi[0][top[i]] > m.Phi[0][top[i-1]] {
+			t.Fatal("TopWords unsorted")
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package mmsb implements the Mixed Membership Stochastic Blockmodel
+// (Airoldi et al., JMLR 2008), the links-only community baseline of the
+// paper's evaluation (Table 2, Figs 10 and 14). Inference is collapsed
+// Gibbs over per-link community indicator pairs with the same sparse
+// positive-link Beta prior trick COLD uses, so the comparison isolates
+// exactly what the text and time components add.
+package mmsb
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// Config holds MMSB dimensions and sampler schedule.
+type Config struct {
+	C          int     // communities
+	Rho        float64 // Dirichlet prior on memberships (default 1)
+	Lambda1    float64 // Beta prior positive pseudo-count (default 0.1)
+	Kappa      float64 // weight of the implicit-negative prior (default 1)
+	Iterations int
+	BurnIn     int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(c int) Config {
+	return Config{C: c, Iterations: 60, BurnIn: 30, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rho == 0 {
+		c.Rho = 1
+	}
+	if c.Lambda1 == 0 {
+		c.Lambda1 = 0.1
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 1
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 60
+	}
+	if c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	return c
+}
+
+// Model holds the estimated memberships and block matrix.
+type Model struct {
+	Cfg Config
+	U   int
+	Pi  [][]float64 // [U][C]
+	Eta [][]float64 // [C][C]
+}
+
+// Train fits MMSB to the dataset's links. Posts are ignored entirely.
+func Train(data *corpus.Dataset, cfg Config) (*Model, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.C <= 0 {
+		return nil, 0, fmt.Errorf("mmsb: need C > 0")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	U, C := data.U, cfg.C
+	r := rng.New(cfg.Seed)
+
+	// Unlike COLD — whose text component anchors communities and lets the
+	// scalar λ₀ prior stand in for negative-link evidence — a links-only
+	// blockmodel collapses into one giant block under that approximation.
+	// MMSB therefore uses the expected per-pair negative count
+	// n⁻_cc' ≈ n_neg · w_c · w_c' (w_c the community's share of endpoint
+	// mass), the standard collapsed-SBM treatment, scaled by κ.
+	nNeg := float64(U)*float64(U-1) - float64(len(data.Links))
+	if nNeg < 1 {
+		nNeg = 1
+	}
+	nNeg *= cfg.Kappa
+
+	s := make([]int, len(data.Links))
+	sp := make([]int, len(data.Links))
+	nIC := make([][]int, U)
+	for i := range nIC {
+		nIC[i] = make([]int, C)
+	}
+	nCC := make([][]int, C)
+	for a := range nCC {
+		nCC[a] = make([]int, C)
+	}
+	// Links-only Gibbs cannot break symmetry from a uniform random start
+	// (the positive-link factor is too flat); seed it with a cheap label
+	// propagation pass over the undirected graph, the standard
+	// initialisation for blockmodel samplers.
+	labels := labelPropagation(data, C, r)
+	nC := make([]int, C) // total endpoint mass per community
+	for l, e := range data.Links {
+		s[l], sp[l] = labels[e.From], labels[e.To]
+		nIC[e.From][s[l]]++
+		nIC[e.To][sp[l]]++
+		nCC[s[l]][sp[l]]++
+		nC[s[l]]++
+		nC[sp[l]]++
+	}
+	totalEndpoints := float64(2 * len(data.Links))
+	commWeight := func(c int) float64 {
+		return (float64(nC[c]) + 1) / (totalEndpoints + float64(C))
+	}
+
+	weights := make([]float64, C)
+	l1 := cfg.Lambda1
+	piSum := make([][]float64, U)
+	for i := range piSum {
+		piSum[i] = make([]float64, C)
+	}
+	etaSum := make([][]float64, C)
+	for a := range etaSum {
+		etaSum[a] = make([]float64, C)
+	}
+	samples := 0
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for l, e := range data.Links {
+			// Remove.
+			nIC[e.From][s[l]]--
+			nIC[e.To][sp[l]]--
+			nCC[s[l]][sp[l]]--
+			nC[s[l]]--
+			nC[sp[l]]--
+			// Source given destination.
+			b := sp[l]
+			wb := commWeight(b)
+			for c := 0; c < C; c++ {
+				n := float64(nCC[c][b])
+				negMass := nNeg * commWeight(c) * wb
+				weights[c] = (float64(nIC[e.From][c]) + cfg.Rho) * (n + l1) / (n + negMass + l1)
+			}
+			s[l] = r.Categorical(weights)
+			// Destination given the fresh source.
+			a := s[l]
+			wa := commWeight(a)
+			for c := 0; c < C; c++ {
+				n := float64(nCC[a][c])
+				negMass := nNeg * wa * commWeight(c)
+				weights[c] = (float64(nIC[e.To][c]) + cfg.Rho) * (n + l1) / (n + negMass + l1)
+			}
+			sp[l] = r.Categorical(weights)
+			// Add back.
+			nIC[e.From][s[l]]++
+			nIC[e.To][sp[l]]++
+			nCC[s[l]][sp[l]]++
+			nC[s[l]]++
+			nC[sp[l]]++
+		}
+		if it >= cfg.BurnIn {
+			for i := 0; i < U; i++ {
+				den := 0.0
+				for c := 0; c < C; c++ {
+					den += float64(nIC[i][c]) + cfg.Rho
+				}
+				for c := 0; c < C; c++ {
+					piSum[i][c] += (float64(nIC[i][c]) + cfg.Rho) / den
+				}
+			}
+			for a := 0; a < C; a++ {
+				wa := commWeight(a)
+				for b := 0; b < C; b++ {
+					n := float64(nCC[a][b])
+					etaSum[a][b] += (n + l1) / (n + nNeg*wa*commWeight(b) + l1)
+				}
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	m := &Model{Cfg: cfg, U: U, Pi: piSum, Eta: etaSum}
+	inv := 1 / float64(samples)
+	for i := range m.Pi {
+		for c := range m.Pi[i] {
+			m.Pi[i][c] *= inv
+		}
+	}
+	for a := range m.Eta {
+		for b := range m.Eta[a] {
+			m.Eta[a][b] *= inv
+		}
+	}
+	return m, time.Since(start), nil
+}
+
+// labelPropagation assigns each user one of C labels by majority vote of
+// its (undirected) neighbours. A single run is sensitive to its random
+// start (labels can merge), so several restarts are scored by modularity
+// and the best labelling wins.
+func labelPropagation(data *corpus.Dataset, C int, r *rng.RNG) []int {
+	adj := make([][]int, data.U)
+	for _, e := range data.Links {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	const restarts = 5
+	var best []int
+	bestScore := -1.0
+	for attempt := 0; attempt < restarts; attempt++ {
+		labels := propagateOnce(adj, data.U, C, r)
+		if score := modularity(adj, labels, C); score > bestScore {
+			best, bestScore = labels, score
+		}
+	}
+	return best
+}
+
+func propagateOnce(adj [][]int, U, C int, r *rng.RNG) []int {
+	labels := make([]int, U)
+	for i := range labels {
+		labels[i] = r.Intn(C)
+	}
+	votes := make([]int, C)
+	for round := 0; round < 20; round++ {
+		changed := 0
+		for _, i := range r.Perm(U) {
+			if len(adj[i]) == 0 {
+				continue
+			}
+			for c := range votes {
+				votes[c] = 0
+			}
+			for _, j := range adj[i] {
+				votes[labels[j]]++
+			}
+			best, bestVotes := labels[i], votes[labels[i]]
+			for c, v := range votes {
+				if v > bestVotes {
+					best, bestVotes = c, v
+				}
+			}
+			if best != labels[i] {
+				labels[i] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return labels
+}
+
+// modularity computes Newman modularity of a hard labelling over the
+// undirected multigraph encoded by adj.
+func modularity(adj [][]int, labels []int, C int) float64 {
+	var m float64
+	intra := make([]float64, C)
+	degSum := make([]float64, C)
+	for i, neigh := range adj {
+		degSum[labels[i]] += float64(len(neigh))
+		m += float64(len(neigh))
+		for _, j := range neigh {
+			if labels[i] == labels[j] {
+				intra[labels[i]]++
+			}
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	q := 0.0
+	for c := 0; c < C; c++ {
+		q += intra[c]/m - (degSum[c]/m)*(degSum[c]/m)
+	}
+	return q
+}
+
+// LinkScore returns P_{i→i'} = Σ_s Σ_s' π_is π_i's' η_ss'.
+func (m *Model) LinkScore(i, ip int) float64 {
+	p := 0.0
+	for a := 0; a < m.Cfg.C; a++ {
+		pia := m.Pi[i][a]
+		for b := 0; b < m.Cfg.C; b++ {
+			p += pia * m.Pi[ip][b] * m.Eta[a][b]
+		}
+	}
+	return p
+}
+
+// TopCommunities returns user i's n most probable communities.
+func (m *Model) TopCommunities(i, n int) []int {
+	idx := make([]int, m.Cfg.C)
+	for c := range idx {
+		idx[c] = c
+	}
+	for a := 1; a < len(idx); a++ {
+		for b := a; b > 0 && m.Pi[i][idx[b]] > m.Pi[i][idx[b-1]]; b-- {
+			idx[b], idx[b-1] = idx[b-1], idx[b]
+		}
+	}
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}

@@ -1,0 +1,121 @@
+package mmsb
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func TestTrainRecoversBlocks(t *testing.T) {
+	cfg := synth.Small(71)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C)
+	mcfg.Seed = 3
+	m, elapsed, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+	pred := make([]int, data.U)
+	for i := range pred {
+		_, pred[i] = stats.Max(m.Pi[i])
+	}
+	// Links-only recovery is noisier than COLD's but must beat noise.
+	if nmi := stats.NMI(pred, gt.Primary); nmi < 0.2 {
+		t.Fatalf("MMSB NMI %.3f too low", nmi)
+	}
+}
+
+func TestLinkScoreBeatsChance(t *testing.T) {
+	cfg := synth.Small(73)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C)
+	mcfg.Seed = 5
+	m, _, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := data.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg []float64
+	for i, e := range data.Links {
+		if i >= 300 {
+			break
+		}
+		pos = append(pos, m.LinkScore(e.From, e.To))
+	}
+	negE, err := g.NegativeLinks(rng.New(7), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range negE {
+		neg = append(neg, m.LinkScore(e.From, e.To))
+	}
+	if auc := stats.AUC(pos, neg); auc < 0.55 {
+		t.Fatalf("MMSB link AUC %.3f", auc)
+	}
+}
+
+func TestMembershipsAreDistributions(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 40, C: 3, K: 3, T: 6, V: 60,
+		PostsPerUser: 3, WordsPerPost: 5, LinksPerUser: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Train(data, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range m.Pi {
+		if !stats.IsSimplex(pi, 1e-9) {
+			t.Fatalf("Pi[%d] not a simplex", i)
+		}
+	}
+}
+
+func TestTopCommunitiesSorted(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 40, C: 4, K: 3, T: 6, V: 60,
+		PostsPerUser: 3, WordsPerPost: 5, LinksPerUser: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Train(data, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopCommunities(0, 3)
+	if len(top) != 3 {
+		t.Fatalf("top size %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if m.Pi[0][top[i]] > m.Pi[0][top[i-1]] {
+			t.Fatal("TopCommunities unsorted")
+		}
+	}
+	if got := m.TopCommunities(0, 99); len(got) != 4 {
+		t.Fatalf("clamped size %d", len(got))
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 20, C: 2, K: 2, T: 4, V: 30,
+		PostsPerUser: 2, WordsPerPost: 4, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Train(data, Config{C: 0}); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+}

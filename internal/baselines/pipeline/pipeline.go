@@ -1,0 +1,124 @@
+// Package pipeline implements the Pipelined Approach of Community-level
+// Temporal Dynamics from the paper's baseline list: first MMSB assigns
+// each user to their two most probable communities from the network
+// alone, then an independent Topics-over-Time model is fitted to each
+// community's posts. The two stages never exchange information — the
+// interdependence failure the Fig 11 comparison demonstrates.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/baselines/mmsb"
+	"github.com/cold-diffusion/cold/internal/baselines/tot"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds the two stages' settings.
+type Config struct {
+	C    int // communities for the MMSB stage
+	K    int // topics per community TOT model
+	MMSB mmsb.Config
+	TOT  tot.Config
+	Seed uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(c, k int) Config {
+	mc := mmsb.DefaultConfig(c)
+	tc := tot.DefaultConfig(k)
+	return Config{C: c, K: k, MMSB: mc, TOT: tc, Seed: 1}
+}
+
+// Model holds the per-community TOT models and the MMSB memberships.
+type Model struct {
+	Cfg     Config
+	Members *mmsb.Model
+	// TopTwo[i] is user i's two most probable communities.
+	TopTwo [][]int
+	// TOT[c] is the temporal topic model of community c's posts; nil for
+	// communities with no posts.
+	TOT []*tot.Model
+	T   int
+}
+
+// Train runs the two-stage pipeline.
+func Train(data *corpus.Dataset, cfg Config) (*Model, time.Duration, error) {
+	if cfg.C <= 0 || cfg.K <= 0 {
+		return nil, 0, fmt.Errorf("pipeline: need C > 0 and K > 0")
+	}
+	start := time.Now()
+	cfg.MMSB.C = cfg.C
+	cfg.TOT.K = cfg.K
+	if cfg.MMSB.Seed == 0 {
+		cfg.MMSB.Seed = cfg.Seed
+	}
+	if cfg.TOT.Seed == 0 {
+		cfg.TOT.Seed = cfg.Seed
+	}
+	members, _, err := mmsb.Train(data, cfg.MMSB)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := &Model{Cfg: cfg, Members: members, T: data.T}
+	m.TopTwo = make([][]int, data.U)
+	postsOf := make([][]int, cfg.C)
+	for i := 0; i < data.U; i++ {
+		m.TopTwo[i] = members.TopCommunities(i, 2)
+	}
+	for j, p := range data.Posts {
+		for _, c := range m.TopTwo[p.User] {
+			postsOf[c] = append(postsOf[c], j)
+		}
+	}
+	m.TOT = make([]*tot.Model, cfg.C)
+	for c := 0; c < cfg.C; c++ {
+		if len(postsOf[c]) == 0 {
+			continue
+		}
+		tm, _, err := tot.Train(data, postsOf[c], cfg.TOT)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.TOT[c] = tm
+	}
+	return m, time.Since(start), nil
+}
+
+// PredictTimestamp scores each slice under the TOT models of the user's
+// two communities, weighted by membership, and returns the argmax.
+func (m *Model) PredictTimestamp(i int, words text.BagOfWords) int {
+	best, bestScore := 0, math.Inf(-1)
+	type scored struct {
+		model  *tot.Model
+		weight float64
+		post   []float64
+	}
+	var parts []scored
+	for _, c := range m.TopTwo[i] {
+		if m.TOT[c] == nil {
+			continue
+		}
+		parts = append(parts, scored{
+			model:  m.TOT[c],
+			weight: m.Members.Pi[i][c],
+			post:   m.TOT[c].TopicPosterior(words),
+		})
+	}
+	if len(parts) == 0 {
+		return 0
+	}
+	for t := 0; t < m.T; t++ {
+		s := 0.0
+		for _, p := range parts {
+			s += p.weight * p.model.TimeScore(p.post, t)
+		}
+		if s > bestScore {
+			best, bestScore = t, s
+		}
+	}
+	return best
+}

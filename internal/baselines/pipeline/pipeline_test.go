@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/baselines/tot"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestTrainAndPredict(t *testing.T) {
+	cfg := synth.Small(91)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultConfig(cfg.C, cfg.K)
+	pcfg.MMSB.Iterations, pcfg.MMSB.BurnIn = 30, 15
+	pcfg.TOT.Iterations, pcfg.TOT.BurnIn = 20, 10
+	m, elapsed, err := Train(data, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if len(m.TopTwo) != data.U {
+		t.Fatalf("TopTwo size %d", len(m.TopTwo))
+	}
+	for i, tc := range m.TopTwo {
+		if len(tc) != 2 {
+			t.Fatalf("user %d has %d top communities", i, len(tc))
+		}
+	}
+	// Prediction runs and lands in range for every user.
+	pred := make([]int, 0, 100)
+	actual := make([]int, 0, 100)
+	for i, p := range data.Posts {
+		if i >= 100 {
+			break
+		}
+		ts := m.PredictTimestamp(p.User, p.Words)
+		if ts < 0 || ts >= data.T {
+			t.Fatalf("prediction %d out of range", ts)
+		}
+		pred = append(pred, ts)
+		actual = append(actual, p.Time)
+	}
+	// Pipeline is the weakest temporal model but still reads the data.
+	acc := stats.AccuracyWithinTolerance(pred, actual, data.T/4)
+	if acc == 0 {
+		t.Fatal("pipeline never predicts anywhere near the truth")
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 20, C: 2, K: 2, T: 4, V: 30,
+		PostsPerUser: 2, WordsPerPost: 4, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Train(data, Config{C: 0, K: 2}); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+}
+
+func TestPredictTimestampNoCommunityModels(t *testing.T) {
+	// A user whose top communities both lack posts (nil TOT models)
+	// falls back to slice 0 instead of panicking.
+	m := &Model{
+		Cfg:     Config{C: 2, K: 2},
+		TopTwo:  [][]int{{0, 1}},
+		TOT:     make([]*tot.Model, 2), // both nil
+		T:       4,
+		Members: nil,
+	}
+	if ts := m.PredictTimestamp(0, text.NewBagOfWords([]int{0})); ts != 0 {
+		t.Fatalf("fallback slice %d, want 0", ts)
+	}
+}
+
+func TestDefaultConfigWiring(t *testing.T) {
+	cfg := DefaultConfig(4, 6)
+	if cfg.MMSB.C != 4 || cfg.TOT.K != 6 {
+		t.Fatalf("stage configs not wired: %+v", cfg)
+	}
+}

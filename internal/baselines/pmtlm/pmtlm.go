@@ -1,0 +1,272 @@
+// Package pmtlm implements the Poisson Mixed-Topic Link Model (Zhu,
+// Yan, Getoor, Moore — KDD 2013) as used in the paper's evaluation: a
+// joint text-and-link model in which one latent factor plays both the
+// topic role (generating words) and the community role (generating
+// links), i.e. communities are bound one-to-one to topics. This is the
+// representative "single latent variable" baseline that COLD's
+// decoupled design is compared against in Figs 9, 10 and 14.
+//
+// Inference is collapsed Gibbs: each word token carries a factor
+// assignment conditioned on its author's mixed membership, and each
+// positive link carries one factor with an assortative per-factor rate
+// (Beta–Bernoulli smoothed, matching the sparse-network treatment the
+// evaluation uses for all link models).
+package pmtlm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds dimensions, priors and schedule.
+type Config struct {
+	F          int     // number of shared factors (topic == community)
+	Alpha      float64 // Dirichlet prior on user memberships (default 1)
+	Beta       float64 // Dirichlet prior on factor word distributions (default 0.01)
+	Lambda1    float64 // positive-link pseudo-count (default 0.1)
+	Kappa      float64 // implicit-negative prior weight (default 1)
+	Iterations int
+	BurnIn     int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(f int) Config {
+	return Config{F: f, Iterations: 60, BurnIn: 30, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Lambda1 == 0 {
+		c.Lambda1 = 0.1
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 1
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 60
+	}
+	if c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	return c
+}
+
+// Model holds the estimates.
+type Model struct {
+	Cfg   Config
+	U, V  int
+	Theta [][]float64 // [U][F] user membership = user topic mixture
+	Phi   [][]float64 // [F][V] factor word distributions
+	Eta   []float64   // [F] assortative link strength per factor
+}
+
+// Train fits PMTLM jointly on posts and links.
+func Train(data *corpus.Dataset, cfg Config) (*Model, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.F <= 0 {
+		return nil, 0, fmt.Errorf("pmtlm: need F > 0")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(data.Posts) == 0 {
+		return nil, 0, fmt.Errorf("pmtlm: no posts")
+	}
+	start := time.Now()
+	U, V, F := data.U, data.V, cfg.F
+	r := rng.New(cfg.Seed)
+
+	// Flatten word tokens: PMTLM treats each user's post collection as
+	// one document, with a factor per token.
+	type token struct {
+		user, word int
+	}
+	var tokens []token
+	for _, p := range data.Posts {
+		p.Words.Each(func(v, count int) {
+			for q := 0; q < count; q++ {
+				tokens = append(tokens, token{p.User, v})
+			}
+		})
+	}
+
+	nNeg := float64(U)*float64(U-1) - float64(len(data.Links))
+	if nNeg < 1 {
+		nNeg = 1
+	}
+	lambda0 := cfg.Kappa * math.Log(nNeg/float64(F))
+	if lambda0 < 0.1 {
+		lambda0 = 0.1
+	}
+	l1, l01 := cfg.Lambda1, cfg.Lambda1+lambda0
+
+	zw := make([]int, len(tokens))     // factor per token
+	zl := make([]int, len(data.Links)) // factor per link
+	nUF := make([][]int, U)
+	for i := range nUF {
+		nUF[i] = make([]int, F)
+	}
+	nFV := make([][]int, F)
+	for f := range nFV {
+		nFV[f] = make([]int, V)
+	}
+	nFSum := make([]int, F)
+	nLF := make([]int, F)
+
+	for i, tk := range tokens {
+		f := r.Intn(F)
+		zw[i] = f
+		nUF[tk.user][f]++
+		nFV[f][tk.word]++
+		nFSum[f]++
+	}
+	for l, e := range data.Links {
+		f := r.Intn(F)
+		zl[l] = f
+		nUF[e.From][f]++
+		nUF[e.To][f]++
+		nLF[f]++
+	}
+
+	weights := make([]float64, F)
+	thetaSum := matrix(U, F)
+	phiSum := matrix(F, V)
+	etaSum := make([]float64, F)
+	samples := 0
+	vBeta := float64(V) * cfg.Beta
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for i, tk := range tokens {
+			f := zw[i]
+			nUF[tk.user][f]--
+			nFV[f][tk.word]--
+			nFSum[f]--
+			for g := 0; g < F; g++ {
+				weights[g] = (float64(nUF[tk.user][g]) + cfg.Alpha) *
+					(float64(nFV[g][tk.word]) + cfg.Beta) / (float64(nFSum[g]) + vBeta)
+			}
+			f = r.Categorical(weights)
+			zw[i] = f
+			nUF[tk.user][f]++
+			nFV[f][tk.word]++
+			nFSum[f]++
+		}
+		for l, e := range data.Links {
+			f := zl[l]
+			nUF[e.From][f]--
+			nUF[e.To][f]--
+			nLF[f]--
+			for g := 0; g < F; g++ {
+				n := float64(nLF[g])
+				weights[g] = (float64(nUF[e.From][g]) + cfg.Alpha) *
+					(float64(nUF[e.To][g]) + cfg.Alpha) *
+					(n + l1) / (n + l01)
+			}
+			f = r.Categorical(weights)
+			zl[l] = f
+			nUF[e.From][f]++
+			nUF[e.To][f]++
+			nLF[f]++
+		}
+		if it >= cfg.BurnIn {
+			for i := 0; i < U; i++ {
+				den := 0.0
+				for f := 0; f < F; f++ {
+					den += float64(nUF[i][f]) + cfg.Alpha
+				}
+				for f := 0; f < F; f++ {
+					thetaSum[i][f] += (float64(nUF[i][f]) + cfg.Alpha) / den
+				}
+			}
+			for f := 0; f < F; f++ {
+				den := float64(nFSum[f]) + vBeta
+				for v := 0; v < V; v++ {
+					phiSum[f][v] += (float64(nFV[f][v]) + cfg.Beta) / den
+				}
+				n := float64(nLF[f])
+				etaSum[f] += (n + l1) / (n + l01)
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	inv := 1 / float64(samples)
+	m := &Model{Cfg: cfg, U: U, V: V, Theta: thetaSum, Phi: phiSum, Eta: etaSum}
+	for i := range m.Theta {
+		for f := range m.Theta[i] {
+			m.Theta[i][f] *= inv
+		}
+	}
+	for f := range m.Phi {
+		for v := range m.Phi[f] {
+			m.Phi[f][v] *= inv
+		}
+		m.Eta[f] *= inv
+	}
+	return m, time.Since(start), nil
+}
+
+func matrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// PostLogLikelihood returns log p(w_d | author i): tokens are independent
+// given the author's factor mixture — exactly the structure whose poorer
+// text fit Fig 9 exposes.
+func (m *Model) PostLogLikelihood(i int, words text.BagOfWords) float64 {
+	ll := 0.0
+	words.Each(func(v, count int) {
+		p := 0.0
+		for f := 0; f < m.Cfg.F; f++ {
+			p += m.Theta[i][f] * m.Phi[f][v]
+		}
+		if p <= 0 {
+			p = 1e-300
+		}
+		ll += float64(count) * math.Log(p)
+	})
+	return ll
+}
+
+// Perplexity evaluates held-out perplexity over (user, words) test posts.
+func (m *Model) Perplexity(users []int, posts []text.BagOfWords) float64 {
+	ll := 0.0
+	nWords := 0
+	for idx, words := range posts {
+		if words.Len() == 0 {
+			continue
+		}
+		ll += m.PostLogLikelihood(users[idx], words)
+		nWords += words.Len()
+	}
+	return stats.Perplexity(ll, nWords)
+}
+
+// LinkScore returns the assortative link probability
+// Σ_f θ_if θ_i'f η_f.
+func (m *Model) LinkScore(i, ip int) float64 {
+	p := 0.0
+	for f := 0; f < m.Cfg.F; f++ {
+		p += m.Theta[i][f] * m.Theta[ip][f] * m.Eta[f]
+	}
+	return p
+}

@@ -1,0 +1,117 @@
+package pmtlm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestTrainProducesValidEstimates(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 8, V: 120,
+		PostsPerUser: 6, WordsPerPost: 6, LinksPerUser: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn = 20, 10
+	m, elapsed, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time recorded")
+	}
+	for i, th := range m.Theta {
+		if !stats.IsSimplex(th, 1e-9) {
+			t.Fatalf("Theta[%d] not a simplex", i)
+		}
+	}
+	for f, ph := range m.Phi {
+		if !stats.IsSimplex(ph, 1e-9) {
+			t.Fatalf("Phi[%d] not a simplex", f)
+		}
+		if m.Eta[f] <= 0 || m.Eta[f] >= 1 {
+			t.Fatalf("Eta[%d] = %v", f, m.Eta[f])
+		}
+	}
+}
+
+func TestPerplexityFinite(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 8, V: 120,
+		PostsPerUser: 6, WordsPerPost: 6, LinksPerUser: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn = 20, 10
+	m, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []int
+	var posts []text.BagOfWords
+	for i, p := range data.Posts {
+		if i >= 100 {
+			break
+		}
+		users = append(users, p.User)
+		posts = append(posts, p.Words)
+	}
+	perp := m.Perplexity(users, posts)
+	if math.IsNaN(perp) || math.IsInf(perp, 0) || perp <= 1 {
+		t.Fatalf("perplexity %v", perp)
+	}
+	if perp >= 120 {
+		t.Fatalf("perplexity %v worse than uniform (V=120)", perp)
+	}
+}
+
+func TestLinkScoreBeatsChance(t *testing.T) {
+	cfg := synth.Small(77)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 3
+	m, _, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := data.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg []float64
+	for i, e := range data.Links {
+		if i >= 300 {
+			break
+		}
+		pos = append(pos, m.LinkScore(e.From, e.To))
+	}
+	negE, err := g.NegativeLinks(rng.New(7), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range negE {
+		neg = append(neg, m.LinkScore(e.From, e.To))
+	}
+	if auc := stats.AUC(pos, neg); auc < 0.55 {
+		t.Fatalf("PMTLM link AUC %.3f", auc)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 20, C: 2, K: 2, T: 4, V: 30,
+		PostsPerUser: 2, WordsPerPost: 4, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Train(data, Config{F: 0}); err == nil {
+		t.Fatal("F=0 accepted")
+	}
+}

@@ -1,0 +1,311 @@
+// Package ti implements Topic-level Influence (Liu et al., CIKM 2010),
+// the individual-level diffusion-prediction baseline of Figs 12 and 15:
+// a topic model over posts plus per-topic user→user influence strengths
+// mined from retweet history, combining direct influence with indirect
+// influence through shared neighbours. Because prediction walks the
+// publisher's multi-hop neighbourhood, the online cost is high — the
+// behaviour Fig 15 reports.
+package ti
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds TI dimensions, priors and schedule.
+type Config struct {
+	K          int     // topics
+	Alpha      float64 // Dirichlet prior on the corpus topic mixture (default 1)
+	Beta       float64 // Dirichlet prior on word distributions (default 0.01)
+	Sigma      float64 // influence smoothing pseudo-count (default 0.1)
+	Indirect   float64 // weight of 2-hop indirect influence (default 0.5)
+	Iterations int
+	BurnIn     int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Iterations: 40, BurnIn: 20, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.1
+	}
+	if c.Indirect == 0 {
+		c.Indirect = 0.5
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 40
+	}
+	if c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	return c
+}
+
+// Model holds the topic model and the mined influence graph.
+type Model struct {
+	Cfg  Config
+	U, V int
+	Mix  []float64   // [K]
+	Phi  [][]float64 // [K][V]
+
+	// influence[i] maps a follower i' to per-topic influence of i on i'.
+	influence []map[int][]float64
+	// outNeighbors[i] lists users i has influence edges to.
+	outNeighbors [][]int
+	// receptivity[u][k] is user u's per-topic retweet rate, the back-off
+	// when a (publisher, follower) pair has no history.
+	receptivity [][]float64
+}
+
+// Train fits the topic model on posts and mines per-topic influence from
+// the training retweet tuples (indices into data.Retweets; nil = all).
+func Train(data *corpus.Dataset, trainRetweets []int, cfg Config) (*Model, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, 0, fmt.Errorf("ti: need K > 0")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(data.Posts) == 0 {
+		return nil, 0, fmt.Errorf("ti: no posts")
+	}
+	start := time.Now()
+	K, V := cfg.K, data.V
+	r := rng.New(cfg.Seed)
+
+	// Mixture-of-unigrams topic model over posts (collapsed Gibbs, one
+	// topic per post as in the short-text regime).
+	z := make([]int, len(data.Posts))
+	nK := make([]int, K)
+	nKV := matrixInt(K, V)
+	nKSum := make([]int, K)
+	for j := range data.Posts {
+		k := r.Intn(K)
+		z[j] = k
+		nK[k]++
+		data.Posts[j].Words.Each(func(v, count int) {
+			nKV[k][v] += count
+			nKSum[k] += count
+		})
+	}
+	weights := make([]float64, K)
+	vBeta := float64(V) * cfg.Beta
+	for it := 0; it < cfg.Iterations; it++ {
+		for j := range data.Posts {
+			post := &data.Posts[j]
+			k := z[j]
+			nK[k]--
+			post.Words.Each(func(v, count int) {
+				nKV[k][v] -= count
+				nKSum[k] -= count
+			})
+			nTokens := post.Words.Len()
+			maxLog := math.Inf(-1)
+			for g := 0; g < K; g++ {
+				lw := math.Log(float64(nK[g]) + cfg.Alpha)
+				base := float64(nKSum[g]) + vBeta
+				post.Words.Each(func(v, count int) {
+					nv := float64(nKV[g][v]) + cfg.Beta
+					for q := 0; q < count; q++ {
+						lw += math.Log(nv + float64(q))
+					}
+				})
+				for q := 0; q < nTokens; q++ {
+					lw -= math.Log(base + float64(q))
+				}
+				weights[g] = lw
+				if lw > maxLog {
+					maxLog = lw
+				}
+			}
+			for g := 0; g < K; g++ {
+				weights[g] = math.Exp(weights[g] - maxLog)
+			}
+			k = r.Categorical(weights)
+			z[j] = k
+			nK[k]++
+			post.Words.Each(func(v, count int) {
+				nKV[k][v] += count
+				nKSum[k] += count
+			})
+		}
+	}
+
+	m := &Model{Cfg: cfg, U: data.U, V: V}
+	m.Mix = make([]float64, K)
+	m.Phi = matrix(K, V)
+	den := 0.0
+	for k := 0; k < K; k++ {
+		den += float64(nK[k]) + cfg.Alpha
+	}
+	for k := 0; k < K; k++ {
+		m.Mix[k] = (float64(nK[k]) + cfg.Alpha) / den
+		d := float64(nKSum[k]) + vBeta
+		for v := 0; v < V; v++ {
+			m.Phi[k][v] = (float64(nKV[k][v]) + cfg.Beta) / d
+		}
+	}
+
+	// Influence mining: per (publisher, follower) pair count topic-wise
+	// retweets and exposures in the training tuples.
+	if trainRetweets == nil {
+		trainRetweets = make([]int, len(data.Retweets))
+		for i := range trainRetweets {
+			trainRetweets[i] = i
+		}
+	}
+	type pairCount struct {
+		retweets  []float64
+		exposures []float64
+	}
+	counts := make([]map[int]*pairCount, data.U)
+	touch := func(i, ip int) *pairCount {
+		if counts[i] == nil {
+			counts[i] = make(map[int]*pairCount)
+		}
+		pc := counts[i][ip]
+		if pc == nil {
+			pc = &pairCount{retweets: make([]float64, K), exposures: make([]float64, K)}
+			counts[i][ip] = pc
+		}
+		return pc
+	}
+	userRT := matrix(data.U, K)
+	userEX := matrix(data.U, K)
+	for _, ri := range trainRetweets {
+		rt := data.Retweets[ri]
+		k := z[rt.Post]
+		for _, u := range rt.Retweeters {
+			pc := touch(rt.Publisher, u)
+			pc.retweets[k]++
+			pc.exposures[k]++
+			userRT[u][k]++
+			userEX[u][k]++
+		}
+		for _, u := range rt.Ignorers {
+			pc := touch(rt.Publisher, u)
+			pc.exposures[k]++
+			userEX[u][k]++
+		}
+	}
+	m.receptivity = matrix(data.U, K)
+	for u := 0; u < data.U; u++ {
+		for k := 0; k < K; k++ {
+			m.receptivity[u][k] = (userRT[u][k] + cfg.Sigma) / (userEX[u][k] + 2*cfg.Sigma)
+		}
+	}
+	m.influence = make([]map[int][]float64, data.U)
+	m.outNeighbors = make([][]int, data.U)
+	for i := range counts {
+		if counts[i] == nil {
+			continue
+		}
+		m.influence[i] = make(map[int][]float64, len(counts[i]))
+		for ip, pc := range counts[i] {
+			inf := make([]float64, K)
+			for k := 0; k < K; k++ {
+				inf[k] = (pc.retweets[k] + cfg.Sigma) / (pc.exposures[k] + 2*cfg.Sigma)
+			}
+			m.influence[i][ip] = inf
+			m.outNeighbors[i] = append(m.outNeighbors[i], ip)
+		}
+	}
+	return m, time.Since(start), nil
+}
+
+func matrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func matrixInt(rows, cols int) [][]int {
+	backing := make([]int, rows*cols)
+	m := make([][]int, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// TopicPosterior returns p(k | words) under the corpus mixture.
+func (m *Model) TopicPosterior(words text.BagOfWords) []float64 {
+	K := m.Cfg.K
+	lw := make([]float64, K)
+	for k := 0; k < K; k++ {
+		acc := math.Log(m.Mix[k])
+		words.Each(func(v, count int) {
+			p := m.Phi[k][v]
+			if p <= 0 {
+				p = 1e-300
+			}
+			acc += float64(count) * math.Log(p)
+		})
+		lw[k] = acc
+	}
+	maxLw, _ := stats.Max(lw)
+	post := make([]float64, K)
+	for k := 0; k < K; k++ {
+		post[k] = math.Exp(lw[k] - maxLw)
+	}
+	stats.Normalize(post)
+	return post
+}
+
+// influenceAt returns the direct per-topic influence of i on ip, backing
+// off to ip's per-topic receptivity when the pair has no history.
+func (m *Model) influenceAt(i, ip, k int) float64 {
+	if m.influence[i] != nil {
+		if inf := m.influence[i][ip]; inf != nil {
+			return inf[k]
+		}
+	}
+	return 0.5 * m.receptivity[ip][k]
+}
+
+// Score estimates the probability that user ip retweets post words from
+// user i, combining direct influence with indirect influence through i's
+// influence neighbours (the multi-hop walk that makes TI's prediction
+// slow).
+func (m *Model) Score(i, ip int, words text.BagOfWords) float64 {
+	topicPost := m.TopicPosterior(words)
+	total := 0.0
+	for k, pk := range topicPost {
+		if pk == 0 {
+			continue
+		}
+		direct := m.influenceAt(i, ip, k)
+		indirect := 0.0
+		for _, mid := range m.outNeighbors[i] {
+			if mid == ip {
+				continue
+			}
+			indirect += m.influenceAt(i, mid, k) * m.influenceAt(mid, ip, k)
+		}
+		if n := len(m.outNeighbors[i]); n > 1 {
+			indirect /= float64(n)
+		}
+		total += pk * (direct + m.Cfg.Indirect*indirect)
+	}
+	return total
+}

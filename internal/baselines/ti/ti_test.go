@@ -1,0 +1,97 @@
+package ti
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestTrainAndScore(t *testing.T) {
+	cfg := synth.Small(101)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := DefaultConfig(cfg.K)
+	tcfg.Seed = 3
+	m, elapsed, err := Train(data, nil, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if !stats.IsSimplex(m.Mix, 1e-9) {
+		t.Fatal("Mix not a simplex")
+	}
+
+	// Scoring on the training tuples must separate retweeters from
+	// ignorers (TI memorises pair history, so in-sample it should work).
+	tuples := make([][2][]float64, 0, len(data.Retweets))
+	for _, rt := range data.Retweets {
+		post := data.Posts[rt.Post]
+		var pos, neg []float64
+		for _, u := range rt.Retweeters {
+			pos = append(pos, m.Score(rt.Publisher, u, post.Words))
+		}
+		for _, u := range rt.Ignorers {
+			neg = append(neg, m.Score(rt.Publisher, u, post.Words))
+		}
+		tuples = append(tuples, [2][]float64{pos, neg})
+	}
+	if auc := stats.AveragedAUC(tuples); auc < 0.6 {
+		t.Fatalf("TI in-sample averaged AUC %.3f", auc)
+	}
+}
+
+func TestScoreUnseenPair(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 6, V: 60,
+		PostsPerUser: 5, WordsPerPost: 5, LinksPerUser: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3)
+	cfg.Iterations, cfg.BurnIn = 10, 5
+	m, _, err := Train(data, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair with no history: score must be finite and non-negative.
+	s := m.Score(0, 1, text.NewBagOfWords([]int{1, 2}))
+	if s < 0 {
+		t.Fatalf("negative score %v", s)
+	}
+}
+
+func TestTrainSubsetOfRetweets(t *testing.T) {
+	cfg := synth.Small(103)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Retweets) < 4 {
+		t.Skip("not enough retweet tuples")
+	}
+	tcfg := DefaultConfig(cfg.K)
+	tcfg.Iterations, tcfg.BurnIn = 10, 5
+	m, _, err := Train(data, []int{0, 1}, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 20, C: 2, K: 2, T: 4, V: 30,
+		PostsPerUser: 2, WordsPerPost: 4, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Train(data, nil, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

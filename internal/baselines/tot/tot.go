@@ -1,0 +1,286 @@
+// Package tot implements Topics over Time (Wang & McCallum, KDD 2006):
+// a non-Markov continuous-time topic model in which each topic carries a
+// Beta distribution over (normalised) document time stamps. Per the
+// paper's §3.3 comparison, the Beta time distribution is unimodal — the
+// property COLD's multinomial ψ improves on — and the Pipeline baseline
+// (MMSB → TOT per community) uses this package for its temporal stage.
+//
+// Following the short-post regime of the evaluation, each post carries a
+// single topic. Beta parameters are re-fit by moment matching after each
+// sweep, as in the original paper.
+package tot
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds TOT dimensions and schedule.
+type Config struct {
+	K          int
+	Alpha      float64 // Dirichlet prior on the corpus topic mixture (default 1)
+	Beta       float64 // Dirichlet prior on word distributions (default 0.01)
+	Iterations int
+	BurnIn     int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the schedule used for COLD.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Iterations: 60, BurnIn: 30, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 60
+	}
+	if c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	return c
+}
+
+// Model holds the estimates. Time stamps are normalised to the open
+// interval (0, 1) over the dataset's T slices.
+type Model struct {
+	Cfg   Config
+	T, V  int
+	Mix   []float64   // [K] corpus-level topic proportions
+	Phi   [][]float64 // [K][V]
+	BetaA []float64   // [K] Beta shape a per topic
+	BetaB []float64   // [K] Beta shape b per topic
+}
+
+// normTime maps slice index t of T to (0,1), avoiding the endpoints the
+// Beta density cannot handle.
+func normTime(t, T int) float64 {
+	return (float64(t) + 0.5) / float64(T)
+}
+
+func betaLogPDF(x, a, b float64) float64 {
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	return lgab - lga - lgb + (a-1)*math.Log(x) + (b-1)*math.Log(1-x)
+}
+
+// Train fits TOT on a set of posts (times and words; the network is not
+// used). posts index into data.Posts via the optional subset; a nil
+// subset uses every post.
+func Train(data *corpus.Dataset, subset []int, cfg Config) (*Model, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, 0, fmt.Errorf("tot: need K > 0")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if subset == nil {
+		subset = make([]int, len(data.Posts))
+		for i := range subset {
+			subset[i] = i
+		}
+	}
+	if len(subset) == 0 {
+		return nil, 0, fmt.Errorf("tot: empty post subset")
+	}
+	start := time.Now()
+	K, V := cfg.K, data.V
+	r := rng.New(cfg.Seed)
+
+	z := make([]int, len(subset))
+	nK := make([]int, K)
+	nKV := make([][]int, K)
+	for k := range nKV {
+		nKV[k] = make([]int, V)
+	}
+	nKSum := make([]int, K)
+	for si, pi := range subset {
+		k := r.Intn(K)
+		z[si] = k
+		nK[k]++
+		data.Posts[pi].Words.Each(func(v, count int) {
+			nKV[k][v] += count
+			nKSum[k] += count
+		})
+	}
+
+	betaA := make([]float64, K)
+	betaB := make([]float64, K)
+	for k := range betaA {
+		betaA[k], betaB[k] = 1, 1
+	}
+	refitBeta := func() {
+		// Moment-match each topic's Beta to its posts' time stamps.
+		for k := 0; k < K; k++ {
+			sum, sum2, n := 0.0, 0.0, 0.0
+			for si, pi := range subset {
+				if z[si] != k {
+					continue
+				}
+				x := normTime(data.Posts[pi].Time, data.T)
+				sum += x
+				sum2 += x * x
+				n++
+			}
+			if n < 2 {
+				betaA[k], betaB[k] = 1, 1
+				continue
+			}
+			mean := sum / n
+			variance := sum2/n - mean*mean
+			if variance < 1e-6 {
+				variance = 1e-6
+			}
+			common := mean*(1-mean)/variance - 1
+			if common < 0.1 {
+				common = 0.1
+			}
+			betaA[k] = mean * common
+			betaB[k] = (1 - mean) * common
+		}
+	}
+
+	weights := make([]float64, K)
+	vBeta := float64(V) * cfg.Beta
+	mixSum := make([]float64, K)
+	phiSum := make([][]float64, K)
+	for k := range phiSum {
+		phiSum[k] = make([]float64, V)
+	}
+	samples := 0
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for si, pi := range subset {
+			post := &data.Posts[pi]
+			k := z[si]
+			nK[k]--
+			post.Words.Each(func(v, count int) {
+				nKV[k][v] -= count
+				nKSum[k] -= count
+			})
+			x := normTime(post.Time, data.T)
+			nTokens := post.Words.Len()
+			maxLog := math.Inf(-1)
+			for g := 0; g < K; g++ {
+				lw := math.Log(float64(nK[g]) + cfg.Alpha)
+				lw += betaLogPDF(x, betaA[g], betaB[g])
+				base := float64(nKSum[g]) + vBeta
+				post.Words.Each(func(v, count int) {
+					nv := float64(nKV[g][v]) + cfg.Beta
+					for q := 0; q < count; q++ {
+						lw += math.Log(nv + float64(q))
+					}
+				})
+				for q := 0; q < nTokens; q++ {
+					lw -= math.Log(base + float64(q))
+				}
+				weights[g] = lw
+				if lw > maxLog {
+					maxLog = lw
+				}
+			}
+			for g := 0; g < K; g++ {
+				weights[g] = math.Exp(weights[g] - maxLog)
+			}
+			k = r.Categorical(weights)
+			z[si] = k
+			nK[k]++
+			post.Words.Each(func(v, count int) {
+				nKV[k][v] += count
+				nKSum[k] += count
+			})
+		}
+		refitBeta()
+		if it >= cfg.BurnIn {
+			den := 0.0
+			for k := 0; k < K; k++ {
+				den += float64(nK[k]) + cfg.Alpha
+			}
+			for k := 0; k < K; k++ {
+				mixSum[k] += (float64(nK[k]) + cfg.Alpha) / den
+				d := float64(nKSum[k]) + vBeta
+				for v := 0; v < V; v++ {
+					phiSum[k][v] += (float64(nKV[k][v]) + cfg.Beta) / d
+				}
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	inv := 1 / float64(samples)
+	m := &Model{Cfg: cfg, T: data.T, V: V, Mix: mixSum, Phi: phiSum,
+		BetaA: betaA, BetaB: betaB}
+	for k := 0; k < K; k++ {
+		m.Mix[k] *= inv
+		for v := 0; v < V; v++ {
+			m.Phi[k][v] *= inv
+		}
+	}
+	return m, time.Since(start), nil
+}
+
+// TopicPosterior returns p(k | words) under the corpus mixture.
+func (m *Model) TopicPosterior(words text.BagOfWords) []float64 {
+	K := m.Cfg.K
+	lw := make([]float64, K)
+	for k := 0; k < K; k++ {
+		acc := math.Log(m.Mix[k])
+		words.Each(func(v, count int) {
+			p := m.Phi[k][v]
+			if p <= 0 {
+				p = 1e-300
+			}
+			acc += float64(count) * math.Log(p)
+		})
+		lw[k] = acc
+	}
+	maxLw, _ := stats.Max(lw)
+	post := make([]float64, K)
+	for k := 0; k < K; k++ {
+		post[k] = math.Exp(lw[k] - maxLw)
+	}
+	stats.Normalize(post)
+	return post
+}
+
+// TimeScore returns the unnormalised plausibility of slice t for the
+// given topic posterior: Σ_k p(k|w) Beta_k(t).
+func (m *Model) TimeScore(topicPost []float64, t int) float64 {
+	x := normTime(t, m.T)
+	s := 0.0
+	for k, pk := range topicPost {
+		if pk == 0 {
+			continue
+		}
+		s += pk * math.Exp(betaLogPDF(x, m.BetaA[k], m.BetaB[k]))
+	}
+	return s
+}
+
+// PredictTimestamp returns the slice maximising the TOT likelihood of the
+// post's words.
+func (m *Model) PredictTimestamp(words text.BagOfWords) int {
+	post := m.TopicPosterior(words)
+	best, bestScore := 0, math.Inf(-1)
+	for t := 0; t < m.T; t++ {
+		if s := m.TimeScore(post, t); s > bestScore {
+			best, bestScore = t, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,135 @@
+package tot
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestBetaLogPDF(t *testing.T) {
+	// Beta(1,1) is uniform: log pdf = 0 everywhere.
+	if got := betaLogPDF(0.3, 1, 1); math.Abs(got) > 1e-12 {
+		t.Fatalf("uniform Beta log pdf %v", got)
+	}
+	// Beta(2,2) peaks at 0.5.
+	mid := betaLogPDF(0.5, 2, 2)
+	edge := betaLogPDF(0.1, 2, 2)
+	if mid <= edge {
+		t.Fatal("Beta(2,2) not peaked at centre")
+	}
+}
+
+func TestNormTimeInUnitInterval(t *testing.T) {
+	for _, tc := range []struct{ t, T int }{{0, 10}, {9, 10}, {0, 1}} {
+		x := normTime(tc.t, tc.T)
+		if x <= 0 || x >= 1 {
+			t.Fatalf("normTime(%d,%d) = %v", tc.t, tc.T, x)
+		}
+	}
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 60, C: 4, K: 4, T: 16, V: 120,
+		PostsPerUser: 10, WordsPerPost: 7, LinksPerUser: 4, Seed: 3,
+		BimodalTopicFraction: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 30, 15, 3
+	m, _, err := Train(data, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Phi {
+		if !stats.IsSimplex(m.Phi[k], 1e-9) {
+			t.Fatalf("Phi[%d] not a simplex", k)
+		}
+		if m.BetaA[k] <= 0 || m.BetaB[k] <= 0 {
+			t.Fatalf("Beta params not positive: %v %v", m.BetaA[k], m.BetaB[k])
+		}
+	}
+	if !stats.IsSimplex(m.Mix, 1e-9) {
+		t.Fatal("Mix not a simplex")
+	}
+
+	// On unimodal planted bursts TOT timestamp prediction must beat
+	// chance.
+	pred := make([]int, 0, 200)
+	actual := make([]int, 0, 200)
+	for i, p := range data.Posts {
+		if i >= 200 {
+			break
+		}
+		pred = append(pred, m.PredictTimestamp(p.Words))
+		actual = append(actual, p.Time)
+	}
+	tol := 2
+	acc := stats.AccuracyWithinTolerance(pred, actual, tol)
+	chance := float64(2*tol+1) / 16
+	if acc < chance {
+		t.Fatalf("TOT accuracy %.3f below chance %.3f", acc, chance)
+	}
+}
+
+func TestTrainSubset(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 8, V: 60,
+		PostsPerUser: 6, WordsPerPost: 5, LinksPerUser: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	cfg := DefaultConfig(2)
+	cfg.Iterations, cfg.BurnIn = 10, 5
+	m, _, err := Train(data, subset, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+	if _, _, err := Train(data, []int{}, cfg); err == nil {
+		t.Fatal("empty subset accepted")
+	}
+}
+
+func TestTopicPosteriorIsDistribution(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 8, V: 60,
+		PostsPerUser: 6, WordsPerPost: 5, LinksPerUser: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3)
+	cfg.Iterations, cfg.BurnIn = 10, 5
+	m, _, err := Train(data, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := m.TopicPosterior(text.NewBagOfWords([]int{1, 2, 3}))
+	if !stats.IsSimplex(post, 1e-9) {
+		t.Fatal("posterior not a distribution")
+	}
+}
+
+// TestUnimodalLimitation documents the §3.3 claim COLD improves on: a
+// Beta distribution cannot represent a two-burst temporal profile — its
+// single mode lands between or on one of the bursts, never on both.
+func TestUnimodalLimitation(t *testing.T) {
+	// Fit a moment-matched Beta to a perfect two-burst sample set.
+	xs := []float64{0.2, 0.2, 0.2, 0.8, 0.8, 0.8}
+	mean := stats.Mean(xs)
+	variance := stats.Variance(xs)
+	common := mean*(1-mean)/variance - 1
+	a, b := mean*common, (1-mean)*common
+	// Density at the valley (0.5) must not be below both bursts for a
+	// unimodal fit with these symmetric moments — i.e. the Beta cannot
+	// carve out the valley.
+	valley := betaLogPDF(0.5, a, b)
+	burst := betaLogPDF(0.2, a, b)
+	if valley < burst-math.Log(2) {
+		t.Fatalf("expected flattened fit, got valley %v vs burst %v", valley, burst)
+	}
+}

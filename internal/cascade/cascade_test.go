@@ -1,0 +1,136 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+func lineGraph(p float64) *WeightedGraph {
+	// 0 → 1 → 2 → 3 with probability p each.
+	w := [][]float64{
+		{0, p, 0, 0},
+		{0, 0, p, 0},
+		{0, 0, 0, p},
+		{0, 0, 0, 0},
+	}
+	g, err := NewWeightedGraph(w)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewWeightedGraphValidation(t *testing.T) {
+	if _, err := NewWeightedGraph([][]float64{{0, 1.5}, {0, 0}}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := NewWeightedGraph([][]float64{{0}, {0, 0}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := NewWeightedGraph([][]float64{{0, -0.1}, {0, 0}}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestSimulateDeterministicEdges(t *testing.T) {
+	g := lineGraph(1)
+	active := g.Simulate([]int{0}, rng.New(1))
+	for v, a := range active {
+		if !a {
+			t.Fatalf("node %d not activated on p=1 line", v)
+		}
+	}
+	g0 := lineGraph(0)
+	active = g0.Simulate([]int{0}, rng.New(1))
+	if !active[0] || active[1] || active[2] || active[3] {
+		t.Fatalf("p=0 line activated extra nodes: %v", active)
+	}
+}
+
+func TestSpreadMatchesClosedForm(t *testing.T) {
+	// Line with p = 0.5: E[spread from 0] = 1 + 1/2 + 1/4 + 1/8 = 1.875.
+	g := lineGraph(0.5)
+	spread := g.Spread([]int{0}, 40000, rng.New(7))
+	if math.Abs(spread-1.875) > 0.05 {
+		t.Fatalf("spread %v, want ~1.875", spread)
+	}
+}
+
+func TestInfluenceDegreeOrdering(t *testing.T) {
+	g := lineGraph(0.9)
+	deg := g.InfluenceDegree(2000, rng.New(3))
+	// Earlier nodes on the line reach more.
+	for v := 1; v < len(deg); v++ {
+		if deg[v] > deg[v-1] {
+			t.Fatalf("influence not decreasing along line: %v", deg)
+		}
+	}
+	ranked := g.RankInfluence(2000, rng.New(3))
+	if ranked[0].Node != 0 {
+		t.Fatalf("most influential node %d, want 0", ranked[0].Node)
+	}
+}
+
+func TestGreedySeedsCoverComponents(t *testing.T) {
+	// Two disconnected p=1 pairs: 0→1, 2→3. Greedy k=2 must take one
+	// node from each pair (the sources maximise marginal gain).
+	w := [][]float64{
+		{0, 1, 0, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 0, 0},
+	}
+	g, err := NewWeightedGraph(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := g.GreedySeeds(2, 200, rng.New(5))
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	hasSrc := map[int]bool{}
+	for _, s := range seeds {
+		hasSrc[s] = true
+	}
+	if !hasSrc[0] || !hasSrc[2] {
+		t.Fatalf("greedy picked %v, want {0,2}", seeds)
+	}
+}
+
+func TestSimulateSeedsAlwaysActive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		w := make([][]float64, n)
+		for a := range w {
+			w[a] = make([]float64, n)
+			for b := range w[a] {
+				if a != b {
+					w[a][b] = r.Float64() * 0.5
+				}
+			}
+		}
+		g, err := NewWeightedGraph(w)
+		if err != nil {
+			return false
+		}
+		seeds := []int{r.Intn(n)}
+		active := g.Simulate(seeds, r)
+		// Seed is active and the count is at least 1.
+		return active[seeds[0]]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedySeedsClampK(t *testing.T) {
+	g := lineGraph(0.5)
+	seeds := g.GreedySeeds(10, 50, rng.New(1))
+	if len(seeds) != 4 {
+		t.Fatalf("clamped seeds %d, want 4", len(seeds))
+	}
+}

@@ -1,0 +1,167 @@
+package cascade
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// SparseGraph is an adjacency-list influence graph for user-level
+// cascades, where the dense C×C representation would waste memory:
+// only observed links carry activation probabilities.
+type SparseGraph struct {
+	n   int
+	adj [][]sparseEdge
+}
+
+type sparseEdge struct {
+	to int32
+	p  float64
+}
+
+// NewSparseGraph returns an empty sparse influence graph over n nodes.
+func NewSparseGraph(n int) *SparseGraph {
+	return &SparseGraph{n: n, adj: make([][]sparseEdge, n)}
+}
+
+// N returns the node count.
+func (g *SparseGraph) N() int { return g.n }
+
+// M returns the edge count.
+func (g *SparseGraph) M() int {
+	m := 0
+	for _, es := range g.adj {
+		m += len(es)
+	}
+	return m
+}
+
+// AddEdge inserts a directed activation edge with probability p.
+func (g *SparseGraph) AddEdge(from, to int, p float64) error {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return fmt.Errorf("cascade: edge (%d,%d) out of range", from, to)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("cascade: probability %v outside [0,1]", p)
+	}
+	g.adj[from] = append(g.adj[from], sparseEdge{to: int32(to), p: p})
+	return nil
+}
+
+// Simulate runs one Independent Cascade from the seeds.
+func (g *SparseGraph) Simulate(seeds []int, r *rng.RNG) []bool {
+	active := make([]bool, g.n)
+	frontier := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= g.n {
+			panic(fmt.Sprintf("cascade: seed %d out of range", s))
+		}
+		if !active[s] {
+			active[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	next := make([]int, 0)
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, a := range frontier {
+			for _, e := range g.adj[a] {
+				if active[e.to] || e.p == 0 {
+					continue
+				}
+				if r.Float64() < e.p {
+					active[e.to] = true
+					next = append(next, int(e.to))
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return active
+}
+
+// Spread estimates the expected activated count over rounds simulations.
+func (g *SparseGraph) Spread(seeds []int, rounds int, r *rng.RNG) float64 {
+	if rounds <= 0 {
+		rounds = 100
+	}
+	total := 0
+	for i := 0; i < rounds; i++ {
+		for _, a := range g.Simulate(seeds, r) {
+			if a {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(rounds)
+}
+
+// InfluenceDegree returns each node's singleton-seed expected spread.
+// For large graphs consider RankTop with a candidate subset instead.
+func (g *SparseGraph) InfluenceDegree(rounds int, r *rng.RNG) []float64 {
+	out := make([]float64, g.n)
+	for v := range out {
+		out[v] = g.Spread([]int{v}, rounds, r)
+	}
+	return out
+}
+
+// RankTop returns the top-k nodes among candidates (nil = all nodes) by
+// singleton influence degree.
+func (g *SparseGraph) RankTop(candidates []int, k, rounds int, r *rng.RNG) []Ranked {
+	if candidates == nil {
+		candidates = make([]int, g.n)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	out := make([]Ranked, 0, len(candidates))
+	for _, v := range candidates {
+		out = append(out, Ranked{Node: v, Spread: g.Spread([]int{v}, rounds, r)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Spread != out[j].Spread {
+			return out[i].Spread > out[j].Spread
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// GreedySeeds selects k seeds by greedy marginal gain over candidates
+// (nil = all nodes).
+func (g *SparseGraph) GreedySeeds(candidates []int, k, rounds int, r *rng.RNG) []int {
+	if candidates == nil {
+		candidates = make([]int, g.n)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	seeds := make([]int, 0, k)
+	chosen := make(map[int]bool, k)
+	for len(seeds) < k {
+		bestNode, bestSpread := -1, -1.0
+		for _, v := range candidates {
+			if chosen[v] {
+				continue
+			}
+			s := g.Spread(append(seeds, v), rounds, r)
+			if s > bestSpread {
+				bestNode, bestSpread = v, s
+			}
+		}
+		if bestNode < 0 {
+			break
+		}
+		chosen[bestNode] = true
+		seeds = append(seeds, bestNode)
+	}
+	return seeds
+}

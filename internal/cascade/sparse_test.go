@@ -1,0 +1,89 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+func sparseLine(p float64) *SparseGraph {
+	g := NewSparseGraph(4)
+	g.AddEdge(0, 1, p)
+	g.AddEdge(1, 2, p)
+	g.AddEdge(2, 3, p)
+	return g
+}
+
+func TestSparseAddEdgeValidation(t *testing.T) {
+	g := NewSparseGraph(2)
+	if err := g.AddEdge(0, 5, 0.5); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(0, 1, 1.5); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if err := g.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.N() != 2 {
+		t.Fatalf("M=%d N=%d", g.M(), g.N())
+	}
+}
+
+func TestSparseMatchesDenseSpread(t *testing.T) {
+	// Same line graph, dense vs sparse: expected spreads agree.
+	dense := lineGraph(0.5)
+	sparse := sparseLine(0.5)
+	dSpread := dense.Spread([]int{0}, 20000, rng.New(3))
+	sSpread := sparse.Spread([]int{0}, 20000, rng.New(3))
+	if math.Abs(dSpread-sSpread) > 0.06 {
+		t.Fatalf("dense %v vs sparse %v", dSpread, sSpread)
+	}
+}
+
+func TestSparseRankTop(t *testing.T) {
+	g := sparseLine(0.9)
+	ranked := g.RankTop(nil, 2, 2000, rng.New(5))
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d", len(ranked))
+	}
+	if ranked[0].Node != 0 {
+		t.Fatalf("top node %d, want 0", ranked[0].Node)
+	}
+	// Candidate restriction is honoured.
+	only := g.RankTop([]int{2, 3}, 5, 500, rng.New(5))
+	if len(only) != 2 || (only[0].Node != 2 && only[0].Node != 3) {
+		t.Fatalf("candidates ignored: %v", only)
+	}
+}
+
+func TestSparseGreedySeeds(t *testing.T) {
+	// Two disconnected deterministic pairs; greedy k=2 takes a source
+	// from each.
+	g := NewSparseGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	seeds := g.GreedySeeds(nil, 2, 200, rng.New(7))
+	got := map[int]bool{}
+	for _, s := range seeds {
+		got[s] = true
+	}
+	if !got[0] || !got[2] {
+		t.Fatalf("greedy picked %v", seeds)
+	}
+	// k clamp.
+	if n := len(g.GreedySeeds([]int{1}, 5, 50, rng.New(7))); n != 1 {
+		t.Fatalf("clamped seeds %d", n)
+	}
+}
+
+func TestSparseInfluenceDegreeMonotoneOnLine(t *testing.T) {
+	g := sparseLine(0.8)
+	deg := g.InfluenceDegree(2000, rng.New(9))
+	for v := 1; v < len(deg); v++ {
+		if deg[v] > deg[v-1] {
+			t.Fatalf("influence not decreasing along line: %v", deg)
+		}
+	}
+}

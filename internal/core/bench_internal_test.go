@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Micro-benchmarks for the sampler's hot paths, complementing the
+// figure-level benchmarks at the repository root.
+
+func benchData(b *testing.B) (*state, *rng.RNG) {
+	b.Helper()
+	data, _, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8).withDefaults()
+	r := rng.New(1)
+	return newState(data, cfg, r), r
+}
+
+// BenchmarkSweep measures one full serial Gibbs sweep (posts + links)
+// over the small preset (~4.9K posts, ~2.2K links).
+func BenchmarkSweep(b *testing.B) {
+	st, r := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.sweep(r)
+	}
+	b.ReportMetric(float64(len(st.data.Posts)), "posts")
+}
+
+// BenchmarkLogLikelihood measures the convergence monitor.
+func BenchmarkLogLikelihood(b *testing.B) {
+	st, r := benchData(b)
+	st.sweep(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.logLikelihood()
+	}
+}
+
+// BenchmarkEstimate measures one full parameter-estimate materialisation.
+func BenchmarkEstimate(b *testing.B) {
+	st, r := benchData(b)
+	st.sweep(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.estimate()
+	}
+}
+
+// BenchmarkKernelMixing compares the blocked (c,z) kernel against the
+// paper's alternating Eq. (1)/Eq. (3) schedule: community-recovery NMI
+// after an equal number of sweeps (the DESIGN.md rationale for the
+// blocked default).
+func BenchmarkKernelMixing(b *testing.B) {
+	data, gt, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8).withDefaults()
+	nmiAfter := func(kernel func(st *state, r *rng.RNG)) float64 {
+		r := rng.New(7)
+		st := newState(data, cfg, r)
+		for i := 0; i < 15; i++ {
+			kernel(st, r)
+		}
+		m := st.estimate()
+		pred := make([]int, data.U)
+		for i := range pred {
+			best, arg := m.Pi[i][0], 0
+			for c, v := range m.Pi[i] {
+				if v > best {
+					best, arg = v, c
+				}
+			}
+			pred[i] = arg
+		}
+		return statsNMI(pred, gt.Primary)
+	}
+	var blocked, alternating float64
+	for i := 0; i < b.N; i++ {
+		blocked = nmiAfter(func(st *state, r *rng.RNG) { st.sweep(r) })
+		alternating = nmiAfter(func(st *state, r *rng.RNG) { st.sweepAlternating(r) })
+	}
+	b.ReportMetric(blocked, "blocked-NMI@15")
+	b.ReportMetric(alternating, "alternating-NMI@15")
+}
+
+// BenchmarkPredictorScore measures the O(K·|w|) online diffusion score
+// (the Fig 15 claim at micro scale).
+func BenchmarkPredictorScore(b *testing.B) {
+	data, _, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8)
+	cfg.Iterations, cfg.BurnIn = 15, 8
+	m, err := Train(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPredictor(m, 5)
+	words := data.Posts[0].Words
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Score(0, 1, words)
+	}
+}
+
+// BenchmarkLinkScore measures the C² link probability evaluation.
+func BenchmarkLinkScore(b *testing.B) {
+	data, _, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8)
+	cfg.Iterations, cfg.BurnIn = 15, 8
+	m, err := Train(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.LinkScore(0, 1)
+	}
+}
+
+// BenchmarkPredictTimestamp measures the slice argmax evaluation.
+func BenchmarkPredictTimestamp(b *testing.B) {
+	data, _, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8)
+	cfg.Iterations, cfg.BurnIn = 15, 8
+	m, err := Train(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := text.NewBagOfWords([]int{1, 2, 3, 4, 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PredictTimestamp(0, words)
+	}
+}
+
+// statsNMI avoids an import cycle concern in benchmarks by delegating to
+// the stats package.
+func statsNMI(a, b []int) float64 { return stats.NMI(a, b) }

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func tinyData() *corpus.Dataset {
+	return &corpus.Dataset{
+		U: 4, T: 3, V: 6,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0, 1, 0})},
+			{User: 0, Time: 1, Words: text.NewBagOfWords([]int{1, 2})},
+			{User: 1, Time: 0, Words: text.NewBagOfWords([]int{0, 1})},
+			{User: 2, Time: 2, Words: text.NewBagOfWords([]int{3, 4, 5})},
+			{User: 3, Time: 2, Words: text.NewBagOfWords([]int{4, 5})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}, {From: 1, To: 0}},
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{C: 10, K: 25}.withDefaults()
+	// 50/C and 50/K are capped at 1 at small dimensions (see DESIGN.md).
+	if cfg.Rho != 1 || cfg.Alpha != 1 {
+		t.Fatalf("capped defaults wrong: rho=%v alpha=%v", cfg.Rho, cfg.Alpha)
+	}
+	big := Config{C: 100, K: 200}.withDefaults()
+	if math.Abs(big.Rho-0.5) > 1e-12 || math.Abs(big.Alpha-0.25) > 1e-12 {
+		t.Fatalf("paper heuristic wrong at large dims: rho=%v alpha=%v", big.Rho, big.Alpha)
+	}
+	if cfg.Beta != 0.01 || cfg.Epsilon != 0.01 || cfg.Lambda1 != 0.1 {
+		t.Fatalf("hyper defaults wrong: %+v", cfg)
+	}
+	if cfg.Workers != 1 {
+		t.Fatalf("workers default %d", cfg.Workers)
+	}
+}
+
+func TestLambda0(t *testing.T) {
+	cfg := Config{C: 10, K: 10, Kappa: 1}
+	// n_neg = 1000*999 - 5000; λ0 = ln(n_neg/100) ≈ ln(9940) ≈ 9.2
+	l0 := cfg.lambda0(1000, 5000)
+	want := math.Log((1000*999.0 - 5000) / 100)
+	if math.Abs(l0-want) > 1e-9 {
+		t.Fatalf("lambda0 %v, want %v", l0, want)
+	}
+	// Tiny graphs floor at 0.1 instead of going negative.
+	if l0 := cfg.lambda0(3, 6); l0 != 0.1 {
+		t.Fatalf("floored lambda0 %v", l0)
+	}
+}
+
+func TestStateInitializationConsistent(t *testing.T) {
+	data := tinyData()
+	cfg := DefaultConfig(3, 4).withDefaults()
+	st := newState(data, cfg, rng.New(1))
+	if err := st.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Total community assignments = posts + 2·links.
+	total := 0
+	for _, s := range st.nICSum {
+		total += s
+	}
+	if want := len(data.Posts) + 2*len(data.Links); total != want {
+		t.Fatalf("nICSum total %d, want %d", total, want)
+	}
+	// Word totals.
+	words := 0
+	for _, s := range st.nKVSum {
+		words += s
+	}
+	if want := data.WordCount(); words != want {
+		t.Fatalf("nKVSum total %d, want %d", words, want)
+	}
+}
+
+func TestSweepPreservesInvariants(t *testing.T) {
+	data := tinyData()
+	cfg := DefaultConfig(3, 4).withDefaults()
+	r := rng.New(2)
+	st := newState(data, cfg, r)
+	for i := 0; i < 10; i++ {
+		st.sweep(r)
+		if err := st.checkInvariants(); err != nil {
+			t.Fatalf("after sweep %d: %v", i, err)
+		}
+	}
+}
+
+func TestSweepInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		data := tinyData()
+		cfg := DefaultConfig(1+r.Intn(4), 1+r.Intn(5)).withDefaults()
+		cfg.UseLinks = seed%2 == 0
+		st := newState(data, cfg, r)
+		for i := 0; i < 3; i++ {
+			st.sweep(r)
+		}
+		return st.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatesAreDistributions(t *testing.T) {
+	data := tinyData()
+	cfg := DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn = 10, 5
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range m.Pi {
+		if !stats.IsSimplex(pi, 1e-9) {
+			t.Fatalf("Pi[%d] not simplex: %v", i, pi)
+		}
+	}
+	for c, th := range m.Theta {
+		if !stats.IsSimplex(th, 1e-9) {
+			t.Fatalf("Theta[%d] not simplex", c)
+		}
+	}
+	for k, ph := range m.Phi {
+		if !stats.IsSimplex(ph, 1e-9) {
+			t.Fatalf("Phi[%d] not simplex", k)
+		}
+	}
+	for k := range m.Psi {
+		for c := range m.Psi[k] {
+			if !stats.IsSimplex(m.Psi[k][c], 1e-9) {
+				t.Fatalf("Psi[%d][%d] not simplex", k, c)
+			}
+		}
+	}
+	for a := range m.Eta {
+		for b := range m.Eta[a] {
+			if m.Eta[a][b] <= 0 || m.Eta[a][b] >= 1 {
+				t.Fatalf("Eta[%d][%d] = %v", a, b, m.Eta[a][b])
+			}
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	data1, _, _ := synth.Generate(synth.Config{U: 30, C: 3, K: 4, T: 8, V: 60,
+		PostsPerUser: 5, WordsPerPost: 6, LinksPerUser: 4, Seed: 3})
+	data2, _, _ := synth.Generate(synth.Config{U: 30, C: 3, K: 4, T: 8, V: 60,
+		PostsPerUser: 5, WordsPerPost: 6, LinksPerUser: 4, Seed: 3})
+	cfg := DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 8, 4, 9
+	m1, err := Train(data1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(data2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range m1.Theta {
+		for k := range m1.Theta[c] {
+			if m1.Theta[c][k] != m2.Theta[c][k] {
+				t.Fatal("identical seeds diverged")
+			}
+		}
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	data := tinyData()
+	if _, err := Train(data, Config{C: 0, K: 4, Iterations: 5}); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+	empty := &corpus.Dataset{U: 2, T: 2, V: 2}
+	if _, err := Train(empty, DefaultConfig(2, 2)); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	invalid := tinyData()
+	invalid.Posts[0].User = 99
+	if _, err := Train(invalid, DefaultConfig(2, 2)); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestLikelihoodImproves(t *testing.T) {
+	data, _, err := synth.Generate(synth.Small(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 20, 10, 5
+	_, st, err := TrainWithStats(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Likelihood) != 20 {
+		t.Fatalf("likelihood trace length %d", len(st.Likelihood))
+	}
+	early := stats.Mean(st.Likelihood[:3])
+	late := stats.Mean(st.Likelihood[len(st.Likelihood)-3:])
+	if late <= early {
+		t.Fatalf("likelihood did not improve: early %v late %v", early, late)
+	}
+	if st.Samples == 0 {
+		t.Fatal("no samples averaged")
+	}
+}
+
+// TestRecovery is the end-to-end integration test: train COLD on planted
+// data and require recovery of communities (NMI vs planted primaries),
+// topics (top-word overlap) and a held-out quality beating chance.
+func TestRecovery(t *testing.T) {
+	cfg := synth.Small(23)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.SampleLag, mcfg.Seed = 40, 25, 5, 7
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Community recovery: hard-assign users by π and compare to planted
+	// primary communities.
+	pred := make([]int, data.U)
+	for i := range pred {
+		_, pred[i] = stats.Max(m.Pi[i])
+	}
+	nmi := stats.NMI(pred, gt.Primary)
+	if nmi < 0.5 {
+		t.Fatalf("community NMI %.3f < 0.5", nmi)
+	}
+
+	// Topic recovery: each planted topic should have some learned topic
+	// with high top-word overlap.
+	matched := 0
+	for kTrue := range gt.Phi {
+		best := 0.0
+		for kHat := range m.Phi {
+			if o := stats.TopKOverlap(gt.Phi[kTrue], m.Phi[kHat], 10); o > best {
+				best = o
+			}
+		}
+		if best >= 0.5 {
+			matched++
+		}
+	}
+	if matched < len(gt.Phi)*2/3 {
+		t.Fatalf("only %d of %d planted topics recovered", matched, len(gt.Phi))
+	}
+}
+
+func TestDegenerateDimensions(t *testing.T) {
+	data := tinyData()
+	// C=1, K=1 must train without panicking and produce valid estimates.
+	cfg := DefaultConfig(1, 1)
+	cfg.Iterations, cfg.BurnIn = 4, 2
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Theta) != 1 || len(m.Theta[0]) != 1 {
+		t.Fatal("degenerate dims wrong")
+	}
+	if math.Abs(m.Theta[0][0]-1) > 1e-9 {
+		t.Fatalf("Theta[0][0] = %v, want 1", m.Theta[0][0])
+	}
+}
+
+func TestNoLinkVariant(t *testing.T) {
+	data := tinyData()
+	cfg := DefaultConfig(3, 4)
+	cfg.UseLinks = false
+	cfg.Iterations, cfg.BurnIn = 6, 3
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without link evidence, η stays at its prior mean everywhere.
+	for a := range m.Eta {
+		for b := range m.Eta[a] {
+			if m.Eta[a][b] != m.Eta[0][0] {
+				t.Fatal("NoLink variant learned from links")
+			}
+		}
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	data := tinyData()
+	cfg := DefaultConfig(2, 3)
+	cfg.Iterations, cfg.BurnIn = 4, 2
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.json"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.U != m.U || got.V != m.V || got.T != m.T {
+		t.Fatal("dims lost in round trip")
+	}
+	if got.Theta[1][2] != m.Theta[1][2] {
+		t.Fatal("values lost in round trip")
+	}
+}

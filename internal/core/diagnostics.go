@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Convergence diagnostics on the likelihood trace the sampler monitors
+// (§4.3 "we monitor the convergence of the algorithm by periodically
+// computing the likelihood of training data").
+
+// Diagnostics summarises a training run's likelihood trace.
+type Diagnostics struct {
+	// ConvergedAt is the first sweep after which the likelihood stays
+	// within Tolerance·|range| of its final level, or -1 if it never
+	// settles.
+	ConvergedAt int
+	// Tolerance used for ConvergedAt (fraction of the trace's range).
+	Tolerance float64
+	// GewekeZ compares the mean of the first 10% of post-burn-in sweeps
+	// against the last 50% in standard-error units; |z| ≲ 2 indicates
+	// the chain reached its stationary regime.
+	GewekeZ float64
+	// Improvement is final minus initial log-likelihood.
+	Improvement float64
+}
+
+// Diagnose analyses a likelihood trace (as recorded in TrainStats).
+func Diagnose(likelihood []float64) Diagnostics {
+	d := Diagnostics{ConvergedAt: -1, Tolerance: 0.02}
+	if len(likelihood) < 4 {
+		return d
+	}
+	first, last := likelihood[0], likelihood[len(likelihood)-1]
+	d.Improvement = last - first
+
+	lo, hi := first, first
+	for _, v := range likelihood {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		d.ConvergedAt = 0
+	} else {
+		band := d.Tolerance * span
+		for i := range likelihood {
+			settled := true
+			for _, v := range likelihood[i:] {
+				if math.Abs(v-last) > band {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				d.ConvergedAt = i
+				break
+			}
+		}
+	}
+
+	// Geweke-style z-score over the second half of the trace.
+	half := likelihood[len(likelihood)/2:]
+	if n := len(half); n >= 10 {
+		aN := n / 5
+		if aN < 2 {
+			aN = 2
+		}
+		a := half[:aN]
+		bStart := n / 2
+		bSeg := half[bStart:]
+		meanA, meanB := stats.Mean(a), stats.Mean(bSeg)
+		varA, varB := stats.Variance(a), stats.Variance(bSeg)
+		se := math.Sqrt(varA/float64(len(a)) + varB/float64(len(bSeg)))
+		if se > 0 {
+			d.GewekeZ = (meanA - meanB) / se
+		}
+	}
+	return d
+}
+
+// TopicCoherence computes the UMass coherence of topic k's top-n words
+// over the given documents: Σ_{i<j} log (D(w_i, w_j) + 1) / D(w_j),
+// where D counts document (co-)occurrences. Higher (less negative) is
+// more coherent. docFreq and coDocFreq are supplied by CoherenceCounts.
+func TopicCoherence(topWords []int, docFreq map[int]int, coDocFreq map[[2]int]int) float64 {
+	score := 0.0
+	pairs := 0
+	for i := 1; i < len(topWords); i++ {
+		for j := 0; j < i; j++ {
+			wi, wj := topWords[i], topWords[j]
+			dj := docFreq[wj]
+			if dj == 0 {
+				continue
+			}
+			key := [2]int{minInt(wi, wj), maxInt(wi, wj)}
+			score += math.Log(float64(coDocFreq[key]+1) / float64(dj))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return score / float64(pairs)
+}
+
+// CoherenceCounts builds the document-frequency tables TopicCoherence
+// needs, restricted to the words of interest.
+func CoherenceCounts(docs []map[int]bool, words map[int]bool) (docFreq map[int]int, coDocFreq map[[2]int]int) {
+	docFreq = make(map[int]int)
+	coDocFreq = make(map[[2]int]int)
+	for _, doc := range docs {
+		var present []int
+		for w := range doc {
+			if words[w] {
+				present = append(present, w)
+			}
+		}
+		for _, w := range present {
+			docFreq[w]++
+		}
+		for i := 1; i < len(present); i++ {
+			for j := 0; j < i; j++ {
+				a, b := present[i], present[j]
+				key := [2]int{minInt(a, b), maxInt(a, b)}
+				coDocFreq[key]++
+			}
+		}
+	}
+	return docFreq, coDocFreq
+}
+
+// ModelCoherence averages the UMass coherence of every topic's top-n
+// words over the given post bags.
+func (m *Model) ModelCoherence(posts []text.BagOfWords, topN int) float64 {
+	if topN <= 0 {
+		topN = 10
+	}
+	words := make(map[int]bool)
+	tops := make([][]int, m.Cfg.K)
+	for k := 0; k < m.Cfg.K; k++ {
+		tops[k] = m.TopWords(k, topN)
+		for _, w := range tops[k] {
+			words[w] = true
+		}
+	}
+	docs := make([]map[int]bool, len(posts))
+	for i, p := range posts {
+		doc := make(map[int]bool)
+		p.Each(func(v, count int) {
+			if words[v] {
+				doc[v] = true
+			}
+		})
+		docs[i] = doc
+	}
+	docFreq, coDocFreq := CoherenceCounts(docs, words)
+	total := 0.0
+	for k := 0; k < m.Cfg.K; k++ {
+		total += TopicCoherence(tops[k], docFreq, coDocFreq)
+	}
+	return total / float64(m.Cfg.K)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

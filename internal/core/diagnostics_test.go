@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestDiagnoseConvergedTrace(t *testing.T) {
+	// Rises then flat: converges where it flattens.
+	trace := []float64{-100, -50, -20, -10, -10.1, -10, -9.9, -10, -10, -10}
+	d := Diagnose(trace)
+	if d.ConvergedAt < 2 || d.ConvergedAt > 4 {
+		t.Fatalf("ConvergedAt %d", d.ConvergedAt)
+	}
+	if d.Improvement != 90 {
+		t.Fatalf("Improvement %v", d.Improvement)
+	}
+}
+
+func TestDiagnoseNeverSettles(t *testing.T) {
+	// Strictly rising by a constant step: only the final point is within
+	// any band of the last value, so convergence is at the tail.
+	trace := make([]float64, 20)
+	for i := range trace {
+		trace[i] = float64(i * 10)
+	}
+	d := Diagnose(trace)
+	if d.ConvergedAt < len(trace)-2 {
+		t.Fatalf("monotone trace converged too early: %d", d.ConvergedAt)
+	}
+}
+
+func TestDiagnoseDegenerate(t *testing.T) {
+	d := Diagnose([]float64{1, 2})
+	if d.ConvergedAt != -1 {
+		t.Fatalf("short trace ConvergedAt %d", d.ConvergedAt)
+	}
+	flat := Diagnose([]float64{5, 5, 5, 5, 5})
+	if flat.ConvergedAt != 0 {
+		t.Fatalf("flat trace ConvergedAt %d", flat.ConvergedAt)
+	}
+}
+
+func TestDiagnoseOnRealTraining(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 40, C: 3, K: 4, T: 8, V: 80,
+		PostsPerUser: 6, WordsPerPost: 6, LinksPerUser: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn = 40, 20
+	_, st, err := TrainWithStats(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnose(st.Likelihood)
+	if d.Improvement <= 0 {
+		t.Fatalf("no improvement: %+v", d)
+	}
+	if d.ConvergedAt < 0 {
+		t.Fatalf("training never converged: %+v", d)
+	}
+	if math.Abs(d.GewekeZ) > 10 {
+		t.Fatalf("implausible Geweke z %v", d.GewekeZ)
+	}
+}
+
+func TestTopicCoherence(t *testing.T) {
+	// Words 0 and 1 always co-occur; words 0 and 2 never do.
+	docs := []map[int]bool{
+		{0: true, 1: true},
+		{0: true, 1: true},
+		{2: true},
+	}
+	words := map[int]bool{0: true, 1: true, 2: true}
+	df, codf := CoherenceCounts(docs, words)
+	coherent := TopicCoherence([]int{0, 1}, df, codf)
+	incoherent := TopicCoherence([]int{0, 2}, df, codf)
+	if coherent <= incoherent {
+		t.Fatalf("coherent %v should beat incoherent %v", coherent, incoherent)
+	}
+	if got := TopicCoherence([]int{0}, df, codf); got != 0 {
+		t.Fatalf("single-word coherence %v", got)
+	}
+}
+
+func TestModelCoherenceRecoveredTopicsBeatShuffled(t *testing.T) {
+	cfg := synth.Small(81)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 30, 18, 3
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bags := make([]text.BagOfWords, 0, 1000)
+	for i, p := range data.Posts {
+		if i >= 1000 {
+			break
+		}
+		bags = append(bags, p.Words)
+	}
+	learned := m.ModelCoherence(bags, 8)
+
+	// A "shuffled" model whose topics mix unrelated words must score
+	// worse: rotate each topic's word distribution by half the vocab.
+	shuffled := *m
+	shuffled.Phi = make([][]float64, m.Cfg.K)
+	for k := range shuffled.Phi {
+		row := make([]float64, m.V)
+		for v := 0; v < m.V; v++ {
+			// Interleave two unrelated topics' words.
+			src := m.Phi[k]
+			if v%2 == 0 {
+				src = m.Phi[(k+1)%m.Cfg.K]
+			}
+			row[v] = src[v]
+		}
+		shuffled.Phi[k] = row
+	}
+	mixed := shuffled.ModelCoherence(bags, 8)
+	if learned <= mixed {
+		t.Fatalf("learned coherence %v should beat mixed %v", learned, mixed)
+	}
+}
+
+func TestFoldInRecoversMembership(t *testing.T) {
+	cfg := synth.Small(83)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 30, 18, 3
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold in an existing user's posts as if they were new: the inferred
+	// membership should put most mass where the trained π does.
+	byUser := data.PostsByUser()
+	user := 0
+	var posts []FoldInPost
+	for _, pi := range byUser[user] {
+		posts = append(posts, FoldInPost{Words: data.Posts[pi].Words, Time: data.Posts[pi].Time})
+	}
+	pi := m.FoldIn(posts, 20, 5)
+	if len(pi) != m.Cfg.C {
+		t.Fatalf("pi length %d", len(pi))
+	}
+	sum := 0.0
+	for _, v := range pi {
+		if v < 0 {
+			t.Fatalf("negative membership %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fold-in pi sums to %v", sum)
+	}
+	// Agreement with the trained argmax (both should track the planted
+	// primary).
+	bestFold, bestTrained := argmax(pi), argmax(m.Pi[user])
+	if bestFold != bestTrained {
+		t.Logf("fold-in argmax %d vs trained %d (planted %d) — tolerated if planted matches",
+			bestFold, bestTrained, gt.Primary[user])
+		if bestFold != gt.Primary[user] {
+			t.Fatalf("fold-in argmax %d matches neither trained %d nor planted %d",
+				bestFold, bestTrained, gt.Primary[user])
+		}
+	}
+}
+
+func TestFoldInEdgeCases(t *testing.T) {
+	m, _, _ := trainSmall(t, 85)
+	// No posts → uniform prior.
+	pi := m.FoldIn(nil, 10, 1)
+	for _, v := range pi {
+		if math.Abs(v-1/float64(m.Cfg.C)) > 1e-9 {
+			t.Fatalf("empty fold-in not uniform: %v", pi)
+		}
+	}
+	// Timeless post works.
+	pi = m.FoldIn([]FoldInPost{{Words: text.NewBagOfWords([]int{1, 2}), Time: -1}}, 10, 1)
+	sum := 0.0
+	for _, v := range pi {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("timeless fold-in sums to %v", sum)
+	}
+}
+
+func TestExtendWithUser(t *testing.T) {
+	m, _, data := trainSmall(t, 85)
+	before := m.U
+	id := m.ExtendWithUser([]FoldInPost{{Words: data.Posts[0].Words, Time: data.Posts[0].Time}}, 10, 1)
+	if id != before || m.U != before+1 {
+		t.Fatalf("extend id %d, U %d", id, m.U)
+	}
+	// The extended user works with the Predictor.
+	p := NewPredictor(m, 5)
+	s := p.Score(id, 0, data.Posts[0].Words)
+	if s < 0 || s > 1 {
+		t.Fatalf("extended-user score %v", s)
+	}
+}
+
+func argmax(xs []float64) int {
+	best, arg := xs[0], 0
+	for i, x := range xs {
+		if x > best {
+			best, arg = x, i
+		}
+	}
+	return arg
+}

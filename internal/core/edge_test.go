@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Failure-injection and degenerate-input tests: the sampler must survive
+// pathological but valid datasets without panicking or producing invalid
+// estimates.
+
+func TestSingleTimeSlice(t *testing.T) {
+	data := &corpus.Dataset{
+		U: 3, T: 1, V: 4,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0, 1})},
+			{User: 1, Time: 0, Words: text.NewBagOfWords([]int{2})},
+			{User: 2, Time: 0, Words: text.NewBagOfWords([]int{3})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}},
+	}
+	cfg := DefaultConfig(2, 2)
+	cfg.Iterations, cfg.BurnIn = 5, 2
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Psi {
+		for c := range m.Psi[k] {
+			if len(m.Psi[k][c]) != 1 || m.Psi[k][c][0] != 1 {
+				t.Fatalf("single-slice psi should be the point mass, got %v", m.Psi[k][c])
+			}
+		}
+	}
+}
+
+func TestEmptyPostBody(t *testing.T) {
+	data := &corpus.Dataset{
+		U: 2, T: 2, V: 3,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords(nil)}, // no words
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1, 2})},
+		},
+	}
+	cfg := DefaultConfig(2, 2)
+	cfg.Iterations, cfg.BurnIn = 5, 2
+	cfg.UseLinks = false
+	if _, err := Train(data, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedUsers(t *testing.T) {
+	// Users 2 and 3 never post and never link; their π must fall back to
+	// the symmetric prior.
+	data := &corpus.Dataset{
+		U: 4, T: 2, V: 3,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0})},
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}},
+	}
+	cfg := DefaultConfig(3, 2)
+	cfg.Iterations, cfg.BurnIn = 5, 2
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if m.Pi[2][c] != m.Pi[2][0] {
+			t.Fatalf("isolated user's membership not uniform: %v", m.Pi[2])
+		}
+	}
+}
+
+func TestNoLinksAtAll(t *testing.T) {
+	data := &corpus.Dataset{
+		U: 2, T: 2, V: 3,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0})},
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1})},
+		},
+	}
+	cfg := DefaultConfig(2, 2)
+	cfg.Iterations, cfg.BurnIn = 5, 2
+	// UseLinks stays true: a linkless dataset must still train.
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func TestMoreCommunitiesThanUsers(t *testing.T) {
+	data := &corpus.Dataset{
+		U: 2, T: 2, V: 3,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0})},
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1})},
+		},
+	}
+	cfg := DefaultConfig(10, 10)
+	cfg.Iterations, cfg.BurnIn = 5, 2
+	if _, err := Train(data, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedWordsInPost(t *testing.T) {
+	// The ascending-factorial word term of Eq. (3) handles repeated
+	// words; a post that is one word 30 times must not break anything.
+	tokens := make([]int, 30)
+	data := &corpus.Dataset{
+		U: 1, T: 2, V: 2,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords(tokens)},
+		},
+	}
+	cfg := DefaultConfig(2, 2)
+	cfg.Iterations, cfg.BurnIn = 5, 2
+	cfg.UseLinks = false
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word 0 should dominate some topic.
+	if m.Phi[0][0] < 0.5 && m.Phi[1][0] < 0.5 {
+		t.Fatalf("repeated word not captured: %v", m.Phi)
+	}
+}
+
+func TestPredictionOnDegenerateModel(t *testing.T) {
+	data := &corpus.Dataset{
+		U: 2, T: 2, V: 3,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0})},
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}},
+	}
+	cfg := DefaultConfig(1, 1)
+	cfg.Iterations, cfg.BurnIn = 4, 2
+	m, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m, 5)
+	if s := p.Score(0, 1, text.NewBagOfWords([]int{0, 2})); s < 0 || s > 1 {
+		t.Fatalf("degenerate score %v", s)
+	}
+	if ts := m.PredictTimestamp(0, text.NewBagOfWords([]int{1})); ts < 0 || ts >= 2 {
+		t.Fatalf("degenerate timestamp %d", ts)
+	}
+	if l := m.LinkScore(0, 1); l <= 0 || l >= 1 {
+		t.Fatalf("degenerate link score %v", l)
+	}
+}
+
+func TestParallelDegenerateInputs(t *testing.T) {
+	data := &corpus.Dataset{
+		U: 3, T: 2, V: 3,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0})},
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}},
+	}
+	cfg := DefaultConfig(2, 2)
+	cfg.Iterations, cfg.BurnIn = 4, 2
+	cfg.Workers = 4 // more workers than vertices with work
+	if _, err := Train(data, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Model holds the posterior parameter estimates of a trained COLD model.
+// All distributions are row-normalised: Pi[i] over communities, Theta[c]
+// over topics, Phi[k] over words, Psi[k][c] over time slices, and
+// Eta[c][c'] is the Bernoulli link probability between community pairs.
+type Model struct {
+	Cfg Config `json:"cfg"`
+	U   int    `json:"u"`
+	T   int    `json:"t"`
+	V   int    `json:"v"`
+
+	Pi    [][]float64   `json:"pi"`
+	Theta [][]float64   `json:"theta"`
+	Phi   [][]float64   `json:"phi"`
+	Psi   [][][]float64 `json:"psi"`
+	Eta   [][]float64   `json:"eta"`
+}
+
+// estimate computes the point estimates of Appendix A from the current
+// counts of one Gibbs sample.
+func (st *state) estimate() *Model {
+	cfg := st.cfg
+	C, K, T, V, U := cfg.C, cfg.K, st.data.T, st.data.V, st.data.U
+	m := &Model{Cfg: cfg, U: U, T: T, V: V}
+
+	m.Pi = floatMatrix(U, C)
+	for i := 0; i < U; i++ {
+		den := float64(st.nICSum[i]) + float64(C)*cfg.Rho
+		for c := 0; c < C; c++ {
+			m.Pi[i][c] = (float64(st.nIC[i][c]) + cfg.Rho) / den
+		}
+	}
+
+	m.Theta = floatMatrix(C, K)
+	for c := 0; c < C; c++ {
+		den := float64(st.nCKSum[c]) + float64(K)*cfg.Alpha
+		for k := 0; k < K; k++ {
+			m.Theta[c][k] = (float64(st.nCK[c][k]) + cfg.Alpha) / den
+		}
+	}
+
+	m.Phi = floatMatrix(K, V)
+	for k := 0; k < K; k++ {
+		den := float64(st.nKVSum[k]) + float64(V)*cfg.Beta
+		for v := 0; v < V; v++ {
+			m.Phi[k][v] = (float64(st.nKV[k][v]) + cfg.Beta) / den
+		}
+	}
+
+	m.Psi = make([][][]float64, K)
+	for k := 0; k < K; k++ {
+		m.Psi[k] = floatMatrix(C, T)
+		for c := 0; c < C; c++ {
+			ck := c*K + k
+			den := float64(st.nCKTSum[ck]) + float64(T)*cfg.Epsilon
+			for t := 0; t < T; t++ {
+				m.Psi[k][c][t] = (float64(st.nCKT[ck][t]) + cfg.Epsilon) / den
+			}
+		}
+	}
+
+	m.Eta = floatMatrix(C, C)
+	l1 := cfg.Lambda1
+	for a := 0; a < C; a++ {
+		for b := 0; b < C; b++ {
+			n := float64(st.nCC[a][b])
+			m.Eta[a][b] = (n + l1) / (n + st.negMass(a, b) + l1)
+		}
+	}
+	return m
+}
+
+func floatMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// accumulator averages parameter estimates over thinned post-burn-in
+// samples, implementing the "integrate across samples" step of §4.1.
+type accumulator struct {
+	sum *Model
+	n   int
+}
+
+func (a *accumulator) add(m *Model) {
+	if a.sum == nil {
+		a.sum = m
+		a.n = 1
+		return
+	}
+	addMatrix(a.sum.Pi, m.Pi)
+	addMatrix(a.sum.Theta, m.Theta)
+	addMatrix(a.sum.Phi, m.Phi)
+	addMatrix(a.sum.Eta, m.Eta)
+	for k := range a.sum.Psi {
+		addMatrix(a.sum.Psi[k], m.Psi[k])
+	}
+	a.n++
+}
+
+func (a *accumulator) mean() *Model {
+	if a.sum == nil {
+		return nil
+	}
+	inv := 1 / float64(a.n)
+	scaleMatrix(a.sum.Pi, inv)
+	scaleMatrix(a.sum.Theta, inv)
+	scaleMatrix(a.sum.Phi, inv)
+	scaleMatrix(a.sum.Eta, inv)
+	for k := range a.sum.Psi {
+		scaleMatrix(a.sum.Psi[k], inv)
+	}
+	out := a.sum
+	a.sum, a.n = nil, 0
+	return out
+}
+
+func addMatrix(dst, src [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += src[i][j]
+		}
+	}
+}
+
+func scaleMatrix(m [][]float64, f float64) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] *= f
+		}
+	}
+}
+
+// WriteJSON serialises the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// ReadModelJSON deserialises a model written by WriteJSON.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to path as JSON.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile reads a model from a JSON file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModelJSON(f)
+}

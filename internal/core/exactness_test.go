@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// TestGibbsMatchesEnumeratedPosterior is the gold-standard correctness
+// check for the collapsed sampler: on an instance small enough to
+// enumerate every latent configuration, the chain's long-run visit
+// frequencies must match the exact collapsed posterior
+// P(c, z, s | data) computed from the Dirichlet/Beta-multinomial
+// marginal likelihood (Appendix A, Eq. 8 with Φ integrated out).
+// NegCorrection is off so the network term is exactly the paper's
+// Beta(λ₀, λ₁) form the enumeration uses.
+func TestGibbsMatchesEnumeratedPosterior(t *testing.T) {
+	checkAgainstEnumeration(t, func(st *state, r *rng.RNG) { st.sweep(r) })
+}
+
+// TestAlternatingKernelMatchesEnumeratedPosterior runs the same check
+// against the paper's literal alternating Eq. (1)/Eq. (3) schedule.
+func TestAlternatingKernelMatchesEnumeratedPosterior(t *testing.T) {
+	checkAgainstEnumeration(t, func(st *state, r *rng.RNG) { st.sweepAlternating(r) })
+}
+
+func checkAgainstEnumeration(t *testing.T, kernel func(st *state, r *rng.RNG)) {
+	t.Helper()
+	data := &corpus.Dataset{
+		U: 2, T: 2, V: 2,
+		Posts: []corpus.Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0})},
+			{User: 1, Time: 1, Words: text.NewBagOfWords([]int{1, 1})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}},
+	}
+	cfg := Config{C: 2, K: 2, Rho: 0.7, Alpha: 0.9, Beta: 0.5, Epsilon: 0.8,
+		Lambda1: 0.3, Kappa: 1, Iterations: 1, UseLinks: true}.withDefaults()
+
+	// Exact posterior over (c0, z0, c1, z1, s, s'): 2^6 = 64 states.
+	type config [6]int
+	logPost := make(map[config]float64, 64)
+	var logs []float64
+	var states []config
+	for c0 := 0; c0 < 2; c0++ {
+		for z0 := 0; z0 < 2; z0++ {
+			for c1 := 0; c1 < 2; c1++ {
+				for z1 := 0; z1 < 2; z1++ {
+					for s := 0; s < 2; s++ {
+						for sp := 0; sp < 2; sp++ {
+							st := freshState(data, cfg)
+							st.c[0], st.z[0] = c0, z0
+							st.c[1], st.z[1] = c1, z1
+							st.s[0], st.sp[0] = s, sp
+							st.addPost(0)
+							st.addPost(1)
+							st.addLink(0)
+							lp := collapsedLogJoint(st)
+							key := config{c0, z0, c1, z1, s, sp}
+							logPost[key] = lp
+							logs = append(logs, lp)
+							states = append(states, key)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Normalise.
+	maxLog := math.Inf(-1)
+	for _, lp := range logs {
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	total := 0.0
+	exact := make(map[config]float64, len(states))
+	for _, key := range states {
+		p := math.Exp(logPost[key] - maxLog)
+		exact[key] = p
+		total += p
+	}
+	for key := range exact {
+		exact[key] /= total
+	}
+
+	// Long-run Gibbs frequencies.
+	r := rng.New(12345)
+	st := newState(data, cfg, r)
+	const sweeps = 400000
+	counts := make(map[config]float64, 64)
+	for it := 0; it < sweeps; it++ {
+		kernel(st, r)
+		key := config{st.c[0], st.z[0], st.c[1], st.z[1], st.s[0], st.sp[0]}
+		counts[key]++
+	}
+	for key := range counts {
+		counts[key] /= sweeps
+	}
+
+	// Total variation distance.
+	tv := 0.0
+	for key, p := range exact {
+		tv += math.Abs(p - counts[key])
+	}
+	tv /= 2
+	if tv > 0.02 {
+		t.Fatalf("total variation between Gibbs and exact posterior: %.4f > 0.02", tv)
+	}
+}
+
+func freshState(data *corpus.Dataset, cfg Config) *state {
+	st := &state{
+		cfg:     cfg,
+		data:    data,
+		lambda0: cfg.lambda0(data.U, len(data.Links)),
+		nNeg:    negCount(data.U, len(data.Links)),
+		c:       make([]int, len(data.Posts)),
+		z:       make([]int, len(data.Posts)),
+		s:       make([]int, len(data.Links)),
+		sp:      make([]int, len(data.Links)),
+		nIC:     intMatrix(data.U, cfg.C),
+		nICSum:  make([]int, data.U),
+		nCK:     intMatrix(cfg.C, cfg.K),
+		nCKSum:  make([]int, cfg.C),
+		nCKT:    intMatrix(cfg.C*cfg.K, data.T),
+		nCKTSum: make([]int, cfg.C*cfg.K),
+		nKV:     intMatrix(cfg.K, data.V),
+		nKVSum:  make([]int, cfg.K),
+		nCC:     intMatrix(cfg.C, cfg.C),
+		nSC:     make([]int, cfg.C),
+		nDC:     make([]int, cfg.C),
+	}
+	return st
+}
+
+// collapsedLogJoint computes log P(c, z, s, w, t, e) with the
+// multinomial parameters integrated out — the product of
+// Dirichlet-multinomial terms for π, θ, φ, ψ and the Beta(λ₀, λ₁) link
+// term of Eq. (8).
+func collapsedLogJoint(st *state) float64 {
+	cfg := st.cfg
+	C, K := cfg.C, cfg.K
+	T, V, U := st.data.T, st.data.V, st.data.U
+	lp := 0.0
+
+	// π term per user.
+	for i := 0; i < U; i++ {
+		lp += lgamma(float64(C)*cfg.Rho) - lgamma(float64(st.nICSum[i])+float64(C)*cfg.Rho)
+		for c := 0; c < C; c++ {
+			lp += lgamma(float64(st.nIC[i][c])+cfg.Rho) - lgamma(cfg.Rho)
+		}
+	}
+	// θ term per community.
+	for c := 0; c < C; c++ {
+		lp += lgamma(float64(K)*cfg.Alpha) - lgamma(float64(st.nCKSum[c])+float64(K)*cfg.Alpha)
+		for k := 0; k < K; k++ {
+			lp += lgamma(float64(st.nCK[c][k])+cfg.Alpha) - lgamma(cfg.Alpha)
+		}
+	}
+	// φ term per topic.
+	for k := 0; k < K; k++ {
+		lp += lgamma(float64(V)*cfg.Beta) - lgamma(float64(st.nKVSum[k])+float64(V)*cfg.Beta)
+		for v := 0; v < V; v++ {
+			lp += lgamma(float64(st.nKV[k][v])+cfg.Beta) - lgamma(cfg.Beta)
+		}
+	}
+	// ψ term per (community, topic).
+	for ck := 0; ck < C*K; ck++ {
+		lp += lgamma(float64(T)*cfg.Epsilon) - lgamma(float64(st.nCKTSum[ck])+float64(T)*cfg.Epsilon)
+		for tt := 0; tt < T; tt++ {
+			lp += lgamma(float64(st.nCKT[ck][tt])+cfg.Epsilon) - lgamma(cfg.Epsilon)
+		}
+	}
+	// Link term per community pair: Γ(n+λ1)Γ(λ0+λ1) / Γ(λ1)Γ(n+λ0+λ1).
+	l0, l1 := st.lambda0, cfg.Lambda1
+	for a := 0; a < C; a++ {
+		for b := 0; b < C; b++ {
+			n := float64(st.nCC[a][b])
+			lp += lgamma(n+l1) + lgamma(l0+l1) - lgamma(l1) - lgamma(n+l0+l1)
+		}
+	}
+	return lp
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

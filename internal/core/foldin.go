@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Fold-in inference: estimate a membership vector π for a user who was
+// not in the training set, from their posts alone, holding the trained
+// corpus-level factors (θ, φ, ψ) fixed. This is the standard predictive
+// treatment for unseen documents/users in collapsed topic models and
+// lets the Predictor score cold-start users.
+
+// FoldInPost is one post by the new user: a bag of words with an
+// optional time slice (Time < 0 ignores the temporal factor).
+type FoldInPost struct {
+	Words text.BagOfWords
+	Time  int
+}
+
+// FoldIn runs `sweeps` Gibbs passes over the new user's post assignments
+// against the frozen model and returns the posterior-mean membership
+// vector. It is deterministic for a fixed seed.
+func (m *Model) FoldIn(posts []FoldInPost, sweeps int, seed uint64) []float64 {
+	C, K := m.Cfg.C, m.Cfg.K
+	cfg := m.Cfg.withDefaults()
+	pi := make([]float64, C)
+	if len(posts) == 0 {
+		for c := range pi {
+			pi[c] = 1 / float64(C)
+		}
+		return pi
+	}
+	if sweeps <= 0 {
+		sweeps = 20
+	}
+	r := rng.New(seed)
+
+	// Per-post cached log word likelihood per topic.
+	logLik := make([][]float64, len(posts))
+	for j, p := range posts {
+		logLik[j] = make([]float64, K)
+		for k := 0; k < K; k++ {
+			acc := 0.0
+			p.Words.Each(func(v, count int) {
+				phi := m.Phi[k][v]
+				if phi <= 0 {
+					phi = 1e-300
+				}
+				acc += float64(count) * math.Log(phi)
+			})
+			logLik[j][k] = acc
+		}
+	}
+
+	// Local counts for the new user only; the global factors stay fixed.
+	nC := make([]int, C)
+	assign := make([]int, len(posts))
+	weights := make([]float64, C*K)
+	for j := range posts {
+		assign[j] = r.Intn(C)
+		nC[assign[j]]++
+	}
+
+	piSum := make([]float64, C)
+	samples := 0
+	burn := sweeps / 2
+	for it := 0; it < sweeps; it++ {
+		for j, p := range posts {
+			nC[assign[j]]--
+			maxLog := math.Inf(-1)
+			for c := 0; c < C; c++ {
+				userTerm := math.Log(float64(nC[c]) + cfg.Rho)
+				for k := 0; k < K; k++ {
+					lw := userTerm + math.Log(m.Theta[c][k]) + logLik[j][k]
+					if p.Time >= 0 && p.Time < m.T {
+						lw += math.Log(m.Psi[k][c][p.Time])
+					}
+					weights[c*K+k] = lw
+					if lw > maxLog {
+						maxLog = lw
+					}
+				}
+			}
+			for i := range weights {
+				weights[i] = math.Exp(weights[i] - maxLog)
+			}
+			assign[j] = r.Categorical(weights) / K
+			nC[assign[j]]++
+		}
+		if it >= burn {
+			den := float64(len(posts)) + float64(C)*cfg.Rho
+			for c := 0; c < C; c++ {
+				piSum[c] += (float64(nC[c]) + cfg.Rho) / den
+			}
+			samples++
+		}
+	}
+	for c := 0; c < C; c++ {
+		pi[c] = piSum[c] / float64(samples)
+	}
+	stats.Normalize(pi)
+	return pi
+}
+
+// ExtendWithUser appends a folded-in user to the model, returning the
+// new user's id. The returned id is valid for Predictor construction and
+// every per-user method.
+func (m *Model) ExtendWithUser(posts []FoldInPost, sweeps int, seed uint64) int {
+	pi := m.FoldIn(posts, sweeps, seed)
+	m.Pi = append(m.Pi, pi)
+	m.U++
+	return m.U - 1
+}

@@ -1,0 +1,57 @@
+package core
+
+// Volume forecasting — the "advanced prediction" direction sketched in
+// the paper's conclusion: the trained factors compose into expected
+// posting-volume shares per (community, topic, time), usable to forecast
+// where a topic's activity will sit on the timeline and which community
+// will carry it.
+
+// CommunityVolume returns the model's expected share of the stream
+// attributable to community c, topic k, slice t:
+//
+//	share(c, k, t) = mass(c) · θ_ck · ψ_kct
+//
+// where mass(c) is the average membership Σ_i π_ic / U. Shares sum to 1
+// over all (c, k, t).
+func (m *Model) CommunityVolume(c, k, t int) float64 {
+	return m.communityMass(c) * m.Theta[c][k] * m.Psi[k][c][t]
+}
+
+func (m *Model) communityMass(c int) float64 {
+	total := 0.0
+	for i := 0; i < m.U; i++ {
+		total += m.Pi[i][c]
+	}
+	return total / float64(m.U)
+}
+
+// TopicVolumeCurve returns the aggregate expected volume share of topic
+// k per slice, summed over communities — the community-level analogue of
+// an aggregated trend line.
+func (m *Model) TopicVolumeCurve(k int) []float64 {
+	curve := make([]float64, m.T)
+	for c := 0; c < m.Cfg.C; c++ {
+		w := m.communityMass(c) * m.Theta[c][k]
+		for t := 0; t < m.T; t++ {
+			curve[t] += w * m.Psi[k][c][t]
+		}
+	}
+	return curve
+}
+
+// ForecastNextSlice predicts, for each topic, the volume share at slice
+// t+1 given the model (pure model-based forecast; slices beyond T-1
+// return zeros). It returns one value per topic.
+func (m *Model) ForecastNextSlice(t int) []float64 {
+	out := make([]float64, m.Cfg.K)
+	next := t + 1
+	if next >= m.T {
+		return out
+	}
+	for k := 0; k < m.Cfg.K; k++ {
+		for c := 0; c < m.Cfg.C; c++ {
+			out[k] += m.communityMass(c) * m.Theta[c][k] * m.Psi[k][c][next]
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCommunityVolumeSumsToOne(t *testing.T) {
+	m, _, _ := trainSmall(t, 71)
+	total := 0.0
+	for c := 0; c < m.Cfg.C; c++ {
+		for k := 0; k < m.Cfg.K; k++ {
+			for ts := 0; ts < m.T; ts++ {
+				v := m.CommunityVolume(c, k, ts)
+				if v < 0 {
+					t.Fatalf("negative volume share %v", v)
+				}
+				total += v
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("volume shares sum to %v, want 1", total)
+	}
+}
+
+func TestTopicVolumeCurveMatchesShares(t *testing.T) {
+	m, _, _ := trainSmall(t, 71)
+	k := 0
+	curve := m.TopicVolumeCurve(k)
+	if len(curve) != m.T {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for ts := 0; ts < m.T; ts++ {
+		want := 0.0
+		for c := 0; c < m.Cfg.C; c++ {
+			want += m.CommunityVolume(c, k, ts)
+		}
+		if math.Abs(curve[ts]-want) > 1e-12 {
+			t.Fatalf("curve[%d] = %v, want %v", ts, curve[ts], want)
+		}
+	}
+}
+
+func TestForecastNextSlice(t *testing.T) {
+	m, _, _ := trainSmall(t, 71)
+	f := m.ForecastNextSlice(0)
+	if len(f) != m.Cfg.K {
+		t.Fatalf("forecast length %d", len(f))
+	}
+	sum := 0.0
+	for _, v := range f {
+		if v < 0 {
+			t.Fatalf("negative forecast %v", v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatal("forecast all zero for a valid slice")
+	}
+	// Past the horizon it returns zeros rather than panicking.
+	edge := m.ForecastNextSlice(m.T - 1)
+	for _, v := range edge {
+		if v != 0 {
+			t.Fatalf("out-of-horizon forecast %v", v)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// sweep performs one full systematic-scan Gibbs sweep over all posts and
+// positive links. Post indicators are drawn from the joint conditional
+// over (c, z) — the product of the Eq. (1) and Eq. (3) factors — which
+// is an exact Gibbs block for the same posterior and mixes far better
+// than alternating the two coordinates when community and topic are
+// strongly coupled. Links use Eq. (2).
+func (st *state) sweep(r *rng.RNG) {
+	wc := make([]float64, st.cfg.C)
+	wck := make([]float64, st.cfg.C*st.cfg.K)
+	for j := range st.data.Posts {
+		st.samplePostJoint(j, r, wck)
+	}
+	if st.cfg.UseLinks {
+		for l := range st.data.Links {
+			st.sampleLink(l, r, wc)
+		}
+	}
+}
+
+// sweepAlternating is the paper's literal schedule: Eq. (1) then Eq. (3)
+// per post, one coordinate at a time. It targets the same posterior as
+// the blocked sweep (the exactness test checks both) but mixes slower;
+// kept for reference and ablation.
+func (st *state) sweepAlternating(r *rng.RNG) {
+	wc := make([]float64, st.cfg.C)
+	wk := make([]float64, st.cfg.K)
+	for j := range st.data.Posts {
+		st.samplePostCommunity(j, r, wc)
+		st.samplePostTopic(j, r, wk)
+	}
+	if st.cfg.UseLinks {
+		for l := range st.data.Links {
+			st.sampleLink(l, r, wc)
+		}
+	}
+}
+
+// samplePostJoint resamples (c_ij, z_ij) jointly from the product of the
+// Eq. (1) and Eq. (3) conditionals.
+func (st *state) samplePostJoint(j int, r *rng.RNG, weights []float64) {
+	st.removePost(j)
+	p := &st.data.Posts[j]
+	t := p.Time
+	C, K := st.cfg.C, st.cfg.K
+	alpha, beta, eps := st.cfg.Alpha, st.cfg.Beta, st.cfg.Epsilon
+	vBeta := float64(st.data.V) * beta
+	tEps := float64(st.data.T) * eps
+	nTokens := p.Words.Len()
+
+	// Word term depends on z only; compute once per topic (log domain).
+	wordTerm := make([]float64, K)
+	for k := 0; k < K; k++ {
+		lw := 0.0
+		base := float64(st.nKVSum[k]) + vBeta
+		p.Words.Each(func(v, count int) {
+			nv := float64(st.nKV[k][v]) + beta
+			for q := 0; q < count; q++ {
+				lw += math.Log(nv + float64(q))
+			}
+		})
+		for q := 0; q < nTokens; q++ {
+			lw -= math.Log(base + float64(q))
+		}
+		wordTerm[k] = lw
+	}
+	maxLog := math.Inf(-1)
+	for c := 0; c < C; c++ {
+		userTerm := math.Log(float64(st.nIC[p.User][c]) + st.cfg.Rho)
+		commDen := math.Log(float64(st.nCKSum[c]) + float64(K)*alpha)
+		for k := 0; k < K; k++ {
+			ck := c*K + k
+			lw := userTerm + wordTerm[k]
+			lw += math.Log(float64(st.nCK[c][k])+alpha) - commDen
+			lw += math.Log(float64(st.nCKT[ck][t])+eps) - math.Log(float64(st.nCKTSum[ck])+tEps)
+			weights[ck] = lw
+			if lw > maxLog {
+				maxLog = lw
+			}
+		}
+	}
+	for i := range weights {
+		weights[i] = math.Exp(weights[i] - maxLog)
+	}
+	pick := r.Categorical(weights)
+	st.c[j], st.z[j] = pick/K, pick%K
+	st.addPost(j)
+}
+
+// samplePostCommunity resamples c_ij from Eq. (1), conditioned on the
+// post's current topic. The first factor's denominator n_i^{(·)}+Cρ is
+// constant in c and dropped.
+func (st *state) samplePostCommunity(j int, r *rng.RNG, weights []float64) {
+	st.removePost(j)
+	p := &st.data.Posts[j]
+	k, t := st.z[j], p.Time
+	K := st.cfg.K
+	alpha, eps := st.cfg.Alpha, st.cfg.Epsilon
+	kAlpha := float64(K) * alpha
+	tEps := float64(st.data.T) * eps
+	for c := 0; c < st.cfg.C; c++ {
+		ck := c*K + k
+		w := (float64(st.nIC[p.User][c]) + st.cfg.Rho) *
+			(float64(st.nCK[c][k]) + alpha) / (float64(st.nCKSum[c]) + kAlpha) *
+			(float64(st.nCKT[ck][t]) + eps) / (float64(st.nCKTSum[ck]) + tEps)
+		weights[c] = w
+	}
+	st.c[j] = r.Categorical(weights)
+	st.addPost(j)
+}
+
+// samplePostTopic resamples z_ij from Eq. (3), conditioned on the post's
+// current community. The word likelihood uses the ascending-factorial
+// ratio over the post's repeated words, computed in the log domain for
+// stability on longer posts.
+func (st *state) samplePostTopic(j int, r *rng.RNG, weights []float64) {
+	st.removePost(j)
+	p := &st.data.Posts[j]
+	c, t := st.c[j], p.Time
+	K := st.cfg.K
+	alpha, beta, eps := st.cfg.Alpha, st.cfg.Beta, st.cfg.Epsilon
+	vBeta := float64(st.data.V) * beta
+	tEps := float64(st.data.T) * eps
+	nTokens := p.Words.Len()
+
+	maxLog := math.Inf(-1)
+	for k := 0; k < K; k++ {
+		ck := c*K + k
+		lw := math.Log(float64(st.nCK[c][k]) + alpha)
+		lw += math.Log(float64(st.nCKT[ck][t])+eps) - math.Log(float64(st.nCKTSum[ck])+tEps)
+		base := float64(st.nKVSum[k]) + vBeta
+		p.Words.Each(func(v, count int) {
+			nv := float64(st.nKV[k][v]) + beta
+			for q := 0; q < count; q++ {
+				lw += math.Log(nv + float64(q))
+			}
+		})
+		for q := 0; q < nTokens; q++ {
+			lw -= math.Log(base + float64(q))
+		}
+		weights[k] = lw
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	for k := 0; k < K; k++ {
+		weights[k] = math.Exp(weights[k] - maxLog)
+	}
+	st.z[j] = r.Categorical(weights)
+	st.addPost(j)
+}
+
+// sampleLink resamples the two community indicators of positive link l.
+// Eq. (2) defines the joint conditional over the pair; we draw each
+// endpoint from its exact conditional given the other (a standard
+// decomposition of the joint Gibbs step that keeps the cost O(C) per
+// endpoint instead of O(C²) per link).
+func (st *state) sampleLink(l int, r *rng.RNG, weights []float64) {
+	st.removeLink(l)
+	e := st.data.Links[l]
+	rho := st.cfg.Rho
+	l1 := st.cfg.Lambda1
+
+	// Source endpoint s given s'.
+	b := st.sp[l]
+	for c := 0; c < st.cfg.C; c++ {
+		n := float64(st.nCC[c][b])
+		weights[c] = (float64(st.nIC[e.From][c]) + rho) * (n + l1) / (n + st.negMass(c, b) + l1)
+	}
+	st.s[l] = r.Categorical(weights)
+
+	// Destination endpoint s' given the fresh s.
+	a := st.s[l]
+	for c := 0; c < st.cfg.C; c++ {
+		n := float64(st.nCC[a][c])
+		weights[c] = (float64(st.nIC[e.To][c]) + rho) * (n + l1) / (n + st.negMass(a, c) + l1)
+	}
+	st.sp[l] = r.Categorical(weights)
+	st.addLink(l)
+}
+
+// logLikelihood returns the (unnormalised) training data log-likelihood
+// under the current assignments: words given topics, time stamps given
+// (community, topic), and positive links given community pairs. It is the
+// convergence monitor of §4.3; only differences between sweeps matter.
+func (st *state) logLikelihood() float64 {
+	beta, eps := st.cfg.Beta, st.cfg.Epsilon
+	vBeta := float64(st.data.V) * beta
+	tEps := float64(st.data.T) * eps
+	ll := 0.0
+	K := st.cfg.K
+	for j := range st.data.Posts {
+		p := &st.data.Posts[j]
+		k := st.z[j]
+		ck := st.c[j]*K + k
+		wordBase := math.Log(float64(st.nKVSum[k]) + vBeta)
+		p.Words.Each(func(v, count int) {
+			ll += float64(count) * (math.Log(float64(st.nKV[k][v])+beta) - wordBase)
+		})
+		ll += math.Log(float64(st.nCKT[ck][p.Time])+eps) - math.Log(float64(st.nCKTSum[ck])+tEps)
+	}
+	if st.cfg.UseLinks {
+		l1 := st.cfg.Lambda1
+		for l := range st.data.Links {
+			a, b := st.s[l], st.sp[l]
+			n := float64(st.nCC[a][b])
+			ll += math.Log((n + l1) / (n + st.negMass(a, b) + l1))
+		}
+	}
+	return ll
+}

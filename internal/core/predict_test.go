@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// trainSmall trains one reference model on planted data, shared by the
+// prediction tests (training is cheap but not free).
+func trainSmall(t *testing.T, seed uint64) (*Model, *synth.GroundTruth, *corpus.Dataset) {
+	t.Helper()
+	cfg := synth.Small(seed)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 11
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, gt, data
+}
+
+func rngFor(seed uint64) *rng.RNG { return rng.New(seed) }
+
+func TestZeta(t *testing.T) {
+	m, _, _ := trainSmall(t, 31)
+	k, c, cp := 0, 1, 2
+	want := m.Theta[c][k] * m.Theta[cp][k] * m.Eta[c][cp]
+	if got := m.Zeta(k, c, cp); got != want {
+		t.Fatalf("Zeta = %v, want %v", got, want)
+	}
+	zm := m.ZetaMatrix(k)
+	if zm[c][cp] != want {
+		t.Fatal("ZetaMatrix disagrees with Zeta")
+	}
+	for a := range zm {
+		for b := range zm[a] {
+			if zm[a][b] < 0 || zm[a][b] > 1 {
+				t.Fatalf("zeta out of range: %v", zm[a][b])
+			}
+		}
+	}
+}
+
+func TestTopCommunities(t *testing.T) {
+	m, _, _ := trainSmall(t, 31)
+	top := m.TopCommunities(0, 3)
+	if len(top) != 3 {
+		t.Fatalf("top size %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if m.Pi[0][top[i]] > m.Pi[0][top[i-1]] {
+			t.Fatal("top communities not sorted by membership")
+		}
+	}
+}
+
+func TestLinkScoreSeparatesClasses(t *testing.T) {
+	cfg := synth.Small(33)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 13
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := data.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AUC of LinkScore on observed edges vs sampled non-edges must beat
+	// chance by a wide margin on planted assortative data.
+	var pos, neg []float64
+	for i, e := range data.Links {
+		if i >= 300 {
+			break
+		}
+		pos = append(pos, m.LinkScore(e.From, e.To))
+	}
+	negEdges, err := g.NegativeLinks(rngFor(13), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range negEdges {
+		neg = append(neg, m.LinkScore(e.From, e.To))
+	}
+	if auc := stats.AUC(pos, neg); auc < 0.7 {
+		t.Fatalf("link prediction AUC %.3f < 0.7", auc)
+	}
+}
+
+func TestPerplexityBeatsUniform(t *testing.T) {
+	m, _, _ := trainSmall(t, 35)
+	cfg := synth.Small(35)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]int, 0, 200)
+	posts := make([]text.BagOfWords, 0, 200)
+	for i, p := range data.Posts {
+		if i >= 200 {
+			break
+		}
+		users = append(users, p.User)
+		posts = append(posts, p.Words)
+	}
+	perp := m.Perplexity(users, posts)
+	if perp <= 0 || math.IsNaN(perp) {
+		t.Fatalf("invalid perplexity %v", perp)
+	}
+	if perp >= float64(cfg.V) {
+		t.Fatalf("perplexity %v does not beat the uniform model (V=%d)", perp, cfg.V)
+	}
+}
+
+func TestPredictTimestampBeatsChance(t *testing.T) {
+	cfg := synth.Small(37)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 17
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gt
+	pred := make([]int, 0, 200)
+	actual := make([]int, 0, 200)
+	for i, p := range data.Posts {
+		if i >= 200 {
+			break
+		}
+		pred = append(pred, m.PredictTimestamp(p.User, p.Words))
+		actual = append(actual, p.Time)
+	}
+	tol := cfg.T / 8
+	acc := stats.AccuracyWithinTolerance(pred, actual, tol)
+	chance := float64(2*tol+1) / float64(cfg.T)
+	if acc < chance+0.1 {
+		t.Fatalf("timestamp accuracy %.3f barely beats chance %.3f", acc, chance)
+	}
+}
+
+func TestPredictorScoresSeparateRetweeters(t *testing.T) {
+	cfg := synth.Small(39)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 40, 25, 19
+	m, err := Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m, 5)
+	tuples := make([][2][]float64, 0, len(data.Retweets))
+	for _, rt := range data.Retweets {
+		post := data.Posts[rt.Post]
+		var pos, neg []float64
+		for _, u := range rt.Retweeters {
+			pos = append(pos, p.Score(rt.Publisher, u, post.Words))
+		}
+		for _, u := range rt.Ignorers {
+			neg = append(neg, p.Score(rt.Publisher, u, post.Words))
+		}
+		tuples = append(tuples, [2][]float64{pos, neg})
+	}
+	auc := stats.AveragedAUC(tuples)
+	if auc < 0.55 {
+		t.Fatalf("diffusion prediction averaged AUC %.3f < 0.55", auc)
+	}
+}
+
+func TestTopicPosteriorIsDistribution(t *testing.T) {
+	m, _, _ := trainSmall(t, 41)
+	p := NewPredictor(m, 5)
+	words := text.NewBagOfWords([]int{1, 2, 3, 1})
+	post := p.TopicPosterior(0, words)
+	if !stats.IsSimplex(post, 1e-9) {
+		t.Fatalf("topic posterior not a distribution: sum=%v", stats.Sum(post))
+	}
+	// Empty post falls back to the membership-weighted prior.
+	empty := p.TopicPosterior(0, text.NewBagOfWords(nil))
+	if !stats.IsSimplex(empty, 1e-9) {
+		t.Fatal("empty-post posterior invalid")
+	}
+}
+
+func TestPredictorTopCommClamped(t *testing.T) {
+	m, _, _ := trainSmall(t, 41)
+	// Oversized TopComm falls back to min(5, C).
+	p := NewPredictor(m, 999)
+	if len(p.topComm[0]) != min(5, m.Cfg.C) {
+		t.Fatalf("topComm size %d", len(p.topComm[0]))
+	}
+	p2 := NewPredictor(m, 2)
+	if len(p2.topComm[0]) != 2 {
+		t.Fatalf("explicit topComm size %d", len(p2.topComm[0]))
+	}
+}
+
+func TestInfluenceAtNonNegative(t *testing.T) {
+	m, _, _ := trainSmall(t, 41)
+	p := NewPredictor(m, 5)
+	for k := 0; k < m.Cfg.K; k++ {
+		if v := p.InfluenceAt(0, 1, k); v < 0 || v > 1 {
+			t.Fatalf("influence %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestUserTopicPreferences(t *testing.T) {
+	m, _, _ := trainSmall(t, 41)
+	prefs := m.UserTopicPreferences(0)
+	if len(prefs) != m.Cfg.K {
+		t.Fatalf("prefs length %d", len(prefs))
+	}
+	if !stats.IsSimplex(prefs, 1e-9) {
+		t.Fatalf("preferences not a distribution: sum=%v", stats.Sum(prefs))
+	}
+}

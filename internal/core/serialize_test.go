@@ -1,0 +1,58 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	m, _, _ := trainSmall(t, 97)
+	path := t.TempDir() + "/model.gob"
+	if err := m.SaveGobFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModelGobFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.U != m.U || got.T != m.T || got.V != m.V {
+		t.Fatal("dims lost")
+	}
+	if got.Theta[1][2] != m.Theta[1][2] || got.Psi[0][1][2] != m.Psi[0][1][2] {
+		t.Fatal("values lost")
+	}
+	if got.Cfg.C != m.Cfg.C {
+		t.Fatal("config lost")
+	}
+}
+
+func TestGobSmallerThanJSON(t *testing.T) {
+	m, _, _ := trainSmall(t, 97)
+	dir := t.TempDir()
+	if err := m.SaveFile(dir + "/m.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveGobFile(dir + "/m.gob"); err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.Stat(dir + "/m.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := os.Stat(dir + "/m.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Size() >= js.Size() {
+		t.Fatalf("gob %d not smaller than json %d", gb.Size(), js.Size())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m, _, _ := trainSmall(t, 97)
+	s := m.Summary()
+	if !strings.Contains(s, "C=6") || !strings.Contains(s, "community sizes") {
+		t.Fatalf("summary: %s", s)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// TrainStats reports what happened during training: the per-sweep
+// log-likelihood trace (the convergence monitor of §4.3) and timing.
+type TrainStats struct {
+	Likelihood []float64
+	Sweeps     int
+	Samples    int // thinned samples averaged into the final estimates
+	Elapsed    time.Duration
+}
+
+// Train fits COLD to the dataset with the configured sampler schedule and
+// returns the averaged posterior estimates. For cfg.Workers > 1 it uses
+// the parallel GAS sampler; otherwise the exact serial collapsed Gibbs
+// sampler.
+func Train(data *corpus.Dataset, cfg Config) (*Model, error) {
+	m, _, err := TrainWithStats(data, cfg)
+	return m, err
+}
+
+// TrainWithStats is Train plus the convergence/timing trace.
+func TrainWithStats(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := data.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(data.Posts) == 0 {
+		return nil, nil, fmt.Errorf("core: cannot train on a dataset with no posts")
+	}
+	if cfg.Workers > 1 {
+		return trainParallel(data, cfg)
+	}
+	return trainSerial(data, cfg)
+}
+
+func trainSerial(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error) {
+	start := time.Now()
+	r := rng.New(cfg.Seed)
+	st := newState(data, cfg, r)
+	stats := &TrainStats{}
+	var acc accumulator
+	for it := 0; it < cfg.Iterations; it++ {
+		st.sweep(r)
+		stats.Likelihood = append(stats.Likelihood, st.logLikelihood())
+		if it >= cfg.BurnIn && (it-cfg.BurnIn)%cfg.SampleLag == 0 {
+			acc.add(st.estimate())
+			stats.Samples++
+		}
+	}
+	stats.Sweeps = cfg.Iterations
+	model := acc.mean()
+	if model == nil {
+		// Degenerate schedules (all burn-in) still return the final sample.
+		model = st.estimate()
+		stats.Samples = 1
+	}
+	stats.Elapsed = time.Since(start)
+	return model, stats, nil
+}

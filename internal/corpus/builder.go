@@ -1,0 +1,265 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Builder assembles a Dataset from raw social records — string user
+// names, free-text post bodies with unix time stamps, interaction pairs
+// and retweet outcomes — applying the preprocessing the paper describes
+// (§6.1): tokenisation with stop-word removal, dropping low-activity
+// users, pruning rare vocabulary, and discretising the observed time
+// span into equal slices.
+type Builder struct {
+	// TimeSlices is the number of slices T the time span is divided
+	// into (the paper uses hours; default 24).
+	TimeSlices int
+	// MinPostsPerUser drops users with fewer posts (the paper removes
+	// users with < 20 posts; default 1 keeps everyone with any post).
+	MinPostsPerUser int
+	// MinWordCount prunes vocabulary entries occurring fewer times
+	// across the corpus (default 1 keeps everything).
+	MinWordCount int
+	// Tokenizer splits post bodies; defaults to text.NewTokenizer().
+	Tokenizer *text.Tokenizer
+	// Stemming applies the Porter stemmer to tokens, collapsing
+	// inflected variants onto shared stems (off by default).
+	Stemming bool
+
+	users  map[string]int
+	names  []string
+	posts  []rawPost
+	links  []rawLink
+	spread []rawRetweet
+}
+
+type rawPost struct {
+	user   int
+	time   int64
+	tokens []string
+}
+
+type rawLink struct{ from, to int }
+
+type rawRetweet struct {
+	publisher  int
+	post       int // index into b.posts
+	retweeters []int
+	ignorers   []int
+}
+
+// NewBuilder returns a builder with the default preprocessing policy.
+func NewBuilder() *Builder {
+	return &Builder{
+		TimeSlices:      24,
+		MinPostsPerUser: 1,
+		MinWordCount:    1,
+		Tokenizer:       text.NewTokenizer(),
+		users:           make(map[string]int),
+	}
+}
+
+// intern returns the dense id of a user name, creating it on first use.
+func (b *Builder) intern(user string) int {
+	if id, ok := b.users[user]; ok {
+		return id
+	}
+	id := len(b.names)
+	b.users[user] = id
+	b.names = append(b.names, user)
+	return id
+}
+
+// AddPost records a post body; returns the post's index for later
+// AddRetweet calls.
+func (b *Builder) AddPost(user string, unixTime int64, body string) int {
+	tokens := b.Tokenizer.Tokenize(body)
+	if b.Stemming {
+		tokens = text.StemTokens(tokens)
+	}
+	b.posts = append(b.posts, rawPost{
+		user:   b.intern(user),
+		time:   unixTime,
+		tokens: tokens,
+	})
+	return len(b.posts) - 1
+}
+
+// AddLink records a directed interaction from -> to (e.g. "to retweeted
+// from" per Definition 1).
+func (b *Builder) AddLink(from, to string) {
+	b.links = append(b.links, rawLink{b.intern(from), b.intern(to)})
+}
+
+// AddRetweet records a diffusion outcome for a post added earlier.
+func (b *Builder) AddRetweet(post int, retweeters, ignorers []string) error {
+	if post < 0 || post >= len(b.posts) {
+		return fmt.Errorf("corpus: retweet references unknown post %d", post)
+	}
+	rt := rawRetweet{publisher: b.posts[post].user, post: post}
+	for _, u := range retweeters {
+		rt.retweeters = append(rt.retweeters, b.intern(u))
+	}
+	for _, u := range ignorers {
+		rt.ignorers = append(rt.ignorers, b.intern(u))
+	}
+	b.spread = append(b.spread, rt)
+	return nil
+}
+
+// UserName returns the original name of a built user id (valid after
+// Build, using the mapping Build returns).
+func (b *Builder) UserName(raw int) string { return b.names[raw] }
+
+// Build applies the filters and produces the dataset plus the mapping
+// from kept dense user ids back to user names.
+func (b *Builder) Build() (*Dataset, []string, error) {
+	if len(b.posts) == 0 {
+		return nil, nil, fmt.Errorf("corpus: no posts added")
+	}
+	if b.TimeSlices < 1 {
+		return nil, nil, fmt.Errorf("corpus: TimeSlices must be >= 1")
+	}
+
+	// 1. Drop low-activity users.
+	postCount := make([]int, len(b.names))
+	for _, p := range b.posts {
+		postCount[p.user]++
+	}
+	keep := make([]int, len(b.names)) // old id -> new id or -1
+	names := make([]string, 0, len(b.names))
+	for old, c := range postCount {
+		if c >= b.MinPostsPerUser {
+			keep[old] = len(names)
+			names = append(names, b.names[old])
+		} else {
+			keep[old] = -1
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("corpus: MinPostsPerUser=%d removed every user", b.MinPostsPerUser)
+	}
+
+	// 2. Count words over kept users' posts and build the pruned
+	//    vocabulary.
+	wordCount := make(map[string]int)
+	for _, p := range b.posts {
+		if keep[p.user] < 0 {
+			continue
+		}
+		for _, w := range p.tokens {
+			wordCount[w]++
+		}
+	}
+	kept := make([]string, 0, len(wordCount))
+	for w, c := range wordCount {
+		if c >= b.MinWordCount {
+			kept = append(kept, w)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil, fmt.Errorf("corpus: vocabulary empty after pruning")
+	}
+	sort.Strings(kept) // deterministic ids
+	vocab := text.NewVocabulary()
+	for _, w := range kept {
+		vocab.Add(w)
+	}
+
+	// 3. Time discretisation over the kept posts' span.
+	var minT, maxT int64
+	first := true
+	for _, p := range b.posts {
+		if keep[p.user] < 0 {
+			continue
+		}
+		if first || p.time < minT {
+			minT = p.time
+		}
+		if first || p.time > maxT {
+			maxT = p.time
+		}
+		first = false
+	}
+	span := maxT - minT + 1
+	slice := func(t int64) int {
+		s := int((t - minT) * int64(b.TimeSlices) / span)
+		if s >= b.TimeSlices {
+			s = b.TimeSlices - 1
+		}
+		return s
+	}
+
+	// 4. Materialise posts (dropping those that became empty), tracking
+	//    the old-post-index -> new-post-index mapping for retweets.
+	data := &Dataset{U: len(names), T: b.TimeSlices, V: vocab.Size(), Vocab: vocab}
+	postMap := make([]int, len(b.posts))
+	for i := range postMap {
+		postMap[i] = -1
+	}
+	for i, p := range b.posts {
+		if keep[p.user] < 0 {
+			continue
+		}
+		ids := make([]int, 0, len(p.tokens))
+		for _, w := range p.tokens {
+			if id, ok := vocab.ID(w); ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		postMap[i] = len(data.Posts)
+		data.Posts = append(data.Posts, Post{
+			User:  keep[p.user],
+			Time:  slice(p.time),
+			Words: text.NewBagOfWords(ids),
+		})
+	}
+	if len(data.Posts) == 0 {
+		return nil, nil, fmt.Errorf("corpus: every post became empty after preprocessing")
+	}
+
+	// 5. Links between kept users, de-duplicated, no self-loops.
+	g := graph.NewDirected(data.U)
+	for _, l := range b.links {
+		from, to := keep[l.from], keep[l.to]
+		if from < 0 || to < 0 || from == to {
+			continue
+		}
+		g.AddEdge(from, to)
+	}
+	data.Links = g.Edges()
+
+	// 6. Retweet tuples whose post and publisher survived.
+	for _, rt := range b.spread {
+		newPost := postMap[rt.post]
+		if newPost < 0 || keep[rt.publisher] < 0 {
+			continue
+		}
+		out := Retweet{Publisher: keep[rt.publisher], Post: newPost}
+		for _, u := range rt.retweeters {
+			if keep[u] >= 0 {
+				out.Retweeters = append(out.Retweeters, keep[u])
+			}
+		}
+		for _, u := range rt.ignorers {
+			if keep[u] >= 0 {
+				out.Ignorers = append(out.Ignorers, keep[u])
+			}
+		}
+		if len(out.Retweeters)+len(out.Ignorers) > 0 {
+			data.Retweets = append(data.Retweets, out)
+		}
+	}
+
+	if err := data.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("corpus: built invalid dataset: %w", err)
+	}
+	return data, names, nil
+}

@@ -1,0 +1,203 @@
+package corpus
+
+import (
+	"testing"
+)
+
+func seedBuilder() *Builder {
+	b := NewBuilder()
+	b.TimeSlices = 4
+	// alice posts twice, bob once, carol once (to be filtered later).
+	b.AddPost("alice", 1000, "go databases are fast and fast")
+	b.AddPost("alice", 2000, "diffusion models spread information")
+	b.AddPost("bob", 3000, "databases and diffusion")
+	b.AddPost("carol", 4000, "lonely post")
+	b.AddLink("alice", "bob")
+	b.AddLink("bob", "alice")
+	b.AddLink("alice", "alice") // self-loop must be dropped
+	return b
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := seedBuilder()
+	data, names, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.U != 3 {
+		t.Fatalf("users %d, want 3", data.U)
+	}
+	if len(names) != 3 || names[0] != "alice" {
+		t.Fatalf("names %v", names)
+	}
+	if len(data.Posts) != 4 {
+		t.Fatalf("posts %d", len(data.Posts))
+	}
+	if len(data.Links) != 2 {
+		t.Fatalf("links %d (self-loop not dropped?)", len(data.Links))
+	}
+	if data.T != 4 {
+		t.Fatalf("slices %d", data.T)
+	}
+	// Time discretisation: earliest post in slice 0, latest in slice 3.
+	if data.Posts[0].Time != 0 {
+		t.Fatalf("first post slice %d", data.Posts[0].Time)
+	}
+	if data.Posts[3].Time != 3 {
+		t.Fatalf("last post slice %d", data.Posts[3].Time)
+	}
+	// Stop word "and" must not be in the vocabulary.
+	if _, ok := data.Vocab.ID("and"); ok {
+		t.Fatal("stop word survived")
+	}
+	// Repeated word keeps multiplicity.
+	if data.Posts[0].Words.Len() != 4 { // go databases fast fast
+		t.Fatalf("post 0 token count %d", data.Posts[0].Words.Len())
+	}
+}
+
+func TestBuilderMinPostsFilter(t *testing.T) {
+	b := seedBuilder()
+	b.MinPostsPerUser = 2
+	data, names, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.U != 1 || names[0] != "alice" {
+		t.Fatalf("filter kept %v", names)
+	}
+	// Links touching dropped users vanish.
+	if len(data.Links) != 0 {
+		t.Fatalf("links %d", len(data.Links))
+	}
+}
+
+func TestBuilderVocabPruning(t *testing.T) {
+	b := seedBuilder()
+	b.MinWordCount = 2
+	data, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "fast" (2x), "databases" (2x) and "diffusion" (2x) survive;
+	// "lonely" does not.
+	if _, ok := data.Vocab.ID("fast"); !ok {
+		t.Fatal("frequent word pruned")
+	}
+	if _, ok := data.Vocab.ID("lonely"); ok {
+		t.Fatal("rare word survived")
+	}
+	// carol's post became empty and must be dropped.
+	for _, p := range data.Posts {
+		if p.Words.Len() == 0 {
+			t.Fatal("empty post survived")
+		}
+	}
+}
+
+func TestBuilderRetweets(t *testing.T) {
+	b := seedBuilder()
+	post := b.AddPost("alice", 2500, "viral databases content")
+	if err := b.AddRetweet(post, []string{"bob"}, []string{"carol"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRetweet(99, nil, nil); err == nil {
+		t.Fatal("unknown post accepted")
+	}
+	data, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Retweets) != 1 {
+		t.Fatalf("retweets %d", len(data.Retweets))
+	}
+	rt := data.Retweets[0]
+	if data.Posts[rt.Post].Words.Len() == 0 {
+		t.Fatal("retweet points at empty post")
+	}
+	if len(rt.Retweeters) != 1 || len(rt.Ignorers) != 1 {
+		t.Fatalf("retweet classes %d/%d", len(rt.Retweeters), len(rt.Ignorers))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, _, err := NewBuilder().Build(); err == nil {
+		t.Fatal("empty builder accepted")
+	}
+	b := NewBuilder()
+	b.AddPost("a", 1, "hello world")
+	b.TimeSlices = 0
+	if _, _, err := b.Build(); err == nil {
+		t.Fatal("zero slices accepted")
+	}
+	b2 := NewBuilder()
+	b2.AddPost("a", 1, "hello world")
+	b2.MinPostsPerUser = 5
+	if _, _, err := b2.Build(); err == nil {
+		t.Fatal("all-users-removed accepted")
+	}
+	b3 := NewBuilder()
+	b3.AddPost("a", 1, "the and of") // stop words only
+	if _, _, err := b3.Build(); err == nil {
+		t.Fatal("empty vocabulary accepted")
+	}
+}
+
+func TestBuilderDeterministicVocab(t *testing.T) {
+	build := func() *Dataset {
+		b := seedBuilder()
+		d, _, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, c := build(), build()
+	if a.V != c.V {
+		t.Fatal("vocab size differs")
+	}
+	for i := 0; i < a.V; i++ {
+		if a.Vocab.Word(i) != c.Vocab.Word(i) {
+			t.Fatal("vocabulary ids not deterministic")
+		}
+	}
+}
+
+func TestBuilderSingleTimestamp(t *testing.T) {
+	b := NewBuilder()
+	b.TimeSlices = 8
+	b.AddPost("a", 1234, "same moment words")
+	b.AddPost("b", 1234, "another same moment")
+	data, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range data.Posts {
+		if p.Time != 0 {
+			t.Fatalf("zero-span timestamps should land in slice 0, got %d", p.Time)
+		}
+	}
+}
+
+func TestBuilderStemming(t *testing.T) {
+	b := NewBuilder()
+	b.Stemming = true
+	b.TimeSlices = 2
+	b.AddPost("a", 1, "diffusing diffused connection connected")
+	b.AddPost("b", 2, "running runs")
+	data, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflected variants collapse: "diffusing"/"diffused" share a stem.
+	if _, ok := data.Vocab.ID("diffusing"); ok {
+		t.Fatal("unstemmed token survived")
+	}
+	if _, ok := data.Vocab.ID("diffus"); !ok {
+		t.Fatalf("stem missing; vocab: %v", data.Vocab.Words())
+	}
+	// First post has 4 tokens but only 2 distinct stems.
+	if data.Posts[0].Words.Distinct() != 2 {
+		t.Fatalf("distinct stems %d, want 2", data.Posts[0].Words.Distinct())
+	}
+}

@@ -1,0 +1,285 @@
+// Package corpus defines the dataset substrate shared by every model in
+// the repository: users with time-stamped bag-of-words posts, the
+// interaction network, and the retweet records used by the diffusion
+// prediction task. It also provides validation, JSON round-tripping and
+// the cross-validation splits the paper's evaluation protocol needs.
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Post is a single user post: a sparse bag of words with a discretised
+// time stamp (slice index in [0, T)).
+type Post struct {
+	User  int             `json:"user"`
+	Time  int             `json:"time"`
+	Words text.BagOfWords `json:"words"`
+}
+
+// Retweet records the diffusion outcome of one post: the author, the post
+// index, the followers who retweeted it, and the followers who saw it but
+// did not (the negative class of the averaged-AUC evaluation, §6.3).
+type Retweet struct {
+	Publisher  int   `json:"publisher"`
+	Post       int   `json:"post"`
+	Retweeters []int `json:"retweeters"`
+	Ignorers   []int `json:"ignorers"`
+}
+
+// Dataset bundles the three observation modalities the COLD model is
+// generative over — text, time and network — plus the retweet records.
+type Dataset struct {
+	U int // number of users
+	T int // number of time slices
+	V int // vocabulary size
+
+	Posts    []Post
+	Links    []graph.Edge
+	Retweets []Retweet
+
+	// Vocab optionally maps word ids back to strings for display; the
+	// models operate on ids only.
+	Vocab *text.Vocabulary `json:"-"`
+}
+
+// Validate checks that all indices are in range and the dataset is
+// internally consistent.
+func (d *Dataset) Validate() error {
+	if d.U < 0 || d.T <= 0 || d.V <= 0 {
+		return fmt.Errorf("corpus: invalid dimensions U=%d T=%d V=%d", d.U, d.T, d.V)
+	}
+	for i, p := range d.Posts {
+		if p.User < 0 || p.User >= d.U {
+			return fmt.Errorf("corpus: post %d has user %d out of range", i, p.User)
+		}
+		if p.Time < 0 || p.Time >= d.T {
+			return fmt.Errorf("corpus: post %d has time %d out of range [0,%d)", i, p.Time, d.T)
+		}
+		for _, w := range p.Words.IDs {
+			if w < 0 || w >= d.V {
+				return fmt.Errorf("corpus: post %d has word id %d out of range", i, w)
+			}
+		}
+	}
+	for i, e := range d.Links {
+		if e.From < 0 || e.From >= d.U || e.To < 0 || e.To >= d.U {
+			return fmt.Errorf("corpus: link %d (%d,%d) out of range", i, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("corpus: link %d is a self-loop", i)
+		}
+	}
+	for i, rt := range d.Retweets {
+		if rt.Publisher < 0 || rt.Publisher >= d.U {
+			return fmt.Errorf("corpus: retweet %d publisher out of range", i)
+		}
+		if rt.Post < 0 || rt.Post >= len(d.Posts) {
+			return fmt.Errorf("corpus: retweet %d post index out of range", i)
+		}
+		for _, u := range rt.Retweeters {
+			if u < 0 || u >= d.U {
+				return fmt.Errorf("corpus: retweet %d retweeter out of range", i)
+			}
+		}
+		for _, u := range rt.Ignorers {
+			if u < 0 || u >= d.U {
+				return fmt.Errorf("corpus: retweet %d ignorer out of range", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Graph materialises the link set as a directed graph.
+func (d *Dataset) Graph() (*graph.Directed, error) {
+	g := graph.NewDirected(d.U)
+	for _, e := range d.Links {
+		if _, err := g.AddEdge(e.From, e.To); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// PostsByUser returns, for each user, the indices of their posts.
+func (d *Dataset) PostsByUser() [][]int {
+	out := make([][]int, d.U)
+	for i, p := range d.Posts {
+		out[p.User] = append(out[p.User], i)
+	}
+	return out
+}
+
+// WordCount returns the total number of word tokens across all posts.
+func (d *Dataset) WordCount() int {
+	total := 0
+	for _, p := range d.Posts {
+		total += p.Words.Len()
+	}
+	return total
+}
+
+// Stats summarises the dataset the way the paper reports its corpora.
+type Stats struct {
+	Users, TimeSlices, Vocab int
+	Posts, Links, Retweets   int
+	Words                    int
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	return Stats{
+		Users:      d.U,
+		TimeSlices: d.T,
+		Vocab:      d.V,
+		Posts:      len(d.Posts),
+		Links:      len(d.Links),
+		Retweets:   len(d.Retweets),
+		Words:      d.WordCount(),
+	}
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("users=%d slices=%d vocab=%d posts=%d words=%d links=%d retweets=%d",
+		s.Users, s.TimeSlices, s.Vocab, s.Posts, s.Words, s.Links, s.Retweets)
+}
+
+// WriteJSON serialises the dataset (without the display vocabulary).
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadJSON deserialises a dataset written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("corpus: decode: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to path as JSON.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a JSON file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// Subset returns a dataset containing only the first posts/links/retweets
+// counts given (for the data-size scaling experiment, Fig 13a). Retweet
+// records pointing past the retained posts are dropped.
+func (d *Dataset) Subset(posts, links int) *Dataset {
+	if posts > len(d.Posts) {
+		posts = len(d.Posts)
+	}
+	if links > len(d.Links) {
+		links = len(d.Links)
+	}
+	sub := &Dataset{
+		U:     d.U,
+		T:     d.T,
+		V:     d.V,
+		Posts: d.Posts[:posts],
+		Links: d.Links[:links],
+		Vocab: d.Vocab,
+	}
+	for _, rt := range d.Retweets {
+		if rt.Post < posts {
+			sub.Retweets = append(sub.Retweets, rt)
+		}
+	}
+	return sub
+}
+
+// Split holds one cross-validation fold: index sets into the parent
+// dataset's slices.
+type Split struct {
+	TrainPosts, TestPosts       []int
+	TrainLinks, TestLinks       []int
+	TrainRetweets, TestRetweets []int
+}
+
+// CrossValidation produces k folds over posts, links and retweet tuples,
+// shuffled with r. Fold f uses partition f as test and the rest as train —
+// the 5-fold protocol used throughout §6.
+func (d *Dataset) CrossValidation(r *rng.RNG, k int) []Split {
+	if k < 2 {
+		panic("corpus: cross-validation needs k >= 2")
+	}
+	postFolds := foldIndices(r, len(d.Posts), k)
+	linkFolds := foldIndices(r, len(d.Links), k)
+	rtFolds := foldIndices(r, len(d.Retweets), k)
+	splits := make([]Split, k)
+	for f := 0; f < k; f++ {
+		var s Split
+		for g := 0; g < k; g++ {
+			if g == f {
+				s.TestPosts = append(s.TestPosts, postFolds[g]...)
+				s.TestLinks = append(s.TestLinks, linkFolds[g]...)
+				s.TestRetweets = append(s.TestRetweets, rtFolds[g]...)
+			} else {
+				s.TrainPosts = append(s.TrainPosts, postFolds[g]...)
+				s.TrainLinks = append(s.TrainLinks, linkFolds[g]...)
+				s.TrainRetweets = append(s.TrainRetweets, rtFolds[g]...)
+			}
+		}
+		splits[f] = s
+	}
+	return splits
+}
+
+func foldIndices(r *rng.RNG, n, k int) [][]int {
+	perm := r.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// TrainView materialises the training portion of a split as a dataset
+// that shares post/link storage with the parent.
+func (d *Dataset) TrainView(s Split) *Dataset {
+	out := &Dataset{U: d.U, T: d.T, V: d.V, Vocab: d.Vocab}
+	out.Posts = make([]Post, 0, len(s.TrainPosts))
+	for _, i := range s.TrainPosts {
+		out.Posts = append(out.Posts, d.Posts[i])
+	}
+	out.Links = make([]graph.Edge, 0, len(s.TrainLinks))
+	for _, i := range s.TrainLinks {
+		out.Links = append(out.Links, d.Links[i])
+	}
+	// Retweet tuples reference post indices in the parent; the prediction
+	// evaluation reads post content from the parent dataset, so train
+	// retweets are carried by index only.
+	return out
+}

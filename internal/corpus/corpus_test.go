@@ -1,0 +1,197 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func tinyDataset() *Dataset {
+	return &Dataset{
+		U: 3, T: 4, V: 5,
+		Posts: []Post{
+			{User: 0, Time: 0, Words: text.NewBagOfWords([]int{0, 1, 1})},
+			{User: 1, Time: 2, Words: text.NewBagOfWords([]int{2})},
+			{User: 2, Time: 3, Words: text.NewBagOfWords([]int{3, 4})},
+			{User: 0, Time: 1, Words: text.NewBagOfWords([]int{0})},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}},
+		Retweets: []Retweet{
+			{Publisher: 0, Post: 0, Retweeters: []int{1}, Ignorers: []int{2}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := tinyDataset().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+	}{
+		{"bad user", func(d *Dataset) { d.Posts[0].User = 9 }},
+		{"bad time", func(d *Dataset) { d.Posts[0].Time = -1 }},
+		{"bad word", func(d *Dataset) { d.Posts[0].Words.IDs[0] = 99 }},
+		{"bad link", func(d *Dataset) { d.Links[0].To = 77 }},
+		{"self-loop link", func(d *Dataset) { d.Links[0].To = d.Links[0].From }},
+		{"bad retweet post", func(d *Dataset) { d.Retweets[0].Post = 50 }},
+		{"bad retweeter", func(d *Dataset) { d.Retweets[0].Retweeters[0] = -2 }},
+		{"zero T", func(d *Dataset) { d.T = 0 }},
+	}
+	for _, tc := range cases {
+		d := tinyDataset()
+		tc.mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestGraphAndPostsByUser(t *testing.T) {
+	d := tinyDataset()
+	g, err := d.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || !g.HasEdge(0, 1) {
+		t.Fatal("graph materialisation broken")
+	}
+	byUser := d.PostsByUser()
+	if len(byUser[0]) != 2 || byUser[0][0] != 0 || byUser[0][1] != 3 {
+		t.Fatalf("PostsByUser[0] = %v", byUser[0])
+	}
+	if len(byUser[1]) != 1 || len(byUser[2]) != 1 {
+		t.Fatal("PostsByUser wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := tinyDataset().Stats()
+	if s.Posts != 4 || s.Words != 7 || s.Links != 2 || s.Retweets != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.U != d.U || got.T != d.T || got.V != d.V {
+		t.Fatal("dimension mismatch after round trip")
+	}
+	if len(got.Posts) != len(d.Posts) || len(got.Links) != len(d.Links) {
+		t.Fatal("content mismatch after round trip")
+	}
+	if got.Posts[0].Words.Len() != d.Posts[0].Words.Len() {
+		t.Fatal("bag mismatch after round trip")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	bad := bytes.NewBufferString(`{"U":1,"T":0,"V":1,"Posts":null,"Links":null,"Retweets":null}`)
+	if _, err := ReadJSON(bad); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+	garbage := bytes.NewBufferString(`{nope`)
+	if _, err := ReadJSON(garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := tinyDataset()
+	sub := d.Subset(2, 1)
+	if len(sub.Posts) != 2 || len(sub.Links) != 1 {
+		t.Fatalf("subset sizes %d/%d", len(sub.Posts), len(sub.Links))
+	}
+	// Retweet pointing at post 0 survives; anything else would be dropped.
+	if len(sub.Retweets) != 1 {
+		t.Fatalf("retweets %d", len(sub.Retweets))
+	}
+	// Oversized request clamps.
+	all := d.Subset(100, 100)
+	if len(all.Posts) != 4 || len(all.Links) != 2 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestCrossValidation(t *testing.T) {
+	d := tinyDataset()
+	// Grow the dataset so folds are non-trivial.
+	for i := 0; i < 46; i++ {
+		d.Posts = append(d.Posts, Post{User: i % 3, Time: i % 4, Words: text.NewBagOfWords([]int{i % 5})})
+	}
+	r := rng.New(7)
+	splits := d.CrossValidation(r, 5)
+	if len(splits) != 5 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	seen := make(map[int]int)
+	for _, s := range splits {
+		if len(s.TestPosts)+len(s.TrainPosts) != len(d.Posts) {
+			t.Fatal("fold does not cover all posts")
+		}
+		for _, i := range s.TestPosts {
+			seen[i]++
+		}
+		// Train and test are disjoint.
+		inTest := map[int]bool{}
+		for _, i := range s.TestPosts {
+			inTest[i] = true
+		}
+		for _, i := range s.TrainPosts {
+			if inTest[i] {
+				t.Fatal("train/test overlap")
+			}
+		}
+	}
+	// Every post is tested exactly once across folds.
+	if len(seen) != len(d.Posts) {
+		t.Fatalf("coverage %d of %d", len(seen), len(d.Posts))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("post %d tested %d times", i, c)
+		}
+	}
+}
+
+func TestCrossValidationPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=1 did not panic")
+		}
+	}()
+	tinyDataset().CrossValidation(rng.New(1), 1)
+}
+
+func TestTrainView(t *testing.T) {
+	d := tinyDataset()
+	s := Split{TrainPosts: []int{0, 2}, TrainLinks: []int{1}}
+	view := d.TrainView(s)
+	if len(view.Posts) != 2 || len(view.Links) != 1 {
+		t.Fatal("train view sizes wrong")
+	}
+	if view.Posts[1].User != 2 {
+		t.Fatal("train view content wrong")
+	}
+	if err := view.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

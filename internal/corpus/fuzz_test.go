@@ -1,0 +1,29 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary bytes never panic the dataset
+// decoder and that anything it accepts validates.
+func FuzzReadJSON(f *testing.F) {
+	good := tinyDataset()
+	var buf bytes.Buffer
+	if err := good.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"U":1,"T":1,"V":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"U":-5,"T":0,"V":0,"Posts":[{"user":99}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid dataset: %v", err)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// randomDataset builds an arbitrary valid dataset from a seed.
+func randomDataset(seed uint64) *Dataset {
+	r := rng.New(seed)
+	u := 2 + r.Intn(10)
+	tSlices := 1 + r.Intn(6)
+	v := 2 + r.Intn(20)
+	d := &Dataset{U: u, T: tSlices, V: v}
+	nPosts := 1 + r.Intn(20)
+	for i := 0; i < nPosts; i++ {
+		length := r.Intn(6)
+		tokens := make([]int, length)
+		for l := range tokens {
+			tokens[l] = r.Intn(v)
+		}
+		d.Posts = append(d.Posts, Post{
+			User: r.Intn(u), Time: r.Intn(tSlices), Words: text.NewBagOfWords(tokens),
+		})
+	}
+	nLinks := r.Intn(12)
+	for i := 0; i < nLinks; i++ {
+		a, b := r.Intn(u), r.Intn(u)
+		if a != b {
+			d.Links = append(d.Links, graph.Edge{From: a, To: b})
+		}
+	}
+	return d
+}
+
+// Property: any randomly generated valid dataset survives a JSON round
+// trip with identical structure.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDataset(seed)
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if got.U != d.U || got.T != d.T || got.V != d.V ||
+			len(got.Posts) != len(d.Posts) || len(got.Links) != len(d.Links) {
+			return false
+		}
+		for i := range d.Posts {
+			if got.Posts[i].User != d.Posts[i].User ||
+				got.Posts[i].Time != d.Posts[i].Time ||
+				got.Posts[i].Words.Len() != d.Posts[i].Words.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every k-fold split partitions indices exactly (disjoint
+// cover), for arbitrary datasets and k.
+func TestCrossValidationPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDataset(seed)
+		r := rng.New(seed ^ 0xabcd)
+		k := 2 + int(seed%4)
+		for _, s := range d.CrossValidation(r, k) {
+			if len(s.TrainPosts)+len(s.TestPosts) != len(d.Posts) {
+				return false
+			}
+			if len(s.TrainLinks)+len(s.TestLinks) != len(d.Links) {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, i := range s.TrainPosts {
+				seen[i] = true
+			}
+			for _, i := range s.TestPosts {
+				if seen[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subset always yields a valid dataset whose retweets point at
+// retained posts.
+func TestSubsetValidityProperty(t *testing.T) {
+	f := func(seed uint64, pFrac, lFrac uint8) bool {
+		d := randomDataset(seed)
+		// Attach retweets pointing at arbitrary posts.
+		r := rng.New(seed + 1)
+		for i := 0; i < 5 && len(d.Posts) > 0; i++ {
+			post := r.Intn(len(d.Posts))
+			d.Retweets = append(d.Retweets, Retweet{
+				Publisher: d.Posts[post].User, Post: post,
+				Retweeters: []int{r.Intn(d.U)},
+			})
+		}
+		sub := d.Subset(int(pFrac)%(len(d.Posts)+1), int(lFrac)%(len(d.Links)+1))
+		if err := sub.Validate(); err != nil {
+			return false
+		}
+		for _, rt := range sub.Retweets {
+			if rt.Post >= len(sub.Posts) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

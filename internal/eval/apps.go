@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/cascade"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+)
+
+// Applications beyond the paper's figures: user-level influence
+// maximisation seeded with COLD's influence strengths (§6.6 notes COLD
+// is "complementary, and can be directly applied" to cascade-based
+// influence mining by providing the edge probabilities), and held-out
+// model selection over (C, K).
+
+// UserInfluenceGraph builds a sparse Independent Cascade graph over
+// users for one topic: each observed link (i, i') gets activation
+// probability proportional to COLD's Eq. (6) influence P(i, i' | k),
+// rescaled so the strongest edge is 0.5.
+func UserInfluenceGraph(p *core.Predictor, data *corpus.Dataset, topic int) (*cascade.SparseGraph, error) {
+	raw := make([]float64, len(data.Links))
+	maxV := 0.0
+	for li, e := range data.Links {
+		raw[li] = p.InfluenceAt(e.From, e.To, topic)
+		if raw[li] > maxV {
+			maxV = raw[li]
+		}
+	}
+	g := cascade.NewSparseGraph(data.U)
+	scale := 0.0
+	if maxV > 0 {
+		scale = 0.5 / maxV
+	}
+	for li, e := range data.Links {
+		if err := g.AddEdge(e.From, e.To, math.Min(1, raw[li]*scale)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// InfluentialUsers ranks the top-k users by singleton IC spread on the
+// user influence graph of a topic.
+func InfluentialUsers(m *core.Model, p *core.Predictor, data *corpus.Dataset, topic, k, rounds int, seed uint64) ([]cascade.Ranked, error) {
+	g, err := UserInfluenceGraph(p, data, topic)
+	if err != nil {
+		return nil, err
+	}
+	// Restrict candidates to users with outgoing links — isolated users
+	// trivially have spread 1.
+	var candidates []int
+	seen := make(map[int]bool)
+	for _, e := range data.Links {
+		if !seen[e.From] {
+			seen[e.From] = true
+			candidates = append(candidates, e.From)
+		}
+	}
+	return g.RankTop(candidates, k, rounds, rng.New(seed)), nil
+}
+
+// ModelChoice is one scored (C, K) grid cell of SelectModel.
+type ModelChoice struct {
+	C, K       int
+	Perplexity float64
+	LinkAUC    float64
+	Score      float64 // combined: AUC − normalised perplexity
+}
+
+// SelectModel grid-searches (C, K) against held-out perplexity and link
+// AUC on a single validation split and returns the cells best-first. The
+// combined score is LinkAUC − perplexity/uniformPerplexity so both
+// criteria live on comparable scales.
+func SelectModel(data *corpus.Dataset, cs, ks []int, s Schedule) []ModelChoice {
+	splits := splitsFor(data, s)
+	split := splits[0]
+	trainP := trainPostsView(data, split.TrainPosts)
+	users, bags := testPosts(data, split.TestPosts)
+	trainL := trainLinksView(data, split.TrainLinks)
+
+	var out []ModelChoice
+	for _, c := range cs {
+		for _, k := range ks {
+			mP, err := core.Train(trainP, s.coldConfig(c, k))
+			if err != nil {
+				continue
+			}
+			mL, err := core.Train(trainL, s.coldConfig(c, k))
+			if err != nil {
+				continue
+			}
+			choice := ModelChoice{C: c, K: k,
+				Perplexity: mP.Perplexity(users, bags),
+				LinkAUC:    linkAUC(data, split.TestLinks, mL.LinkScore, s.Seed),
+			}
+			choice.Score = choice.LinkAUC - choice.Perplexity/float64(data.V)
+			out = append(out, choice)
+		}
+	}
+	// Best first.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Score > out[j-1].Score; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RenderChoices prints a model-selection table.
+func RenderChoices(choices []ModelChoice) string {
+	var b strings.Builder
+	b.WriteString("C     K     perplexity   linkAUC    score\n")
+	for _, ch := range choices {
+		fmt.Fprintf(&b, "%-5d %-5d %-12.2f %-10.4f %.4f\n",
+			ch.C, ch.K, ch.Perplexity, ch.LinkAUC, ch.Score)
+	}
+	return b.String()
+}
+
+// VolumeForecastQuality evaluates the §7 "advanced prediction"
+// extension: correlate the model's expected per-slice topic volume with
+// the actual post counts per (topic-attributed) slice. Posts are
+// attributed to their maximum-likelihood topic under the model. Returns
+// the mean Pearson correlation over topics.
+func VolumeForecastQuality(m *core.Model, data *corpus.Dataset) float64 {
+	p := core.NewPredictor(m, 5)
+	actual := make([][]float64, m.Cfg.K)
+	for k := range actual {
+		actual[k] = make([]float64, m.T)
+	}
+	for _, post := range data.Posts {
+		tp := p.TopicPosterior(post.User, post.Words)
+		_, k := stats.Max(tp)
+		if k >= 0 {
+			actual[k][post.Time]++
+		}
+	}
+	sum, n := 0.0, 0
+	for k := 0; k < m.Cfg.K; k++ {
+		if stats.Sum(actual[k]) == 0 {
+			continue
+		}
+		model := m.TopicVolumeCurve(k)
+		sum += stats.Pearson(model, actual[k])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUserInfluenceGraph(t *testing.T) {
+	data, m := fixtures(t)
+	p := newPredictor(m)
+	g, err := UserInfluenceGraph(p, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != data.U {
+		t.Fatalf("nodes %d", g.N())
+	}
+	if g.M() != len(data.Links) {
+		t.Fatalf("edges %d, want %d", g.M(), len(data.Links))
+	}
+}
+
+func TestInfluentialUsers(t *testing.T) {
+	data, m := fixtures(t)
+	p := newPredictor(m)
+	ranked, err := InfluentialUsers(m, p, data, 0, 5, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 5 {
+		t.Fatalf("ranked %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Spread > ranked[i-1].Spread {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	if ranked[0].Spread < 1 {
+		t.Fatalf("top spread %v < 1", ranked[0].Spread)
+	}
+}
+
+func TestSelectModel(t *testing.T) {
+	data, _ := fixtures(t)
+	s := quick()
+	choices := SelectModel(data, []int{3, 4}, []int{4, 6}, s)
+	if len(choices) != 4 {
+		t.Fatalf("choices %d", len(choices))
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i].Score > choices[i-1].Score {
+			t.Fatal("choices not sorted by score")
+		}
+	}
+	out := RenderChoices(choices)
+	if !strings.Contains(out, "perplexity") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestVolumeForecastQuality(t *testing.T) {
+	data, m := fixtures(t)
+	corr := VolumeForecastQuality(m, data)
+	if corr <= 0.2 {
+		t.Fatalf("volume forecast correlation %.3f too low", corr)
+	}
+	if corr > 1 {
+		t.Fatalf("correlation %v out of range", corr)
+	}
+}

@@ -1,0 +1,177 @@
+// Package eval wires the models and substrates into the paper's
+// experiments: one function per figure of the evaluation section (§6 and
+// Appendix B), shared by the coldbench CLI and the bench_test harness.
+// Each function returns a typed result with a stable textual rendering so
+// the regenerated rows/series can be compared against the paper's.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// Schedule bundles the sampler settings shared across models so every
+// method in a comparison gets the same budget.
+type Schedule struct {
+	Iterations int
+	BurnIn     int
+	SampleLag  int
+	Folds      int // cross-validation folds (headline figures use 5)
+	Seed       uint64
+}
+
+// DefaultSchedule is the budget used by the headline experiments.
+func DefaultSchedule() Schedule {
+	return Schedule{Iterations: 60, BurnIn: 36, SampleLag: 3, Folds: 5, Seed: 1}
+}
+
+// QuickSchedule is a reduced budget for parameter grids and smoke runs.
+func QuickSchedule() Schedule {
+	return Schedule{Iterations: 25, BurnIn: 15, SampleLag: 5, Folds: 2, Seed: 1}
+}
+
+func (s Schedule) coldConfig(c, k int) core.Config {
+	cfg := core.DefaultConfig(c, k)
+	cfg.Iterations = s.Iterations
+	cfg.BurnIn = s.BurnIn
+	cfg.SampleLag = s.SampleLag
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a labelled sequence of points (one line in a figure).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Result is a named set of series — one figure.
+type Result struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render prints the result as aligned rows: one line per X value with a
+// column per series, the layout the paper's figures tabulate.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", r.Name, r.Title)
+	// Collect the union of X values.
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	fmt.Fprintf(&b, "%-12s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", r.YLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range r.Series {
+			y, ok := lookup(s.Points, x)
+			if ok {
+				fmt.Fprintf(&b, "%16.4f", y)
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTSV prints the result as a tab-separated table (one row per X,
+// one column per series) for external plotting tools.
+func (r *Result) RenderTSV() string {
+	var b strings.Builder
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	b.WriteString(r.XLabel)
+	for _, s := range r.Series {
+		b.WriteByte('\t')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range r.Series {
+			if y, ok := lookup(s.Points, x); ok {
+				fmt.Fprintf(&b, "\t%g", y)
+			} else {
+				b.WriteString("\t")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(points []Point, x float64) (float64, bool) {
+	for _, p := range points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// allIndices returns [0, n).
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// trainPostsView builds a training dataset from a post subset while
+// keeping every link — the Fig 9/11 protocol (test on held-out posts,
+// links all observed).
+func trainPostsView(data *corpus.Dataset, trainPosts []int) *corpus.Dataset {
+	s := corpus.Split{TrainPosts: trainPosts, TrainLinks: allIndices(len(data.Links))}
+	return data.TrainView(s)
+}
+
+// trainLinksView builds a training dataset from a link subset while
+// keeping every post — the Fig 10 protocol.
+func trainLinksView(data *corpus.Dataset, trainLinks []int) *corpus.Dataset {
+	s := corpus.Split{TrainPosts: allIndices(len(data.Posts)), TrainLinks: trainLinks}
+	return data.TrainView(s)
+}
+
+func splitsFor(data *corpus.Dataset, s Schedule) []corpus.Split {
+	r := rng.New(s.Seed + 0x5eed)
+	return data.CrossValidation(r, s.Folds)
+}

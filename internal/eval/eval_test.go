@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+// The eval tests share one small dataset and one trained model; training
+// is fast but not free.
+var (
+	once     sync.Once
+	shared   *corpus.Dataset
+	sharedM  *core.Model
+	loadFail error
+)
+
+func fixtures(t *testing.T) (*corpus.Dataset, *core.Model) {
+	t.Helper()
+	once.Do(func() {
+		cfg := synth.Config{U: 90, C: 4, K: 6, T: 16, V: 300,
+			PostsPerUser: 10, WordsPerPost: 8, LinksPerUser: 8, Seed: 5}
+		data, _, err := synth.Generate(cfg)
+		if err != nil {
+			loadFail = err
+			return
+		}
+		shared = data
+		mcfg := core.DefaultConfig(4, 6)
+		mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 25, 15, 3
+		sharedM, loadFail = core.Train(data, mcfg)
+	})
+	if loadFail != nil {
+		t.Fatal(loadFail)
+	}
+	return shared, sharedM
+}
+
+func quick() Schedule {
+	s := QuickSchedule()
+	s.Iterations, s.BurnIn, s.Folds = 12, 6, 2
+	return s
+}
+
+func TestScheduleDefaults(t *testing.T) {
+	s := DefaultSchedule()
+	if s.Folds != 5 || s.Iterations <= s.BurnIn {
+		t.Fatalf("bad default schedule %+v", s)
+	}
+	cfg := s.coldConfig(3, 4)
+	if cfg.C != 3 || cfg.K != 4 || cfg.Iterations != s.Iterations {
+		t.Fatalf("coldConfig wrong: %+v", cfg)
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{Name: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "A", Points: []Point{{1, 0.5}, {2, 0.7}}},
+			{Label: "B", Points: []Point{{1, 0.4}}},
+		}}
+	out := r.Render()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "A") {
+		t.Fatalf("render missing pieces:\n%s", out)
+	}
+	// Missing point rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing point not dashed:\n%s", out)
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	data, _ := fixtures(t)
+	res := Fig9(data, 4, []int{4, 6}, quick())
+	if len(res.Series) != 3 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 1 || p.Y > float64(data.V)*2 {
+				t.Fatalf("%s perplexity %v implausible", s.Label, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	data, _ := fixtures(t)
+	res := Fig10(data, 4, 6, quick())
+	if len(res.Series) != 3 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		auc := s.Points[0].Y
+		if auc < 0 || auc > 1 {
+			t.Fatalf("%s AUC %v", s.Label, auc)
+		}
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	data, _ := fixtures(t)
+	res := Fig11(data, 4, 6, []int{0, 2, 4}, quick())
+	if len(res.Series) != 4 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s points %d", s.Label, len(s.Points))
+		}
+		// Accuracy must be non-decreasing in tolerance.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Fatalf("%s accuracy decreases with tolerance", s.Label)
+			}
+		}
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	data, _ := fixtures(t)
+	res := Fig12(data, 4, 6, quick())
+	if len(res.Series) != 3 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	data, _ := fixtures(t)
+	s := quick()
+	a := Fig13a(data, 4, 6, []float64{0.5, 1}, 2, s)
+	if len(a.Series[0].Points) != 2 {
+		t.Fatalf("fig13a points %d", len(a.Series[0].Points))
+	}
+	// Larger data should not train faster (generously allowing noise).
+	p := a.Series[0].Points
+	if p[1].Y < p[0].Y*0.5 {
+		t.Fatalf("full dataset trained implausibly faster: %v", p)
+	}
+	b := Fig13b(data, 4, 6, []int{1, 2}, s)
+	if len(b.Series[0].Points) != 2 {
+		t.Fatalf("fig13b points %d", len(b.Series[0].Points))
+	}
+}
+
+func TestFig14And15Run(t *testing.T) {
+	data, _ := fixtures(t)
+	s := quick()
+	r14 := Fig14(data, 4, 6, 2, s)
+	if len(r14.Series) < 7 {
+		t.Fatalf("fig14 methods %d", len(r14.Series))
+	}
+	r15 := Fig15(data, 4, 6, s)
+	if len(r15.Series) != 3 {
+		t.Fatalf("fig15 methods %d", len(r15.Series))
+	}
+	for _, series := range r15.Series {
+		if series.Points[0].Y <= 0 {
+			t.Fatalf("%s nonpositive prediction time", series.Label)
+		}
+	}
+}
+
+func TestFigGridsRun(t *testing.T) {
+	data, _ := fixtures(t)
+	s := quick()
+	g17 := Fig17(data, []int{3, 4}, []int{4, 6}, s)
+	if len(g17.Series) != 2 || len(g17.Series[0].Points) != 2 {
+		t.Fatalf("fig17 shape wrong")
+	}
+	g18 := Fig18(data, []int{3, 4}, []int{4}, s)
+	if len(g18.Series) != 1 || len(g18.Series[0].Points) != 2 {
+		t.Fatalf("fig18 shape wrong")
+	}
+	g19 := Fig19(data, []int{3}, []int{4}, s)
+	if len(g19.Series) != 1 {
+		t.Fatalf("fig19 shape wrong")
+	}
+}
+
+func TestExploreRenders(t *testing.T) {
+	data, m := fixtures(t)
+	topic := PickBurstyTopic(m)
+	if topic < 0 || topic >= m.Cfg.K {
+		t.Fatalf("bursty topic %d", topic)
+	}
+	if out := Fig5(m, data, topic); !strings.Contains(out, "fig5") {
+		t.Fatalf("fig5 render:\n%s", out)
+	}
+	if out := Fig6(m); !strings.Contains(out, "medium") {
+		t.Fatalf("fig6 render:\n%s", out)
+	}
+	if out := Fig7(m, topic, 2); !strings.Contains(out, "lag") {
+		t.Fatalf("fig7 render:\n%s", out)
+	}
+	if out := Fig8(m, data, 4); !strings.Contains(out, "topic") {
+		t.Fatalf("fig8 render:\n%s", out)
+	}
+	r16, err := Fig16(m, topic, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r16.Ranked) != m.Cfg.C {
+		t.Fatalf("fig16 ranked %d", len(r16.Ranked))
+	}
+	if !strings.Contains(r16.PentagonTSV, "user\t") {
+		t.Fatal("fig16 TSV missing")
+	}
+	if out := r16.Render(); !strings.Contains(out, "spread") {
+		t.Fatalf("fig16 render:\n%s", out)
+	}
+	if out := Table2(); !strings.Contains(out, "COLD") {
+		t.Fatalf("table2 render:\n%s", out)
+	}
+}
+
+func newPredictor(m *core.Model) *core.Predictor { return core.NewPredictor(m, 5) }
+
+func TestRenderTSV(t *testing.T) {
+	r := &Result{Name: "figX", XLabel: "x",
+		Series: []Series{
+			{Label: "A", Points: []Point{{1, 0.5}, {2, 0.75}}},
+			{Label: "B", Points: []Point{{2, 0.25}}},
+		}}
+	out := r.RenderTSV()
+	if !strings.Contains(out, "x\tA\tB") {
+		t.Fatalf("tsv header:\n%s", out)
+	}
+	if !strings.Contains(out, "2\t0.75\t0.25") {
+		t.Fatalf("tsv rows:\n%s", out)
+	}
+}
+
+func TestFig10CIAndRender(t *testing.T) {
+	data, _ := fixtures(t)
+	cis, err := Fig10CI(data, 4, 6, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 3 {
+		t.Fatalf("methods %d", len(cis))
+	}
+	for _, ci := range cis {
+		if ci.Lo > ci.Point || ci.Hi < ci.Point {
+			t.Fatalf("%s CI [%v,%v] excludes point %v", ci.Method, ci.Lo, ci.Hi, ci.Point)
+		}
+	}
+	out := RenderCIs("demo", cis)
+	if !strings.Contains(out, "COLD") || !strings.Contains(out, "vs") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

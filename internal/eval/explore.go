@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/cascade"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/viz"
+)
+
+// Fig5 renders the community-level diffusion of one topic: each
+// community's top-interest pie, its ψ timeline sparkline, and the
+// strongest ζ edges — the map of Fig 5.
+func Fig5(m *core.Model, data *corpus.Dataset, topic int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fig5 — Community-level diffusion of topic %d\n", topic)
+	if data.Vocab != nil {
+		words := m.TopWords(topic, 8)
+		names := make([]string, len(words))
+		for i, w := range words {
+			names[i] = data.Vocab.Word(w)
+		}
+		fmt.Fprintf(&b, "topic words: %s\n", strings.Join(names, " "))
+	}
+	// Rank communities by interest in the topic.
+	interest := make([]float64, m.Cfg.C)
+	for c := range interest {
+		interest[c] = m.Theta[c][topic]
+	}
+	order := stats.ArgTopK(interest, m.Cfg.C)
+	fmt.Fprintf(&b, "%-5s %-9s %-22s %s\n", "comm", "interest", "timeline(psi)", "top topics(theta)")
+	for _, c := range order {
+		fmt.Fprintf(&b, "C%-4d %-9.4f %-22s %s\n",
+			c, interest[c], viz.Sparkline(m.Psi[topic][c]), viz.PieSummary(m.Theta[c], 5))
+	}
+	// Strongest influence edges at this topic.
+	zm := m.ZetaMatrix(topic)
+	type edge struct {
+		a, b int
+		z    float64
+	}
+	var edges []edge
+	for a := 0; a < m.Cfg.C; a++ {
+		for bIdx := 0; bIdx < m.Cfg.C; bIdx++ {
+			if a != bIdx {
+				edges = append(edges, edge{a, bIdx, zm[a][bIdx]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].z > edges[j].z })
+	b.WriteString("strongest influence edges (zeta):\n")
+	for i, e := range edges {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "  C%d -> C%d  %.5f %s\n", e.a, e.b, e.z, viz.Bar(e.z, edges[0].z, 24))
+	}
+	return b.String()
+}
+
+// Fig6 summarises the interest-vs-fluctuation analysis: the per-band
+// mean fluctuation plus the CDF of interest strengths.
+func Fig6(m *core.Model) string {
+	var b strings.Builder
+	b.WriteString("# fig6 — Topic fluctuation vs community interest\n")
+	bands := m.BandFluctuation(0, 0)
+	fmt.Fprintf(&b, "interest band            pairs   mean fluctuation (var of psi)\n")
+	fmt.Fprintf(&b, "low    (< %.2e)      %5d   %.4f\n", bands.LowCut, bands.LowCount, bands.LowMean)
+	fmt.Fprintf(&b, "medium (%.0e..%.0e)  %5d   %.4f\n", bands.LowCut, bands.HighCut, bands.MediumCount, bands.MediumMean)
+	fmt.Fprintf(&b, "high   (> %.2e)      %5d   %.4f\n", bands.HighCut, bands.HighCnt, bands.HighMean)
+
+	points := m.FluctuationVsInterest()
+	interests := make([]float64, len(points))
+	for i, p := range points {
+		interests[i] = p.Interest
+	}
+	xs, ps := stats.CDF(interests)
+	b.WriteString("interest CDF (log-spaced quantiles):\n")
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		idx := int(q * float64(len(xs)-1))
+		fmt.Fprintf(&b, "  P(theta <= %.2e) = %.2f\n", xs[idx], ps[idx])
+	}
+	return b.String()
+}
+
+// Fig7 renders the popularity-lag analysis for a topic: the two median
+// peak-aligned curves and the measured lag.
+func Fig7(m *core.Model, topic, highCount int) string {
+	lc := m.PopularityLag(topic, highCount, 1e-4)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fig7 — Popularity lag on topic %d\n", topic)
+	fmt.Fprintf(&b, "highly-interested  (%2d comms): %s peak@%d\n",
+		len(lc.HighCommunities), viz.Sparkline(lc.HighCurve), lc.HighPeak)
+	fmt.Fprintf(&b, "medium-interested  (%2d comms): %s peak@%d\n",
+		len(lc.MediumCommunities), viz.Sparkline(lc.MedCurve), lc.MediumPeak)
+	fmt.Fprintf(&b, "lag (medium - high): %d slices\n", lc.Lag)
+	return b.String()
+}
+
+// Fig8 renders word clouds for the first topN topics.
+func Fig8(m *core.Model, data *corpus.Dataset, topN int) string {
+	var b strings.Builder
+	b.WriteString("# fig8 — Word clouds of extracted topics\n")
+	for k := 0; k < m.Cfg.K && k < topN; k++ {
+		ids := m.TopWords(k, 10)
+		if data.Vocab != nil {
+			words := make([]string, len(ids))
+			weights := make([]float64, len(ids))
+			for i, id := range ids {
+				words[i] = data.Vocab.Word(id)
+				weights[i] = m.Phi[k][id]
+			}
+			fmt.Fprintf(&b, "topic %2d: %s\n", k, viz.WordCloud(words, weights, 10))
+		} else {
+			fmt.Fprintf(&b, "topic %2d: %v\n", k, ids)
+		}
+	}
+	return b.String()
+}
+
+// Fig16Result carries the influential-community analysis of one topic.
+type Fig16Result struct {
+	Topic       int
+	Ranked      []cascade.Ranked // communities by IC influence degree
+	PentagonTSV string           // user layout for the top-4 + rest corners
+}
+
+// InfluenceGraph builds the Independent Cascade graph of a topic from
+// the extracted ζ matrix. ζ values are products of simplex entries and η
+// and therefore tiny in absolute terms; the matrix is rescaled so the
+// strongest inter-community edge has activation probability 0.5,
+// preserving relative influence while making the cascade informative
+// (raw values would activate nothing and every community would tie at
+// spread ≈ 1).
+func InfluenceGraph(m *core.Model, topic int) (*cascade.WeightedGraph, error) {
+	zm := m.ZetaMatrix(topic)
+	maxZ := 0.0
+	for a := range zm {
+		for b := range zm[a] {
+			if a != b && zm[a][b] > maxZ {
+				maxZ = zm[a][b]
+			}
+		}
+	}
+	if maxZ > 0 {
+		scale := 0.5 / maxZ
+		for a := range zm {
+			for b := range zm[a] {
+				zm[a][b] *= scale
+				if zm[a][b] > 1 {
+					zm[a][b] = 1
+				}
+			}
+		}
+	}
+	return cascade.NewWeightedGraph(zm)
+}
+
+// Fig16 identifies the most influential communities on a topic by
+// running Independent Cascade on the extracted ζ graph, then lays users
+// out in the pentagon of the top four communities plus "other".
+func Fig16(m *core.Model, topic, rounds int, seed uint64) (*Fig16Result, error) {
+	g, err := InfluenceGraph(m, topic)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	ranked := g.RankInfluence(rounds, r)
+
+	// Pentagon: 4 most influential communities + aggregated rest.
+	corners := 4
+	if m.Cfg.C < corners {
+		corners = m.Cfg.C
+	}
+	anchor := make([]int, corners)
+	for i := 0; i < corners; i++ {
+		anchor[i] = ranked[i].Node
+	}
+	memberships := make([][]float64, m.U)
+	for i := 0; i < m.U; i++ {
+		row := make([]float64, corners+1)
+		rest := 1.0
+		for a, c := range anchor {
+			row[a] = m.Pi[i][c]
+			rest -= m.Pi[i][c]
+		}
+		if rest < 0 {
+			rest = 0
+		}
+		row[corners] = rest
+		memberships[i] = row
+	}
+	// User influence degree proxy: membership-weighted community spread.
+	sizes := make([]float64, m.U)
+	deg := make([]float64, m.Cfg.C)
+	for _, rk := range ranked {
+		deg[rk.Node] = rk.Spread
+	}
+	for i := 0; i < m.U; i++ {
+		for c := 0; c < m.Cfg.C; c++ {
+			sizes[i] += m.Pi[i][c] * deg[c]
+		}
+	}
+	layout := viz.PentagonLayout(memberships, sizes)
+	return &Fig16Result{Topic: topic, Ranked: ranked, PentagonTSV: viz.PentagonTSV(layout)}, nil
+}
+
+// Render prints the ranked communities (the headline of Fig 16).
+func (f *Fig16Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fig16 — Most influential communities on topic %d (IC spread)\n", f.Topic)
+	maxSpread := 0.0
+	if len(f.Ranked) > 0 {
+		maxSpread = f.Ranked[0].Spread
+	}
+	for i, rk := range f.Ranked {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "C%-4d spread=%.3f %s\n", rk.Node, rk.Spread, viz.Bar(rk.Spread, maxSpread, 24))
+	}
+	return b.String()
+}
+
+// Table2 renders the feature/task capability matrix of the implemented
+// methods.
+func Table2() string {
+	type row struct {
+		name                            string
+		text, social, time              bool
+		topicExt, commDet, tempM, diffP bool
+	}
+	rows := []row{
+		{"PMTLM", true, true, false, true, true, false, false},
+		{"MMSB", false, true, false, false, true, false, false},
+		{"EUTB", true, true, true, true, false, true, false},
+		{"Pipeline", true, true, true, true, true, true, false},
+		{"WTM", true, true, false, false, false, false, true},
+		{"TI", true, true, false, true, false, false, true},
+		{"COLD", true, true, true, true, true, true, true},
+	}
+	mark := func(v bool) string {
+		if v {
+			return "x"
+		}
+		return " "
+	}
+	var b strings.Builder
+	b.WriteString("# table2 — Feature and task comparison\n")
+	b.WriteString("method    text social time | topic comm temp diff\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s  %s     %s     %s   |   %s    %s    %s    %s\n",
+			r.name, mark(r.text), mark(r.social), mark(r.time),
+			mark(r.topicExt), mark(r.commDet), mark(r.tempM), mark(r.diffP))
+	}
+	return b.String()
+}
+
+// PickBurstyTopic returns the topic whose ψ (averaged over communities)
+// has the highest peak — a good subject for Figs 5 and 7.
+func PickBurstyTopic(m *core.Model) int {
+	best, bestPeak := 0, math.Inf(-1)
+	for k := 0; k < m.Cfg.K; k++ {
+		avg := make([]float64, m.T)
+		for c := 0; c < m.Cfg.C; c++ {
+			for t := 0; t < m.T; t++ {
+				avg[t] += m.Psi[k][c][t]
+			}
+		}
+		peak, _ := stats.Max(avg)
+		if peak > bestPeak {
+			best, bestPeak = k, peak
+		}
+	}
+	return best
+}

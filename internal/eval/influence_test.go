@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func TestMeasureInfluenceQuality(t *testing.T) {
+	cfg := synth.Small(41)
+	data, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := core.DefaultConfig(cfg.C, cfg.K)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 30, 18, 3
+	m, err := core.Train(data, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := MeasureInfluenceQuality(m, gt, 0, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Oracle < 2 {
+		t.Fatalf("oracle spread %v implausibly low for 2 seeds", q.Oracle)
+	}
+	if q.COLD < 2 {
+		t.Fatalf("COLD spread %v below seed count", q.COLD)
+	}
+	// COLD's seeds should recover a decent fraction of the oracle value
+	// and beat random selection.
+	if q.Ratio < 0.7 {
+		t.Fatalf("COLD reaches only %.0f%% of oracle spread", q.Ratio*100)
+	}
+	if q.COLD < q.Random {
+		t.Fatalf("COLD spread %.3f below random %.3f", q.COLD, q.Random)
+	}
+	if out := q.Render(); !strings.Contains(out, "oracle") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/baselines/eutb"
+	"github.com/cold-diffusion/cold/internal/baselines/mmsb"
+	"github.com/cold-diffusion/cold/internal/baselines/pipeline"
+	"github.com/cold-diffusion/cold/internal/baselines/pmtlm"
+	"github.com/cold-diffusion/cold/internal/baselines/ti"
+	"github.com/cold-diffusion/cold/internal/baselines/wtm"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Fig13a reproduces training time vs data size: nested subsets of the
+// dataset trained with a fixed worker count. The paper's claim is linear
+// scaling in the number of words and positive links.
+func Fig13a(data *corpus.Dataset, c, k int, fractions []float64, workers int, s Schedule) *Result {
+	res := &Result{Name: "fig13a", Title: "Training time vs data size (fixed workers)",
+		XLabel: "fraction", YLabel: "seconds"}
+	if fractions == nil {
+		fractions = []float64{0.25, 0.5, 1.0}
+	}
+	series := Series{Label: "COLD"}
+	for _, f := range fractions {
+		sub := data.Subset(int(f*float64(len(data.Posts))), int(f*float64(len(data.Links))))
+		cfg := s.coldConfig(c, k)
+		cfg.Workers = workers
+		_, st, err := core.TrainWithStats(sub, cfg)
+		if err != nil {
+			continue
+		}
+		series.Points = append(series.Points, Point{f, st.Elapsed.Seconds()})
+	}
+	res.Series = []Series{series}
+	return res
+}
+
+// Fig13b reproduces training time vs worker count ("GraphLab nodes").
+// On a single-core host the wall-clock curve flattens; the per-worker
+// sampling is still partitioned exactly as Alg 2 describes.
+func Fig13b(data *corpus.Dataset, c, k int, workerCounts []int, s Schedule) *Result {
+	res := &Result{Name: "fig13b", Title: "Training time vs #workers",
+		XLabel: "workers", YLabel: "seconds"}
+	if workerCounts == nil {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	series := Series{Label: "COLD"}
+	for _, w := range workerCounts {
+		cfg := s.coldConfig(c, k)
+		cfg.Workers = w
+		_, st, err := core.TrainWithStats(data, cfg)
+		if err != nil {
+			continue
+		}
+		series.Points = append(series.Points, Point{float64(w), st.Elapsed.Seconds()})
+	}
+	res.Series = []Series{series}
+	return res
+}
+
+// Fig14 reproduces training time across methods on the same dataset and
+// budget (C = K). "COLD(n)" is the GAS-parallel run with n workers.
+func Fig14(data *corpus.Dataset, c, k, parallelWorkers int, s Schedule) *Result {
+	res := &Result{Name: "fig14", Title: "Training time across methods",
+		XLabel: "method", YLabel: "seconds"}
+	add := func(label string, d time.Duration, err error) {
+		if err != nil {
+			return
+		}
+		res.Series = append(res.Series, Series{Label: label, Points: []Point{{1, d.Seconds()}}})
+	}
+
+	pcfg := pmtlm.DefaultConfig(c)
+	pcfg.Iterations, pcfg.BurnIn, pcfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	_, d, err := pmtlm.Train(data, pcfg)
+	add("PMTLM", d, err)
+
+	mcfg := mmsb.DefaultConfig(c)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	_, d, err = mmsb.Train(data, mcfg)
+	add("MMSB", d, err)
+
+	ecfg := eutb.DefaultConfig(k)
+	ecfg.Iterations, ecfg.BurnIn, ecfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	_, d, err = eutb.Train(data, ecfg)
+	add("EUTB", d, err)
+
+	plcfg := pipeline.DefaultConfig(c, k)
+	plcfg.MMSB.Iterations, plcfg.MMSB.BurnIn = s.Iterations, s.BurnIn
+	plcfg.TOT.Iterations, plcfg.TOT.BurnIn = s.Iterations, s.BurnIn
+	plcfg.Seed = s.Seed
+	_, d, err = pipeline.Train(data, plcfg)
+	add("Pipeline", d, err)
+
+	tcfg := ti.DefaultConfig(k)
+	tcfg.Iterations, tcfg.BurnIn, tcfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	_, d, err = ti.Train(data, nil, tcfg)
+	add("TI", d, err)
+
+	_, d, err = wtm.Train(data, nil, wtm.DefaultConfig())
+	add("WTM", d, err)
+
+	_, st, err := core.TrainWithStats(data, s.coldConfig(c, k))
+	if err == nil {
+		add("COLD", st.Elapsed, nil)
+	}
+
+	parCfg := s.coldConfig(c, k)
+	parCfg.Workers = parallelWorkers
+	_, st, err = core.TrainWithStats(data, parCfg)
+	if err == nil {
+		add("COLD(par)", st.Elapsed, nil)
+	}
+	return res
+}
+
+// Fig15 reproduces online prediction time per method: mean nanoseconds
+// per (publisher, candidate, post) score over a fixed probe batch, after
+// training and offline caching.
+func Fig15(data *corpus.Dataset, c, k int, s Schedule) *Result {
+	res := &Result{Name: "fig15", Title: "Online diffusion prediction time",
+		XLabel: "method", YLabel: "µs/prediction"}
+	if len(data.Retweets) == 0 {
+		return res
+	}
+	cm, err := core.Train(data, s.coldConfig(c, k))
+	if err != nil {
+		return res
+	}
+	predictor := core.NewPredictor(cm, 5)
+
+	tcfg := ti.DefaultConfig(k)
+	tcfg.Iterations, tcfg.BurnIn, tcfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	tim, _, err := ti.Train(data, nil, tcfg)
+	if err != nil {
+		return res
+	}
+	wm, _, err := wtm.Train(data, nil, wtm.DefaultConfig())
+	if err != nil {
+		return res
+	}
+
+	type probe struct {
+		i, ip int
+		words text.BagOfWords
+	}
+	var probes []probe
+	for _, rt := range data.Retweets {
+		words := data.Posts[rt.Post].Words
+		for _, u := range rt.Retweeters {
+			probes = append(probes, probe{rt.Publisher, u, words})
+		}
+		for _, u := range rt.Ignorers {
+			probes = append(probes, probe{rt.Publisher, u, words})
+		}
+		if len(probes) >= 2000 {
+			break
+		}
+	}
+	if len(probes) == 0 {
+		return res
+	}
+	timeIt := func(f func(i, ip int, w text.BagOfWords) float64) float64 {
+		start := time.Now()
+		sink := 0.0
+		for _, p := range probes {
+			sink += f(p.i, p.ip, p.words)
+		}
+		elapsed := time.Since(start)
+		_ = sink
+		return float64(elapsed.Microseconds()) / float64(len(probes))
+	}
+	res.Series = []Series{
+		{Label: "COLD", Points: []Point{{1, timeIt(predictor.Score)}}},
+		{Label: "TI", Points: []Point{{1, timeIt(tim.Score)}}},
+		{Label: "WTM", Points: []Point{{1, timeIt(wm.Score)}}},
+	}
+	return res
+}

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cold-diffusion/cold/internal/baselines/mmsb"
+	"github.com/cold-diffusion/cold/internal/baselines/pmtlm"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/stats"
+)
+
+// Significance reporting: the headline AUC comparisons with bootstrap
+// confidence intervals, so "slightly better" claims can be judged
+// against sampling noise (EXPERIMENTS.md uses this to call the COLD vs
+// PMTLM link-prediction result a statistical tie).
+
+// MethodCI is one method's metric with a 95% bootstrap CI.
+type MethodCI struct {
+	Method string
+	Point  float64
+	Lo, Hi float64
+}
+
+// Fig10CI evaluates the link-prediction methods on one validation fold
+// and attaches 95% bootstrap CIs to the AUCs.
+func Fig10CI(data *corpus.Dataset, c, k int, s Schedule) ([]MethodCI, error) {
+	split := splitsFor(data, s)[0]
+	train := trainLinksView(data, split.TrainLinks)
+	g, err := data.Graph()
+	if err != nil {
+		return nil, err
+	}
+	nNeg := 4 * len(split.TestLinks)
+	negEdges, err := g.NegativeLinks(rng.New(s.Seed+977), nNeg)
+	if err != nil {
+		return nil, err
+	}
+	scoresOf := func(score func(i, ip int) float64) (pos, neg []float64) {
+		for _, li := range split.TestLinks {
+			e := data.Links[li]
+			pos = append(pos, score(e.From, e.To))
+		}
+		for _, e := range negEdges {
+			neg = append(neg, score(e.From, e.To))
+		}
+		return pos, neg
+	}
+
+	var out []MethodCI
+	add := func(name string, score func(i, ip int) float64) {
+		pos, neg := scoresOf(score)
+		lo, hi := stats.BootstrapAUCCI(pos, neg, 400, 0.95, rng.New(s.Seed+31))
+		out = append(out, MethodCI{Method: name, Point: stats.AUC(pos, neg), Lo: lo, Hi: hi})
+	}
+
+	cm, err := core.Train(train, s.coldConfig(c, k))
+	if err != nil {
+		return nil, err
+	}
+	add("COLD", cm.LinkScore)
+
+	pcfg := pmtlm.DefaultConfig(c)
+	pcfg.Iterations, pcfg.BurnIn, pcfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	pm, _, err := pmtlm.Train(train, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	add("PMTLM", pm.LinkScore)
+
+	mcfg := mmsb.DefaultConfig(c)
+	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = s.Iterations, s.BurnIn, s.Seed
+	mm, _, err := mmsb.Train(train, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	add("MMSB", mm.LinkScore)
+	return out, nil
+}
+
+// RenderCIs prints the comparison with interval-overlap verdicts.
+func RenderCIs(title string, cis []MethodCI) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (95%% bootstrap CIs)\n", title)
+	for _, ci := range cis {
+		fmt.Fprintf(&b, "%-8s %.4f  [%.4f, %.4f]\n", ci.Method, ci.Point, ci.Lo, ci.Hi)
+	}
+	// Pairwise verdicts.
+	for i := 0; i < len(cis); i++ {
+		for j := i + 1; j < len(cis); j++ {
+			a, c := cis[i], cis[j]
+			verdict := "overlapping CIs (statistical tie)"
+			if a.Lo > c.Hi {
+				verdict = fmt.Sprintf("%s significantly higher", a.Method)
+			} else if c.Lo > a.Hi {
+				verdict = fmt.Sprintf("%s significantly higher", c.Method)
+			}
+			fmt.Fprintf(&b, "%s vs %s: %s\n", a.Method, c.Method, verdict)
+		}
+	}
+	return b.String()
+}

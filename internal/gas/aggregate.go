@@ -1,0 +1,66 @@
+package gas
+
+import "sync"
+
+// Sync aggregators in the GraphLab sense: parallel reductions over the
+// whole graph, used for convergence monitors and global statistics
+// without interrupting the vertex programs.
+
+// AggregateVertices folds fn over every vertex in parallel and combines
+// the per-worker partial results with combine. zero is the identity.
+func AggregateVertices[VD, ED, R any](g *Graph[VD, ED], workers int, zero R,
+	fn func(v int32, vd *VD) R, combine func(a, b R) R) R {
+	return aggregate(workers, len(g.Vertices), zero, combine, func(i int) R {
+		return fn(int32(i), &g.Vertices[i])
+	})
+}
+
+// AggregateEdges folds fn over every edge in parallel.
+func AggregateEdges[VD, ED, R any](g *Graph[VD, ED], workers int, zero R,
+	fn func(eid int32, e *Edge[ED]) R, combine func(a, b R) R) R {
+	return aggregate(workers, len(g.Edges), zero, combine, func(i int) R {
+		return fn(int32(i), &g.Edges[i])
+	})
+}
+
+func aggregate[R any](workers, n int, zero R, combine func(a, b R) R, item func(i int) R) R {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n < 2*workers {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = combine(acc, item(i))
+		}
+		return acc
+	}
+	partials := make([]R, workers)
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		hi := lo + block
+		if lo >= n {
+			partials[w] = zero
+			continue
+		}
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := zero
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, item(i))
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := zero
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}

@@ -1,0 +1,43 @@
+package gas
+
+import "testing"
+
+func TestAggregateVertices(t *testing.T) {
+	g := NewGraph[int, string](make([]int, 100))
+	for i := range g.Vertices {
+		g.Vertices[i] = i
+	}
+	g.Finalize()
+	sum := func(a, b int) int { return a + b }
+	id := func(v int32, vd *int) int { return *vd }
+	want := 99 * 100 / 2
+	for _, workers := range []int{1, 3, 8} {
+		if got := AggregateVertices(g, workers, 0, id, sum); got != want {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestAggregateEdges(t *testing.T) {
+	g := NewGraph[int, int](make([]int, 4))
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 7)
+	g.AddEdge(2, 3, 11)
+	g.Finalize()
+	got := AggregateEdges(g, 2, 0,
+		func(eid int32, e *Edge[int]) int { return e.Data },
+		func(a, b int) int { return a + b })
+	if got != 23 {
+		t.Fatalf("edge sum %d", got)
+	}
+}
+
+func TestAggregateEmptyGraph(t *testing.T) {
+	g := NewGraph[int, int](nil)
+	g.Finalize()
+	if got := AggregateVertices(g, 4, 42,
+		func(v int32, vd *int) int { return 1 },
+		func(a, b int) int { return a + b }); got != 42 {
+		t.Fatalf("empty aggregate %d, want identity", got)
+	}
+}

@@ -1,0 +1,137 @@
+package gas
+
+import "sync"
+
+// Chromatic scheduling: GraphLab's edge-consistency model guarantees
+// that no two updates touching the same vertex run concurrently. The
+// synchronous Engine achieves safety with snapshot semantics instead;
+// the ChromaticEngine provides true edge consistency by colouring edges
+// so that edges sharing an endpoint never share a colour, then running
+// colour classes sequentially with parallelism inside each class. A
+// program whose Scatter mutates *vertex* data (not just edge data) is
+// safe under this engine.
+type ChromaticEngine[VD, ED, Acc, Ctx any] struct {
+	g       *Graph[VD, ED]
+	p       Program[VD, ED, Acc, Ctx]
+	workers int
+	ctxs    []Ctx
+	colors  [][]int32 // edge ids per colour class
+}
+
+// NewChromaticEngine colours the graph's edges greedily and returns the
+// engine. Colouring is deterministic (edges processed in id order).
+func NewChromaticEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ctx], workers int) *ChromaticEngine[VD, ED, Acc, Ctx] {
+	if !g.finalized {
+		g.Finalize()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := &ChromaticEngine[VD, ED, Acc, Ctx]{g: g, p: p, workers: workers}
+	e.ctxs = make([]Ctx, workers)
+	for w := 0; w < workers; w++ {
+		e.ctxs[w] = p.NewCtx(w)
+	}
+	e.colors = colorEdges(g)
+	return e
+}
+
+// colorEdges assigns each edge the smallest colour not used by another
+// edge at either endpoint (greedy edge colouring; at most 2Δ−1 colours).
+func colorEdges[VD, ED any](g *Graph[VD, ED]) [][]int32 {
+	edgeColor := make([]int, len(g.Edges))
+	for i := range edgeColor {
+		edgeColor[i] = -1
+	}
+	var classes [][]int32
+	used := make(map[int]bool)
+	for id := range g.Edges {
+		e := &g.Edges[id]
+		for k := range used {
+			delete(used, k)
+		}
+		for _, nb := range g.incident[e.Src] {
+			if c := edgeColor[nb]; c >= 0 {
+				used[c] = true
+			}
+		}
+		for _, nb := range g.incident[e.Dst] {
+			if c := edgeColor[nb]; c >= 0 {
+				used[c] = true
+			}
+		}
+		color := 0
+		for used[color] {
+			color++
+		}
+		edgeColor[id] = color
+		for color >= len(classes) {
+			classes = append(classes, nil)
+		}
+		classes[color] = append(classes[color], int32(id))
+	}
+	return classes
+}
+
+// Colors returns the number of colour classes.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Colors() int { return len(e.colors) }
+
+// Workers returns the worker count.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
+
+// Step runs one superstep: gather+apply over all vertices, then scatter
+// colour class by colour class (parallel within a class), then Merge.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() {
+	parallelRange(e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			vid := int32(v)
+			var acc Acc
+			has := false
+			for _, eid := range e.g.incident[v] {
+				a := e.p.Gather(e.g, vid, &e.g.Edges[eid])
+				if !has {
+					acc, has = a, true
+				} else {
+					acc = e.p.Sum(acc, a)
+				}
+			}
+			e.p.Apply(e.g, vid, acc, has)
+		}
+	})
+	for _, class := range e.colors {
+		parallelRange(e.workers, len(class), func(worker, lo, hi int) {
+			ctx := e.ctxs[worker]
+			for i := lo; i < hi; i++ {
+				id := class[i]
+				e.p.Scatter(e.g, id, &e.g.Edges[id], ctx)
+			}
+		})
+	}
+	e.p.Merge(e.ctxs)
+}
+
+// parallelRange splits [0, n) into one contiguous block per worker.
+func parallelRange(workers, n int, fn func(worker, lo, hi int)) {
+	if workers == 1 || n < 2*workers {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		hi := lo + block
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package gas
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// stochasticProgram mutates edge data with per-worker RNGs — the shape
+// of the COLD sampler — so this test pins down that the engine is
+// deterministic for a fixed worker count despite concurrency.
+type stochasticProgram struct {
+	seed uint64
+}
+
+type stochCtx struct {
+	r *rng.RNG
+}
+
+func (p *stochasticProgram) NewCtx(worker int) *stochCtx {
+	return &stochCtx{r: rng.New(p.seed + uint64(worker)*7919)}
+}
+
+func (p *stochasticProgram) Gather(g *Graph[int, uint64], v int32, e *Edge[uint64]) int {
+	return int(e.Data % 16)
+}
+
+func (p *stochasticProgram) Sum(a, b int) int { return a + b }
+
+func (p *stochasticProgram) Apply(g *Graph[int, uint64], v int32, acc int, has bool) {
+	if !has {
+		acc = 0
+	}
+	g.Vertices[v] = acc
+}
+
+func (p *stochasticProgram) Scatter(g *Graph[int, uint64], eid int32, e *Edge[uint64], ctx *stochCtx) {
+	e.Data = e.Data ^ ctx.r.Uint64()
+}
+
+func (p *stochasticProgram) Merge(ctxs []*stochCtx) {}
+
+func runStochastic(workers int, steps int) []uint64 {
+	r := rng.New(3)
+	n := 40
+	g := NewGraph[int, uint64](make([]int, n))
+	for i := 0; i < 120; i++ {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		if a != b {
+			g.AddEdge(a, b, r.Uint64())
+		}
+	}
+	g.Finalize()
+	e := NewEngine[int, uint64, int, *stochCtx](g, &stochasticProgram{seed: 5}, workers)
+	for i := 0; i < steps; i++ {
+		e.Step()
+	}
+	out := make([]uint64, len(g.Edges))
+	for i := range g.Edges {
+		out[i] = g.Edges[i].Data
+	}
+	return out
+}
+
+func TestEngineDeterministicForFixedWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		a := runStochastic(workers, 5)
+		b := runStochastic(workers, 5)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: edge %d diverged between identical runs", workers, i)
+			}
+		}
+	}
+}
+
+func TestEngineWorkerCountChangesStream(t *testing.T) {
+	// Different worker counts partition the RNG streams differently, so
+	// the (stochastic) results differ — documenting that determinism is
+	// per (graph, workers) pair, as with the COLD sampler.
+	a := runStochastic(1, 3)
+	b := runStochastic(4, 3)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different worker counts produced identical stochastic output")
+	}
+}

@@ -1,0 +1,181 @@
+// Package gas implements a vertex-centric gather–apply–scatter (GAS)
+// computation engine in the style of distributed GraphLab (Low et al.,
+// PVLDB 2012), which the paper uses to parallelise COLD's collapsed Gibbs
+// sampler (§4.3, Alg 2). This in-process engine substitutes goroutine
+// workers for cluster nodes while keeping the same program abstraction:
+//
+//   - Gather: each vertex folds an accumulator over its incident edges.
+//   - Apply: the vertex updates its own data from the folded accumulator.
+//   - Scatter: each edge is visited once and may update its edge data,
+//     accumulating changes to global state into a per-worker context.
+//
+// A superstep runs gather+apply for every vertex, then scatter for every
+// edge, then merges the per-worker contexts into global state — the
+// "periodic aggregation of global counters" described in the paper.
+// Within a superstep all reads see the state as of the previous merge, so
+// results are independent of worker interleaving given fixed per-worker
+// work assignment.
+package gas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Edge is a directed edge with attached data. Src and Dst index the
+// graph's vertex array.
+type Edge[ED any] struct {
+	Src, Dst int32
+	Data     ED
+}
+
+// Graph is a static graph over typed vertex and edge data. Build it with
+// NewGraph and AddEdge, then Finalize before running an engine.
+type Graph[VD, ED any] struct {
+	Vertices []VD
+	Edges    []Edge[ED]
+
+	incident  [][]int32 // edge ids incident to each vertex (in or out)
+	finalized bool
+}
+
+// NewGraph creates a graph whose vertex data is the given slice.
+func NewGraph[VD, ED any](vertices []VD) *Graph[VD, ED] {
+	return &Graph[VD, ED]{Vertices: vertices}
+}
+
+// AddEdge appends an edge and returns its id. Panics after Finalize.
+func (g *Graph[VD, ED]) AddEdge(src, dst int32, data ED) int32 {
+	if g.finalized {
+		panic("gas: AddEdge after Finalize")
+	}
+	if int(src) >= len(g.Vertices) || int(dst) >= len(g.Vertices) || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("gas: edge (%d,%d) out of range", src, dst))
+	}
+	g.Edges = append(g.Edges, Edge[ED]{Src: src, Dst: dst, Data: data})
+	return int32(len(g.Edges) - 1)
+}
+
+// Finalize builds the incidence index. Call once after all AddEdge calls.
+func (g *Graph[VD, ED]) Finalize() {
+	if g.finalized {
+		return
+	}
+	g.incident = make([][]int32, len(g.Vertices))
+	for id := range g.Edges {
+		e := &g.Edges[id]
+		g.incident[e.Src] = append(g.incident[e.Src], int32(id))
+		if e.Dst != e.Src {
+			g.incident[e.Dst] = append(g.incident[e.Dst], int32(id))
+		}
+	}
+	g.finalized = true
+}
+
+// Incident returns the edge ids incident to vertex v (do not modify).
+func (g *Graph[VD, ED]) Incident(v int32) []int32 { return g.incident[v] }
+
+// Program is a GAS vertex program. Acc is the gather accumulator type and
+// Ctx the per-worker scatter context carrying global-state deltas.
+type Program[VD, ED, Acc, Ctx any] interface {
+	// NewCtx allocates the context for one worker.
+	NewCtx(worker int) Ctx
+	// Gather folds edge e (incident to vertex v) into an accumulator.
+	Gather(g *Graph[VD, ED], v int32, e *Edge[ED]) Acc
+	// Sum combines two accumulators.
+	Sum(a, b Acc) Acc
+	// Apply updates vertex v from the folded accumulator. has reports
+	// whether the vertex had any incident edge.
+	Apply(g *Graph[VD, ED], v int32, acc Acc, has bool)
+	// Scatter visits edge e exactly once per superstep and may mutate its
+	// data, accumulating global-state changes into ctx.
+	Scatter(g *Graph[VD, ED], eid int32, e *Edge[ED], ctx Ctx)
+	// Merge folds all worker contexts into global state after the scatter
+	// phase. It runs single-threaded.
+	Merge(ctxs []Ctx)
+}
+
+// Engine drives supersteps of a Program over a finalized Graph with a
+// fixed worker pool. Work is split into contiguous blocks per worker so
+// a given (graph, workers) pair is deterministic.
+type Engine[VD, ED, Acc, Ctx any] struct {
+	g       *Graph[VD, ED]
+	p       Program[VD, ED, Acc, Ctx]
+	workers int
+	ctxs    []Ctx
+}
+
+// NewEngine creates an engine with the given worker count (minimum 1).
+func NewEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ctx], workers int) *Engine[VD, ED, Acc, Ctx] {
+	if !g.finalized {
+		g.Finalize()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine[VD, ED, Acc, Ctx]{g: g, p: p, workers: workers}
+	e.ctxs = make([]Ctx, workers)
+	for w := 0; w < workers; w++ {
+		e.ctxs[w] = p.NewCtx(w)
+	}
+	return e
+}
+
+// Workers returns the engine's worker count.
+func (e *Engine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
+
+// Step runs one superstep: gather+apply over all vertices, scatter over
+// all edges, then Merge.
+func (e *Engine[VD, ED, Acc, Ctx]) Step() {
+	e.parallel(len(e.g.Vertices), func(worker, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			vid := int32(v)
+			var acc Acc
+			has := false
+			for _, eid := range e.g.incident[v] {
+				a := e.p.Gather(e.g, vid, &e.g.Edges[eid])
+				if !has {
+					acc, has = a, true
+				} else {
+					acc = e.p.Sum(acc, a)
+				}
+			}
+			e.p.Apply(e.g, vid, acc, has)
+		}
+	})
+	e.parallel(len(e.g.Edges), func(worker, lo, hi int) {
+		ctx := e.ctxs[worker]
+		for id := lo; id < hi; id++ {
+			e.p.Scatter(e.g, int32(id), &e.g.Edges[id], ctx)
+		}
+	})
+	e.p.Merge(e.ctxs)
+}
+
+// parallel splits [0, n) into one contiguous block per worker and runs fn
+// concurrently. Blocks are assigned by worker index so the partition is
+// stable across supersteps.
+func (e *Engine[VD, ED, Acc, Ctx]) parallel(n int, fn func(worker, lo, hi int)) {
+	if e.workers == 1 || n < 2*e.workers {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo := w * block
+		hi := lo + block
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

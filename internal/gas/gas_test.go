@@ -1,0 +1,120 @@
+package gas
+
+import (
+	"sync"
+	"testing"
+)
+
+// degreeProgram counts incident edges per vertex in Apply and counts
+// total scatter visits in per-worker contexts, exercising every engine
+// phase.
+type degreeProgram struct {
+	mu            sync.Mutex
+	scatterTotal  int
+	mergedCtxSeen int
+}
+
+type degCtx struct{ visits int }
+
+func (p *degreeProgram) NewCtx(worker int) *degCtx { return &degCtx{} }
+
+func (p *degreeProgram) Gather(g *Graph[int, string], v int32, e *Edge[string]) int { return 1 }
+
+func (p *degreeProgram) Sum(a, b int) int { return a + b }
+
+func (p *degreeProgram) Apply(g *Graph[int, string], v int32, acc int, has bool) {
+	if !has {
+		acc = 0
+	}
+	g.Vertices[v] = acc
+}
+
+func (p *degreeProgram) Scatter(g *Graph[int, string], eid int32, e *Edge[string], ctx *degCtx) {
+	ctx.visits++
+}
+
+func (p *degreeProgram) Merge(ctxs []*degCtx) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mergedCtxSeen = len(ctxs)
+	for _, c := range ctxs {
+		p.scatterTotal += c.visits
+		c.visits = 0
+	}
+}
+
+func buildTestGraph() *Graph[int, string] {
+	g := NewGraph[int, string](make([]int, 5))
+	g.AddEdge(0, 1, "a")
+	g.AddEdge(1, 2, "b")
+	g.AddEdge(2, 0, "c")
+	g.AddEdge(3, 0, "d")
+	// vertex 4 isolated
+	g.Finalize()
+	return g
+}
+
+func TestEngineDegrees(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		g := buildTestGraph()
+		p := &degreeProgram{}
+		e := NewEngine[int, string, int, *degCtx](g, p, workers)
+		e.Step()
+		wantDeg := []int{3, 2, 2, 1, 0}
+		for v, want := range wantDeg {
+			if g.Vertices[v] != want {
+				t.Fatalf("workers=%d: degree[%d] = %d, want %d", workers, v, g.Vertices[v], want)
+			}
+		}
+		if p.scatterTotal != len(g.Edges) {
+			t.Fatalf("workers=%d: scatter visited %d edges, want %d", workers, p.scatterTotal, len(g.Edges))
+		}
+		if p.mergedCtxSeen != e.Workers() {
+			t.Fatalf("workers=%d: merge saw %d contexts", workers, p.mergedCtxSeen)
+		}
+	}
+}
+
+func TestEngineMultipleSteps(t *testing.T) {
+	g := buildTestGraph()
+	p := &degreeProgram{}
+	e := NewEngine[int, string, int, *degCtx](g, p, 2)
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	if p.scatterTotal != 3*len(g.Edges) {
+		t.Fatalf("3 steps scattered %d edge visits, want %d", p.scatterTotal, 3*len(g.Edges))
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewGraph[int, string](make([]int, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	g.AddEdge(0, 5, "x")
+}
+
+func TestAddEdgeAfterFinalizePanics(t *testing.T) {
+	g := NewGraph[int, string](make([]int, 2))
+	g.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge after Finalize did not panic")
+		}
+	}()
+	g.AddEdge(0, 1, "x")
+}
+
+func TestIncidentIndex(t *testing.T) {
+	g := buildTestGraph()
+	inc0 := g.Incident(0)
+	if len(inc0) != 3 {
+		t.Fatalf("vertex 0 incident %v", inc0)
+	}
+	if len(g.Incident(4)) != 0 {
+		t.Fatal("isolated vertex has incident edges")
+	}
+}

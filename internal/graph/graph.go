@@ -1,0 +1,217 @@
+// Package graph implements the directed interaction network substrate of
+// the COLD system: adjacency storage for the link set E derived from user
+// interactions (Definition 1 of the paper), degree queries, negative-link
+// sampling for link-prediction evaluation, component analysis and a CSR
+// snapshot used by the parallel engine.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+// Edge is a directed link (From, To): communication flows from From to To,
+// e.g. To retweeted From.
+type Edge struct {
+	From, To int
+}
+
+// Directed is a mutable directed graph over vertices [0, N). Parallel
+// edges are collapsed; self-loops are rejected.
+type Directed struct {
+	n   int
+	out []map[int]struct{}
+	in  []map[int]struct{}
+	m   int
+}
+
+// NewDirected returns an empty directed graph with n vertices.
+func NewDirected(n int) *Directed {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Directed{
+		n:   n,
+		out: make([]map[int]struct{}, n),
+		in:  make([]map[int]struct{}, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Directed) N() int { return g.n }
+
+// M returns the number of distinct directed edges.
+func (g *Directed) M() int { return g.m }
+
+// AddEdge inserts the directed edge (from, to). It reports whether the
+// edge was newly added. Self-loops and out-of-range endpoints error.
+func (g *Directed) AddEdge(from, to int) (bool, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return false, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	if from == to {
+		return false, fmt.Errorf("graph: self-loop (%d,%d) rejected", from, to)
+	}
+	if g.out[from] == nil {
+		g.out[from] = make(map[int]struct{})
+	}
+	if _, ok := g.out[from][to]; ok {
+		return false, nil
+	}
+	g.out[from][to] = struct{}{}
+	if g.in[to] == nil {
+		g.in[to] = make(map[int]struct{})
+	}
+	g.in[to][from] = struct{}{}
+	g.m++
+	return true, nil
+}
+
+// HasEdge reports whether the directed edge (from, to) exists.
+func (g *Directed) HasEdge(from, to int) bool {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return false
+	}
+	_, ok := g.out[from][to]
+	return ok
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Directed) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Directed) InDegree(v int) int { return len(g.in[v]) }
+
+// Out returns the sorted out-neighbours of v.
+func (g *Directed) Out(v int) []int { return sortedKeys(g.out[v]) }
+
+// In returns the sorted in-neighbours of v.
+func (g *Directed) In(v int) []int { return sortedKeys(g.in[v]) }
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *Directed) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for v := 0; v < g.n; v++ {
+		for w := range g.out[v] {
+			es = append(es, Edge{v, w})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// NegativeLinks returns count non-edges sampled uniformly at random
+// (distinct, no self-loops). Used to build the negative class for the
+// link-prediction AUC. It errors when the graph is too dense to find
+// enough non-edges.
+func (g *Directed) NegativeLinks(r *rng.RNG, count int) ([]Edge, error) {
+	maxNeg := g.n*(g.n-1) - g.m
+	if count > maxNeg {
+		return nil, fmt.Errorf("graph: requested %d negative links, only %d exist", count, maxNeg)
+	}
+	seen := make(map[Edge]struct{}, count)
+	out := make([]Edge, 0, count)
+	attempts := 0
+	limit := 100*count + 1000
+	for len(out) < count {
+		attempts++
+		if attempts > limit {
+			return nil, fmt.Errorf("graph: negative sampling stalled after %d attempts", attempts)
+		}
+		from := r.Intn(g.n)
+		to := r.Intn(g.n)
+		if from == to || g.HasEdge(from, to) {
+			continue
+		}
+		e := Edge{from, to}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// WeaklyConnectedComponents returns the component label of every vertex,
+// labelling components by discovery order, and the component count.
+func (g *Directed) WeaklyConnectedComponents() ([]int, int) {
+	label := make([]int, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	queue := make([]int, 0, g.n)
+	for start := 0; start < g.n; start++ {
+		if label[start] != -1 {
+			continue
+		}
+		label[start] = next
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for w := range g.out[v] {
+				if label[w] == -1 {
+					label[w] = next
+					queue = append(queue, w)
+				}
+			}
+			for w := range g.in[v] {
+				if label[w] == -1 {
+					label[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return label, next
+}
+
+// CSR is an immutable compressed-sparse-row snapshot of a directed
+// graph's out-adjacency, the layout the GAS engine iterates over.
+type CSR struct {
+	RowPtr []int32
+	Col    []int32
+}
+
+// ToCSR builds a CSR snapshot with neighbour lists sorted ascending.
+func (g *Directed) ToCSR() *CSR {
+	rowPtr := make([]int32, g.n+1)
+	col := make([]int32, 0, g.m)
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.Out(v) {
+			col = append(col, int32(w))
+		}
+		rowPtr[v+1] = int32(len(col))
+	}
+	return &CSR{RowPtr: rowPtr, Col: col}
+}
+
+// N returns the vertex count of the snapshot.
+func (c *CSR) N() int { return len(c.RowPtr) - 1 }
+
+// M returns the edge count of the snapshot.
+func (c *CSR) M() int { return len(c.Col) }
+
+// Neighbors returns the out-neighbour slice of v (do not modify).
+func (c *CSR) Neighbors(v int) []int32 {
+	return c.Col[c.RowPtr[v]:c.RowPtr[v+1]]
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewDirected(4)
+	added, err := g.AddEdge(0, 1)
+	if err != nil || !added {
+		t.Fatalf("AddEdge(0,1) = %v, %v", added, err)
+	}
+	added, err = g.AddEdge(0, 1)
+	if err != nil || added {
+		t.Fatalf("duplicate AddEdge = %v, %v", added, err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("directedness broken")
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 || g.InDegree(0) != 0 {
+		t.Fatal("degree bookkeeping broken")
+	}
+}
+
+func TestAddEdgeRejectsBad(t *testing.T) {
+	g := NewDirected(3)
+	if _, err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if _, err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := NewDirected(5)
+	pairs := [][2]int{{3, 1}, {0, 4}, {0, 2}, {3, 0}}
+	for _, p := range pairs {
+		if _, err := g.AddEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := g.Edges()
+	if len(es) != 4 {
+		t.Fatalf("edge count %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		a, b := es[i-1], es[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("edges not sorted: %v", es)
+		}
+	}
+}
+
+func TestNegativeLinks(t *testing.T) {
+	g := NewDirected(10)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := rng.New(1)
+	neg, err := g.NegativeLinks(r, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neg) != 30 {
+		t.Fatalf("got %d negatives", len(neg))
+	}
+	seen := map[Edge]bool{}
+	for _, e := range neg {
+		if g.HasEdge(e.From, e.To) {
+			t.Fatalf("negative link %v is a real edge", e)
+		}
+		if e.From == e.To {
+			t.Fatalf("self-loop negative %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate negative %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestNegativeLinksTooMany(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := g.NegativeLinks(rng.New(1), 1); err == nil {
+		t.Fatal("expected error when no negatives exist")
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := NewDirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // 0,1,2 weakly connected through 1
+	g.AddEdge(3, 4) // 3,4
+	// 5 isolated
+	labels, n := g.WeaklyConnectedComponents()
+	if n != 3 {
+		t.Fatalf("component count %d, want 3", n)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("0,1,2 split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatalf("3,4 wrong: %v", labels)
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatalf("5 not isolated: %v", labels)
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		g := NewDirected(n)
+		edges := r.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				g.AddEdge(a, b)
+			}
+		}
+		csr := g.ToCSR()
+		if csr.N() != n || csr.M() != g.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			want := g.Out(v)
+			got := csr.Neighbors(v)
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if int32(want[i]) != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewDirected(0)
+	if g.M() != 0 || g.N() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	labels, n := g.WeaklyConnectedComponents()
+	if len(labels) != 0 || n != 0 {
+		t.Fatal("empty components wrong")
+	}
+	csr := g.ToCSR()
+	if csr.N() != 0 || csr.M() != 0 {
+		t.Fatal("empty CSR wrong")
+	}
+}

@@ -1,0 +1,322 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the sampling primitives the COLD model family needs:
+// uniform, categorical, Gamma, Beta, Dirichlet, Poisson and Zipf draws.
+//
+// Every model in this repository takes an explicit *RNG so that training
+// runs, experiments and tests are exactly reproducible from a seed. The
+// generator is xoshiro256**, seeded through SplitMix64, which is the
+// combination recommended by its authors for quality and speed.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. It is not safe for concurrent use;
+// use Split to derive independent generators for worker goroutines.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64 so that nearby
+// seeds still produce well-separated state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// Avoid the all-zero state, which xoshiro cannot escape.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives a new generator whose stream is independent of the
+// receiver's future output. It advances the receiver.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul128(x, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul128(x, un)
+		}
+	}
+	return int(hi)
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomises the order of n elements using the provided swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal draw (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exp returns an exponential draw with rate 1.
+func (r *RNG) Exp() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Categorical draws an index proportional to the non-negative weights.
+// It panics if the total weight is not positive and finite.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if !(total > 0) || math.IsInf(total, 1) {
+		panic("rng: Categorical with non-positive or non-finite total weight")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Gamma returns a draw from Gamma(shape, 1) using the Marsaglia–Tsang
+// method, with the standard boost for shape < 1.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a draw from Beta(a, b).
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Dirichlet fills dst with a draw from a symmetric or general Dirichlet.
+// alpha may have length 1 (symmetric) or len(dst).
+func (r *RNG) Dirichlet(dst []float64, alpha []float64) {
+	if len(alpha) != 1 && len(alpha) != len(dst) {
+		panic("rng: Dirichlet alpha length mismatch")
+	}
+	total := 0.0
+	for i := range dst {
+		a := alpha[0]
+		if len(alpha) > 1 {
+			a = alpha[i]
+		}
+		dst[i] = r.Gamma(a)
+		total += dst[i]
+	}
+	if total == 0 {
+		for i := range dst {
+			dst[i] = 1 / float64(len(dst))
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= total
+	}
+}
+
+// Poisson returns a draw from Poisson(lambda). For large lambda it uses
+// the PTRS transformed-rejection method; for small lambda, Knuth's loop.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS (Hörmann 1993).
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(lambda)-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Binomial returns a draw from Binomial(n, p) by inversion for small n
+// and by summing Bernoulli draws otherwise (n is small in our workloads).
+func (r *RNG) Binomial(n int, p float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// Zipf samples from a Zipf distribution over [0, n) with exponent s > 0
+// via rejection (Devroye). Rank 0 is the most probable element.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if n == 1 {
+		return 0
+	}
+	// Rejection against the bounding envelope of the Zipf pmf.
+	t := math.Pow(float64(n), 1-s)
+	for {
+		var x float64
+		u := r.Float64()
+		if s == 1 {
+			x = math.Exp(u * math.Log(float64(n)))
+		} else {
+			x = math.Pow(u*(t-1)+1, 1/(1-s))
+		}
+		k := math.Floor(x)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(n) {
+			continue
+		}
+		ratio := math.Pow(k/x, s)
+		if r.Float64() < ratio {
+			return int(k) - 1
+		}
+	}
+}

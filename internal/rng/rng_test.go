@@ -1,0 +1,384 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := New(13)
+	w := []float64{0.1, 0, 0.6, 0.3}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	for i, wi := range w {
+		got := float64(counts[i]) / n
+		if math.Abs(got-wi) > 0.01 {
+			t.Fatalf("category %d frequency %v, want ~%v", i, got, wi)
+		}
+	}
+}
+
+func TestCategoricalPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Categorical with zero weights did not panic")
+		}
+	}()
+	New(1).Categorical([]float64{0, 0})
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(17)
+	for _, shape := range []float64{0.3, 1, 2.5, 10} {
+		sum, sum2 := 0.0, 0.0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			g := r.Gamma(shape)
+			if g < 0 {
+				t.Fatalf("negative Gamma draw %v", g)
+			}
+			sum += g
+			sum2 += g * g
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-shape) > 0.1*shape+0.02 {
+			t.Fatalf("Gamma(%v) mean %v, want ~%v", shape, mean, shape)
+		}
+		if math.Abs(variance-shape) > 0.15*shape+0.05 {
+			t.Fatalf("Gamma(%v) variance %v, want ~%v", shape, variance, shape)
+		}
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(19)
+	a, b := 2.0, 5.0
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := r.Beta(a, b)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta draw out of range: %v", x)
+		}
+		sum += x
+	}
+	want := a / (a + b)
+	if math.Abs(sum/n-want) > 0.01 {
+		t.Fatalf("Beta(2,5) mean %v, want ~%v", sum/n, want)
+	}
+}
+
+func TestDirichletIsSimplex(t *testing.T) {
+	r := New(23)
+	dst := make([]float64, 8)
+	for trial := 0; trial < 100; trial++ {
+		r.Dirichlet(dst, []float64{0.5})
+		total := 0.0
+		for _, v := range dst {
+			if v < 0 {
+				t.Fatalf("negative Dirichlet component %v", v)
+			}
+			total += v
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("Dirichlet does not sum to 1: %v", total)
+		}
+	}
+}
+
+func TestDirichletAsymmetricMean(t *testing.T) {
+	r := New(29)
+	alpha := []float64{1, 2, 7}
+	dst := make([]float64, 3)
+	sums := make([]float64, 3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r.Dirichlet(dst, alpha)
+		for j, v := range dst {
+			sums[j] += v
+		}
+	}
+	for j, a := range alpha {
+		want := a / 10.0
+		if math.Abs(sums[j]/n-want) > 0.01 {
+			t.Fatalf("component %d mean %v, want ~%v", j, sums[j]/n, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(31)
+	for _, lambda := range []float64{0.5, 4, 50} {
+		sum := 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	r := New(37)
+	const n, vocab = 100000, 1000
+	counts := make([]int, vocab)
+	for i := 0; i < n; i++ {
+		k := r.Zipf(vocab, 1.1)
+		if k < 0 || k >= vocab {
+			t.Fatalf("Zipf out of bounds: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[vocab/2] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank%d=%d", counts[0], vocab/2, counts[vocab/2])
+	}
+	if counts[0] < n/20 {
+		t.Fatalf("Zipf head too light: %d of %d", counts[0], n)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	r := New(41)
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Binomial(10, 0.3)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("Binomial(10,0.3) mean %v, want ~3", mean)
+	}
+	if r.Binomial(5, 0) != 0 || r.Binomial(5, 1) != 5 {
+		t.Fatal("Binomial edge probabilities wrong")
+	}
+}
+
+func TestCategoricalQuickProperty(t *testing.T) {
+	// Property: Categorical never returns an index with zero weight when
+	// some other weight is positive.
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		positive := false
+		for i, b := range raw {
+			w[i] = float64(b % 16)
+			if w[i] > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return true
+		}
+		r := New(seed)
+		for trial := 0; trial < 32; trial++ {
+			if w[r.Categorical(w)] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkCategorical100(b *testing.B) {
+	r := New(1)
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Categorical(w)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(43)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %v, want ~1", mean)
+	}
+}
+
+func TestZipfUnitExponent(t *testing.T) {
+	// The s == 1 branch uses the logarithmic envelope.
+	r := New(47)
+	counts := make([]int, 50)
+	for i := 0; i < 20000; i++ {
+		k := r.Zipf(50, 1)
+		if k < 0 || k >= 50 {
+			t.Fatalf("Zipf(50,1) out of bounds: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[25] {
+		t.Fatalf("Zipf(s=1) not skewed: %d vs %d", counts[0], counts[25])
+	}
+}
+
+func TestZipfSingleElement(t *testing.T) {
+	if k := New(1).Zipf(1, 1.2); k != 0 {
+		t.Fatalf("Zipf(1) = %d", k)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(53)
+	sum, sum2 := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.01 || math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal moments mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestGammaPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestDirichletMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha length mismatch did not panic")
+		}
+	}()
+	New(1).Dirichlet(make([]float64, 3), []float64{1, 2})
+}
+
+func TestZipfPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zipf(0) did not panic")
+		}
+	}()
+	New(1).Zipf(0, 1.1)
+}

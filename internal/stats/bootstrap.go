@@ -1,0 +1,47 @@
+package stats
+
+import "github.com/cold-diffusion/cold/internal/rng"
+
+// Bootstrap utilities for attaching uncertainty to the evaluation
+// metrics (e.g. deciding whether two methods' AUCs genuinely differ).
+
+// BootstrapCI computes a percentile confidence interval for stat over
+// resamples of xs. conf is the two-sided confidence level (e.g. 0.95);
+// n is the number of bootstrap resamples.
+func BootstrapCI(xs []float64, stat func([]float64) float64, n int, conf float64, r *rng.RNG) (lo, hi float64) {
+	if len(xs) == 0 || n <= 0 {
+		return 0, 0
+	}
+	estimates := make([]float64, n)
+	resample := make([]float64, len(xs))
+	for i := 0; i < n; i++ {
+		for j := range resample {
+			resample[j] = xs[r.Intn(len(xs))]
+		}
+		estimates[i] = stat(resample)
+	}
+	alpha := (1 - conf) / 2
+	return Quantile(estimates, alpha), Quantile(estimates, 1-alpha)
+}
+
+// BootstrapAUCCI resamples positives and negatives independently and
+// returns a percentile CI for the AUC.
+func BootstrapAUCCI(pos, neg []float64, n int, conf float64, r *rng.RNG) (lo, hi float64) {
+	if len(pos) == 0 || len(neg) == 0 || n <= 0 {
+		return 0.5, 0.5
+	}
+	estimates := make([]float64, n)
+	rp := make([]float64, len(pos))
+	rn := make([]float64, len(neg))
+	for i := 0; i < n; i++ {
+		for j := range rp {
+			rp[j] = pos[r.Intn(len(pos))]
+		}
+		for j := range rn {
+			rn[j] = neg[r.Intn(len(neg))]
+		}
+		estimates[i] = AUC(rp, rn)
+	}
+	alpha := (1 - conf) / 2
+	return Quantile(estimates, alpha), Quantile(estimates, 1-alpha)
+}

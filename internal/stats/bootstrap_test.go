@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/rng"
+)
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.95, r)
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	// CI width shrinks-ish with sample size: a crude sanity bound.
+	if hi-lo > 1 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	lo, hi := BootstrapCI(nil, Mean, 100, 0.95, rng.New(1))
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty input CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapAUCCI(t *testing.T) {
+	r := rng.New(5)
+	pos := make([]float64, 150)
+	neg := make([]float64, 150)
+	for i := range pos {
+		pos[i] = 1 + r.NormFloat64()
+		neg[i] = r.NormFloat64()
+	}
+	lo, hi := BootstrapAUCCI(pos, neg, 400, 0.95, r)
+	point := AUC(pos, neg)
+	if lo > point || hi < point {
+		t.Fatalf("CI [%v, %v] excludes point estimate %v", lo, hi, point)
+	}
+	if lo <= 0.5 {
+		t.Fatalf("clearly separated classes should exclude 0.5: [%v, %v]", lo, hi)
+	}
+	// Degenerate inputs.
+	if lo, hi := BootstrapAUCCI(nil, neg, 10, 0.95, r); lo != 0.5 || hi != 0.5 {
+		t.Fatalf("empty-class CI [%v, %v]", lo, hi)
+	}
+}

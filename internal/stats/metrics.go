@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve given scores for positive and
+// negative examples, interpreting higher scores as more likely positive.
+// Tied scores contribute half credit (the standard Mann–Whitney estimator).
+// It returns 0.5 when either class is empty.
+func AUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0.5
+	}
+	type scored struct {
+		s   float64
+		pos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, s := range pos {
+		all = append(all, scored{s, true})
+	}
+	for _, s := range neg {
+		all = append(all, scored{s, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+
+	// Assign average ranks to ties, then use the rank-sum formula.
+	ranks := make([]float64, len(all))
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	rankSumPos := 0.0
+	for k, sc := range all {
+		if sc.pos {
+			rankSumPos += ranks[k]
+		}
+	}
+	nPos, nNeg := float64(len(pos)), float64(len(neg))
+	u := rankSumPos - nPos*(nPos+1)/2
+	return u / (nPos * nNeg)
+}
+
+// AveragedAUC computes the mean AUC over a set of (positives, negatives)
+// tuples, skipping tuples where either side is empty — the averaged-AUC
+// evaluation used for diffusion prediction (§6.3). It returns 0.5 when no
+// tuple is usable.
+func AveragedAUC(tuples [][2][]float64) float64 {
+	sum, n := 0.0, 0
+	for _, t := range tuples {
+		if len(t[0]) == 0 || len(t[1]) == 0 {
+			continue
+		}
+		sum += AUC(t[0], t[1])
+		n++
+	}
+	if n == 0 {
+		return 0.5
+	}
+	return sum / float64(n)
+}
+
+// Perplexity converts a total log-likelihood over nWords words into the
+// per-word perplexity exp(-logLik/nWords) used for topic-model evaluation.
+func Perplexity(logLik float64, nWords int) float64 {
+	if nWords == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logLik / float64(nWords))
+}
+
+// AccuracyWithinTolerance returns the fraction of (predicted, actual)
+// pairs whose absolute difference is at most tol — the timestamp
+// prediction metric of Fig 11.
+func AccuracyWithinTolerance(predicted, actual []int, tol int) float64 {
+	if len(predicted) != len(actual) {
+		panic("stats: prediction/actual length mismatch")
+	}
+	if len(predicted) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		if d < 0 {
+			d = -d
+		}
+		if d <= tol {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(predicted))
+}
+
+// NMI computes the normalized mutual information between two hard
+// clusterings given as label slices of equal length. It is the standard
+// measure for community-recovery quality against planted ground truth.
+// Returns 1 for identical clusterings and 0 for independent ones.
+func NMI(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	ca := map[int]float64{}
+	cb := map[int]float64{}
+	joint := map[[2]int]float64{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	mi := 0.0
+	for key, nij := range joint {
+		pij := nij / n
+		pi := ca[key[0]] / n
+		pj := cb[key[1]] / n
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	ha, hb := 0.0, 0.0
+	for _, c := range ca {
+		p := c / n
+		ha -= p * math.Log(p)
+	}
+	for _, c := range cb {
+		p := c / n
+		hb -= p * math.Log(p)
+	}
+	if ha == 0 || hb == 0 {
+		if ha == hb {
+			return 1
+		}
+		return 0
+	}
+	return mi / math.Sqrt(ha*hb)
+}
+
+// TopKOverlap returns |topK(a) ∩ topK(b)| / k where topK selects the k
+// indices with the largest values. Used for topic word-cloud recovery.
+func TopKOverlap(a, b []float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	ta := topK(a, k)
+	tb := topK(b, k)
+	inter := 0
+	for idx := range ta {
+		if tb[idx] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(k)
+}
+
+func topK(xs []float64, k int) map[int]bool {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] > xs[idx[j]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make(map[int]bool, k)
+	for _, i := range idx[:k] {
+		out[i] = true
+	}
+	return out
+}
+
+// ArgTopK returns the indices of the k largest values of xs in
+// descending order of value.
+func ArgTopK(xs []float64, k int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] > xs[idx[j]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

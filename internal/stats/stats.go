@@ -1,0 +1,276 @@
+// Package stats collects the numeric helpers shared by the COLD model and
+// its baselines: simplex/distribution utilities, summary statistics,
+// log-domain arithmetic, ROC/AUC metrics, perplexity, and the curve
+// manipulations used by the diffusion-pattern analyses (peak alignment,
+// median curves, CDFs).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Normalize scales xs in place so they sum to 1. If the total is zero it
+// sets the uniform distribution. It returns the original total.
+func Normalize(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	if total == 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return 0
+	}
+	for i := range xs {
+		xs[i] /= total
+	}
+	return total
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than
+// two elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return v / float64(len(xs))
+}
+
+// DistVariance treats p as a distribution over positions 0..len(p)-1 and
+// returns the variance of the position random variable. This is the
+// fluctuation-intensity measure the paper applies to ψ_kc (Fig 6).
+func DistVariance(p []float64) float64 {
+	total := Sum(p)
+	if total == 0 {
+		return 0
+	}
+	mean := 0.0
+	for t, w := range p {
+		mean += float64(t) * w / total
+	}
+	v := 0.0
+	for t, w := range p {
+		d := float64(t) - mean
+		v += d * d * w / total
+	}
+	return v
+}
+
+// Median returns the median of xs (averaging the middle pair for even
+// lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Max returns the maximum of xs and its index, or (0, -1) if empty.
+func Max(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	best, arg := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, arg = x, i+1
+		}
+	}
+	return best, arg
+}
+
+// LogSumExp returns log(sum(exp(xs))) computed stably.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m, _ := Max(xs)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// Entropy returns the Shannon entropy (nats) of distribution p.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// KL returns the Kullback–Leibler divergence KL(p || q) in nats, treating
+// q components below eps as eps to stay finite.
+func KL(p, q []float64) float64 {
+	const eps = 1e-12
+	d := 0.0
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < eps {
+			qi = eps
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	return d
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b,
+// or 0 when either has zero norm.
+func CosineSimilarity(a, b []float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// IsSimplex reports whether p is a valid probability distribution within
+// tolerance tol.
+func IsSimplex(p []float64, tol float64) bool {
+	total := 0.0
+	for _, v := range p {
+		if v < -tol || math.IsNaN(v) {
+			return false
+		}
+		total += v
+	}
+	return math.Abs(total-1) <= tol
+}
+
+// CDF returns the empirical cumulative distribution of xs evaluated at
+// sorted sample points: the returned xsSorted[i] has cumulative
+// probability ps[i].
+func CDF(xs []float64) (xsSorted, ps []float64) {
+	xsSorted = append([]float64(nil), xs...)
+	sort.Float64s(xsSorted)
+	ps = make([]float64, len(xsSorted))
+	n := float64(len(xsSorted))
+	for i := range ps {
+		ps[i] = float64(i+1) / n
+	}
+	return xsSorted, ps
+}
+
+// PeakAlign rescales curve so its maximum equals 1 and returns the
+// rescaled copy and the index of the peak. A zero curve is returned
+// unchanged with peak index -1. This is the alignment used for the
+// median topic dynamic curves (Fig 7).
+func PeakAlign(curve []float64) ([]float64, int) {
+	peak, at := Max(curve)
+	out := append([]float64(nil), curve...)
+	if peak <= 0 {
+		return out, -1
+	}
+	for i := range out {
+		out[i] /= peak
+	}
+	return out, at
+}
+
+// MedianCurve returns, at each time index, the median across the given
+// aligned curves. All curves must share the same length.
+func MedianCurve(curves [][]float64) []float64 {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]float64, n)
+	col := make([]float64, 0, len(curves))
+	for t := 0; t < n; t++ {
+		col = col[:0]
+		for _, c := range curves {
+			col = append(col, c[t])
+		}
+		out[t] = Median(col)
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	num, dx, dy := 0.0, 0.0, 0.0
+	for i := range xs {
+		a, b := xs[i]-mx, ys[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}

@@ -1,0 +1,301 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 3, 4}
+	total := Normalize(xs)
+	if total != 8 {
+		t.Fatalf("total = %v, want 8", total)
+	}
+	if !IsSimplex(xs, 1e-12) {
+		t.Fatalf("not a simplex after normalize: %v", xs)
+	}
+	if !almostEqual(xs[2], 0.5, 1e-12) {
+		t.Fatalf("xs[2] = %v, want 0.5", xs[2])
+	}
+}
+
+func TestNormalizeZeroTotal(t *testing.T) {
+	xs := []float64{0, 0, 0, 0}
+	Normalize(xs)
+	for _, x := range xs {
+		if !almostEqual(x, 0.25, 1e-12) {
+			t.Fatalf("zero-total normalize should be uniform, got %v", xs)
+		}
+	}
+}
+
+func TestMeanVarianceMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("mean %v", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 4, 1e-12) {
+		t.Fatalf("variance %v", v)
+	}
+	if med := Median(xs); !almostEqual(med, 4.5, 1e-12) {
+		t.Fatalf("median %v", med)
+	}
+	if med := Median([]float64{3, 1, 2}); !almostEqual(med, 2, 1e-12) {
+		t.Fatalf("odd median %v", med)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	if q := Quantile(xs, 0.5); !almostEqual(q, 2, 1e-12) {
+		t.Fatalf("median quantile %v", q)
+	}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0 %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 %v", q)
+	}
+	if q := Quantile(xs, 0.25); !almostEqual(q, 1, 1e-12) {
+		t.Fatalf("q.25 %v", q)
+	}
+}
+
+func TestDistVariance(t *testing.T) {
+	// Point mass has zero variance; spread mass has positive variance.
+	if v := DistVariance([]float64{0, 1, 0}); v != 0 {
+		t.Fatalf("point mass variance %v", v)
+	}
+	uniform := DistVariance([]float64{0.25, 0.25, 0.25, 0.25})
+	bimodal := DistVariance([]float64{0.5, 0, 0, 0.5})
+	if bimodal <= uniform {
+		t.Fatalf("bimodal variance %v should exceed uniform %v", bimodal, uniform)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	xs := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(xs); !almostEqual(got, math.Log(6), 1e-12) {
+		t.Fatalf("LogSumExp %v, want log 6", got)
+	}
+	// Stability with large magnitudes.
+	big := []float64{1000, 1000}
+	if got := LogSumExp(big); !almostEqual(got, 1000+math.Log(2), 1e-9) {
+		t.Fatalf("LogSumExp big %v", got)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Fatalf("LogSumExp empty %v", got)
+	}
+}
+
+func TestEntropyAndKL(t *testing.T) {
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	point := []float64{1, 0, 0, 0}
+	if h := Entropy(uniform); !almostEqual(h, math.Log(4), 1e-12) {
+		t.Fatalf("uniform entropy %v", h)
+	}
+	if h := Entropy(point); h != 0 {
+		t.Fatalf("point entropy %v", h)
+	}
+	if d := KL(uniform, uniform); !almostEqual(d, 0, 1e-12) {
+		t.Fatalf("KL self %v", d)
+	}
+	if d := KL(point, uniform); d <= 0 {
+		t.Fatalf("KL distinct %v should be positive", d)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if s := CosineSimilarity(a, a); !almostEqual(s, 1, 1e-12) {
+		t.Fatalf("self cosine %v", s)
+	}
+	if s := CosineSimilarity(a, b); !almostEqual(s, 0, 1e-12) {
+		t.Fatalf("orthogonal cosine %v", s)
+	}
+	if s := CosineSimilarity(a, []float64{0, 0}); s != 0 {
+		t.Fatalf("zero-norm cosine %v", s)
+	}
+}
+
+func TestPeakAlignAndMedianCurve(t *testing.T) {
+	curve := []float64{1, 4, 2}
+	aligned, at := PeakAlign(curve)
+	if at != 1 {
+		t.Fatalf("peak index %d", at)
+	}
+	if !almostEqual(aligned[1], 1, 1e-12) || !almostEqual(aligned[0], 0.25, 1e-12) {
+		t.Fatalf("aligned %v", aligned)
+	}
+	if curve[1] != 4 {
+		t.Fatal("PeakAlign mutated its input")
+	}
+	_, at = PeakAlign([]float64{0, 0})
+	if at != -1 {
+		t.Fatalf("zero curve peak %d", at)
+	}
+
+	med := MedianCurve([][]float64{{0, 1, 2}, {2, 1, 0}, {1, 1, 1}})
+	want := []float64{1, 1, 1}
+	for i := range want {
+		if !almostEqual(med[i], want[i], 1e-12) {
+			t.Fatalf("median curve %v", med)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("perfect correlation %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("perfect anti-correlation %v", r)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if a := AUC([]float64{3, 4}, []float64{1, 2}); !almostEqual(a, 1, 1e-12) {
+		t.Fatalf("perfect AUC %v", a)
+	}
+	// Perfectly wrong.
+	if a := AUC([]float64{1, 2}, []float64{3, 4}); !almostEqual(a, 0, 1e-12) {
+		t.Fatalf("inverted AUC %v", a)
+	}
+	// All ties → 0.5.
+	if a := AUC([]float64{1, 1}, []float64{1, 1}); !almostEqual(a, 0.5, 1e-12) {
+		t.Fatalf("tied AUC %v", a)
+	}
+	// Empty class → 0.5.
+	if a := AUC(nil, []float64{1}); a != 0.5 {
+		t.Fatalf("empty-class AUC %v", a)
+	}
+	// Hand-computed mixed case: pos={2,4}, neg={1,3}.
+	// Pairs: (2>1)=1, (2<3)=0, (4>1)=1, (4>3)=1 → 3/4.
+	if a := AUC([]float64{2, 4}, []float64{1, 3}); !almostEqual(a, 0.75, 1e-12) {
+		t.Fatalf("mixed AUC %v", a)
+	}
+}
+
+func TestAUCInvariantUnderMonotone(t *testing.T) {
+	f := func(seedPos, seedNeg []byte) bool {
+		if len(seedPos) == 0 || len(seedNeg) == 0 {
+			return true
+		}
+		pos := make([]float64, len(seedPos))
+		neg := make([]float64, len(seedNeg))
+		for i, b := range seedPos {
+			pos[i] = float64(b)
+		}
+		for i, b := range seedNeg {
+			neg[i] = float64(b)
+		}
+		a1 := AUC(pos, neg)
+		// Strictly monotone transform must preserve AUC exactly.
+		tp := make([]float64, len(pos))
+		tn := make([]float64, len(neg))
+		for i, v := range pos {
+			tp[i] = 3*v + 7
+		}
+		for i, v := range neg {
+			tn[i] = 3*v + 7
+		}
+		a2 := AUC(tp, tn)
+		return almostEqual(a1, a2, 1e-12) && a1 >= 0 && a1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAveragedAUC(t *testing.T) {
+	tuples := [][2][]float64{
+		{{2, 3}, {0, 1}}, // AUC 1
+		{{0}, {5}},       // AUC 0
+		{nil, {1}},       // skipped
+		{{1, 1}, {1}},    // AUC 0.5
+	}
+	got := AveragedAUC(tuples)
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("averaged AUC %v, want 0.5", got)
+	}
+	if a := AveragedAUC(nil); a != 0.5 {
+		t.Fatalf("no-tuple averaged AUC %v", a)
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	// Uniform over V words: perplexity must equal V.
+	const v = 64
+	n := 100
+	ll := float64(n) * math.Log(1.0/v)
+	if p := Perplexity(ll, n); !almostEqual(p, v, 1e-9) {
+		t.Fatalf("perplexity %v, want %v", p, float64(v))
+	}
+	if p := Perplexity(-10, 0); !math.IsInf(p, 1) {
+		t.Fatalf("zero-word perplexity %v", p)
+	}
+}
+
+func TestAccuracyWithinTolerance(t *testing.T) {
+	pred := []int{1, 5, 9}
+	act := []int{1, 7, 3}
+	if a := AccuracyWithinTolerance(pred, act, 0); !almostEqual(a, 1.0/3, 1e-12) {
+		t.Fatalf("tol 0 accuracy %v", a)
+	}
+	if a := AccuracyWithinTolerance(pred, act, 2); !almostEqual(a, 2.0/3, 1e-12) {
+		t.Fatalf("tol 2 accuracy %v", a)
+	}
+	if a := AccuracyWithinTolerance(pred, act, 6); !almostEqual(a, 1, 1e-12) {
+		t.Fatalf("tol 6 accuracy %v", a)
+	}
+}
+
+func TestNMI(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if n := NMI(a, a); !almostEqual(n, 1, 1e-12) {
+		t.Fatalf("NMI self %v", n)
+	}
+	// Relabelled clustering is still identical structure.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if n := NMI(a, b); !almostEqual(n, 1, 1e-12) {
+		t.Fatalf("NMI relabel %v", n)
+	}
+	// One big cluster carries no information.
+	c := []int{0, 0, 0, 0, 0, 0}
+	if n := NMI(a, c); n != 0 {
+		t.Fatalf("NMI degenerate %v", n)
+	}
+}
+
+func TestTopKOverlapAndArgTopK(t *testing.T) {
+	a := []float64{0.5, 0.3, 0.1, 0.05, 0.05}
+	b := []float64{0.4, 0.4, 0.05, 0.1, 0.05}
+	if o := TopKOverlap(a, b, 2); !almostEqual(o, 1, 1e-12) {
+		t.Fatalf("top-2 overlap %v", o)
+	}
+	idx := ArgTopK(a, 3)
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("ArgTopK %v", idx)
+	}
+	if idx := ArgTopK(a, 99); len(idx) != len(a) {
+		t.Fatalf("ArgTopK overflow %v", idx)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs, ps := CDF([]float64{3, 1, 2})
+	if xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("CDF xs %v", xs)
+	}
+	if !almostEqual(ps[2], 1, 1e-12) || !almostEqual(ps[0], 1.0/3, 1e-12) {
+		t.Fatalf("CDF ps %v", ps)
+	}
+}

@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+)
+
+func TestGenerateEventValid(t *testing.T) {
+	data, gt, event, err := GenerateEvent(EventStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if event != 7 { // K-1 of the small preset
+		t.Fatalf("event topic %d", event)
+	}
+	if len(gt.PostZ) != len(data.Posts) {
+		t.Fatal("ground truth misaligned")
+	}
+}
+
+func TestEventTopicErupts(t *testing.T) {
+	cfg := EventStream(7)
+	data, gt, event, err := GenerateEvent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventTime := cfg.Base.T / 3 // default
+	// Posts on the event topic should be rare before the event time and
+	// common after.
+	before, after := 0, 0
+	for i, p := range data.Posts {
+		if gt.PostZ[i] != event {
+			continue
+		}
+		if p.Time < eventTime {
+			before++
+		} else {
+			after++
+		}
+	}
+	if after < 10*before {
+		t.Fatalf("event not erupting: %d before vs %d after", before, after)
+	}
+}
+
+func TestEventAdoptionOrder(t *testing.T) {
+	data, gt, event, err := GenerateEvent(EventStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = data
+	// Planted ψ peaks must be non-decreasing in community id (adoption
+	// order).
+	prevPeak := -1
+	for c := 0; c < len(gt.Psi[event]); c++ {
+		_, peak := stats.Max(gt.Psi[event][c])
+		if peak < prevPeak {
+			t.Fatalf("community %d peaks at %d before community %d", c, peak, c-1)
+		}
+		prevPeak = peak
+	}
+	// Every community has positive interest in the event topic.
+	for c, row := range gt.Theta {
+		if row[event] < 0.01 {
+			t.Fatalf("community %d event interest %v", c, row[event])
+		}
+	}
+}
+
+func TestGenerateEventRejectsBadTime(t *testing.T) {
+	cfg := EventStream(1)
+	cfg.EventTime = 99
+	if _, _, _, err := GenerateEvent(cfg); err == nil {
+		t.Fatal("out-of-range event time accepted")
+	}
+}

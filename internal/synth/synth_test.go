@@ -1,0 +1,254 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/stats"
+)
+
+func TestGenerateSmallIsValid(t *testing.T) {
+	data, gt, err := Generate(Small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := data.Stats()
+	if s.Users != 240 || s.TimeSlices != 24 || s.Vocab != 800 {
+		t.Fatalf("dimensions %+v", s)
+	}
+	if s.Posts < 120 {
+		t.Fatalf("too few posts: %d", s.Posts)
+	}
+	if s.Links < 100 {
+		t.Fatalf("too few links: %d", s.Links)
+	}
+	if s.Retweets == 0 {
+		t.Fatal("no retweet tuples generated")
+	}
+	if len(gt.PostC) != s.Posts || len(gt.PostZ) != s.Posts {
+		t.Fatal("ground-truth assignment length mismatch")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(Small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(Small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Posts) != len(b.Posts) || len(a.Links) != len(b.Links) {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Posts {
+		if a.Posts[i].User != b.Posts[i].User || a.Posts[i].Time != b.Posts[i].Time {
+			t.Fatalf("post %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _, _ := Generate(Small(1))
+	b, _, _ := Generate(Small(2))
+	if len(a.Posts) == len(b.Posts) && len(a.Links) == len(b.Links) {
+		same := true
+		for i := range a.Posts {
+			if a.Posts[i].Time != b.Posts[i].Time {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestGroundTruthDistributionsAreSimplex(t *testing.T) {
+	_, gt, err := Generate(Small(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range gt.Pi {
+		if !stats.IsSimplex(pi, 1e-9) {
+			t.Fatalf("Pi[%d] not a simplex", i)
+		}
+	}
+	for c, th := range gt.Theta {
+		if !stats.IsSimplex(th, 1e-9) {
+			t.Fatalf("Theta[%d] not a simplex", c)
+		}
+	}
+	for k, ph := range gt.Phi {
+		if !stats.IsSimplex(ph, 1e-9) {
+			t.Fatalf("Phi[%d] not a simplex", k)
+		}
+	}
+	for k := range gt.Psi {
+		for c := range gt.Psi[k] {
+			if !stats.IsSimplex(gt.Psi[k][c], 1e-9) {
+				t.Fatalf("Psi[%d][%d] not a simplex", k, c)
+			}
+		}
+	}
+	for a := range gt.Eta {
+		for b := range gt.Eta[a] {
+			if gt.Eta[a][b] <= 0 || gt.Eta[a][b] > 1 {
+				t.Fatalf("Eta[%d][%d] = %v out of (0,1]", a, b, gt.Eta[a][b])
+			}
+		}
+	}
+}
+
+func TestCommunityStructureInLinks(t *testing.T) {
+	data, gt, err := Generate(Small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonally dominant η must yield many more intra-community links
+	// than a uniform wiring would.
+	intra := 0
+	for _, e := range data.Links {
+		if gt.Primary[e.From] == gt.Primary[e.To] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(len(data.Links))
+	if frac < 0.3 {
+		t.Fatalf("intra-community link fraction %.3f, expected assortative structure", frac)
+	}
+}
+
+func TestTopicSignatureWords(t *testing.T) {
+	cfg := Small(9)
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each topic's top words should fall mostly inside its signature
+	// block of the vocabulary.
+	block := cfg.V / cfg.K
+	for k, phi := range gt.Phi {
+		top := stats.ArgTopK(phi, 10)
+		inBlock := 0
+		for _, v := range top {
+			if v >= k*block && v < (k+1)*block {
+				inBlock++
+			}
+		}
+		if inBlock < 6 {
+			t.Fatalf("topic %d: only %d of top-10 words in signature block", k, inBlock)
+		}
+	}
+}
+
+func TestPlantedLagStructure(t *testing.T) {
+	cfg := Small(11)
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each topic, the mean peak time of the top-interest half of
+	// communities must be no later than that of the bottom half.
+	earlier := 0
+	for k := range gt.Psi {
+		interests := make([]float64, cfg.C)
+		for c := 0; c < cfg.C; c++ {
+			interests[c] = gt.Theta[c][k]
+		}
+		order := stats.ArgTopK(interests, cfg.C)
+		half := cfg.C / 2
+		peakOf := func(c int) float64 {
+			_, at := stats.Max(gt.Psi[k][c])
+			return float64(at)
+		}
+		hi, lo := 0.0, 0.0
+		for i, c := range order {
+			if i < half {
+				hi += peakOf(c)
+			} else {
+				lo += peakOf(c)
+			}
+		}
+		if hi/float64(half) <= lo/float64(cfg.C-half) {
+			earlier++
+		}
+	}
+	if earlier < len(gt.Psi)*2/3 {
+		t.Fatalf("initiator communities peak earlier for only %d of %d topics", earlier, len(gt.Psi))
+	}
+}
+
+func TestRetweetTuplesHaveBothClasses(t *testing.T) {
+	data, _, err := Generate(Small(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range data.Retweets {
+		if len(rt.Retweeters) == 0 || len(rt.Ignorers) == 0 {
+			t.Fatalf("tuple %d lacks a class: +%d −%d", i, len(rt.Retweeters), len(rt.Ignorers))
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := Config{U: 1, C: 2, K: 2, T: 4, V: 10}
+	if _, _, err := Generate(bad); err == nil {
+		t.Fatal("U=1 accepted")
+	}
+	bad = Config{U: 10, C: 2, K: 20, T: 4, V: 10} // V < K
+	if _, _, err := Generate(bad); err == nil {
+		t.Fatal("V<K accepted")
+	}
+}
+
+func TestPsiBurstsAreConcentrated(t *testing.T) {
+	_, gt, err := Generate(Small(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst profile should concentrate clearly more mass at its peak
+	// than the uniform level.
+	uniform := 1.0 / float64(len(gt.Psi[0][0]))
+	for k := range gt.Psi {
+		peak, _ := stats.Max(gt.Psi[k][0])
+		if peak < 2*uniform {
+			t.Fatalf("topic %d profile too flat: peak %v vs uniform %v", k, peak, uniform)
+		}
+	}
+}
+
+func TestMixedMembership(t *testing.T) {
+	_, gt, err := Generate(Small(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary community should dominate for most users.
+	dominant := 0
+	for i, pi := range gt.Pi {
+		_, arg := stats.Max(pi)
+		if arg == gt.Primary[i] {
+			dominant++
+		}
+	}
+	if frac := float64(dominant) / float64(len(gt.Pi)); frac < 0.8 {
+		t.Fatalf("primary community dominates for only %.2f of users", frac)
+	}
+	// But membership should not be degenerate one-hot for everyone.
+	someMixed := false
+	for _, pi := range gt.Pi {
+		top, _ := stats.Max(pi)
+		if top < 0.9 && !math.IsNaN(top) {
+			someMixed = true
+			break
+		}
+	}
+	if !someMixed {
+		t.Fatal("no user has mixed membership")
+	}
+}

@@ -1,0 +1,52 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize checks the tokenizer never panics and always honours its
+// filters on arbitrary input.
+func FuzzTokenize(f *testing.F) {
+	f.Add("The quick brown fox")
+	f.Add("")
+	f.Add("日本語テキスト mixed with ASCII 123")
+	f.Add("!!!@@@###")
+	f.Add("a b c the and")
+	f.Fuzz(func(t *testing.T, s string) {
+		tok := NewTokenizer()
+		for _, w := range tok.Tokenize(s) {
+			if len(w) < tok.MinLen {
+				t.Fatalf("token %q shorter than MinLen", w)
+			}
+			if tok.StopWords[w] {
+				t.Fatalf("stop word %q survived", w)
+			}
+			// Tokens are passed through strings.ToLower; some uppercase
+			// runes have no lowercase mapping, so the invariant is
+			// fixed-point of ToLower, not absence of IsUpper runes.
+			if w != strings.ToLower(w) {
+				t.Fatalf("token %q not a ToLower fixed point", w)
+			}
+		}
+	})
+}
+
+// FuzzStem checks the Porter stemmer never panics and never grows a
+// word.
+func FuzzStem(f *testing.F) {
+	f.Add("running")
+	f.Add("")
+	f.Add("sky")
+	f.Add("yyyy")
+	f.Add("aeiou")
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Stem(s)
+		if len(out) > len(s)+1 {
+			// step1b can append an 'e' after trimming, so the stem can be
+			// at most one byte longer than the trimmed form — never more
+			// than the input plus one.
+			t.Fatalf("Stem(%q) = %q grew unexpectedly", s, out)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package text
+
+import "strings"
+
+// Stem reduces an English word to its stem using the classic Porter
+// (1980) algorithm, steps 1a through 5b. Input is expected lowercase;
+// words shorter than three letters are returned unchanged. The
+// tokenizer applies it when Stemming is enabled, collapsing inflected
+// variants ("diffusing", "diffused", "diffusion") onto shared stems so
+// sparse social-text vocabularies concentrate.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	}
+	return true
+}
+
+// measure returns m, the number of VC sequences in w[:end].
+func measure(w []byte, end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && isCons(w, i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !isCons(w, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run completes a VC.
+		m++
+		for i < end && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// cvc reports whether w[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func cvc(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isCons(w, end-1) || isCons(w, end-2) || !isCons(w, end-3) {
+		return false
+	}
+	switch w[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix old with new when the measure of the stem
+// (before old) is greater than minM. Returns the new word and whether a
+// replacement happened.
+func replaceIf(w []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, old) {
+		return w, false
+	}
+	stemEnd := len(w) - len(old)
+	if measure(w, stemEnd) <= minM {
+		return w, true // suffix matched but condition failed: stop scanning
+	}
+	return append(w[:stemEnd], new...), true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	matched := false
+	if hasSuffix(w, "ed") && hasVowel(w, len(w)-2) {
+		w = w[:len(w)-2]
+		matched = true
+	} else if hasSuffix(w, "ing") && hasVowel(w, len(w)-3) {
+		w = w[:len(w)-3]
+		matched = true
+	}
+	if !matched {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w) && !hasSuffix(w, "l") && !hasSuffix(w, "s") && !hasSuffix(w, "z"):
+		return w[:len(w)-1]
+	case measure(w, len(w)) == 1 && cvc(w, len(w)):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, rule := range step2Rules {
+		if out, done := replaceIf(w, rule.old, rule.new, 0); done {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, rule := range step3Rules {
+		if out, done := replaceIf(w, rule.old, rule.new, 0); done {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stemEnd := len(w) - len(s)
+		if measure(w, stemEnd) > 1 {
+			return w[:stemEnd]
+		}
+		return w
+	}
+	// "(s|t)ion" special case.
+	if hasSuffix(w, "ion") {
+		stemEnd := len(w) - 3
+		if stemEnd > 0 && (w[stemEnd-1] == 's' || w[stemEnd-1] == 't') && measure(w, stemEnd) > 1 {
+			return w[:stemEnd]
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stemEnd := len(w) - 1
+	m := measure(w, stemEnd)
+	if m > 1 || (m == 1 && !cvc(w, stemEnd)) {
+		return w[:stemEnd]
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w, len(w)) > 1 && endsDoubleCons(w) && hasSuffix(w, "l") {
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// StemTokens stems every token in place and returns the slice.
+func StemTokens(tokens []string) []string {
+	for i, tok := range tokens {
+		tokens[i] = Stem(strings.ToLower(tok))
+	}
+	return tokens
+}

@@ -1,0 +1,182 @@
+// Package text provides the vocabulary and bag-of-words substrate: word
+// interning, tokenisation with stop-word filtering, sparse bag-of-words
+// construction and TF-IDF vectors (used by the WTM baseline's
+// interest-match features).
+package text
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Vocabulary interns word strings to dense integer ids.
+type Vocabulary struct {
+	ids   map[string]int
+	words []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]int)}
+}
+
+// Add interns w, returning its id (existing or new).
+func (v *Vocabulary) Add(w string) int {
+	if id, ok := v.ids[w]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.ids[w] = id
+	v.words = append(v.words, w)
+	return id
+}
+
+// ID returns the id of w and whether it is known.
+func (v *Vocabulary) ID(w string) (int, bool) {
+	id, ok := v.ids[w]
+	return id, ok
+}
+
+// Word returns the word with the given id. It panics on out-of-range ids.
+func (v *Vocabulary) Word(id int) string { return v.words[id] }
+
+// Size returns the number of interned words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Words returns the interned words indexed by id (do not modify).
+func (v *Vocabulary) Words() []string { return v.words }
+
+// DefaultStopWords is a small English stop-word list applied by the
+// tokenizer. The paper removes stop words before modelling (§6.1).
+var DefaultStopWords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true,
+	"of": true, "to": true, "in": true, "on": true, "for": true,
+	"is": true, "are": true, "was": true, "be": true, "it": true,
+	"this": true, "that": true, "with": true, "as": true, "at": true,
+	"by": true, "from": true, "i": true, "you": true, "he": true,
+	"she": true, "we": true, "they": true, "not": true, "but": true,
+}
+
+// Tokenizer splits raw post text into lowercase word tokens, dropping
+// stop words and tokens shorter than MinLen.
+type Tokenizer struct {
+	StopWords map[string]bool
+	MinLen    int
+}
+
+// NewTokenizer returns a tokenizer with the default stop-word list and a
+// minimum token length of 2.
+func NewTokenizer() *Tokenizer {
+	return &Tokenizer{StopWords: DefaultStopWords, MinLen: 2}
+}
+
+// Tokenize splits s into filtered lowercase tokens.
+func (t *Tokenizer) Tokenize(s string) []string {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		w := strings.ToLower(f)
+		if len(w) < t.MinLen {
+			continue
+		}
+		if t.StopWords != nil && t.StopWords[w] {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// BagOfWords is a sparse word-count vector sorted by word id.
+type BagOfWords struct {
+	IDs    []int
+	Counts []int
+}
+
+// NewBagOfWords builds a bag from a token id multiset.
+func NewBagOfWords(tokenIDs []int) BagOfWords {
+	counts := make(map[int]int, len(tokenIDs))
+	for _, id := range tokenIDs {
+		counts[id]++
+	}
+	ids := make([]int, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b := BagOfWords{IDs: ids, Counts: make([]int, len(ids))}
+	for i, id := range ids {
+		b.Counts[i] = counts[id]
+	}
+	return b
+}
+
+// Len returns the total token count (with multiplicity).
+func (b BagOfWords) Len() int {
+	total := 0
+	for _, c := range b.Counts {
+		total += c
+	}
+	return total
+}
+
+// Distinct returns the number of distinct words.
+func (b BagOfWords) Distinct() int { return len(b.IDs) }
+
+// Each calls fn for every (word id, count) pair in ascending id order.
+func (b BagOfWords) Each(fn func(id, count int)) {
+	for i, id := range b.IDs {
+		fn(id, b.Counts[i])
+	}
+}
+
+// TFIDF computes TF-IDF vectors for a corpus of bags over a vocabulary of
+// the given size. The returned model scores cosine similarity between
+// document vectors and aggregated user-profile vectors.
+type TFIDF struct {
+	idf []float64
+}
+
+// NewTFIDF fits inverse document frequencies on the given bags.
+func NewTFIDF(bags []BagOfWords, vocabSize int) *TFIDF {
+	df := make([]int, vocabSize)
+	for _, b := range bags {
+		for _, id := range b.IDs {
+			df[id]++
+		}
+	}
+	idf := make([]float64, vocabSize)
+	n := float64(len(bags))
+	for i, d := range df {
+		idf[i] = math.Log((n + 1) / (float64(d) + 1))
+	}
+	return &TFIDF{idf: idf}
+}
+
+// Vector returns the dense TF-IDF vector of a bag.
+func (t *TFIDF) Vector(b BagOfWords) []float64 {
+	v := make([]float64, len(t.idf))
+	total := float64(b.Len())
+	if total == 0 {
+		return v
+	}
+	b.Each(func(id, count int) {
+		v[id] = float64(count) / total * t.idf[id]
+	})
+	return v
+}
+
+// AddInto accumulates the TF-IDF vector of b into dst (user profiles).
+func (t *TFIDF) AddInto(dst []float64, b BagOfWords) {
+	total := float64(b.Len())
+	if total == 0 {
+		return
+	}
+	b.Each(func(id, count int) {
+		dst[id] += float64(count) / total * t.idf[id]
+	})
+}

@@ -1,0 +1,137 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabularyIntern(t *testing.T) {
+	v := NewVocabulary()
+	a := v.Add("hello")
+	b := v.Add("world")
+	if a == b {
+		t.Fatal("distinct words share id")
+	}
+	if again := v.Add("hello"); again != a {
+		t.Fatalf("re-adding changed id: %d vs %d", again, a)
+	}
+	if v.Size() != 2 {
+		t.Fatalf("size %d", v.Size())
+	}
+	if v.Word(a) != "hello" || v.Word(b) != "world" {
+		t.Fatal("Word round-trip broken")
+	}
+	if id, ok := v.ID("world"); !ok || id != b {
+		t.Fatal("ID lookup broken")
+	}
+	if _, ok := v.ID("missing"); ok {
+		t.Fatal("unknown word found")
+	}
+}
+
+func TestTokenizer(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("The Quick, brown FOX!! jumps over a lazy-dog 99")
+	want := []string{"quick", "brown", "fox", "jumps", "over", "lazy", "dog", "99"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizerEmptyAndStopOnly(t *testing.T) {
+	tok := NewTokenizer()
+	if got := tok.Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+	if got := tok.Tokenize("the and of to in"); len(got) != 0 {
+		t.Fatalf("stop-only input produced %v", got)
+	}
+}
+
+func TestBagOfWords(t *testing.T) {
+	b := NewBagOfWords([]int{3, 1, 3, 3, 7, 1})
+	if b.Len() != 6 {
+		t.Fatalf("Len %d", b.Len())
+	}
+	if b.Distinct() != 3 {
+		t.Fatalf("Distinct %d", b.Distinct())
+	}
+	wantIDs := []int{1, 3, 7}
+	wantCounts := []int{2, 3, 1}
+	for i := range wantIDs {
+		if b.IDs[i] != wantIDs[i] || b.Counts[i] != wantCounts[i] {
+			t.Fatalf("bag %v %v", b.IDs, b.Counts)
+		}
+	}
+	total := 0
+	b.Each(func(id, count int) { total += count })
+	if total != 6 {
+		t.Fatalf("Each total %d", total)
+	}
+}
+
+func TestBagOfWordsPreservesMultisetProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ids := make([]int, len(raw))
+		for i, r := range raw {
+			ids[i] = int(r % 32)
+		}
+		b := NewBagOfWords(ids)
+		if b.Len() != len(ids) {
+			return false
+		}
+		// IDs strictly increasing.
+		for i := 1; i < len(b.IDs); i++ {
+			if b.IDs[i] <= b.IDs[i-1] {
+				return false
+			}
+		}
+		// Counts positive.
+		for _, c := range b.Counts {
+			if c <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	// doc0: word0 only, doc1: word0+word1. word0 appears everywhere so
+	// it should carry less weight than the rarer word1.
+	bags := []BagOfWords{
+		NewBagOfWords([]int{0, 0}),
+		NewBagOfWords([]int{0, 1}),
+	}
+	model := NewTFIDF(bags, 2)
+	v := model.Vector(bags[1])
+	if v[1] <= v[0] {
+		t.Fatalf("rare word should outweigh common: %v", v)
+	}
+	// AddInto accumulates.
+	profile := make([]float64, 2)
+	model.AddInto(profile, bags[0])
+	model.AddInto(profile, bags[1])
+	// word0 is in every document so its IDF is log(3/3)=0; the rare
+	// word1 must carry positive accumulated weight.
+	if profile[1] <= 0 {
+		t.Fatalf("profile not accumulated: %v", profile)
+	}
+	// Empty bag is a no-op.
+	empty := NewBagOfWords(nil)
+	before := append([]float64(nil), profile...)
+	model.AddInto(profile, empty)
+	for i := range profile {
+		if profile[i] != before[i] {
+			t.Fatal("empty bag changed profile")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package viz renders model artefacts for terminals and TSV export: the
+// word-cloud content of Fig 8, the sparkline timelines and pie-style
+// topic summaries of Fig 5, and the pentagon membership layout of
+// Fig 16.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// sparkRunes are the eight block heights used for sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a one-line unicode chart (the timeline glyphs
+// next to each community node in Fig 5).
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// WordCloud formats the top words of a distribution as "word(weight)"
+// entries sorted by weight — the textual equivalent of Fig 8.
+func WordCloud(words []string, weights []float64, topN int) string {
+	type entry struct {
+		w string
+		p float64
+	}
+	entries := make([]entry, len(words))
+	for i := range words {
+		entries[i] = entry{words[i], weights[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].p > entries[j].p })
+	if topN > len(entries) {
+		topN = len(entries)
+	}
+	parts := make([]string, 0, topN)
+	for _, e := range entries[:topN] {
+		parts = append(parts, fmt.Sprintf("%s(%.3f)", e.w, e.p))
+	}
+	return strings.Join(parts, " ")
+}
+
+// PieSummary formats a community's top topic shares as the "pie chart"
+// node labels of Fig 5, e.g. "t3:41% t0:22% t7:9%".
+func PieSummary(theta []float64, topN int) string {
+	idx := make([]int, len(theta))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return theta[idx[i]] > theta[idx[j]] })
+	if topN > len(idx) {
+		topN = len(idx)
+	}
+	parts := make([]string, 0, topN)
+	for _, k := range idx[:topN] {
+		parts = append(parts, fmt.Sprintf("t%d:%.0f%%", k, theta[k]*100))
+	}
+	return strings.Join(parts, " ")
+}
+
+// PentagonPoint is one user positioned inside the regular polygon whose
+// corners are the anchor communities (Fig 16).
+type PentagonPoint struct {
+	User int
+	X, Y float64
+	Size float64 // influence degree, drives point size in the figure
+}
+
+// PentagonLayout places each user at the membership-weighted convex
+// combination of the polygon corners. memberships[i] must sum to 1 over
+// the corners (aggregate non-anchor mass into the final corner before
+// calling).
+func PentagonLayout(memberships [][]float64, sizes []float64) []PentagonPoint {
+	if len(memberships) == 0 {
+		return nil
+	}
+	corners := len(memberships[0])
+	cx := make([]float64, corners)
+	cy := make([]float64, corners)
+	for c := 0; c < corners; c++ {
+		angle := 2*math.Pi*float64(c)/float64(corners) - math.Pi/2
+		cx[c] = math.Cos(angle)
+		cy[c] = math.Sin(angle)
+	}
+	out := make([]PentagonPoint, len(memberships))
+	for i, pi := range memberships {
+		var x, y float64
+		for c, w := range pi {
+			x += w * cx[c]
+			y += w * cy[c]
+		}
+		size := 1.0
+		if sizes != nil {
+			size = sizes[i]
+		}
+		out[i] = PentagonPoint{User: i, X: x, Y: y, Size: size}
+	}
+	return out
+}
+
+// PentagonTSV renders the layout as a TSV table (user, x, y, size) for
+// external plotting.
+func PentagonTSV(points []PentagonPoint) string {
+	var b strings.Builder
+	b.WriteString("user\tx\ty\tsize\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d\t%.4f\t%.4f\t%.4f\n", p.User, p.X, p.Y, p.Size)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar of width proportional to value/maxValue
+// (used for per-method bar charts like Figs 14 and 15).
+func Bar(value, maxValue float64, width int) string {
+	if maxValue <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / maxValue * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("█", n)
+}

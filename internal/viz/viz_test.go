@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat curve: %q", flat)
+	}
+}
+
+func TestWordCloud(t *testing.T) {
+	out := WordCloud([]string{"low", "high", "mid"}, []float64{0.1, 0.7, 0.2}, 2)
+	if !strings.HasPrefix(out, "high(") {
+		t.Fatalf("not sorted: %q", out)
+	}
+	if strings.Contains(out, "low") {
+		t.Fatalf("topN not respected: %q", out)
+	}
+	// Oversized topN clamps.
+	all := WordCloud([]string{"a"}, []float64{1}, 5)
+	if !strings.Contains(all, "a(") {
+		t.Fatalf("clamp broken: %q", all)
+	}
+}
+
+func TestPieSummary(t *testing.T) {
+	out := PieSummary([]float64{0.1, 0.6, 0.3}, 2)
+	if !strings.HasPrefix(out, "t1:60%") {
+		t.Fatalf("pie order wrong: %q", out)
+	}
+	if strings.Contains(out, "t0") {
+		t.Fatalf("topN not respected: %q", out)
+	}
+}
+
+func TestPentagonLayout(t *testing.T) {
+	// A pure-corner user sits exactly on that corner; a uniform user
+	// sits at the centroid (0,0) for a regular polygon.
+	memberships := [][]float64{
+		{1, 0, 0, 0, 0},
+		{0.2, 0.2, 0.2, 0.2, 0.2},
+	}
+	pts := PentagonLayout(memberships, []float64{2, 1})
+	if pts[0].Size != 2 || pts[1].Size != 1 {
+		t.Fatal("sizes not carried")
+	}
+	r0 := math.Hypot(pts[0].X, pts[0].Y)
+	if math.Abs(r0-1) > 1e-9 {
+		t.Fatalf("corner user radius %v, want 1", r0)
+	}
+	r1 := math.Hypot(pts[1].X, pts[1].Y)
+	if r1 > 1e-9 {
+		t.Fatalf("uniform user radius %v, want 0", r1)
+	}
+	if PentagonLayout(nil, nil) != nil {
+		t.Fatal("empty layout should be nil")
+	}
+}
+
+func TestPentagonTSV(t *testing.T) {
+	pts := PentagonLayout([][]float64{{1, 0, 0}}, nil)
+	tsv := PentagonTSV(pts)
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tsv lines %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "user\t") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "█████" {
+		t.Fatalf("half bar wrong: %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "██████████" {
+		t.Fatal("overflow not clamped")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Fatal("zero max should be empty")
+	}
+}
