@@ -253,7 +253,11 @@ func BenchmarkAblationPostTopic(b *testing.B) {
 	s := benchSchedule()
 	var coldPerp, wordPerp float64
 	for i := 0; i < b.N; i++ {
-		split := data.CrossValidation(rngFor(7), 5)[0]
+		splits, err := data.CrossValidation(rngFor(7), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split := splits[0]
 		train := corpus.Split{TrainPosts: split.TrainPosts}
 		trainView := noLinks.TrainView(train)
 
@@ -316,8 +320,12 @@ func BenchmarkAblationMultimodalTime(b *testing.B) {
 			tPred = append(tPred, tm.PredictTimestamp(post.Words))
 			actual = append(actual, post.Time)
 		}
-		coldAcc = stats.AccuracyWithinTolerance(cPred, actual, 2)
-		totAcc = stats.AccuracyWithinTolerance(tPred, actual, 2)
+		if coldAcc, err = stats.AccuracyWithinTolerance(cPred, actual, 2); err != nil {
+			b.Fatal(err)
+		}
+		if totAcc, err = stats.AccuracyWithinTolerance(tPred, actual, 2); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(coldAcc, "multinomial-psi-acc")
 	b.ReportMetric(totAcc, "beta-time-acc")
@@ -371,7 +379,11 @@ func BenchmarkAblationNegCorrection(b *testing.B) {
 	s := benchSchedule()
 	var withCorr, without float64
 	for i := 0; i < b.N; i++ {
-		split := data.CrossValidation(rngFor(11), 5)[0]
+		splits, err := data.CrossValidation(rngFor(11), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split := splits[0]
 		train := data.TrainView(corpus.Split{
 			TrainPosts: allIdx(len(data.Posts)), TrainLinks: split.TrainLinks})
 		for _, corrected := range []bool{true, false} {

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
@@ -50,9 +53,13 @@ func main() {
 	if *modelPath != "" {
 		model, err = core.LoadModelFile(*modelPath)
 	} else {
+		// The in-process demo training honours Ctrl-C: it stops at the
+		// next sweep boundary rather than dying mid-sweep.
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		cfg := core.DefaultConfig(6, 8)
 		cfg.Iterations, cfg.BurnIn, cfg.Seed = 40, 25, *seed
-		model, err = core.Train(data, cfg)
+		model, err = core.TrainContext(ctx, data, cfg)
+		stop()
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -1,18 +1,29 @@
 // Command coldtrain fits a COLD model to a dataset and writes the model
-// as JSON, printing the convergence trace.
+// as JSON, printing the convergence trace. Training can periodically
+// checkpoint its full sampler state; an interrupted run (Ctrl-C) stops
+// at the next sweep boundary, saves what it has, and can later be
+// resumed bit-identically with -resume.
 //
 // Usage:
 //
 //	coldtrain -data dataset.json -comms 6 -topics 8 -iters 60 -out model.json
 //	coldtrain -data dataset.json -comms 6 -topics 8 -workers 4 -out model.json
+//	coldtrain -data dataset.json -checkpoint-dir ckpt -checkpoint-every 10 -out model.json
+//	coldtrain -data dataset.json -resume ckpt/sweep-00000030.ckpt -out model.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
+	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
 )
@@ -31,27 +42,57 @@ func main() {
 	seed := flag.Uint64("seed", 1, "sampler seed")
 	out := flag.String("out", "model.json", "output model path")
 	quiet := flag.Bool("q", false, "suppress the likelihood trace")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic sampler checkpoints")
+	ckptEvery := flag.Int("checkpoint-every", 10, "sweeps between checkpoints")
+	resume := flag.String("resume", "", "checkpoint file (or directory of them) to resume from")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context; training stops at the next
+	// sweep boundary and returns a usable partial model.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	data, err := corpus.LoadFile(*dataPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig(*comms, *topics)
-	cfg.Iterations = *iters
-	cfg.BurnIn = *burnIn
-	if cfg.BurnIn == 0 {
-		cfg.BurnIn = *iters / 2
-	}
-	cfg.Workers = *workers
-	cfg.UseLinks = !*noLinks
-	cfg.Seed = *seed
+	opts := core.RunOptions{CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery}
 
-	model, stats, err := core.TrainWithStats(data, cfg)
-	if err != nil {
+	var model *core.Model
+	var stats *core.TrainStats
+	if *resume != "" {
+		path := *resume
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			latest, sweep, err := checkpoint.Latest(path)
+			if err != nil {
+				log.Fatalf("resume: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "resuming from %s (sweep %d)\n", latest, sweep)
+			path = latest
+		}
+		if opts.CheckpointDir == "" {
+			// Keep checkpointing where the interrupted run left off.
+			opts.CheckpointDir = filepath.Dir(path)
+		}
+		model, stats, err = core.ResumeTraining(ctx, path, data, opts)
+	} else {
+		cfg := core.DefaultConfig(*comms, *topics)
+		cfg.Iterations = *iters
+		cfg.BurnIn = *burnIn
+		if cfg.BurnIn == 0 {
+			cfg.BurnIn = *iters / 2
+		}
+		cfg.Workers = *workers
+		cfg.UseLinks = !*noLinks
+		cfg.Seed = *seed
+		model, stats, err = core.TrainRun(ctx, data, cfg, opts)
+	}
+
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
-	if !*quiet {
+	if !*quiet && stats != nil {
 		for i, ll := range stats.Likelihood {
 			if i%5 == 0 || i == len(stats.Likelihood)-1 {
 				fmt.Fprintf(os.Stderr, "sweep %3d  loglik %.1f\n", i, ll)
@@ -60,10 +101,24 @@ func main() {
 		d := core.Diagnose(stats.Likelihood)
 		fmt.Fprintf(os.Stderr, "diagnostics: converged@sweep=%d geweke_z=%.2f improvement=%.0f\n",
 			d.ConvergedAt, d.GewekeZ, d.Improvement)
+		if stats.Rollbacks > 0 {
+			fmt.Fprintf(os.Stderr, "recovered from %d divergence rollback(s)\n", stats.Rollbacks)
+		}
+	}
+	if interrupted {
+		if stats != nil && stats.LastCheckpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; resume with -resume %s\n", stats.LastCheckpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted; no checkpoint was written (set -checkpoint-dir)")
+		}
+		if model == nil {
+			log.Fatal("interrupted before the first post-burn-in sample; no model to save")
+		}
+		fmt.Fprintln(os.Stderr, "saving partial model averaged from samples so far")
 	}
 	if err := model.SaveFile(*out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "trained C=%d K=%d in %v (%d samples averaged); wrote %s\n",
-		cfg.C, cfg.K, stats.Elapsed.Round(1e6), stats.Samples, *out)
+		model.Cfg.C, model.Cfg.K, stats.Elapsed.Round(1e6), stats.Samples, *out)
 }

@@ -33,6 +33,8 @@
 package cold
 
 import (
+	"context"
+
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/synth"
@@ -84,6 +86,40 @@ func Train(data *Dataset, cfg Config) (*Model, error) { return core.Train(data, 
 func TrainWithStats(data *Dataset, cfg Config) (*Model, *TrainStats, error) {
 	return core.TrainWithStats(data, cfg)
 }
+
+// RunOptions configures the resilient training runtime: periodic
+// checkpointing to disk and divergence-recovery policy. The zero value
+// trains without checkpoints.
+type RunOptions = core.RunOptions
+
+// Checkpoint is the on-disk training snapshot written by TrainRun;
+// LoadCheckpoint inspects one without resuming.
+type Checkpoint = core.Checkpoint
+
+// TrainContext is Train with cancellation: when ctx is cancelled (e.g.
+// by a SIGINT handler), training stops at the next sweep boundary and
+// returns the model averaged from the thinned samples collected so far,
+// alongside ctx.Err(). The model is nil only if cancellation struck
+// before the first post-burn-in sample.
+func TrainContext(ctx context.Context, data *Dataset, cfg Config) (*Model, error) {
+	return core.TrainContext(ctx, data, cfg)
+}
+
+// TrainRun is the full-control entry point: context cancellation,
+// periodic checkpoints, and automatic rollback on numerical divergence.
+func TrainRun(ctx context.Context, data *Dataset, cfg Config, opts RunOptions) (*Model, *TrainStats, error) {
+	return core.TrainRun(ctx, data, cfg, opts)
+}
+
+// ResumeTraining continues a run from a checkpoint file written by
+// TrainRun. Resuming against the same dataset reproduces the
+// uninterrupted run bit for bit.
+func ResumeTraining(ctx context.Context, path string, data *Dataset, opts RunOptions) (*Model, *TrainStats, error) {
+	return core.ResumeTraining(ctx, path, data, opts)
+}
+
+// LoadCheckpoint reads and validates a checkpoint file without resuming.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
 
 // NewPredictor builds the offline caches for diffusion prediction.
 // topComm is the TopComm size; the paper uses 5.

@@ -91,7 +91,10 @@ func TestPredictTimestampBeatsChance(t *testing.T) {
 		actual = append(actual, p.Time)
 	}
 	tol := cfg.T / 8
-	acc := stats.AccuracyWithinTolerance(pred, actual, tol)
+	acc, err := stats.AccuracyWithinTolerance(pred, actual, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
 	chance := float64(2*tol+1) / float64(cfg.T)
 	if acc < chance {
 		t.Fatalf("EUTB accuracy %.3f below chance %.3f", acc, chance)

@@ -48,7 +48,10 @@ func TestTrainAndPredict(t *testing.T) {
 		actual = append(actual, p.Time)
 	}
 	// Pipeline is the weakest temporal model but still reads the data.
-	acc := stats.AccuracyWithinTolerance(pred, actual, data.T/4)
+	acc, err := stats.AccuracyWithinTolerance(pred, actual, data.T/4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc == 0 {
 		t.Fatal("pipeline never predicts anywhere near the truth")
 	}

@@ -68,7 +68,10 @@ func TestTrainAndPredict(t *testing.T) {
 		actual = append(actual, p.Time)
 	}
 	tol := 2
-	acc := stats.AccuracyWithinTolerance(pred, actual, tol)
+	acc, err := stats.AccuracyWithinTolerance(pred, actual, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
 	chance := float64(2*tol+1) / 16
 	if acc < chance {
 		t.Fatalf("TOT accuracy %.3f below chance %.3f", acc, chance)

@@ -1,0 +1,178 @@
+// Package checkpoint provides durable, corruption-detecting snapshot
+// files for long-running training jobs, plus the atomic-write primitive
+// every on-disk artefact in the repository should use.
+//
+// A checkpoint file is a framed gob payload:
+//
+//	offset  size  field
+//	0       8     magic "COLDCKP1"
+//	8       8     payload length (little-endian uint64)
+//	16      4     CRC-32 (IEEE) of the payload
+//	20      n     gob-encoded payload
+//
+// Files are written to a temporary sibling and renamed into place, so a
+// crash mid-write never leaves a half-written checkpoint under the final
+// name; a truncated or bit-flipped file is rejected on load with
+// ErrCorrupt instead of being decoded into garbage.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const magic = "COLDCKP1"
+
+// headerSize is the framed prefix before the gob payload.
+const headerSize = len(magic) + 8 + 4
+
+// ErrCorrupt reports a checkpoint file that failed frame validation:
+// bad magic, truncated payload, or checksum mismatch.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated file")
+
+// AtomicWriteFile writes the output of write to path via a temporary
+// sibling file and rename, so concurrent readers and crash recovery never
+// observe a partially written file.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteFile gob-encodes payload and writes it atomically to path inside
+// the framed, checksummed container.
+func WriteFile(path string, payload any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	body := buf.Bytes()
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		header := make([]byte, headerSize)
+		copy(header, magic)
+		binary.LittleEndian.PutUint64(header[8:], uint64(len(body)))
+		binary.LittleEndian.PutUint32(header[16:], crc32.ChecksumIEEE(body))
+		if _, err := w.Write(header); err != nil {
+			return err
+		}
+		_, err := w.Write(body)
+		return err
+	})
+}
+
+// ReadFile validates the frame of the checkpoint at path and decodes its
+// payload into out (a pointer). Corruption — wrong magic, truncation,
+// trailing junk, or checksum mismatch — is reported as an error wrapping
+// ErrCorrupt.
+func ReadFile(path string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < headerSize || string(raw[:len(magic)]) != magic {
+		return fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+	}
+	n := binary.LittleEndian.Uint64(raw[8:])
+	sum := binary.LittleEndian.Uint32(raw[16:])
+	body := raw[headerSize:]
+	if uint64(len(body)) != n {
+		return fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, len(body), n)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: decode: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}
+
+// SweepPath names the checkpoint file for a given sweep inside dir.
+func SweepPath(dir string, sweep int) string {
+	return filepath.Join(dir, fmt.Sprintf("sweep-%08d.ckpt", sweep))
+}
+
+// sweepOf parses the sweep index out of a SweepPath base name, returning
+// ok=false for foreign files.
+func sweepOf(name string) (int, bool) {
+	var sweep int
+	if _, err := fmt.Sscanf(name, "sweep-%d.ckpt", &sweep); err != nil {
+		return 0, false
+	}
+	return sweep, true
+}
+
+// Latest returns the path and sweep index of the newest checkpoint in
+// dir. It returns os.ErrNotExist (wrapped) when dir holds no checkpoints.
+func Latest(dir string) (string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	best, bestSweep := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if sweep, ok := sweepOf(e.Name()); ok && sweep > bestSweep {
+			best, bestSweep = filepath.Join(dir, e.Name()), sweep
+		}
+	}
+	if best == "" {
+		return "", 0, fmt.Errorf("checkpoint: no checkpoints in %s: %w", dir, os.ErrNotExist)
+	}
+	return best, bestSweep, nil
+}
+
+// Prune deletes all but the keep newest checkpoints in dir.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var sweeps []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if sweep, ok := sweepOf(e.Name()); ok {
+			sweeps = append(sweeps, sweep)
+		}
+	}
+	if len(sweeps) <= keep {
+		return nil
+	}
+	sort.Ints(sweeps)
+	for _, sweep := range sweeps[:len(sweeps)-keep] {
+		if err := os.Remove(SweepPath(dir, sweep)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

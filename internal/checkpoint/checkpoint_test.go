@@ -1,0 +1,182 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type payload struct {
+	Name   string
+	Sweep  int
+	Floats []float64
+	Ints   []int
+	Nested map[string][]uint64
+}
+
+// Property: any payload round-trips through the framed container intact.
+func TestRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(name string, sweep int, floats []float64, ints []int) bool {
+		in := payload{Name: name, Sweep: sweep, Floats: floats, Ints: ints,
+			Nested: map[string][]uint64{"rng": {1, 2, 3}}}
+		path := filepath.Join(dir, "p.ckpt")
+		if err := WriteFile(path, in); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		var out payload
+		if err := ReadFile(path, &out); err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		// Gob turns empty non-nil slices into nil; normalise before compare.
+		if len(in.Floats) == 0 {
+			in.Floats, out.Floats = nil, nil
+		}
+		if len(in.Ints) == 0 {
+			in.Ints, out.Ints = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeSample(t *testing.T, path string) {
+	t.Helper()
+	in := payload{Name: "sample", Sweep: 7, Floats: []float64{1.5, -2.25}, Ints: []int{1, 2, 3}}
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	writeSample(t, path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated header":  raw[:headerSize-2],
+		"truncated payload": raw[:len(raw)-3],
+		"empty":             {},
+		"bad magic":         append([]byte("NOTCKPT!"), raw[8:]...),
+	}
+	// Bit flip in the payload.
+	flipped := append([]byte(nil), raw...)
+	flipped[headerSize+1] ^= 0x40
+	cases["bit flip"] = flipped
+	// Trailing junk changes the length/checksum relationship.
+	cases["trailing junk"] = append(append([]byte(nil), raw...), 0xff)
+
+	for name, data := range cases {
+		p := filepath.Join(dir, "bad.ckpt")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out payload
+		err := ReadFile(p, &out)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// The pristine file still reads.
+	var out payload
+	if err := ReadFile(path, &out); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	var out payload
+	err := ReadFile(filepath.Join(t.TempDir(), "nope.ckpt"), &out)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("got %v, want os.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing file misreported as corrupt")
+	}
+}
+
+// A failed write must not disturb an existing good file, and must not
+// leave temp litter behind.
+func TestAtomicWriteKeepsOldFileOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	writeSample(t, path)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("encoder exploded")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the write error", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("failed write clobbered the existing file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter left behind: %d entries", len(entries))
+	}
+}
+
+func TestLatestAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Latest(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: got %v, want os.ErrNotExist", err)
+	}
+	for _, sweep := range []int{10, 5, 30, 20} {
+		writeSample(t, SweepPath(dir, sweep))
+	}
+	// A foreign file must be ignored by both Latest and Prune.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	path, sweep, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep != 30 || path != SweepPath(dir, 30) {
+		t.Fatalf("latest = %s (sweep %d), want sweep 30", path, sweep)
+	}
+
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		sweep int
+		want  bool
+	}{{5, false}, {10, false}, {20, true}, {30, true}} {
+		_, err := os.Stat(SweepPath(dir, tc.sweep))
+		if exists := err == nil; exists != tc.want {
+			t.Errorf("after prune, sweep %d exists=%v want %v", tc.sweep, exists, tc.want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatal("prune removed a foreign file")
+	}
+}

@@ -2,8 +2,12 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"os"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
 )
 
 // Model holds the posterior parameter estimates of a trained COLD model.
@@ -126,6 +130,54 @@ func (a *accumulator) mean() *Model {
 	return out
 }
 
+// snapshot returns a deep copy of the accumulator's running sum, for
+// checkpointing; the accumulator keeps accumulating.
+func (a *accumulator) snapshot() (*Model, int) {
+	return a.sum.clone(), a.n
+}
+
+// restore resets the accumulator to a checkpointed sum (deep-copied, so
+// later accumulation does not mutate the checkpoint).
+func (a *accumulator) restore(sum *Model, n int) {
+	a.sum = sum.clone()
+	a.n = n
+	if a.sum == nil {
+		a.n = 0
+	}
+}
+
+// clone deep-copies the model (nil-safe).
+func (m *Model) clone() *Model {
+	if m == nil {
+		return nil
+	}
+	out := &Model{Cfg: m.Cfg, U: m.U, T: m.T, V: m.V}
+	out.Pi = cloneMatrix(m.Pi)
+	out.Theta = cloneMatrix(m.Theta)
+	out.Phi = cloneMatrix(m.Phi)
+	out.Eta = cloneMatrix(m.Eta)
+	out.Psi = make([][][]float64, len(m.Psi))
+	for k := range m.Psi {
+		out.Psi[k] = cloneMatrix(m.Psi[k])
+	}
+	return out
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	cols := 0
+	if len(m) > 0 {
+		cols = len(m[0])
+	}
+	out := floatMatrix(len(m), cols)
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
 func addMatrix(dst, src [][]float64) {
 	for i := range dst {
 		for j := range dst[i] {
@@ -142,34 +194,100 @@ func scaleMatrix(m [][]float64, f float64) {
 	}
 }
 
+// Validate checks that a deserialised model is structurally sound:
+// dimensions consistent with Cfg/U/T/V, all parameters finite, and every
+// distribution row a proper simplex (η entries are Bernoulli parameters
+// in [0, 1] instead). It guards the load paths against truncated or
+// hand-edited files that decode without error but would poison every
+// downstream prediction.
+func (m *Model) Validate() error {
+	C, K := m.Cfg.C, m.Cfg.K
+	if C <= 0 || K <= 0 || m.U < 0 || m.T <= 0 || m.V <= 0 {
+		return fmt.Errorf("core: model has invalid dimensions C=%d K=%d U=%d T=%d V=%d", C, K, m.U, m.T, m.V)
+	}
+	if err := simplexMatrix("Pi", m.Pi, m.U, C); err != nil {
+		return err
+	}
+	if err := simplexMatrix("Theta", m.Theta, C, K); err != nil {
+		return err
+	}
+	if err := simplexMatrix("Phi", m.Phi, K, m.V); err != nil {
+		return err
+	}
+	if len(m.Psi) != K {
+		return fmt.Errorf("core: model Psi has %d topics, want %d", len(m.Psi), K)
+	}
+	for k := range m.Psi {
+		if err := simplexMatrix(fmt.Sprintf("Psi[%d]", k), m.Psi[k], C, m.T); err != nil {
+			return err
+		}
+	}
+	if len(m.Eta) != C {
+		return fmt.Errorf("core: model Eta has %d rows, want %d", len(m.Eta), C)
+	}
+	for a := range m.Eta {
+		if len(m.Eta[a]) != C {
+			return fmt.Errorf("core: model Eta[%d] has %d columns, want %d", a, len(m.Eta[a]), C)
+		}
+		for b, v := range m.Eta[a] {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("core: model Eta[%d][%d] = %v outside [0,1]", a, b, v)
+			}
+		}
+	}
+	return nil
+}
+
+// simplexMatrix checks a rows×cols matrix of probability rows: correct
+// shape, finite non-negative entries, each row summing to 1 within
+// tolerance.
+func simplexMatrix(name string, m [][]float64, rows, cols int) error {
+	if len(m) != rows {
+		return fmt.Errorf("core: model %s has %d rows, want %d", name, len(m), rows)
+	}
+	const tol = 1e-6
+	for i := range m {
+		if len(m[i]) != cols {
+			return fmt.Errorf("core: model %s[%d] has %d columns, want %d", name, i, len(m[i]), cols)
+		}
+		sum := 0.0
+		for j, v := range m[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("core: model %s[%d][%d] = %v is not a probability", name, i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("core: model %s[%d] sums to %v, want 1", name, i, sum)
+		}
+	}
+	return nil
+}
+
 // WriteJSON serialises the model.
 func (m *Model) WriteJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(m)
 }
 
-// ReadModelJSON deserialises a model written by WriteJSON.
+// ReadModelJSON deserialises and validates a model written by WriteJSON.
 func ReadModelJSON(r io.Reader) (*Model, error) {
 	var m Model
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: model decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	return &m, nil
 }
 
-// SaveFile writes the model to path as JSON.
+// SaveFile writes the model to path as JSON, atomically (tmp + rename) so
+// a crash mid-write cannot leave a truncated model under the final name.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := m.WriteJSON(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return checkpoint.AtomicWriteFile(path, m.WriteJSON)
 }
 
-// LoadModelFile reads a model from a JSON file.
+// LoadModelFile reads and validates a model from a JSON file.
 func LoadModelFile(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"fmt"
 	"math"
-	"time"
 
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/gas"
@@ -319,11 +319,82 @@ func foldInto(dst, delta []int64) {
 	}
 }
 
-// trainParallel runs the GAS sampler and returns averaged estimates, like
-// trainSerial but with cfg.Workers goroutine workers standing in for
-// GraphLab nodes.
-func trainParallel(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error) {
-	start := time.Now()
+// zeroDeltas clears every pending global-state delta; required after a
+// failed superstep whose Merge never ran, so a later merge cannot apply
+// stale deltas from the abandoned sweep.
+func (ctx *coldCtx) zeroDeltas() {
+	for _, d := range [][]int64{ctx.dNCK, ctx.dNCKSum, ctx.dNKV, ctx.dNKVSum, ctx.dNCC, ctx.dNSC, ctx.dNDC} {
+		for i := range d {
+			d[i] = 0
+		}
+	}
+}
+
+// rebuildCounters recomputes the global counters from the current
+// assignments (their pure function), for initialisation and rollback.
+func (p *coldProgram) rebuildCounters() {
+	for _, d := range [][]int64{p.nCK, p.nCKSum, p.nKV, p.nKVSum, p.nCC, p.nSC, p.nDC} {
+		for i := range d {
+			d[i] = 0
+		}
+	}
+	K, V := p.cfg.K, p.data.V
+	for j := range p.data.Posts {
+		c, z := p.c[j], p.z[j]
+		p.nCK[c*K+z]++
+		p.nCKSum[c]++
+		p.data.Posts[j].Words.Each(func(v, count int) {
+			p.nKV[z*V+v] += int64(count)
+			p.nKVSum[z] += int64(count)
+		})
+	}
+	if p.cfg.UseLinks {
+		for l := range p.data.Links {
+			p.nCC[p.s[l]*p.cfg.C+p.sp[l]]++
+			p.nSC[p.s[l]]++
+			p.nDC[p.sp[l]]++
+		}
+	}
+}
+
+// negativeCounter returns the name of the first negative global counter,
+// or "" when all are sane (the parallel twin of state.negativeCounter).
+func (p *coldProgram) negativeCounter() string {
+	checks := []struct {
+		name string
+		vec  []int64
+	}{
+		{"nCK", p.nCK}, {"nCKSum", p.nCKSum}, {"nKV", p.nKV}, {"nKVSum", p.nKVSum},
+		{"nCC", p.nCC}, {"nSC", p.nSC}, {"nDC", p.nDC},
+	}
+	for _, ch := range checks {
+		for i, v := range ch.vec {
+			if v < 0 {
+				return fmt.Sprintf("%s[%d]=%d", ch.name, i, v)
+			}
+		}
+	}
+	return ""
+}
+
+// coldEngine is the engine surface the parallel sampler needs: stepping
+// with contained panics, plus access to per-worker contexts for RNG
+// checkpointing.
+type coldEngine interface {
+	Step() error
+	Ctxs() []*coldCtx
+}
+
+// parallelSampler adapts the GAS sampler (cfg.Workers goroutine workers
+// standing in for GraphLab nodes) to the runtime's sweeper interface.
+type parallelSampler struct {
+	prog   *coldProgram
+	engine coldEngine
+	r      *rng.RNG // main stream; only consumed during initialisation
+	snap   *state   // materialized counters of the latest sweep
+}
+
+func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint) (*parallelSampler, error) {
 	r := rng.New(cfg.Seed)
 	prog := &coldProgram{
 		cfg:     cfg,
@@ -345,28 +416,30 @@ func trainParallel(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error
 		prog.sp = make([]int, len(data.Links))
 	}
 
-	// Random initialisation, mirrored into the global counters.
-	for j := range data.Posts {
-		prog.c[j] = r.Intn(cfg.C)
-		prog.z[j] = r.Intn(cfg.K)
-		ck := prog.c[j]*cfg.K + prog.z[j]
-		prog.nCK[ck]++
-		prog.nCKSum[prog.c[j]]++
-		z := prog.z[j]
-		data.Posts[j].Words.Each(func(v, count int) {
-			prog.nKV[z*data.V+v] += int64(count)
-			prog.nKVSum[z] += int64(count)
-		})
-	}
-	if cfg.UseLinks {
-		for l := range data.Links {
-			prog.s[l] = r.Intn(cfg.C)
-			prog.sp[l] = r.Intn(cfg.C)
-			prog.nCC[prog.s[l]*cfg.C+prog.sp[l]]++
-			prog.nSC[prog.s[l]]++
-			prog.nDC[prog.sp[l]]++
+	if resume == nil {
+		// Random initialisation, mirrored into the global counters.
+		for j := range data.Posts {
+			prog.c[j] = r.Intn(cfg.C)
+			prog.z[j] = r.Intn(cfg.K)
+		}
+		if cfg.UseLinks {
+			for l := range data.Links {
+				prog.s[l] = r.Intn(cfg.C)
+				prog.sp[l] = r.Intn(cfg.C)
+			}
+		}
+	} else {
+		if err := validateAssignments(data, cfg, resume.C, resume.Z, resume.S, resume.SP); err != nil {
+			return nil, err
+		}
+		copy(prog.c, resume.C)
+		copy(prog.z, resume.Z)
+		if cfg.UseLinks {
+			copy(prog.s, resume.S)
+			copy(prog.sp, resume.SP)
 		}
 	}
+	prog.rebuildCounters()
 
 	// Build the bipartite graph of Fig 4: users then time slices.
 	vertices := make([]coldVD, data.U+data.T)
@@ -395,31 +468,99 @@ func trainParallel(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error
 	}
 	g.Finalize()
 
-	var engine interface{ Step() }
+	var engine coldEngine
 	if cfg.Chromatic {
 		engine = gas.NewChromaticEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
 	} else {
 		engine = gas.NewEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
 	}
-	stats := &TrainStats{}
-	var acc accumulator
-	for it := 0; it < cfg.Iterations; it++ {
-		engine.Step()
-		snap := prog.materialize()
-		stats.Likelihood = append(stats.Likelihood, snap.logLikelihood())
-		if it >= cfg.BurnIn && (it-cfg.BurnIn)%cfg.SampleLag == 0 {
-			acc.add(snap.estimate())
-			stats.Samples++
+	p := &parallelSampler{prog: prog, engine: engine, r: r}
+	if resume != nil {
+		if err := p.restoreRNG(resume.RNG); err != nil {
+			return nil, err
 		}
 	}
-	stats.Sweeps = cfg.Iterations
-	model := acc.mean()
-	if model == nil {
-		model = prog.materialize().estimate()
-		stats.Samples = 1
+	return p, nil
+}
+
+func (p *parallelSampler) sweep() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: parallel sweep panicked: %v", rec)
+		}
+	}()
+	if err := p.engine.Step(); err != nil {
+		p.snap = nil
+		return err
 	}
-	stats.Elapsed = time.Since(start)
-	return model, stats, nil
+	p.snap = p.prog.materialize()
+	return nil
+}
+
+// materialized returns the counters of the latest sweep, computing them
+// on demand before the first sweep (e.g. a run cancelled immediately).
+func (p *parallelSampler) materialized() *state {
+	if p.snap == nil {
+		p.snap = p.prog.materialize()
+	}
+	return p.snap
+}
+
+func (p *parallelSampler) logLikelihood() float64 { return p.materialized().logLikelihood() }
+func (p *parallelSampler) estimate() *Model       { return p.materialized().estimate() }
+func (p *parallelSampler) health() string         { return p.prog.negativeCounter() }
+
+func (p *parallelSampler) rngStates() [][4]uint64 {
+	ctxs := p.engine.Ctxs()
+	states := make([][4]uint64, 0, 1+len(ctxs))
+	states = append(states, p.r.State())
+	for _, ctx := range ctxs {
+		states = append(states, ctx.r.State())
+	}
+	return states
+}
+
+func (p *parallelSampler) restoreRNG(states [][4]uint64) error {
+	ctxs := p.engine.Ctxs()
+	if len(states) != 1+len(ctxs) {
+		return fmt.Errorf("core: parallel sampler expects %d RNG streams (1 main + %d workers), checkpoint has %d", 1+len(ctxs), len(ctxs), len(states))
+	}
+	p.r.Restore(states[0])
+	for i, ctx := range ctxs {
+		ctx.r.Restore(states[i+1])
+	}
+	return nil
+}
+
+func (p *parallelSampler) reseed(salt uint64) {
+	p.r = rng.New(p.r.Uint64() ^ salt)
+	for _, ctx := range p.engine.Ctxs() {
+		ctx.r = rng.New(ctx.r.Uint64() ^ salt)
+	}
+}
+
+func (p *parallelSampler) assignments() (c, z, s, sp []int) {
+	return p.prog.c, p.prog.z, p.prog.s, p.prog.sp
+}
+
+func (p *parallelSampler) setAssignments(c, z, s, sp []int) error {
+	if err := validateAssignments(p.prog.data, p.prog.cfg, c, z, s, sp); err != nil {
+		return err
+	}
+	copy(p.prog.c, c)
+	copy(p.prog.z, z)
+	if p.prog.cfg.UseLinks {
+		copy(p.prog.s, s)
+		copy(p.prog.sp, sp)
+	}
+	p.prog.rebuildCounters()
+	// A failed superstep may have died before Merge: drop its deltas so
+	// the next merge starts from a clean slate.
+	for _, ctx := range p.engine.Ctxs() {
+		ctx.zeroDeltas()
+	}
+	p.snap = nil
+	return nil
 }
 
 // materialize reconstructs a full serial state (all counters) from the

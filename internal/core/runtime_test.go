@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+func runtimeData(t *testing.T) *corpus.Dataset {
+	t.Helper()
+	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 4, T: 8, V: 60,
+		PostsPerUser: 5, WordsPerPost: 6, LinksPerUser: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func runtimeConfig(workers int) Config {
+	cfg := DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.Seed = 20, 8, 9
+	cfg.Workers = workers
+	return cfg
+}
+
+// The headline guarantee: a run killed mid-flight and resumed from its
+// last checkpoint produces a model bit-identical to the uninterrupted
+// run — for the serial sampler and the parallel GAS sampler.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		data := runtimeData(t)
+		cfg := runtimeConfig(workers)
+
+		full, fullStats, err := TrainWithStats(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Same schedule, but cancelled at sweep 12.
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		faultinject.Set(faultinject.CoreSweep, func(args ...any) {
+			if args[0].(int) == 12 {
+				cancel()
+			}
+		})
+		partial, partialStats, err := TrainRun(ctx, runtimeData(t), cfg,
+			RunOptions{CheckpointDir: dir, CheckpointEvery: 5})
+		faultinject.Reset()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: cancelled run returned %v", workers, err)
+		}
+		if partial == nil {
+			t.Fatalf("workers=%d: cancelled run returned no partial model", workers)
+		}
+		if partialStats.LastCheckpoint == "" {
+			t.Fatalf("workers=%d: no checkpoint written on cancellation", workers)
+		}
+
+		resumed, resumedStats, err := ResumeTraining(context.Background(),
+			partialStats.LastCheckpoint, runtimeData(t), RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumedStats.ResumedAt != 12 {
+			t.Fatalf("workers=%d: resumed at sweep %d, want 12", workers, resumedStats.ResumedAt)
+		}
+		if !reflect.DeepEqual(full, resumed) {
+			t.Fatalf("workers=%d: resumed model differs from uninterrupted run", workers)
+		}
+		if !reflect.DeepEqual(fullStats.Likelihood, resumedStats.Likelihood) {
+			t.Fatalf("workers=%d: resumed likelihood trace differs", workers)
+		}
+	}
+}
+
+// Resuming from any intermediate checkpoint of a completed run replays
+// the identical tail.
+func TestResumeFromIntermediateCheckpoint(t *testing.T) {
+	data := runtimeData(t)
+	cfg := runtimeConfig(1)
+	dir := t.TempDir()
+	full, _, err := TrainRun(context.Background(), data, cfg,
+		RunOptions{CheckpointDir: dir, CheckpointEvery: 5, KeepCheckpoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sweep := range []int{5, 10, 15} {
+		resumed, _, err := ResumeTraining(context.Background(),
+			checkpoint.SweepPath(dir, sweep), runtimeData(t), RunOptions{})
+		if err != nil {
+			t.Fatalf("resume from sweep %d: %v", sweep, err)
+		}
+		if !reflect.DeepEqual(full, resumed) {
+			t.Fatalf("resume from sweep %d diverged from the full run", sweep)
+		}
+	}
+}
+
+// Checkpointing must be an observer: a run with checkpoints enabled
+// produces exactly the model of a plain run.
+func TestCheckpointingDoesNotPerturbTraining(t *testing.T) {
+	cfg := runtimeConfig(1)
+	plain, _, err := TrainWithStats(runtimeData(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, _, err := TrainRun(context.Background(), runtimeData(t), cfg,
+		RunOptions{CheckpointDir: t.TempDir(), CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ckpt) {
+		t.Fatal("checkpointing changed the training trajectory")
+	}
+}
+
+func TestTrainContextCancelledEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := TrainContext(ctx, runtimeData(t), runtimeConfig(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if m == nil {
+		t.Fatal("pre-cancelled run should still return the initial sample")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("partial model invalid: %v", err)
+	}
+}
+
+// An injected NaN likelihood trips the divergence guard; the runtime
+// rolls back to the last good snapshot, reseeds, and completes.
+func TestNaNLikelihoodRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	var fired atomic.Bool
+	faultinject.Set(faultinject.CoreLikelihood, func(args ...any) {
+		if fired.CompareAndSwap(false, true) {
+			*args[0].(*float64) = math.NaN()
+		}
+	})
+	m, stats, err := TrainRun(context.Background(), runtimeData(t), runtimeConfig(1), RunOptions{})
+	if err != nil {
+		t.Fatalf("training did not recover: %v", err)
+	}
+	if stats.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", stats.Rollbacks)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("recovered model invalid: %v", err)
+	}
+}
+
+// A likelihood that is NaN on every sweep exhausts MaxRollbacks and
+// surfaces as a descriptive error, never a crash or an infinite loop.
+func TestPersistentDivergenceGivesUp(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.CoreLikelihood, func(args ...any) {
+		*args[0].(*float64) = math.Inf(-1)
+	})
+	_, stats, err := TrainRun(context.Background(), runtimeData(t), runtimeConfig(1),
+		RunOptions{MaxRollbacks: 2})
+	if err == nil {
+		t.Fatal("persistently diverging run did not fail")
+	}
+	if stats.Rollbacks != 3 {
+		t.Fatalf("rollbacks = %d, want MaxRollbacks+1 = 3", stats.Rollbacks)
+	}
+}
+
+// A worker goroutine panicking mid-scatter is contained, rolled back and
+// retried with perturbed streams.
+func TestWorkerPanicRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	var fired atomic.Bool
+	faultinject.Set(faultinject.GasScatterWorker, func(args ...any) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected worker crash")
+		}
+	})
+	m, stats, err := TrainRun(context.Background(), runtimeData(t), runtimeConfig(4), RunOptions{})
+	if err != nil {
+		t.Fatalf("training did not recover from worker panic: %v", err)
+	}
+	if stats.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", stats.Rollbacks)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("recovered model invalid: %v", err)
+	}
+}
+
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	data := runtimeData(t)
+	dir := t.TempDir()
+	if _, _, err := TrainRun(context.Background(), data, runtimeConfig(1),
+		RunOptions{CheckpointDir: dir, CheckpointEvery: 5}); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ResumeTraining(context.Background(), path, data, RunOptions{}); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corrupt checkpoint: got %v, want ErrCorrupt", err)
+	}
+
+	// A truncated file must be rejected the same way.
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(trunc, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ResumeTraining(context.Background(), trunc, data, RunOptions{}); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("truncated checkpoint: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestResumeRejectsWrongDataset(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := TrainRun(context.Background(), runtimeData(t), runtimeConfig(1),
+		RunOptions{CheckpointDir: dir, CheckpointEvery: 5}); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := synth.Generate(synth.Config{U: 25, C: 3, K: 4, T: 8, V: 60,
+		PostsPerUser: 5, WordsPerPost: 6, LinksPerUser: 4, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ResumeTraining(context.Background(), path, other, RunOptions{}); err == nil {
+		t.Fatal("resume against a different dataset was accepted")
+	}
+}

@@ -3,10 +3,13 @@ package core
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
 )
 
 // Binary model serialisation. JSON (estimate.go) is the interoperable
@@ -17,33 +20,36 @@ func (m *Model) WriteGob(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(m)
 }
 
-// ReadModelGob deserialises a model written by WriteGob.
+// ReadModelGob deserialises and validates a model written by WriteGob. A
+// truncated stream is reported as such rather than as a raw decode error.
 func ReadModelGob(r io.Reader) (*Model, error) {
 	var m Model
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("core: gob model stream is truncated: %w", err)
+		}
 		return nil, fmt.Errorf("core: gob decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	return &m, nil
 }
 
-// SaveGobFile writes the model to path in gob encoding.
+// SaveGobFile writes the model to path in gob encoding, atomically
+// (tmp + rename) so a crash mid-write cannot leave a truncated model
+// under the final name.
 func (m *Model) SaveGobFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	if err := m.WriteGob(bw); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return f.Close()
+	return checkpoint.AtomicWriteFile(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		if err := m.WriteGob(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
 }
 
-// LoadModelGobFile reads a gob model from path.
+// LoadModelGobFile reads and validates a gob model from path.
 func LoadModelGobFile(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -97,6 +97,124 @@ func newState(data *corpus.Dataset, cfg Config, r *rng.RNG) *state {
 	return st
 }
 
+// stateFromAssignments rebuilds a full sampler state from checkpointed
+// latent assignments without consuming any randomness: the count matrices
+// are pure functions of the assignments, so the result is bit-identical
+// to the state the checkpoint was taken from.
+func stateFromAssignments(data *corpus.Dataset, cfg Config, c, z, s, sp []int) (*state, error) {
+	if err := validateAssignments(data, cfg, c, z, s, sp); err != nil {
+		return nil, err
+	}
+	st := &state{cfg: cfg, data: data,
+		lambda0: cfg.lambda0(data.U, len(data.Links)),
+		nNeg:    negCount(data.U, len(data.Links))}
+	st = newEmptyLike(st)
+	copy(st.c, c)
+	copy(st.z, z)
+	if cfg.UseLinks {
+		copy(st.s, s)
+		copy(st.sp, sp)
+	}
+	st.rebuildCounts()
+	return st, nil
+}
+
+// validateAssignments checks checkpointed latent assignments against a
+// dataset and config before they are installed into a sampler.
+func validateAssignments(data *corpus.Dataset, cfg Config, c, z, s, sp []int) error {
+	if len(c) != len(data.Posts) || len(z) != len(data.Posts) {
+		return fmt.Errorf("core: checkpoint has %d/%d post assignments, dataset has %d posts", len(c), len(z), len(data.Posts))
+	}
+	if cfg.UseLinks && (len(s) != len(data.Links) || len(sp) != len(data.Links)) {
+		return fmt.Errorf("core: checkpoint has %d/%d link assignments, dataset has %d links", len(s), len(sp), len(data.Links))
+	}
+	for j := range c {
+		if c[j] < 0 || c[j] >= cfg.C || z[j] < 0 || z[j] >= cfg.K {
+			return fmt.Errorf("core: checkpoint post %d has assignment (%d,%d) out of range C=%d K=%d", j, c[j], z[j], cfg.C, cfg.K)
+		}
+	}
+	if cfg.UseLinks {
+		for l := range s {
+			if s[l] < 0 || s[l] >= cfg.C || sp[l] < 0 || sp[l] >= cfg.C {
+				return fmt.Errorf("core: checkpoint link %d has assignment (%d,%d) out of range C=%d", l, s[l], sp[l], cfg.C)
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildCounts zeroes every counter and re-registers all assignments.
+func (st *state) rebuildCounts() {
+	zeroMatrix(st.nIC)
+	zeroVec(st.nICSum)
+	zeroMatrix(st.nCK)
+	zeroVec(st.nCKSum)
+	zeroMatrix(st.nCKT)
+	zeroVec(st.nCKTSum)
+	zeroMatrix(st.nKV)
+	zeroVec(st.nKVSum)
+	zeroMatrix(st.nCC)
+	zeroVec(st.nSC)
+	zeroVec(st.nDC)
+	for j := range st.data.Posts {
+		st.addPost(j)
+	}
+	if st.cfg.UseLinks {
+		for l := range st.data.Links {
+			st.addLink(l)
+		}
+	}
+}
+
+// negativeCounter returns the name of the first negative count matrix
+// cell, or "" when all counters are sane. It is the cheap per-sweep
+// health probe of the training runtime — a negative count means the
+// sampler's add/remove bookkeeping has been corrupted.
+func (st *state) negativeCounter() string {
+	checks := []struct {
+		name string
+		vec  []int
+	}{
+		{"nICSum", st.nICSum}, {"nCKSum", st.nCKSum}, {"nCKTSum", st.nCKTSum},
+		{"nKVSum", st.nKVSum}, {"nSC", st.nSC}, {"nDC", st.nDC},
+	}
+	for _, ch := range checks {
+		for i, v := range ch.vec {
+			if v < 0 {
+				return fmt.Sprintf("%s[%d]=%d", ch.name, i, v)
+			}
+		}
+	}
+	mats := []struct {
+		name string
+		m    [][]int
+	}{{"nIC", st.nIC}, {"nCK", st.nCK}, {"nCKT", st.nCKT}, {"nKV", st.nKV}, {"nCC", st.nCC}}
+	for _, ch := range mats {
+		for i := range ch.m {
+			for j, v := range ch.m[i] {
+				if v < 0 {
+					return fmt.Sprintf("%s[%d][%d]=%d", ch.name, i, j, v)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func zeroMatrix(m [][]int) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = 0
+		}
+	}
+}
+
+func zeroVec(v []int) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 func intMatrix(rows, cols int) [][]int {
 	backing := make([]int, rows*cols)
 	m := make([][]int, rows)

@@ -1,20 +1,25 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/cold-diffusion/cold/internal/corpus"
-	"github.com/cold-diffusion/cold/internal/rng"
 )
 
 // TrainStats reports what happened during training: the per-sweep
-// log-likelihood trace (the convergence monitor of §4.3) and timing.
+// log-likelihood trace (the convergence monitor of §4.3), timing, and the
+// resilience runtime's bookkeeping.
 type TrainStats struct {
 	Likelihood []float64
 	Sweeps     int
 	Samples    int // thinned samples averaged into the final estimates
 	Elapsed    time.Duration
+
+	Rollbacks      int    // divergence recoveries performed
+	ResumedAt      int    // sweep the run resumed from (0 for a fresh run)
+	LastCheckpoint string // path of the newest checkpoint written, if any
 }
 
 // Train fits COLD to the dataset with the configured sampler schedule and
@@ -28,43 +33,51 @@ func Train(data *corpus.Dataset, cfg Config) (*Model, error) {
 
 // TrainWithStats is Train plus the convergence/timing trace.
 func TrainWithStats(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, nil, err
-	}
-	if err := data.Validate(); err != nil {
-		return nil, nil, err
-	}
-	if len(data.Posts) == 0 {
-		return nil, nil, fmt.Errorf("core: cannot train on a dataset with no posts")
-	}
-	if cfg.Workers > 1 {
-		return trainParallel(data, cfg)
-	}
-	return trainSerial(data, cfg)
+	return runTraining(context.Background(), data, cfg, RunOptions{}, nil)
 }
 
-func trainSerial(data *corpus.Dataset, cfg Config) (*Model, *TrainStats, error) {
-	start := time.Now()
-	r := rng.New(cfg.Seed)
-	st := newState(data, cfg, r)
-	stats := &TrainStats{}
-	var acc accumulator
-	for it := 0; it < cfg.Iterations; it++ {
-		st.sweep(r)
-		stats.Likelihood = append(stats.Likelihood, st.logLikelihood())
-		if it >= cfg.BurnIn && (it-cfg.BurnIn)%cfg.SampleLag == 0 {
-			acc.add(st.estimate())
-			stats.Samples++
-		}
+// TrainContext is Train under a context: on cancellation the sampler
+// stops cleanly at the next sweep boundary and returns the model averaged
+// from the thinned samples collected so far, together with the context's
+// error. See TrainRun for checkpointing and divergence recovery.
+func TrainContext(ctx context.Context, data *corpus.Dataset, cfg Config) (*Model, error) {
+	m, _, err := TrainRun(ctx, data, cfg, RunOptions{})
+	return m, err
+}
+
+// TrainRun is the full resilient training entry point: context
+// cancellation at sweep boundaries, periodic full-state checkpoints,
+// divergence guards with rollback, and worker-panic containment, all
+// configured by opts. On cancellation it returns the partial model
+// alongside the context error; on success err is nil.
+func TrainRun(ctx context.Context, data *corpus.Dataset, cfg Config, opts RunOptions) (*Model, *TrainStats, error) {
+	return runTraining(ctx, data, cfg, opts, nil)
+}
+
+// ResumeTraining continues a run from a checkpoint written by TrainRun.
+// The sampler schedule, hyper-parameters and seed are taken from the
+// checkpoint, so resuming an interrupted run produces a model
+// bit-identical to the uninterrupted run (absent divergence rollbacks,
+// which reseed). The dataset must be the one the checkpoint was taken
+// against.
+func ResumeTraining(ctx context.Context, path string, data *corpus.Dataset, opts RunOptions) (*Model, *TrainStats, error) {
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, nil, err
 	}
-	stats.Sweeps = cfg.Iterations
-	model := acc.mean()
-	if model == nil {
-		// Degenerate schedules (all burn-in) still return the final sample.
-		model = st.estimate()
-		stats.Samples = 1
+	return runTraining(ctx, data, ck.Cfg, opts, ck)
+}
+
+func validateTrainInputs(data *corpus.Dataset, cfg Config) (Config, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return cfg, err
 	}
-	stats.Elapsed = time.Since(start)
-	return model, stats, nil
+	if err := data.Validate(); err != nil {
+		return cfg, err
+	}
+	if len(data.Posts) == 0 {
+		return cfg, fmt.Errorf("core: cannot train on a dataset with no posts")
+	}
+	return cfg, nil
 }

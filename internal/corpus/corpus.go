@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/graph"
 	"github.com/cold-diffusion/cold/internal/rng"
 	"github.com/cold-diffusion/cold/internal/text"
@@ -171,17 +172,11 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 	return &d, nil
 }
 
-// SaveFile writes the dataset to path as JSON.
+// SaveFile writes the dataset to path as JSON, atomically (tmp + rename)
+// so a crash mid-write cannot leave a truncated dataset under the final
+// name.
 func (d *Dataset) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := d.WriteJSON(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return checkpoint.AtomicWriteFile(path, d.WriteJSON)
 }
 
 // LoadFile reads a dataset from a JSON file.
@@ -230,10 +225,10 @@ type Split struct {
 
 // CrossValidation produces k folds over posts, links and retweet tuples,
 // shuffled with r. Fold f uses partition f as test and the rest as train —
-// the 5-fold protocol used throughout §6.
-func (d *Dataset) CrossValidation(r *rng.RNG, k int) []Split {
+// the 5-fold protocol used throughout §6. k must be at least 2.
+func (d *Dataset) CrossValidation(r *rng.RNG, k int) ([]Split, error) {
 	if k < 2 {
-		panic("corpus: cross-validation needs k >= 2")
+		return nil, fmt.Errorf("corpus: cross-validation needs k >= 2, got %d", k)
 	}
 	postFolds := foldIndices(r, len(d.Posts), k)
 	linkFolds := foldIndices(r, len(d.Links), k)
@@ -254,7 +249,7 @@ func (d *Dataset) CrossValidation(r *rng.RNG, k int) []Split {
 		}
 		splits[f] = s
 	}
-	return splits
+	return splits, nil
 }
 
 func foldIndices(r *rng.RNG, n, k int) [][]int {

@@ -138,7 +138,10 @@ func TestCrossValidation(t *testing.T) {
 		d.Posts = append(d.Posts, Post{User: i % 3, Time: i % 4, Words: text.NewBagOfWords([]int{i % 5})})
 	}
 	r := rng.New(7)
-	splits := d.CrossValidation(r, 5)
+	splits, err := d.CrossValidation(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(splits) != 5 {
 		t.Fatalf("%d splits", len(splits))
 	}
@@ -172,13 +175,12 @@ func TestCrossValidation(t *testing.T) {
 	}
 }
 
-func TestCrossValidationPanicsOnBadK(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("k=1 did not panic")
+func TestCrossValidationRejectsBadK(t *testing.T) {
+	for _, k := range []int{1, 0, -3} {
+		if _, err := tinyDataset().CrossValidation(rng.New(1), k); err == nil {
+			t.Fatalf("k=%d did not error", k)
 		}
-	}()
-	tinyDataset().CrossValidation(rng.New(1), 1)
+	}
 }
 
 func TestTrainView(t *testing.T) {

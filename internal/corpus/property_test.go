@@ -79,7 +79,11 @@ func TestCrossValidationPartitionProperty(t *testing.T) {
 		d := randomDataset(seed)
 		r := rng.New(seed ^ 0xabcd)
 		k := 2 + int(seed%4)
-		for _, s := range d.CrossValidation(r, k) {
+		splits, err := d.CrossValidation(r, k)
+		if err != nil {
+			return false
+		}
+		for _, s := range splits {
 			if len(s.TrainPosts)+len(s.TestPosts) != len(d.Posts) {
 				return false
 			}

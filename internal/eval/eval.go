@@ -173,5 +173,14 @@ func trainLinksView(data *corpus.Dataset, trainLinks []int) *corpus.Dataset {
 
 func splitsFor(data *corpus.Dataset, s Schedule) []corpus.Split {
 	r := rng.New(s.Seed + 0x5eed)
-	return data.CrossValidation(r, s.Folds)
+	folds := s.Folds
+	if folds < 2 {
+		folds = 2
+	}
+	splits, err := data.CrossValidation(r, folds)
+	if err != nil {
+		// Unreachable after the clamp; keep the figure pipelines total.
+		return nil
+	}
+	return splits
 }

@@ -199,7 +199,10 @@ func Fig11(data *corpus.Dataset, c, k int, tolerances []int, s Schedule) *Result
 	for _, m := range methods {
 		series := Series{Label: m}
 		for _, tol := range tolerances {
-			acc := stats.AccuracyWithinTolerance(preds[m].predicted, preds[m].actual, tol)
+			acc, err := stats.AccuracyWithinTolerance(preds[m].predicted, preds[m].actual, tol)
+			if err != nil {
+				continue
+			}
 			series.Points = append(series.Points, Point{float64(tol), acc})
 		}
 		res.Series = append(res.Series, series)

@@ -1,0 +1,81 @@
+// Package faultinject is a test-only fault harness. Production code
+// declares named injection points by calling Fire; tests arm a point with
+// Set and make it panic, mutate an argument in place, or trip external
+// machinery (cancel a context, kill a file) at an exact, reproducible
+// moment inside the training loop. With no hook armed, Fire is a single
+// atomic load and the harness is free.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Injection point names. Keeping them here (rather than as string
+// literals at the call sites) makes the full fault surface greppable.
+const (
+	// GasScatterWorker fires once per worker per scatter phase with the
+	// worker index. A panicking hook simulates a crashed worker goroutine.
+	GasScatterWorker = "gas.scatter.worker"
+	// CoreSweep fires before each training sweep with the sweep index.
+	CoreSweep = "core.sweep"
+	// CoreLikelihood fires after each sweep's likelihood evaluation with
+	// a *float64; the hook may overwrite it (e.g. with NaN) to exercise
+	// the divergence guard.
+	CoreLikelihood = "core.likelihood"
+	// CheckpointWritten fires after each checkpoint file is durably
+	// written, with its path.
+	CheckpointWritten = "core.checkpoint.written"
+)
+
+var (
+	armed atomic.Int32
+	mu    sync.Mutex
+	hooks map[string]func(args ...any)
+)
+
+// Set arms an injection point. The hook runs on whatever goroutine calls
+// Fire, so a panicking hook panics inside the instrumented code path.
+func Set(point string, hook func(args ...any)) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[string]func(args ...any))
+	}
+	if _, exists := hooks[point]; !exists {
+		armed.Add(1)
+	}
+	hooks[point] = hook
+}
+
+// Clear disarms one injection point.
+func Clear(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := hooks[point]; exists {
+		delete(hooks, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every injection point; tests should defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(hooks)))
+	hooks = nil
+}
+
+// Fire invokes the hook armed at point, if any. The fast path (nothing
+// armed anywhere) is one atomic load.
+func Fire(point string, args ...any) {
+	if armed.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	hook := hooks[point]
+	mu.Unlock()
+	if hook != nil {
+		hook(args...)
+	}
+}

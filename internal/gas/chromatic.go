@@ -1,6 +1,6 @@
 package gas
 
-import "sync"
+import "github.com/cold-diffusion/cold/internal/faultinject"
 
 // Chromatic scheduling: GraphLab's edge-consistency model guarantees
 // that no two updates touching the same vertex run concurrently. The
@@ -79,10 +79,16 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Colors() int { return len(e.colors) 
 // Workers returns the worker count.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
 
+// Ctxs returns the per-worker scatter contexts, for programs that need to
+// checkpoint worker-local state between supersteps.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
+
 // Step runs one superstep: gather+apply over all vertices, then scatter
 // colour class by colour class (parallel within a class), then Merge.
-func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() {
-	parallelRange(e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
+// Panics in any phase are recovered and returned as errors, as for
+// Engine.Step.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
+	if err := runBlocks(e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			vid := int32(v)
 			var acc Acc
@@ -97,41 +103,20 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() {
 			}
 			e.p.Apply(e.g, vid, acc, has)
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	for _, class := range e.colors {
-		parallelRange(e.workers, len(class), func(worker, lo, hi int) {
+		if err := runBlocks(e.workers, len(class), func(worker, lo, hi int) {
+			faultinject.Fire(faultinject.GasScatterWorker, worker)
 			ctx := e.ctxs[worker]
 			for i := lo; i < hi; i++ {
 				id := class[i]
 				e.p.Scatter(e.g, id, &e.g.Edges[id], ctx)
 			}
-		})
-	}
-	e.p.Merge(e.ctxs)
-}
-
-// parallelRange splits [0, n) into one contiguous block per worker.
-func parallelRange(workers, n int, fn func(worker, lo, hi int)) {
-	if workers == 1 || n < 2*workers {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	block := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * block
-		hi := lo + block
-		if lo >= n {
-			break
+		}); err != nil {
+			return err
 		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
 	}
-	wg.Wait()
+	return safely(func() { e.p.Merge(e.ctxs) })
 }

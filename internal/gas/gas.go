@@ -19,7 +19,10 @@ package gas
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
 )
 
 // Edge is a directed edge with attached data. Src and Dst index the
@@ -124,10 +127,17 @@ func NewEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ct
 // Workers returns the engine's worker count.
 func (e *Engine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
 
+// Ctxs returns the per-worker scatter contexts, for programs that need to
+// checkpoint worker-local state (e.g. RNG streams) between supersteps.
+func (e *Engine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
+
 // Step runs one superstep: gather+apply over all vertices, scatter over
-// all edges, then Merge.
-func (e *Engine[VD, ED, Acc, Ctx]) Step() {
-	e.parallel(len(e.g.Vertices), func(worker, lo, hi int) {
+// all edges, then Merge. A panic in any phase — including inside a worker
+// goroutine — is recovered and returned as an error rather than crashing
+// the host process; the superstep's partial effects are undefined and the
+// caller should discard or roll back the program state.
+func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
+	if err := runBlocks(e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			vid := int32(v)
 			var acc Acc
@@ -142,27 +152,53 @@ func (e *Engine[VD, ED, Acc, Ctx]) Step() {
 			}
 			e.p.Apply(e.g, vid, acc, has)
 		}
-	})
-	e.parallel(len(e.g.Edges), func(worker, lo, hi int) {
+	}); err != nil {
+		return err
+	}
+	if err := runBlocks(e.workers, len(e.g.Edges), func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.GasScatterWorker, worker)
 		ctx := e.ctxs[worker]
 		for id := lo; id < hi; id++ {
 			e.p.Scatter(e.g, int32(id), &e.g.Edges[id], ctx)
 		}
-	})
-	e.p.Merge(e.ctxs)
+	}); err != nil {
+		return err
+	}
+	return safely(func() { e.p.Merge(e.ctxs) })
 }
 
-// parallel splits [0, n) into one contiguous block per worker and runs fn
-// concurrently. Blocks are assigned by worker index so the partition is
-// stable across supersteps.
-func (e *Engine[VD, ED, Acc, Ctx]) parallel(n int, fn func(worker, lo, hi int)) {
-	if e.workers == 1 || n < 2*e.workers {
-		fn(0, 0, n)
-		return
+// safely runs fn, converting a panic into an error carrying the panic
+// value and a truncated stack.
+func safely(fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("gas: panic: %v\n%s", p, truncatedStack())
+		}
+	}()
+	fn()
+	return nil
+}
+
+func truncatedStack() []byte {
+	stack := debug.Stack()
+	if len(stack) > 2048 {
+		stack = stack[:2048]
+	}
+	return stack
+}
+
+// runBlocks splits [0, n) into one contiguous block per worker and runs
+// fn concurrently. Blocks are assigned by worker index so the partition is
+// stable across supersteps. A panic in any block (worker goroutine or the
+// single-threaded fast path) is recovered; the first one is returned.
+func runBlocks(workers, n int, fn func(worker, lo, hi int)) error {
+	if workers == 1 || n < 2*workers {
+		return safely(func() { fn(0, 0, n) })
 	}
 	var wg sync.WaitGroup
-	block := (n + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
+	errs := make([]error, workers)
+	block := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
 		lo := w * block
 		hi := lo + block
 		if lo >= n {
@@ -174,8 +210,16 @@ func (e *Engine[VD, ED, Acc, Ctx]) parallel(n int, fn func(worker, lo, hi int)) 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(w, lo, hi)
+			if err := safely(func() { fn(w, lo, hi) }); err != nil {
+				errs[w] = fmt.Errorf("gas: worker %d: %w", w, err)
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -41,6 +41,28 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// State returns the generator's full internal state, for checkpointing.
+// Restoring it with FromState (or Restore) resumes the exact stream.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator's internal state with a state captured
+// by State. An all-zero state (which xoshiro cannot escape) is replaced by
+// a minimal valid one.
+func (r *RNG) Restore(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 1
+	}
+	r.s = s
+}
+
+// FromState builds a generator that continues the stream of a generator
+// whose State was s.
+func FromState(s [4]uint64) *RNG {
+	r := &RNG{}
+	r.Restore(s)
+	return r
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -81,13 +82,13 @@ func Perplexity(logLik float64, nWords int) float64 {
 
 // AccuracyWithinTolerance returns the fraction of (predicted, actual)
 // pairs whose absolute difference is at most tol — the timestamp
-// prediction metric of Fig 11.
-func AccuracyWithinTolerance(predicted, actual []int, tol int) float64 {
+// prediction metric of Fig 11. The two slices must have equal length.
+func AccuracyWithinTolerance(predicted, actual []int, tol int) (float64, error) {
 	if len(predicted) != len(actual) {
-		panic("stats: prediction/actual length mismatch")
+		return 0, fmt.Errorf("stats: prediction/actual length mismatch: %d vs %d", len(predicted), len(actual))
 	}
 	if len(predicted) == 0 {
-		return 0
+		return 0, nil
 	}
 	hit := 0
 	for i := range predicted {
@@ -99,7 +100,7 @@ func AccuracyWithinTolerance(predicted, actual []int, tol int) float64 {
 			hit++
 		}
 	}
-	return float64(hit) / float64(len(predicted))
+	return float64(hit) / float64(len(predicted)), nil
 }
 
 // NMI computes the normalized mutual information between two hard

@@ -247,14 +247,20 @@ func TestPerplexity(t *testing.T) {
 func TestAccuracyWithinTolerance(t *testing.T) {
 	pred := []int{1, 5, 9}
 	act := []int{1, 7, 3}
-	if a := AccuracyWithinTolerance(pred, act, 0); !almostEqual(a, 1.0/3, 1e-12) {
-		t.Fatalf("tol 0 accuracy %v", a)
+	for _, tc := range []struct {
+		tol  int
+		want float64
+	}{{0, 1.0 / 3}, {2, 2.0 / 3}, {6, 1}} {
+		a, err := AccuracyWithinTolerance(pred, act, tc.tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(a, tc.want, 1e-12) {
+			t.Fatalf("tol %d accuracy %v, want %v", tc.tol, a, tc.want)
+		}
 	}
-	if a := AccuracyWithinTolerance(pred, act, 2); !almostEqual(a, 2.0/3, 1e-12) {
-		t.Fatalf("tol 2 accuracy %v", a)
-	}
-	if a := AccuracyWithinTolerance(pred, act, 6); !almostEqual(a, 1, 1e-12) {
-		t.Fatalf("tol 6 accuracy %v", a)
+	if _, err := AccuracyWithinTolerance(pred, act[:2], 1); err == nil {
+		t.Fatal("length mismatch did not error")
 	}
 }
 
