@@ -12,6 +12,11 @@
 // Usage:
 //
 //	coldpredict -model model.json -data dataset.json < queries.txt
+//
+// Malformed query lines are reported to stderr with their line number
+// and skipped — one bad row cannot abort a batch job. Valid results go
+// to stdout only; a summary of skips is printed at the end, and the
+// exit status is non-zero when no query parsed at all.
 package main
 
 import (
@@ -50,7 +55,13 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	scanner := bufio.NewScanner(os.Stdin)
-	lineNo := 0
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20) // tolerate long lines
+	// A malformed record must never abort the batch: each bad line is
+	// reported to stderr with its line number, counted, and skipped, so
+	// stdout carries only valid results and one bad row in a million
+	// costs one row, not the job.
+	lineNo, handled, skipped := 0, 0, 0
+	firstBad := []int{}
 	for scanner.Scan() {
 		lineNo++
 		fields := strings.Fields(scanner.Text())
@@ -58,22 +69,45 @@ func main() {
 			continue
 		}
 		if err := handle(out, fields, model, predictor, data); err != nil {
-			fmt.Fprintf(out, "error line %d: %v\n", lineNo, err)
+			skipped++
+			if len(firstBad) < 5 {
+				firstBad = append(firstBad, lineNo)
+			}
+			log.Printf("line %d: skipped: %v", lineNo, err)
+			continue
 		}
+		handled++
 	}
 	if err := scanner.Err(); err != nil {
-		log.Fatal(err)
+		log.Fatalf("reading queries: %v", err)
+	}
+	if skipped > 0 {
+		log.Printf("summary: %d queries answered, %d malformed lines skipped (first at lines %v)",
+			handled, skipped, firstBad)
+	}
+	out.Flush()
+	// A batch where nothing parsed is an operator error, not a quiet success.
+	if handled == 0 && skipped > 0 {
+		os.Exit(1)
 	}
 }
 
 func handle(out *bufio.Writer, fields []string, model *core.Model, predictor *core.Predictor, data *corpus.Dataset) error {
+	// Strict per-field validation: every argument must parse as a
+	// decimal integer in range, and the field count must match the
+	// query form exactly — trailing junk is a malformed record, not
+	// something to silently ignore.
+	want := map[string]int{"retweet": 4, "link": 3, "time": 3, "topics": 3}
+	if n, ok := want[fields[0]]; ok && len(fields) != n {
+		return fmt.Errorf("%s query has %d fields, want %d", fields[0], len(fields), n)
+	}
 	arg := func(i int, max int) (int, error) {
 		if i >= len(fields) {
 			return 0, fmt.Errorf("missing argument %d", i)
 		}
 		v, err := strconv.Atoi(fields[i])
 		if err != nil {
-			return 0, fmt.Errorf("argument %d: %v", i, err)
+			return 0, fmt.Errorf("argument %d %q: not an integer", i, fields[i])
 		}
 		if v < 0 || v >= max {
 			return 0, fmt.Errorf("argument %d out of range [0,%d)", i, max)

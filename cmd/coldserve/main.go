@@ -1,0 +1,111 @@
+// Command coldserve is the long-running COLD prediction server: JSON
+// endpoints for retweet/diffusion, link, timestamp and topic queries,
+// wrapped in the resilience stack of internal/serve — hot model reload
+// with validation and rollback, bounded admission with load shedding,
+// per-request deadlines and panic containment, SIGTERM-triggered drain,
+// and a degraded popularity-prior mode when no model is loadable.
+//
+// Usage:
+//
+//	coldserve -model model.json -data dataset.json -addr :8080
+//
+// The -model flag may name a file or a publish directory; in a
+// directory the newest .json/.gob model is served, and the watcher
+// picks up newly dropped models, rejecting invalid ones while the
+// last-good model keeps serving.
+//
+// Endpoints:
+//
+//	GET  /healthz              process liveness
+//	GET  /readyz               starting | ready | degraded | draining
+//	GET  /v1/model             serving model info
+//	POST /v1/model/reload      force a reload of the current candidate
+//	POST /v1/model/rollback    return to the previous generation
+//	GET  /v1/stats             request/shed/panic counters
+//	POST /v1/predict/retweet   {"publisher","candidate","post"|"words"}
+//	POST /v1/predict/link      {"from","to"}
+//	POST /v1/predict/time      {"user","post"|"words"}
+//	POST /v1/predict/topics    {"user","post"|"words","topn"}
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("coldserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "model.json", "model file, or directory whose newest .json/.gob model is served")
+	dataPath := flag.String("data", "", "dataset for post-index queries and the degraded-mode fallback (optional)")
+	topComm := flag.Int("topcomm", 5, "TopComm size for the predictor")
+	poll := flag.Duration("poll", 2*time.Second, "model watch interval")
+	maxInFlight := flag.Int("max-inflight", 64, "admitted concurrent prediction requests; excess is shed with 429")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed requests")
+	loadRetries := flag.Int("load-retries", 6, "startup model-load attempts before degrading or exiting")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	var data *corpus.Dataset
+	if *dataPath != "" {
+		var err error
+		if data, err = corpus.LoadFile(*dataPath); err != nil {
+			log.Fatalf("load dataset: %v", err)
+		}
+	}
+
+	backoff := serve.DefaultBackoff
+	backoff.Attempts = *loadRetries
+	mgr := serve.NewManager(serve.ManagerConfig{
+		Path:    *modelPath,
+		TopComm: *topComm,
+		Poll:    *poll,
+		Backoff: backoff,
+		Logf:    log.Printf,
+	})
+	if err := mgr.LoadInitial(ctx); err != nil {
+		if data == nil {
+			log.Fatalf("no model loadable and no -data for fallback: %v", err)
+		}
+		fb, fberr := core.NewFallbackPredictor(data)
+		if fberr != nil {
+			log.Fatalf("no model loadable (%v) and fallback construction failed: %v", err, fberr)
+		}
+		mgr.SetFallback(serve.NewFallbackEngine(fb))
+		log.Printf("DEGRADED: no model loadable (%v); serving popularity prior until one appears at %s", err, *modelPath)
+	}
+	go mgr.Watch(ctx)
+
+	srv := serve.New(serve.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drainTimeout,
+		RetryAfter:     *retryAfter,
+		Logf:           log.Printf,
+	}, mgr, data)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (model %s)", ln.Addr(), *modelPath)
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}

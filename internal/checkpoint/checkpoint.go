@@ -27,6 +27,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"syscall"
+	"time"
 )
 
 const magic = "COLDCKP1"
@@ -40,7 +42,13 @@ var ErrCorrupt = errors.New("checkpoint: corrupt or truncated file")
 
 // AtomicWriteFile writes the output of write to path via a temporary
 // sibling file and rename, so concurrent readers and crash recovery never
-// observe a partially written file.
+// observe a partially written file. After the rename it fsyncs the
+// containing directory: fsyncing the file makes its *contents* durable,
+// but the rename itself lives in the directory, and until the directory
+// is synced a power loss can roll the operation back entirely — leaving
+// the old file (fine) or, on some filesystems, no entry at all. Syncing
+// the directory closes that window, so a checkpoint that Save reported
+// durable really survives a crash.
 func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -59,7 +67,28 @@ func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename in it is durable.
+// Some filesystems reject fsync on directories (EINVAL / ENOTSUP);
+// there the rename is as durable as the platform allows, so those
+// errors are swallowed — a checkpoint must not fail on a filesystem
+// quirk after the data itself is already safely on disk.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // WriteFile gob-encodes payload and writes it atomically to path inside
@@ -145,6 +174,58 @@ func Latest(dir string) (string, int, error) {
 		return "", 0, fmt.Errorf("checkpoint: no checkpoints in %s: %w", dir, os.ErrNotExist)
 	}
 	return best, bestSweep, nil
+}
+
+// NewestFile returns the most recently modified regular file in dir
+// whose name has one of the given extensions (e.g. ".json", ".gob"),
+// along with its mod time and size. Temporary siblings still being
+// written by AtomicWriteFile (".tmp" infix) are skipped, so a watcher
+// polling a publish directory never picks up a half-written artefact.
+// It returns os.ErrNotExist (wrapped) when no file matches.
+func NewestFile(dir string, exts ...string) (string, time.Time, int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", time.Time{}, 0, err
+	}
+	var (
+		best     string
+		bestTime time.Time
+		bestSize int64
+	)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ext := filepath.Ext(name)
+		// AtomicWriteFile tmp siblings look like "model.json.tmp1234".
+		if len(ext) > 4 && ext[:4] == ".tmp" {
+			continue
+		}
+		ok := len(exts) == 0
+		for _, want := range exts {
+			if ext == want {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a delete; not our candidate
+		}
+		if best == "" || info.ModTime().After(bestTime) {
+			best = filepath.Join(dir, name)
+			bestTime = info.ModTime()
+			bestSize = info.Size()
+		}
+	}
+	if best == "" {
+		return "", time.Time{}, 0, fmt.Errorf("checkpoint: no candidate files in %s: %w", dir, os.ErrNotExist)
+	}
+	return best, bestTime, bestSize, nil
 }
 
 // Prune deletes all but the keep newest checkpoints in dir.

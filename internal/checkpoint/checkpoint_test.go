@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 type payload struct {
@@ -140,6 +141,64 @@ func TestAtomicWriteKeepsOldFileOnError(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("temp litter left behind: %d entries", len(entries))
+	}
+}
+
+// TestRenameDurability covers the directory-fsync step of
+// AtomicWriteFile. A crash cannot be simulated in-process, so the test
+// pins the two observable halves of the contract: (1) syncDir succeeds
+// on a real directory — on Linux this is the fsync that makes the
+// rename durable; (2) AtomicWriteFile still completes end-to-end with
+// the sync in the path. The rationale for ignoring EINVAL/ENOTSUP (some
+// filesystems cannot fsync directories) is documented on syncDir.
+func TestRenameDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	writeSample(t, path)
+	if err := syncDir(dir); err != nil {
+		t.Fatalf("syncDir on a fresh tempdir: %v", err)
+	}
+	if err := syncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("syncDir on a missing directory should fail")
+	}
+	var out payload
+	if err := ReadFile(path, &out); err != nil {
+		t.Fatalf("file written through the fsync path does not read back: %v", err)
+	}
+}
+
+func TestNewestFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, err := NewestFile(dir, ".json"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: got %v, want os.ErrNotExist", err)
+	}
+	write := func(name string, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("old.json", "old")
+	want := write("new.json", "newer")
+	write("ignored.txt", "wrong extension")
+	write("model.json.tmp123", "half-written atomic sibling")
+	// Backdate the loser so mtime ordering is unambiguous even on
+	// coarse-granularity filesystems.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "old.json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	path, _, size, err := NewestFile(dir, ".json", ".gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != want {
+		t.Fatalf("newest = %s, want %s", path, want)
+	}
+	if size != int64(len("newer")) {
+		t.Fatalf("size = %d, want %d", size, len("newer"))
 	}
 }
 

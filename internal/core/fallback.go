@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// FallbackPredictor is the degraded-mode stand-in for a trained COLD
+// model: a popularity prior computed from the raw dataset in one linear
+// pass, with no latent structure at all. The serving layer uses it when
+// no full model is loadable, so queries keep getting answers — worse
+// ones, clearly marked degraded — instead of errors.
+//
+// Scores are calibrated only in the ranking sense: a candidate who
+// retweets often outranks one who never does, a well-followed publisher
+// outranks an isolated one. That matches how the full model's scores
+// are consumed (top-N candidate ranking, §6.1), which is what makes the
+// fallback a drop-in.
+//
+// Like Predictor, a FallbackPredictor is immutable after construction
+// and therefore safe for concurrent use by multiple goroutines.
+type FallbackPredictor struct {
+	users int
+	// retweetProp[u]: Laplace-smoothed fraction of u's observed
+	// exposures (retweeter or ignorer slots) that became retweets.
+	retweetProp []float64
+	// influence[u]: smoothed fraction of exposures to u's posts that
+	// became retweets — how spreadable u's content historically is.
+	influence []float64
+	// outDeg/inDeg: link degrees + 1, normalised by (links + users).
+	outDeg, inDeg []float64
+	// timeMode: the globally most common post time slice.
+	timeMode int
+}
+
+// NewFallbackPredictor builds the popularity prior from a dataset.
+func NewFallbackPredictor(d *corpus.Dataset) (*FallbackPredictor, error) {
+	if d == nil || d.U <= 0 {
+		return nil, fmt.Errorf("core: fallback predictor needs a dataset with users")
+	}
+	f := &FallbackPredictor{
+		users:       d.U,
+		retweetProp: make([]float64, d.U),
+		influence:   make([]float64, d.U),
+		outDeg:      make([]float64, d.U),
+		inDeg:       make([]float64, d.U),
+	}
+	did := make([]float64, d.U)    // retweets performed by u
+	saw := make([]float64, d.U)    // exposures of u
+	spread := make([]float64, d.U) // retweets earned by u's posts
+	shown := make([]float64, d.U)  // exposures of u's posts
+	timeHist := make([]int, d.T)
+	for _, p := range d.Posts {
+		timeHist[p.Time]++
+	}
+	for _, rt := range d.Retweets {
+		n := float64(len(rt.Retweeters) + len(rt.Ignorers))
+		shown[rt.Publisher] += n
+		spread[rt.Publisher] += float64(len(rt.Retweeters))
+		for _, u := range rt.Retweeters {
+			did[u]++
+			saw[u]++
+		}
+		for _, u := range rt.Ignorers {
+			saw[u]++
+		}
+	}
+	for i := 0; i < d.U; i++ {
+		f.retweetProp[i] = (did[i] + 1) / (saw[i] + 2)
+		f.influence[i] = (spread[i] + 1) / (shown[i] + 2)
+	}
+	den := float64(len(d.Links) + d.U)
+	for i := 0; i < d.U; i++ {
+		f.outDeg[i] = 1 / den
+		f.inDeg[i] = 1 / den
+	}
+	for _, e := range d.Links {
+		f.outDeg[e.From] += 1 / den
+		f.inDeg[e.To] += 1 / den
+	}
+	best := 0
+	for t, n := range timeHist {
+		if n > timeHist[best] {
+			best = t
+		}
+	}
+	f.timeMode = best
+	return f, nil
+}
+
+// Users returns the number of users the prior covers.
+func (f *FallbackPredictor) Users() int { return f.users }
+
+// Score mirrors Predictor.Score: the probability that candidate ip
+// spreads a post published by i. The post content is ignored — the
+// fallback has no topic model — so the score is the product of the
+// publisher's historical spreadability and the candidate's retweet
+// propensity, both in (0, 1).
+func (f *FallbackPredictor) Score(i, ip int, _ text.BagOfWords) float64 {
+	return f.influence[i] * f.retweetProp[ip]
+}
+
+// LinkScore mirrors Model.LinkScore with a degree prior: the chance of
+// a link from i to ip under a configuration-model-style null.
+func (f *FallbackPredictor) LinkScore(i, ip int) float64 {
+	p := f.outDeg[i] * f.inDeg[ip] * float64(f.users)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// PredictTimestamp mirrors Model.PredictTimestamp with the global modal
+// time slice — content-blind, but the best constant guess.
+func (f *FallbackPredictor) PredictTimestamp(_ int, _ text.BagOfWords) int {
+	return f.timeMode
+}

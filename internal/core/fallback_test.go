@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/graph"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func fallbackDataset() *corpus.Dataset {
+	bag := text.NewBagOfWords([]int{0, 1})
+	return &corpus.Dataset{
+		U: 4, T: 3, V: 2,
+		Posts: []corpus.Post{
+			{User: 0, Time: 1, Words: bag},
+			{User: 1, Time: 1, Words: bag},
+			{User: 2, Time: 2, Words: bag},
+		},
+		Links: []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 0}},
+		Retweets: []corpus.Retweet{
+			// User 1 retweets everything it sees; user 2 never does.
+			// Publisher 0 spreads at 3/4, above the smoothing prior of 1/2.
+			{Publisher: 0, Post: 0, Retweeters: []int{1, 3}, Ignorers: []int{2}},
+			{Publisher: 0, Post: 0, Retweeters: []int{1}},
+		},
+	}
+}
+
+func TestFallbackPredictorRanksByPopularity(t *testing.T) {
+	f, err := NewFallbackPredictor(fallbackDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := text.NewBagOfWords([]int{0})
+	if f.Users() != 4 {
+		t.Fatalf("Users = %d, want 4", f.Users())
+	}
+	// The habitual retweeter must outrank the habitual ignorer.
+	if s1, s2 := f.Score(0, 1, bag), f.Score(0, 2, bag); s1 <= s2 {
+		t.Fatalf("retweeter score %v not above ignorer score %v", s1, s2)
+	}
+	// A publisher with history outranks one without, for the same candidate.
+	if s0, s3 := f.Score(0, 1, bag), f.Score(3, 1, bag); s0 <= s3 {
+		t.Fatalf("proven publisher score %v not above unknown publisher %v", s0, s3)
+	}
+	// High out-degree source to high in-degree sink beats the reverse.
+	if l1, l2 := f.LinkScore(0, 1), f.LinkScore(1, 3); l1 <= l2 {
+		t.Fatalf("link score %v not above %v", l1, l2)
+	}
+	// All scores are probabilities.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if s := f.Score(i, j, bag); s <= 0 || s >= 1 {
+				t.Fatalf("Score(%d,%d) = %v outside (0,1)", i, j, s)
+			}
+			if l := f.LinkScore(i, j); l < 0 || l > 1 {
+				t.Fatalf("LinkScore(%d,%d) = %v outside [0,1]", i, j, l)
+			}
+		}
+	}
+	// Modal time slice of the dataset is 1 (two posts vs one).
+	if got := f.PredictTimestamp(0, bag); got != 1 {
+		t.Fatalf("PredictTimestamp = %d, want modal slice 1", got)
+	}
+}
+
+func TestFallbackPredictorRejectsEmptyDataset(t *testing.T) {
+	if _, err := NewFallbackPredictor(nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := NewFallbackPredictor(&corpus.Dataset{T: 1, V: 1}); err == nil {
+		t.Fatal("zero-user dataset accepted")
+	}
+}

@@ -153,6 +153,14 @@ func (m *Model) PredictTimestamp(i int, words text.BagOfWords) int {
 // the offline phase caches each user's top communities (TopComm) and the
 // community-level factors; Score then evaluates Eqs. (5)–(7) online in
 // O(K·|w_d|) plus the constant-size TopComm combination.
+//
+// A Predictor is safe for concurrent use by multiple goroutines: all
+// state (the TopComm cache and the underlying Model parameters) is
+// written once in NewPredictor and only read afterwards, and every
+// method allocates its scratch space locally. The guarantee holds as
+// long as nothing mutates the Model while it is shared — the load paths
+// (LoadModelFile, ReadModelGob) return models nothing else writes to,
+// which is what the serving layer relies on to fan requests out.
 type Predictor struct {
 	m        *Model
 	topComm  [][]int // per user, TopComm(i)

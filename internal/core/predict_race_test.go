@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPredictorConcurrentUse hammers one Predictor (and the read-only
+// Model methods the server exposes) from many goroutines. Run under
+// -race it pins the documented contract that a Predictor is safe for
+// concurrent use — the precondition for the serving layer fanning
+// requests out across a shared snapshot.
+func TestPredictorConcurrentUse(t *testing.T) {
+	m, _, data := trainSmall(t, 47)
+	p := NewPredictor(m, 5)
+
+	// Reference values computed single-threaded; concurrent calls must
+	// reproduce them exactly (reads only, no hidden scratch sharing).
+	type ref struct {
+		i, ip, post int
+		score       float64
+		link        float64
+		slice       int
+	}
+	refs := make([]ref, 0, 16)
+	for n := 0; n < 16; n++ {
+		i, ip, post := n%m.U, (n*7+3)%m.U, (n*13)%len(data.Posts)
+		refs = append(refs, ref{
+			i: i, ip: ip, post: post,
+			score: p.Score(i, ip, data.Posts[post].Words),
+			link:  m.LinkScore(i, ip),
+			slice: m.PredictTimestamp(i, data.Posts[post].Words),
+		})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 30; rep++ {
+				r := refs[(g+rep)%len(refs)]
+				words := data.Posts[r.post].Words
+				if got := p.Score(r.i, r.ip, words); got != r.score {
+					t.Errorf("concurrent Score(%d,%d) = %v, want %v", r.i, r.ip, got, r.score)
+					return
+				}
+				if got := m.LinkScore(r.i, r.ip); got != r.link {
+					t.Errorf("concurrent LinkScore(%d,%d) = %v, want %v", r.i, r.ip, got, r.link)
+					return
+				}
+				if got := m.PredictTimestamp(r.i, words); got != r.slice {
+					t.Errorf("concurrent PredictTimestamp = %d, want %d", got, r.slice)
+					return
+				}
+				tp := p.TopicPosterior(r.i, words)
+				sum := 0.0
+				for _, v := range tp {
+					sum += v
+				}
+				if sum < 0.999 || sum > 1.001 {
+					t.Errorf("concurrent TopicPosterior sums to %v", sum)
+					return
+				}
+				_ = p.InfluenceAt(r.i, r.ip, rep%m.Cfg.K)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

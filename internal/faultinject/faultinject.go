@@ -26,6 +26,17 @@ const (
 	// CheckpointWritten fires after each checkpoint file is durably
 	// written, with its path.
 	CheckpointWritten = "core.checkpoint.written"
+	// ServeHandler fires at the top of every prediction handler with the
+	// request path. A sleeping hook simulates a slow handler (exercising
+	// the per-request deadline); a panicking hook simulates a handler
+	// bug (exercising per-request panic containment).
+	ServeHandler = "serve.handler"
+	// ServeModelLoad fires before the serving model manager loads a
+	// candidate model file, with the path and a *error. A hook that sets
+	// the error simulates a load failure (missing file, I/O fault)
+	// without touching the filesystem; corrupt-content reloads are
+	// exercised with real corrupt files instead.
+	ServeModelLoad = "serve.model.load"
 )
 
 var (

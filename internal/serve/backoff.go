@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a jittered exponential retry schedule. The zero value is
+// not useful; DefaultBackoff is the serving default.
+type Backoff struct {
+	Base     time.Duration // first delay
+	Max      time.Duration // delay ceiling
+	Factor   float64       // multiplier per attempt
+	Jitter   float64       // ± fraction of the delay, uniform
+	Attempts int           // total tries (first try included)
+}
+
+// DefaultBackoff retries model loading for roughly half a minute:
+// 500ms, 1s, 2s, 4s, 8s, 16s (each ±20%).
+var DefaultBackoff = Backoff{
+	Base: 500 * time.Millisecond, Max: 16 * time.Second,
+	Factor: 2, Jitter: 0.2, Attempts: 6,
+}
+
+// delay returns the jittered delay before retry number attempt (0-based:
+// the delay after the first failure is delay(0)).
+func (b Backoff) delay(attempt int, rand01 func() float64) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		// Uniform in [1-j, 1+j]; spreads simultaneous restarts apart so a
+		// fleet recovering from the same fault doesn't reload in lockstep.
+		d *= 1 + b.Jitter*(2*rand01()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// retry runs f until it succeeds, the schedule is exhausted, or ctx is
+// done, sleeping the jittered delay between tries. It returns nil on
+// success, ctx.Err() on cancellation, and the last failure otherwise.
+func retry(ctx context.Context, b Backoff, f func() error) error {
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		t := time.NewTimer(b.delay(i, rand.Float64))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return err
+}

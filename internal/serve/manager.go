@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+)
+
+// Snapshot is one immutable serving generation: an engine plus its
+// provenance. Handlers grab the current snapshot once per request, so a
+// concurrent swap never mixes two models inside one response.
+type Snapshot struct {
+	Engine     Engine
+	Source     string
+	Generation uint64
+	LoadedAt   time.Time
+}
+
+// Degraded reports whether this snapshot serves from the fallback prior.
+func (s *Snapshot) Degraded() bool { return s.Engine.Info().Degraded }
+
+// ManagerConfig configures a model Manager.
+type ManagerConfig struct {
+	// Path is a model file, or a directory in which the newest
+	// .json/.gob file is the serving candidate (a publish directory
+	// that training jobs drop models into).
+	Path string
+	// TopComm is the Predictor TopComm size (0 → the paper's 5).
+	TopComm int
+	// Poll is the watch interval; 0 → 2s.
+	Poll time.Duration
+	// Backoff is the initial-load retry schedule; zero → DefaultBackoff.
+	Backoff Backoff
+	// Logf, when set, receives reload/rollback events and failures.
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the serving snapshot: it loads models, validates every
+// candidate before an atomic swap, keeps the last-good snapshot when a
+// candidate is bad, supports rollback, and optionally watches the model
+// path for new candidates. All methods are safe for concurrent use;
+// Current is a single atomic load on the request path.
+type Manager struct {
+	cfg ManagerConfig
+
+	cur      atomic.Pointer[Snapshot]
+	fallback atomic.Pointer[Snapshot]
+
+	mu       sync.Mutex // serialises reload/rollback; guards the fields below
+	prev     *Snapshot  // last-good predecessor, for Rollback
+	gen      uint64
+	lastErr  string
+	lastErrT time.Time
+	// lastSeen identifies the candidate file of the most recent load
+	// *attempt* (successful or not), so the watcher only re-tries when
+	// the file actually changes again.
+	lastSeen fileID
+
+	reloads  atomic.Uint64 // successful swaps
+	failures atomic.Uint64 // rejected candidates
+}
+
+type fileID struct {
+	path  string
+	mtime time.Time
+	size  int64
+}
+
+// NewManager builds a manager; call LoadInitial or SetFallback before
+// serving.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	if cfg.Backoff == (Backoff{}) {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Manager{cfg: cfg}
+}
+
+// Current returns the active snapshot: the loaded model if any, else
+// the fallback, else nil (not ready).
+func (m *Manager) Current() *Snapshot {
+	if s := m.cur.Load(); s != nil {
+		return s
+	}
+	return m.fallback.Load()
+}
+
+// SetFallback installs a degraded-mode engine that serves whenever no
+// full model is loaded. A later successful Reload takes over
+// automatically; the fallback stays registered in case of rollback to
+// nothing.
+func (m *Manager) SetFallback(e Engine) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	m.fallback.Store(&Snapshot{Engine: e, Source: "fallback:popularity-prior",
+		Generation: m.gen, LoadedAt: time.Now()})
+}
+
+// resolve picks the candidate model file for Path.
+func (m *Manager) resolve() (fileID, error) {
+	info, err := os.Stat(m.cfg.Path)
+	if err != nil {
+		return fileID{}, err
+	}
+	if !info.IsDir() {
+		return fileID{path: m.cfg.Path, mtime: info.ModTime(), size: info.Size()}, nil
+	}
+	path, mtime, size, err := checkpoint.NewestFile(m.cfg.Path, ".json", ".gob")
+	if err != nil {
+		return fileID{}, err
+	}
+	return fileID{path: path, mtime: mtime, size: size}, nil
+}
+
+// loadEngine reads and validates one model file. The faultinject point
+// lets tests simulate I/O failures without touching the filesystem.
+func (m *Manager) loadEngine(path string) (Engine, error) {
+	var injected error
+	faultinject.Fire(faultinject.ServeModelLoad, path, &injected)
+	if injected != nil {
+		return nil, injected
+	}
+	var (
+		model *core.Model
+		err   error
+	)
+	if strings.EqualFold(filepath.Ext(path), ".gob") {
+		model, err = core.LoadModelGobFile(path)
+	} else {
+		model, err = core.LoadModelFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newModelEngine(model, m.cfg.TopComm), nil
+}
+
+// Reload resolves the current candidate, loads and validates it, and
+// atomically swaps it in. On any failure the previous snapshot keeps
+// serving and the error is recorded for /readyz.
+func (m *Manager) Reload() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reloadLocked(true)
+}
+
+// tryReloadChanged is the watcher entry point: reload only if the
+// candidate file differs from the last attempt.
+func (m *Manager) tryReloadChanged() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reloadLocked(false)
+}
+
+func (m *Manager) reloadLocked(force bool) error {
+	id, err := m.resolve()
+	if err != nil {
+		return m.recordFailure(fmt.Errorf("resolve candidate: %w", err))
+	}
+	if !force && id == m.lastSeen {
+		return nil
+	}
+	m.lastSeen = id
+	eng, err := m.loadEngine(id.path)
+	if err != nil {
+		return m.recordFailure(fmt.Errorf("load %s: %w", id.path, err))
+	}
+	old := m.cur.Load()
+	m.gen++
+	next := &Snapshot{Engine: eng, Source: id.path, Generation: m.gen, LoadedAt: time.Now()}
+	m.cur.Store(next)
+	if old != nil {
+		m.prev = old
+	}
+	m.lastErr, m.lastErrT = "", time.Time{}
+	m.reloads.Add(1)
+	m.cfg.Logf("serve: loaded model generation %d from %s", next.Generation, next.Source)
+	return nil
+}
+
+// recordFailure notes a rejected candidate; the caller keeps the lock.
+// A failure identical to the previous one is counted but not re-logged,
+// so a degraded server polling a still-missing model doesn't write the
+// same line forever.
+func (m *Manager) recordFailure(err error) error {
+	msg := err.Error()
+	if msg != m.lastErr {
+		m.cfg.Logf("serve: model reload rejected: %v (still serving last-good)", err)
+	}
+	m.lastErr, m.lastErrT = msg, time.Now()
+	m.failures.Add(1)
+	return err
+}
+
+// Rollback swaps back to the snapshot that was serving before the most
+// recent successful reload. One level of history is kept: rolling back
+// twice flips between the two newest generations.
+func (m *Manager) Rollback() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prev == nil {
+		return fmt.Errorf("serve: no previous model generation to roll back to")
+	}
+	cur := m.cur.Load()
+	m.gen++
+	back := &Snapshot{Engine: m.prev.Engine, Source: m.prev.Source,
+		Generation: m.gen, LoadedAt: time.Now()}
+	m.cur.Store(back)
+	m.prev = cur
+	// lastSeen still names the rolled-away-from file, so the watcher
+	// won't immediately re-load it; an explicit Reload still can, and a
+	// genuinely new candidate file still takes over.
+	m.cfg.Logf("serve: rolled back to model from %s (generation %d)", back.Source, back.Generation)
+	return nil
+}
+
+// LoadInitial loads the first model, retrying on the backoff schedule —
+// at startup the model may still be mid-publish by a training job. It
+// returns the last error when every attempt fails; the caller decides
+// whether to fall back to degraded mode or exit.
+func (m *Manager) LoadInitial(ctx context.Context) error {
+	return retry(ctx, m.cfg.Backoff, m.Reload)
+}
+
+// Watch polls the model path until ctx is done, picking up new
+// candidates (including recovery from degraded mode, when the first
+// valid model appears after startup failed).
+func (m *Manager) Watch(ctx context.Context) {
+	t := time.NewTicker(m.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			// Errors are recorded in Status; last-good keeps serving.
+			_ = m.tryReloadChanged()
+		}
+	}
+}
+
+// Status is the manager's health summary, surfaced by /readyz.
+type Status struct {
+	Generation uint64    `json:"generation"`
+	Source     string    `json:"source,omitempty"`
+	LoadedAt   time.Time `json:"loaded_at"`
+	Degraded   bool      `json:"degraded"`
+	Reloads    uint64    `json:"reloads"`
+	Failures   uint64    `json:"reload_failures"`
+	LastError  string    `json:"last_error,omitempty"`
+	// LastErrorAt is a pointer so a zero time is omitted, not rendered
+	// as year 1.
+	LastErrorAt *time.Time `json:"last_error_at,omitempty"`
+}
+
+// Status reports the current serving state.
+func (m *Manager) Status() Status {
+	st := Status{Reloads: m.reloads.Load(), Failures: m.failures.Load()}
+	m.mu.Lock()
+	st.LastError = m.lastErr
+	if !m.lastErrT.IsZero() {
+		t := m.lastErrT
+		st.LastErrorAt = &t
+	}
+	m.mu.Unlock()
+	if s := m.Current(); s != nil {
+		st.Generation = s.Generation
+		st.Source = s.Source
+		st.LoadedAt = s.LoadedAt
+		st.Degraded = s.Degraded()
+	}
+	return st
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+func TestManagerLoadsAndServes(t *testing.T) {
+	path := saveModel(t, filepath.Join(t.TempDir(), "model.json"))
+	mgr := newTestManager(t, path)
+	if mgr.Current() != nil {
+		t.Fatal("manager serving before any load")
+	}
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	snap := mgr.Current()
+	if snap == nil || snap.Generation != 1 || snap.Source != path {
+		t.Fatalf("snapshot = %+v, want generation 1 from %s", snap, path)
+	}
+	if snap.Degraded() {
+		t.Fatal("full model reported degraded")
+	}
+	// The engine answers.
+	if s := snap.Engine.RetweetScore(0, 1, text.NewBagOfWords([]int{1, 2})); s < 0 || s > 1 {
+		t.Fatalf("score %v out of range", s)
+	}
+}
+
+func TestCorruptReloadKeepsLastGood(t *testing.T) {
+	path := saveModel(t, filepath.Join(t.TempDir(), "model.json"))
+	mgr := newTestManager(t, path)
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	good := mgr.Current()
+
+	corruptFile(t, path)
+	err := mgr.Reload()
+	if err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+	if got := mgr.Current(); got != good {
+		t.Fatal("corrupt reload replaced the serving snapshot")
+	}
+	st := mgr.Status()
+	if st.LastError == "" || st.Failures != 1 || st.Generation != good.Generation {
+		t.Fatalf("status after corrupt reload = %+v", st)
+	}
+
+	// A repaired file takes over.
+	saveModel(t, path)
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Current(); got.Generation != good.Generation+1 {
+		t.Fatalf("generation = %d, want %d", got.Generation, good.Generation+1)
+	}
+	if st := mgr.Status(); st.LastError != "" {
+		t.Fatalf("last error not cleared after successful reload: %q", st.LastError)
+	}
+}
+
+func TestRollback(t *testing.T) {
+	path := saveModel(t, filepath.Join(t.TempDir(), "model.json"))
+	mgr := newTestManager(t, path)
+	if err := mgr.Rollback(); err == nil {
+		t.Fatal("rollback with no history succeeded")
+	}
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	first := mgr.Current()
+	if err := mgr.Reload(); err != nil { // explicit reload re-reads the same file
+		t.Fatal(err)
+	}
+	second := mgr.Current()
+	if second.Generation <= first.Generation {
+		t.Fatal("explicit reload did not advance the generation")
+	}
+	if err := mgr.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	back := mgr.Current()
+	if back.Engine != first.Engine {
+		t.Fatal("rollback did not restore the previous engine")
+	}
+	if back.Generation <= second.Generation {
+		t.Fatal("rollback must advance the generation (history is a swap, not a rewind)")
+	}
+	// Rolling back again flips to the newer engine.
+	if err := mgr.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current().Engine != second.Engine {
+		t.Fatal("double rollback did not flip back")
+	}
+}
+
+func TestManagerWatchesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, filepath.Join(dir, "model-a.json"))
+	mgr := NewManager(ManagerConfig{Path: dir, TopComm: 3, Poll: 5 * time.Millisecond, Logf: t.Logf})
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Current().Source; filepath.Base(got) != "model-a.json" {
+		t.Fatalf("serving %s, want model-a.json", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go mgr.Watch(ctx)
+
+	// Drop a newer model into the publish directory; the watcher must
+	// pick it up without any explicit reload call.
+	next := filepath.Join(dir, "model-b.json")
+	saveModel(t, next)
+	future := time.Now().Add(time.Hour) // unambiguously newer mtime
+	if err := os.Chtimes(next, future, future); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if filepath.Base(mgr.Current().Source) == "model-b.json" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("watcher never picked up model-b.json; serving %s", mgr.Current().Source)
+}
+
+func TestLoadInitialRetriesWithBackoff(t *testing.T) {
+	defer faultinject.Reset()
+	path := saveModel(t, filepath.Join(t.TempDir(), "model.json"))
+	mgr := NewManager(ManagerConfig{
+		Path: path, TopComm: 3, Logf: t.Logf,
+		Backoff: Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond,
+			Factor: 2, Jitter: 0.2, Attempts: 5},
+	})
+	// Fail the first three load attempts through the injection point.
+	attempts := 0
+	faultinject.Set(faultinject.ServeModelLoad, func(args ...any) {
+		attempts++
+		if attempts <= 3 {
+			*(args[1].(*error)) = errors.New("injected load failure")
+		}
+	})
+	if err := mgr.LoadInitial(context.Background()); err != nil {
+		t.Fatalf("LoadInitial failed despite retries: %v", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("made %d attempts, want 4 (3 failures + success)", attempts)
+	}
+	if mgr.Current() == nil {
+		t.Fatal("no snapshot after successful retry")
+	}
+}
+
+func TestLoadInitialExhaustsAndReportsLastError(t *testing.T) {
+	mgr := NewManager(ManagerConfig{
+		Path: filepath.Join(t.TempDir(), "never-exists.json"), Logf: t.Logf,
+		Backoff: Backoff{Base: time.Microsecond, Max: time.Microsecond, Factor: 1, Attempts: 3},
+	})
+	err := mgr.LoadInitial(context.Background())
+	if err == nil {
+		t.Fatal("LoadInitial succeeded with no file")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want wrapped os.ErrNotExist", err)
+	}
+	if mgr.Current() != nil {
+		t.Fatal("snapshot exists after total failure")
+	}
+	if st := mgr.Status(); st.Failures != 3 || st.LastError == "" {
+		t.Fatalf("status = %+v, want 3 recorded failures", st)
+	}
+}
+
+func TestLoadInitialHonoursCancellation(t *testing.T) {
+	mgr := NewManager(ManagerConfig{
+		Path: filepath.Join(t.TempDir(), "never-exists.json"), Logf: t.Logf,
+		Backoff: Backoff{Base: time.Hour, Max: time.Hour, Factor: 1, Attempts: 10},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := mgr.LoadInitial(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestFallbackTakeoverAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	mgr := newTestManager(t, path)
+	_, data := testModel(t)
+	fb, err := core.NewFallbackPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetFallback(NewFallbackEngine(fb))
+
+	snap := mgr.Current()
+	if snap == nil || !snap.Degraded() {
+		t.Fatalf("fallback snapshot = %+v, want degraded", snap)
+	}
+	if s := snap.Engine.RetweetScore(0, 1, text.BagOfWords{}); s <= 0 || s >= 1 {
+		t.Fatalf("fallback score %v out of (0,1)", s)
+	}
+	if _, err := snap.Engine.TopicPosterior(0, text.BagOfWords{}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("fallback TopicPosterior err = %v, want ErrDegraded", err)
+	}
+	if !strings.Contains(snap.Source, "fallback") {
+		t.Fatalf("fallback source = %q", snap.Source)
+	}
+
+	// The first valid model to appear takes over from the fallback.
+	saveModel(t, path)
+	if err := mgr.tryReloadChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Current(); got.Degraded() || got.Source != path {
+		t.Fatalf("after recovery serving %+v, want full model", got)
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0}
+	fixed := func() float64 { return 0.5 }
+	for i, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	} {
+		if got := b.delay(i, fixed); got != want {
+			t.Fatalf("delay(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Jitter keeps the delay within ±j and actually spreads values.
+	b.Jitter = 0.5
+	lo := b.delay(0, func() float64 { return 0 })
+	hi := b.delay(0, func() float64 { return 1 })
+	if lo != 50*time.Millisecond || hi != 150*time.Millisecond {
+		t.Fatalf("jitter bounds = [%v, %v], want [50ms, 150ms]", lo, hi)
+	}
+}

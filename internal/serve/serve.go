@@ -1,0 +1,129 @@
+// Package serve is the online prediction layer: an HTTP server that
+// answers retweet/diffusion, link, timestamp and topic queries from a
+// trained COLD model, wrapped in the resilience stack a long-running
+// deployment needs.
+//
+// The stack has four layers:
+//
+//   - Hot model reload (Manager): a watcher polls a model file or
+//     publish directory, validates every candidate with the load-time
+//     validation before an atomic pointer swap, keeps serving the
+//     last-good snapshot when a candidate is corrupt, and supports
+//     explicit rollback to the previous snapshot.
+//
+//   - Admission control (Server.guard): a bounded in-flight pool sheds
+//     excess load with 429 + Retry-After instead of queueing without
+//     bound, every request runs under a deadline, and a per-request
+//     recover converts handler panics into 500s without taking down
+//     the process.
+//
+//   - Graceful lifecycle: /healthz (process liveness) and /readyz
+//     (model state: starting → ready/degraded → draining), and a
+//     context-triggered drain that stops accepting work, finishes
+//     in-flight requests, and exits within a deadline. Model loading
+//     at startup retries with jittered exponential backoff.
+//
+//   - Graceful degradation: when no full model is loadable the server
+//     answers from core.FallbackPredictor, a popularity prior over the
+//     raw dataset, and reports "degraded" from /readyz and in every
+//     response — callers keep getting ranked answers, clearly marked.
+package serve
+
+import (
+	"errors"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// ErrDegraded reports a query that the degraded-mode fallback engine
+// cannot answer at all (as opposed to answering it worse).
+var ErrDegraded = errors.New("serve: unavailable in degraded mode")
+
+// ModelInfo describes the engine behind a snapshot, for /v1/model and
+// request-level validation.
+type ModelInfo struct {
+	Users       int  `json:"users"`
+	Communities int  `json:"communities,omitempty"`
+	Topics      int  `json:"topics,omitempty"`
+	TimeSlices  int  `json:"time_slices,omitempty"`
+	Vocab       int  `json:"vocab,omitempty"`
+	Degraded    bool `json:"degraded"`
+}
+
+// Engine is the prediction surface the HTTP handlers need. Both the
+// full trained model and the degraded-mode fallback implement it; all
+// implementations must be safe for concurrent use.
+type Engine interface {
+	Info() ModelInfo
+	// RetweetScore is the probability that candidate spreads a post
+	// published by publisher (Eq. 7 for the full model).
+	RetweetScore(publisher, candidate int, words text.BagOfWords) float64
+	// LinkScore is the probability of a directed link from → to.
+	LinkScore(from, to int) float64
+	// PredictTime is the most likely time slice for user's post.
+	PredictTime(user int, words text.BagOfWords) int
+	// TopicPosterior is P(k | d, i); the fallback returns ErrDegraded.
+	TopicPosterior(user int, words text.BagOfWords) ([]float64, error)
+}
+
+// modelEngine adapts a trained model + its offline predictor caches.
+type modelEngine struct {
+	m *core.Model
+	p *core.Predictor
+}
+
+func newModelEngine(m *core.Model, topComm int) modelEngine {
+	return modelEngine{m: m, p: core.NewPredictor(m, topComm)}
+}
+
+func (e modelEngine) Info() ModelInfo {
+	return ModelInfo{
+		Users:       e.m.U,
+		Communities: e.m.Cfg.C,
+		Topics:      e.m.Cfg.K,
+		TimeSlices:  e.m.T,
+		Vocab:       e.m.V,
+	}
+}
+
+func (e modelEngine) RetweetScore(publisher, candidate int, words text.BagOfWords) float64 {
+	return e.p.Score(publisher, candidate, words)
+}
+
+func (e modelEngine) LinkScore(from, to int) float64 { return e.m.LinkScore(from, to) }
+
+func (e modelEngine) PredictTime(user int, words text.BagOfWords) int {
+	return e.m.PredictTimestamp(user, words)
+}
+
+func (e modelEngine) TopicPosterior(user int, words text.BagOfWords) ([]float64, error) {
+	return e.p.TopicPosterior(user, words), nil
+}
+
+// fallbackEngine adapts the popularity prior.
+type fallbackEngine struct {
+	f *core.FallbackPredictor
+}
+
+// NewFallbackEngine wraps a popularity-prior predictor as a degraded
+// serving engine.
+func NewFallbackEngine(f *core.FallbackPredictor) Engine { return fallbackEngine{f: f} }
+
+func (e fallbackEngine) Info() ModelInfo {
+	return ModelInfo{Users: e.f.Users(), Degraded: true}
+}
+
+func (e fallbackEngine) RetweetScore(publisher, candidate int, words text.BagOfWords) float64 {
+	return e.f.Score(publisher, candidate, words)
+}
+
+func (e fallbackEngine) LinkScore(from, to int) float64 { return e.f.LinkScore(from, to) }
+
+func (e fallbackEngine) PredictTime(user int, words text.BagOfWords) int {
+	return e.f.PredictTimestamp(user, words)
+}
+
+func (e fallbackEngine) TopicPosterior(int, text.BagOfWords) ([]float64, error) {
+	return nil, ErrDegraded
+}

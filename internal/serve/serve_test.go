@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+// Shared tiny model + dataset, trained once per test binary — training
+// is cheap but not free, and every e2e test needs the same artefacts.
+var testArtifacts struct {
+	once  sync.Once
+	model *core.Model
+	data  *corpus.Dataset
+	err   error
+}
+
+func testModel(t *testing.T) (*core.Model, *corpus.Dataset) {
+	t.Helper()
+	testArtifacts.once.Do(func() {
+		cfg := synth.Config{U: 40, C: 3, K: 3, T: 8, V: 120,
+			PostsPerUser: 6, WordsPerPost: 5, LinksPerUser: 4, Seed: 7}
+		data, _, err := synth.Generate(cfg)
+		if err != nil {
+			testArtifacts.err = err
+			return
+		}
+		mcfg := core.DefaultConfig(cfg.C, cfg.K)
+		mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 10, 5, 3
+		m, err := core.Train(data, mcfg)
+		if err != nil {
+			testArtifacts.err = err
+			return
+		}
+		testArtifacts.model, testArtifacts.data = m, data
+	})
+	if testArtifacts.err != nil {
+		t.Fatal(testArtifacts.err)
+	}
+	return testArtifacts.model, testArtifacts.data
+}
+
+// saveModel writes the shared test model to path (JSON or gob by
+// extension) and returns the path.
+func saveModel(t *testing.T, path string) string {
+	t.Helper()
+	m, _ := testModel(t)
+	var err error
+	if filepath.Ext(path) == ".gob" {
+		err = m.SaveGobFile(path)
+	} else {
+		err = m.SaveFile(path)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// corruptFile drops structurally invalid JSON at path: it decodes, but
+// load-time validation must reject it.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	m, _ := testModel(t)
+	bad := *m
+	bad.Pi = nil // wrong shape: Validate fails, json.Decode does not
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bad.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestManager(t *testing.T, path string) *Manager {
+	t.Helper()
+	return NewManager(ManagerConfig{
+		Path:    path,
+		TopComm: 3,
+		Backoff: Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 1, Attempts: 1},
+		Logf:    t.Logf,
+	})
+}

@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds the server's resilience knobs. Zero values get sensible
+// defaults from New.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted prediction requests;
+	// excess load is shed with 429. Health and model-admin endpoints
+	// are not admission-controlled, so operators can always see in.
+	MaxInFlight int
+	// RequestTimeout bounds each prediction request end to end.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful shutdown: in-flight requests get
+	// this long to finish after the drain signal before the listener is
+	// torn down hard.
+	DrainTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses.
+	RetryAfter time.Duration
+	// Logf, when set, receives lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+// Server is the COLD prediction server. Build with New, then run with
+// Serve; Handler exposes the routes for tests and embedding.
+type Server struct {
+	cfg Config
+	mgr *Manager
+	// data provides post content for index-based queries; nil means
+	// queries must carry explicit word ids.
+	data *corpus.Dataset
+
+	sem      chan struct{}
+	draining atomic.Bool
+	start    time.Time
+
+	served   atomic.Uint64
+	shed     atomic.Uint64
+	panics   atomic.Uint64
+	rejected atomic.Uint64 // 4xx input errors
+}
+
+// New builds a server around a model manager and an optional dataset.
+func New(cfg Config, mgr *Manager, data *corpus.Dataset) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:   cfg,
+		mgr:   mgr,
+		data:  data,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the full route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/model/rollback", s.handleRollback)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("POST /v1/predict/retweet", s.guard(s.handleRetweet))
+	mux.Handle("POST /v1/predict/link", s.guard(s.handleLink))
+	mux.Handle("POST /v1/predict/time", s.guard(s.handleTime))
+	mux.Handle("POST /v1/predict/topics", s.guard(s.handleTopics))
+	return mux
+}
+
+// guard wraps a prediction handler in the admission stack, outermost
+// first: load shedding, then the per-request deadline, then panic
+// containment around the handler itself.
+//
+// The in-flight slot is released by the inner handler goroutine, not
+// when the timeout fires — an abandoned slow handler still occupies
+// capacity until it really finishes, so MaxInFlight honestly bounds
+// concurrent work rather than concurrent waiting clients.
+func (s *Server) guard(h http.HandlerFunc) http.Handler {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() { <-s.sem }()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.cfg.Logf("serve: panic in %s: %v", r.URL.Path, rec)
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		faultinject.Fire(faultinject.ServeHandler, r.URL.Path)
+		h(w, r)
+	})
+	timed := http.TimeoutHandler(inner, s.cfg.RequestTimeout,
+		`{"error":"request deadline exceeded"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "overloaded, retry later"})
+			return
+		}
+		s.served.Add(1)
+		timed.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs the server on ln until ctx is cancelled (SIGTERM in the
+// coldserve binary), then drains: new work is refused, in-flight
+// requests get DrainTimeout to finish, and the method returns once the
+// listener is down. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// The per-request base context is deliberately NOT derived from ctx:
+	// the whole point of draining is that in-flight requests finish
+	// after the drain signal fires.
+	httpSrv := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener died on its own
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.cfg.Logf("serve: drain started (deadline %s)", s.cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("serve: drain deadline exceeded: %w", err)
+	}
+	s.cfg.Logf("serve: drained cleanly")
+	return nil
+}
+
+// ---- request/response plumbing ----
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// predictRequest is the shared body of all prediction endpoints; each
+// handler reads the fields it needs.
+type predictRequest struct {
+	Publisher *int  `json:"publisher"`
+	Candidate *int  `json:"candidate"`
+	From      *int  `json:"from"`
+	To        *int  `json:"to"`
+	User      *int  `json:"user"`
+	Post      *int  `json:"post"`
+	Words     []int `json:"words"`
+	TopN      int   `json:"topn"`
+}
+
+// decode parses and bounds the request body.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// snapshot returns the serving snapshot or answers 503.
+func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
+	snap := s.mgr.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+	}
+	return snap
+}
+
+// user validates a user index against the engine.
+func (s *Server) user(w http.ResponseWriter, name string, v *int, info ModelInfo) (int, bool) {
+	if v == nil {
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing field " + name})
+		return 0, false
+	}
+	if *v < 0 || *v >= info.Users {
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("%s %d out of range [0,%d)", name, *v, info.Users)})
+		return 0, false
+	}
+	return *v, true
+}
+
+// bag resolves the post content of a request: explicit word ids, or a
+// post index into the loaded dataset.
+func (s *Server) bag(w http.ResponseWriter, req *predictRequest, info ModelInfo) (text.BagOfWords, bool) {
+	switch {
+	case req.Words != nil:
+		for _, id := range req.Words {
+			if id < 0 || (info.Vocab > 0 && id >= info.Vocab) {
+				s.rejected.Add(1)
+				writeJSON(w, http.StatusBadRequest, errorBody{
+					Error: fmt.Sprintf("word id %d out of range [0,%d)", id, info.Vocab)})
+				return text.BagOfWords{}, false
+			}
+		}
+		return text.NewBagOfWords(req.Words), true
+	case req.Post != nil:
+		if s.data == nil {
+			s.rejected.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: "no dataset loaded on this server; pass words instead of a post index"})
+			return text.BagOfWords{}, false
+		}
+		if *req.Post < 0 || *req.Post >= len(s.data.Posts) {
+			s.rejected.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("post %d out of range [0,%d)", *req.Post, len(s.data.Posts))})
+			return text.BagOfWords{}, false
+		}
+		return s.data.Posts[*req.Post].Words, true
+	default:
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need either post or words"})
+		return text.BagOfWords{}, false
+	}
+}
+
+// ---- handlers ----
+
+type scoreResponse struct {
+	Score      float64 `json:"score"`
+	Generation uint64  `json:"generation"`
+	Degraded   bool    `json:"degraded"`
+}
+
+func (s *Server) handleRetweet(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req predictRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	info := snap.Engine.Info()
+	pub, ok := s.user(w, "publisher", req.Publisher, info)
+	if !ok {
+		return
+	}
+	cand, ok := s.user(w, "candidate", req.Candidate, info)
+	if !ok {
+		return
+	}
+	words, ok := s.bag(w, &req, info)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, scoreResponse{
+		Score:      snap.Engine.RetweetScore(pub, cand, words),
+		Generation: snap.Generation,
+		Degraded:   snap.Degraded(),
+	})
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req predictRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	info := snap.Engine.Info()
+	from, ok := s.user(w, "from", req.From, info)
+	if !ok {
+		return
+	}
+	to, ok := s.user(w, "to", req.To, info)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, scoreResponse{
+		Score:      snap.Engine.LinkScore(from, to),
+		Generation: snap.Generation,
+		Degraded:   snap.Degraded(),
+	})
+}
+
+func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req predictRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	info := snap.Engine.Info()
+	user, ok := s.user(w, "user", req.User, info)
+	if !ok {
+		return
+	}
+	words, ok := s.bag(w, &req, info)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Slice      int    `json:"slice"`
+		Generation uint64 `json:"generation"`
+		Degraded   bool   `json:"degraded"`
+	}{snap.Engine.PredictTime(user, words), snap.Generation, snap.Degraded()})
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req predictRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	info := snap.Engine.Info()
+	user, ok := s.user(w, "user", req.User, info)
+	if !ok {
+		return
+	}
+	words, ok := s.bag(w, &req, info)
+	if !ok {
+		return
+	}
+	post, err := snap.Engine.TopicPosterior(user, words)
+	if errors.Is(err, ErrDegraded) {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: "topic posterior unavailable in degraded mode (no topic model loaded)"})
+		return
+	}
+	topn := req.TopN
+	if topn <= 0 || topn > len(post) {
+		topn = min(3, len(post))
+	}
+	type topicWeight struct {
+		Topic  int     `json:"topic"`
+		Weight float64 `json:"weight"`
+	}
+	top := make([]topicWeight, 0, topn)
+	for _, k := range stats.ArgTopK(post, topn) {
+		top = append(top, topicWeight{Topic: k, Weight: post[k]})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Topics     []topicWeight `json:"topics"`
+		Generation uint64        `json:"generation"`
+	}{top, snap.Generation})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+	}{"ok", time.Since(s.start).Seconds()})
+}
+
+// readyState summarises the lifecycle for orchestration probes.
+func (s *Server) readyState() (string, int) {
+	if s.draining.Load() {
+		return "draining", http.StatusServiceUnavailable
+	}
+	snap := s.mgr.Current()
+	switch {
+	case snap == nil:
+		return "starting", http.StatusServiceUnavailable
+	case snap.Degraded():
+		// Still 200: the pod can answer queries, just worse ones. The
+		// orchestrator should keep it in rotation while alerting on the
+		// reported state.
+		return "degraded", http.StatusOK
+	default:
+		return "ready", http.StatusOK
+	}
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	state, code := s.readyState()
+	writeJSON(w, code, struct {
+		State string `json:"state"`
+		Status
+	}{state, s.mgr.Status()})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ModelInfo
+		Source     string    `json:"source"`
+		Generation uint64    `json:"generation"`
+		LoadedAt   time.Time `json:"loaded_at"`
+	}{snap.Engine.Info(), snap.Source, snap.Generation, snap.LoadedAt})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.mgr.Reload(); err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mgr.Status())
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
+	if err := s.mgr.Rollback(); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mgr.Status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Served   uint64 `json:"served"`
+		Shed     uint64 `json:"shed"`
+		Panics   uint64 `json:"panics"`
+		Rejected uint64 `json:"rejected"`
+		Model    Status `json:"model"`
+	}{s.served.Load(), s.shed.Load(), s.panics.Load(), s.rejected.Load(), s.mgr.Status()})
+}
