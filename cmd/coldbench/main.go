@@ -35,7 +35,15 @@ func main() {
 	quickFlag := flag.Bool("quick", false, "reduced schedule (fewer folds/iterations)")
 	format := flag.String("format", "table", "output format for series figures: table or tsv")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	metricsFlag := flag.Bool("metrics", false, "run the observability smoke: a tiny train+serve cycle that must update every registered metric")
 	flag.Parse()
+
+	if *metricsFlag {
+		if err := metricsSmoke(*seed); err != nil {
+			log.Fatalf("metrics smoke failed: %v", err)
+		}
+		return
+	}
 
 	var data *corpus.Dataset
 	var plantedC, plantedK int

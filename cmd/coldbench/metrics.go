@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/serve"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+// metricsSmoke runs a miniature train → resume → serve cycle crafted to
+// fire every instrument the observability layer registers — parallel
+// sweeps, a divergence rollback, checkpoint save/load, degraded and
+// healthy serving, shedding, a contained panic, a rejected request, a
+// failed and a successful reload — then fails if any registered series
+// was never updated. An instrument nobody fires is either dead code or
+// a broken wire, and this catches it in CI rather than on a dashboard
+// mid-incident.
+func metricsSmoke(seed uint64) error {
+	defer faultinject.Reset()
+	reg := obs.NewRegistry()
+
+	data, _, err := synth.Generate(synth.Config{U: 40, C: 3, K: 4, T: 6, V: 100,
+		PostsPerUser: 5, WordsPerPost: 5, LinksPerUser: 4, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "coldbench-metrics-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+
+	// Training: parallel sampler (GAS metrics), periodic checkpoints,
+	// and one injected NaN likelihood to drive the rollback counter.
+	cfg := core.DefaultConfig(3, 4)
+	cfg.Iterations, cfg.BurnIn, cfg.SampleLag = 8, 4, 1
+	cfg.Workers = 2
+	cfg.Seed = seed
+	var fired atomic.Bool
+	faultinject.Set(faultinject.CoreLikelihood, func(args ...any) {
+		if fired.CompareAndSwap(false, true) {
+			*args[0].(*float64) = math.NaN()
+		}
+	})
+	opts := core.RunOptions{CheckpointDir: ckptDir, CheckpointEvery: 2,
+		Observer: core.NewTrainObserver(reg)}
+	model, stats, err := core.TrainRun(context.Background(), data, cfg, opts)
+	faultinject.Clear(faultinject.CoreLikelihood)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	if stats.Rollbacks == 0 {
+		return fmt.Errorf("injected divergence did not trigger a rollback")
+	}
+
+	// Resume from the newest checkpoint: load timing + resume counter.
+	latest, _, err := checkpoint.Latest(ckptDir)
+	if err != nil {
+		return fmt.Errorf("no checkpoint written: %w", err)
+	}
+	if _, _, err := core.ResumeTraining(context.Background(), latest, data, opts); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+
+	// Serving: start degraded (fallback prior + missing model file), then
+	// reload onto the trained model.
+	mt := serve.NewMetrics(reg)
+	modelPath := filepath.Join(dir, "model.json")
+	mgr := serve.NewManager(serve.ManagerConfig{Path: modelPath, TopComm: 3,
+		Logf: func(string, ...any) {}, Metrics: mt})
+	fb, err := core.NewFallbackPredictor(data)
+	if err != nil {
+		return err
+	}
+	mgr.SetFallback(serve.NewFallbackEngine(fb))
+	if err := mgr.Reload(); err == nil {
+		return fmt.Errorf("reload of a missing model file unexpectedly succeeded")
+	}
+
+	srv := serve.New(serve.Config{MaxInFlight: 1, RequestTimeout: 10 * time.Second,
+		RetryAfter: time.Second, Metrics: mt}, mgr, data)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	post := func(path, body string, want int) error {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			return fmt.Errorf("POST %s = %d, want %d", path, resp.StatusCode, want)
+		}
+		return nil
+	}
+
+	retweet := `{"publisher":0,"candidate":1,"post":0}`
+	for _, rq := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/predict/retweet", retweet, 200}, // degraded answer
+		{"/v1/predict/link", `{"from":0,"to":1}`, 200},
+		{"/v1/predict/time", `{"user":0,"post":0}`, 200},
+		{"/v1/topics", `{"user":0,"post":0}`, 503}, // fallback can't do topics
+		{"/v1/predict/retweet", `{}`, 400},         // rejected input
+	} {
+		if err := post(rq.path, rq.body, rq.want); err != nil {
+			return err
+		}
+	}
+
+	// A handler panic is contained into a 500.
+	faultinject.Set(faultinject.ServeHandler, func(...any) { panic("metrics smoke") })
+	if err := post("/v1/predict/retweet", retweet, 500); err != nil {
+		return err
+	}
+	faultinject.Clear(faultinject.ServeHandler)
+
+	// Park the single admission slot and shed the next request.
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	faultinject.Set(faultinject.ServeHandler, func(...any) {
+		started <- struct{}{}
+		<-release
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = post("/v1/predict/retweet", retweet, 200)
+	}()
+	<-started
+	if err := post("/v1/predict/retweet", retweet, 429); err != nil {
+		return err
+	}
+	close(release)
+	wg.Wait()
+	faultinject.Clear(faultinject.ServeHandler)
+
+	// Publish the trained model and reload; scoring through the loaded
+	// engine drives the predictor cache/latency instruments.
+	if err := model.SaveFile(modelPath); err != nil {
+		return err
+	}
+	if err := mgr.Reload(); err != nil {
+		return fmt.Errorf("reload of the trained model: %w", err)
+	}
+	if err := post("/v1/predict/retweet", retweet, 200); err != nil {
+		return err
+	}
+	if err := post("/v1/topics", `{"user":0,"post":0}`, 200); err != nil {
+		return err
+	}
+
+	if un := reg.Untouched(); len(un) > 0 {
+		return fmt.Errorf("metrics registered but never updated during the cycle:\n  %s",
+			strings.Join(un, "\n  "))
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		return err
+	}
+	fmt.Printf("metrics smoke: every registered series updated (%d exposition lines)\n",
+		strings.Count(b.String(), "\n"))
+	return nil
+}

@@ -14,18 +14,27 @@
 // picks up newly dropped models, rejecting invalid ones while the
 // last-good model keeps serving.
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the legacy unversioned health routes
+// answer with 308 redirects):
 //
-//	GET  /healthz              process liveness
-//	GET  /readyz               starting | ready | degraded | draining
+//	GET  /v1/healthz           process liveness
+//	GET  /v1/readyz            starting | ready | degraded | draining
 //	GET  /v1/model             serving model info
 //	POST /v1/model/reload      force a reload of the current candidate
 //	POST /v1/model/rollback    return to the previous generation
 //	GET  /v1/stats             request/shed/panic counters
+//	GET  /metrics              Prometheus text exposition (alias /v1/metrics)
 //	POST /v1/predict/retweet   {"publisher","candidate","post"|"words"}
 //	POST /v1/predict/link      {"from","to"}
 //	POST /v1/predict/time      {"user","post"|"words"}
-//	POST /v1/predict/topics    {"user","post"|"words","topn"}
+//	POST /v1/topics            {"user","post"|"words","topn"}
+//
+// Every non-2xx response body is the shared JSON error envelope
+// {"error":{"code","message","retry_after_ms?"}}.
+//
+// With -debug-addr a second, operator-only listener exposes
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars and the
+// same /metrics; keep it off the public network.
 package main
 
 import (
@@ -33,12 +42,15 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/obs"
 	"github.com/cold-diffusion/cold/internal/serve"
 )
 
@@ -56,7 +68,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed requests")
 	loadRetries := flag.Int("load-retries", 6, "startup model-load attempts before degrading or exiting")
+	debugAddr := flag.String("debug-addr", "", "optional operator listener for pprof + expvar + /metrics (keep private)")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logFormat, obs.ParseLevel(*logLevel))
+	logf := obs.Printf(logger.With("component", "serve"))
+
+	reg := obs.NewRegistry()
+	metrics := serve.NewMetrics(reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -76,7 +97,8 @@ func main() {
 		TopComm: *topComm,
 		Poll:    *poll,
 		Backoff: backoff,
-		Logf:    log.Printf,
+		Logf:    logf,
+		Metrics: metrics,
 	})
 	if err := mgr.LoadInitial(ctx); err != nil {
 		if data == nil {
@@ -87,7 +109,8 @@ func main() {
 			log.Fatalf("no model loadable (%v) and fallback construction failed: %v", err, fberr)
 		}
 		mgr.SetFallback(serve.NewFallbackEngine(fb))
-		log.Printf("DEGRADED: no model loadable (%v); serving popularity prior until one appears at %s", err, *modelPath)
+		logger.Warn("no model loadable; serving degraded popularity prior until one appears",
+			"error", err, "model_path", *modelPath)
 	}
 	go mgr.Watch(ctx)
 
@@ -96,16 +119,30 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
 		RetryAfter:     *retryAfter,
-		Logf:           log.Printf,
+		Logf:           logf,
+		Metrics:        metrics,
 	}, mgr, data)
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		logger.Info("debug listener up (pprof, expvar, metrics)", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, obs.DebugMux(reg)); err != nil {
+				logger.Warn("debug listener stopped", "error", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (model %s)", ln.Addr(), *modelPath)
+	logger.Info("listening", "addr", ln.Addr().String(), "model", *modelPath)
 	if err := srv.Serve(ctx, ln); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("shut down cleanly")
+	logger.Info("shut down cleanly")
 }

@@ -10,6 +10,12 @@
 //	coldtrain -data dataset.json -comms 6 -topics 8 -workers 4 -out model.json
 //	coldtrain -data dataset.json -checkpoint-dir ckpt -checkpoint-every 10 -out model.json
 //	coldtrain -data dataset.json -resume ckpt/sweep-00000030.ckpt -out model.json
+//
+// Every sweep emits a structured log record (duration, log-likelihood,
+// samples) through -log-format/-log-level, and the run exports
+// cold_train_* / cold_gas_* metrics: -metrics-every dumps the
+// Prometheus text to stderr periodically, and -debug-addr serves it
+// live together with net/http/pprof for profiling long runs.
 package main
 
 import (
@@ -18,14 +24,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/obs"
 )
 
 func main() {
@@ -45,6 +55,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic sampler checkpoints")
 	ckptEvery := flag.Int("checkpoint-every", 10, "sweeps between checkpoints")
 	resume := flag.String("resume", "", "checkpoint file (or directory of them) to resume from")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	metricsEvery := flag.Duration("metrics-every", 0, "interval between Prometheus metric dumps to stderr (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "optional listener for pprof + expvar + /metrics during training")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context; training stops at the next
@@ -56,7 +70,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.RunOptions{CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery}
+
+	level := obs.ParseLevel(*logLevel)
+	if *quiet && *logLevel == "info" {
+		// -q mutes the per-sweep records too, unless -log-level asks
+		// for them explicitly.
+		level = obs.ParseLevel("warn")
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+	reg := obs.NewRegistry()
+	opts := core.RunOptions{
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Observer:        core.NewTrainObserver(reg),
+		Logger:          logger,
+	}
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		logger.Info("debug listener up (pprof, expvar, metrics)", "addr", ln.Addr().String())
+		go func() { _ = http.Serve(ln, obs.DebugMux(reg)) }()
+	}
+	if *metricsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, "--- metrics ---")
+					_ = reg.WritePrometheus(os.Stderr)
+				}
+			}
+		}()
+	}
 
 	var model *core.Model
 	var stats *core.TrainStats

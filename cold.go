@@ -22,10 +22,22 @@
 //
 //	data, _, err := cold.Synthesize(cold.SmallSynth(1))
 //	if err != nil { ... }
-//	model, err := cold.Train(data, cold.DefaultConfig(6, 8))
+//	model, err := cold.Train(ctx, data, cold.DefaultConfig(6, 8))
 //	if err != nil { ... }
 //	pred := cold.NewPredictor(model, 5)
 //	p := pred.Score(alice, bob, post.Words) // diffusion probability
+//
+// Train takes functional options for everything beyond the basic fit —
+// convergence stats, periodic checkpointing, metrics and structured
+// logging:
+//
+//	var st cold.TrainStats
+//	reg := cold.NewRegistry()
+//	model, err := cold.Train(ctx, data, cfg,
+//		cold.WithStats(&st),
+//		cold.WithCheckpoints("ckpt/", 10),
+//		cold.WithObserver(cold.NewTrainObserver(reg)),
+//		cold.WithLogger(slog.Default()))
 //
 // Training is deterministic for a fixed Config.Seed. Set Config.Workers
 // > 1 to use the parallel gather–apply–scatter sampler (an in-process
@@ -79,10 +91,28 @@ type GroundTruth = synth.GroundTruth
 // for the given community and topic counts.
 func DefaultConfig(c, k int) Config { return core.DefaultConfig(c, k) }
 
-// Train fits COLD and returns the averaged posterior estimates.
-func Train(data *Dataset, cfg Config) (*Model, error) { return core.Train(data, cfg) }
+// Train fits COLD and returns the averaged posterior estimates. It
+// stops at the next sweep boundary when ctx is cancelled, returning the
+// model averaged from the samples collected so far alongside ctx.Err()
+// (the model is nil only if cancellation struck before the first
+// post-burn-in sample). Behaviour beyond the basic fit is selected with
+// TrainOption values: WithStats, WithCheckpoints, WithObserver,
+// WithLogger, WithRunOptions.
+func Train(ctx context.Context, data *Dataset, cfg Config, options ...TrainOption) (*Model, error) {
+	var s trainSettings
+	for _, o := range options {
+		o(&s)
+	}
+	m, st, err := core.TrainRun(ctx, data, cfg, s.run)
+	if s.stats != nil && st != nil {
+		*s.stats = *st
+	}
+	return m, err
+}
 
-// TrainWithStats is Train plus the convergence/timing trace.
+// TrainWithStats fits COLD and returns the convergence/timing trace.
+//
+// Deprecated: use Train with WithStats.
 func TrainWithStats(data *Dataset, cfg Config) (*Model, *TrainStats, error) {
 	return core.TrainWithStats(data, cfg)
 }
@@ -96,17 +126,19 @@ type RunOptions = core.RunOptions
 // LoadCheckpoint inspects one without resuming.
 type Checkpoint = core.Checkpoint
 
-// TrainContext is Train with cancellation: when ctx is cancelled (e.g.
-// by a SIGINT handler), training stops at the next sweep boundary and
-// returns the model averaged from the thinned samples collected so far,
-// alongside ctx.Err(). The model is nil only if cancellation struck
-// before the first post-burn-in sample.
+// TrainContext fits COLD with cancellation.
+//
+// Deprecated: Train now takes a context directly.
 func TrainContext(ctx context.Context, data *Dataset, cfg Config) (*Model, error) {
 	return core.TrainContext(ctx, data, cfg)
 }
 
-// TrainRun is the full-control entry point: context cancellation,
-// periodic checkpoints, and automatic rollback on numerical divergence.
+// TrainRun is the positional full-control entry point: context
+// cancellation, periodic checkpoints, and automatic rollback on
+// numerical divergence.
+//
+// Deprecated: use Train with WithRunOptions (or WithCheckpoints and
+// WithStats for the common cases).
 func TrainRun(ctx context.Context, data *Dataset, cfg Config, opts RunOptions) (*Model, *TrainStats, error) {
 	return core.TrainRun(ctx, data, cfg, opts)
 }

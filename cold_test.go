@@ -21,6 +21,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 
 	mcfg := cold.DefaultConfig(3, 4)
 	mcfg.Iterations, mcfg.BurnIn, mcfg.Seed = 15, 8, 7
+	//lint:ignore SA1019 the deprecated wrapper must keep working
 	model, stats, err := cold.TrainWithStats(data, mcfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,27 @@
+package cold
+
+import "github.com/cold-diffusion/cold/internal/colderr"
+
+// Sentinel errors for the failure conditions a caller may want to
+// branch on. Internal packages wrap these with context, so always match
+// with errors.Is, never with string comparison:
+//
+//	if _, err := cold.LoadCheckpoint(path); errors.Is(err, cold.ErrCorruptCheckpoint) {
+//		// fall back to the previous checkpoint
+//	}
+var (
+	// ErrCorruptCheckpoint reports a checkpoint file that failed framing,
+	// checksum or payload validation. Returned (wrapped) by
+	// LoadCheckpoint and ResumeTraining.
+	ErrCorruptCheckpoint = colderr.ErrCorruptCheckpoint
+
+	// ErrInvalidModel reports a model whose parameters fail structural
+	// validation (shape mismatches, non-normalised distributions,
+	// NaN/Inf). Returned (wrapped) by LoadModel and Model.Validate.
+	ErrInvalidModel = colderr.ErrInvalidModel
+
+	// ErrDegraded reports a query that the degraded-mode serving
+	// fallback cannot answer at all, such as topic posteriors without a
+	// topic model.
+	ErrDegraded = colderr.ErrDegraded
+)

@@ -1,6 +1,7 @@
 package cold_test
 
 import (
+	"context"
 	"fmt"
 
 	cold "github.com/cold-diffusion/cold"
@@ -17,7 +18,7 @@ func ExampleTrain() {
 	}
 	cfg := cold.DefaultConfig(3, 4)
 	cfg.Iterations, cfg.BurnIn, cfg.Seed = 15, 8, 7
-	model, err := cold.Train(data, cfg)
+	model, err := cold.Train(context.Background(), data, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -42,7 +43,7 @@ func ExampleNewPredictor() {
 	}
 	cfg := cold.DefaultConfig(3, 4)
 	cfg.Iterations, cfg.BurnIn, cfg.Seed = 15, 8, 7
-	model, err := cold.Train(data, cfg)
+	model, err := cold.Train(context.Background(), data, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -66,7 +67,7 @@ func ExampleModel_Zeta() {
 	}
 	cfg := cold.DefaultConfig(3, 4)
 	cfg.Iterations, cfg.BurnIn, cfg.Seed = 15, 8, 7
-	model, err := cold.Train(data, cfg)
+	model, err := cold.Train(context.Background(), data, cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,8 @@ func main() {
 	// 2. Train COLD: 6 communities, 8 topics.
 	cfg := cold.DefaultConfig(6, 8)
 	cfg.Iterations, cfg.BurnIn, cfg.Seed = 40, 25, 7
-	model, stats, err := cold.TrainWithStats(data, cfg)
+	var stats cold.TrainStats
+	model, err := cold.Train(context.Background(), data, cfg, cold.WithStats(&stats))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	// COLD never sees the tuples; it learns from text, time and links.
 	cfg := cold.DefaultConfig(6, 8)
 	cfg.Iterations, cfg.BurnIn, cfg.Seed = 40, 25, 3
-	model, err := cold.Train(data, cfg)
+	model, err := cold.Train(context.Background(), data, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	}
 	cfg := cold.DefaultConfig(6, 8)
 	cfg.Iterations, cfg.BurnIn, cfg.Seed = 40, 25, 3
-	model, err := cold.Train(data, cfg)
+	model, err := cold.Train(context.Background(), data, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

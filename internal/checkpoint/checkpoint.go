@@ -29,6 +29,8 @@ import (
 	"sort"
 	"syscall"
 	"time"
+
+	"github.com/cold-diffusion/cold/internal/colderr"
 )
 
 const magic = "COLDCKP1"
@@ -37,8 +39,11 @@ const magic = "COLDCKP1"
 const headerSize = len(magic) + 8 + 4
 
 // ErrCorrupt reports a checkpoint file that failed frame validation:
-// bad magic, truncated payload, or checksum mismatch.
-var ErrCorrupt = errors.New("checkpoint: corrupt or truncated file")
+// bad magic, truncated payload, or checksum mismatch. It wraps the
+// public colderr.ErrCorruptCheckpoint sentinel, so callers outside the
+// internal tree can match the condition with errors.Is against the
+// re-export at the cold root.
+var ErrCorrupt = fmt.Errorf("checkpoint: corrupt or truncated file: %w", colderr.ErrCorruptCheckpoint)
 
 // AtomicWriteFile writes the output of write to path via a temporary
 // sibling file and rename, so concurrent readers and crash recovery never

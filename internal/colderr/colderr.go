@@ -1,0 +1,25 @@
+// Package colderr holds the sentinel errors shared across the library's
+// layers. They live in their own leaf package (imported by
+// internal/checkpoint, internal/core and internal/serve alike) so the
+// public root package can re-export the *same* error values without an
+// import cycle: callers match with errors.Is against cold.ErrX and hit
+// whatever layer originally produced the failure.
+package colderr
+
+import "errors"
+
+var (
+	// ErrCorruptCheckpoint marks a checkpoint or snapshot file that
+	// failed frame validation — bad magic, truncation, checksum
+	// mismatch, or a structurally invalid payload.
+	ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+	// ErrInvalidModel marks a model artefact that decoded but failed
+	// structural validation (wrong shapes, non-finite parameters,
+	// broken simplex rows).
+	ErrInvalidModel = errors.New("invalid model")
+
+	// ErrDegraded marks a query that the degraded-mode fallback engine
+	// cannot answer at all (as opposed to answering it worse).
+	ErrDegraded = errors.New("unavailable in degraded mode")
+)

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/colderr"
 )
 
 // Model holds the posterior parameter estimates of a trained COLD model.
@@ -199,8 +200,17 @@ func scaleMatrix(m [][]float64, f float64) {
 // distribution row a proper simplex (η entries are Bernoulli parameters
 // in [0, 1] instead). It guards the load paths against truncated or
 // hand-edited files that decode without error but would poison every
-// downstream prediction.
+// downstream prediction. Failures wrap colderr.ErrInvalidModel, so
+// callers can match the condition with errors.Is against the sentinel
+// re-exported at the cold root.
 func (m *Model) Validate() error {
+	if err := m.validate(); err != nil {
+		return fmt.Errorf("%w: %w", colderr.ErrInvalidModel, err)
+	}
+	return nil
+}
+
+func (m *Model) validate() error {
 	C, K := m.Cfg.C, m.Cfg.K
 	if C <= 0 || K <= 0 || m.U < 0 || m.T <= 0 || m.V <= 0 {
 		return fmt.Errorf("core: model has invalid dimensions C=%d K=%d U=%d T=%d V=%d", C, K, m.U, m.T, m.V)

@@ -378,11 +378,12 @@ func (p *coldProgram) negativeCounter() string {
 }
 
 // coldEngine is the engine surface the parallel sampler needs: stepping
-// with contained panics, plus access to per-worker contexts for RNG
-// checkpointing.
+// with contained panics, access to per-worker contexts for RNG
+// checkpointing, and metrics attachment.
 type coldEngine interface {
 	Step() error
 	Ctxs() []*coldCtx
+	SetMetrics(*gas.Metrics)
 }
 
 // parallelSampler adapts the GAS sampler (cfg.Workers goroutine workers
@@ -394,7 +395,7 @@ type parallelSampler struct {
 	snap   *state   // materialized counters of the latest sweep
 }
 
-func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint) (*parallelSampler, error) {
+func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics) (*parallelSampler, error) {
 	r := rng.New(cfg.Seed)
 	prog := &coldProgram{
 		cfg:     cfg,
@@ -473,6 +474,9 @@ func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint) (*
 		engine = gas.NewChromaticEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
 	} else {
 		engine = gas.NewEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
+	}
+	if gm != nil {
+		engine.SetMetrics(gm)
 	}
 	p := &parallelSampler{prog: prog, engine: engine, r: r}
 	if resume != nil {

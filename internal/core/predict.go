@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"time"
 
+	"github.com/cold-diffusion/cold/internal/obs"
 	"github.com/cold-diffusion/cold/internal/stats"
 	"github.com/cold-diffusion/cold/internal/text"
 )
@@ -165,7 +167,36 @@ type Predictor struct {
 	m        *Model
 	topComm  [][]int // per user, TopComm(i)
 	topCount int
+	pm       *PredictorMetrics
 }
+
+// PredictorMetrics instruments the online prediction path. A nil
+// *PredictorMetrics (the default) adds no clock reads to scoring.
+type PredictorMetrics struct {
+	// ScoreSeconds observes the latency of one Score evaluation
+	// (Eqs. 5–7: topic posterior plus the TopComm influence sum).
+	ScoreSeconds *obs.Histogram
+	// CacheHits counts posterior evaluations answered from the
+	// precomputed TopComm cache — every online query, since the cache
+	// covers all users; a flat line means the predictor is idle.
+	CacheHits *obs.Counter
+}
+
+// NewPredictorMetrics registers the prediction instruments on reg.
+func NewPredictorMetrics(reg *obs.Registry) *PredictorMetrics {
+	return &PredictorMetrics{
+		ScoreSeconds: reg.Histogram("cold_predict_score_seconds",
+			"Latency of one diffusion-probability evaluation (Eq. 7).", nil),
+		CacheHits: reg.Counter("cold_predict_topcomm_cache_hits_total",
+			"Posterior evaluations served from the precomputed TopComm cache."),
+	}
+}
+
+// SetMetrics attaches instruments to the predictor. Call it right after
+// NewPredictor, before the predictor is shared across goroutines — it
+// is part of the write-once initialisation the concurrency contract
+// above relies on.
+func (p *Predictor) SetMetrics(pm *PredictorMetrics) { p.pm = pm }
 
 // NewPredictor builds the offline caches. topComm is the TopComm size;
 // the paper uses 5.
@@ -185,6 +216,9 @@ func NewPredictor(m *Model, topComm int) *Predictor {
 // distribution given its words and its publisher's community interest,
 // restricted to TopComm(i).
 func (p *Predictor) TopicPosterior(i int, words text.BagOfWords) []float64 {
+	if p.pm != nil {
+		p.pm.CacheHits.Inc()
+	}
 	m := p.m
 	K := m.Cfg.K
 	lw := make([]float64, K)
@@ -219,6 +253,10 @@ func (p *Predictor) InfluenceAt(i, ip, k int) float64 {
 // Score returns the user-to-user diffusion probability of Eq. (7): the
 // probability that user i' spreads post d published by user i.
 func (p *Predictor) Score(i, ip int, words text.BagOfWords) float64 {
+	var start time.Time
+	if p.pm != nil {
+		start = time.Now()
+	}
 	topicPost := p.TopicPosterior(i, words)
 	total := 0.0
 	for k, pk := range topicPost {
@@ -226,6 +264,9 @@ func (p *Predictor) Score(i, ip int, words text.BagOfWords) float64 {
 			continue
 		}
 		total += pk * p.InfluenceAt(i, ip, k)
+	}
+	if p.pm != nil {
+		p.pm.ScoreSeconds.Observe(time.Since(start).Seconds())
 	}
 	return total
 }

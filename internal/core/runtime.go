@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"os"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/gas"
 	"github.com/cold-diffusion/cold/internal/rng"
 )
 
@@ -39,6 +41,13 @@ type RunOptions struct {
 	// value disables the collapse check (NaN/Inf and negative-counter
 	// guards always stay on).
 	DivergenceDrop float64
+	// Observer, when non-nil, receives the run's metrics (sweep
+	// durations, likelihood, rollback/resume counters, checkpoint I/O
+	// timings, and GAS worker metrics for parallel runs).
+	Observer *TrainObserver
+	// Logger, when non-nil, emits one structured record per sweep plus
+	// lifecycle events (rollbacks, checkpoints, resume).
+	Logger *slog.Logger
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -99,20 +108,20 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // runtime: one sweep at a time, with enough state access to snapshot,
 // roll back and resume.
 type sweeper interface {
-	sweep() error             // one full Gibbs sweep; panics surface as errors
-	logLikelihood() float64   // after the latest sweep
-	estimate() *Model         // point estimates of the current sample
-	health() string           // "" or a description of corrupted counters
-	rngStates() [][4]uint64   // [0] is the main stream, rest are workers
+	sweep() error           // one full Gibbs sweep; panics surface as errors
+	logLikelihood() float64 // after the latest sweep
+	estimate() *Model       // point estimates of the current sample
+	health() string         // "" or a description of corrupted counters
+	rngStates() [][4]uint64 // [0] is the main stream, rest are workers
 	restoreRNG([][4]uint64) error
-	reseed(salt uint64)                       // perturb all streams after a rollback
-	assignments() (c, z, s, sp []int)         // live slices; caller must copy
-	setAssignments(c, z, s, sp []int) error   // copy in and rebuild counters
+	reseed(salt uint64)                     // perturb all streams after a rollback
+	assignments() (c, z, s, sp []int)       // live slices; caller must copy
+	setAssignments(c, z, s, sp []int) error // copy in and rebuild counters
 }
 
-func newSweeper(data *corpus.Dataset, cfg Config, resume *Checkpoint) (sweeper, error) {
+func newSweeper(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics) (sweeper, error) {
 	if cfg.Workers > 1 {
-		return newParallelSampler(data, cfg, resume)
+		return newParallelSampler(data, cfg, resume, gm)
 	}
 	return newSerialSampler(data, cfg, resume)
 }
@@ -139,8 +148,12 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 		stats.Samples = resume.Samples
 		stats.ResumedAt = resume.Sweep
 		sweep0 = resume.Sweep
+		opts.Observer.resumed()
+		if opts.Logger != nil {
+			opts.Logger.Info("resumed from checkpoint", "sweep", resume.Sweep, "samples", resume.Samples)
+		}
 	}
-	smp, err := newSweeper(data, cfg, resume)
+	smp, err := newSweeper(data, cfg, resume, opts.Observer.gasMetrics())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -158,13 +171,19 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 		if opts.CheckpointDir == "" {
 			return nil
 		}
+		saveStart := time.Now()
 		path := checkpoint.SweepPath(opts.CheckpointDir, ck.Sweep)
 		if err := checkpoint.WriteFile(path, ck); err != nil {
 			return fmt.Errorf("core: writing checkpoint: %w", err)
 		}
 		stats.LastCheckpoint = path
 		faultinject.Fire(faultinject.CheckpointWritten, path)
-		return checkpoint.Prune(opts.CheckpointDir, opts.KeepCheckpoints)
+		err := checkpoint.Prune(opts.CheckpointDir, opts.KeepCheckpoints)
+		opts.Observer.checkpointSaved(time.Since(saveStart).Seconds())
+		if opts.Logger != nil {
+			opts.Logger.Info("checkpoint written", "path", path, "sweep", ck.Sweep)
+		}
+		return err
 	}
 
 	lastGood := takeSnapshot(sweep0)
@@ -182,6 +201,7 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 			canceled = true
 			break
 		}
+		sweepStart := time.Now()
 		sweepErr := smp.sweep()
 		var ll float64
 		problem := ""
@@ -192,9 +212,14 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 			faultinject.Fire(faultinject.CoreLikelihood, &ll)
 			problem = healthProblem(ll, stats.Likelihood, opts, smp)
 		}
+		sweepSecs := time.Since(sweepStart).Seconds()
 		if problem != "" {
 			rollbacks++
 			stats.Rollbacks++
+			opts.Observer.rolledBack()
+			if opts.Logger != nil {
+				opts.Logger.Warn("sweep unhealthy, rolling back", "sweep", it, "problem", problem, "rollback_to", lastGood.Sweep, "consecutive", rollbacks)
+			}
 			if rollbacks > opts.MaxRollbacks {
 				return nil, stats, fmt.Errorf("core: training unhealthy at sweep %d (%s) after %d rollbacks to sweep %d; giving up", it, problem, opts.MaxRollbacks, lastGood.Sweep)
 			}
@@ -208,9 +233,14 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 			continue
 		}
 		stats.Likelihood = append(stats.Likelihood, ll)
+		opts.Observer.sweepDone(it, sweepSecs, ll)
+		if opts.Logger != nil {
+			opts.Logger.Info("sweep", "sweep", it, "log_likelihood", ll, "seconds", sweepSecs, "samples", stats.Samples)
+		}
 		if it >= cfg.BurnIn && (it-cfg.BurnIn)%cfg.SampleLag == 0 {
 			acc.add(smp.estimate())
 			stats.Samples++
+			opts.Observer.sampleTaken()
 		}
 		it++
 		if it%opts.CheckpointEvery == 0 && it < cfg.Iterations {
@@ -363,8 +393,8 @@ func (s *serialSampler) sweep() (err error) {
 }
 
 func (s *serialSampler) logLikelihood() float64 { return s.st.logLikelihood() }
-func (s *serialSampler) estimate() *Model      { return s.st.estimate() }
-func (s *serialSampler) health() string        { return s.st.negativeCounter() }
+func (s *serialSampler) estimate() *Model       { return s.st.estimate() }
+func (s *serialSampler) health() string         { return s.st.negativeCounter() }
 
 func (s *serialSampler) rngStates() [][4]uint64 { return [][4]uint64{s.r.State()} }
 

@@ -61,10 +61,12 @@ func TrainRun(ctx context.Context, data *corpus.Dataset, cfg Config, opts RunOpt
 // which reseed). The dataset must be the one the checkpoint was taken
 // against.
 func ResumeTraining(ctx context.Context, path string, data *corpus.Dataset, opts RunOptions) (*Model, *TrainStats, error) {
+	loadStart := time.Now()
 	ck, err := LoadCheckpoint(path)
 	if err != nil {
 		return nil, nil, err
 	}
+	opts.Observer.checkpointLoaded(time.Since(loadStart).Seconds())
 	return runTraining(ctx, data, ck.Cfg, opts, ck)
 }
 

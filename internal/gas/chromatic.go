@@ -16,6 +16,7 @@ type ChromaticEngine[VD, ED, Acc, Ctx any] struct {
 	workers int
 	ctxs    []Ctx
 	colors  [][]int32 // edge ids per colour class
+	m       *Metrics
 }
 
 // NewChromaticEngine colours the graph's edges greedily and returns the
@@ -79,6 +80,10 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Colors() int { return len(e.colors) 
 // Workers returns the worker count.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
 
+// SetMetrics attaches observability instruments. Pass nil to detach.
+// Call before the first Step; the engine does not synchronise access.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) SetMetrics(m *Metrics) { e.m = m }
+
 // Ctxs returns the per-worker scatter contexts, for programs that need to
 // checkpoint worker-local state between supersteps.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
@@ -88,7 +93,7 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
 // Panics in any phase are recovered and returned as errors, as for
 // Engine.Step.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
-	if err := runBlocks(e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
+	if err := runBlocks(e.m, e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			vid := int32(v)
 			var acc Acc
@@ -107,7 +112,7 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
 		return err
 	}
 	for _, class := range e.colors {
-		if err := runBlocks(e.workers, len(class), func(worker, lo, hi int) {
+		if err := runBlocks(e.m, e.workers, len(class), func(worker, lo, hi int) {
 			faultinject.Fire(faultinject.GasScatterWorker, worker)
 			ctx := e.ctxs[worker]
 			for i := lo; i < hi; i++ {
@@ -118,5 +123,11 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
 			return err
 		}
 	}
-	return safely(func() { e.p.Merge(e.ctxs) })
+	if err := safely(func() { e.p.Merge(e.ctxs) }); err != nil {
+		return err
+	}
+	if e.m != nil {
+		e.m.Supersteps.Inc()
+	}
+	return nil
 }

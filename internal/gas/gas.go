@@ -21,9 +21,41 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/obs"
 )
+
+// Metrics carries the engine's observability instruments. All fields
+// are optional (nil instruments are no-ops) and a nil *Metrics disables
+// timing entirely, keeping the uninstrumented hot path free of clock
+// reads. One Metrics may be shared by several engines.
+type Metrics struct {
+	// WorkerBusy observes, once per worker per parallel phase, the
+	// seconds that worker spent running its block.
+	WorkerBusy *obs.Histogram
+	// BarrierWait observes, once per worker per parallel phase, the
+	// seconds between that worker finishing and the slowest worker
+	// finishing — the time lost to the superstep barrier. A skewed
+	// distribution here means poor block balance.
+	BarrierWait *obs.Histogram
+	// Supersteps counts completed Step calls.
+	Supersteps *obs.Counter
+}
+
+// NewMetrics registers the engine's instruments on reg under the
+// cold_gas_* namespace.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		WorkerBusy: reg.Histogram("cold_gas_worker_busy_seconds",
+			"Per-worker busy time in one parallel phase (gather/apply or scatter).", nil),
+		BarrierWait: reg.Histogram("cold_gas_barrier_wait_seconds",
+			"Per-worker wait for the slowest worker at the phase barrier.", nil),
+		Supersteps: reg.Counter("cold_gas_supersteps_total",
+			"Completed GAS supersteps."),
+	}
+}
 
 // Edge is a directed edge with attached data. Src and Dst index the
 // graph's vertex array.
@@ -106,6 +138,7 @@ type Engine[VD, ED, Acc, Ctx any] struct {
 	p       Program[VD, ED, Acc, Ctx]
 	workers int
 	ctxs    []Ctx
+	m       *Metrics
 }
 
 // NewEngine creates an engine with the given worker count (minimum 1).
@@ -127,6 +160,10 @@ func NewEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ct
 // Workers returns the engine's worker count.
 func (e *Engine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
 
+// SetMetrics attaches observability instruments. Pass nil to detach.
+// Call before the first Step; the engine does not synchronise access.
+func (e *Engine[VD, ED, Acc, Ctx]) SetMetrics(m *Metrics) { e.m = m }
+
 // Ctxs returns the per-worker scatter contexts, for programs that need to
 // checkpoint worker-local state (e.g. RNG streams) between supersteps.
 func (e *Engine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
@@ -137,7 +174,7 @@ func (e *Engine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
 // the host process; the superstep's partial effects are undefined and the
 // caller should discard or roll back the program state.
 func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
-	if err := runBlocks(e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
+	if err := runBlocks(e.m, e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			vid := int32(v)
 			var acc Acc
@@ -155,7 +192,7 @@ func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
 	}); err != nil {
 		return err
 	}
-	if err := runBlocks(e.workers, len(e.g.Edges), func(worker, lo, hi int) {
+	if err := runBlocks(e.m, e.workers, len(e.g.Edges), func(worker, lo, hi int) {
 		faultinject.Fire(faultinject.GasScatterWorker, worker)
 		ctx := e.ctxs[worker]
 		for id := lo; id < hi; id++ {
@@ -164,7 +201,13 @@ func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
 	}); err != nil {
 		return err
 	}
-	return safely(func() { e.p.Merge(e.ctxs) })
+	if err := safely(func() { e.p.Merge(e.ctxs) }); err != nil {
+		return err
+	}
+	if e.m != nil {
+		e.m.Supersteps.Inc()
+	}
+	return nil
 }
 
 // safely runs fn, converting a panic into an error carrying the panic
@@ -191,12 +234,27 @@ func truncatedStack() []byte {
 // fn concurrently. Blocks are assigned by worker index so the partition is
 // stable across supersteps. A panic in any block (worker goroutine or the
 // single-threaded fast path) is recovered; the first one is returned.
-func runBlocks(workers, n int, fn func(worker, lo, hi int)) error {
+//
+// With non-nil metrics each block's fn duration is observed as worker
+// busy time, and the gap between a worker finishing and the slowest
+// worker finishing as barrier wait. A nil m skips all clock reads.
+func runBlocks(m *Metrics, workers, n int, fn func(worker, lo, hi int)) error {
 	if workers == 1 || n < 2*workers {
-		return safely(func() { fn(0, 0, n) })
+		if m == nil {
+			return safely(func() { fn(0, 0, n) })
+		}
+		start := time.Now()
+		err := safely(func() { fn(0, 0, n) })
+		m.WorkerBusy.Observe(time.Since(start).Seconds())
+		m.BarrierWait.Observe(0) // lone block: nothing to wait for
+		return err
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
+	var finished []time.Time
+	if m != nil {
+		finished = make([]time.Time, workers)
+	}
 	block := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * block
@@ -210,12 +268,25 @@ func runBlocks(workers, n int, fn func(worker, lo, hi int)) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			start := time.Now()
 			if err := safely(func() { fn(w, lo, hi) }); err != nil {
 				errs[w] = fmt.Errorf("gas: worker %d: %w", w, err)
+			}
+			if m != nil {
+				finished[w] = time.Now()
+				m.WorkerBusy.Observe(finished[w].Sub(start).Seconds())
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if m != nil {
+		barrier := time.Now()
+		for _, t := range finished {
+			if !t.IsZero() {
+				m.BarrierWait.Observe(barrier.Sub(t).Seconds())
+			}
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

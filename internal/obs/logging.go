@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a structured logger for the binaries: format is
+// "text" (human-readable key=value, the default) or "json" (one JSON
+// object per line, for log shippers). Unknown formats fall back to
+// text rather than failing a long training job over a typo.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level, defaulting
+// to Info on anything unrecognised.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Printf adapts a structured logger to the printf-style Logf hooks the
+// serving and manager configs expose, so one slog pipeline carries
+// every lifecycle line.
+func Printf(l *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

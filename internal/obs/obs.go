@@ -1,0 +1,423 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms) with Prometheus text-format exposition and an expvar
+// bridge, plus structured-logging helpers on log/slog and a pprof debug
+// mux. Every layer of the system — training (cold_train_*), the GAS
+// engine (cold_gas_*), serving (cold_serve_*) and prediction
+// (cold_predict_*) — registers its instruments here so one /metrics
+// scrape covers the whole process.
+//
+// Design constraints, in order:
+//
+//   - Hot-path writes are lock-free: a Counter.Add is one atomic add, a
+//     Histogram.Observe is a linear scan over ~14 bucket bounds plus
+//     three atomic ops. No maps, no allocation, no locks after
+//     registration.
+//
+//   - Instrument pointers are nil-safe: calling Add/Set/Observe on a
+//     nil *Counter/*Gauge/*Histogram is a no-op, so instrumented code
+//     paths need no "is observability configured?" branches.
+//
+//   - Every instrument knows whether it was ever updated (Touched), so
+//     a smoke test can fail when an instrument is registered but never
+//     exercised — dead metrics are lies waiting to be dashboarded.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency histogram layout in seconds,
+// spanning sub-millisecond cache hits to multi-second training sweeps.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// instrument is the exposition surface shared by all metric kinds.
+type instrument interface {
+	meta() *metricMeta
+	// expose appends the sample lines (no HELP/TYPE header) to b.
+	expose(b *strings.Builder)
+	// value returns a scalar for the expvar bridge (histograms report
+	// their observation count).
+	value() float64
+}
+
+// metricMeta is the registration-time identity of one instrument.
+type metricMeta struct {
+	name    string // metric family name, e.g. cold_serve_requests_total
+	labels  string // rendered label pairs, e.g. `route="retweet"`, or ""
+	help    string
+	kind    string // "counter" | "gauge" | "histogram"
+	touched atomic.Bool
+}
+
+func (m *metricMeta) meta() *metricMeta { return m }
+
+// series is the full sample name: name or name{labels}.
+func (m *metricMeta) series() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use but unregistered; nil receivers are no-ops.
+type Counter struct {
+	metricMeta
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+	c.touched.Store(true)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) expose(b *strings.Builder) {
+	b.WriteString(c.series())
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+func (c *Counter) value() float64 { return float64(c.v.Load()) }
+
+// Gauge is a float64 that can go up and down. Nil receivers are no-ops.
+type Gauge struct {
+	metricMeta
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.touched.Store(true)
+}
+
+// Add increments the gauge by delta (CAS loop; contended adds retry).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	g.touched.Store(true)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) expose(b *strings.Builder) {
+	b.WriteString(g.series())
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(g.Value()))
+	b.WriteByte('\n')
+}
+
+func (g *Gauge) value() float64 { return g.Value() }
+
+// Histogram is a fixed-bucket histogram. Buckets hold per-bucket (not
+// cumulative) observation counts; exposition emits the cumulative
+// Prometheus form. Nil receivers are no-ops.
+type Histogram struct {
+	metricMeta
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.touched.Store(true)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) expose(b *strings.Builder) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		h.bucketLine(b, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	h.bucketLine(b, "+Inf", cum)
+	b.WriteString(h.name)
+	b.WriteString("_sum")
+	if h.labels != "" {
+		b.WriteString("{" + h.labels + "}")
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(h.name)
+	b.WriteString("_count")
+	if h.labels != "" {
+		b.WriteString("{" + h.labels + "}")
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) bucketLine(b *strings.Builder, le string, cum uint64) {
+	b.WriteString(h.name)
+	b.WriteString("_bucket{")
+	if h.labels != "" {
+		b.WriteString(h.labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) value() float64 { return float64(h.count.Load()) }
+
+// Registry owns a set of instruments and renders them. Registration
+// takes a lock; instrument updates never do. The zero value is not
+// usable — call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	in     []instrument
+	series map[string]bool // duplicate-registration guard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]bool)}
+}
+
+func (r *Registry) register(i instrument) {
+	m := i.meta()
+	if err := checkName(m.name); err != nil {
+		panic(fmt.Sprintf("obs: %v", err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := m.series()
+	if r.series[key] {
+		panic(fmt.Sprintf("obs: duplicate registration of %s", key))
+	}
+	r.series[key] = true
+	r.in = append(r.in, i)
+}
+
+// checkName enforces the Prometheus metric-name grammar.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, "", help)
+}
+
+// CounterL registers a counter with constant labels, rendered exactly
+// as given (e.g. `route="retweet"`).
+func (r *Registry) CounterL(name, labels, help string) *Counter {
+	c := &Counter{metricMeta: metricMeta{name: name, labels: labels, help: help, kind: "counter"}}
+	r.register(c)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeL(name, "", help)
+}
+
+// GaugeL registers a gauge with constant labels.
+func (r *Registry) GaugeL(name, labels, help string) *Gauge {
+	g := &Gauge{metricMeta: metricMeta{name: name, labels: labels, help: help, kind: "gauge"}}
+	r.register(g)
+	return g
+}
+
+// Histogram registers a histogram with the given ascending upper
+// bounds (nil → DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramL(name, "", help, bounds)
+}
+
+// HistogramL registers a histogram with constant labels.
+func (r *Registry) HistogramL(name, labels, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		metricMeta: metricMeta{name: name, labels: labels, help: help, kind: "histogram"},
+		bounds:     append([]float64(nil), bounds...),
+		counts:     make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Instruments registered under the
+// same family name (label variants) share one HELP/TYPE header, emitted
+// at the family's first appearance in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	instruments := append([]instrument(nil), r.in...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, i := range instruments {
+		m := i.meta()
+		if !seen[m.name] {
+			seen[m.name] = true
+			if m.help != "" {
+				b.WriteString("# HELP " + m.name + " " + escapeHelp(m.help) + "\n")
+			}
+			b.WriteString("# TYPE " + m.name + " " + m.kind + "\n")
+		}
+		i.expose(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Untouched returns the series names of instruments that were
+// registered but never updated, sorted. A metrics smoke test treats a
+// non-empty result as failure: an instrument nobody fires is either
+// dead code or a broken wire.
+func (r *Registry) Untouched() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, i := range r.in {
+		if m := i.meta(); !m.touched.Load() {
+			out = append(out, m.series())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpvarVar returns an expvar.Var rendering every instrument as a flat
+// JSON object of series name → scalar value (histograms report their
+// observation count). Publish it once per process:
+//
+//	expvar.Publish("cold", reg.ExpvarVar())
+//
+// after which the standard /debug/vars endpoint includes the registry.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		out := make(map[string]float64, len(r.in))
+		for _, i := range r.in {
+			out[i.meta().series()] = i.value()
+		}
+		return out
+	})
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with integral values kept integral.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the exact exposition text for one
+// of every instrument kind, including a labelled family sharing one
+// HELP/TYPE header. Scrapers parse this byte-for-byte; format drift is
+// a breaking change and must show up as a diff here.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cold_test_events_total", "Total events.")
+	ra := r.CounterL("cold_test_requests_total", `route="a"`, "Requests by route.")
+	rb := r.CounterL("cold_test_requests_total", `route="b"`, "Requests by route.")
+	g := r.Gauge("cold_test_temperature", "Current temperature.")
+	h := r.Histogram("cold_test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+
+	c.Add(3)
+	ra.Inc()
+	rb.Add(2)
+	g.Set(36.5)
+	h.Observe(0.005) // ≤ 0.01
+	h.Observe(0.05)  // ≤ 0.1
+	h.Observe(0.05)
+	h.Observe(2) // +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cold_test_events_total Total events.
+# TYPE cold_test_events_total counter
+cold_test_events_total 3
+# HELP cold_test_requests_total Requests by route.
+# TYPE cold_test_requests_total counter
+cold_test_requests_total{route="a"} 1
+cold_test_requests_total{route="b"} 2
+# HELP cold_test_temperature Current temperature.
+# TYPE cold_test_temperature gauge
+cold_test_temperature 36.5
+# HELP cold_test_latency_seconds Request latency.
+# TYPE cold_test_latency_seconds histogram
+cold_test_latency_seconds_bucket{le="0.01"} 1
+cold_test_latency_seconds_bucket{le="0.1"} 3
+cold_test_latency_seconds_bucket{le="1"} 3
+cold_test_latency_seconds_bucket{le="+Inf"} 4
+cold_test_latency_seconds_sum 2.105
+cold_test_latency_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucket semantics:
+// an observation equal to an upper bound lands in that bucket, one just
+// above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cold_test_bounds", "", []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 4} { // each exactly on a bound
+		h.Observe(v)
+	}
+	h.Observe(1.0000001) // just above 1 → (1, 2]
+	h.Observe(4.0000001) // just above the last bound → +Inf
+	h.Observe(-5)        // below everything → first bucket
+
+	wantPerBucket := []uint64{2, 2, 1, 1} // (-Inf,1], (1,2], (2,4], (4,+Inf)
+	for i, want := range wantPerBucket {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d holds %d observations, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count() = %d, want 6", h.Count())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+}
+
+func TestUntouchedTracking(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cold_test_used_total", "")
+	r.Gauge("cold_test_never_set", "")
+	r.CounterL("cold_test_labelled_total", `x="y"`, "")
+	c.Inc()
+	got := r.Untouched()
+	want := []string{`cold_test_labelled_total{x="y"}`, "cold_test_never_set"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Untouched() = %v, want %v", got, want)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cold_test_dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("cold_test_dup_total", "")
+}
+
+func TestBadMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("cold test with spaces", "")
+}
+
+// Distinct label sets under one family are fine; the family header is
+// emitted once (covered by the golden test), and both series count as
+// separate touch-tracked instruments.
+func TestExpvarBridge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cold_test_bridge_total", "")
+	h := r.Histogram("cold_test_bridge_seconds", "", []float64{1})
+	c.Add(7)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var out map[string]float64
+	if err := json.Unmarshal([]byte(r.ExpvarVar().String()), &out); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if out["cold_test_bridge_total"] != 7 {
+		t.Errorf("bridge counter = %v, want 7", out["cold_test_bridge_total"])
+	}
+	if out["cold_test_bridge_seconds"] != 2 { // histograms report their count
+		t.Errorf("bridge histogram = %v, want 2", out["cold_test_bridge_seconds"])
+	}
+}

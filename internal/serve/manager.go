@@ -42,6 +42,10 @@ type ManagerConfig struct {
 	Backoff Backoff
 	// Logf, when set, receives reload/rollback events and failures.
 	Logf func(format string, args ...any)
+	// Metrics, when set, records reload successes/failures and the
+	// serving generation, and instruments each loaded model's predictor.
+	// Share it with the server's Config.Metrics.
+	Metrics *Metrics
 }
 
 // Manager owns the serving snapshot: it loads models, validates every
@@ -109,6 +113,9 @@ func (m *Manager) SetFallback(e Engine) {
 	m.gen++
 	m.fallback.Store(&Snapshot{Engine: e, Source: "fallback:popularity-prior",
 		Generation: m.gen, LoadedAt: time.Now()})
+	if m.cur.Load() == nil {
+		m.cfg.Metrics.generationSwapped(m.gen)
+	}
 }
 
 // resolve picks the candidate model file for Path.
@@ -147,7 +154,7 @@ func (m *Manager) loadEngine(path string) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newModelEngine(model, m.cfg.TopComm), nil
+	return newModelEngine(model, m.cfg.TopComm, m.cfg.Metrics.predictorMetrics()), nil
 }
 
 // Reload resolves the current candidate, loads and validates it, and
@@ -189,6 +196,7 @@ func (m *Manager) reloadLocked(force bool) error {
 	}
 	m.lastErr, m.lastErrT = "", time.Time{}
 	m.reloads.Add(1)
+	m.cfg.Metrics.reloadOK(next.Generation)
 	m.cfg.Logf("serve: loaded model generation %d from %s", next.Generation, next.Source)
 	return nil
 }
@@ -204,6 +212,7 @@ func (m *Manager) recordFailure(err error) error {
 	}
 	m.lastErr, m.lastErrT = msg, time.Now()
 	m.failures.Add(1)
+	m.cfg.Metrics.reloadFailed()
 	return err
 }
 
@@ -222,6 +231,7 @@ func (m *Manager) Rollback() error {
 		Generation: m.gen, LoadedAt: time.Now()}
 	m.cur.Store(back)
 	m.prev = cur
+	m.cfg.Metrics.generationSwapped(back.Generation)
 	// lastSeen still names the rolled-away-from file, so the watcher
 	// won't immediately re-load it; an explicit Reload still can, and a
 	// genuinely new candidate file still takes over.

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"net/http"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// predictRoutes are the admission-controlled prediction routes, used as
+// the label set of the per-route request metrics.
+var predictRoutes = []string{"retweet", "link", "time", "topics"}
+
+// Metrics is the serving layer's instrument set under the cold_serve_*
+// namespace. One Metrics is shared between a Server and its Manager so
+// a single /metrics page shows requests and model lifecycle together.
+// A nil *Metrics disables serving instrumentation entirely; all methods
+// are nil-safe.
+type Metrics struct {
+	reg *obs.Registry
+
+	requests map[string]*obs.Counter   // cold_serve_requests_total{route=...}
+	latency  map[string]*obs.Histogram // cold_serve_request_seconds{route=...}
+
+	InFlight *obs.Gauge   // cold_serve_in_flight
+	Shed     *obs.Counter // cold_serve_shed_total
+	Panics   *obs.Counter // cold_serve_panics_total
+	Rejected *obs.Counter // cold_serve_rejected_total
+	Degraded *obs.Counter // cold_serve_degraded
+
+	Reloads        *obs.Counter // cold_serve_model_reloads_total
+	ReloadFailures *obs.Counter // cold_serve_model_reload_failures_total
+	Generation     *obs.Gauge   // cold_serve_model_generation
+
+	// Predictor instruments the scoring hot path; attach it to the
+	// model engine's predictor via ManagerConfig.Metrics.
+	Predictor *core.PredictorMetrics
+}
+
+// NewMetrics registers the serving instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		reg:      reg,
+		requests: make(map[string]*obs.Counter, len(predictRoutes)),
+		latency:  make(map[string]*obs.Histogram, len(predictRoutes)),
+		InFlight: reg.Gauge("cold_serve_in_flight",
+			"Prediction requests currently holding an admission slot."),
+		Shed: reg.Counter("cold_serve_shed_total",
+			"Requests shed with 429 because the in-flight pool was full."),
+		Panics: reg.Counter("cold_serve_panics_total",
+			"Handler panics contained into 500 responses."),
+		Rejected: reg.Counter("cold_serve_rejected_total",
+			"Requests rejected with 4xx input-validation errors."),
+		Degraded: reg.Counter("cold_serve_degraded",
+			"Requests answered by the degraded-mode fallback engine."),
+		Reloads: reg.Counter("cold_serve_model_reloads_total",
+			"Successful model reloads (atomic snapshot swaps)."),
+		ReloadFailures: reg.Counter("cold_serve_model_reload_failures_total",
+			"Model candidates rejected at load or validation."),
+		Generation: reg.Gauge("cold_serve_model_generation",
+			"Generation number of the serving snapshot."),
+		Predictor: core.NewPredictorMetrics(reg),
+	}
+	for _, route := range predictRoutes {
+		labels := `route="` + route + `"`
+		m.requests[route] = reg.CounterL("cold_serve_requests_total", labels,
+			"Admitted prediction requests by route.")
+		m.latency[route] = reg.HistogramL("cold_serve_request_seconds", labels,
+			"Client-visible prediction request latency by route.", nil)
+	}
+	return m
+}
+
+// Handler exposes the underlying registry in Prometheus text format.
+func (m *Metrics) Handler() http.Handler {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	return m.reg.Handler()
+}
+
+func (m *Metrics) admitted(route string) {
+	if m == nil {
+		return
+	}
+	m.requests[route].Inc()
+	m.InFlight.Inc()
+}
+
+func (m *Metrics) released() {
+	if m == nil {
+		return
+	}
+	m.InFlight.Dec()
+}
+
+func (m *Metrics) finished(route string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.latency[route].Observe(seconds)
+}
+
+func (m *Metrics) shedOne() {
+	if m == nil {
+		return
+	}
+	m.Shed.Inc()
+}
+
+func (m *Metrics) panicked() {
+	if m == nil {
+		return
+	}
+	m.Panics.Inc()
+}
+
+func (m *Metrics) rejectedOne() {
+	if m == nil {
+		return
+	}
+	m.Rejected.Inc()
+}
+
+func (m *Metrics) degradedOne() {
+	if m == nil {
+		return
+	}
+	m.Degraded.Inc()
+}
+
+func (m *Metrics) reloadOK(generation uint64) {
+	if m == nil {
+		return
+	}
+	m.Reloads.Inc()
+	m.Generation.Set(float64(generation))
+}
+
+func (m *Metrics) reloadFailed() {
+	if m == nil {
+		return
+	}
+	m.ReloadFailures.Inc()
+}
+
+func (m *Metrics) generationSwapped(generation uint64) {
+	if m == nil {
+		return
+	}
+	m.Generation.Set(float64(generation))
+}
+
+func (m *Metrics) predictorMetrics() *core.PredictorMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Predictor
+}

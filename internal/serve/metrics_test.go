@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// noFollow does not chase redirects, so tests can see the 308s.
+var noFollow = &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+	return http.ErrUseLastResponse
+}}
+
+func TestLegacyRoutesRedirect(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{}, mgr, true)
+
+	for _, tc := range []struct {
+		method, path, want string
+	}{
+		{"GET", "/healthz", "/v1/healthz"},
+		{"GET", "/readyz", "/v1/readyz"},
+		{"POST", "/v1/predict/topics", "/v1/topics"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.base+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s = %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.want {
+			t.Errorf("%s %s Location = %q, want %q", tc.method, tc.path, loc, tc.want)
+		}
+	}
+
+	// A client that follows redirects lands on the canonical route with
+	// the method and body intact (308 semantics).
+	code, _ := ts.call("POST", "/v1/predict/topics", map[string]any{"user": 0, "post": 0}, nil)
+	if code != 200 {
+		t.Errorf("followed topics redirect = %d, want 200", code)
+	}
+	if code, _ := ts.call("GET", "/healthz", nil, nil); code != 200 {
+		t.Errorf("followed healthz redirect = %d, want 200", code)
+	}
+}
+
+// TestErrorEnvelopeEverywhere pins the contract that every non-2xx body
+// is the shared envelope — including responses the mux generates itself.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{}, mgr, true)
+
+	var e errorBody
+	if code, _ := ts.call("GET", "/v1/no/such/route", nil, &e); code != 404 || e.Error.Code != "not_found" {
+		t.Errorf("unknown route = %d %+v, want 404 not_found", code, e.Error)
+	}
+	e = errorBody{}
+	if code, _ := ts.call("DELETE", "/v1/predict/retweet", nil, &e); code != 405 || e.Error.Code != "method_not_allowed" {
+		t.Errorf("wrong method = %d %+v, want 405 method_not_allowed", code, e.Error)
+	}
+	e = errorBody{}
+	if code, _ := ts.call("POST", "/v1/predict/retweet", map[string]any{}, &e); code != 400 || e.Error.Code != "bad_request" {
+		t.Errorf("empty body = %d %+v, want 400 bad_request", code, e.Error)
+	}
+}
+
+// The timeout handler cannot set headers, so its 503 reaches the client
+// through the envelope middleware; the body must still be the envelope.
+func TestTimeoutBodyUsesEnvelope(t *testing.T) {
+	defer faultinject.Reset()
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{RequestTimeout: 50 * time.Millisecond}, mgr, true)
+	faultinject.Set(faultinject.ServeHandler, func(...any) { time.Sleep(300 * time.Millisecond) })
+
+	var e errorBody
+	code, hdr := ts.call("POST", "/v1/predict/retweet",
+		map[string]any{"publisher": 0, "candidate": 1, "post": 0}, &e)
+	if code != http.StatusServiceUnavailable || e.Error.Code != "deadline_exceeded" {
+		t.Fatalf("timeout = %d %+v, want 503 deadline_exceeded", code, e.Error)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("timeout Content-Type = %q, want application/json", ct)
+	}
+}
+
+// scrape fetches path and parses the Prometheus text into series→value
+// (histogram series keep their full name+labels key).
+func scrape(t *testing.T, ts *testServer, path string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsReflectShedAndDegraded is the end-to-end observability
+// acceptance: a degraded request and a shed (429) request both show up
+// in /metrics, alongside the generation gauge and latency histograms.
+func TestMetricsReflectShedAndDegraded(t *testing.T) {
+	defer faultinject.Reset()
+	reg := obs.NewRegistry()
+	mt := NewMetrics(reg)
+
+	// A manager with no loadable model, serving from the fallback prior:
+	// every answered request is a degraded request.
+	_, data := testModel(t)
+	fb, err := core.NewFallbackPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(ManagerConfig{
+		Path: filepath.Join(t.TempDir(), "absent.json"), Logf: t.Logf, Metrics: mt,
+	})
+	mgr.SetFallback(NewFallbackEngine(fb))
+
+	ts := startServer(t, Config{
+		MaxInFlight: 1, RequestTimeout: 30 * time.Second, RetryAfter: 2 * time.Second, Metrics: mt,
+	}, mgr, true)
+
+	// One degraded request that completes normally.
+	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
+	if code, _ := ts.call("POST", "/v1/predict/retweet", body, nil); code != 200 {
+		t.Fatalf("degraded request = %d, want 200", code)
+	}
+
+	// Fill the single admission slot and shed the next request.
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	faultinject.Set(faultinject.ServeHandler, func(...any) {
+		started <- struct{}{}
+		<-release
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ts.call("POST", "/v1/predict/retweet", body, nil)
+	}()
+	<-started
+	var e errorBody
+	code, _ := ts.call("POST", "/v1/predict/retweet", body, &e)
+	if code != http.StatusTooManyRequests || e.Error.Code != "overloaded" {
+		t.Fatalf("overload = %d %+v, want 429 overloaded", code, e.Error)
+	}
+	if e.Error.RetryAfterMS != 2000 {
+		t.Fatalf("retry_after_ms = %d, want 2000", e.Error.RetryAfterMS)
+	}
+	close(release)
+	wg.Wait()
+	faultinject.Clear(faultinject.ServeHandler)
+
+	got := scrape(t, ts, "/metrics")
+	checks := map[string]float64{
+		`cold_serve_requests_total{route="retweet"}`: 2, // both admitted requests
+		"cold_serve_shed_total":                      1,
+		"cold_serve_degraded":                        2,
+		"cold_serve_model_generation":                1, // fallback snapshot
+		"cold_serve_in_flight":                       0, // everything released
+	}
+	for series, want := range checks {
+		if got[series] != want {
+			t.Errorf("%s = %v, want %v", series, got[series], want)
+		}
+	}
+	if got[`cold_serve_request_seconds_count{route="retweet"}`] != 2 {
+		t.Errorf("latency histogram count = %v, want 2",
+			got[`cold_serve_request_seconds_count{route="retweet"}`])
+	}
+
+	// The /v1 alias serves the same exposition.
+	alias := scrape(t, ts, "/v1/metrics")
+	if alias["cold_serve_shed_total"] != 1 {
+		t.Errorf("/v1/metrics shed = %v, want 1", alias["cold_serve_shed_total"])
+	}
+}
+
+// Reload failures and successes move the lifecycle metrics.
+func TestMetricsTrackReloads(t *testing.T) {
+	reg := obs.NewRegistry()
+	mt := NewMetrics(reg)
+	path := filepath.Join(t.TempDir(), "model.json")
+	mgr := NewManager(ManagerConfig{Path: path, TopComm: 3, Logf: t.Logf, Metrics: mt})
+
+	if err := mgr.Reload(); err == nil {
+		t.Fatal("reload of a missing model unexpectedly succeeded")
+	}
+	if v := mt.ReloadFailures.Value(); v != 1 {
+		t.Fatalf("reload failures = %d, want 1", v)
+	}
+	saveModel(t, path)
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mt.Reloads.Value(); v != 1 {
+		t.Fatalf("reloads = %d, want 1", v)
+	}
+	if g := mt.Generation.Value(); g != 1 {
+		t.Fatalf("generation gauge = %v, want 1", g)
+	}
+
+	// Scoring through the loaded engine drives the predictor metrics.
+	snap := mgr.Current()
+	_, data := testModel(t)
+	snap.Engine.RetweetScore(0, 1, data.Posts[0].Words)
+	if mt.Predictor.ScoreSeconds.Count() != 1 {
+		t.Fatalf("predictor score histogram count = %d, want 1", mt.Predictor.ScoreSeconds.Count())
+	}
+	if mt.Predictor.CacheHits.Value() == 0 {
+		t.Fatal("predictor cache hits = 0, want > 0")
+	}
+}

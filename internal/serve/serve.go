@@ -30,15 +30,19 @@
 package serve
 
 import (
-	"errors"
+	"fmt"
 
+	"github.com/cold-diffusion/cold/internal/colderr"
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/text"
 )
 
 // ErrDegraded reports a query that the degraded-mode fallback engine
-// cannot answer at all (as opposed to answering it worse).
-var ErrDegraded = errors.New("serve: unavailable in degraded mode")
+// cannot answer at all (as opposed to answering it worse). It wraps the
+// public colderr.ErrDegraded sentinel, so callers outside the internal
+// tree can match the condition with errors.Is against the re-export at
+// the cold root.
+var ErrDegraded = fmt.Errorf("serve: %w", colderr.ErrDegraded)
 
 // ModelInfo describes the engine behind a snapshot, for /v1/model and
 // request-level validation.
@@ -73,8 +77,12 @@ type modelEngine struct {
 	p *core.Predictor
 }
 
-func newModelEngine(m *core.Model, topComm int) modelEngine {
-	return modelEngine{m: m, p: core.NewPredictor(m, topComm)}
+func newModelEngine(m *core.Model, topComm int, pm *core.PredictorMetrics) modelEngine {
+	p := core.NewPredictor(m, topComm)
+	if pm != nil {
+		p.SetMetrics(pm)
+	}
+	return modelEngine{m: m, p: p}
 }
 
 func (e modelEngine) Info() ModelInfo {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -34,6 +35,11 @@ type Config struct {
 	RetryAfter time.Duration
 	// Logf, when set, receives lifecycle events.
 	Logf func(format string, args ...any)
+	// Metrics, when set, instruments the request path and exposes the
+	// registry at /metrics (and the /v1/metrics alias). Share the same
+	// Metrics with ManagerConfig so model lifecycle gauges land on the
+	// same page.
+	Metrics *Metrics
 }
 
 // Server is the COLD prediction server. Build with New, then run with
@@ -81,20 +87,44 @@ func New(cfg Config, mgr *Manager, data *corpus.Dataset) *Server {
 	}
 }
 
-// Handler returns the full route table.
+// Handler returns the full route table: the versioned /v1 surface,
+// permanent redirects from the legacy paths, and (with Metrics set) the
+// Prometheus exposition. Every non-2xx body — including mux-generated
+// 404/405 and timeout 503s — carries the shared error envelope.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+
+	// Canonical, versioned surface. /v1 is a contract: routes are only
+	// added here, never changed or removed, within the major version.
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/model/rollback", s.handleRollback)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.Handle("POST /v1/predict/retweet", s.guard(s.handleRetweet))
-	mux.Handle("POST /v1/predict/link", s.guard(s.handleLink))
-	mux.Handle("POST /v1/predict/time", s.guard(s.handleTime))
-	mux.Handle("POST /v1/predict/topics", s.guard(s.handleTopics))
-	return mux
+	mux.Handle("POST /v1/predict/retweet", s.guard("retweet", s.handleRetweet))
+	mux.Handle("POST /v1/predict/link", s.guard("link", s.handleLink))
+	mux.Handle("POST /v1/predict/time", s.guard("time", s.handleTime))
+	mux.Handle("POST /v1/topics", s.guard("topics", s.handleTopics))
+	if mh := s.cfg.Metrics.Handler(); mh != nil {
+		// /metrics is the conventional scrape path; /v1/metrics is the
+		// in-contract alias.
+		mux.Handle("GET /metrics", mh)
+		mux.Handle("GET /v1/metrics", mh)
+	}
+
+	// Legacy paths redirect permanently; 308 preserves the method and
+	// body, so POSTing clients migrate transparently.
+	redirect := func(target string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, target, http.StatusPermanentRedirect)
+		})
+	}
+	mux.Handle("GET /healthz", redirect("/v1/healthz"))
+	mux.Handle("GET /readyz", redirect("/v1/readyz"))
+	mux.Handle("POST /v1/predict/topics", redirect("/v1/topics"))
+
+	return envelope(mux)
 }
 
 // guard wraps a prediction handler in the admission stack, outermost
@@ -105,38 +135,50 @@ func (s *Server) Handler() http.Handler {
 // when the timeout fires — an abandoned slow handler still occupies
 // capacity until it really finishes, so MaxInFlight honestly bounds
 // concurrent work rather than concurrent waiting clients.
-func (s *Server) guard(h http.HandlerFunc) http.Handler {
+func (s *Server) guard(route string, h http.HandlerFunc) http.Handler {
+	mt := s.cfg.Metrics
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() { <-s.sem }()
+		defer func() {
+			<-s.sem
+			mt.released()
+		}()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.panics.Add(1)
+				mt.panicked()
 				s.cfg.Logf("serve: panic in %s: %v", r.URL.Path, rec)
-				writeJSON(w, http.StatusInternalServerError,
-					errorBody{Error: fmt.Sprintf("internal error: %v", rec)})
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", rec))
 			}
 		}()
 		faultinject.Fire(faultinject.ServeHandler, r.URL.Path)
 		h(w, r)
 	})
-	timed := http.TimeoutHandler(inner, s.cfg.RequestTimeout,
-		`{"error":"request deadline exceeded"}`)
+	timed := http.TimeoutHandler(inner, s.cfg.RequestTimeout, timeoutBody)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 			return
 		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
 			s.shed.Add(1)
+			mt.shedOne()
 			w.Header().Set("Retry-After",
 				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "overloaded, retry later"})
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errorInfo{
+				Code:         "overloaded",
+				Message:      "overloaded, retry later",
+				RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+			}})
 			return
 		}
 		s.served.Add(1)
+		mt.admitted(route)
+		start := time.Now()
 		timed.ServeHTTP(w, r)
+		mt.finished(route, time.Since(start).Seconds())
 	})
 }
 
@@ -174,14 +216,95 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // ---- request/response plumbing ----
 
-type errorBody struct {
-	Error string `json:"error"`
+// errorInfo is the single error shape every non-2xx response carries:
+// a stable machine-readable code, a human-readable message, and an
+// optional retry hint for 429/503.
+type errorInfo struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
+
+// errorBody is the shared JSON error envelope:
+// {"error":{"code":"...","message":"...","retry_after_ms":...}}.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+// timeoutBody is what http.TimeoutHandler writes on deadline. It is
+// already the envelope, and the envelope middleware re-stamps the
+// Content-Type (TimeoutHandler cannot set one).
+const timeoutBody = `{"error":{"code":"deadline_exceeded","message":"request deadline exceeded"}}`
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: msg}})
+}
+
+// envelope normalises every error response that didn't originate from
+// writeError — the mux's own plain-text 404/405 and the timeout
+// handler's 503 — into the shared JSON envelope. Responses that already
+// declare application/json pass through untouched.
+func envelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercepted bool // original (plain-text) body is being discarded
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.wroteHeader {
+		return
+	}
+	ew.wroteHeader = true
+	ct := ew.Header().Get("Content-Type")
+	if status >= 400 && !strings.HasPrefix(ct, "application/json") {
+		ew.intercepted = true
+		ew.Header().Del("Content-Length")
+		ew.Header().Del("X-Content-Type-Options")
+		ew.Header().Set("Content-Type", "application/json")
+		ew.ResponseWriter.WriteHeader(status)
+		json.NewEncoder(ew.ResponseWriter).Encode(errorBody{Error: envelopeFor(status)})
+		return
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(b []byte) (int, error) {
+	if !ew.wroteHeader {
+		ew.WriteHeader(http.StatusOK)
+	}
+	if ew.intercepted {
+		// Swallow the original non-JSON body; the envelope is written.
+		return len(b), nil
+	}
+	return ew.ResponseWriter.Write(b)
+}
+
+// envelopeFor maps an intercepted status to the envelope contents. The
+// server's own error paths write JSON directly, so what reaches here is
+// the mux's 404/405 and the timeout handler's 503.
+func envelopeFor(status int) errorInfo {
+	switch status {
+	case http.StatusNotFound:
+		return errorInfo{Code: "not_found", Message: "no such endpoint"}
+	case http.StatusMethodNotAllowed:
+		return errorInfo{Code: "method_not_allowed", Message: "method not allowed for this endpoint"}
+	case http.StatusServiceUnavailable:
+		return errorInfo{Code: "deadline_exceeded", Message: "request deadline exceeded"}
+	default:
+		return errorInfo{Code: "error", Message: http.StatusText(status)}
+	}
 }
 
 // predictRequest is the shared body of all prediction endpoints; each
@@ -198,21 +321,34 @@ type predictRequest struct {
 }
 
 // decode parses and bounds the request body.
-func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		s.reject(w, "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
-// snapshot returns the serving snapshot or answers 503.
+// reject answers a 400 input-validation failure and counts it.
+func (s *Server) reject(w http.ResponseWriter, msg string) {
+	s.rejected.Add(1)
+	s.cfg.Metrics.rejectedOne()
+	writeError(w, http.StatusBadRequest, "bad_request", msg)
+}
+
+// snapshot returns the serving snapshot or answers 503. A degraded
+// snapshot is counted: the request is still served, but the fleet's
+// degraded-traffic rate is an alerting signal.
 func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
 	snap := s.mgr.Current()
 	if snap == nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+		writeError(w, http.StatusServiceUnavailable, "not_ready", "no model loaded")
+		return nil
+	}
+	if snap.Degraded() {
+		s.cfg.Metrics.degradedOne()
 	}
 	return snap
 }
@@ -220,14 +356,11 @@ func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
 // user validates a user index against the engine.
 func (s *Server) user(w http.ResponseWriter, name string, v *int, info ModelInfo) (int, bool) {
 	if v == nil {
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing field " + name})
+		s.reject(w, "missing field "+name)
 		return 0, false
 	}
 	if *v < 0 || *v >= info.Users {
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("%s %d out of range [0,%d)", name, *v, info.Users)})
+		s.reject(w, fmt.Sprintf("%s %d out of range [0,%d)", name, *v, info.Users))
 		return 0, false
 	}
 	return *v, true
@@ -240,30 +373,23 @@ func (s *Server) bag(w http.ResponseWriter, req *predictRequest, info ModelInfo)
 	case req.Words != nil:
 		for _, id := range req.Words {
 			if id < 0 || (info.Vocab > 0 && id >= info.Vocab) {
-				s.rejected.Add(1)
-				writeJSON(w, http.StatusBadRequest, errorBody{
-					Error: fmt.Sprintf("word id %d out of range [0,%d)", id, info.Vocab)})
+				s.reject(w, fmt.Sprintf("word id %d out of range [0,%d)", id, info.Vocab))
 				return text.BagOfWords{}, false
 			}
 		}
 		return text.NewBagOfWords(req.Words), true
 	case req.Post != nil:
 		if s.data == nil {
-			s.rejected.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error: "no dataset loaded on this server; pass words instead of a post index"})
+			s.reject(w, "no dataset loaded on this server; pass words instead of a post index")
 			return text.BagOfWords{}, false
 		}
 		if *req.Post < 0 || *req.Post >= len(s.data.Posts) {
-			s.rejected.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error: fmt.Sprintf("post %d out of range [0,%d)", *req.Post, len(s.data.Posts))})
+			s.reject(w, fmt.Sprintf("post %d out of range [0,%d)", *req.Post, len(s.data.Posts)))
 			return text.BagOfWords{}, false
 		}
 		return s.data.Posts[*req.Post].Words, true
 	default:
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need either post or words"})
+		s.reject(w, "need either post or words")
 		return text.BagOfWords{}, false
 	}
 }
@@ -282,7 +408,7 @@ func (s *Server) handleRetweet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req predictRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	info := snap.Engine.Info()
@@ -311,7 +437,7 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req predictRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	info := snap.Engine.Info()
@@ -336,7 +462,7 @@ func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req predictRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	info := snap.Engine.Info()
@@ -361,7 +487,7 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req predictRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	info := snap.Engine.Info()
@@ -375,8 +501,8 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	}
 	post, err := snap.Engine.TopicPosterior(user, words)
 	if errors.Is(err, ErrDegraded) {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{
-			Error: "topic posterior unavailable in degraded mode (no topic model loaded)"})
+		writeError(w, http.StatusServiceUnavailable, "degraded",
+			"topic posterior unavailable in degraded mode (no topic model loaded)")
 		return
 	}
 	topn := req.TopN
@@ -446,7 +572,7 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	if err := s.mgr.Reload(); err != nil {
-		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadGateway, "reload_rejected", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, s.mgr.Status())
@@ -454,7 +580,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
 	if err := s.mgr.Rollback(); err != nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		writeError(w, http.StatusConflict, "rollback_unavailable", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, s.mgr.Status())

@@ -113,14 +113,14 @@ func TestEndpointsHappyPath(t *testing.T) {
 	var health struct {
 		Status string `json:"status"`
 	}
-	if code, _ := ts.call("GET", "/healthz", nil, &health); code != 200 || health.Status != "ok" {
+	if code, _ := ts.call("GET", "/v1/healthz", nil, &health); code != 200 || health.Status != "ok" {
 		t.Fatalf("healthz = %d %+v", code, health)
 	}
 
 	var ready struct {
 		State string `json:"state"`
 	}
-	if code, _ := ts.call("GET", "/readyz", nil, &ready); code != 200 || ready.State != "ready" {
+	if code, _ := ts.call("GET", "/v1/readyz", nil, &ready); code != 200 || ready.State != "ready" {
 		t.Fatalf("readyz = %d %+v", code, ready)
 	}
 
@@ -156,7 +156,7 @@ func TestEndpointsHappyPath(t *testing.T) {
 			Weight float64 `json:"weight"`
 		} `json:"topics"`
 	}
-	code, _ = ts.call("POST", "/v1/predict/topics", map[string]any{"user": 0, "post": 0, "topn": 2}, &topics)
+	code, _ = ts.call("POST", "/v1/topics", map[string]any{"user": 0, "post": 0, "topn": 2}, &topics)
 	if code != 200 || len(topics.Topics) != 2 {
 		t.Fatalf("topics = %d %+v", code, topics)
 	}
@@ -182,7 +182,7 @@ func TestInputValidation(t *testing.T) {
 		"unknown field":      map[string]any{"publisher": 0, "candidate": 1, "post": 0, "bogus": true},
 	} {
 		var e errorBody
-		if code, _ := ts.call("POST", "/v1/predict/retweet", body, &e); code != 400 || e.Error == "" {
+		if code, _ := ts.call("POST", "/v1/predict/retweet", body, &e); code != 400 || e.Error.Message == "" || e.Error.Code != "bad_request" {
 			t.Errorf("%s: code %d, error %q; want 400 with message", name, code, e.Error)
 		}
 	}
@@ -256,7 +256,7 @@ func TestPanicContainedPerRequest(t *testing.T) {
 	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
 	var e errorBody
 	code, _ := ts.call("POST", "/v1/predict/retweet", body, &e)
-	if code != 500 || !strings.Contains(e.Error, "injected handler bug") {
+	if code != 500 || !strings.Contains(e.Error.Message, "injected handler bug") {
 		t.Fatalf("panicking request = %d %+v, want 500", code, e)
 	}
 	faultinject.Clear(faultinject.ServeHandler)
@@ -282,7 +282,7 @@ func TestSlowHandlerHitsDeadline(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("deadline response took %v", elapsed)
 	}
-	if !strings.Contains(e.Error, "deadline") {
+	if e.Error.Code != "deadline_exceeded" || !strings.Contains(e.Error.Message, "deadline") {
 		t.Fatalf("timeout body = %+v", e)
 	}
 }
@@ -401,7 +401,7 @@ func TestCorruptReloadUnderTraffic(t *testing.T) {
 	// keeps serving.
 	corruptFile(t, path)
 	var e errorBody
-	if code, _ := ts.call("POST", "/v1/model/reload", nil, &e); code != http.StatusBadGateway || e.Error == "" {
+	if code, _ := ts.call("POST", "/v1/model/reload", nil, &e); code != http.StatusBadGateway || e.Error.Message == "" {
 		t.Errorf("corrupt reload = %d %+v, want 502", code, e)
 	}
 	var ready struct {
@@ -409,7 +409,7 @@ func TestCorruptReloadUnderTraffic(t *testing.T) {
 		Generation uint64 `json:"generation"`
 		LastError  string `json:"last_error"`
 	}
-	if code, _ := ts.call("GET", "/readyz", nil, &ready); code != 200 ||
+	if code, _ := ts.call("GET", "/v1/readyz", nil, &ready); code != 200 ||
 		ready.State != "ready" || ready.Generation != goodGen || ready.LastError == "" {
 		t.Errorf("readyz after corrupt reload = %d %+v", code, ready)
 	}
@@ -455,7 +455,7 @@ func TestDegradedModeServes(t *testing.T) {
 		State    string `json:"state"`
 		Degraded bool   `json:"degraded"`
 	}
-	if code, _ := ts.call("GET", "/readyz", nil, &ready); code != 200 ||
+	if code, _ := ts.call("GET", "/v1/readyz", nil, &ready); code != 200 ||
 		ready.State != "degraded" || !ready.Degraded {
 		t.Fatalf("readyz = %d %+v, want degraded", code, ready)
 	}
@@ -478,8 +478,8 @@ func TestDegradedModeServes(t *testing.T) {
 	}
 	// Topics genuinely need the model: honest 503, not silent garbage.
 	var e errorBody
-	if code, _ := ts.call("POST", "/v1/predict/topics", map[string]any{"user": 0, "post": 0}, &e); code != 503 ||
-		!strings.Contains(e.Error, "degraded") {
+	if code, _ := ts.call("POST", "/v1/topics", map[string]any{"user": 0, "post": 0}, &e); code != 503 ||
+		!strings.Contains(e.Error.Message, "degraded") {
 		t.Fatalf("degraded topics = %d %+v, want 503", code, e)
 	}
 
@@ -488,7 +488,7 @@ func TestDegradedModeServes(t *testing.T) {
 	if code, _ := ts.call("POST", "/v1/model/reload", nil, nil); code != 200 {
 		t.Fatalf("recovery reload = %d", code)
 	}
-	if code, _ := ts.call("GET", "/readyz", nil, &ready); code != 200 || ready.State != "ready" {
+	if code, _ := ts.call("GET", "/v1/readyz", nil, &ready); code != 200 || ready.State != "ready" {
 		t.Fatalf("readyz after recovery = %d %+v", code, ready)
 	}
 	if code, _ := ts.call("POST", "/v1/predict/retweet", body, &score); code != 200 || score.Degraded {
@@ -502,7 +502,7 @@ func TestNotReadyBeforeAnyModel(t *testing.T) {
 	var ready struct {
 		State string `json:"state"`
 	}
-	if code, _ := ts.call("GET", "/readyz", nil, &ready); code != 503 || ready.State != "starting" {
+	if code, _ := ts.call("GET", "/v1/readyz", nil, &ready); code != 503 || ready.State != "starting" {
 		t.Fatalf("readyz = %d %+v, want 503 starting", code, ready)
 	}
 	var e errorBody
