@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+)
+
+// benchRecord is the machine-readable sampler benchmark written by
+// `coldbench -json out.json`. One record per run; the repository keeps a
+// trajectory of them (BENCH_0.json is the seed-kernel baseline) so every
+// PR's sampler change is measured against the same workload.
+type benchRecord struct {
+	SchemaVersion int    `json:"schema_version"`
+	Timestamp     string `json:"timestamp"`
+	GitSHA        string `json:"git_sha"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Preset        string `json:"preset"`
+	Seed          uint64 `json:"seed"`
+
+	Dataset corpus.Stats `json:"dataset"`
+	C       int          `json:"communities"`
+	K       int          `json:"topics"`
+
+	Serial          core.SweepBench `json:"serial"`
+	Parallel        core.SweepBench `json:"parallel"`
+	ParallelSpeedup float64         `json:"parallel_speedup"`
+}
+
+// benchJSON times the serial and parallel Gibbs sweep on the given
+// dataset and writes one benchRecord to path.
+func benchJSON(path, preset string, data *corpus.Dataset, c, k, workers, warmup, sweeps int, seed uint64) error {
+	cfg := core.DefaultConfig(c, k)
+	cfg.Seed = seed
+
+	serial, err := core.BenchSweeps(data, cfg, warmup, sweeps)
+	if err != nil {
+		return fmt.Errorf("serial bench: %w", err)
+	}
+	pcfg := cfg
+	pcfg.Workers = workers
+	parallel, err := core.BenchSweeps(data, pcfg, warmup, sweeps)
+	if err != nil {
+		return fmt.Errorf("parallel bench: %w", err)
+	}
+
+	rec := benchRecord{
+		SchemaVersion:   1,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GitSHA:          gitSHA(),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Preset:          preset,
+		Seed:            seed,
+		Dataset:         data.Stats(),
+		C:               c,
+		K:               k,
+		Serial:          serial,
+		Parallel:        parallel,
+		ParallelSpeedup: serial.Seconds / parallel.Seconds,
+	}
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serial:   %.0f tokens/s  %.0f posts/s  %.0f links/s  %.2f sweeps/s  %.0f allocs/sweep\n",
+		serial.TokensPerSec, serial.PostsPerSec, serial.LinksPerSec, serial.SweepsPerSec, serial.AllocsPerSweep)
+	fmt.Printf("parallel: %.0f tokens/s  %.0f posts/s  %.0f links/s  %.2f sweeps/s  %.0f allocs/sweep  (%d workers, %.2fx)\n",
+		parallel.TokensPerSec, parallel.PostsPerSec, parallel.LinksPerSec, parallel.SweepsPerSec,
+		parallel.AllocsPerSweep, workers, rec.ParallelSpeedup)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// gitSHA resolves the current commit: from the binary's embedded VCS
+// stamp when present, else by asking git, else "unknown".
+func gitSHA() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	return "unknown"
+}

@@ -36,6 +36,10 @@ func main() {
 	format := flag.String("format", "table", "output format for series figures: table or tsv")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	metricsFlag := flag.Bool("metrics", false, "run the observability smoke: a tiny train+serve cycle that must update every registered metric")
+	jsonPath := flag.String("json", "", "time the Gibbs sweep and write a machine-readable benchmark record to this path instead of regenerating figures")
+	benchSweeps := flag.Int("bench-sweeps", 5, "timed sweeps per kernel for -json")
+	benchWarmup := flag.Int("bench-warmup", 2, "untimed warmup sweeps per kernel for -json")
+	benchWorkers := flag.Int("bench-workers", 4, "worker count for the parallel kernel in -json")
 	flag.Parse()
 
 	if *metricsFlag {
@@ -85,6 +89,13 @@ func main() {
 	}
 	if *topics > 0 {
 		k = *topics
+	}
+
+	if *jsonPath != "" {
+		if err := benchJSON(*jsonPath, *preset, data, c, k, *benchWorkers, *benchWarmup, *benchSweeps, *seed); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		return
 	}
 
 	sched := eval.DefaultSchedule()

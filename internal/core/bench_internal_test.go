@@ -23,15 +23,70 @@ func benchData(b *testing.B) (*state, *rng.RNG) {
 	return newState(data, cfg, r), r
 }
 
-// BenchmarkSweep measures one full serial Gibbs sweep (posts + links)
-// over the small preset (~4.9K posts, ~2.2K links).
-func BenchmarkSweep(b *testing.B) {
+// BenchmarkSweepSerial measures one full serial Gibbs sweep (posts +
+// links) over the small preset (~4.9K posts, ~2.2K links). Allocation
+// output should read 0 B/op: the kernel runs entirely on the state's
+// sweep scratch.
+func BenchmarkSweepSerial(b *testing.B) {
 	st, r := benchData(b)
+	st.ensureDerived()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.sweep(r)
 	}
 	b.ReportMetric(float64(len(st.data.Posts)), "posts")
+}
+
+// BenchmarkSweepParallel measures one GAS superstep of the parallel
+// sampler (4 workers) over the same preset.
+func BenchmarkSweepParallel(b *testing.B) {
+	data, _, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 8).withDefaults()
+	cfg.Workers = 4
+	p, err := newParallelSampler(data, cfg, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.sweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data.Posts)), "posts")
+}
+
+// BenchmarkSamplePostJoint isolates the blocked (c, z) post kernel —
+// the per-post cost every sweep pays ~|posts| times.
+func BenchmarkSamplePostJoint(b *testing.B) {
+	st, r := benchData(b)
+	d := st.ensureDerived()
+	n := len(st.data.Posts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.samplePostJoint(i%n, r, d)
+	}
+}
+
+// BenchmarkSampleLink isolates the Eq. (2) link-endpoint kernel.
+func BenchmarkSampleLink(b *testing.B) {
+	st, r := benchData(b)
+	d := st.ensureDerived()
+	n := len(st.data.Links)
+	if n == 0 {
+		b.Skip("preset has no links")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.sampleLink(i%n, r, d.scr.wc)
+	}
 }
 
 // BenchmarkLogLikelihood measures the convergence monitor.

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+)
+
+// SweepBench is the result of timing repeated Gibbs sweeps of one sampler
+// configuration. cmd/coldbench serialises it into the machine-readable
+// benchmark record that tracks the sampler's perf trajectory across PRs.
+type SweepBench struct {
+	Workers        int     `json:"workers"`
+	Sweeps         int     `json:"sweeps"`
+	Seconds        float64 `json:"seconds"`
+	SweepsPerSec   float64 `json:"sweeps_per_sec"`
+	PostsPerSec    float64 `json:"posts_per_sec"`
+	TokensPerSec   float64 `json:"tokens_per_sec"`
+	LinksPerSec    float64 `json:"links_per_sec"`
+	AllocsPerSweep float64 `json:"allocs_per_sweep"`
+	BytesPerSweep  float64 `json:"bytes_per_sweep"`
+}
+
+// BenchSweeps runs `warmup` untimed Gibbs sweeps followed by `sweeps`
+// timed ones and reports throughput and per-sweep heap allocation. The
+// sampler is serial for cfg.Workers <= 1 and the parallel GAS sampler
+// otherwise, exactly as in training. Allocation figures come from the
+// runtime's allocator counters, so run them on an otherwise quiet
+// process for clean numbers.
+func BenchSweeps(data *corpus.Dataset, cfg Config, warmup, sweeps int) (SweepBench, error) {
+	cfg, err := validateTrainInputs(data, cfg)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	smp, err := newSweeper(data, cfg, nil, nil)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	for i := 0; i < warmup; i++ {
+		if err := smp.sweep(); err != nil {
+			return SweepBench{}, err
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < sweeps; i++ {
+		if err := smp.sweep(); err != nil {
+			return SweepBench{}, err
+		}
+	}
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	tokens := 0
+	for j := range data.Posts {
+		tokens += data.Posts[j].Words.Len()
+	}
+	links := 0
+	if cfg.UseLinks {
+		links = len(data.Links)
+	}
+	perSec := func(n int) float64 { return float64(n) * float64(sweeps) / secs }
+	return SweepBench{
+		Workers:        cfg.Workers,
+		Sweeps:         sweeps,
+		Seconds:        secs,
+		SweepsPerSec:   float64(sweeps) / secs,
+		PostsPerSec:    perSec(len(data.Posts)),
+		TokensPerSec:   perSec(tokens),
+		LinksPerSec:    perSec(links),
+		AllocsPerSweep: float64(after.Mallocs-before.Mallocs) / float64(sweeps),
+		BytesPerSweep:  float64(after.TotalAlloc-before.TotalAlloc) / float64(sweeps),
+	}, nil
+}

@@ -6,6 +6,40 @@ import (
 	"github.com/cold-diffusion/cold/internal/rng"
 )
 
+// The post-sampling kernel is the training hot path: every sweep
+// evaluates the Eq. (1)×Eq. (3) joint weight for C·K cells per post. The
+// fast kernel factors that weight into
+//
+//	w(c,k) = u(c) · a(c,k) · τ(c,k,t) · W(k)
+//
+//	u(c)     = (n_i^{(c)} + ρ) / (n_c^{(·)} + Kα)       user × mixture denominator
+//	a(c,k)   = n_c^{(k)} + α                            topic-mixture numerator
+//	τ(c,k,t) = (n_{ck}^{(t)} + ε) / (n_{ck}^{(·)} + Tε) temporal term
+//	W(k)     = ∏_v ∏_q (n_k^{(v)}+β+q) / ∏_q (n_k^{(·)}+Vβ+q)
+//
+// and evaluates everything in the linear domain: W(k) is computed once
+// per topic (not once per cell), the denominators come from the
+// incrementally-maintained caches in kernelcache.go, and the per-cell
+// work is a handful of multiplies — no math.Log, no math.Exp. The
+// ascending-factorial ratio W(k) underflows for long posts (each token
+// contributes a factor of roughly 1/V), so posts longer than
+// fastTokenCap and any post whose best topic factor drops below
+// wordUnderflowFloor fall back to the log-domain reference kernel,
+// which is kept verbatim as the correctness baseline (the exactness
+// tests pin both paths to the enumerated posterior and to each other).
+const (
+	// fastTokenCap bounds the post length for the linear-domain word
+	// term: below it the separate numerator/denominator products cannot
+	// overflow (counts are ≤ ~1e6 per factor and 40 factors stay within
+	// float64 range) and rarely underflow.
+	fastTokenCap = 40
+	// wordUnderflowFloor is the smallest best-topic word factor the fast
+	// path accepts. Below it, low-probability cells would flush to
+	// subnormals or zero and distort the sampling distribution, so the
+	// kernel recomputes the post in the log domain.
+	wordUnderflowFloor = 1e-250
+)
+
 // sweep performs one full systematic-scan Gibbs sweep over all posts and
 // positive links. Post indicators are drawn from the joint conditional
 // over (c, z) — the product of the Eq. (1) and Eq. (3) factors — which
@@ -13,14 +47,13 @@ import (
 // than alternating the two coordinates when community and topic are
 // strongly coupled. Links use Eq. (2).
 func (st *state) sweep(r *rng.RNG) {
-	wc := make([]float64, st.cfg.C)
-	wck := make([]float64, st.cfg.C*st.cfg.K)
+	d := st.ensureDerived()
 	for j := range st.data.Posts {
-		st.samplePostJoint(j, r, wck)
+		st.samplePostJoint(j, r, d)
 	}
 	if st.cfg.UseLinks {
 		for l := range st.data.Links {
-			st.sampleLink(l, r, wc)
+			st.sampleLink(l, r, d.scr.wc)
 		}
 	}
 }
@@ -30,130 +63,249 @@ func (st *state) sweep(r *rng.RNG) {
 // the blocked sweep (the exactness test checks both) but mixes slower;
 // kept for reference and ablation.
 func (st *state) sweepAlternating(r *rng.RNG) {
-	wc := make([]float64, st.cfg.C)
-	wk := make([]float64, st.cfg.K)
+	d := st.ensureDerived()
 	for j := range st.data.Posts {
-		st.samplePostCommunity(j, r, wc)
-		st.samplePostTopic(j, r, wk)
+		st.samplePostCommunity(j, r, d)
+		st.samplePostTopic(j, r, d)
 	}
 	if st.cfg.UseLinks {
 		for l := range st.data.Links {
-			st.sampleLink(l, r, wc)
+			st.sampleLink(l, r, d.scr.wc)
 		}
 	}
 }
 
 // samplePostJoint resamples (c_ij, z_ij) jointly from the product of the
 // Eq. (1) and Eq. (3) conditionals.
-func (st *state) samplePostJoint(j int, r *rng.RNG, weights []float64) {
+func (st *state) samplePostJoint(j int, r *rng.RNG, d *derived) {
 	st.removePost(j)
-	p := &st.data.Posts[j]
-	t := p.Time
-	C, K := st.cfg.C, st.cfg.K
-	alpha, beta, eps := st.cfg.Alpha, st.cfg.Beta, st.cfg.Epsilon
-	vBeta := float64(st.data.V) * beta
-	tEps := float64(st.data.T) * eps
-	nTokens := p.Words.Len()
-
-	// Word term depends on z only; compute once per topic (log domain).
-	wordTerm := make([]float64, K)
-	for k := 0; k < K; k++ {
-		lw := 0.0
-		base := float64(st.nKVSum[k]) + vBeta
-		p.Words.Each(func(v, count int) {
-			nv := float64(st.nKV[k][v]) + beta
-			for q := 0; q < count; q++ {
-				lw += math.Log(nv + float64(q))
-			}
-		})
-		for q := 0; q < nTokens; q++ {
-			lw -= math.Log(base + float64(q))
-		}
-		wordTerm[k] = lw
+	total, ok := st.postJointWeightsFast(j, d)
+	if !ok {
+		total = st.postJointWeightsLog(j, d)
 	}
+	pick := r.CategoricalTotal(d.scr.wck, total)
+	st.c[j], st.z[j] = pick/st.cfg.K, pick%st.cfg.K
+	st.addPost(j)
+}
+
+// wordFactorsFast fills d.scr.wordW with the linear-domain word factors
+// W(k) for post p (which must currently be removed from the counters)
+// and reports whether the result is usable: false when the post is too
+// long for the linear domain or the factors underflowed.
+func (st *state) wordFactorsFast(p *postRef, d *derived) bool {
+	nTokens := p.nTokens
+	if nTokens > fastTokenCap {
+		return false
+	}
+	beta := st.cfg.Beta
+	wordW := d.scr.wordW
+	maxW := 0.0
+	for k := range wordW {
+		num := 1.0
+		row := st.nKV[k]
+		for i, v := range p.ids {
+			nv := float64(row[v]) + beta
+			for q := 0; q < p.counts[i]; q++ {
+				num *= nv + float64(q)
+			}
+		}
+		den := 1.0
+		base := d.denomKV[k]
+		for q := 0; q < nTokens; q++ {
+			den *= base + float64(q)
+		}
+		w := num / den
+		wordW[k] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return maxW >= wordUnderflowFloor
+}
+
+// wordTermsLog fills d.scr.wordW with the log-domain word terms log W(k)
+// — the reference computation. The numerator factors index the pooled
+// log(n+β) table (word-topic counts are small); the denominator's
+// ascending factorial collapses to a Lgamma difference.
+func (st *state) wordTermsLog(p *postRef, d *derived) {
+	beta := st.cfg.Beta
+	nTokens := p.nTokens
+	wordW := d.scr.wordW
+	for k := range wordW {
+		lw := 0.0
+		row := st.nKV[k]
+		for i, v := range p.ids {
+			n := row[v]
+			for q := 0; q < p.counts[i]; q++ {
+				lw += tableLog(d.logBeta, n+q, beta)
+			}
+		}
+		base := d.denomKV[k]
+		lgHi, _ := math.Lgamma(base + float64(nTokens))
+		lgLo, _ := math.Lgamma(base)
+		wordW[k] = lw - (lgHi - lgLo)
+	}
+}
+
+// postRef is the per-post view the kernels share: the bag-of-words
+// slices hoisted out of the BagOfWords iterator so the hot loops index
+// them directly, allocation-free.
+type postRef struct {
+	user, time int
+	ids        []int
+	counts     []int
+	nTokens    int
+}
+
+func (st *state) postRefAt(j int) postRef {
+	p := &st.data.Posts[j]
+	return postRef{
+		user:    p.User,
+		time:    p.Time,
+		ids:     p.Words.IDs,
+		counts:  p.Words.Counts,
+		nTokens: p.Words.Len(),
+	}
+}
+
+// postJointWeightsFast fills d.scr.wck with the factored linear-domain
+// joint weights for post j (currently removed from the counters) and
+// returns their sum. ok is false when the post needs the log-domain
+// path: the weights are then invalid and must be recomputed.
+func (st *state) postJointWeightsFast(j int, d *derived) (total float64, ok bool) {
+	p := st.postRefAt(j)
+	C, K := st.cfg.C, st.cfg.K
+	alpha, eps, rho := st.cfg.Alpha, st.cfg.Epsilon, st.cfg.Rho
+	if !st.wordFactorsFast(&p, d) {
+		return 0, false
+	}
+	t := p.time
+	wordW := d.scr.wordW
+	wck := d.scr.wck
+	user := st.nIC[p.user]
+	for c := 0; c < C; c++ {
+		u := (float64(user[c]) + rho) * d.invCK[c]
+		row := st.nCK[c]
+		ckBase := c * K
+		for k := 0; k < K; k++ {
+			ck := ckBase + k
+			w := u * (float64(row[k]) + alpha) * wordW[k] *
+				(float64(st.nCKT[ck][t]) + eps) * d.invCKT[ck]
+			wck[ck] = w
+			total += w
+		}
+	}
+	if !(total > 0) || math.IsInf(total, 1) {
+		return 0, false
+	}
+	return total, true
+}
+
+// postJointWeightsLog is the log-domain reference kernel: exact in
+// structure to the original implementation, used directly by long posts
+// and as the underflow fallback, and pinned against the fast path by the
+// exactness tests. It fills d.scr.wck with exp-normalised weights and
+// returns their sum.
+func (st *state) postJointWeightsLog(j int, d *derived) (total float64) {
+	p := st.postRefAt(j)
+	C, K := st.cfg.C, st.cfg.K
+	alpha, eps, rho := st.cfg.Alpha, st.cfg.Epsilon, st.cfg.Rho
+	st.wordTermsLog(&p, d)
+	t := p.time
+	wordW := d.scr.wordW
+	wck := d.scr.wck
+	user := st.nIC[p.user]
 	maxLog := math.Inf(-1)
 	for c := 0; c < C; c++ {
-		userTerm := math.Log(float64(st.nIC[p.User][c]) + st.cfg.Rho)
-		commDen := math.Log(float64(st.nCKSum[c]) + float64(K)*alpha)
+		userTerm := math.Log(float64(user[c])+rho) - math.Log(d.denomCK[c])
 		for k := 0; k < K; k++ {
 			ck := c*K + k
-			lw := userTerm + wordTerm[k]
-			lw += math.Log(float64(st.nCK[c][k])+alpha) - commDen
-			lw += math.Log(float64(st.nCKT[ck][t])+eps) - math.Log(float64(st.nCKTSum[ck])+tEps)
-			weights[ck] = lw
+			lw := userTerm + wordW[k]
+			lw += math.Log(float64(st.nCK[c][k]) + alpha)
+			lw += tableLog(d.logEps, st.nCKT[ck][t], eps) - math.Log(d.denomCKT[ck])
+			wck[ck] = lw
 			if lw > maxLog {
 				maxLog = lw
 			}
 		}
 	}
-	for i := range weights {
-		weights[i] = math.Exp(weights[i] - maxLog)
+	for i := range wck {
+		w := math.Exp(wck[i] - maxLog)
+		wck[i] = w
+		total += w
 	}
-	pick := r.Categorical(weights)
-	st.c[j], st.z[j] = pick/K, pick%K
-	st.addPost(j)
+	return total
 }
 
 // samplePostCommunity resamples c_ij from Eq. (1), conditioned on the
 // post's current topic. The first factor's denominator n_i^{(·)}+Cρ is
 // constant in c and dropped.
-func (st *state) samplePostCommunity(j int, r *rng.RNG, weights []float64) {
+func (st *state) samplePostCommunity(j int, r *rng.RNG, d *derived) {
 	st.removePost(j)
 	p := &st.data.Posts[j]
 	k, t := st.z[j], p.Time
 	K := st.cfg.K
-	alpha, eps := st.cfg.Alpha, st.cfg.Epsilon
-	kAlpha := float64(K) * alpha
-	tEps := float64(st.data.T) * eps
+	alpha, eps, rho := st.cfg.Alpha, st.cfg.Epsilon, st.cfg.Rho
+	user := st.nIC[p.User]
+	weights := d.scr.wc
+	total := 0.0
 	for c := 0; c < st.cfg.C; c++ {
 		ck := c*K + k
-		w := (float64(st.nIC[p.User][c]) + st.cfg.Rho) *
-			(float64(st.nCK[c][k]) + alpha) / (float64(st.nCKSum[c]) + kAlpha) *
-			(float64(st.nCKT[ck][t]) + eps) / (float64(st.nCKTSum[ck]) + tEps)
+		w := (float64(user[c]) + rho) *
+			(float64(st.nCK[c][k]) + alpha) * d.invCK[c] *
+			(float64(st.nCKT[ck][t]) + eps) * d.invCKT[ck]
 		weights[c] = w
+		total += w
 	}
-	st.c[j] = r.Categorical(weights)
+	st.c[j] = r.CategoricalTotal(weights, total)
 	st.addPost(j)
 }
 
 // samplePostTopic resamples z_ij from Eq. (3), conditioned on the post's
-// current community. The word likelihood uses the ascending-factorial
-// ratio over the post's repeated words, computed in the log domain for
-// stability on longer posts.
-func (st *state) samplePostTopic(j int, r *rng.RNG, weights []float64) {
+// current community. It shares the factored word term with the joint
+// kernel: linear domain with the same underflow fallback.
+func (st *state) samplePostTopic(j int, r *rng.RNG, d *derived) {
 	st.removePost(j)
-	p := &st.data.Posts[j]
-	c, t := st.c[j], p.Time
+	p := st.postRefAt(j)
+	c, t := st.c[j], p.time
 	K := st.cfg.K
-	alpha, beta, eps := st.cfg.Alpha, st.cfg.Beta, st.cfg.Epsilon
-	vBeta := float64(st.data.V) * beta
-	tEps := float64(st.data.T) * eps
-	nTokens := p.Words.Len()
-
-	maxLog := math.Inf(-1)
-	for k := 0; k < K; k++ {
-		ck := c*K + k
-		lw := math.Log(float64(st.nCK[c][k]) + alpha)
-		lw += math.Log(float64(st.nCKT[ck][t])+eps) - math.Log(float64(st.nCKTSum[ck])+tEps)
-		base := float64(st.nKVSum[k]) + vBeta
-		p.Words.Each(func(v, count int) {
-			nv := float64(st.nKV[k][v]) + beta
-			for q := 0; q < count; q++ {
-				lw += math.Log(nv + float64(q))
+	alpha, eps := st.cfg.Alpha, st.cfg.Epsilon
+	weights := d.scr.wk
+	wordW := d.scr.wordW
+	total := 0.0
+	ok := st.wordFactorsFast(&p, d)
+	if ok {
+		for k := 0; k < K; k++ {
+			ck := c*K + k
+			w := wordW[k] * (float64(st.nCK[c][k]) + alpha) *
+				(float64(st.nCKT[ck][t]) + eps) * d.invCKT[ck]
+			weights[k] = w
+			total += w
+		}
+		if !(total > 0) || math.IsInf(total, 1) {
+			ok = false
+		}
+	}
+	if !ok {
+		st.wordTermsLog(&p, d)
+		maxLog := math.Inf(-1)
+		for k := 0; k < K; k++ {
+			ck := c*K + k
+			lw := wordW[k] + math.Log(float64(st.nCK[c][k])+alpha)
+			lw += tableLog(d.logEps, st.nCKT[ck][t], eps) - math.Log(d.denomCKT[ck])
+			weights[k] = lw
+			if lw > maxLog {
+				maxLog = lw
 			}
-		})
-		for q := 0; q < nTokens; q++ {
-			lw -= math.Log(base + float64(q))
 		}
-		weights[k] = lw
-		if lw > maxLog {
-			maxLog = lw
+		total = 0
+		for k := 0; k < K; k++ {
+			w := math.Exp(weights[k] - maxLog)
+			weights[k] = w
+			total += w
 		}
 	}
-	for k := 0; k < K; k++ {
-		weights[k] = math.Exp(weights[k] - maxLog)
-	}
-	st.z[j] = r.Categorical(weights)
+	st.z[j] = r.CategoricalTotal(weights, total)
 	st.addPost(j)
 }
 
@@ -170,19 +322,27 @@ func (st *state) sampleLink(l int, r *rng.RNG, weights []float64) {
 
 	// Source endpoint s given s'.
 	b := st.sp[l]
+	from := st.nIC[e.From]
+	total := 0.0
 	for c := 0; c < st.cfg.C; c++ {
 		n := float64(st.nCC[c][b])
-		weights[c] = (float64(st.nIC[e.From][c]) + rho) * (n + l1) / (n + st.negMass(c, b) + l1)
+		w := (float64(from[c]) + rho) * (n + l1) / (n + st.negMass(c, b) + l1)
+		weights[c] = w
+		total += w
 	}
-	st.s[l] = r.Categorical(weights)
+	st.s[l] = r.CategoricalTotal(weights, total)
 
 	// Destination endpoint s' given the fresh s.
 	a := st.s[l]
+	to := st.nIC[e.To]
+	total = 0.0
 	for c := 0; c < st.cfg.C; c++ {
 		n := float64(st.nCC[a][c])
-		weights[c] = (float64(st.nIC[e.To][c]) + rho) * (n + l1) / (n + st.negMass(a, c) + l1)
+		w := (float64(to[c]) + rho) * (n + l1) / (n + st.negMass(a, c) + l1)
+		weights[c] = w
+		total += w
 	}
-	st.sp[l] = r.Categorical(weights)
+	st.sp[l] = r.CategoricalTotal(weights, total)
 	st.addLink(l)
 }
 
@@ -190,21 +350,35 @@ func (st *state) sampleLink(l int, r *rng.RNG, weights []float64) {
 // under the current assignments: words given topics, time stamps given
 // (community, topic), and positive links given community pairs. It is the
 // convergence monitor of §4.3; only differences between sweeps matter.
+//
+// The per-topic and per-(c,k) log denominators are hoisted out of the
+// post loop into the sweep scratch (they are constant during the scan),
+// and the small-count word/time logs come from the pooled tables, so the
+// monitor costs one pass over the tokens rather than a Log per factor.
 func (st *state) logLikelihood() float64 {
+	d := st.ensureDerived()
 	beta, eps := st.cfg.Beta, st.cfg.Epsilon
-	vBeta := float64(st.data.V) * beta
-	tEps := float64(st.data.T) * eps
 	ll := 0.0
 	K := st.cfg.K
+	logWordBase := d.scr.wordW // log(nKVSum[k]+Vβ), hoisted per call
+	for k := range logWordBase {
+		logWordBase[k] = math.Log(d.denomKV[k])
+	}
+	logCKTDen := d.scr.wck // log(nCKTSum[ck]+Tε), hoisted per call
+	for ck := range logCKTDen {
+		logCKTDen[ck] = math.Log(d.denomCKT[ck])
+	}
 	for j := range st.data.Posts {
 		p := &st.data.Posts[j]
 		k := st.z[j]
 		ck := st.c[j]*K + k
-		wordBase := math.Log(float64(st.nKVSum[k]) + vBeta)
-		p.Words.Each(func(v, count int) {
-			ll += float64(count) * (math.Log(float64(st.nKV[k][v])+beta) - wordBase)
-		})
-		ll += math.Log(float64(st.nCKT[ck][p.Time])+eps) - math.Log(float64(st.nCKTSum[ck])+tEps)
+		wordBase := logWordBase[k]
+		row := st.nKV[k]
+		ids, counts := p.Words.IDs, p.Words.Counts
+		for i, v := range ids {
+			ll += float64(counts[i]) * (tableLog(d.logBeta, row[v], beta) - wordBase)
+		}
+		ll += tableLog(d.logEps, st.nCKT[ck][p.Time], eps) - logCKTDen[ck]
 	}
 	if st.cfg.UseLinks {
 		l1 := st.cfg.Lambda1

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// The fast Gibbs kernel (gibbs.go) works in the linear domain and pays
+// for it with bookkeeping: the denominators of the Eq. (1)/Eq. (3)
+// factors are kept as float caches maintained incrementally at every
+// addPost/removePost instead of being re-derived per post, and every
+// per-post buffer lives in a per-state scratch struct so a full sweep
+// performs zero heap allocations.
+//
+// Cache invariants (checked by TestDerivedCachesMatchCounters):
+//
+//	denomCK[c]   == float64(nCKSum[c])  + K*alpha     invCK  == 1/denomCK
+//	denomCKT[ck] == float64(nCKTSum[ck]) + T*epsilon  invCKT == 1/denomCKT
+//	denomKV[k]   == float64(nKVSum[k])  + V*beta
+//
+// Every maintenance site recomputes the cache entry from the integer
+// counter ("set to f(count)", never "+= 1.0"), so the cached value is
+// bit-identical to the one rebuildCounts derives from scratch — which is
+// what keeps checkpoint resume and rollback bit-identical to an
+// uninterrupted run: caches are derived state, never serialized.
+// addLink/removeLink touch none of the three underlying counters, so the
+// invariants hold trivially across link moves.
+type derived struct {
+	kAlpha float64 // K*alpha
+	tEps   float64 // T*epsilon
+	vBeta  float64 // V*beta
+
+	denomCK  []float64 // [C]   nCKSum[c]+Kα
+	invCK    []float64 // [C]   1/denomCK[c]
+	denomCKT []float64 // [C*K] nCKTSum[ck]+Tε
+	invCKT   []float64 // [C*K] 1/denomCKT[ck]
+	denomKV  []float64 // [K]   nKVSum[k]+Vβ
+
+	logBeta []float64 // logBeta[n] = log(n+β); word-topic counts are small
+	logEps  []float64 // logEps[n] = log(n+ε); per-(c,k,t) counts are small
+
+	scr sweepScratch
+}
+
+// sweepScratch holds every buffer the sampling kernels and the
+// likelihood monitor need, sized once per state.
+type sweepScratch struct {
+	wck   []float64 // C*K joint post weights
+	wc    []float64 // C   community / link-endpoint weights
+	wk    []float64 // K   topic weights (alternating kernel)
+	wordW []float64 // K   per-topic word factors (linear or log domain)
+}
+
+// ensureDerived returns the state's derived caches, building them on
+// first use. States assembled without sampling in mind (tests that only
+// score assignments) never pay for them.
+func (st *state) ensureDerived() *derived {
+	if st.dv == nil {
+		st.dv = newDerived(st)
+	}
+	return st.dv
+}
+
+func newDerived(st *state) *derived {
+	C, K := st.cfg.C, st.cfg.K
+	d := &derived{
+		kAlpha:   float64(K) * st.cfg.Alpha,
+		tEps:     float64(st.data.T) * st.cfg.Epsilon,
+		vBeta:    float64(st.data.V) * st.cfg.Beta,
+		denomCK:  make([]float64, C),
+		invCK:    make([]float64, C),
+		denomCKT: make([]float64, C*K),
+		invCKT:   make([]float64, C*K),
+		denomKV:  make([]float64, K),
+		logBeta:  logTable(st.cfg.Beta),
+		logEps:   logTable(st.cfg.Epsilon),
+		scr: sweepScratch{
+			wck:   make([]float64, C*K),
+			wc:    make([]float64, C),
+			wk:    make([]float64, K),
+			wordW: make([]float64, K),
+		},
+	}
+	d.refresh(st)
+	return d
+}
+
+// refresh recomputes every cache entry from the integer counters. Called
+// at construction and from rebuildCounts (rollback, resume), because a
+// rebuild zeroes counters without visiting entries that end with no
+// posts.
+func (d *derived) refresh(st *state) {
+	for c := range d.denomCK {
+		d.denomCK[c] = float64(st.nCKSum[c]) + d.kAlpha
+		d.invCK[c] = 1 / d.denomCK[c]
+	}
+	for ck := range d.denomCKT {
+		d.denomCKT[ck] = float64(st.nCKTSum[ck]) + d.tEps
+		d.invCKT[ck] = 1 / d.denomCKT[ck]
+	}
+	for k := range d.denomKV {
+		d.denomKV[k] = float64(st.nKVSum[k]) + d.vBeta
+	}
+}
+
+// postMoved maintains the caches after addPost/removePost updated the
+// counters for a post in community c, topic z, cell ck.
+func (d *derived) postMoved(st *state, c, z, ck int) {
+	d.denomCK[c] = float64(st.nCKSum[c]) + d.kAlpha
+	d.invCK[c] = 1 / d.denomCK[c]
+	d.denomCKT[ck] = float64(st.nCKTSum[ck]) + d.tEps
+	d.invCKT[ck] = 1 / d.denomCKT[ck]
+	d.denomKV[z] = float64(st.nKVSum[z]) + d.vBeta
+}
+
+// logAt returns log(n+off) for the table built with offset off,
+// falling back to math.Log beyond the table.
+func tableLog(tab []float64, n int, off float64) float64 {
+	if n >= 0 && n < len(tab) {
+		return tab[n]
+	}
+	return math.Log(float64(n) + off)
+}
+
+// logTableSize covers the small integer counts that dominate the word
+// and time terms; larger counts fall back to math.Log.
+const logTableSize = 4096
+
+// logTables memoises log(n+off) tables per offset: every serial state,
+// materialized parallel snapshot and rollback rebuild with the same
+// hyper-parameters shares one table.
+var (
+	logTabMu    sync.Mutex
+	logTabCache = map[float64][]float64{}
+)
+
+func logTable(off float64) []float64 {
+	logTabMu.Lock()
+	defer logTabMu.Unlock()
+	if tab, ok := logTabCache[off]; ok {
+		return tab
+	}
+	tab := make([]float64, logTableSize)
+	for n := range tab {
+		tab[n] = math.Log(float64(n) + off)
+	}
+	logTabCache[off] = tab
+	return tab
+}

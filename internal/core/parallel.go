@@ -124,6 +124,47 @@ func (p *coldProgram) Sum(a, b []int32) []int32 {
 	return a
 }
 
+// GatherInto is the allocation-free gather path (gas.InPlaceGatherer):
+// the engine hands each worker one recyclable accumulator, so the
+// gather phase stops allocating a count vector per incident edge.
+func (p *coldProgram) GatherInto(g *gas.Graph[coldVD, coldED], v int32, e *gas.Edge[coldED], acc []int32, has bool) []int32 {
+	vd := &g.Vertices[v]
+	size := p.cfg.C * p.cfg.K
+	if vd.user {
+		size = p.cfg.C
+	}
+	if !has {
+		if cap(acc) < size {
+			acc = make([]int32, size)
+		} else {
+			acc = acc[:size]
+			for i := range acc {
+				acc[i] = 0
+			}
+		}
+	}
+	if vd.user {
+		if e.Data.link >= 0 {
+			l := e.Data.link
+			if e.Src == v {
+				acc[p.s[l]]++
+			} else {
+				acc[p.sp[l]]++
+			}
+		} else {
+			for _, j := range e.Data.posts {
+				acc[p.c[j]]++
+			}
+		}
+		return acc
+	}
+	K := p.cfg.K
+	for _, j := range e.Data.posts {
+		acc[p.c[j]*K+p.z[j]]++
+	}
+	return acc
+}
+
 // Apply installs the folded counts as the vertex's local counters.
 func (p *coldProgram) Apply(g *gas.Graph[coldVD, coldED], v int32, acc []int32, has bool) {
 	vd := &g.Vertices[v]
@@ -172,6 +213,7 @@ func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[col
 
 		// Eq. (1): resample the community given the current topic.
 		k := oldZ
+		total := 0.0
 		for c := 0; c < C; c++ {
 			ck := c*K + k
 			own := c == oldC // post contributes to c's counters iff c == oldC (z fixed at oldZ)
@@ -180,50 +222,102 @@ func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[col
 			nCKSum := excl(p.nCKSum[c], own)
 			nCKT := excl(int64(timeCounts[ck]), own)
 			nCKTSum := nCK // one time stamp per post
-			ctx.wc[c] = (nIC + cfg.Rho) *
+			w := (nIC + cfg.Rho) *
 				(nCK + cfg.Alpha) / (nCKSum + kAlpha) *
 				(nCKT + cfg.Epsilon) / (nCKTSum + tEps)
+			ctx.wc[c] = w
+			total += w
 		}
-		newC := ctx.r.Categorical(ctx.wc)
+		newC := ctx.r.CategoricalTotal(ctx.wc, total)
 		p.c[j] = newC
 
-		// Eq. (3): resample the topic given the fresh community.
+		// Eq. (3): resample the topic given the fresh community. Same
+		// factored linear-domain kernel as the serial sampler (gibbs.go),
+		// against the superstep's snapshot counters, with the identical
+		// underflow fallback to the log-domain reference.
 		nTokens := post.Words.Len()
-		maxLog := math.Inf(-1)
-		for k := 0; k < K; k++ {
-			ck := newC*K + k
-			own := newC == oldC && k == oldZ
-			nCK := excl(p.nCK[ck], own)
-			nCKT := excl(int64(timeCounts[ck]), own)
-			lw := math.Log(nCK + cfg.Alpha)
-			lw += math.Log(nCKT+cfg.Epsilon) - math.Log(nCK+tEps)
-			ownWords := k == oldZ
-			base := float64(p.nKVSum[k]) + vBeta
-			if ownWords {
-				base -= float64(nTokens)
-			}
-			kOff := k * V
-			post.Words.Each(func(v, count int) {
-				nv := float64(p.nKV[kOff+v]) + cfg.Beta
+		ids, counts := post.Words.IDs, post.Words.Counts
+		fast := nTokens <= fastTokenCap
+		if fast {
+			maxW := 0.0
+			total = 0
+			for k := 0; k < K; k++ {
+				ck := newC*K + k
+				own := newC == oldC && k == oldZ
+				nCK := excl(p.nCK[ck], own)
+				nCKT := excl(int64(timeCounts[ck]), own)
+				ownWords := k == oldZ
+				base := float64(p.nKVSum[k]) + vBeta
 				if ownWords {
-					nv -= float64(count)
+					base -= float64(nTokens)
 				}
-				for q := 0; q < count; q++ {
-					lw += math.Log(nv + float64(q))
+				kOff := k * V
+				num := 1.0
+				for i, v := range ids {
+					nv := float64(p.nKV[kOff+v]) + cfg.Beta
+					if ownWords {
+						nv -= float64(counts[i])
+					}
+					for q := 0; q < counts[i]; q++ {
+						num *= nv + float64(q)
+					}
 				}
-			})
-			for q := 0; q < nTokens; q++ {
-				lw -= math.Log(base + float64(q))
+				den := 1.0
+				for q := 0; q < nTokens; q++ {
+					den *= base + float64(q)
+				}
+				w := num / den
+				if w > maxW {
+					maxW = w
+				}
+				w *= (nCK + cfg.Alpha) * (nCKT + cfg.Epsilon) / (nCK + tEps)
+				ctx.wk[k] = w
+				total += w
 			}
-			ctx.wk[k] = lw
-			if lw > maxLog {
-				maxLog = lw
+			if maxW < wordUnderflowFloor || !(total > 0) || math.IsInf(total, 1) {
+				fast = false
 			}
 		}
-		for k := 0; k < K; k++ {
-			ctx.wk[k] = math.Exp(ctx.wk[k] - maxLog)
+		if !fast {
+			maxLog := math.Inf(-1)
+			for k := 0; k < K; k++ {
+				ck := newC*K + k
+				own := newC == oldC && k == oldZ
+				nCK := excl(p.nCK[ck], own)
+				nCKT := excl(int64(timeCounts[ck]), own)
+				lw := math.Log(nCK + cfg.Alpha)
+				lw += math.Log(nCKT+cfg.Epsilon) - math.Log(nCK+tEps)
+				ownWords := k == oldZ
+				base := float64(p.nKVSum[k]) + vBeta
+				if ownWords {
+					base -= float64(nTokens)
+				}
+				kOff := k * V
+				for i, v := range ids {
+					nv := float64(p.nKV[kOff+v]) + cfg.Beta
+					if ownWords {
+						nv -= float64(counts[i])
+					}
+					for q := 0; q < counts[i]; q++ {
+						lw += math.Log(nv + float64(q))
+					}
+				}
+				for q := 0; q < nTokens; q++ {
+					lw -= math.Log(base + float64(q))
+				}
+				ctx.wk[k] = lw
+				if lw > maxLog {
+					maxLog = lw
+				}
+			}
+			total = 0
+			for k := 0; k < K; k++ {
+				w := math.Exp(ctx.wk[k] - maxLog)
+				ctx.wk[k] = w
+				total += w
+			}
 		}
-		newZ := ctx.r.Categorical(ctx.wk)
+		newZ := ctx.r.CategoricalTotal(ctx.wk, total)
 		p.z[j] = newZ
 
 		// Record deltas against the snapshot.
@@ -234,10 +328,10 @@ func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[col
 			ctx.dNCKSum[newC]++
 		}
 		if newZ != oldZ {
-			post.Words.Each(func(v, count int) {
-				ctx.dNKV[oldZ*V+v] -= int64(count)
-				ctx.dNKV[newZ*V+v] += int64(count)
-			})
+			for i, v := range ids {
+				ctx.dNKV[oldZ*V+v] -= int64(counts[i])
+				ctx.dNKV[newZ*V+v] += int64(counts[i])
+			}
 			ctx.dNKVSum[oldZ] -= int64(nTokens)
 			ctx.dNKVSum[newZ] += int64(nTokens)
 		}
@@ -254,6 +348,7 @@ func (p *coldProgram) scatterLink(g *gas.Graph[coldVD, coldED], e *gas.Edge[cold
 	l1 := cfg.Lambda1
 
 	// Source endpoint given the destination's current community.
+	total := 0.0
 	for c := 0; c < C; c++ {
 		nIC := float64(srcCounts[c])
 		if c == oldA {
@@ -263,11 +358,14 @@ func (p *coldProgram) scatterLink(g *gas.Graph[coldVD, coldED], e *gas.Edge[cold
 		if c == oldA {
 			n--
 		}
-		ctx.wc[c] = (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(c, oldB) + l1)
+		w := (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(c, oldB) + l1)
+		ctx.wc[c] = w
+		total += w
 	}
-	newA := ctx.r.Categorical(ctx.wc)
+	newA := ctx.r.CategoricalTotal(ctx.wc, total)
 
 	// Destination endpoint given the fresh source community.
+	total = 0
 	for c := 0; c < C; c++ {
 		nIC := float64(dstCounts[c])
 		if c == oldB {
@@ -277,9 +375,11 @@ func (p *coldProgram) scatterLink(g *gas.Graph[coldVD, coldED], e *gas.Edge[cold
 		if newA == oldA && c == oldB {
 			n--
 		}
-		ctx.wc[c] = (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(newA, c) + l1)
+		w := (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(newA, c) + l1)
+		ctx.wc[c] = w
+		total += w
 	}
-	newB := ctx.r.Categorical(ctx.wc)
+	newB := ctx.r.CategoricalTotal(ctx.wc, total)
 
 	p.s[l], p.sp[l] = newA, newB
 	if newA != oldA || newB != oldB {
@@ -392,7 +492,12 @@ type parallelSampler struct {
 	prog   *coldProgram
 	engine coldEngine
 	r      *rng.RNG // main stream; only consumed during initialisation
-	snap   *state   // materialized counters of the latest sweep
+	// snap is the serial-state view of the program's assignments, built
+	// once and then refreshed in place (rebuildCounts) when dirty; it
+	// shares the c/z/s/sp backing slices with prog, so a refresh only
+	// re-derives counters — no per-sweep allocation.
+	snap      *state
+	snapDirty bool
 }
 
 func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics) (*parallelSampler, error) {
@@ -493,19 +598,20 @@ func (p *parallelSampler) sweep() (err error) {
 			err = fmt.Errorf("core: parallel sweep panicked: %v", rec)
 		}
 	}()
-	if err := p.engine.Step(); err != nil {
-		p.snap = nil
-		return err
-	}
-	p.snap = p.prog.materialize()
-	return nil
+	p.snapDirty = true
+	return p.engine.Step()
 }
 
-// materialized returns the counters of the latest sweep, computing them
-// on demand before the first sweep (e.g. a run cancelled immediately).
+// materialized returns the counters of the latest sweep, refreshing the
+// persistent snapshot state in place when a sweep (or rollback) has run
+// since the last call.
 func (p *parallelSampler) materialized() *state {
 	if p.snap == nil {
 		p.snap = p.prog.materialize()
+		p.snapDirty = false
+	} else if p.snapDirty {
+		p.snap.rebuildCounts()
+		p.snapDirty = false
 	}
 	return p.snap
 }
@@ -563,7 +669,7 @@ func (p *parallelSampler) setAssignments(c, z, s, sp []int) error {
 	for _, ctx := range p.engine.Ctxs() {
 		ctx.zeroDeltas()
 	}
-	p.snap = nil
+	p.snapDirty = true
 	return nil
 }
 

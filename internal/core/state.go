@@ -36,6 +36,13 @@ type state struct {
 	nCC     [][]int // [C][C] positive links assigned to community pair
 	nSC     []int   // [C] source link endpoints per community
 	nDC     []int   // [C] destination link endpoints per community
+
+	// dv caches the float denominators, log tables and sweep scratch of
+	// the fast sampling kernel (see kernelcache.go). It is derived state:
+	// a pure function of the counters above, built lazily on first use,
+	// maintained by addPost/removePost, refreshed by rebuildCounts, and
+	// never serialized.
+	dv *derived
 }
 
 // negMass returns the negative-link pseudo-count for community pair
@@ -164,6 +171,11 @@ func (st *state) rebuildCounts() {
 			st.addLink(l)
 		}
 	}
+	// The incremental maintenance above never visits cache entries whose
+	// final count is zero, so recompute them all from the counters.
+	if st.dv != nil {
+		st.dv.refresh(st)
+	}
 }
 
 // negativeCounter returns the name of the first negative count matrix
@@ -239,6 +251,9 @@ func (st *state) addPost(j int) {
 		st.nKV[z][v] += count
 		st.nKVSum[z] += count
 	})
+	if st.dv != nil {
+		st.dv.postMoved(st, c, z, ck)
+	}
 }
 
 // removePost unregisters post j's current (c, z) assignment.
@@ -256,6 +271,9 @@ func (st *state) removePost(j int) {
 		st.nKV[z][v] -= count
 		st.nKVSum[z] -= count
 	})
+	if st.dv != nil {
+		st.dv.postMoved(st, c, z, ck)
+	}
 }
 
 // addLink registers link l's current (s, s') assignment.

@@ -13,6 +13,7 @@ import "github.com/cold-diffusion/cold/internal/faultinject"
 type ChromaticEngine[VD, ED, Acc, Ctx any] struct {
 	g       *Graph[VD, ED]
 	p       Program[VD, ED, Acc, Ctx]
+	ipg     InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
 	workers int
 	ctxs    []Ctx
 	colors  [][]int32 // edge ids per colour class
@@ -29,6 +30,7 @@ func NewChromaticEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED
 		workers = 1
 	}
 	e := &ChromaticEngine[VD, ED, Acc, Ctx]{g: g, p: p, workers: workers}
+	e.ipg, _ = p.(InPlaceGatherer[VD, ED, Acc, Ctx])
 	e.ctxs = make([]Ctx, workers)
 	for w := 0; w < workers; w++ {
 		e.ctxs[w] = p.NewCtx(w)
@@ -94,20 +96,7 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
 // Engine.Step.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
 	if err := runBlocks(e.m, e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			vid := int32(v)
-			var acc Acc
-			has := false
-			for _, eid := range e.g.incident[v] {
-				a := e.p.Gather(e.g, vid, &e.g.Edges[eid])
-				if !has {
-					acc, has = a, true
-				} else {
-					acc = e.p.Sum(acc, a)
-				}
-			}
-			e.p.Apply(e.g, vid, acc, has)
-		}
+		gatherApply(e.g, e.p, e.ipg, lo, hi)
 	}); err != nil {
 		return err
 	}

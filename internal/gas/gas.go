@@ -130,12 +130,57 @@ type Program[VD, ED, Acc, Ctx any] interface {
 	Merge(ctxs []Ctx)
 }
 
+// InPlaceGatherer is an optional Program extension for allocation-free
+// gathering. When a program implements it, the engines fold each
+// vertex's incident edges into a worker-local accumulator that is
+// recycled between vertices instead of calling Gather/Sum, which must
+// allocate a fresh accumulator per edge. GatherInto receives has=false
+// on a vertex's first edge and must then (re)initialise acc — growing it
+// if needed — before folding; Apply must copy out of acc rather than
+// retain it, since the next vertex on the same worker reuses the buffer.
+type InPlaceGatherer[VD, ED, Acc, Ctx any] interface {
+	GatherInto(g *Graph[VD, ED], v int32, e *Edge[ED], acc Acc, has bool) Acc
+}
+
+// gatherApply runs the gather+apply phase for vertices [lo, hi), using
+// the in-place path when the program supports it.
+func gatherApply[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ctx], ipg InPlaceGatherer[VD, ED, Acc, Ctx], lo, hi int) {
+	if ipg != nil {
+		var acc Acc // worker-local; recycled across this block's vertices
+		for v := lo; v < hi; v++ {
+			vid := int32(v)
+			has := false
+			for _, eid := range g.incident[v] {
+				acc = ipg.GatherInto(g, vid, &g.Edges[eid], acc, has)
+				has = true
+			}
+			p.Apply(g, vid, acc, has)
+		}
+		return
+	}
+	for v := lo; v < hi; v++ {
+		vid := int32(v)
+		var acc Acc
+		has := false
+		for _, eid := range g.incident[v] {
+			a := p.Gather(g, vid, &g.Edges[eid])
+			if !has {
+				acc, has = a, true
+			} else {
+				acc = p.Sum(acc, a)
+			}
+		}
+		p.Apply(g, vid, acc, has)
+	}
+}
+
 // Engine drives supersteps of a Program over a finalized Graph with a
 // fixed worker pool. Work is split into contiguous blocks per worker so
 // a given (graph, workers) pair is deterministic.
 type Engine[VD, ED, Acc, Ctx any] struct {
 	g       *Graph[VD, ED]
 	p       Program[VD, ED, Acc, Ctx]
+	ipg     InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
 	workers int
 	ctxs    []Ctx
 	m       *Metrics
@@ -150,6 +195,7 @@ func NewEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ct
 		workers = 1
 	}
 	e := &Engine[VD, ED, Acc, Ctx]{g: g, p: p, workers: workers}
+	e.ipg, _ = p.(InPlaceGatherer[VD, ED, Acc, Ctx])
 	e.ctxs = make([]Ctx, workers)
 	for w := 0; w < workers; w++ {
 		e.ctxs[w] = p.NewCtx(w)
@@ -175,20 +221,7 @@ func (e *Engine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
 // caller should discard or roll back the program state.
 func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
 	if err := runBlocks(e.m, e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			vid := int32(v)
-			var acc Acc
-			has := false
-			for _, eid := range e.g.incident[v] {
-				a := e.p.Gather(e.g, vid, &e.g.Edges[eid])
-				if !has {
-					acc, has = a, true
-				} else {
-					acc = e.p.Sum(acc, a)
-				}
-			}
-			e.p.Apply(e.g, vid, acc, has)
-		}
+		gatherApply(e.g, e.p, e.ipg, lo, hi)
 	}); err != nil {
 		return err
 	}

@@ -162,6 +162,15 @@ func (r *RNG) Categorical(weights []float64) int {
 	for _, w := range weights {
 		total += w
 	}
+	return r.CategoricalTotal(weights, total)
+}
+
+// CategoricalTotal draws an index proportional to the non-negative
+// weights whose sum the caller has already computed (typically while
+// filling the slice), saving the summing pass that Categorical pays. It
+// consumes exactly one uniform draw, like Categorical, and panics if the
+// total is not positive and finite.
+func (r *RNG) CategoricalTotal(weights []float64, total float64) int {
 	if !(total > 0) || math.IsInf(total, 1) {
 		panic("rng: Categorical with non-positive or non-finite total weight")
 	}

@@ -382,3 +382,33 @@ func TestZipfPanicsOnNonPositive(t *testing.T) {
 	}()
 	New(1).Zipf(0, 1.1)
 }
+
+func TestCategoricalTotalMatchesCategorical(t *testing.T) {
+	weights := []float64{0.3, 1.2, 0, 2.5, 0.01}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	a := New(99)
+	b := New(99)
+	for i := 0; i < 10000; i++ {
+		x := a.Categorical(weights)
+		y := b.CategoricalTotal(weights, total)
+		if x != y {
+			t.Fatalf("draw %d: Categorical=%d CategoricalTotal=%d", i, x, y)
+		}
+	}
+}
+
+func TestCategoricalTotalPanicsOnBadTotal(t *testing.T) {
+	for _, total := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("total %v: expected panic", total)
+				}
+			}()
+			New(1).CategoricalTotal([]float64{1, 2}, total)
+		}()
+	}
+}
