@@ -78,6 +78,53 @@ func metricsSmoke(seed uint64) error {
 		return fmt.Errorf("resume: %w", err)
 	}
 
+	// Stall supervision + checkpoint-failure tolerance: a scheduled
+	// delay fault hangs a scatter worker past the grace (stall + worker
+	// restart counters) while a sync fault fails one checkpoint save
+	// (tolerated-failure counter).
+	storm := faultinject.NewSchedule(seed,
+		faultinject.Fault{Point: faultinject.GasScatterWorker, Prob: 1, Limit: 1,
+			Mode: faultinject.ModeDelay, Delay: 2 * time.Second},
+		faultinject.Fault{Point: faultinject.CkptFSSync, Prob: 1, Limit: 1,
+			Mode: faultinject.ModeError},
+	)
+	storm.Arm()
+	stallOpts := opts
+	stallOpts.StallGrace = 50 * time.Millisecond
+	stallOpts.SweepTimeout = 30 * time.Second
+	stallOpts.MaxRollbacks = 10
+	_, sstats, err := core.TrainRun(context.Background(), data, cfg, stallOpts)
+	storm.Disarm()
+	if err != nil {
+		return fmt.Errorf("stall-storm train: %w", err)
+	}
+	if sstats.Stalls == 0 {
+		return fmt.Errorf("injected worker delay did not trigger a supervised stall")
+	}
+	if sstats.CheckpointFailures == 0 {
+		return fmt.Errorf("injected fsync fault did not fail a checkpoint write")
+	}
+
+	// Quarantine: bit-flip the newest generation; a directory resume
+	// walks back to the previous one and counts the quarantined file.
+	newest, _, err := checkpoint.Latest(ckptDir)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		return err
+	}
+	if _, qstats, err := core.ResumeTrainingLatest(context.Background(), ckptDir, data, opts); err != nil {
+		return fmt.Errorf("latest-valid resume: %w", err)
+	} else if len(qstats.Quarantined) == 0 {
+		return fmt.Errorf("corrupt newest generation was not quarantined")
+	}
+
 	// Serving: start degraded (fallback prior + missing model file), then
 	// reload onto the trained model.
 	mt := serve.NewMetrics(reg)
@@ -166,6 +213,28 @@ func metricsSmoke(seed uint64) error {
 	}
 	if err := post("/v1/topics", `{"user":0,"post":0}`, 200); err != nil {
 		return err
+	}
+
+	// Watcher supervision: a panicking load hook crashes the watch loop
+	// on its first candidate; the supervised restart increments
+	// cold_serve_watch_restarts_total.
+	faultinject.Set(faultinject.ServeModelLoad, func(...any) { panic("metrics smoke watcher") })
+	watchMgr := serve.NewManager(serve.ManagerConfig{Path: modelPath, TopComm: 3,
+		Poll:    2 * time.Millisecond,
+		Backoff: serve.Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 1, Attempts: 1},
+		Logf:    func(string, ...any) {}, Metrics: mt})
+	wctx, wcancel := context.WithCancel(context.Background())
+	watchDone := make(chan struct{})
+	go func() { defer close(watchDone); watchMgr.Watch(wctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for mt.WatchRestarts.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	wcancel()
+	<-watchDone
+	faultinject.Clear(faultinject.ServeModelLoad)
+	if mt.WatchRestarts.Value() == 0 {
+		return fmt.Errorf("crashed watcher was never restarted")
 	}
 
 	if un := reg.Untouched(); len(un) > 0 {

@@ -16,6 +16,24 @@
 // cold_train_* / cold_gas_* metrics: -metrics-every dumps the
 // Prometheus text to stderr periodically, and -debug-addr serves it
 // live together with net/http/pprof for profiling long runs.
+//
+// Robustness knobs:
+//
+//	-keep-checkpoints N   retain the N newest checkpoint generations
+//	                      (older ones are GC'd after each save)
+//	-sweep-timeout D      bound each parallel GAS phase at D; a sweep
+//	                      that overruns is aborted and retried from the
+//	                      last in-memory snapshot. Also arms a global
+//	                      watchdog (budget 4×D) that fails the whole run
+//	                      fast when no sweep completes — the safety net
+//	                      for serial runs and non-GAS hangs.
+//	-stall-grace D        declare a GAS worker stalled after D without
+//	                      progress, independent of total phase duration
+//
+// Resuming from a directory picks the newest checkpoint generation that
+// passes checksum validation: corrupt newer generations (torn write,
+// bit flip) are quarantined aside with a .bad suffix and the run falls
+// back to the previous valid one.
 package main
 
 import (
@@ -32,10 +50,10 @@ import (
 	"syscall"
 	"time"
 
-	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/supervise"
 )
 
 func main() {
@@ -54,6 +72,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the likelihood trace")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic sampler checkpoints")
 	ckptEvery := flag.Int("checkpoint-every", 10, "sweeps between checkpoints")
+	keepCkpts := flag.Int("keep-checkpoints", 3, "checkpoint generations retained in -checkpoint-dir")
+	sweepTimeout := flag.Duration("sweep-timeout", 0, "deadline per parallel GAS phase; also arms a global training watchdog at 4x this (0 disables)")
+	stallGrace := flag.Duration("stall-grace", 0, "max GAS worker silence before the sweep is aborted and retried (0 disables)")
 	resume := flag.String("resume", "", "checkpoint file (or directory of them) to resume from")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -82,6 +103,9 @@ func main() {
 	opts := core.RunOptions{
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		KeepCheckpoints: *keepCkpts,
+		SweepTimeout:    *sweepTimeout,
+		StallGrace:      *stallGrace,
 		Observer:        core.NewTrainObserver(reg),
 		Logger:          logger,
 	}
@@ -112,22 +136,26 @@ func main() {
 
 	var model *core.Model
 	var stats *core.TrainStats
-	if *resume != "" {
-		path := *resume
-		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
-			latest, sweep, err := checkpoint.Latest(path)
-			if err != nil {
-				log.Fatalf("resume: %v", err)
+	train := func(ctx context.Context) error {
+		var terr error
+		if *resume != "" {
+			path := *resume
+			if fi, serr := os.Stat(path); serr == nil && fi.IsDir() {
+				if opts.CheckpointDir == "" {
+					// Keep checkpointing where the interrupted run left off.
+					opts.CheckpointDir = path
+				}
+				// Directory resume walks back to the newest generation
+				// that validates, quarantining corrupt ones aside.
+				model, stats, terr = core.ResumeTrainingLatest(ctx, path, data, opts)
+				return terr
 			}
-			fmt.Fprintf(os.Stderr, "resuming from %s (sweep %d)\n", latest, sweep)
-			path = latest
+			if opts.CheckpointDir == "" {
+				opts.CheckpointDir = filepath.Dir(path)
+			}
+			model, stats, terr = core.ResumeTraining(ctx, path, data, opts)
+			return terr
 		}
-		if opts.CheckpointDir == "" {
-			// Keep checkpointing where the interrupted run left off.
-			opts.CheckpointDir = filepath.Dir(path)
-		}
-		model, stats, err = core.ResumeTraining(ctx, path, data, opts)
-	} else {
 		cfg := core.DefaultConfig(*comms, *topics)
 		cfg.Iterations = *iters
 		cfg.BurnIn = *burnIn
@@ -137,7 +165,34 @@ func main() {
 		cfg.Workers = *workers
 		cfg.UseLinks = !*noLinks
 		cfg.Seed = *seed
-		model, stats, err = core.TrainRun(ctx, data, cfg, opts)
+		model, stats, terr = core.TrainRun(ctx, data, cfg, opts)
+		return terr
+	}
+
+	if *sweepTimeout > 0 {
+		// Global training watchdog: the GAS supervisor covers hung
+		// workers inside a parallel sweep, but a serial run (or a hang
+		// outside the engines) would still block forever. The heartbeat
+		// beats once per completed sweep attempt; 4x the per-phase
+		// deadline comfortably covers one full sweep plus likelihood
+		// evaluation, so silence past the budget means the run is wedged
+		// and failing fast beats hanging a training cluster slot.
+		hb := &supervise.Heartbeat{}
+		opts.Heartbeat = hb
+		budget := 4 * *sweepTimeout
+		err = supervise.Run(ctx, supervise.Config{
+			Budget: budget,
+			OnStall: func(silent time.Duration) {
+				logger.Error("training watchdog tripped", "silent", silent.Round(time.Millisecond), "budget", budget)
+			},
+		}, hb, train)
+		if errors.Is(err, supervise.ErrStalled) {
+			// The wedged training goroutine may be leaked and still
+			// writing model/stats; exit without touching them.
+			log.Fatal(err)
+		}
+	} else {
+		err = train(ctx)
 	}
 
 	interrupted := errors.Is(err, context.Canceled)
@@ -155,6 +210,15 @@ func main() {
 			d.ConvergedAt, d.GewekeZ, d.Improvement)
 		if stats.Rollbacks > 0 {
 			fmt.Fprintf(os.Stderr, "recovered from %d divergence rollback(s)\n", stats.Rollbacks)
+		}
+		if stats.Stalls > 0 {
+			fmt.Fprintf(os.Stderr, "recovered from %d stalled sweep(s)\n", stats.Stalls)
+		}
+		if stats.CheckpointFailures > 0 {
+			fmt.Fprintf(os.Stderr, "tolerated %d checkpoint write failure(s)\n", stats.CheckpointFailures)
+		}
+		if len(stats.Quarantined) > 0 {
+			fmt.Fprintf(os.Stderr, "quarantined %d corrupt checkpoint(s): %v\n", len(stats.Quarantined), stats.Quarantined)
 		}
 	}
 	if interrupted {

@@ -150,6 +150,16 @@ func ResumeTraining(ctx context.Context, path string, data *Dataset, opts RunOpt
 	return core.ResumeTraining(ctx, path, data, opts)
 }
 
+// ResumeTrainingLatest continues a run from the newest valid checkpoint
+// generation in dir. Generations that fail checksum validation (torn
+// write, bit flip, truncation) are quarantined aside with a .bad suffix
+// and the walk falls back to the previous generation, so one corrupt
+// file costs at most a checkpoint interval of redone work. Resuming
+// from any valid generation keeps the bit-identical-replay guarantee.
+func ResumeTrainingLatest(ctx context.Context, dir string, data *Dataset, opts RunOptions) (*Model, *TrainStats, error) {
+	return core.ResumeTrainingLatest(ctx, dir, data, opts)
+}
+
 // LoadCheckpoint reads and validates a checkpoint file without resuming.
 func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
 

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/cold-diffusion/cold/internal/colderr"
+	"github.com/cold-diffusion/cold/internal/faultinject"
 )
 
 const magic = "COLDCKP1"
@@ -54,28 +55,81 @@ var ErrCorrupt = fmt.Errorf("checkpoint: corrupt or truncated file: %w", colderr
 // the old file (fine) or, on some filesystems, no entry at all. Syncing
 // the directory closes that window, so a checkpoint that Save reported
 // durable really survives a crash.
+// Faults are injectable at every step through the checkpoint.fs.*
+// points (temp creation, each write, fsync, rename), so chaos tests can
+// exercise short writes, ENOSPC, fsync errors and rename failures
+// without a fault-injecting filesystem. Every fault makes the *save*
+// fail; none can corrupt the file under the final name, because all
+// bytes land in the temporary sibling first.
 func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
+	var injected error
+	faultinject.Fire(faultinject.CkptFSCreate, dir, &injected)
+	if injected != nil {
+		return fmt.Errorf("checkpoint: create temp in %s: %w", dir, injected)
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if err := write(tmp); err != nil {
+	if err := write(&faultWriter{f: tmp, path: path}); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	faultinject.Fire(faultinject.CkptFSSync, path, &injected)
+	if injected == nil {
+		err = tmp.Sync()
+	} else {
+		err = injected
+	}
+	if err != nil {
 		tmp.Close()
-		return err
+		return fmt.Errorf("checkpoint: fsync %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Close(); err != nil {
 		return err
+	}
+	faultinject.Fire(faultinject.CkptFSRename, path, &injected)
+	if injected != nil {
+		return fmt.Errorf("checkpoint: rename to %s: %w", path, injected)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
 	return syncDir(dir)
+}
+
+// faultWriter is the injectable filesystem shim between the payload
+// encoder and the temporary file: each write passes through the
+// checkpoint.fs.write point, which may shrink it (torn write) or fail
+// it outright (ENOSPC, EIO).
+type faultWriter struct {
+	f    *os.File
+	path string // final destination, for fault matching and errors
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	allow := len(p)
+	var injected error
+	faultinject.Fire(faultinject.CkptFSWrite, w.path, &allow, &injected)
+	if allow < 0 {
+		allow = 0
+	}
+	if allow < len(p) { // short write: land the prefix, then fail
+		n, err := w.f.Write(p[:allow])
+		if err == nil {
+			err = injected
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return n, err
+	}
+	if injected != nil {
+		return 0, injected
+	}
+	return w.f.Write(p)
 }
 
 // syncDir fsyncs a directory so a preceding rename in it is durable.
@@ -150,10 +204,15 @@ func SweepPath(dir string, sweep int) string {
 }
 
 // sweepOf parses the sweep index out of a SweepPath base name, returning
-// ok=false for foreign files.
+// ok=false for foreign files. The round-trip check rejects near-misses
+// — in particular quarantined "sweep-NNNNNNNN.ckpt.bad" files, which
+// Sscanf alone would accept because it ignores trailing input.
 func sweepOf(name string) (int, bool) {
 	var sweep int
 	if _, err := fmt.Sscanf(name, "sweep-%d.ckpt", &sweep); err != nil {
+		return 0, false
+	}
+	if sweep < 0 || name != fmt.Sprintf("sweep-%08d.ckpt", sweep) {
 		return 0, false
 	}
 	return sweep, true

@@ -1,0 +1,85 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BadSuffix marks a quarantined checkpoint generation. Quarantined
+// files are ignored by Latest, Generations and Prune (their names no
+// longer parse as sweep checkpoints) and kept on disk for forensics.
+const BadSuffix = ".bad"
+
+// Generation is one on-disk checkpoint generation.
+type Generation struct {
+	Path  string
+	Sweep int
+}
+
+// Generations lists the checkpoint generations in dir, newest (highest
+// sweep) first. Quarantined and foreign files are skipped. An empty dir
+// yields an empty slice and no error.
+func Generations(dir string) ([]Generation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []Generation
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if sweep, ok := sweepOf(e.Name()); ok {
+			gens = append(gens, Generation{Path: filepath.Join(dir, e.Name()), Sweep: sweep})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Sweep > gens[j].Sweep })
+	return gens, nil
+}
+
+// Quarantine renames a corrupt checkpoint aside with the BadSuffix so
+// retries and walk-backs never re-read it, and returns the new path.
+// The renamed file is preserved for post-mortem inspection; an existing
+// quarantine of the same name is overwritten (same corrupt bytes).
+func Quarantine(path string) (string, error) {
+	bad := path + BadSuffix
+	if err := os.Rename(path, bad); err != nil {
+		return "", fmt.Errorf("checkpoint: quarantine %s: %w", path, err)
+	}
+	return bad, nil
+}
+
+// LatestValid walks the generations in dir from newest to oldest and
+// returns the first one validate accepts. A generation rejected with
+// ErrCorrupt (torn write, bit flip, truncation) is quarantined with the
+// BadSuffix and recorded in quarantined; a generation rejected for any
+// other reason (e.g. a schema-version mismatch from another build) is
+// skipped but left in place. When no generation validates it returns
+// the last validation error, or a wrapped os.ErrNotExist when dir holds
+// no generations at all.
+func LatestValid(dir string, validate func(path string) error) (gen Generation, quarantined []string, err error) {
+	gens, err := Generations(dir)
+	if err != nil {
+		return Generation{}, nil, err
+	}
+	if len(gens) == 0 {
+		return Generation{}, nil, fmt.Errorf("checkpoint: no checkpoints in %s: %w", dir, os.ErrNotExist)
+	}
+	var lastErr error
+	for _, g := range gens {
+		vErr := validate(g.Path)
+		if vErr == nil {
+			return g, quarantined, nil
+		}
+		lastErr = vErr
+		if errors.Is(vErr, ErrCorrupt) {
+			if bad, qErr := Quarantine(g.Path); qErr == nil {
+				quarantined = append(quarantined, bad)
+			}
+		}
+	}
+	return Generation{}, quarantined, fmt.Errorf("checkpoint: no valid generation in %s (newest-first walk exhausted): %w", dir, lastErr)
+}

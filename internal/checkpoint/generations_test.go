@@ -1,0 +1,250 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGen(t *testing.T, dir string, sweep int, payload string) string {
+	t.Helper()
+	path := SweepPath(dir, sweep)
+	if err := WriteFile(path, &payload); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGenerationsNewestFirst(t *testing.T) {
+	dir := t.TempDir()
+	for _, sweep := range []int{5, 20, 10} {
+		writeGen(t, dir, sweep, "x")
+	}
+	// Noise the listing must skip: quarantined, foreign, subdir,
+	// near-miss names.
+	for _, name := range []string{"sweep-00000030.ckpt.bad", "model.json", "sweep-abc.ckpt", "sweep-00000007.ckpt.tmp123"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	gens, err := Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweeps []int
+	for _, g := range gens {
+		sweeps = append(sweeps, g.Sweep)
+	}
+	if fmt.Sprint(sweeps) != "[20 10 5]" {
+		t.Fatalf("generations = %v, want [20 10 5]", sweeps)
+	}
+}
+
+func TestGenerationsEmptyDir(t *testing.T) {
+	gens, err := Generations(t.TempDir())
+	if err != nil || len(gens) != 0 {
+		t.Fatalf("empty dir: gens=%v err=%v", gens, err)
+	}
+}
+
+func TestQuarantineRenamesAside(t *testing.T) {
+	dir := t.TempDir()
+	path := writeGen(t, dir, 10, "x")
+	bad, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != path+BadSuffix {
+		t.Fatalf("quarantine path = %q", bad)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("original file still present after quarantine")
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	// Quarantined files must be invisible to the generation walk.
+	gens, err := Generations(dir)
+	if err != nil || len(gens) != 0 {
+		t.Fatalf("quarantined file still listed: %v", gens)
+	}
+}
+
+func validatePayload(path string) error {
+	var s string
+	return ReadFile(path, &s)
+}
+
+func TestLatestValidHealthyNewest(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 5, "old")
+	want := writeGen(t, dir, 10, "new")
+	gen, quarantined, err := LatestValid(dir, validatePayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Path != want || gen.Sweep != 10 {
+		t.Fatalf("picked %+v, want sweep 10", gen)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("healthy walk quarantined %v", quarantined)
+	}
+}
+
+func TestLatestValidWalksBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	valid := writeGen(t, dir, 5, "good")
+	truncated := writeGen(t, dir, 10, "torn")
+	flipped := writeGen(t, dir, 15, "flipped")
+
+	// Truncate one newer generation, bit-flip the other.
+	if err := os.Truncate(truncated, 4); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(flipped, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gen, quarantined, err := LatestValid(dir, validatePayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Path != valid || gen.Sweep != 5 {
+		t.Fatalf("picked %+v, want fallback to sweep 5", gen)
+	}
+	if len(quarantined) != 2 {
+		t.Fatalf("quarantined %v, want both corrupt generations", quarantined)
+	}
+	for _, q := range quarantined {
+		if !strings.HasSuffix(q, BadSuffix) {
+			t.Fatalf("quarantine path %q lacks %s suffix", q, BadSuffix)
+		}
+		if _, err := os.Stat(q); err != nil {
+			t.Fatalf("quarantined file missing: %v", err)
+		}
+	}
+}
+
+func TestLatestValidSkipsNonCorruptRejectsInPlace(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 5, "good")
+	rejected := writeGen(t, dir, 10, "foreign-schema")
+	gen, quarantined, err := LatestValid(dir, func(path string) error {
+		if path == rejected {
+			return errors.New("schema version mismatch") // not ErrCorrupt
+		}
+		return validatePayload(path)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Sweep != 5 {
+		t.Fatalf("picked sweep %d, want 5", gen.Sweep)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("non-corrupt reject was quarantined: %v", quarantined)
+	}
+	if _, err := os.Stat(rejected); err != nil {
+		t.Fatalf("non-corrupt reject moved: %v", err)
+	}
+}
+
+func TestLatestValidEmptyDir(t *testing.T) {
+	_, _, err := LatestValid(t.TempDir(), validatePayload)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir error = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestLatestValidAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for _, sweep := range []int{5, 10} {
+		path := writeGen(t, dir, sweep, "x")
+		if err := os.Truncate(path, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, quarantined, err := LatestValid(dir, validatePayload)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("all-corrupt walk returned %v, want wrapped ErrCorrupt", err)
+	}
+	if len(quarantined) != 2 {
+		t.Fatalf("quarantined %v, want both", quarantined)
+	}
+}
+
+func TestPruneIgnoresQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	for _, sweep := range []int{5, 10, 15, 20} {
+		writeGen(t, dir, sweep, "x")
+	}
+	path := SweepPath(dir, 20)
+	if _, err := Quarantine(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0].Sweep != 15 || gens[1].Sweep != 10 {
+		t.Fatalf("after prune: %v, want sweeps 15 and 10", gens)
+	}
+	// The quarantined file survives pruning for forensics.
+	if _, err := os.Stat(path + BadSuffix); err != nil {
+		t.Fatalf("prune removed the quarantined file: %v", err)
+	}
+}
+
+func TestLatestIgnoresQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 5, "x")
+	path := writeGen(t, dir, 10, "x")
+	if _, err := Quarantine(path); err != nil {
+		t.Fatal(err)
+	}
+	got, sweep, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep != 5 || got != SweepPath(dir, 5) {
+		t.Fatalf("Latest = %s sweep %d, want sweep 5", got, sweep)
+	}
+}
+
+// AtomicWriteFile must never leave bytes under the final name when any
+// stage of the write fails — the invariant that makes torn writes a
+// recoverable fault class rather than silent corruption.
+func TestAtomicWriteLeavesNoFinalFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep-00000010.ckpt")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial"))
+		return errors.New("payload writer failed")
+	})
+	if err == nil {
+		t.Fatal("failed write reported success")
+	}
+	if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatal("failed write left a file under the final name")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		t.Fatalf("failed write left debris: %s", e.Name())
+	}
+}

@@ -47,7 +47,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 	cfg := DefaultConfig(6, 8).withDefaults()
 	cfg.Workers = 4
-	p, err := newParallelSampler(data, cfg, nil, nil)
+	p, err := newParallelSampler(data, cfg, nil, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func BenchSweeps(data *corpus.Dataset, cfg Config, warmup, sweeps int) (SweepBen
 	if sweeps < 1 {
 		sweeps = 1
 	}
-	smp, err := newSweeper(data, cfg, nil, nil)
+	smp, err := newSweeper(data, cfg, nil, nil, nil)
 	if err != nil {
 		return SweepBench{}, err
 	}

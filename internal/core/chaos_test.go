@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+)
+
+// TestChaosSoak is the end-to-end fault storm: a seeded schedule stalls
+// GAS workers mid-scatter and fails checkpoint writes and fsyncs while
+// a supervised parallel run trains to completion. The run must finish
+// without error, having recovered from at least one stall and tolerated
+// at least one storage fault — and because stall recovery replays from
+// the in-memory snapshot without reseeding, the final model must equal
+// the fault-free run's bit for bit. A follow-up corrupts the newest
+// on-disk generation and resumes, covering the reload fault class in
+// the same storm.
+func TestChaosSoak(t *testing.T) {
+	data := runtimeData(t)
+	cfg := runtimeConfig(4)
+
+	// Reference: the same schedule with no faults and no supervision.
+	calm, calmStats, err := TrainWithStats(runtimeData(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer faultinject.Reset()
+	storm := faultinject.NewSchedule(20260805,
+		// Worker stalls: sleep far past the grace inside the scatter
+		// phase. Limit 2 keeps consecutive stalls under MaxRollbacks.
+		faultinject.Fault{Point: faultinject.GasScatterWorker, Prob: 0.6, Limit: 2,
+			Mode: faultinject.ModeDelay, Delay: 2 * time.Second},
+		// Storage faults: failed data write on one save, failed fsync on
+		// another. Limit 1 each keeps consecutive failures under
+		// MaxCheckpointFailures.
+		faultinject.Fault{Point: faultinject.CkptFSWrite, Prob: 1, Limit: 1,
+			Mode: faultinject.ModeShortWrite, Bytes: 10},
+		faultinject.Fault{Point: faultinject.CkptFSSync, Prob: 1, Limit: 1,
+			Mode: faultinject.ModeError},
+	)
+	storm.Arm()
+	defer storm.Disarm()
+
+	dir := t.TempDir()
+	model, stats, err := TrainRun(context.Background(), data, cfg, RunOptions{
+		CheckpointDir:   dir,
+		CheckpointEvery: 5,
+		KeepCheckpoints: 100,
+		StallGrace:      100 * time.Millisecond,
+		SweepTimeout:    30 * time.Second,
+		MaxRollbacks:    10, // headroom for spurious stalls on a loaded CI box
+	})
+	storm.Disarm()
+	if err != nil {
+		t.Fatalf("chaos run did not complete: %v (stalls=%d ckptFailures=%d)", err, stats.Stalls, stats.CheckpointFailures)
+	}
+	if stats.Stalls == 0 {
+		t.Fatal("storm produced no worker stalls; the stall path went unexercised")
+	}
+	if stats.CheckpointFailures == 0 {
+		t.Fatal("storm produced no checkpoint failures; the tolerance path went unexercised")
+	}
+	if storm.Count(faultinject.GasScatterWorker) == 0 {
+		t.Fatal("schedule never fired the scatter fault")
+	}
+	if !reflect.DeepEqual(calm, model) {
+		t.Fatal("chaos run's final model differs from the fault-free run")
+	}
+	if !reflect.DeepEqual(calmStats.Likelihood, stats.Likelihood) {
+		t.Fatal("chaos run's likelihood trace differs from the fault-free run")
+	}
+
+	// Reload leg of the storm: corrupt the newest generation the chaos
+	// run left behind and resume from the directory.
+	newest, _, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitFlipFile(t, newest)
+	resumed, rstats, err := ResumeTrainingLatest(context.Background(), dir, runtimeData(t), RunOptions{})
+	if err != nil {
+		t.Fatalf("post-storm resume failed: %v", err)
+	}
+	if len(rstats.Quarantined) != 1 {
+		t.Fatalf("post-storm resume quarantined %v, want the flipped newest", rstats.Quarantined)
+	}
+	if !reflect.DeepEqual(calm, resumed) {
+		t.Fatal("post-storm resume diverged from the fault-free run")
+	}
+}
+
+// A hung worker inside a full training run — not just a bare engine —
+// is detected, the sweep aborted and retried, and training completes
+// with the exact fault-free result. This is the acceptance criterion
+// "a deliberately hung GAS worker never hangs the run".
+func TestTrainingRecoversFromHungWorker(t *testing.T) {
+	data := runtimeData(t)
+	cfg := runtimeConfig(4)
+	calm, _, err := TrainWithStats(runtimeData(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer faultinject.Reset()
+	release := make(chan struct{})
+	defer close(release) // free the leaked goroutine at test end
+	var hung atomic.Bool
+	faultinject.Set(faultinject.GasScatterWorker, func(args ...any) {
+		if args[0].(int) == 1 && hung.CompareAndSwap(false, true) {
+			<-release
+		}
+	})
+
+	done := make(chan struct{})
+	var model *Model
+	var stats *TrainStats
+	go func() {
+		defer close(done)
+		model, stats, err = TrainRun(context.Background(), data, cfg, RunOptions{
+			StallGrace:   100 * time.Millisecond,
+			MaxRollbacks: 10,
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("training hung despite the stall supervisor")
+	}
+	if err != nil {
+		t.Fatalf("training did not recover from the hung worker: %v", err)
+	}
+	if stats.Stalls == 0 {
+		t.Fatal("hung worker produced no detected stall")
+	}
+	if !reflect.DeepEqual(calm, model) {
+		t.Fatal("recovered run differs from the fault-free run")
+	}
+}
+
+// Persistent storage loss — every checkpoint write failing — must abort
+// the run with a descriptive error after MaxCheckpointFailures, not
+// train on silently with nothing durable behind it.
+func TestPersistentCheckpointFailureAborts(t *testing.T) {
+	defer faultinject.Reset()
+	storm := faultinject.NewSchedule(7,
+		faultinject.Fault{Point: faultinject.CkptFSCreate, Prob: 1, Mode: faultinject.ModeError})
+	storm.Arm()
+	defer storm.Disarm()
+
+	_, stats, err := TrainRun(context.Background(), runtimeData(t), runtimeConfig(1), RunOptions{
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 5,
+	})
+	if err == nil {
+		t.Fatal("run with total storage loss completed successfully")
+	}
+	if stats.CheckpointFailures < 3 {
+		t.Fatalf("aborted after %d failures, want MaxCheckpointFailures=3", stats.CheckpointFailures)
+	}
+}

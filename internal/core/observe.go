@@ -22,8 +22,17 @@ type TrainObserver struct {
 	Samples *obs.Counter
 	// Rollbacks counts divergence recoveries.
 	Rollbacks *obs.Counter
+	// Stalls counts sweeps aborted by the stall supervisor and recovered
+	// by rebuilding the sampler from the last in-memory snapshot.
+	Stalls *obs.Counter
 	// Resumes counts runs that started from an on-disk checkpoint.
 	Resumes *obs.Counter
+	// CheckpointFailures counts checkpoint writes that failed and were
+	// tolerated (training continued on the in-memory state).
+	CheckpointFailures *obs.Counter
+	// CheckpointsQuarantined counts corrupt checkpoint generations moved
+	// aside (.bad) during a latest-valid resume walk-back.
+	CheckpointsQuarantined *obs.Counter
 	// CheckpointSave/CheckpointLoad observe checkpoint (de)serialisation
 	// durations, including fsync and validation.
 	CheckpointSave *obs.Histogram
@@ -52,8 +61,14 @@ func NewTrainObserver(reg *obs.Registry) *TrainObserver {
 			"Thinned samples folded into the posterior mean."),
 		Rollbacks: reg.Counter("cold_train_rollbacks_total",
 			"Divergence recoveries (rollbacks to the last healthy snapshot)."),
+		Stalls: reg.Counter("cold_train_stalls_total",
+			"Sweeps aborted by the stall supervisor and retried from the last snapshot."),
 		Resumes: reg.Counter("cold_train_resumes_total",
 			"Training runs started from an on-disk checkpoint."),
+		CheckpointFailures: reg.Counter("cold_train_checkpoint_failures_total",
+			"Tolerated checkpoint write failures (training continued in memory)."),
+		CheckpointsQuarantined: reg.Counter("cold_train_checkpoints_quarantined_total",
+			"Corrupt checkpoint generations quarantined (.bad) during resume."),
 		CheckpointSave: reg.Histogram("cold_train_checkpoint_save_seconds",
 			"Duration of one checkpoint write, including fsync and pruning.", nil),
 		CheckpointLoad: reg.Histogram("cold_train_checkpoint_load_seconds",
@@ -91,6 +106,33 @@ func (o *TrainObserver) resumed() {
 		return
 	}
 	o.Resumes.Inc()
+}
+
+// stallRecovered records one supervisor-detected stall recovered by
+// rebuilding the sampler: the stall itself, plus one worker-restart per
+// slot in the rebuilt pool.
+func (o *TrainObserver) stallRecovered(workers int) {
+	if o == nil {
+		return
+	}
+	o.Stalls.Inc()
+	if o.Gas != nil && workers > 0 {
+		o.Gas.WorkerRestarts.Add(uint64(workers))
+	}
+}
+
+func (o *TrainObserver) checkpointFailed() {
+	if o == nil {
+		return
+	}
+	o.CheckpointFailures.Inc()
+}
+
+func (o *TrainObserver) checkpointQuarantined(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.CheckpointsQuarantined.Add(uint64(n))
 }
 
 func (o *TrainObserver) checkpointSaved(seconds float64) {

@@ -484,6 +484,7 @@ type coldEngine interface {
 	Step() error
 	Ctxs() []*coldCtx
 	SetMetrics(*gas.Metrics)
+	SetStallPolicy(*gas.StallPolicy)
 }
 
 // parallelSampler adapts the GAS sampler (cfg.Workers goroutine workers
@@ -500,7 +501,7 @@ type parallelSampler struct {
 	snapDirty bool
 }
 
-func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics) (*parallelSampler, error) {
+func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics, sp *gas.StallPolicy) (*parallelSampler, error) {
 	r := rng.New(cfg.Seed)
 	prog := &coldProgram{
 		cfg:     cfg,
@@ -582,6 +583,9 @@ func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm
 	}
 	if gm != nil {
 		engine.SetMetrics(gm)
+	}
+	if sp != nil {
+		engine.SetStallPolicy(sp)
 	}
 	p := &parallelSampler{prog: prog, engine: engine, r: r}
 	if resume != nil {

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+)
+
+// fallbackRun trains to completion keeping every checkpoint generation
+// (sweeps 5, 10, 15, 20) and returns the reference model and directory.
+func fallbackRun(t *testing.T, workers int) (*Model, string) {
+	t.Helper()
+	dir := t.TempDir()
+	full, _, err := TrainRun(context.Background(), runtimeData(t), runtimeConfig(workers),
+		RunOptions{CheckpointDir: dir, CheckpointEvery: 5, KeepCheckpoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, dir
+}
+
+func truncateFile(t *testing.T, path string) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bitFlipFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance scenario: the newest checkpoint generation is corrupt
+// (truncated or bit-flipped); a directory resume quarantines it with the
+// .bad suffix, falls back to the previous valid generation, and still
+// reproduces the uninterrupted run's model bit for bit.
+func TestResumeFallsBackPastCorruptNewest(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(*testing.T, string)
+	}{
+		{"truncated", truncateFile},
+		{"bitflip", bitFlipFile},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			full, dir := fallbackRun(t, 1)
+			newest, sweep, err := checkpoint.Latest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sweep != 20 {
+				t.Fatalf("newest generation is sweep %d, want 20", sweep)
+			}
+			tc.corrupt(t, newest)
+
+			resumed, stats, err := ResumeTrainingLatest(context.Background(), dir, runtimeData(t), RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ResumedAt != 15 {
+				t.Fatalf("resumed at sweep %d, want fallback to 15", stats.ResumedAt)
+			}
+			if !reflect.DeepEqual(full, resumed) {
+				t.Fatal("fallback resume diverged from the uninterrupted run")
+			}
+			if len(stats.Quarantined) != 1 {
+				t.Fatalf("quarantined %v, want exactly the corrupt newest", stats.Quarantined)
+			}
+			bad := stats.Quarantined[0]
+			if bad != newest+checkpoint.BadSuffix {
+				t.Fatalf("quarantine path %q, want %q", bad, newest+checkpoint.BadSuffix)
+			}
+			if _, err := os.Stat(bad); err != nil {
+				t.Fatalf("quarantined file missing: %v", err)
+			}
+			if _, err := os.Stat(newest); !errors.Is(err, os.ErrNotExist) {
+				t.Fatal("corrupt file still present under its checkpoint name")
+			}
+		})
+	}
+}
+
+// Two corrupt newest generations walk back two steps.
+func TestResumeFallsBackTwoGenerations(t *testing.T) {
+	full, dir := fallbackRun(t, 1)
+	truncateFile(t, checkpoint.SweepPath(dir, 20))
+	bitFlipFile(t, checkpoint.SweepPath(dir, 15))
+
+	resumed, stats, err := ResumeTrainingLatest(context.Background(), dir, runtimeData(t), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResumedAt != 10 {
+		t.Fatalf("resumed at sweep %d, want 10", stats.ResumedAt)
+	}
+	if len(stats.Quarantined) != 2 {
+		t.Fatalf("quarantined %v, want both corrupt generations", stats.Quarantined)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("two-step fallback diverged from the uninterrupted run")
+	}
+}
+
+// The parallel sampler honours the same fallback guarantee.
+func TestResumeFallbackParallel(t *testing.T) {
+	full, dir := fallbackRun(t, 4)
+	truncateFile(t, checkpoint.SweepPath(dir, 20))
+	resumed, stats, err := ResumeTrainingLatest(context.Background(), dir, runtimeData(t), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResumedAt != 15 {
+		t.Fatalf("resumed at sweep %d, want 15", stats.ResumedAt)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("parallel fallback resume diverged from the uninterrupted run")
+	}
+}
+
+// With every generation corrupt the resume fails with a descriptive
+// error naming the exhausted walk, and everything is quarantined.
+func TestResumeAllGenerationsCorrupt(t *testing.T) {
+	_, dir := fallbackRun(t, 1)
+	gens, err := checkpoint.Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gens {
+		truncateFile(t, g.Path)
+	}
+	_, _, err = ResumeTrainingLatest(context.Background(), dir, runtimeData(t), RunOptions{})
+	if err == nil {
+		t.Fatal("resume from an all-corrupt directory succeeded")
+	}
+	if !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), checkpoint.BadSuffix) {
+			t.Fatalf("unquarantined file left behind: %s", e.Name())
+		}
+	}
+}
+
+// A resume that keeps checkpointing into the same directory GCs old
+// generations but never touches quarantined files.
+func TestResumeKeepsQuarantineThroughRetention(t *testing.T) {
+	_, dir := fallbackRun(t, 1)
+	newest := checkpoint.SweepPath(dir, 20)
+	truncateFile(t, newest)
+	_, _, err := ResumeTrainingLatest(context.Background(), dir, runtimeData(t),
+		RunOptions{CheckpointDir: dir, CheckpointEvery: 5, KeepCheckpoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(newest + checkpoint.BadSuffix); err != nil {
+		t.Fatalf("retention GC removed the quarantined file: %v", err)
+	}
+	gens, err := checkpoint.Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) > 2 {
+		var names []string
+		for _, g := range gens {
+			names = append(names, filepath.Base(g.Path))
+		}
+		t.Fatalf("retention kept %v, want at most 2 generations", names)
+	}
+}

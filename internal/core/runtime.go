@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"log/slog"
@@ -14,6 +15,7 @@ import (
 	"github.com/cold-diffusion/cold/internal/faultinject"
 	"github.com/cold-diffusion/cold/internal/gas"
 	"github.com/cold-diffusion/cold/internal/rng"
+	"github.com/cold-diffusion/cold/internal/supervise"
 )
 
 // RunOptions configures the resilient training runtime around the Gibbs
@@ -41,6 +43,26 @@ type RunOptions struct {
 	// value disables the collapse check (NaN/Inf and negative-counter
 	// guards always stay on).
 	DivergenceDrop float64
+	// SweepTimeout, when > 0, bounds each parallel phase of a GAS
+	// superstep (gather+apply, one scatter pass): a phase that overruns
+	// is aborted by the stall supervisor and the sweep is retried from
+	// the last in-memory snapshot with a freshly built sampler. Serial
+	// runs (Workers <= 1) are not covered — supervise them with the
+	// process-level watchdog (supervise.Run) via Heartbeat instead.
+	SweepTimeout time.Duration
+	// StallGrace, when > 0, bounds one GAS worker's heartbeat silence:
+	// a worker that processes no vertex/edge for longer than this is
+	// declared stalled and the sweep is aborted and retried as for
+	// SweepTimeout.
+	StallGrace time.Duration
+	// MaxCheckpointFailures is how many consecutive checkpoint-write
+	// failures are tolerated (logged, counted, training continues on the
+	// in-memory state) before the run aborts. Default 3.
+	MaxCheckpointFailures int
+	// Heartbeat, when non-nil, is beaten once per completed sweep
+	// attempt, feeding a process-level supervise.Run watchdog around the
+	// whole training call.
+	Heartbeat *supervise.Heartbeat
 	// Observer, when non-nil, receives the run's metrics (sweep
 	// durations, likelihood, rollback/resume counters, checkpoint I/O
 	// timings, and GAS worker metrics for parallel runs).
@@ -63,7 +85,19 @@ func (o RunOptions) withDefaults() RunOptions {
 	if o.DivergenceDrop == 0 {
 		o.DivergenceDrop = 0.5
 	}
+	if o.MaxCheckpointFailures <= 0 {
+		o.MaxCheckpointFailures = 3
+	}
 	return o
+}
+
+// stallPolicy translates the run's supervision knobs into the GAS
+// engine's policy, or nil when supervision is off.
+func (o RunOptions) stallPolicy() *gas.StallPolicy {
+	if o.SweepTimeout <= 0 && o.StallGrace <= 0 {
+		return nil
+	}
+	return &gas.StallPolicy{Deadline: o.SweepTimeout, Grace: o.StallGrace}
 }
 
 // checkpointVersion guards the Checkpoint gob schema.
@@ -104,6 +138,30 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return &ck, nil
 }
 
+// LoadLatestCheckpoint walks the checkpoint generations in dir from
+// newest to oldest and loads the first valid one. Generations that fail
+// frame validation (torn write, bit flip, truncation) are quarantined
+// aside with the .bad suffix and reported in quarantined; generations
+// rejected for non-corruption reasons (e.g. a schema-version mismatch)
+// are skipped in place. It returns the loaded checkpoint and its path,
+// or — when no generation validates — the last validation error
+// (wrapping os.ErrNotExist for an empty directory).
+func LoadLatestCheckpoint(dir string) (*Checkpoint, string, []string, error) {
+	var ck *Checkpoint
+	gen, quarantined, err := checkpoint.LatestValid(dir, func(path string) error {
+		loaded, lerr := LoadCheckpoint(path)
+		if lerr != nil {
+			return lerr
+		}
+		ck = loaded
+		return nil
+	})
+	if err != nil {
+		return nil, "", quarantined, err
+	}
+	return ck, gen.Path, quarantined, nil
+}
+
 // sweeper abstracts the serial and parallel samplers behind the training
 // runtime: one sweep at a time, with enough state access to snapshot,
 // roll back and resume.
@@ -119,9 +177,9 @@ type sweeper interface {
 	setAssignments(c, z, s, sp []int) error // copy in and rebuild counters
 }
 
-func newSweeper(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics) (sweeper, error) {
+func newSweeper(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics, sp *gas.StallPolicy) (sweeper, error) {
 	if cfg.Workers > 1 {
-		return newParallelSampler(data, cfg, resume, gm)
+		return newParallelSampler(data, cfg, resume, gm, sp)
 	}
 	return newSerialSampler(data, cfg, resume)
 }
@@ -153,7 +211,7 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 			opts.Logger.Info("resumed from checkpoint", "sweep", resume.Sweep, "samples", resume.Samples)
 		}
 	}
-	smp, err := newSweeper(data, cfg, resume, opts.Observer.gasMetrics())
+	smp, err := newSweeper(data, cfg, resume, opts.Observer.gasMetrics(), opts.stallPolicy())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,12 +236,39 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 		}
 		stats.LastCheckpoint = path
 		faultinject.Fire(faultinject.CheckpointWritten, path)
-		err := checkpoint.Prune(opts.CheckpointDir, opts.KeepCheckpoints)
+		// Retention GC failing must not fail the save that just
+		// succeeded: worst case the directory holds extra generations.
+		if err := checkpoint.Prune(opts.CheckpointDir, opts.KeepCheckpoints); err != nil && opts.Logger != nil {
+			opts.Logger.Warn("checkpoint prune failed", "dir", opts.CheckpointDir, "error", err)
+		}
 		opts.Observer.checkpointSaved(time.Since(saveStart).Seconds())
 		if opts.Logger != nil {
 			opts.Logger.Info("checkpoint written", "path", path, "sweep", ck.Sweep)
 		}
-		return err
+		return nil
+	}
+	// A checkpoint write failing is a storage fault, not a training
+	// fault: the in-memory state is intact, so the run logs, counts and
+	// continues, aborting only after MaxCheckpointFailures consecutive
+	// failures (persistent storage loss means an interrupted run would
+	// lose unbounded work).
+	ckptFailures := 0
+	tolerate := func(perr error) error {
+		if perr == nil {
+			ckptFailures = 0
+			return nil
+		}
+		ckptFailures++
+		stats.CheckpointFailures++
+		opts.Observer.checkpointFailed()
+		if opts.Logger != nil {
+			opts.Logger.Warn("checkpoint write failed, continuing on in-memory state",
+				"error", perr, "consecutive", ckptFailures, "max", opts.MaxCheckpointFailures)
+		}
+		if ckptFailures >= opts.MaxCheckpointFailures {
+			return fmt.Errorf("core: %d consecutive checkpoint failures, last: %w", ckptFailures, perr)
+		}
+		return nil
 	}
 
 	lastGood := takeSnapshot(sweep0)
@@ -203,6 +288,7 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 		}
 		sweepStart := time.Now()
 		sweepErr := smp.sweep()
+		opts.Heartbeat.Beat()
 		var ll float64
 		problem := ""
 		if sweepErr != nil {
@@ -213,6 +299,35 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 			problem = healthProblem(ll, stats.Likelihood, opts, smp)
 		}
 		sweepSecs := time.Since(sweepStart).Seconds()
+		if sweepErr != nil && errors.Is(sweepErr, gas.ErrStalled) {
+			// A stalled worker cannot be killed, only abandoned: the
+			// poisoned engine (and the program state its leaked goroutine
+			// may still mutate) is discarded wholesale and a fresh sampler
+			// is rebuilt from the last in-memory snapshot. No reseed — the
+			// stall was environmental, not statistical, so the retry
+			// replays the identical trajectory and bit-identical resume
+			// semantics survive the recovery.
+			rollbacks++
+			stats.Stalls++
+			opts.Observer.stallRecovered(cfg.Workers)
+			if opts.Logger != nil {
+				opts.Logger.Warn("sweep stalled, rebuilding sampler from snapshot",
+					"sweep", it, "error", sweepErr, "rebuild_at", lastGood.Sweep, "consecutive", rollbacks)
+			}
+			if rollbacks > opts.MaxRollbacks {
+				return nil, stats, fmt.Errorf("core: sweep %d stalled after %d recoveries (rebuilt at sweep %d): %w", it, opts.MaxRollbacks, lastGood.Sweep, sweepErr)
+			}
+			fresh, rerr := newSweeper(data, cfg, lastGood, opts.Observer.gasMetrics(), opts.stallPolicy())
+			if rerr != nil {
+				return nil, stats, fmt.Errorf("core: rebuilding sampler after stall: %w", rerr)
+			}
+			smp = fresh
+			acc.restore(lastGood.AccSum, lastGood.AccN)
+			stats.Likelihood = append(stats.Likelihood[:0], lastGood.Likelihood...)
+			stats.Samples = lastGood.Samples
+			it = lastGood.Sweep
+			continue
+		}
 		if problem != "" {
 			rollbacks++
 			stats.Rollbacks++
@@ -246,7 +361,7 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 		if it%opts.CheckpointEvery == 0 && it < cfg.Iterations {
 			lastGood = takeSnapshot(it)
 			rollbacks = 0
-			if err := persist(lastGood); err != nil {
+			if err := tolerate(persist(lastGood)); err != nil {
 				return nil, stats, err
 			}
 		}
@@ -256,7 +371,7 @@ func runTraining(ctx context.Context, data *corpus.Dataset, cfg Config, opts Run
 	// Final checkpoint — at completion or cancellation — so the run can
 	// be resumed (or its terminal state inspected) either way.
 	if opts.CheckpointDir != "" {
-		if err := persist(takeSnapshot(it)); err != nil {
+		if err := tolerate(persist(takeSnapshot(it))); err != nil {
 			return nil, stats, err
 		}
 	}

@@ -17,9 +17,12 @@ type TrainStats struct {
 	Samples    int // thinned samples averaged into the final estimates
 	Elapsed    time.Duration
 
-	Rollbacks      int    // divergence recoveries performed
-	ResumedAt      int    // sweep the run resumed from (0 for a fresh run)
-	LastCheckpoint string // path of the newest checkpoint written, if any
+	Rollbacks          int      // divergence recoveries performed
+	Stalls             int      // supervisor-detected stalls recovered by sampler rebuild
+	CheckpointFailures int      // tolerated checkpoint-write failures
+	Quarantined        []string // corrupt generations moved aside during a latest-valid resume
+	ResumedAt          int      // sweep the run resumed from (0 for a fresh run)
+	LastCheckpoint     string   // path of the newest checkpoint written, if any
 }
 
 // Train fits COLD to the dataset with the configured sampler schedule and
@@ -68,6 +71,38 @@ func ResumeTraining(ctx context.Context, path string, data *corpus.Dataset, opts
 	}
 	opts.Observer.checkpointLoaded(time.Since(loadStart).Seconds())
 	return runTraining(ctx, data, ck.Cfg, opts, ck)
+}
+
+// ResumeTrainingLatest continues a run from the newest *valid*
+// checkpoint generation in dir: generations that fail validation are
+// walked past (corrupt ones quarantined aside with a .bad suffix) until
+// one loads cleanly, so a torn or bit-flipped newest file costs at most
+// CheckpointEvery sweeps of redone work instead of the whole run.
+// Resuming from an older valid generation keeps the bit-identical
+// resume guarantee — the generation is a complete state snapshot, so
+// training replays exactly the trajectory the uninterrupted run took
+// from that sweep.
+func ResumeTrainingLatest(ctx context.Context, dir string, data *corpus.Dataset, opts RunOptions) (*Model, *TrainStats, error) {
+	loadStart := time.Now()
+	ck, path, quarantined, err := LoadLatestCheckpoint(dir)
+	opts.Observer.checkpointQuarantined(len(quarantined))
+	if opts.Logger != nil {
+		for _, bad := range quarantined {
+			opts.Logger.Warn("corrupt checkpoint generation quarantined", "path", bad)
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Observer.checkpointLoaded(time.Since(loadStart).Seconds())
+	if opts.Logger != nil {
+		opts.Logger.Info("resuming from latest valid generation", "path", path, "sweep", ck.Sweep, "quarantined", len(quarantined))
+	}
+	model, stats, err := runTraining(ctx, data, ck.Cfg, opts, ck)
+	if stats != nil {
+		stats.Quarantined = quarantined
+	}
+	return model, stats, err
 }
 
 func validateTrainInputs(data *corpus.Dataset, cfg Config) (Config, error) {

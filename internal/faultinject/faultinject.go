@@ -3,7 +3,29 @@
 // Set and make it panic, mutate an argument in place, or trip external
 // machinery (cancel a context, kill a file) at an exact, reproducible
 // moment inside the training loop. With no hook armed, Fire is a single
-// atomic load and the harness is free.
+// atomic load and the harness is free. For probabilistic fault storms —
+// many points armed at once with per-point probabilities, trigger limits
+// and a seed — see Schedule.
+//
+// # Concurrency contract
+//
+// Set, Clear, Reset and Fire are safe to call concurrently from any
+// goroutine, including while a training run is actively firing points
+// from worker goroutines:
+//
+//   - A hook runs on whatever goroutine called Fire, outside the
+//     harness lock, so a hook may itself call Set/Clear/Reset (and a
+//     slow or panicking hook cannot deadlock the harness).
+//   - A Fire that is already executing a hook keeps executing it even
+//     if the point is concurrently Cleared; Clear only guarantees no
+//     *new* invocation starts after it returns.
+//   - The disarmed fast path is a single atomic load with no ordering
+//     guarantee against a concurrent Set: a Fire racing with the very
+//     first Set may miss the hook. Arm hooks before starting the run
+//     whose points they target (or accept the missed window).
+//   - Hooks themselves must be safe for concurrent invocation: a point
+//     inside a worker pool (e.g. gas.scatter.worker) fires from many
+//     goroutines at once.
 package faultinject
 
 import (
@@ -35,8 +57,30 @@ const (
 	// candidate model file, with the path and a *error. A hook that sets
 	// the error simulates a load failure (missing file, I/O fault)
 	// without touching the filesystem; corrupt-content reloads are
-	// exercised with real corrupt files instead.
+	// exercised with real corrupt files instead. A panicking hook
+	// crashes the watcher loop, exercising its supervised restart.
 	ServeModelLoad = "serve.model.load"
+
+	// The checkpoint.fs.* points form the injectable filesystem shim
+	// inside checkpoint.AtomicWriteFile, simulating the storage fault
+	// classes a long-running training job meets in production.
+
+	// CkptFSCreate fires before the temporary sibling file is created,
+	// with the directory and a *error (e.g. ENOSPC on temp creation).
+	CkptFSCreate = "checkpoint.fs.create"
+	// CkptFSWrite fires on every write to the temporary file, with the
+	// destination path, a *int holding the bytes about to be written
+	// (a hook may shrink it to simulate a short/torn write) and a
+	// *error (ENOSPC, EIO). Because all writes land in the temporary
+	// sibling, a torn write fails the save without ever corrupting the
+	// file under the final name.
+	CkptFSWrite = "checkpoint.fs.write"
+	// CkptFSSync fires before the temporary file is fsynced, with the
+	// destination path and a *error.
+	CkptFSSync = "checkpoint.fs.sync"
+	// CkptFSRename fires before the rename into the final name, with
+	// the destination path and a *error.
+	CkptFSRename = "checkpoint.fs.rename"
 )
 
 var (

@@ -1,0 +1,201 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error a scheduled ModeError / ModeShortWrite fault
+// writes into a point's *error argument when the fault does not carry
+// its own. Production code treats it like any other I/O failure; tests
+// match it with errors.Is to tell injected faults from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Mode is what a scheduled fault does when its point fires and the coin
+// flip triggers it.
+type Mode int
+
+const (
+	// ModeError writes the fault's Err (default ErrInjected) into the
+	// first *error argument of the point. Points without a *error
+	// argument ignore the fault.
+	ModeError Mode = iota
+	// ModePanic panics on the firing goroutine, simulating a crashed
+	// worker or a bug in the instrumented path.
+	ModePanic
+	// ModeDelay sleeps for Delay on the firing goroutine, simulating a
+	// stalled worker, a slow disk, or a hung handler.
+	ModeDelay
+	// ModeShortWrite shrinks the first *int argument to Bytes and sets
+	// the first *error argument (default ErrInjected) — the torn-write
+	// fault for the checkpoint.fs.write point.
+	ModeShortWrite
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeShortWrite:
+		return "short-write"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Fault is one entry of a fault schedule: at injection point Point,
+// with probability Prob per fire, do Mode — at most Limit times.
+type Fault struct {
+	Point string
+	Prob  float64 // per-fire trigger probability in [0,1]
+	Limit int     // max triggers; 0 means unlimited
+	Mode  Mode
+	Err   error         // ModeError/ModeShortWrite payload; nil → ErrInjected
+	Delay time.Duration // ModeDelay duration
+	Bytes int           // ModeShortWrite: bytes allowed through
+}
+
+// Schedule is a seeded probabilistic fault plan over many injection
+// points — the engine behind chaos-soak tests. Arm registers one hook
+// per distinct point; every Fire of an armed point flips a seeded coin
+// per fault and triggers at most Limit times. All methods and the
+// installed hooks are safe for concurrent use; given a fixed seed the
+// *number* of triggers is reproducible up to Fire-order
+// nondeterminism from concurrent workers (Limit and Prob still bound
+// the storm either way).
+type Schedule struct {
+	mu     sync.Mutex
+	rng    uint64 // splitmix64 state
+	faults map[string][]*schedFault
+}
+
+type schedFault struct {
+	Fault
+	fired int
+}
+
+// NewSchedule builds a schedule from the given faults. Faults sharing a
+// point are evaluated in the order given on each fire.
+func NewSchedule(seed uint64, faults ...Fault) *Schedule {
+	s := &Schedule{rng: seed ^ 0x9e3779b97f4a7c15, faults: make(map[string][]*schedFault)}
+	for _, f := range faults {
+		s.faults[f.Point] = append(s.faults[f.Point], &schedFault{Fault: f})
+	}
+	return s
+}
+
+// next01 advances the seeded splitmix64 stream; caller holds mu.
+func (s *Schedule) next01() float64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Arm installs the schedule's hooks. Disarm (or Reset) removes them;
+// tests should defer one of the two.
+func (s *Schedule) Arm() {
+	for point := range s.faults {
+		p := point
+		Set(p, func(args ...any) { s.fire(p, args) })
+	}
+}
+
+// Disarm removes the schedule's hooks. In-flight hook invocations
+// finish; no new ones start after Disarm returns.
+func (s *Schedule) Disarm() {
+	for point := range s.faults {
+		Clear(point)
+	}
+}
+
+// Count reports how many times faults at point have triggered.
+func (s *Schedule) Count(point string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.faults[point] {
+		n += f.fired
+	}
+	return n
+}
+
+// Total reports the number of triggers across all points.
+func (s *Schedule) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, fs := range s.faults {
+		for _, f := range fs {
+			n += f.fired
+		}
+	}
+	return n
+}
+
+// fire flips the coin for every fault at point and acts on the winners.
+// The coin flip and trigger bookkeeping happen under the lock; the
+// fault action (sleep, panic, argument mutation) happens outside it so
+// a slow or panicking fault never wedges concurrent fires.
+func (s *Schedule) fire(point string, args []any) {
+	s.mu.Lock()
+	var due []*schedFault
+	for _, f := range s.faults[point] {
+		if f.Limit > 0 && f.fired >= f.Limit {
+			continue
+		}
+		if s.next01() < f.Prob {
+			f.fired++
+			due = append(due, f)
+		}
+	}
+	s.mu.Unlock()
+	for _, f := range due {
+		f.act(point, args)
+	}
+}
+
+func (f *schedFault) act(point string, args []any) {
+	switch f.Mode {
+	case ModeDelay:
+		time.Sleep(f.Delay)
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: scheduled panic at %s", point))
+	case ModeError:
+		setError(args, f.err())
+	case ModeShortWrite:
+		for _, a := range args {
+			if n, ok := a.(*int); ok {
+				if f.Bytes < *n {
+					*n = f.Bytes
+				}
+				break
+			}
+		}
+		setError(args, f.err())
+	}
+}
+
+func (f *schedFault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// setError writes err into the first *error argument, if any.
+func setError(args []any, err error) {
+	for _, a := range args {
+		if ep, ok := a.(*error); ok {
+			*ep = err
+			return
+		}
+	}
+}

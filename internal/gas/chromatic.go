@@ -1,6 +1,10 @@
 package gas
 
-import "github.com/cold-diffusion/cold/internal/faultinject"
+import (
+	"errors"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+)
 
 // Chromatic scheduling: GraphLab's edge-consistency model guarantees
 // that no two updates touching the same vertex run concurrently. The
@@ -11,13 +15,15 @@ import "github.com/cold-diffusion/cold/internal/faultinject"
 // program whose Scatter mutates *vertex* data (not just edge data) is
 // safe under this engine.
 type ChromaticEngine[VD, ED, Acc, Ctx any] struct {
-	g       *Graph[VD, ED]
-	p       Program[VD, ED, Acc, Ctx]
-	ipg     InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
-	workers int
-	ctxs    []Ctx
-	colors  [][]int32 // edge ids per colour class
-	m       *Metrics
+	g        *Graph[VD, ED]
+	p        Program[VD, ED, Acc, Ctx]
+	ipg      InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
+	workers  int
+	ctxs     []Ctx
+	colors   [][]int32 // edge ids per colour class
+	m        *Metrics
+	sp       *StallPolicy
+	poisoned error // set after a stall; every later Step returns it
 }
 
 // NewChromaticEngine colours the graph's edges greedily and returns the
@@ -86,30 +92,40 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
 // Call before the first Step; the engine does not synchronise access.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) SetMetrics(m *Metrics) { e.m = m }
 
+// SetStallPolicy arms per-phase stall supervision. Pass nil to disarm.
+// Call before the first Step; the engine does not synchronise access.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) SetStallPolicy(sp *StallPolicy) { e.sp = sp }
+
 // Ctxs returns the per-worker scatter contexts, for programs that need to
 // checkpoint worker-local state between supersteps.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
 
 // Step runs one superstep: gather+apply over all vertices, then scatter
 // colour class by colour class (parallel within a class), then Merge.
-// Panics in any phase are recovered and returned as errors, as for
-// Engine.Step.
+// Panics in any phase are recovered and returned as errors, and stalls
+// under a StallPolicy poison the engine, as for Engine.Step.
 func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
-	if err := runBlocks(e.m, e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
-		gatherApply(e.g, e.p, e.ipg, lo, hi)
+	if e.poisoned != nil {
+		return e.poisoned
+	}
+	if err := runBlocks(e.m, e.sp, "gather", e.workers, len(e.g.Vertices), func(worker, lo, hi int, beat *Beat) {
+		gatherApply(e.g, e.p, e.ipg, lo, hi, beat)
 	}); err != nil {
-		return err
+		return e.poison(err)
 	}
 	for _, class := range e.colors {
-		if err := runBlocks(e.m, e.workers, len(class), func(worker, lo, hi int) {
+		if err := runBlocks(e.m, e.sp, "scatter", e.workers, len(class), func(worker, lo, hi int, beat *Beat) {
 			faultinject.Fire(faultinject.GasScatterWorker, worker)
 			ctx := e.ctxs[worker]
 			for i := lo; i < hi; i++ {
+				if !beat.Next() {
+					return
+				}
 				id := class[i]
 				e.p.Scatter(e.g, id, &e.g.Edges[id], ctx)
 			}
 		}); err != nil {
-			return err
+			return e.poison(err)
 		}
 	}
 	if err := safely(func() { e.p.Merge(e.ctxs) }); err != nil {
@@ -119,4 +135,11 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
 		e.m.Supersteps.Inc()
 	}
 	return nil
+}
+
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) poison(err error) error {
+	if errors.Is(err, ErrStalled) {
+		e.poisoned = err
+	}
+	return err
 }

@@ -18,6 +18,7 @@
 package gas
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -42,6 +43,15 @@ type Metrics struct {
 	BarrierWait *obs.Histogram
 	// Supersteps counts completed Step calls.
 	Supersteps *obs.Counter
+	// WorkerStalls counts parallel phases aborted by the stall
+	// supervisor (per-worker silence past StallPolicy.Grace or a whole
+	// phase past StallPolicy.Deadline).
+	WorkerStalls *obs.Counter
+	// WorkerRestarts counts worker slots recreated after a stall. The
+	// engine itself cannot restart workers (a poisoned engine must be
+	// discarded); the layer that rebuilds the pool from a known-good
+	// snapshot adds to this counter.
+	WorkerRestarts *obs.Counter
 }
 
 // NewMetrics registers the engine's instruments on reg under the
@@ -54,6 +64,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Per-worker wait for the slowest worker at the phase barrier.", nil),
 		Supersteps: reg.Counter("cold_gas_supersteps_total",
 			"Completed GAS supersteps."),
+		WorkerStalls: reg.Counter("cold_gas_worker_stalls_total",
+			"Parallel phases aborted by the stall supervisor."),
+		WorkerRestarts: reg.Counter("cold_gas_worker_restarts_total",
+			"Worker slots recreated after a stall by rebuilding the engine."),
 	}
 }
 
@@ -143,11 +157,15 @@ type InPlaceGatherer[VD, ED, Acc, Ctx any] interface {
 }
 
 // gatherApply runs the gather+apply phase for vertices [lo, hi), using
-// the in-place path when the program supports it.
-func gatherApply[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ctx], ipg InPlaceGatherer[VD, ED, Acc, Ctx], lo, hi int) {
+// the in-place path when the program supports it. beat is ticked once
+// per vertex; a false Next (supervised abort) stops the block early.
+func gatherApply[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ctx], ipg InPlaceGatherer[VD, ED, Acc, Ctx], lo, hi int, beat *Beat) {
 	if ipg != nil {
 		var acc Acc // worker-local; recycled across this block's vertices
 		for v := lo; v < hi; v++ {
+			if !beat.Next() {
+				return
+			}
 			vid := int32(v)
 			has := false
 			for _, eid := range g.incident[v] {
@@ -159,6 +177,9 @@ func gatherApply[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, 
 		return
 	}
 	for v := lo; v < hi; v++ {
+		if !beat.Next() {
+			return
+		}
 		vid := int32(v)
 		var acc Acc
 		has := false
@@ -178,12 +199,14 @@ func gatherApply[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, 
 // fixed worker pool. Work is split into contiguous blocks per worker so
 // a given (graph, workers) pair is deterministic.
 type Engine[VD, ED, Acc, Ctx any] struct {
-	g       *Graph[VD, ED]
-	p       Program[VD, ED, Acc, Ctx]
-	ipg     InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
-	workers int
-	ctxs    []Ctx
-	m       *Metrics
+	g        *Graph[VD, ED]
+	p        Program[VD, ED, Acc, Ctx]
+	ipg      InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
+	workers  int
+	ctxs     []Ctx
+	m        *Metrics
+	sp       *StallPolicy
+	poisoned error // set after a stall; every later Step returns it
 }
 
 // NewEngine creates an engine with the given worker count (minimum 1).
@@ -210,6 +233,10 @@ func (e *Engine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
 // Call before the first Step; the engine does not synchronise access.
 func (e *Engine[VD, ED, Acc, Ctx]) SetMetrics(m *Metrics) { e.m = m }
 
+// SetStallPolicy arms per-phase stall supervision. Pass nil to disarm.
+// Call before the first Step; the engine does not synchronise access.
+func (e *Engine[VD, ED, Acc, Ctx]) SetStallPolicy(sp *StallPolicy) { e.sp = sp }
+
 // Ctxs returns the per-worker scatter contexts, for programs that need to
 // checkpoint worker-local state (e.g. RNG streams) between supersteps.
 func (e *Engine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
@@ -219,20 +246,33 @@ func (e *Engine[VD, ED, Acc, Ctx]) Ctxs() []Ctx { return e.ctxs }
 // goroutine — is recovered and returned as an error rather than crashing
 // the host process; the superstep's partial effects are undefined and the
 // caller should discard or roll back the program state.
+//
+// Under a StallPolicy a hung worker additionally turns into an error
+// wrapping ErrStalled within the policy's bounds, and the engine is
+// poisoned: the stuck goroutine may still be mutating the graph, so no
+// further supersteps are allowed and Step keeps returning the stall
+// error. Rebuild the engine (and its program state) from a known-good
+// snapshot to continue.
 func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
-	if err := runBlocks(e.m, e.workers, len(e.g.Vertices), func(worker, lo, hi int) {
-		gatherApply(e.g, e.p, e.ipg, lo, hi)
-	}); err != nil {
-		return err
+	if e.poisoned != nil {
+		return e.poisoned
 	}
-	if err := runBlocks(e.m, e.workers, len(e.g.Edges), func(worker, lo, hi int) {
+	if err := runBlocks(e.m, e.sp, "gather", e.workers, len(e.g.Vertices), func(worker, lo, hi int, beat *Beat) {
+		gatherApply(e.g, e.p, e.ipg, lo, hi, beat)
+	}); err != nil {
+		return e.poison(err)
+	}
+	if err := runBlocks(e.m, e.sp, "scatter", e.workers, len(e.g.Edges), func(worker, lo, hi int, beat *Beat) {
 		faultinject.Fire(faultinject.GasScatterWorker, worker)
 		ctx := e.ctxs[worker]
 		for id := lo; id < hi; id++ {
+			if !beat.Next() {
+				return
+			}
 			e.p.Scatter(e.g, int32(id), &e.g.Edges[id], ctx)
 		}
 	}); err != nil {
-		return err
+		return e.poison(err)
 	}
 	if err := safely(func() { e.p.Merge(e.ctxs) }); err != nil {
 		return err
@@ -241,6 +281,13 @@ func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
 		e.m.Supersteps.Inc()
 	}
 	return nil
+}
+
+func (e *Engine[VD, ED, Acc, Ctx]) poison(err error) error {
+	if errors.Is(err, ErrStalled) {
+		e.poisoned = err
+	}
+	return err
 }
 
 // safely runs fn, converting a panic into an error carrying the panic
@@ -271,13 +318,23 @@ func truncatedStack() []byte {
 // With non-nil metrics each block's fn duration is observed as worker
 // busy time, and the gap between a worker finishing and the slowest
 // worker finishing as barrier wait. A nil m skips all clock reads.
-func runBlocks(m *Metrics, workers, n int, fn func(worker, lo, hi int)) error {
+//
+// With an enabled StallPolicy the phase runs under runSupervised
+// instead: every block gets a goroutine and a heartbeat, and a hung
+// block turns into an error wrapping ErrStalled instead of hanging the
+// caller. The single-block inline fast path only applies unsupervised —
+// a stall on the calling goroutine could never be detected, let alone
+// aborted.
+func runBlocks(m *Metrics, sp *StallPolicy, phase string, workers, n int, fn func(worker, lo, hi int, beat *Beat)) error {
+	if sp.enabled() {
+		return runSupervised(m, sp, phase, workers, n, fn)
+	}
 	if workers == 1 || n < 2*workers {
 		if m == nil {
-			return safely(func() { fn(0, 0, n) })
+			return safely(func() { fn(0, 0, n, nil) })
 		}
 		start := time.Now()
-		err := safely(func() { fn(0, 0, n) })
+		err := safely(func() { fn(0, 0, n, nil) })
 		m.WorkerBusy.Observe(time.Since(start).Seconds())
 		m.BarrierWait.Observe(0) // lone block: nothing to wait for
 		return err
@@ -302,7 +359,7 @@ func runBlocks(m *Metrics, workers, n int, fn func(worker, lo, hi int)) error {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			start := time.Now()
-			if err := safely(func() { fn(w, lo, hi) }); err != nil {
+			if err := safely(func() { fn(w, lo, hi, nil) }); err != nil {
 				errs[w] = fmt.Errorf("gas: worker %d: %w", w, err)
 			}
 			if m != nil {

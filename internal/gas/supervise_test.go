@@ -1,0 +1,156 @@
+package gas
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// hangProgram is a degreeProgram whose Scatter blocks on release when
+// visiting edge hangOn — a deliberately hung worker.
+type hangProgram struct {
+	degreeProgram
+	hangOn  int32
+	release chan struct{}
+}
+
+func (p *hangProgram) Scatter(g *Graph[int, string], eid int32, e *Edge[string], ctx *degCtx) {
+	if eid == p.hangOn {
+		<-p.release
+	}
+	p.degreeProgram.Scatter(g, eid, e, ctx)
+}
+
+// A hung scatter worker is detected within the stall policy's bounds:
+// Step returns an error wrapping ErrStalled instead of hanging forever,
+// the stall is counted, and the poisoned engine refuses further
+// supersteps without touching the (possibly still-mutating) state.
+func TestHungWorkerDetectedAndEnginePoisoned(t *testing.T) {
+	g := buildTestGraph()
+	p := &hangProgram{hangOn: 3, release: make(chan struct{})}
+	defer close(p.release) // unblock the leaked goroutine at test exit
+	e := NewEngine[int, string, int, *degCtx](g, p, 2)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	e.SetMetrics(m)
+	e.SetStallPolicy(&StallPolicy{Grace: 30 * time.Millisecond})
+
+	done := make(chan error, 1)
+	go func() { done <- e.Step() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("Step returned %v, want ErrStalled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Step hung despite the stall policy")
+	}
+	if got := m.WorkerStalls.Value(); got != 1 {
+		t.Fatalf("WorkerStalls = %d, want 1", got)
+	}
+	// Poisoned: the next Step must fail instantly, not re-run phases.
+	start := time.Now()
+	if err := e.Step(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("poisoned Step returned %v, want ErrStalled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("poisoned Step took %v, want immediate return", d)
+	}
+}
+
+// The chromatic engine shares the supervision path and poisoning.
+func TestHungWorkerChromaticEngine(t *testing.T) {
+	g := buildTestGraph()
+	p := &hangProgram{hangOn: 0, release: make(chan struct{})}
+	defer close(p.release)
+	e := NewChromaticEngine[int, string, int, *degCtx](g, p, 2)
+	e.SetStallPolicy(&StallPolicy{Grace: 30 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() { done <- e.Step() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("Step returned %v, want ErrStalled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chromatic Step hung despite the stall policy")
+	}
+	if err := e.Step(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("poisoned chromatic Step returned %v, want ErrStalled", err)
+	}
+}
+
+// slowProgram makes steady but slow progress, tripping the phase
+// deadline without any single worker ever going silent past the grace.
+type slowProgram struct {
+	degreeProgram
+	perEdge time.Duration
+}
+
+func (p *slowProgram) Scatter(g *Graph[int, string], eid int32, e *Edge[string], ctx *degCtx) {
+	time.Sleep(p.perEdge)
+	p.degreeProgram.Scatter(g, eid, e, ctx)
+}
+
+func TestPhaseDeadlineOverrun(t *testing.T) {
+	g := buildTestGraph()
+	p := &slowProgram{perEdge: 30 * time.Millisecond}
+	e := NewEngine[int, string, int, *degCtx](g, p, 1)
+	e.SetStallPolicy(&StallPolicy{Deadline: 25 * time.Millisecond})
+	if err := e.Step(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("Step returned %v, want ErrStalled on deadline overrun", err)
+	}
+}
+
+// Supervision must be an observer on healthy runs: same results as the
+// unsupervised engine, no stalls counted, engine stays usable.
+func TestSupervisedHealthyRunUnaffected(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		g := buildTestGraph()
+		p := &degreeProgram{}
+		e := NewEngine[int, string, int, *degCtx](g, p, workers)
+		reg := obs.NewRegistry()
+		m := NewMetrics(reg)
+		e.SetMetrics(m)
+		e.SetStallPolicy(&StallPolicy{Deadline: 10 * time.Second, Grace: 10 * time.Second})
+		for step := 0; step < 3; step++ {
+			if err := e.Step(); err != nil {
+				t.Fatalf("workers=%d step %d: %v", workers, step, err)
+			}
+		}
+		wantDeg := []int{3, 2, 2, 1, 0}
+		for v, want := range wantDeg {
+			if g.Vertices[v] != want {
+				t.Fatalf("workers=%d: degree[%d] = %d, want %d", workers, v, g.Vertices[v], want)
+			}
+		}
+		if p.scatterTotal != 3*len(g.Edges) {
+			t.Fatalf("workers=%d: scatter visited %d, want %d", workers, p.scatterTotal, 3*len(g.Edges))
+		}
+		if m.WorkerStalls.Value() != 0 {
+			t.Fatalf("workers=%d: healthy run counted %d stalls", workers, m.WorkerStalls.Value())
+		}
+	}
+}
+
+// A panic inside a supervised block still surfaces as a contained
+// error (not a stall, not a crash), and does not poison the engine.
+func TestSupervisedPanicStillContained(t *testing.T) {
+	g := buildTestGraph()
+	p := &panicProgram{panicIn: "scatter"}
+	e := NewEngine[int, string, int, *degCtx](g, p, 2)
+	e.SetStallPolicy(&StallPolicy{Grace: time.Second})
+	err := e.Step()
+	if err == nil {
+		t.Fatal("panicking program returned nil error")
+	}
+	if errors.Is(err, ErrStalled) {
+		t.Fatalf("panic misreported as stall: %v", err)
+	}
+	p.panicIn = ""
+	if err := e.Step(); err != nil {
+		t.Fatalf("engine unusable after contained panic: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,8 +70,9 @@ type Manager struct {
 	// the file actually changes again.
 	lastSeen fileID
 
-	reloads  atomic.Uint64 // successful swaps
-	failures atomic.Uint64 // rejected candidates
+	reloads       atomic.Uint64 // successful swaps
+	failures      atomic.Uint64 // rejected candidates
+	watchRestarts atomic.Uint64 // watcher loop crashes recovered by restart
 }
 
 type fileID struct {
@@ -250,13 +252,46 @@ func (m *Manager) LoadInitial(ctx context.Context) error {
 // Watch polls the model path until ctx is done, picking up new
 // candidates (including recovery from degraded mode, when the first
 // valid model appears after startup failed).
+//
+// The poll loop itself is supervised: load errors are already contained
+// inside tryReloadChanged, but a panic escaping a reload (a bug in
+// candidate parsing, a faulty injected hook) would otherwise kill the
+// goroutine and silently freeze the server on its current model
+// forever. Instead the loop is restarted with jittered exponential
+// backoff, each restart counted and logged.
 func (m *Manager) Watch(ctx context.Context) {
+	for attempt := 0; ctx.Err() == nil; attempt++ {
+		if m.watchLoop(ctx) {
+			return
+		}
+		m.watchRestarts.Add(1)
+		m.cfg.Metrics.watchRestarted()
+		d := m.cfg.Backoff.delay(attempt, rand.Float64)
+		m.cfg.Logf("serve: model watcher crashed; restart %d in %v", attempt+1, d.Round(time.Millisecond))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// watchLoop runs the poll ticker until ctx is done (true) or a panic
+// escapes a reload attempt (recovered; false, so Watch restarts it).
+func (m *Manager) watchLoop(ctx context.Context) (clean bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.cfg.Logf("serve: model watcher panicked: %v", p)
+		}
+	}()
 	t := time.NewTicker(m.cfg.Poll)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			return
+			return true
 		case <-t.C:
 			// Errors are recorded in Status; last-good keeps serving.
 			_ = m.tryReloadChanged()
@@ -266,13 +301,14 @@ func (m *Manager) Watch(ctx context.Context) {
 
 // Status is the manager's health summary, surfaced by /readyz.
 type Status struct {
-	Generation uint64    `json:"generation"`
-	Source     string    `json:"source,omitempty"`
-	LoadedAt   time.Time `json:"loaded_at"`
-	Degraded   bool      `json:"degraded"`
-	Reloads    uint64    `json:"reloads"`
-	Failures   uint64    `json:"reload_failures"`
-	LastError  string    `json:"last_error,omitempty"`
+	Generation    uint64    `json:"generation"`
+	Source        string    `json:"source,omitempty"`
+	LoadedAt      time.Time `json:"loaded_at"`
+	Degraded      bool      `json:"degraded"`
+	Reloads       uint64    `json:"reloads"`
+	Failures      uint64    `json:"reload_failures"`
+	WatchRestarts uint64    `json:"watch_restarts,omitempty"`
+	LastError     string    `json:"last_error,omitempty"`
 	// LastErrorAt is a pointer so a zero time is omitted, not rendered
 	// as year 1.
 	LastErrorAt *time.Time `json:"last_error_at,omitempty"`
@@ -280,7 +316,8 @@ type Status struct {
 
 // Status reports the current serving state.
 func (m *Manager) Status() Status {
-	st := Status{Reloads: m.reloads.Load(), Failures: m.failures.Load()}
+	st := Status{Reloads: m.reloads.Load(), Failures: m.failures.Load(),
+		WatchRestarts: m.watchRestarts.Load()}
 	m.mu.Lock()
 	st.LastError = m.lastErr
 	if !m.lastErrT.IsZero() {

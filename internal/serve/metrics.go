@@ -31,6 +31,7 @@ type Metrics struct {
 	Reloads        *obs.Counter // cold_serve_model_reloads_total
 	ReloadFailures *obs.Counter // cold_serve_model_reload_failures_total
 	Generation     *obs.Gauge   // cold_serve_model_generation
+	WatchRestarts  *obs.Counter // cold_serve_watch_restarts_total
 
 	// Predictor instruments the scoring hot path; attach it to the
 	// model engine's predictor via ManagerConfig.Metrics.
@@ -59,6 +60,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Model candidates rejected at load or validation."),
 		Generation: reg.Gauge("cold_serve_model_generation",
 			"Generation number of the serving snapshot."),
+		WatchRestarts: reg.Counter("cold_serve_watch_restarts_total",
+			"Model-watcher loop crashes recovered by supervised restart."),
 		Predictor: core.NewPredictorMetrics(reg),
 	}
 	for _, route := range predictRoutes {
@@ -142,6 +145,13 @@ func (m *Metrics) reloadFailed() {
 		return
 	}
 	m.ReloadFailures.Inc()
+}
+
+func (m *Metrics) watchRestarted() {
+	if m == nil {
+		return
+	}
+	m.WatchRestarts.Inc()
 }
 
 func (m *Metrics) generationSwapped(generation uint64) {

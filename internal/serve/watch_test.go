@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// A panic escaping a reload attempt must not kill the watcher: the loop
+// is restarted with backoff, the restart is counted in Status and
+// metrics, and once the fault clears a new candidate is still picked
+// up — the server never silently freezes on its current model.
+func TestWatchRestartsAfterPanic(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	saveModel(t, filepath.Join(dir, "model-a.json"))
+
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+	mgr := NewManager(ManagerConfig{
+		Path:    dir,
+		TopComm: 3,
+		Poll:    2 * time.Millisecond,
+		Backoff: Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Factor: 2, Attempts: 1},
+		Logf:    t.Logf,
+		Metrics: metrics,
+	})
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every load attempt panics until the hook is cleared.
+	var panics atomic.Int32
+	faultinject.Set(faultinject.ServeModelLoad, func(args ...any) {
+		panics.Add(1)
+		panic("injected watcher crash")
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() { defer close(watchDone); mgr.Watch(ctx) }()
+
+	// Drop new candidates so the poll loop attempts loads (and panics).
+	// Each distinct candidate triggers at most one crash — the watcher
+	// remembers the file it attempted — so two generations of candidate
+	// prove the loop survives repeated crashes.
+	next := filepath.Join(dir, "model-b.json")
+	saveModel(t, next)
+	deadline := time.Now().Add(10 * time.Second)
+	for gen := 1; mgr.Status().WatchRestarts < 2 && time.Now().Before(deadline); gen++ {
+		future := time.Now().Add(time.Duration(gen) * time.Hour) // unambiguously newer each round
+		if err := os.Chtimes(next, future, future); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := mgr.Status().WatchRestarts; got < 2 {
+		t.Fatalf("WatchRestarts = %d, want >= 2 (watcher not being restarted)", got)
+	}
+	if metrics.WatchRestarts.Value() == 0 {
+		t.Fatal("cold_serve_watch_restarts_total never incremented")
+	}
+	if panics.Load() == 0 {
+		t.Fatal("injected hook never fired")
+	}
+
+	// Fault clears; the restarted watcher must still pick up model-b
+	// once its file changes again.
+	faultinject.Reset()
+	final := time.Now().Add(1000 * time.Hour)
+	if err := os.Chtimes(next, final, final); err != nil {
+		t.Fatal(err)
+	}
+	for time.Now().Before(deadline) {
+		if cur := mgr.Current(); cur != nil && filepath.Base(cur.Source) == "model-b.json" {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cur := mgr.Current(); filepath.Base(cur.Source) != "model-b.json" {
+		t.Fatalf("restarted watcher never loaded model-b.json; serving %s", cur.Source)
+	}
+
+	// Cancellation still stops a restarted watcher cleanly.
+	cancel()
+	select {
+	case <-watchDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch did not exit on cancellation")
+	}
+}
+
+// A healthy watcher records zero restarts.
+func TestWatchCleanExitCountsNoRestarts(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, filepath.Join(dir, "model-a.json"))
+	mgr := NewManager(ManagerConfig{Path: dir, TopComm: 3, Poll: 2 * time.Millisecond, Logf: t.Logf})
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); mgr.Watch(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch did not exit on cancellation")
+	}
+	if got := mgr.Status().WatchRestarts; got != 0 {
+		t.Fatalf("healthy watcher recorded %d restarts", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package supervise provides the process-level training watchdog: a
+// lock-free progress Heartbeat that the training runtime beats at every
+// sweep boundary, and Run, which executes a long-running function and
+// fails fast — instead of hanging forever — when the heartbeat goes
+// silent for longer than a configured budget.
+//
+// The GAS engines carry their own finer-grained per-worker supervision
+// (internal/gas StallPolicy); this package is the outermost ring, the
+// one that catches whatever the inner rings cannot: a serial sampler
+// stuck in a loop, a wedged filesystem call, a deadlock between layers.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStalled reports that the supervised function made no heartbeat
+// progress within the watchdog budget. Match with errors.Is.
+var ErrStalled = errors.New("supervise: no progress within watchdog budget")
+
+// Heartbeat is a progress beacon safe for concurrent use. The zero
+// value is ready; a nil *Heartbeat ignores beats, so instrumented code
+// needs no "is supervision configured?" branches.
+type Heartbeat struct {
+	beats atomic.Uint64
+	last  atomic.Int64 // unix nanos of the latest beat
+}
+
+// Beat records one unit of progress.
+func (h *Heartbeat) Beat() {
+	if h == nil {
+		return
+	}
+	h.beats.Add(1)
+	h.last.Store(time.Now().UnixNano())
+}
+
+// Count returns the number of beats so far (0 on nil).
+func (h *Heartbeat) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.beats.Load()
+}
+
+// Last returns the time of the latest beat, or the zero time if none.
+func (h *Heartbeat) Last() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	ns := h.last.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Config tunes the watchdog in Run.
+type Config struct {
+	// Budget is the longest heartbeat silence tolerated before the
+	// function is declared stalled. <= 0 disables supervision entirely
+	// (Run just calls fn).
+	Budget time.Duration
+	// Grace is how long, after cancelling the function's context, Run
+	// waits for it to return before giving up and leaking its
+	// goroutine. 0 defaults to Budget/4 (min 100ms).
+	Grace time.Duration
+	// OnStall, when non-nil, is called once when the stall is declared
+	// (before cancellation), with the observed silence.
+	OnStall func(silent time.Duration)
+}
+
+// Run executes fn under a heartbeat watchdog. fn receives a context
+// derived from ctx and must beat hb to prove progress; when the beats
+// go silent for longer than cfg.Budget, Run cancels fn's context, waits
+// cfg.Grace for a cooperative exit, and then returns an error wrapping
+// ErrStalled either way — a stalled training job becomes a fast, clean
+// failure the operator can restart, never a silent hang. If fn returns
+// during the grace window its error is folded into the stall report.
+//
+// A goroutine that ignores its context past the grace window is leaked
+// by design: it cannot be killed, and blocking on it forever is exactly
+// the failure mode Run exists to end.
+func Run(ctx context.Context, cfg Config, hb *Heartbeat, fn func(context.Context) error) error {
+	if cfg.Budget <= 0 {
+		return fn(ctx)
+	}
+	if hb == nil {
+		return fmt.Errorf("supervise: Run needs the heartbeat fn beats")
+	}
+	grace := cfg.Grace
+	if grace <= 0 {
+		grace = cfg.Budget / 4
+		if grace < 100*time.Millisecond {
+			grace = 100 * time.Millisecond
+		}
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- fn(wctx) }()
+
+	poll := cfg.Budget / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+
+	lastCount := hb.Count()
+	lastChange := time.Now()
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-t.C:
+			if c := hb.Count(); c != lastCount {
+				lastCount, lastChange = c, time.Now()
+				continue
+			}
+			silent := time.Since(lastChange)
+			if silent <= cfg.Budget {
+				continue
+			}
+			if cfg.OnStall != nil {
+				cfg.OnStall(silent)
+			}
+			cancel()
+			select {
+			case err := <-errc:
+				if err == nil || errors.Is(err, context.Canceled) {
+					return fmt.Errorf("supervise: stalled after %v of silence (budget %v), stopped at cancellation: %w",
+						silent.Round(time.Millisecond), cfg.Budget, ErrStalled)
+				}
+				return fmt.Errorf("supervise: stalled after %v of silence (budget %v): %v: %w",
+					silent.Round(time.Millisecond), cfg.Budget, err, ErrStalled)
+			case <-time.After(grace):
+				return fmt.Errorf("supervise: stalled after %v of silence (budget %v) and unresponsive to cancellation for %v; goroutine leaked: %w",
+					silent.Round(time.Millisecond), cfg.Budget, grace, ErrStalled)
+			}
+		}
+	}
+}

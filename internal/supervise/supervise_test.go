@@ -1,0 +1,119 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilHeartbeatIsSafe(t *testing.T) {
+	var hb *Heartbeat
+	hb.Beat()
+	if hb.Count() != 0 {
+		t.Fatal("nil heartbeat counted a beat")
+	}
+	if !hb.Last().IsZero() {
+		t.Fatal("nil heartbeat has a last-beat time")
+	}
+}
+
+func TestHeartbeatCounts(t *testing.T) {
+	hb := &Heartbeat{}
+	if !hb.Last().IsZero() {
+		t.Fatal("fresh heartbeat has a last-beat time")
+	}
+	before := time.Now()
+	hb.Beat()
+	hb.Beat()
+	if hb.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", hb.Count())
+	}
+	if last := hb.Last(); last.Before(before.Truncate(time.Second)) {
+		t.Fatalf("Last = %v, want >= %v", last, before)
+	}
+}
+
+func TestZeroBudgetIsPassthrough(t *testing.T) {
+	want := errors.New("boom")
+	err := Run(context.Background(), Config{}, nil, func(ctx context.Context) error { return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("passthrough returned %v, want %v", err, want)
+	}
+}
+
+func TestMissingHeartbeatRejected(t *testing.T) {
+	err := Run(context.Background(), Config{Budget: time.Second}, nil,
+		func(ctx context.Context) error { return nil })
+	if err == nil {
+		t.Fatal("Run accepted a nil heartbeat with supervision armed")
+	}
+}
+
+func TestHealthyFunctionRunsToCompletion(t *testing.T) {
+	hb := &Heartbeat{}
+	want := errors.New("done")
+	err := Run(context.Background(), Config{Budget: 50 * time.Millisecond}, hb,
+		func(ctx context.Context) error {
+			// Beat well inside the budget while doing "work".
+			for i := 0; i < 10; i++ {
+				time.Sleep(5 * time.Millisecond)
+				hb.Beat()
+			}
+			return want
+		})
+	if !errors.Is(err, want) {
+		t.Fatalf("healthy run returned %v, want %v", err, want)
+	}
+}
+
+func TestStalledCooperativeFunction(t *testing.T) {
+	hb := &Heartbeat{}
+	var silence time.Duration
+	err := Run(context.Background(),
+		Config{Budget: 40 * time.Millisecond, OnStall: func(s time.Duration) { silence = s }},
+		hb,
+		func(ctx context.Context) error {
+			<-ctx.Done() // stalled, but honours cancellation
+			return ctx.Err()
+		})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("stalled run returned %v, want ErrStalled", err)
+	}
+	if silence < 40*time.Millisecond {
+		t.Fatalf("OnStall reported %v of silence, want >= budget", silence)
+	}
+}
+
+func TestStalledUnresponsiveFunctionLeaked(t *testing.T) {
+	hb := &Heartbeat{}
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	err := Run(context.Background(),
+		Config{Budget: 40 * time.Millisecond, Grace: 30 * time.Millisecond}, hb,
+		func(ctx context.Context) error {
+			<-release // ignores ctx entirely
+			return nil
+		})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("unresponsive run returned %v, want ErrStalled", err)
+	}
+	// Bounded: budget + poll slack + grace, not forever.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Run took %v to give up on an unresponsive function", d)
+	}
+}
+
+func TestFunctionErrorFoldedIntoStallReport(t *testing.T) {
+	hb := &Heartbeat{}
+	cause := errors.New("sampler exploded")
+	err := Run(context.Background(), Config{Budget: 40 * time.Millisecond}, hb,
+		func(ctx context.Context) error {
+			<-ctx.Done()
+			return cause
+		})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("got %v, want ErrStalled", err)
+	}
+}

@@ -2,6 +2,7 @@ package cold
 
 import (
 	"log/slog"
+	"time"
 
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/obs"
@@ -64,9 +65,31 @@ func WithLogger(l *slog.Logger) TrainOption {
 	return func(s *trainSettings) { s.run.Logger = l }
 }
 
+// WithRetention keeps the n newest checkpoint generations on disk;
+// older ones are garbage-collected after each successful save (n <= 0
+// uses the default of 3). More generations buy deeper fallback when the
+// newest file is corrupted at resume time.
+func WithRetention(n int) TrainOption {
+	return func(s *trainSettings) { s.run.KeepCheckpoints = n }
+}
+
+// WithSupervision arms the training stall supervisor for parallel runs:
+// each GAS phase must finish within sweepTimeout, and every worker must
+// make progress at least every stallGrace. A tripped bound aborts the
+// sweep, rebuilds the sampler from the last in-memory snapshot and
+// retries, preserving the deterministic trajectory (no reseed). Zero
+// durations disable the respective bound.
+func WithSupervision(sweepTimeout, stallGrace time.Duration) TrainOption {
+	return func(s *trainSettings) {
+		s.run.SweepTimeout = sweepTimeout
+		s.run.StallGrace = stallGrace
+	}
+}
+
 // WithRunOptions replaces the full resilience configuration (rollback
-// policy, checkpoint retention, divergence threshold) in one call.
-// Options applied after it still override individual fields.
+// policy, checkpoint retention, divergence threshold, stall
+// supervision) in one call. Options applied after it still override
+// individual fields.
 func WithRunOptions(o RunOptions) TrainOption {
 	return func(s *trainSettings) { s.run = o }
 }
