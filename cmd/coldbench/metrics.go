@@ -2,12 +2,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,9 +18,11 @@ import (
 	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/ingest"
 	"github.com/cold-diffusion/cold/internal/obs"
 	"github.com/cold-diffusion/cold/internal/serve"
 	"github.com/cold-diffusion/cold/internal/synth"
+	"github.com/cold-diffusion/cold/internal/text"
 )
 
 // metricsSmoke runs a miniature train → resume → serve cycle crafted to
@@ -237,6 +241,10 @@ func metricsSmoke(seed uint64) error {
 		return fmt.Errorf("crashed watcher was never restarted")
 	}
 
+	if err := ingestSmoke(reg, dir, model); err != nil {
+		return fmt.Errorf("ingest cycle: %w", err)
+	}
+
 	if un := reg.Untouched(); len(un) > 0 {
 		return fmt.Errorf("metrics registered but never updated during the cycle:\n  %s",
 			strings.Join(un, "\n  "))
@@ -247,5 +255,97 @@ func metricsSmoke(seed uint64) error {
 	}
 	fmt.Printf("metrics smoke: every registered series updated (%d exposition lines)\n",
 		strings.Count(b.String(), "\n"))
+	return nil
+}
+
+// ingestSmoke drives every cold_ingest_* instrument: durable appends
+// with segment rotation, a shed submission, a micro-batch fold with a
+// model publish, then a crash-style reopen over a log with one sealed
+// segment bit-flipped — quarantining the damaged suffix and replaying
+// the surviving prefix.
+func ingestSmoke(reg *obs.Registry, dir string, model *core.Model) error {
+	im := ingest.NewMetrics(reg)
+	ctx := context.Background()
+	rec := func(i int) ingest.PostRecord {
+		return ingest.PostRecord{
+			User:  fmt.Sprintf("smoke-%d", i%3),
+			Slice: i % model.T,
+			Words: text.BagOfWords{IDs: []int{(i * 7) % model.V, (i*7 + 1) % model.V}, Counts: []int{1, 2}},
+		}
+	}
+
+	// Shed + fold + publish: a one-slot queue sheds the second record;
+	// the drain folds the first, checkpoints, and publishes a generation.
+	shedIng, _, err := ingest.New(ingest.Config{
+		WALDir: filepath.Join(dir, "wal-shed"), Base: model, Sweeps: 2,
+		QueueCap: 1, Policy: ingest.PolicyShed,
+		PublishPath: filepath.Join(dir, "live.gob"), Metrics: im,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := shedIng.Submit(ctx, rec(0)); err != nil {
+		return err
+	}
+	if _, err := shedIng.Submit(ctx, rec(1)); !errors.Is(err, ingest.ErrOverloaded) {
+		return fmt.Errorf("over-capacity submit: %v, want ErrOverloaded", err)
+	}
+	if err := shedIng.Drain(ctx); err != nil {
+		return err
+	}
+	if im.Publishes.Value() == 0 {
+		return fmt.Errorf("drain did not publish a model generation")
+	}
+
+	// Quarantine + replay: stream onto tiny segments, abandon without a
+	// checkpoint (kill -9 style), flip one byte in a sealed mid-chain
+	// segment, reopen. Recovery quarantines the flipped segment and its
+	// successors; the surviving prefix replays into the fold state.
+	walDir := filepath.Join(dir, "wal-crash")
+	crashIng, _, err := ingest.New(ingest.Config{
+		WALDir: walDir, Base: model, Sweeps: 2, SegmentBytes: 256, Metrics: im,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := crashIng.Submit(ctx, rec(i)); err != nil {
+			return err
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(segs)
+	if len(segs) < 3 {
+		return fmt.Errorf("only %d wal segments, need >=3 for a mid-chain flip", len(segs))
+	}
+	victim := segs[1]
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)-1] ^= 0x10
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		return err
+	}
+	// crashIng is deliberately abandoned un-drained: its open segment
+	// handle is exactly what a killed process leaves behind.
+	recovered, stats, err := ingest.New(ingest.Config{
+		WALDir: walDir, Base: model, Sweeps: 2, SegmentBytes: 256, Metrics: im,
+	})
+	if err != nil {
+		return err
+	}
+	if len(stats.Quarantined) == 0 {
+		return fmt.Errorf("bit-flipped segment was not quarantined")
+	}
+	if im.Replayed.Value() == 0 {
+		return fmt.Errorf("surviving wal prefix was not replayed")
+	}
+	if err := recovered.Drain(ctx); err != nil {
+		return err
+	}
 	return nil
 }

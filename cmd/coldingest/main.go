@@ -1,28 +1,68 @@
-// Command coldingest builds a COLD dataset from a JSONL stream of raw
-// social records, applying the paper's preprocessing (stop-word removal,
-// low-activity user filtering, vocabulary pruning, time discretisation).
+// Command coldingest feeds the COLD pipeline, in one of two modes.
 //
-// Input: one JSON object per line, dispatched on "type":
+// # Batch mode (default)
+//
+// Builds a COLD dataset from a JSONL stream of raw social records,
+// applying the paper's preprocessing (stop-word removal, low-activity
+// user filtering, vocabulary pruning, time discretisation):
 //
 //	{"type":"post","user":"alice","time":1697040000,"text":"..."}     → returns post index by order of appearance
 //	{"type":"link","from":"alice","to":"bob"}
 //	{"type":"retweet","post":0,"retweeters":["bob"],"ignorers":["eve"]}
 //
-// Usage:
-//
 //	coldingest -in stream.jsonl -slices 24 -minposts 20 -minwords 2 -out dataset.json
+//
+// Malformed lines — bad JSON, unknown record types, retweets referencing
+// an out-of-range post index or a user with no prior activity — are
+// reported to stderr with their line number, counted, and skipped, so
+// one bad row cannot abort (or silently skew) a batch build. The exit
+// status is non-zero when nothing was ingested.
+//
+// # Daemon mode (-daemon)
+//
+// Runs the durable streaming firehose: records POSTed to /v1/ingest are
+// validated against the base model, appended to a checksummed
+// write-ahead log (the 200 response means the record is fsync-durable),
+// and periodically folded into the model as new-user membership rows;
+// each fold publishes a fresh model artefact for a serving coldserve to
+// hot-reload. A crash or kill -9 loses nothing acknowledged: on restart
+// the newest valid state checkpoint is restored and the WAL replayed
+// past its watermark, bit-identically to an uninterrupted run.
+//
+//	coldingest -daemon -model model.gob -wal-dir wal/ -publish live/model.gob -addr :8081
+//
+// Endpoints (versioned under /v1, same error envelope as coldserve):
+//
+//	POST /v1/ingest         {"user","slice","words":{"IDs":[...],"Counts":[...]}}
+//	GET  /v1/ingest/status  watermarks, queue depth, published generations
+//	GET  /v1/healthz        process liveness
+//	GET  /metrics           Prometheus text exposition (alias /v1/metrics)
+//
+// SIGTERM/SIGINT triggers a drain mirroring coldserve: stop accepting,
+// fold everything queued, emit a final state checkpoint and model
+// generation, sync and close the WAL, exit 0.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
+	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/ingest"
+	"github.com/cold-diffusion/cold/internal/obs"
 )
 
 type record struct {
@@ -47,13 +87,42 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("coldingest: ")
 
-	in := flag.String("in", "-", "input JSONL path ('-' for stdin)")
-	out := flag.String("out", "dataset.json", "output dataset path")
-	slices := flag.Int("slices", 24, "number of time slices")
-	minPosts := flag.Int("minposts", 1, "drop users with fewer posts")
-	minWords := flag.Int("minwords", 1, "prune words occurring fewer times")
-	stem := flag.Bool("stem", false, "apply Porter stemming to tokens")
+	// Batch flags.
+	in := flag.String("in", "-", "batch: input JSONL path ('-' for stdin)")
+	out := flag.String("out", "dataset.json", "batch: output dataset path")
+	slices := flag.Int("slices", 24, "batch: number of time slices")
+	minPosts := flag.Int("minposts", 1, "batch: drop users with fewer posts")
+	minWords := flag.Int("minwords", 1, "batch: prune words occurring fewer times")
+	stem := flag.Bool("stem", false, "batch: apply Porter stemming to tokens")
+
+	// Daemon flags.
+	daemon := flag.Bool("daemon", false, "run the durable streaming firehose instead of a batch build")
+	addr := flag.String("addr", ":8081", "daemon: listen address")
+	modelPath := flag.String("model", "", "daemon: trained base model (.json or .gob) streamed users fold into")
+	walDir := flag.String("wal-dir", "wal", "daemon: write-ahead log directory (state checkpoints land under <wal-dir>/state)")
+	publish := flag.String("publish", "", "daemon: model artefact re-published after each fold (.json or .gob), e.g. coldserve's watch directory")
+	foldEvery := flag.Duration("fold-every", 2*time.Second, "daemon: micro-batch fold interval")
+	shedPolicy := flag.String("shed-policy", "shed", "daemon: full-queue behaviour: shed (429 + Retry-After) or block")
+	queueCap := flag.Int("queue-cap", 1024, "daemon: records accepted but not yet folded in")
+	retryAfter := flag.Duration("retry-after", time.Second, "daemon: Retry-After hint on shed submissions")
+	sweeps := flag.Int("sweeps", 20, "daemon: fold-in Gibbs sweeps per record")
+	window := flag.Int("window", 64, "daemon: per-user post window membership rows derive from")
+	segBytes := flag.Int64("segment-bytes", 4<<20, "daemon: WAL segment rotation threshold")
+	syncEvery := flag.Int("sync-every", 1, "daemon: fsync after every Nth record (1 = every acknowledged record is durable)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "daemon: grace period for queue flush on shutdown")
+	logFormat := flag.String("log-format", "text", "daemon: log format: text or json")
+	logLevel := flag.String("log-level", "info", "daemon: log level: debug, info, warn, error")
 	flag.Parse()
+
+	if *daemon {
+		os.Exit(runDaemon(daemonConfig{
+			addr: *addr, modelPath: *modelPath, walDir: *walDir, publish: *publish,
+			foldEvery: *foldEvery, shedPolicy: *shedPolicy, queueCap: *queueCap,
+			retryAfter: *retryAfter, sweeps: *sweeps, window: *window,
+			segBytes: *segBytes, syncEvery: *syncEvery, drainTimeout: *drainTimeout,
+			logFormat: *logFormat, logLevel: *logLevel,
+		}))
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -71,34 +140,12 @@ func main() {
 	b.MinWordCount = *minWords
 	b.Stemming = *stem
 
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
+	handled, skipped := runBatch(b, r)
+	if handled == 0 {
+		if skipped > 0 {
+			log.Fatalf("all %d lines were malformed; nothing ingested", skipped)
 		}
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			log.Fatalf("line %d: %v", lineNo, err)
-		}
-		switch rec.Type {
-		case "post":
-			b.AddPost(rec.User, rec.Time, rec.Text)
-		case "link":
-			b.AddLink(rec.From, rec.To)
-		case "retweet":
-			if err := b.AddRetweet(rec.Post, rec.Retweeters, rec.Ignorers); err != nil {
-				log.Fatalf("line %d: %v", lineNo, err)
-			}
-		default:
-			log.Fatalf("line %d: unknown record type %q", lineNo, rec.Type)
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		log.Fatal(err)
+		log.Fatal("empty input; nothing ingested")
 	}
 
 	data, names, err := b.Build()
@@ -109,4 +156,170 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %s (%d named users)\n", *out, data.Stats(), len(names))
+}
+
+// runBatch streams records into the builder with strict-skip semantics:
+// every malformed line is reported with its line number and skipped, and
+// the counts come back for the exit-status decision.
+func runBatch(b *corpus.Builder, r io.Reader) (handled, skipped int) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	var firstBad []int
+	skip := func(format string, args ...any) {
+		skipped++
+		if len(firstBad) < 5 {
+			firstBad = append(firstBad, lineNo)
+		}
+		log.Printf("line %d: skipped: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			skip("%v", err)
+			continue
+		}
+		switch rec.Type {
+		case "post":
+			b.AddPost(rec.User, rec.Time, rec.Text)
+			handled++
+		case "link":
+			b.AddLink(rec.From, rec.To)
+			handled++
+		case "retweet":
+			// Reject retweets naming users with no prior activity BEFORE
+			// AddRetweet interns them: a phantom user either vanishes in
+			// the low-activity filter (silently discarding the diffusion
+			// observation) or survives as an all-zero row that skews the
+			// estimator. Out-of-range post indices are caught by the
+			// builder itself.
+			if unknown := firstUnknownUser(b, rec.Retweeters, rec.Ignorers); unknown != "" {
+				skip("retweet of post %d names user %q with no prior post or link", rec.Post, unknown)
+				continue
+			}
+			if err := b.AddRetweet(rec.Post, rec.Retweeters, rec.Ignorers); err != nil {
+				skip("%v", err)
+				continue
+			}
+			handled++
+		default:
+			skip("unknown record type %q", rec.Type)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if skipped > 0 {
+		log.Printf("summary: %d records ingested, %d malformed lines skipped (first at lines %v)",
+			handled, skipped, firstBad)
+	}
+	return handled, skipped
+}
+
+// firstUnknownUser returns the first user in the given lists the builder
+// has never seen, or "" when all are known.
+func firstUnknownUser(b *corpus.Builder, lists ...[]string) string {
+	for _, list := range lists {
+		for _, u := range list {
+			if !b.KnownUser(u) {
+				return u
+			}
+		}
+	}
+	return ""
+}
+
+type daemonConfig struct {
+	addr, modelPath, walDir, publish string
+	foldEvery                        time.Duration
+	shedPolicy                       string
+	queueCap                         int
+	retryAfter                       time.Duration
+	sweeps, window                   int
+	segBytes                         int64
+	syncEvery                        int
+	drainTimeout                     time.Duration
+	logFormat, logLevel              string
+}
+
+// runDaemon is the -daemon entrypoint; it returns the process exit code
+// so drain errors surface to the supervisor.
+func runDaemon(cfg daemonConfig) int {
+	logger := obs.NewLogger(os.Stderr, cfg.logFormat, obs.ParseLevel(cfg.logLevel))
+	logf := obs.Printf(logger.With("component", "ingest"))
+
+	if cfg.modelPath == "" {
+		log.Print("daemon mode needs -model (the trained base model)")
+		return 2
+	}
+	policy, err := ingest.ParsePolicy(cfg.shedPolicy)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	base, err := loadModel(cfg.modelPath)
+	if err != nil {
+		log.Printf("load base model: %v", err)
+		return 1
+	}
+
+	reg := obs.NewRegistry()
+	metrics := ingest.NewMetrics(reg)
+
+	ing, rec, err := ingest.New(ingest.Config{
+		WALDir:       cfg.walDir,
+		Base:         base,
+		PublishPath:  cfg.publish,
+		FoldEvery:    cfg.foldEvery,
+		QueueCap:     cfg.queueCap,
+		Policy:       policy,
+		RetryAfter:   cfg.retryAfter,
+		Sweeps:       cfg.sweeps,
+		Window:       cfg.window,
+		SegmentBytes: cfg.segBytes,
+		SyncEvery:    cfg.syncEvery,
+		Metrics:      metrics,
+		Logf:         logf,
+	})
+	if err != nil {
+		log.Printf("open ingester: %v", err)
+		return 1
+	}
+	logger.Info("ingester recovered", "last_seq", rec.LastSeq,
+		"segments", rec.Segments, "truncated_bytes", rec.TruncatedBytes,
+		"quarantined", len(rec.Quarantined))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	ing.Start(ctx)
+
+	srv := ingest.NewServer(ing, logf)
+	srv.DrainTimeout = cfg.drainTimeout
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	logger.Info("firehose listening", "addr", ln.Addr().String(),
+		"model", cfg.modelPath, "wal_dir", cfg.walDir, "publish", cfg.publish)
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Printf("serve: %v", err)
+		return 1
+	}
+	logger.Info("shut down cleanly")
+	return 0
+}
+
+// loadModel reads a base model, dispatching on extension like the
+// serving tier does.
+func loadModel(path string) (*core.Model, error) {
+	if strings.EqualFold(filepath.Ext(path), ".gob") {
+		return core.LoadModelGobFile(path)
+	}
+	return core.LoadModelFile(path)
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+)
+
+func TestRunBatchStrictSkip(t *testing.T) {
+	input := strings.Join([]string{
+		`{"type":"post","user":"alice","time":100,"text":"hello cold world"}`,
+		`{"type":"post","user":"bob","time":200,"text":"more words here"}`,
+		`{"type":"link","from":"alice","to":"bob"}`,
+		`{"type":"retweet","post":0,"retweeters":["bob"],"ignorers":[]}`,
+		`{"type":"retweet","post":99,"retweeters":["bob"],"ignorers":[]}`,  // out-of-range post
+		`{"type":"retweet","post":1,"retweeters":["mallory"],"ignorers":[]}`, // unknown retweeter
+		`{"type":"retweet","post":1,"retweeters":["bob"],"ignorers":["eve"]}`, // unknown ignorer
+		`{"type":"wibble"}`,  // unknown type
+		`{"type":"post","user"`, // truncated JSON
+		``,                      // blank lines are not records and not errors
+		`{"type":"post","user":"carol","time":300,"text":"late but valid"}`,
+	}, "\n")
+
+	var logged bytes.Buffer
+	log.SetOutput(&logged)
+	defer log.SetOutput(log.Writer())
+
+	b := corpus.NewBuilder()
+	handled, skipped := runBatch(b, strings.NewReader(input))
+	if handled != 5 {
+		t.Errorf("handled = %d, want 5 (3 posts, 1 link, 1 retweet)", handled)
+	}
+	if skipped != 5 {
+		t.Errorf("skipped = %d, want 5", skipped)
+	}
+
+	out := logged.String()
+	for _, want := range []string{
+		"line 5: skipped: corpus: retweet references unknown post 99",
+		`line 6: skipped: retweet of post 1 names user "mallory" with no prior post or link`,
+		`line 7: skipped: retweet of post 1 names user "eve" with no prior post or link`,
+		`line 8: skipped: unknown record type "wibble"`,
+		"line 9: skipped:",
+		"summary: 5 records ingested, 5 malformed lines skipped (first at lines [5 6 7 8 9])",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q\ngot:\n%s", want, out)
+		}
+	}
+
+	// The rejected users were never interned: the skip happened before
+	// the builder could create phantom rows.
+	for _, phantom := range []string{"mallory", "eve"} {
+		if b.KnownUser(phantom) {
+			t.Errorf("rejected user %q was interned anyway", phantom)
+		}
+	}
+
+	// The surviving records build a coherent dataset.
+	data, names, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.U != 3 || len(names) != 3 {
+		t.Fatalf("built %d users %v, want alice/bob/carol", data.U, names)
+	}
+	if len(data.Retweets) != 1 {
+		t.Fatalf("built %d retweet observations, want the 1 valid one", len(data.Retweets))
+	}
+}

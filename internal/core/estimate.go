@@ -147,6 +147,11 @@ func (a *accumulator) restore(sum *Model, n int) {
 	}
 }
 
+// Clone deep-copies the model. The streaming ingestion layer uses it to
+// keep a frozen base model while the live copy grows user rows through
+// ExtendWithUser.
+func (m *Model) Clone() *Model { return m.clone() }
+
 // clone deep-copies the model (nil-safe).
 func (m *Model) clone() *Model {
 	if m == nil {

@@ -13,6 +13,23 @@ import (
 // corpus-level factors (θ, φ, ψ) fixed. This is the standard predictive
 // treatment for unseen documents/users in collapsed topic models and
 // lets the Predictor score cold-start users.
+//
+// # Concurrency contract
+//
+// FoldIn is a pure read of the corpus-level factors (Cfg, Theta, Phi,
+// Psi, T): all sampling state lives in locals seeded by the caller, so
+// any number of FoldIn calls may run concurrently with each other and
+// with the read-only Model/Predictor methods, and a fixed (posts, sweeps,
+// seed) triple returns bit-identical results regardless of concurrency.
+//
+// ExtendWithUser MUTATES the model (appends a Pi row and increments U),
+// so calls to it must be serialised with each other AND with every
+// reader of Pi or U — Predictor scoring, LinkScore, Validate, model
+// serialisation. It is safe to run concurrently with plain FoldIn calls,
+// which never touch Pi or U. The streaming ingester satisfies this by
+// funnelling all ExtendWithUser calls through its single fold goroutine
+// and publishing deep-copied snapshots to the serving tier.
+// TestFoldInConcurrentUse enforces this contract under -race.
 
 // FoldInPost is one post by the new user: a bag of words with an
 // optional time slice (Time < 0 ignores the temporal factor).

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// TestFoldInConcurrentUse enforces the concurrency contract documented
+// in foldin.go, under -race:
+//
+//   - FoldIn is a pure read: any number of concurrent calls return
+//     bit-identical results for a fixed (posts, sweeps, seed) triple.
+//   - ExtendWithUser mutates Pi/U and must be serialised, but is safe
+//     to run concurrently with plain FoldIn calls.
+//
+// The streaming ingester leans on exactly this split: many submitters
+// validate and log records concurrently while one fold goroutine owns
+// all Pi/U mutation.
+func TestFoldInConcurrentUse(t *testing.T) {
+	m, err := Train(tinyData(), func() Config {
+		cfg := DefaultConfig(2, 3)
+		cfg.Iterations, cfg.BurnIn, cfg.Seed = 8, 4, 9
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	posts := func(seed int) []FoldInPost {
+		return []FoldInPost{
+			{Words: text.NewBagOfWords([]int{seed % m.V, (seed + 1) % m.V}), Time: seed % m.T},
+			{Words: text.NewBagOfWords([]int{(seed + 2) % m.V}), Time: -1},
+		}
+	}
+
+	// Reference values computed sequentially.
+	const workers = 8
+	ref := make([][]float64, workers)
+	for g := range ref {
+		ref[g] = m.FoldIn(posts(g), 6, uint64(100+g))
+	}
+
+	// Phase 1: concurrent FoldIn calls must reproduce the reference
+	// bit-for-bit — shared-state leakage would show up as either a race
+	// report or a drifted value.
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		for rep := 0; rep < 4; rep++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got := m.FoldIn(posts(g), 6, uint64(100+g))
+				for c := range got {
+					if got[c] != ref[g][c] {
+						t.Errorf("concurrent FoldIn(seed %d) drifted at community %d: %v != %v", g, c, got[c], ref[g][c])
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 2: serialised ExtendWithUser calls racing plain FoldIn
+	// readers. The mutex stands in for the ingester's single fold
+	// goroutine; FoldIn needs no lock because it never touches Pi or U.
+	var mu sync.Mutex
+	baseU := m.U
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				mu.Lock()
+				m.ExtendWithUser(posts(g), 6, uint64(200+g))
+				mu.Unlock()
+				return
+			}
+			for rep := 0; rep < 8; rep++ {
+				got := m.FoldIn(posts(g), 6, uint64(100+g))
+				for c := range got {
+					if got[c] != ref[g][c] {
+						t.Errorf("FoldIn(seed %d) drifted while ExtendWithUser ran: %v != %v", g, got[c], ref[g][c])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := baseU + workers/2; m.U != want {
+		t.Fatalf("U = %d after %d extensions, want %d", m.U, workers/2, want)
+	}
+	if len(m.Pi) != m.U {
+		t.Fatalf("Pi has %d rows for %d users", len(m.Pi), m.U)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("model invalid after concurrent use: %v", err)
+	}
+}

@@ -115,6 +115,16 @@ func (b *Builder) AddRetweet(post int, retweeters, ignorers []string) error {
 // Build, using the mapping Build returns).
 func (b *Builder) UserName(raw int) string { return b.names[raw] }
 
+// KnownUser reports whether user was seen by an earlier AddPost or
+// AddLink. Feeders use it to reject retweet records naming users with no
+// prior activity instead of silently interning a phantom user that the
+// low-activity filter would drop (taking the diffusion observation with
+// it) or, worse, keeping as an all-zero row.
+func (b *Builder) KnownUser(user string) bool {
+	_, ok := b.users[user]
+	return ok
+}
+
 // Build applies the filters and produces the dataset plus the mapping
 // from kept dense user ids back to user names.
 func (b *Builder) Build() (*Dataset, []string, error) {

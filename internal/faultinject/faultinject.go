@@ -81,6 +81,27 @@ const (
 	// CkptFSRename fires before the rename into the final name, with
 	// the destination path and a *error.
 	CkptFSRename = "checkpoint.fs.rename"
+
+	// The ingest.wal.* points form the injectable filesystem shim inside
+	// the streaming write-ahead log (internal/ingest), mirroring the
+	// checkpoint.fs.* fault classes for the append path.
+
+	// IngestWALAppend fires on every record-frame write to the active
+	// segment, with the segment path, a *int holding the bytes about to
+	// be written (a hook may shrink it to simulate a torn append) and a
+	// *error (ENOSPC, EIO). A torn append is truncated back to the last
+	// record boundary, so an append that reported failure never leaves a
+	// partial frame for recovery to trip over.
+	IngestWALAppend = "ingest.wal.append"
+	// IngestWALSync fires before the active segment is fsynced, with the
+	// segment path and a *error. A failed sync fails the append that
+	// requested it: the record is not acknowledged as durable.
+	IngestWALSync = "ingest.wal.sync"
+	// IngestWALRotate fires before a segment rotation creates the next
+	// segment file, with the new segment path and a *error. A failed
+	// rotation keeps the writer on the sealed segment; the triggering
+	// append fails and may be retried.
+	IngestWALRotate = "ingest.wal.rotate"
 )
 
 var (

@@ -1,0 +1,479 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/core"
+)
+
+// Policy selects what Submit does when the admission queue is full.
+type Policy int
+
+const (
+	// PolicyBlock makes Submit wait for queue space (bounded by its
+	// context) — lossless backpressure for trusted batch feeders.
+	PolicyBlock Policy = iota
+	// PolicyShed makes Submit fail fast with ErrOverloaded — the right
+	// answer for a public endpoint, where the client retries with the
+	// Retry-After hint.
+	PolicyShed
+)
+
+// ParsePolicy maps the -shed-policy flag values onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "block":
+		return PolicyBlock, nil
+	case "shed":
+		return PolicyShed, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown shed policy %q (want block or shed)", s)
+}
+
+// ErrOverloaded reports a submission shed because the queue was full.
+var ErrOverloaded = errors.New("ingest: queue full")
+
+// ErrDraining reports a submission refused because the ingester is
+// shutting down.
+var ErrDraining = errors.New("ingest: draining")
+
+// Reloader is the hook through which a publish triggers a serving hot
+// reload; *serve.Manager satisfies it.
+type Reloader interface{ Reload() error }
+
+// Config configures an Ingester.
+type Config struct {
+	// WALDir holds the write-ahead log segments. Required.
+	WALDir string
+	// StateDir holds the applier state checkpoints; "" → WALDir/state.
+	StateDir string
+	// Base is the trained model streamed users fold into. Required.
+	Base *core.Model
+	// PublishPath, when set, is the model artefact (.gob or .json,
+	// written atomically) re-published after each fold that applied
+	// records — the file a serving Manager's watcher picks up.
+	PublishPath string
+	// Reloader, when set, is poked after each publish for an immediate
+	// hot reload instead of waiting on the serving watcher's poll.
+	Reloader Reloader
+	// FoldEvery is the fold-loop tick; 0 → 2s.
+	FoldEvery time.Duration
+	// QueueCap bounds records accepted but not yet folded in; 0 → 1024.
+	QueueCap int
+	// Policy is the full-queue behaviour (default PolicyBlock).
+	Policy Policy
+	// RetryAfter is the hint attached to shed submissions; 0 → 1s.
+	RetryAfter time.Duration
+	// Sweeps is the fold-in Gibbs sweep count; 0 → 20.
+	Sweeps int
+	// Window caps the per-user post window membership rows are derived
+	// from; 0 → 64.
+	Window int
+	// KeepCheckpoints bounds retained state generations; 0 → 3.
+	KeepCheckpoints int
+	// SegmentBytes and SyncEvery configure the WAL (see WALConfig).
+	SegmentBytes int64
+	SyncEvery    int
+	// Logf, when set, receives lifecycle events.
+	Logf func(format string, args ...any)
+	// Metrics, when set, instruments the whole pipeline.
+	Metrics *Metrics
+}
+
+// entry is one accepted record riding the queue from Submit to the fold
+// goroutine.
+type entry struct {
+	seq uint64
+	rec PostRecord
+}
+
+// Ingester is the durable streaming pipeline: Submit validates a record,
+// appends it to the WAL (the acknowledgement point), and queues it for
+// the fold goroutine, which periodically folds queued records into the
+// live model, checkpoints the applier state, and publishes a fresh model
+// generation. New replays the WAL past the newest valid checkpoint, so a
+// crash loses nothing that was acknowledged and re-applies nothing that
+// was checkpointed.
+type Ingester struct {
+	cfg Config
+	wal *WAL
+
+	// slots is the admission semaphore: a token is held from before the
+	// WAL append until the record is folded in, so the queue channel
+	// send after a successful append can never block and a record is
+	// never durable-but-dropped (which would resurrect on replay and
+	// break crash-exactness).
+	slots chan struct{}
+	queue chan entry
+
+	foldMu   chMutex // serialises fold/drain/checkpoint over st
+	st       *foldState
+	started  atomic.Bool   // Start called (fold loop running)
+	draining chan struct{} // closed by Drain
+	stopped  chan struct{} // closed when the fold loop exits
+	gen      uint64        // published generations
+}
+
+// chMutex is a channel-based mutex (acquire = send), used instead of
+// sync.Mutex so Drain can bound its wait with a context.
+type chMutex chan struct{}
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+
+// New opens (and if needed repairs) the WAL, restores the newest valid
+// state checkpoint, and replays acknowledged records past its watermark.
+// The returned RecoveryStats describe what recovery found; the Ingester
+// is ready for Submit, but folding only starts with Start.
+func New(cfg Config) (*Ingester, *RecoveryStats, error) {
+	if cfg.WALDir == "" {
+		return nil, nil, fmt.Errorf("ingest: Config.WALDir is required")
+	}
+	if cfg.Base == nil {
+		return nil, nil, fmt.Errorf("ingest: Config.Base model is required")
+	}
+	if cfg.StateDir == "" {
+		cfg.StateDir = filepath.Join(cfg.WALDir, "state")
+	}
+	if cfg.FoldEvery <= 0 {
+		cfg.FoldEvery = 2 * time.Second
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Sweeps <= 0 {
+		cfg.Sweeps = 20
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.KeepCheckpoints <= 0 {
+		cfg.KeepCheckpoints = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	st, quarantined, resumeErr := loadState(cfg.StateDir, cfg.Base, cfg.Sweeps, cfg.Window)
+	for _, q := range quarantined {
+		cfg.Logf("ingest: quarantined corrupt state checkpoint %s", filepath.Base(q))
+	}
+	if resumeErr != nil && !errors.Is(resumeErr, os.ErrNotExist) {
+		cfg.Logf("ingest: no usable state checkpoint (%v); rebuilding from the wal", resumeErr)
+	}
+
+	wal, rec, err := OpenWAL(WALConfig{
+		Dir:          cfg.WALDir,
+		SegmentBytes: cfg.SegmentBytes,
+		SyncEvery:    cfg.SyncEvery,
+		ResumeAfter:  st.appliedSeq,
+		Metrics:      cfg.Metrics,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ing := &Ingester{
+		cfg:      cfg,
+		wal:      wal,
+		slots:    make(chan struct{}, cfg.QueueCap),
+		queue:    make(chan entry, cfg.QueueCap),
+		foldMu:   make(chMutex, 1),
+		st:       st,
+		draining: make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+
+	replayed, err := Replay(cfg.WALDir, st.appliedSeq, cfg.Metrics, func(seq uint64, payload []byte) error {
+		var r PostRecord
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("ingest: wal record %d does not decode: %w", seq, err)
+		}
+		if err := validateRecord(&r, cfg.Base); err != nil {
+			return fmt.Errorf("ingest: wal record %d: %w", seq, err)
+		}
+		st.apply(seq, r)
+		cfg.Metrics.appliedOne()
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	if replayed > 0 {
+		cfg.Logf("ingest: replayed %d wal record(s) past checkpoint watermark %d", replayed, st.appliedSeq-uint64(replayed))
+		// Re-checkpoint immediately so the next restart replays less and
+		// the covered prefix becomes prunable.
+		if err := ing.checkpointLocked(); err != nil {
+			cfg.Logf("ingest: post-replay checkpoint failed: %v (wal still covers the state)", err)
+		}
+	}
+	cfg.Logf("ingest: ready at seq %d (%d user(s) folded in, %d live segment(s))",
+		st.appliedSeq, len(st.names), rec.Segments)
+	return ing, rec, nil
+}
+
+// Submit validates, durably logs, and queues one record. The returned
+// sequence number is the record's durable identity. Backpressure
+// happens BEFORE the WAL append: a full queue sheds (PolicyShed) or
+// blocks (PolicyBlock, bounded by ctx) without writing anything, so
+// every acknowledged record is guaranteed to be folded in exactly once.
+func (ing *Ingester) Submit(ctx context.Context, rec PostRecord) (uint64, error) {
+	select {
+	case <-ing.draining:
+		return 0, ErrDraining
+	default:
+	}
+	if err := validateRecord(&rec, ing.cfg.Base); err != nil {
+		return 0, err
+	}
+	select {
+	case ing.slots <- struct{}{}:
+	default:
+		if ing.cfg.Policy == PolicyShed {
+			ing.cfg.Metrics.shedOne()
+			return 0, fmt.Errorf("%w (retry after %s)", ErrOverloaded, ing.cfg.RetryAfter)
+		}
+		select {
+		case ing.slots <- struct{}{}:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-ing.draining:
+			return 0, ErrDraining
+		}
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		<-ing.slots
+		return 0, err
+	}
+	seq, _, err := ing.wal.Append(payload)
+	if err != nil {
+		<-ing.slots
+		return 0, err
+	}
+	ing.queue <- entry{seq: seq, rec: rec} // cannot block: slot reserved
+	ing.cfg.Metrics.queueDepth(len(ing.queue))
+	return seq, nil
+}
+
+// Start launches the fold loop; it runs until ctx is cancelled or Drain
+// is called. Folding is optional for tests that drive foldOnce directly.
+// Start must be called at most once, and not after Drain.
+func (ing *Ingester) Start(ctx context.Context) {
+	if !ing.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(ing.stopped)
+		t := time.NewTicker(ing.cfg.FoldEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ing.draining:
+				return
+			case <-t.C:
+				if _, err := ing.foldOnce(); err != nil {
+					ing.cfg.Logf("ingest: fold pass: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// foldOnce drains the queue into the fold state as one micro-batch and,
+// if anything was applied, checkpoints and publishes. It returns the
+// number of records applied.
+func (ing *Ingester) foldOnce() (int, error) {
+	ing.foldMu.lock()
+	defer ing.foldMu.unlock()
+	return ing.foldLocked()
+}
+
+func (ing *Ingester) foldLocked() (int, error) {
+	start := time.Now()
+	applied := 0
+	for {
+		select {
+		case e := <-ing.queue:
+			ing.st.apply(e.seq, e.rec)
+			<-ing.slots
+			applied++
+			ing.cfg.Metrics.appliedOne()
+		default:
+			ing.cfg.Metrics.queueDepth(len(ing.queue))
+			if applied == 0 {
+				return 0, nil
+			}
+			ing.cfg.Metrics.foldObserved(time.Since(start).Seconds())
+			var err error
+			if cerr := ing.checkpointLocked(); cerr != nil {
+				err = fmt.Errorf("state checkpoint: %w", cerr)
+			}
+			if perr := ing.publishLocked(); perr != nil && err == nil {
+				err = fmt.Errorf("publish: %w", perr)
+			}
+			return applied, err
+		}
+	}
+}
+
+// checkpointLocked saves the applier state, prunes old generations, and
+// prunes WAL segments the oldest retained generation no longer needs.
+func (ing *Ingester) checkpointLocked() error {
+	if _, err := ing.st.save(ing.cfg.StateDir); err != nil {
+		return err
+	}
+	if err := checkpoint.Prune(ing.cfg.StateDir, ing.cfg.KeepCheckpoints); err != nil {
+		ing.cfg.Logf("ingest: prune state checkpoints: %v", err)
+	}
+	if mark := walPruneWatermark(ing.cfg.StateDir); mark > 0 {
+		if n, err := ing.wal.PruneThrough(mark); err != nil && !errors.Is(err, ErrWALClosed) {
+			ing.cfg.Logf("ingest: prune wal through %d: %v", mark, err)
+		} else if n > 0 {
+			ing.cfg.Logf("ingest: pruned %d fully-checkpointed wal segment(s) through seq %d", n, mark)
+		}
+	}
+	return nil
+}
+
+// publishLocked writes the current model generation to PublishPath
+// (atomic tmp+rename via the checkpoint layer) and pokes the Reloader.
+func (ing *Ingester) publishLocked() error {
+	if ing.cfg.PublishPath == "" {
+		return nil
+	}
+	var err error
+	if strings.EqualFold(filepath.Ext(ing.cfg.PublishPath), ".json") {
+		err = ing.st.model.SaveFile(ing.cfg.PublishPath)
+	} else {
+		err = ing.st.model.SaveGobFile(ing.cfg.PublishPath)
+	}
+	if err != nil {
+		return err
+	}
+	ing.gen++
+	ing.cfg.Metrics.publishedOne()
+	ing.cfg.Logf("ingest: published model generation %d (U=%d, seq %d) to %s",
+		ing.gen, ing.st.model.U, ing.st.appliedSeq, ing.cfg.PublishPath)
+	if ing.cfg.Reloader != nil {
+		if err := ing.cfg.Reloader.Reload(); err != nil {
+			return fmt.Errorf("serving reload after publish: %w", err)
+		}
+	}
+	return nil
+}
+
+// Drain shuts the pipeline down cleanly: refuse new submissions, wait
+// out in-flight ones, fold everything queued, emit a final checkpoint
+// and publish, then sync and close the WAL. Bounded by ctx; a deadline
+// overrun returns the context error after closing the WAL anyway.
+func (ing *Ingester) Drain(ctx context.Context) error {
+	select {
+	case <-ing.draining:
+		return nil // already drained
+	default:
+		close(ing.draining)
+	}
+	if ing.started.Load() {
+		<-ing.stopped // wait out the fold loop's in-flight pass
+	}
+
+	var err error
+	ing.foldMu.lock()
+	defer ing.foldMu.unlock()
+drain:
+	for {
+		// A submitter that held a slot before Drain closed the gate may
+		// still be mid-append; its queue send is guaranteed, so wait for
+		// the slot count to settle rather than racing it.
+		if _, ferr := ing.foldLocked(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if len(ing.slots) == 0 && len(ing.queue) == 0 {
+			break drain
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("ingest: drain deadline: %w", ctx.Err())
+			}
+			break drain
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Final checkpoint even when nothing new was applied, so the drain
+	// leaves a generation exactly at the watermark.
+	if cerr := ing.checkpointLocked(); cerr != nil && err == nil {
+		err = fmt.Errorf("ingest: final checkpoint: %w", cerr)
+	}
+	if serr := ing.wal.Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	if cerr := ing.wal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	ing.cfg.Logf("ingest: drained at seq %d (%d user(s) folded in)", ing.st.appliedSeq, len(ing.st.names))
+	return err
+}
+
+// Status is the ingester's health summary for the status endpoint.
+type Status struct {
+	LastSeq     uint64 `json:"last_seq"`
+	AppliedSeq  uint64 `json:"applied_seq"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_cap"`
+	Users       int    `json:"streamed_users"`
+	Generations uint64 `json:"published_generations"`
+	Draining    bool   `json:"draining"`
+}
+
+// Status reports current pipeline state. It takes the fold lock briefly,
+// so it must not be called from the fold goroutine itself.
+func (ing *Ingester) Status() Status {
+	st := Status{
+		LastSeq:    ing.wal.LastSeq(),
+		QueueDepth: len(ing.queue),
+		QueueCap:   ing.cfg.QueueCap,
+	}
+	select {
+	case <-ing.draining:
+		st.Draining = true
+	default:
+	}
+	ing.foldMu.lock()
+	st.AppliedSeq = ing.st.appliedSeq
+	st.Users = len(ing.st.names)
+	st.Generations = ing.gen
+	ing.foldMu.unlock()
+	return st
+}
+
+// RetryAfter exposes the configured shed hint for the HTTP layer.
+func (ing *Ingester) RetryAfter() time.Duration { return ing.cfg.RetryAfter }
+
+// Model returns a deep copy of the current live model, for tests and
+// CLI inspection.
+func (ing *Ingester) Model() *core.Model {
+	ing.foldMu.lock()
+	defer ing.foldMu.unlock()
+	return ing.st.model.Clone()
+}

@@ -1,0 +1,111 @@
+package ingest
+
+import (
+	"net/http"
+
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// Metrics is the ingestion layer's instrument set under the
+// cold_ingest_* namespace. A nil *Metrics disables instrumentation; all
+// methods are nil-safe, matching the serve.Metrics convention.
+type Metrics struct {
+	Appended    *obs.Counter   // cold_ingest_appended_total
+	Replayed    *obs.Counter   // cold_ingest_replayed_total
+	Quarantined *obs.Counter   // cold_ingest_quarantined_total
+	Applied     *obs.Counter   // cold_ingest_applied_total
+	Shed        *obs.Counter   // cold_ingest_shed_total
+	Publishes   *obs.Counter   // cold_ingest_publishes_total
+	QueueDepth  *obs.Gauge     // cold_ingest_queue_depth
+	FoldSeconds *obs.Histogram // cold_ingest_fold_seconds
+
+	reg *obs.Registry
+}
+
+// Handler exposes the backing registry's Prometheus exposition; nil when
+// metrics are disabled, matching serve.Metrics.Handler.
+func (m *Metrics) Handler() http.Handler {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	return m.reg.Handler()
+}
+
+// NewMetrics registers the ingestion instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Appended: reg.Counter("cold_ingest_appended_total",
+			"Records durably appended to the write-ahead log."),
+		Replayed: reg.Counter("cold_ingest_replayed_total",
+			"WAL records re-applied past the checkpoint watermark at startup."),
+		Quarantined: reg.Counter("cold_ingest_quarantined_total",
+			"WAL segments quarantined with the .bad suffix during recovery."),
+		Applied: reg.Counter("cold_ingest_applied_total",
+			"Records folded into the serving model (live or replayed)."),
+		Shed: reg.Counter("cold_ingest_shed_total",
+			"Submissions shed with 429 because the admission queue was full."),
+		Publishes: reg.Counter("cold_ingest_publishes_total",
+			"Model generations published for serving hot reload."),
+		QueueDepth: reg.Gauge("cold_ingest_queue_depth",
+			"Records accepted into the admission queue but not yet folded in."),
+		FoldSeconds: reg.Histogram("cold_ingest_fold_seconds",
+			"Latency of one micro-batched fold-in pass.", nil),
+		reg: reg,
+	}
+}
+
+func (m *Metrics) appendedOne() {
+	if m == nil {
+		return
+	}
+	m.Appended.Inc()
+}
+
+func (m *Metrics) replayedOne() {
+	if m == nil {
+		return
+	}
+	m.Replayed.Inc()
+}
+
+func (m *Metrics) quarantined(n int) {
+	if m == nil {
+		return
+	}
+	m.Quarantined.Add(uint64(n))
+}
+
+func (m *Metrics) appliedOne() {
+	if m == nil {
+		return
+	}
+	m.Applied.Inc()
+}
+
+func (m *Metrics) shedOne() {
+	if m == nil {
+		return
+	}
+	m.Shed.Inc()
+}
+
+func (m *Metrics) publishedOne() {
+	if m == nil {
+		return
+	}
+	m.Publishes.Inc()
+}
+
+func (m *Metrics) queueDepth(depth int) {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Set(float64(depth))
+}
+
+func (m *Metrics) foldObserved(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.FoldSeconds.Observe(seconds)
+}

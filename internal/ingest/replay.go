@@ -1,0 +1,267 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// scanOutcome describes where a segment scan stopped.
+type scanOutcome struct {
+	lastSeq  uint64 // last valid record's sequence (0 if none in this segment)
+	goodOff  int64  // byte offset just past the last valid record
+	records  int    // valid records seen
+	err      error  // nil = clean to EOF; else wraps errTorn or errCorrupt
+}
+
+// scanSegment walks one segment's frames, calling fn (if non-nil) for
+// each valid record, and reports where validity ends. wantFirst is the
+// sequence number the segment must start with per its file name; the
+// header and the frame chain are both checked against it.
+func scanSegment(path string, wantFirst uint64, fn func(seq uint64, payload []byte) error) (scanOutcome, error) {
+	out := scanOutcome{goodOff: segHeaderSize}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if len(raw) < segHeaderSize {
+		out.goodOff = 0
+		out.err = fmt.Errorf("%w: %s: truncated header (%d bytes)", errTorn, path, len(raw))
+		return out, nil
+	}
+	if string(raw[:len(segMagic)]) != segMagic {
+		out.goodOff = 0
+		out.err = fmt.Errorf("%w: %s: bad magic", errCorrupt, path)
+		return out, nil
+	}
+	if first := binary.LittleEndian.Uint64(raw[len(segMagic):]); first != wantFirst {
+		out.goodOff = 0
+		out.err = fmt.Errorf("%w: %s: header first-seq %d does not match file name (%d)", errCorrupt, path, first, wantFirst)
+		return out, nil
+	}
+
+	next := wantFirst
+	off := int64(segHeaderSize)
+	for off < int64(len(raw)) {
+		rest := raw[off:]
+		if len(rest) < recHeaderSize {
+			out.err = fmt.Errorf("%w: %s: partial frame header at offset %d", errTorn, path, off)
+			return out, nil
+		}
+		seq := binary.LittleEndian.Uint64(rest)
+		n := binary.LittleEndian.Uint32(rest[8:])
+		sum := binary.LittleEndian.Uint32(rest[12:])
+		if n > maxRecordBytes {
+			out.err = fmt.Errorf("%w: %s: frame at offset %d declares %d payload bytes", errCorrupt, path, off, n)
+			return out, nil
+		}
+		if int64(len(rest)) < recHeaderSize+int64(n) {
+			out.err = fmt.Errorf("%w: %s: partial frame payload at offset %d", errTorn, path, off)
+			return out, nil
+		}
+		payload := rest[recHeaderSize : recHeaderSize+int64(n)]
+		crc := crc32.ChecksumIEEE(rest[:8])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != sum {
+			out.err = fmt.Errorf("%w: %s: checksum mismatch at offset %d (seq %d)", errCorrupt, path, off, seq)
+			return out, nil
+		}
+		if seq != next {
+			out.err = fmt.Errorf("%w: %s: sequence %d at offset %d, want %d", errCorrupt, path, seq, off, next)
+			return out, nil
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return out, err
+			}
+		}
+		out.lastSeq = seq
+		out.records++
+		next = seq + 1
+		off += recHeaderSize + int64(n)
+		out.goodOff = off
+	}
+	return out, nil
+}
+
+// recoverDir runs the recovery walk described in the package comment:
+// truncate a torn tail on the last segment, quarantine a corrupt segment
+// and everything after it. It returns the stats of the clean prefix.
+func recoverDir(dir string, logf func(string, ...any)) (*RecoveryStats, error) {
+	segs, err := liveSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &RecoveryStats{}
+	if len(segs) == 0 {
+		return st, nil
+	}
+	// The chain may start past seq 1: fully-applied prefix segments are
+	// pruned once a state checkpoint covers them. Continuity is enforced
+	// from the first live segment onward.
+	expectFirst, _ := seqOfSegment(filepath.Base(segs[0]))
+	st.LastSeq = expectFirst - 1
+	for i, path := range segs {
+		first, _ := seqOfSegment(filepath.Base(path))
+		last := i == len(segs)-1
+
+		// A gap between segments (a whole segment lost or renamed away)
+		// breaks the chain the same way a corrupt frame does.
+		var out scanOutcome
+		if first != expectFirst {
+			out.err = fmt.Errorf("%w: %s: segment starts at seq %d, want %d", errCorrupt, path, first, expectFirst)
+		} else {
+			if out, err = scanSegment(path, first, nil); err != nil {
+				return nil, err
+			}
+		}
+
+		switch {
+		case out.err == nil:
+			// Clean segment; an empty *sealed* segment would be a gap for
+			// its successor, which the expectFirst check catches.
+			st.Segments++
+			expectFirst = first + uint64(out.records)
+			st.LastSeq = expectFirst - 1
+
+		case last && errors.Is(out.err, errTorn):
+			// Torn append from a crash: cut the tail, keep the prefix.
+			info, serr := os.Stat(path)
+			if serr != nil {
+				return nil, serr
+			}
+			cut := info.Size() - out.goodOff
+			if err := saveTornTail(path, out.goodOff); err != nil {
+				return nil, err
+			}
+			if out.goodOff < segHeaderSize {
+				// The segment's own header is torn (crash during segment
+				// creation): nothing in it is salvageable, and truncating
+				// would leave a headerless file the writer could append
+				// to. Remove it; the writer recreates it cleanly.
+				if err := os.Remove(path); err != nil {
+					return nil, fmt.Errorf("ingest: remove torn segment %s: %w", path, err)
+				}
+				if err := syncDir(dir); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := os.Truncate(path, out.goodOff); err != nil {
+					return nil, fmt.Errorf("ingest: truncate torn tail of %s: %w", path, err)
+				}
+				if err := fsyncFile(path); err != nil {
+					return nil, err
+				}
+				st.Segments++
+			}
+			st.TruncatedBytes = cut
+			expectFirst = first + uint64(out.records)
+			st.LastSeq = expectFirst - 1
+			logf("ingest: recovery truncated %d torn byte(s) from %s (%v)", cut, filepath.Base(path), out.err)
+
+		default:
+			// Corruption (or tail damage on a sealed segment): quarantine
+			// this segment and every later one — they continue a sequence
+			// whose prefix is now lost.
+			for _, q := range segs[i:] {
+				bad := q + BadSuffix
+				if err := os.Rename(q, bad); err != nil {
+					return nil, fmt.Errorf("ingest: quarantine %s: %w", q, err)
+				}
+				st.Quarantined = append(st.Quarantined, bad)
+				logf("ingest: recovery quarantined %s (%v)", filepath.Base(bad), out.err)
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, err
+			}
+			return st, nil
+		}
+	}
+	return st, nil
+}
+
+// saveTornTail preserves the bytes about to be truncated in a .torn
+// sidecar, so a torn append is debuggable after recovery erased it from
+// the live log. Sidecar failures are non-fatal by design — recovery must
+// not wedge on forensics.
+func saveTornTail(path string, goodOff int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		return err
+	}
+	tail, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	if len(tail) == 0 {
+		return nil
+	}
+	_ = os.WriteFile(path+TornSuffix, tail, 0o644)
+	return nil
+}
+
+func fsyncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Replay streams every record with sequence number strictly greater than
+// afterSeq from the recovered log in dir, in order, into fn. It must run
+// after OpenWAL's recovery pass (it treats any invalid frame as an
+// error, since recovery has already repaired or quarantined them).
+// It returns the number of records delivered to fn.
+func Replay(dir string, afterSeq uint64, metrics *Metrics, fn func(seq uint64, payload []byte) error) (int, error) {
+	segs, err := liveSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	delivered := 0
+	expectFirst, _ := seqOfSegment(filepath.Base(segs[0]))
+	if expectFirst > afterSeq+1 {
+		return 0, fmt.Errorf("ingest: wal starts at seq %d but the applier watermark is %d: records %d..%d are lost",
+			expectFirst, afterSeq, afterSeq+1, expectFirst-1)
+	}
+	for _, path := range segs {
+		first, _ := seqOfSegment(filepath.Base(path))
+		if first != expectFirst {
+			return delivered, fmt.Errorf("%w: %s: segment starts at seq %d, want %d (run recovery first)", errCorrupt, path, first, expectFirst)
+		}
+		out, err := scanSegment(path, first, func(seq uint64, payload []byte) error {
+			if seq <= afterSeq {
+				return nil // already applied before the checkpoint watermark
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			delivered++
+			metrics.replayedOne()
+			return nil
+		})
+		if err != nil {
+			return delivered, err
+		}
+		if out.err != nil {
+			return delivered, fmt.Errorf("ingest: replay hit an unrecovered frame: %w", out.err)
+		}
+		expectFirst = first + uint64(out.records)
+	}
+	return delivered, nil
+}

@@ -1,0 +1,214 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the firehose front door: a thin HTTP layer over an Ingester
+// speaking the same versioned /v1 surface and JSON error envelope as the
+// prediction server, so one client library handles both.
+type Server struct {
+	ing   *Ingester
+	logf  func(format string, args ...any)
+	start time.Time
+
+	// DrainTimeout bounds the HTTP listener drain AND the ingester's
+	// queue drain on shutdown; 0 → 30s (the final fold can be slow).
+	DrainTimeout time.Duration
+}
+
+// NewServer wraps an ingester. logf may be nil.
+func NewServer(ing *Ingester, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{ing: ing, logf: logf, start: time.Now(), DrainTimeout: 30 * time.Second}
+}
+
+// Handler returns the route table:
+//
+//	POST /v1/ingest         one PostRecord; 200 {"seq","durable"} once WAL-durable
+//	GET  /v1/ingest/status  pipeline watermarks and queue state
+//	GET  /v1/healthz        process liveness
+//	GET  /metrics           Prometheus exposition (alias /v1/metrics)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/ingest/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if mh := s.ing.cfg.Metrics.Handler(); mh != nil {
+		mux.Handle("GET /metrics", mh)
+		mux.Handle("GET /v1/metrics", mh)
+	}
+	return jsonErrors(mux)
+}
+
+// ingestResponse acknowledges one accepted record. seq is the record's
+// durable identity: submitting the same content again yields a new seq
+// (at-least-once), and consumers dedup by seq, not payload.
+type ingestResponse struct {
+	Seq     uint64 `json:"seq"`
+	Durable bool   `json:"durable"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var rec PostRecord
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
+		return
+	}
+	seq, err := s.ing.Submit(r.Context(), rec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ingestResponse{Seq: seq, Durable: true})
+	case errors.Is(err, ErrInvalidRecord):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, ErrOverloaded):
+		ra := s.ing.RetryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errorInfo{
+			Code:         "overloaded",
+			Message:      "ingest queue full, retry later",
+			RetryAfterMS: ra.Milliseconds(),
+		}})
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", "ingester is draining")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away while blocked on backpressure; nothing
+		// durable happened. 503 tells a proxy the request is retryable.
+		writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled before the record was durable")
+	default:
+		s.logf("ingest: submit failed: %v", err)
+		writeError(w, http.StatusInternalServerError, "wal_error", "record could not be made durable")
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ing.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+	}{"ok", time.Since(s.start).Seconds()})
+}
+
+// Serve runs the firehose endpoint on ln until ctx is cancelled, then
+// shuts down in dependency order: stop the listener (in-flight requests
+// finish), then drain the ingester — flush the queue, final checkpoint
+// and publish, sync and close the WAL. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{
+		Handler: s.Handler(),
+		// In-flight requests must outlive the drain signal; see
+		// serve.Server.Serve for the same reasoning.
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener died on its own: still drain so acked records are
+		// checkpointed before the process exits.
+		dctx, cancel := context.WithTimeout(context.Background(), s.DrainTimeout)
+		defer cancel()
+		if derr := s.ing.Drain(dctx); derr != nil {
+			s.logf("ingest: drain after listener failure: %v", derr)
+		}
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("ingest: drain started (deadline %s)", s.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		httpSrv.Close()
+		// Keep going: the WAL flush matters more than the stragglers.
+		s.logf("ingest: listener drain deadline exceeded: %v", err)
+	}
+	if err := s.ing.Drain(dctx); err != nil {
+		return fmt.Errorf("ingest: drain: %w", err)
+	}
+	s.logf("ingest: drained cleanly")
+	return nil
+}
+
+// ---- error envelope (same shape as internal/serve) ----
+
+type errorInfo struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: msg}})
+}
+
+// jsonErrors normalises mux-generated plain-text 404/405 bodies into the
+// shared envelope.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&errWriter{ResponseWriter: w}, r)
+	})
+}
+
+type errWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercepted bool
+}
+
+func (ew *errWriter) WriteHeader(status int) {
+	if ew.wroteHeader {
+		return
+	}
+	ew.wroteHeader = true
+	if status >= 400 && ew.Header().Get("Content-Type") != "application/json" {
+		ew.intercepted = true
+		ew.Header().Del("Content-Length")
+		ew.Header().Del("X-Content-Type-Options")
+		ew.Header().Set("Content-Type", "application/json")
+		ew.ResponseWriter.WriteHeader(status)
+		code, msg := "error", http.StatusText(status)
+		switch status {
+		case http.StatusNotFound:
+			code, msg = "not_found", "no such endpoint"
+		case http.StatusMethodNotAllowed:
+			code, msg = "method_not_allowed", "method not allowed for this endpoint"
+		}
+		json.NewEncoder(ew.ResponseWriter).Encode(errorBody{Error: errorInfo{Code: code, Message: msg}})
+		return
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *errWriter) Write(b []byte) (int, error) {
+	if !ew.wroteHeader {
+		ew.WriteHeader(http.StatusOK)
+	}
+	if ew.intercepted {
+		return len(b), nil
+	}
+	return ew.ResponseWriter.Write(b)
+}

@@ -1,0 +1,211 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cold-diffusion/cold/internal/checkpoint"
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// PostRecord is the canonical WAL payload: one post by a named streaming
+// user, already normalised to vocabulary ids (tokenisation happens at
+// the edge, so replay needs no tokenizer or vocabulary). Slice is the
+// discretised time slice, or -1 to ignore the temporal factor.
+type PostRecord struct {
+	User  string          `json:"user"`
+	Slice int             `json:"slice"`
+	Words text.BagOfWords `json:"words"`
+}
+
+// ErrInvalidRecord classifies a record rejected by validation; the HTTP
+// layer maps it to 400.
+var ErrInvalidRecord = errors.New("ingest: invalid record")
+
+// maxUserBytes bounds the user-name key; anything longer is almost
+// certainly a client bug, and unbounded keys are a memory-growth vector.
+const maxUserBytes = 256
+
+// validateRecord checks a record against the base model's dimensions.
+func validateRecord(rec *PostRecord, base *core.Model) error {
+	if rec.User == "" {
+		return fmt.Errorf("%w: empty user", ErrInvalidRecord)
+	}
+	if len(rec.User) > maxUserBytes {
+		return fmt.Errorf("%w: user name of %d bytes exceeds the %d-byte cap", ErrInvalidRecord, len(rec.User), maxUserBytes)
+	}
+	if rec.Slice < -1 || rec.Slice >= base.T {
+		return fmt.Errorf("%w: slice %d out of range [-1,%d)", ErrInvalidRecord, rec.Slice, base.T)
+	}
+	if len(rec.Words.IDs) == 0 {
+		return fmt.Errorf("%w: no in-vocabulary words", ErrInvalidRecord)
+	}
+	if len(rec.Words.Counts) != len(rec.Words.IDs) {
+		return fmt.Errorf("%w: %d word ids but %d counts", ErrInvalidRecord, len(rec.Words.IDs), len(rec.Words.Counts))
+	}
+	for i, id := range rec.Words.IDs {
+		if id < 0 || id >= base.V {
+			return fmt.Errorf("%w: word id %d out of range [0,%d)", ErrInvalidRecord, id, base.V)
+		}
+		if rec.Words.Counts[i] < 1 {
+			return fmt.Errorf("%w: word id %d has count %d", ErrInvalidRecord, id, rec.Words.Counts[i])
+		}
+	}
+	return nil
+}
+
+// foldState is the applier's in-memory state: the live model (a clone of
+// the frozen base extended with one Pi row per streamed user) plus the
+// per-user post windows the rows are derived from.
+//
+// The state after applying records 1..N is a pure function of the base
+// model and that record prefix — a user's membership row is always
+// FoldIn(window, sweeps, seed(id)) over their current window, and ids
+// are assigned in first-appearance order — so it is independent of fold
+// batching and of where checkpoints land. That purity is what makes
+// crash recovery bit-exact: replaying the WAL past any checkpoint
+// watermark reconstructs the identical state an uninterrupted run
+// reaches.
+type foldState struct {
+	base   *core.Model
+	model  *core.Model
+	sweeps int
+	window int
+
+	names      []string       // streamed users in id order (id = base.U + index)
+	ids        map[string]int // user name → model user id
+	posts      [][]core.FoldInPost
+	appliedSeq uint64
+}
+
+func newFoldState(base *core.Model, sweeps, window int) *foldState {
+	return &foldState{
+		base:   base,
+		model:  base.Clone(),
+		sweeps: sweeps,
+		window: window,
+		ids:    make(map[string]int),
+	}
+}
+
+// seedFor derives the deterministic fold-in seed of a streamed user from
+// the training seed and the user's (first-appearance-ordered) id.
+func (s *foldState) seedFor(id int) uint64 {
+	return s.base.Cfg.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1
+}
+
+// apply folds one record in: append to the user's window (evicting past
+// the cap), recompute their membership row, advance the watermark.
+func (s *foldState) apply(seq uint64, rec PostRecord) {
+	id, known := s.ids[rec.User]
+	if !known {
+		id = s.model.U
+		s.ids[rec.User] = id
+		s.names = append(s.names, rec.User)
+		s.posts = append(s.posts, nil)
+	}
+	slot := id - s.base.U
+	w := append(s.posts[slot], core.FoldInPost{Words: rec.Words, Time: rec.Slice})
+	if len(w) > s.window {
+		w = w[len(w)-s.window:]
+	}
+	s.posts[slot] = w
+	pi := s.model.FoldIn(w, s.sweeps, s.seedFor(id))
+	if known {
+		s.model.Pi[id] = pi
+	} else {
+		s.model.Pi = append(s.model.Pi, pi)
+		s.model.U++
+	}
+	s.appliedSeq = seq
+}
+
+// ckptPayload is the framed-gob state checkpoint. Membership rows are
+// not stored: they are recomputed from the windows on restore, so the
+// restored state is derived exactly the way the live state was.
+type ckptPayload struct {
+	AppliedSeq uint64
+	BaseU      int // guard against restoring onto a different base model
+	BaseV      int
+	Names      []string
+	Posts      [][]core.FoldInPost
+}
+
+// save writes the state checkpoint for the current watermark into dir,
+// named by the checkpoint layer's sweep convention with the watermark as
+// the generation number (so Generations/LatestValid/Prune apply as-is).
+func (s *foldState) save(dir string) (string, error) {
+	path := checkpoint.SweepPath(dir, int(s.appliedSeq))
+	payload := ckptPayload{
+		AppliedSeq: s.appliedSeq,
+		BaseU:      s.base.U,
+		BaseV:      s.base.V,
+		Names:      s.names,
+		Posts:      s.posts,
+	}
+	if err := checkpoint.WriteFile(path, &payload); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// loadState walks the state checkpoints in dir newest-first, skipping
+// (and quarantining) corrupt generations, and rebuilds the fold state
+// from the newest valid one. When no generation is usable — an empty
+// dir, or every generation corrupt or taken against a different base
+// model — it returns a fresh state and the reason in resumeErr, leaving
+// it to the caller to decide whether WAL replay can cover the gap. The
+// quarantined list names any .bad files created by the walk.
+func loadState(dir string, base *core.Model, sweeps, window int) (s *foldState, quarantined []string, resumeErr error) {
+	s = newFoldState(base, sweeps, window)
+	var payload ckptPayload
+	_, quarantined, err := checkpoint.LatestValid(dir, func(path string) error {
+		payload = ckptPayload{}
+		if err := checkpoint.ReadFile(path, &payload); err != nil {
+			return err
+		}
+		if payload.BaseU != base.U || payload.BaseV != base.V {
+			return fmt.Errorf("ingest: state checkpoint %s was taken against a base model with U=%d V=%d, have U=%d V=%d",
+				path, payload.BaseU, payload.BaseV, base.U, base.V)
+		}
+		if len(payload.Posts) != len(payload.Names) {
+			return fmt.Errorf("%w: %s: %d post windows for %d users", checkpoint.ErrCorrupt, path, len(payload.Posts), len(payload.Names))
+		}
+		return nil
+	})
+	if err != nil {
+		return s, quarantined, err
+	}
+	for i, name := range payload.Names {
+		id := base.U + i
+		s.ids[name] = id
+		w := payload.Posts[i]
+		if len(w) > window {
+			w = w[len(w)-window:]
+		}
+		s.names = append(s.names, name)
+		s.posts = append(s.posts, w)
+		s.model.Pi = append(s.model.Pi, s.model.FoldIn(w, sweeps, s.seedFor(id)))
+		s.model.U++
+	}
+	s.appliedSeq = payload.AppliedSeq
+	return s, quarantined, nil
+}
+
+// walPruneWatermark returns the sequence number through which WAL
+// segments may safely be pruned: the OLDEST retained state generation's
+// watermark, so a corrupt-newest-checkpoint walk-back always finds the
+// WAL records it needs to catch back up. With no generations on disk
+// nothing may be pruned.
+func walPruneWatermark(dir string) uint64 {
+	gens, err := checkpoint.Generations(dir)
+	if err != nil || len(gens) == 0 {
+		return 0
+	}
+	oldest := gens[len(gens)-1] // Generations sorts newest first
+	if oldest.Sweep < 0 {
+		return 0
+	}
+	return uint64(oldest.Sweep)
+}

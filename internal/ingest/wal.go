@@ -1,0 +1,550 @@
+// Package ingest is the durable streaming-ingestion layer: a segmented,
+// checksummed write-ahead log with crash recovery, a bounded admission
+// queue with explicit backpressure, and a fold-in applier that turns the
+// acknowledged record stream into fresh model generations for the
+// serving tier.
+//
+// # WAL format
+//
+// The log is a directory of segment files named wal-<firstseq>.seg,
+// where <firstseq> is the zero-padded sequence number of the segment's
+// first record. Each segment starts with a 16-byte header:
+//
+//	offset  size  field
+//	0       8     magic "COLDWAL1"
+//	8       8     first sequence number (little-endian uint64)
+//
+// followed by length-prefixed record frames:
+//
+//	offset  size  field
+//	0       8     sequence number (little-endian uint64)
+//	8       4     payload length (little-endian uint32)
+//	12      4     CRC-32 (IEEE) over the sequence bytes and the payload
+//	16      n     payload
+//
+// Sequence numbers start at 1 and increase by exactly 1 across segment
+// boundaries, so a reader can detect dropped or reordered frames, and an
+// applier can deduplicate replayed records against its applied-sequence
+// watermark (the at-least-once → exactly-once story: a client retry gets
+// a fresh sequence number; a replayed frame keeps its original one).
+//
+// # Recovery walk
+//
+// OpenWAL scans segments in sequence order before accepting appends:
+//
+//   - A partial frame at the physical tail of the *last* segment is a
+//     torn append from a crash: the segment is truncated back to the
+//     last intact record boundary (the cut bytes are preserved in a
+//     .torn sidecar for forensics) and appending resumes after it.
+//   - Any other invalid frame — a checksum mismatch, a sequence gap, a
+//     bad segment header, or tail damage in a sealed segment — is
+//     corruption: that segment and every later one are quarantined with
+//     the .bad suffix (later segments continue a record sequence whose
+//     prefix is lost, so replaying them would misorder the stream).
+//
+// After recovery the directory holds a clean prefix of the record
+// sequence; Replay streams exactly that prefix.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+)
+
+const (
+	segMagic = "COLDWAL1"
+	// segHeaderSize = len(segMagic) + 8-byte first-seq; untyped so it
+	// composes with both int (slicing) and int64 (offsets).
+	segHeaderSize = 8 + 8
+	recHeaderSize = 8 + 4 + 4
+
+	// BadSuffix marks a quarantined WAL segment, mirroring the
+	// checkpoint layer's corrupt-generation quarantine.
+	BadSuffix = ".bad"
+	// TornSuffix marks the sidecar holding the bytes cut from a torn
+	// segment tail, preserved for post-mortem inspection.
+	TornSuffix = ".torn"
+
+	// maxRecordBytes bounds a single record frame; a length field above
+	// it is treated as frame corruption rather than an allocation request.
+	maxRecordBytes = 16 << 20
+)
+
+// ErrWALClosed reports an append to a closed or broken WAL.
+var ErrWALClosed = errors.New("ingest: wal is closed")
+
+// errTorn classifies a partial frame at a segment's physical tail; only
+// the last segment may carry one (it is truncated, not quarantined).
+var errTorn = errors.New("ingest: torn segment tail")
+
+// errCorrupt classifies an invalid frame that is not a simple torn tail:
+// checksum mismatch, sequence discontinuity, or a bad header.
+var errCorrupt = errors.New("ingest: corrupt segment")
+
+// segmentName renders the file name of the segment whose first record
+// has the given sequence number.
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%020d.seg", firstSeq)
+}
+
+// seqOfSegment parses a segment file name, rejecting near-misses (in
+// particular quarantined ".seg.bad" files) by round-tripping, the same
+// trick checkpoint.sweepOf uses.
+func seqOfSegment(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.seg", &seq); err != nil {
+		return 0, false
+	}
+	if name != segmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WALConfig configures a write-ahead log writer.
+type WALConfig struct {
+	// Dir is the segment directory, created if missing.
+	Dir string
+	// SegmentBytes is the rotation threshold; a segment is sealed when
+	// the next frame would push it past this size. 0 → 4 MiB.
+	SegmentBytes int64
+	// SyncEvery batches fsyncs: the segment is synced after every Nth
+	// appended record. 0 or 1 syncs every append (every acknowledged
+	// record is durable); larger values trade the tail of the stream for
+	// throughput and are reported honestly by Append's durable flag.
+	SyncEvery int
+	// ResumeAfter is the applier's checkpoint watermark: every record
+	// with sequence <= ResumeAfter is known-applied. When recovery finds
+	// the log ending short of it (its tail lost to truncation or
+	// quarantine, or the whole log gone), the remaining fully-applied
+	// segments are cleared and appending restarts at ResumeAfter+1 — a
+	// fresh append must never reuse a sequence number the applier has
+	// already consumed, or the dedup-by-offset replay would drop it.
+	ResumeAfter uint64
+	// Metrics, when set, counts appends, replays and quarantines.
+	Metrics *Metrics
+	// Logf, when set, receives recovery and rotation events.
+	Logf func(format string, args ...any)
+}
+
+// RecoveryStats summarises what OpenWAL found and repaired.
+type RecoveryStats struct {
+	// LastSeq is the sequence number of the newest durable record, 0
+	// when the log is empty.
+	LastSeq uint64
+	// Segments is the number of live segments after recovery.
+	Segments int
+	// TruncatedBytes is the size of the torn tail cut from the last
+	// segment, 0 when the tail was intact.
+	TruncatedBytes int64
+	// Quarantined lists segments renamed aside with BadSuffix.
+	Quarantined []string
+}
+
+// WAL is an append-only writer over the segment directory. All methods
+// are safe for concurrent use; appends are serialised internally.
+type WAL struct {
+	cfg WALConfig
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	path      string
+	size      int64
+	nextSeq   uint64
+	unsynced  int  // records appended since the last fsync
+	closed    bool // Close called
+	broken    bool // unrecoverable write error; appends fail fast
+	lastDur   uint64
+	segments  int
+	rotations uint64
+}
+
+// OpenWAL runs the recovery walk over cfg.Dir and returns a WAL ready
+// for appends, positioned after the newest durable record.
+func OpenWAL(cfg WALConfig) (*WAL, *RecoveryStats, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if cfg.SyncEvery < 1 {
+		cfg.SyncEvery = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	st, err := recoverDir(cfg.Dir, cfg.Logf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n := len(st.Quarantined); n > 0 {
+		cfg.Metrics.quarantined(n)
+	}
+	if st.LastSeq < cfg.ResumeAfter {
+		// The log ends before the applier's watermark: everything left
+		// is already applied. Clear it so the next append starts past
+		// the watermark instead of reusing a consumed sequence number.
+		segs, err := liveSegments(cfg.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, s := range segs {
+			if err := os.Remove(s); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(segs) > 0 {
+			if err := syncDir(cfg.Dir); err != nil {
+				return nil, nil, err
+			}
+		}
+		cfg.Logf("ingest: wal ends at seq %d but the applier checkpoint covers through %d; restarting the log at %d",
+			st.LastSeq, cfg.ResumeAfter, cfg.ResumeAfter+1)
+		st.Segments = 0
+		st.LastSeq = cfg.ResumeAfter
+	}
+	w := &WAL{cfg: cfg, nextSeq: st.LastSeq + 1, lastDur: st.LastSeq, segments: st.Segments}
+
+	// Reopen the last live segment for appending, or start fresh.
+	segs, err := liveSegments(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.f, w.path, w.size = f, last, info.Size()
+	} else if err := w.openSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	return w, st, nil
+}
+
+// liveSegments lists non-quarantined segment paths in sequence order.
+func liveSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type seg struct {
+		path string
+		seq  uint64
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := seqOfSegment(e.Name()); ok {
+			segs = append(segs, seg{filepath.Join(dir, e.Name()), seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+// openSegmentLocked creates the next segment file with a synced header
+// and fsyncs the directory so the new entry survives a crash. The
+// caller holds w.mu (or owns the WAL exclusively during OpenWAL).
+func (w *WAL) openSegmentLocked() error {
+	path := filepath.Join(w.cfg.Dir, segmentName(w.nextSeq))
+	var injected error
+	faultinject.Fire(faultinject.IngestWALRotate, path, &injected)
+	if injected != nil {
+		return fmt.Errorf("ingest: rotate to %s: %w", path, injected)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	header := make([]byte, segHeaderSize)
+	copy(header, segMagic)
+	binary.LittleEndian.PutUint64(header[len(segMagic):], w.nextSeq)
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := syncDir(w.cfg.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.path, w.size = f, path, segHeaderSize
+	w.segments++
+	return nil
+}
+
+// syncDir fsyncs a directory so a preceding create or rename in it is
+// durable. As in checkpoint.syncDir, filesystems that reject directory
+// fsync (EINVAL / ENOTSUP) are tolerated: the entry is as durable as the
+// platform allows and the data itself is already down.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// Append writes one record frame and returns its sequence number.
+// durable reports whether the record has been fsynced (always true with
+// SyncEvery <= 1). On any write error the segment is truncated back to
+// the last record boundary, so a failed append never leaves a partial
+// frame in the live log.
+func (w *WAL) Append(payload []byte) (seq uint64, durable bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.broken {
+		return 0, false, ErrWALClosed
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, false, fmt.Errorf("ingest: record of %d bytes exceeds the %d-byte frame cap", len(payload), maxRecordBytes)
+	}
+
+	frame := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint64(frame, w.nextSeq)
+	binary.LittleEndian.PutUint32(frame[8:], uint32(len(payload)))
+	copy(frame[recHeaderSize:], payload)
+	crc := crc32.ChecksumIEEE(frame[:8])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(frame[12:], crc)
+
+	// Rotate before the frame that would overflow the segment; the
+	// sealed segment is synced so its tail is durable before the writer
+	// moves on.
+	if w.size+int64(len(frame)) > w.cfg.SegmentBytes && w.size > segHeaderSize {
+		if err := w.rotateLocked(); err != nil {
+			return 0, false, err
+		}
+	}
+
+	if err := w.writeFrameLocked(frame); err != nil {
+		return 0, false, err
+	}
+	seq = w.nextSeq
+	w.nextSeq++
+	w.unsynced++
+	if w.cfg.SyncEvery <= 1 || w.unsynced >= w.cfg.SyncEvery {
+		if serr := w.syncLocked(); serr != nil {
+			// The frame is written but not durable, and the caller will
+			// not ack it. Cut it back out: leaving it would let an
+			// unacknowledged record survive into replay, and its sequence
+			// slot would silently absorb the caller's retry as a
+			// different record. If the rollback fails the WAL is wedged.
+			w.nextSeq--
+			w.unsynced--
+			if terr := w.f.Truncate(w.size - int64(len(frame))); terr != nil {
+				w.broken = true
+				return 0, false, fmt.Errorf("ingest: fsync failed (%v) and rollback truncate failed (%v); wal disabled", serr, terr)
+			}
+			if _, skerr := w.f.Seek(w.size-int64(len(frame)), io.SeekStart); skerr != nil {
+				w.broken = true
+				return 0, false, fmt.Errorf("ingest: fsync failed (%v) and rollback seek failed (%v); wal disabled", serr, skerr)
+			}
+			w.size -= int64(len(frame))
+			return 0, false, serr
+		}
+		durable = true
+	}
+	w.cfg.Metrics.appendedOne()
+	return seq, durable, nil
+}
+
+// writeFrameLocked lands one frame through the injectable append point,
+// truncating back to the pre-write boundary on failure.
+func (w *WAL) writeFrameLocked(frame []byte) error {
+	allow := len(frame)
+	var injected error
+	faultinject.Fire(faultinject.IngestWALAppend, w.path, &allow, &injected)
+	if allow < 0 {
+		allow = 0
+	}
+	var n int
+	var err error
+	if allow < len(frame) { // torn append: land a prefix, then fail
+		n, err = w.f.Write(frame[:allow])
+		if err == nil {
+			err = injected
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+	} else {
+		if injected != nil {
+			err = injected
+		} else {
+			n, err = w.f.Write(frame)
+		}
+	}
+	if err == nil && n == len(frame) {
+		w.size += int64(n)
+		return nil
+	}
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	// Cut the partial frame so the live log stays at a record boundary.
+	// If even the truncate fails the WAL is wedged: refuse further
+	// appends rather than risk interleaving frames with garbage.
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: append to %s failed (%v) and truncate failed (%v); wal disabled", w.path, err, terr)
+	}
+	if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: append to %s failed (%v) and seek failed (%v); wal disabled", w.path, err, serr)
+	}
+	return fmt.Errorf("ingest: append to %s: %w", w.path, err)
+}
+
+func (w *WAL) syncLocked() error {
+	var injected error
+	faultinject.Fire(faultinject.IngestWALSync, w.path, &injected)
+	if injected != nil {
+		return fmt.Errorf("ingest: fsync %s: %w", w.path, injected)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: fsync %s: %w", w.path, err)
+	}
+	w.unsynced = 0
+	w.lastDur = w.nextSeq - 1
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one. On failure the writer stays on the current segment.
+func (w *WAL) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	old := w.f
+	oldPath, oldSize := w.path, w.size
+	if err := w.openSegmentLocked(); err != nil {
+		return err
+	}
+	if err := old.Close(); err != nil {
+		w.cfg.Logf("ingest: close sealed segment %s: %v", oldPath, err)
+	}
+	w.rotations++
+	w.cfg.Logf("ingest: sealed segment %s at %d bytes, rotated to %s", filepath.Base(oldPath), oldSize, filepath.Base(w.path))
+	return nil
+}
+
+// Sync forces the active segment to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.broken {
+		return ErrWALClosed
+	}
+	if w.unsynced == 0 {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// PruneThrough removes sealed segments every record of which has
+// sequence number <= seq (i.e. is covered by a durable state
+// checkpoint), bounding log growth. The active segment is never pruned.
+// Callers should pass the watermark of the OLDEST retained state
+// generation, so a corrupt-checkpoint walk-back can still catch up from
+// the log.
+func (w *WAL) PruneThrough(seq uint64) (removed int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.broken {
+		return 0, ErrWALClosed
+	}
+	segs, err := liveSegments(w.cfg.Dir)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == w.path {
+			break
+		}
+		// Segment i covers [first_i, first_{i+1}-1].
+		nextFirst, ok := seqOfSegment(filepath.Base(segs[i+1]))
+		if !ok || nextFirst > seq+1 {
+			break
+		}
+		if err := os.Remove(segs[i]); err != nil {
+			return removed, err
+		}
+		removed++
+		w.segments--
+	}
+	if removed > 0 {
+		if err := syncDir(w.cfg.Dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// LastSeq returns the sequence number of the last appended record (which
+// may not yet be durable when SyncEvery > 1); 0 means an empty log.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// Close syncs and closes the active segment. Further appends fail with
+// ErrWALClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if !w.broken && w.unsynced > 0 {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
