@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/cluster"
+	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/serve"
+)
+
+// smokeReplica is a scriptable coldserve stand-in for the cluster
+// metrics smoke: it answers the /v1 surface the router consumes and can
+// be killed, failed, slowed or moved to another model generation.
+type smokeReplica struct {
+	srv   *httptest.Server
+	down  atomic.Bool
+	fail  atomic.Bool
+	delay atomic.Int64 // nanoseconds
+	key   atomic.Value // string model key
+}
+
+func newSmokeReplica(key string) *smokeReplica {
+	f := &smokeReplica{}
+	f.key.Store(key)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.down.Load() {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+			}
+			return
+		}
+		if d := f.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.URL.Path == "/v1/healthz":
+			json.NewEncoder(w).Encode(map[string]any{
+				"status": "ok", "generation": 1, "model_key": f.key.Load().(string),
+			})
+		case strings.HasPrefix(r.URL.Path, "/v1/predict/") || r.URL.Path == "/v1/topics":
+			if f.fail.Load() {
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprint(w, `{"error":{"code":"internal","message":"injected"}}`)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]any{
+				"score": 0.5, "generation": 1, "model_key": f.key.Load().(string),
+			})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	return f
+}
+
+// clusterSmoke drives every cold_cluster_* instrument: routed requests
+// on all four routes, a retry onto a healthy replica, retry-budget
+// exhaustion, a breaker open + shed, a winning hedge, probe failures
+// with an ejection/readmission cycle, a generation-skew discard, a
+// proxy error with no fallback, and a degraded fallback answer.
+func clusterSmoke(reg *obs.Registry, fallback serve.Engine) error {
+	cm := cluster.NewMetrics(reg)
+	ctx := context.Background()
+
+	newRouter := func(cfg cluster.Config, pools ...[]*smokeReplica) (*cluster.Router, *httptest.Server, error) {
+		for _, pool := range pools {
+			var urls []string
+			for _, f := range pool {
+				urls = append(urls, f.srv.URL)
+			}
+			cfg.Shards = append(cfg.Shards, urls)
+		}
+		if cfg.RequestTimeout == 0 {
+			cfg.RequestTimeout = 5 * time.Second
+		}
+		cfg.RetryBase, cfg.RetryMax = time.Millisecond, 5*time.Millisecond
+		cfg.ProbeEvery = time.Hour // smoke drives probes explicitly
+		cfg.EjectAfter, cfg.ReadmitAfter = 2, 2
+		cfg.SlowStart = time.Millisecond
+		cfg.Metrics = cm
+		rt, err := cluster.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rt, httptest.NewServer(rt.Handler()), nil
+	}
+	post := func(url, path, body string, want ...int) error {
+		resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		for _, w := range want {
+			if resp.StatusCode == w {
+				return nil
+			}
+		}
+		return fmt.Errorf("POST %s = %d, want one of %v", path, resp.StatusCode, want)
+	}
+
+	// Main fleet: four routes forwarded, then one failing replica makes
+	// traffic retry onto the healthy one; kill/recover the same replica
+	// through probes for the ejection/readmission cycle.
+	a, b := newSmokeReplica("m@1"), newSmokeReplica("m@1")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	rt, front, err := newRouter(cluster.Config{}, []*smokeReplica{a, b})
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+	rt.ProbeAll(ctx)
+	for _, rq := range []struct{ path, body string }{
+		{"/v1/predict/retweet", `{"publisher":0,"candidate":1,"words":[1]}`},
+		{"/v1/predict/link", `{"from":0,"to":1}`},
+		{"/v1/predict/time", `{"user":0,"words":[1]}`},
+		{"/v1/topics", `{"user":0,"words":[1]}`},
+	} {
+		if err := post(front.URL, rq.path, rq.body, 200); err != nil {
+			return err
+		}
+	}
+	a.fail.Store(true)
+	for i := 0; i < 4; i++ {
+		if err := post(front.URL, "/v1/predict/link", `{"from":0,"to":1}`, 200); err != nil {
+			return fmt.Errorf("retry around a failing replica: %w", err)
+		}
+	}
+	if cm.Retries.Value() == 0 {
+		return fmt.Errorf("failing replica did not drive a retry")
+	}
+	a.fail.Store(false)
+	a.down.Store(true)
+	rt.ProbeAll(ctx)
+	rt.ProbeAll(ctx) // EjectAfter=2 → ejection
+	if cm.Ejections.Value() == 0 || cm.ProbeFailures.Value() == 0 {
+		return fmt.Errorf("dead replica was not ejected by probing")
+	}
+	a.down.Store(false)
+	rt.ProbeAll(ctx)
+	rt.ProbeAll(ctx) // ReadmitAfter=2 → readmission
+	if cm.Readmissions.Value() == 0 {
+		return fmt.Errorf("recovered replica was not readmitted")
+	}
+
+	// Hedge: one slow replica, one fast; the hedge beats the stalled
+	// primary on whichever request round-robin lands on the slow one.
+	slow, fast := newSmokeReplica("m@1"), newSmokeReplica("m@1")
+	defer slow.srv.Close()
+	defer fast.srv.Close()
+	slow.delay.Store(int64(200 * time.Millisecond))
+	hrt, hfront, err := newRouter(cluster.Config{HedgeAfter: 10 * time.Millisecond},
+		[]*smokeReplica{slow, fast})
+	if err != nil {
+		return err
+	}
+	defer hfront.Close()
+	hrt.ProbeAll(ctx)
+	for i := 0; i < 4 && cm.HedgeWins.Value() == 0; i++ {
+		if err := post(hfront.URL, "/v1/predict/time", `{"user":0,"words":[1]}`, 200); err != nil {
+			return err
+		}
+	}
+	if cm.Hedges.Value() == 0 || cm.HedgeWins.Value() == 0 {
+		return fmt.Errorf("slow replica was never hedged around (hedges=%v wins=%v)",
+			cm.Hedges.Value(), cm.HedgeWins.Value())
+	}
+
+	// Budget exhaustion: a one-token budget under total failure refuses
+	// the second retry.
+	ba, bb := newSmokeReplica("m@1"), newSmokeReplica("m@1")
+	defer ba.srv.Close()
+	defer bb.srv.Close()
+	ba.fail.Store(true)
+	bb.fail.Store(true)
+	brt, bfront, err := newRouter(cluster.Config{BudgetBurst: 1, BudgetRatio: 0.001,
+		BreakerFailures: 1000}, []*smokeReplica{ba, bb})
+	if err != nil {
+		return err
+	}
+	defer bfront.Close()
+	brt.ProbeAll(ctx)
+	for i := 0; i < 4; i++ {
+		post(bfront.URL, "/v1/predict/link", `{"from":0,"to":1}`, 502, 503)
+	}
+	if cm.BudgetExhausted.Value() == 0 {
+		return fmt.Errorf("one-token budget never reported exhaustion under total failure")
+	}
+
+	// Breaker + proxy errors + skew: probe a healthy fleet, then flip
+	// both replicas to a new generation without re-probing — responses
+	// mismatch the pinned key and are discarded (skew). Then kill both:
+	// whole-request failures open the one-failure breaker, the next
+	// request sheds, and with no fallback both paths count proxy errors.
+	sa, sb := newSmokeReplica("m@1"), newSmokeReplica("m@1")
+	defer sa.srv.Close()
+	defer sb.srv.Close()
+	srt, sfront, err := newRouter(cluster.Config{BreakerFailures: 1,
+		BreakerCooldown: time.Minute}, []*smokeReplica{sa, sb})
+	if err != nil {
+		return err
+	}
+	defer sfront.Close()
+	srt.ProbeAll(ctx)
+	sa.key.Store("m@2")
+	sb.key.Store("m@2")
+	post(sfront.URL, "/v1/predict/link", `{"from":0,"to":1}`, 502, 503)
+	if cm.SkewDiscards.Value() == 0 {
+		return fmt.Errorf("post-probe generation flip did not trigger a skew discard")
+	}
+	sa.down.Store(true)
+	sb.down.Store(true)
+	post(sfront.URL, "/v1/predict/link", `{"from":0,"to":1}`, 502, 503)
+	if err := post(sfront.URL, "/v1/predict/link", `{"from":0,"to":1}`, 503); err != nil {
+		return fmt.Errorf("open breaker did not shed: %w", err)
+	}
+	if cm.BreakerOpens.Value() == 0 || cm.BreakerShed.Value() == 0 {
+		return fmt.Errorf("breaker never opened/shed under total shard death (opens=%v shed=%v)",
+			cm.BreakerOpens.Value(), cm.BreakerShed.Value())
+	}
+	if cm.ProxyErrors.Value() == 0 {
+		return fmt.Errorf("exhausted shard with no fallback did not count a proxy error")
+	}
+
+	// Degraded fallback: a dead shard with the popularity prior armed
+	// answers 200, honestly marked.
+	da := newSmokeReplica("m@1")
+	defer da.srv.Close()
+	da.down.Store(true)
+	drt, dfront, err := newRouter(cluster.Config{Fallback: fallback}, []*smokeReplica{da})
+	if err != nil {
+		return err
+	}
+	defer dfront.Close()
+	drt.ProbeAll(ctx)
+	if err := post(dfront.URL, "/v1/predict/link", `{"from":0,"to":1}`, 200); err != nil {
+		return fmt.Errorf("degraded fallback answer: %w", err)
+	}
+	if cm.DegradedAnswers.Value() == 0 {
+		return fmt.Errorf("fallback answer was not counted as degraded")
+	}
+	return nil
+}

@@ -219,6 +219,22 @@ func metricsSmoke(seed uint64) error {
 		return err
 	}
 
+	// Sharded refusal: a server that owns no users answers 421 and counts
+	// the misroute.
+	shardSrv := serve.New(serve.Config{MaxInFlight: 4, RequestTimeout: 10 * time.Second,
+		RetryAfter: time.Second, Metrics: mt,
+		ShardIndex: 0, ShardCount: 2, ShardOwner: func(int) bool { return false }}, mgr, data)
+	sts := httptest.NewServer(shardSrv.Handler())
+	resp, err := http.Post(sts.URL+"/v1/predict/retweet", "application/json", strings.NewReader(retweet))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	sts.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		return fmt.Errorf("non-owned user = %d, want 421", resp.StatusCode)
+	}
+
 	// Watcher supervision: a panicking load hook crashes the watch loop
 	// on its first candidate; the supervised restart increments
 	// cold_serve_watch_restarts_total.
@@ -243,6 +259,10 @@ func metricsSmoke(seed uint64) error {
 
 	if err := ingestSmoke(reg, dir, model); err != nil {
 		return fmt.Errorf("ingest cycle: %w", err)
+	}
+
+	if err := clusterSmoke(reg, serve.NewFallbackEngine(fb)); err != nil {
+		return fmt.Errorf("cluster cycle: %w", err)
 	}
 
 	if un := reg.Untouched(); len(un) > 0 {

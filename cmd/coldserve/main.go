@@ -48,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/cold-diffusion/cold/internal/cluster"
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/obs"
@@ -68,6 +69,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed requests")
 	loadRetries := flag.Int("load-retries", 6, "startup model-load attempts before degrading or exiting")
+	shardIndex := flag.Int("shard-index", 0, "this replica's shard index when serving behind coldrouter")
+	shardCount := flag.Int("shard-count", 0, "total shard count; 0 serves all users (unsharded)")
 	debugAddr := flag.String("debug-addr", "", "optional operator listener for pprof + expvar + /metrics (keep private)")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -114,14 +117,24 @@ func main() {
 	}
 	go mgr.Watch(ctx)
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
 		RetryAfter:     *retryAfter,
 		Logf:           logf,
 		Metrics:        metrics,
-	}, mgr, data)
+	}
+	if *shardCount > 0 {
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			log.Fatalf("-shard-index %d out of range [0,%d)", *shardIndex, *shardCount)
+		}
+		idx, n := *shardIndex, *shardCount
+		cfg.ShardIndex, cfg.ShardCount = idx, n
+		cfg.ShardOwner = func(user int) bool { return cluster.ShardOf(user, n) == idx }
+		logger.Info("sharded serving enabled", "shard", idx, "shards", n)
+	}
+	srv := serve.New(cfg, mgr, data)
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

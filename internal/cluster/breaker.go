@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker. Closed passes everything and
+// counts consecutive forwarding failures; at the threshold it opens for
+// a jittered cooldown, during which requests are shed immediately (the
+// router answers 503 + Retry-After, or falls back to the degraded
+// engine) instead of queueing against a dead shard. After the cooldown
+// it half-opens and admits a bounded number of probe requests: one
+// success closes it, one failure re-opens it for another cooldown.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open duration before half-opening
+	probes    int           // concurrent trial requests admitted half-open
+
+	// now and jitter are injectable for tests; defaults are time.Now and
+	// a seeded router-wide source.
+	now    func() time.Time
+	jitter func() float64 // uniform [0,1)
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	until    time.Time // open deadline
+	inFlight int       // admitted half-open probes awaiting a verdict
+
+	onOpen func() // metrics hook, called outside the lock
+}
+
+func newBreaker(threshold int, cooldown time.Duration, probes int, jitter func() float64, onOpen func()) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if probes <= 0 {
+		probes = 1
+	}
+	if jitter == nil {
+		jitter = func() float64 { return 0.5 }
+	}
+	if onOpen == nil {
+		onOpen = func() {}
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, probes: probes,
+		now: time.Now, jitter: jitter, onOpen: onOpen}
+}
+
+// allow reports whether a request may be forwarded. When it is not, the
+// returned duration is the suggested Retry-After: the remaining open
+// window, or a fraction of the cooldown when half-open capacity is
+// taken.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if rem := b.until.Sub(b.now()); rem > 0 {
+			return false, rem
+		}
+		b.state = breakerHalfOpen
+		b.inFlight = 1
+		return true, 0
+	default: // half-open
+		if b.inFlight < b.probes {
+			b.inFlight++
+			return true, 0
+		}
+		return false, b.cooldown / 4
+	}
+}
+
+// onSuccess records a forwarded request that got a usable answer. Any
+// success closes the breaker and clears the failure run.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.inFlight = 0
+	}
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// onFailure records a request whose every attempt failed. The cooldown
+// is jittered ±25% so a fleet of routers that opened together does not
+// re-probe the shard in lockstep.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	opened := false
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+			opened = true
+		}
+	case breakerHalfOpen:
+		b.open()
+		opened = true
+	case breakerOpen:
+		// A straggler attempt admitted before the open; nothing to do.
+	}
+	b.mu.Unlock()
+	if opened {
+		b.onOpen()
+	}
+}
+
+// open transitions to open; caller holds the lock.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.fails = 0
+	b.inFlight = 0
+	d := float64(b.cooldown) * (0.75 + 0.5*b.jitter())
+	b.until = b.now().Add(time.Duration(d))
+}
+
+// current reports the state for the status endpoint.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import "sync/atomic"
+
+// budget is the token retry budget: every routed request earns a
+// fraction of a token, every retry or hedge spends a whole one, and the
+// balance is capped at a burst. Steady-state, extra attempts are bounded
+// at ratio × the request rate — a shard brownout degrades into slightly
+// elevated latency, never into an amplifying retry storm.
+//
+// Tokens are held in milli-token units in one atomic int64; earn and
+// take are lock-free CAS loops.
+type budget struct {
+	capMilli  int64
+	earnMilli int64
+	tokens    atomic.Int64
+}
+
+// newBudget builds a budget holding at most burst tokens, earning ratio
+// tokens per routed request. The budget starts full, so a cold router
+// can absorb an immediate fault burst.
+func newBudget(burst int, ratio float64) *budget {
+	if burst <= 0 {
+		burst = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	b := &budget{capMilli: int64(burst) * 1000, earnMilli: int64(ratio * 1000)}
+	if b.earnMilli < 1 {
+		b.earnMilli = 1
+	}
+	b.tokens.Store(b.capMilli)
+	return b
+}
+
+// earn credits one routed request's worth of retry allowance.
+func (b *budget) earn() {
+	for {
+		cur := b.tokens.Load()
+		next := cur + b.earnMilli
+		if next > b.capMilli {
+			next = b.capMilli
+		}
+		if next == cur || b.tokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// take withdraws one whole token; false means the budget is exhausted
+// and the extra attempt must not be made.
+func (b *budget) take() bool {
+	for {
+		cur := b.tokens.Load()
+		if cur < 1000 {
+			return false
+		}
+		if b.tokens.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// value reports the current balance in whole tokens, for status pages.
+func (b *budget) value() float64 {
+	return float64(b.tokens.Load()) / 1000
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+)
+
+// TestClusterChaosSoak is the routing tier's survival exam: a 2-shard ×
+// 2-replica fleet under a seeded storm of replica kills, restarts and
+// slow-replica injection, hammered by concurrent clients on every
+// route, with active probing running the whole time.
+//
+// Invariants asserted:
+//
+//   - No mixed generations: every 200 whose body names a model_key
+//     matches the X-Cold-Model pin stamped on the same response.
+//   - Availability: with the degraded fallback armed, the non-5xx
+//     fraction of responses stays ≥ 99% through the storm.
+//   - The run is race-clean (the CI job runs this under -race).
+func TestClusterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	defer faultinject.Reset()
+
+	// 2 shards × 2 replicas, all on the same published model.
+	fleet := [][]*fakeReplica{
+		{newFakeReplica(t, "m@1", 1), newFakeReplica(t, "m@1", 1)},
+		{newFakeReplica(t, "m@1", 1), newFakeReplica(t, "m@1", 1)},
+	}
+	flat := append(append([]*fakeReplica{}, fleet[0]...), fleet[1]...)
+
+	cfg := fastConfig(fleet...)
+	cfg.Seed = 1337
+	cfg.HedgeAfter = 25 * time.Millisecond
+	cfg.ProbeEvery = 10 * time.Millisecond // aggressive: recovery inside the soak window
+	cfg.ProbeTimeout = 100 * time.Millisecond
+	cfg.BreakerFailures = 4
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	cfg.BudgetBurst = 50
+	cfg.BudgetRatio = 0.5
+	cfg.Fallback = fakeEngine{users: 1 << 20} // never the bottleneck
+	rt, front := newTestRouter(t, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt.ProbeAll(ctx)
+	rt.StartProbes(ctx)
+
+	// Slow-replica injection: the cluster.forward fault point stalls a
+	// fraction of attempts, seeded so runs reproduce.
+	var slowMu sync.Mutex
+	slowRng := rand.New(rand.NewSource(99))
+	faultinject.Set(faultinject.ClusterForward, func(...any) {
+		slowMu.Lock()
+		stall := slowRng.Float64() < 0.05
+		slowMu.Unlock()
+		if stall {
+			time.Sleep(40 * time.Millisecond)
+		}
+	})
+	defer faultinject.Clear(faultinject.ClusterForward)
+
+	// Kill/restart storm: a seeded goroutine flips replicas down and
+	// back up, never taking a whole shard down for long.
+	const soak = 3 * time.Second
+	storm := make(chan struct{})
+	go func() {
+		defer close(storm)
+		rng := rand.New(rand.NewSource(7))
+		deadline := time.Now().Add(soak)
+		for time.Now().Before(deadline) {
+			victim := flat[rng.Intn(len(flat))]
+			victim.down.Store(true)
+			time.Sleep(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+			victim.down.Store(false)
+			time.Sleep(time.Duration(10+rng.Intn(40)) * time.Millisecond)
+		}
+	}()
+
+	// Client hammer: concurrent workers across the routed surface.
+	routes := []struct{ path, body string }{
+		{"/v1/predict/retweet", `{"publisher":1,"candidate":%d,"words":[2,3]}`},
+		{"/v1/predict/link", `{"from":%d,"to":9}`},
+		{"/v1/predict/time", `{"user":%d,"words":[4]}`},
+	}
+	var total, server5xx, mixed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for {
+				select {
+				case <-storm:
+					return
+				default:
+				}
+				r := routes[rng.Intn(len(routes))]
+				resp, body := post(t, front.URL, r.path, fmt.Sprintf(r.body, rng.Intn(4096)))
+				total.Add(1)
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+				}
+				if resp.StatusCode == http.StatusOK {
+					pinned := resp.Header.Get("X-Cold-Model")
+					if got, ok := body["model_key"].(string); ok && pinned != "" && got != pinned {
+						mixed.Add(1)
+						t.Errorf("mixed generations: body %q vs pinned %q", got, pinned)
+					}
+				}
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	n := total.Load()
+	if n < 100 {
+		t.Fatalf("soak produced only %d requests; the storm strangled the clients", n)
+	}
+	if mixed.Load() != 0 {
+		t.Fatalf("%d responses mixed model generations", mixed.Load())
+	}
+	avail := 1 - float64(server5xx.Load())/float64(n)
+	t.Logf("soak: %d requests, %d server errors, availability %.4f", n, server5xx.Load(), avail)
+	if avail < 0.99 {
+		t.Fatalf("availability %.4f under chaos, want ≥ 0.99 (5xx=%d/%d)", avail, server5xx.Load(), n)
+	}
+
+	// The fleet heals: once the storm stops, probing readmits everyone.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		up := 0
+		for _, shard := range rt.Status().Shards {
+			for _, rep := range shard.Replicas {
+				if rep.Up {
+					up++
+				}
+			}
+		}
+		if up == len(flat) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("fleet did not fully recover after the storm: %+v", rt.Status())
+}

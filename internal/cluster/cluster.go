@@ -1,0 +1,75 @@
+// Package cluster is the fault-tolerant sharded serving tier: a
+// shard-by-user router that fronts N coldserve replicas and survives the
+// failures any one of them is having.
+//
+// The routing contract is deterministic: ShardOf hashes the interned
+// user index onto a shard, every request is forwarded to a replica of
+// that shard, and the same function gates request admission on the
+// replicas themselves (serve.Config.ShardOwner), so a misconfigured
+// fleet fails loudly with 421 instead of silently answering from the
+// wrong partition.
+//
+// The forwarding path is hardened in layers:
+//
+//   - Health: every replica is actively probed at a jittered interval
+//     (/v1/healthz, which reports model generation, degraded state and
+//     drain state). Consecutive failures eject a replica from rotation;
+//     recovery readmits it through a slow-start ramp so a cold process
+//     is not instantly buried. Live traffic feeds the same failure
+//     accounting, so a replica that probes healthy but fails requests
+//     is ejected too.
+//
+//   - Retries: failed attempts are retried on another replica of the
+//     same shard with exponential backoff and full jitter, gated by a
+//     token retry budget — a fleet-wide brownout cannot be amplified
+//     into a retry storm, because retries are capped at a fraction of
+//     the request rate.
+//
+//   - Hedging: optionally, a request that has not answered within the
+//     hedge delay fires a second attempt at a different replica of the
+//     shard; the first response wins and the loser is cancelled.
+//     Hedges draw from the same retry budget.
+//
+//   - Circuit breaking: each shard has a closed/open/half-open breaker.
+//     While open, requests are shed immediately with 503 + Retry-After
+//     (or answered degraded, below) instead of queueing against a dead
+//     shard; half-open admits a bounded number of probes before fully
+//     closing.
+//
+//   - Generation-skew guard: the router tracks each replica's reported
+//     model generation (an opaque model key derived from the loaded
+//     artefact). Each request is pinned to the fleet-majority key at
+//     admission; replicas on another key are marked lagging and are not
+//     eligible, and a response that comes back with a different key
+//     (the replica reloaded mid-request) is discarded and retried. One
+//     request is never answered from mixed generations.
+//
+//   - Last-resort degradation: when no replica of a shard is usable,
+//     the router answers from a popularity-prior fallback engine with
+//     an honest degraded marker, instead of erroring.
+//
+// Everything is instrumented under cold_cluster_* (see Metrics) and the
+// cluster.probe / cluster.forward / cluster.hedge fault-injection
+// points.
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// ShardOf is the fleet-wide user→shard assignment: FNV-1a over the
+// little-endian interned user index, mod the shard count. It is the one
+// contract shared by the router (to pick a shard) and the replicas (to
+// refuse users they do not own), so it must never change for a running
+// fleet. shards <= 1 means a single shard owns everything.
+func ShardOf(user, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(user)))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(shards))
+}

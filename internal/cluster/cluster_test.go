@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardOfDeterministicAndSpread(t *testing.T) {
+	// The assignment is a pure function of (user, shards): same inputs,
+	// same shard, forever — the routing contract clients can cache.
+	for user := 0; user < 1000; user++ {
+		a, b := ShardOf(user, 4), ShardOf(user, 4)
+		if a != b {
+			t.Fatalf("ShardOf(%d, 4) unstable: %d vs %d", user, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("ShardOf(%d, 4) = %d out of range", user, a)
+		}
+	}
+	// Hash-based assignment should spread users roughly evenly; with
+	// 1000 users over 4 shards each shard gets ~250 — accept a wide
+	// band, reject pathological clumping.
+	counts := make([]int, 4)
+	for user := 0; user < 1000; user++ {
+		counts[ShardOf(user, 4)]++
+	}
+	for i, n := range counts {
+		if n < 150 || n > 350 {
+			t.Fatalf("shard %d holds %d of 1000 users; distribution is pathological: %v", i, n, counts)
+		}
+	}
+	// Degenerate topologies collapse to shard 0.
+	if got := ShardOf(123, 1); got != 0 {
+		t.Fatalf("ShardOf(123, 1) = %d, want 0", got)
+	}
+	if got := ShardOf(123, 0); got != 0 {
+		t.Fatalf("ShardOf(123, 0) = %d, want 0", got)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := newBudget(2, 0.5) // bank of 2, earns half a token per request
+
+	// Starts full: both banked tokens are spendable, the third take is
+	// refused.
+	if !b.take() || !b.take() {
+		t.Fatal("a fresh budget should cover its burst")
+	}
+	if b.take() {
+		t.Fatal("take beyond the burst must be refused")
+	}
+
+	// One request earns half a token; not enough for an attempt.
+	b.earn()
+	if b.take() {
+		t.Fatal("half a token must not cover a retry")
+	}
+	// A second request completes the token.
+	b.earn()
+	if !b.take() {
+		t.Fatal("two earns at ratio 0.5 should cover one retry")
+	}
+
+	// The balance clamps at the cap.
+	for i := 0; i < 100; i++ {
+		b.earn()
+	}
+	if got := b.value(); got != 2 {
+		t.Fatalf("budget value after overflow = %v, want the cap 2", got)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	opens := 0
+	br := newBreaker(3, time.Second, 1, func() float64 { return 0.5 }, func() { opens++ })
+	br.now = func() time.Time { return now }
+
+	// Closed passes everything; failures below the threshold keep it
+	// closed.
+	for i := 0; i < 2; i++ {
+		if ok, _ := br.allow(); !ok {
+			t.Fatal("closed breaker must admit")
+		}
+		br.onFailure()
+	}
+	if br.current() != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", br.current())
+	}
+
+	// The third consecutive failure opens it; jitter 0.5 → exactly the
+	// configured cooldown.
+	br.onFailure()
+	if br.current() != breakerOpen || opens != 1 {
+		t.Fatalf("state = %v, opens = %d; want open after threshold", br.current(), opens)
+	}
+	ok, wait := br.allow()
+	if ok || wait != time.Second {
+		t.Fatalf("open breaker admitted (wait %v), want shed with the full cooldown", wait)
+	}
+
+	// Past the cooldown it half-opens and admits exactly one probe.
+	now = now.Add(time.Second + time.Millisecond)
+	if ok, _ := br.allow(); !ok {
+		t.Fatal("expired open breaker must admit a half-open probe")
+	}
+	if br.current() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", br.current())
+	}
+	if ok, _ := br.allow(); ok {
+		t.Fatal("half-open breaker must not admit beyond its probe capacity")
+	}
+
+	// A failed probe re-opens; a successful one closes and resets the
+	// failure run.
+	br.onFailure()
+	if br.current() != breakerOpen || opens != 2 {
+		t.Fatalf("state = %v, opens = %d; want re-open from half-open", br.current(), opens)
+	}
+	now = now.Add(2 * time.Second)
+	if ok, _ := br.allow(); !ok {
+		t.Fatal("second half-open probe refused")
+	}
+	br.onSuccess()
+	if br.current() != breakerClosed {
+		t.Fatalf("state after half-open success = %v, want closed", br.current())
+	}
+	// The failure counter restarted: two failures stay closed.
+	br.onFailure()
+	br.onFailure()
+	if br.current() != breakerClosed {
+		t.Fatal("failure run must reset on close")
+	}
+}
+
+func TestBreakerCooldownJitter(t *testing.T) {
+	now := time.Unix(0, 0)
+	br := newBreaker(1, 4*time.Second, 1, func() float64 { return 1.0 }, nil)
+	br.now = func() time.Time { return now }
+	br.onFailure()
+	// jitter=1.0 → cooldown × 1.25, the top of the ±25% band.
+	if ok, wait := br.allow(); ok || wait != 5*time.Second {
+		t.Fatalf("jittered cooldown = %v, want 5s at the top of the band", wait)
+	}
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+)
+
+// replica is one backend coldserve process, tracked by its base URL.
+// Health state is fed from two sides: the active prober (authoritative
+// for model generation, degraded and drain state) and passive failure
+// accounting from live traffic. Both sides share the consecutive-failure
+// counter, so a replica that probes healthy but fails real requests is
+// ejected just the same.
+type replica struct {
+	url   string
+	shard int
+
+	mu          sync.Mutex
+	up          bool // in rotation
+	draining    bool // replica reported drain state; skip immediately
+	degraded    bool // replica itself serves from its fallback engine
+	gen         uint64
+	key         string // opaque model identity from probes/responses
+	consecFails int    // consecutive probe or traffic failures
+	consecOKs   int    // consecutive probe successes while ejected
+	readmitted  time.Time // slow-start ramp anchor; zero when warmed
+	lastProbe   time.Time
+	lastErr     string
+}
+
+// healthzBody is the replica health shape the router consumes; it
+// matches what serve's /v1/healthz reports.
+type healthzBody struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	ModelKey   string `json:"model_key"`
+	Degraded   bool   `json:"degraded"`
+	Draining   bool   `json:"draining"`
+}
+
+// noteFailure records one failed probe or forwarded attempt, ejecting
+// the replica after ejectAfter consecutive failures. It reports whether
+// this call performed the ejection (for metrics).
+func (rep *replica) noteFailure(ejectAfter int, errMsg string) (ejected bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.consecFails++
+	rep.consecOKs = 0
+	rep.lastErr = errMsg
+	if rep.up && rep.consecFails >= ejectAfter {
+		rep.up = false
+		return true
+	}
+	return false
+}
+
+// noteTrafficOK records a usable response from live traffic. Traffic
+// success clears the failure run but does not readmit an ejected
+// replica — readmission is the prober's call, so a single lucky request
+// cannot flap a sick replica back into rotation.
+func (rep *replica) noteTrafficOK(gen uint64, key string) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.consecFails = 0
+	rep.lastErr = ""
+	if gen != 0 {
+		rep.gen = gen
+	}
+	if key != "" {
+		rep.key = key
+	}
+}
+
+// noteProbeOK folds one successful probe into the replica state,
+// readmitting an ejected replica after readmitAfter consecutive
+// successes (slow-start: the ramp anchor is set so selection admits it
+// gradually). It reports whether this call performed the readmission.
+func (rep *replica) noteProbeOK(h healthzBody, readmitAfter int, now time.Time) (readmitted bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.consecFails = 0
+	rep.lastErr = ""
+	rep.gen = h.Generation
+	rep.key = h.ModelKey
+	rep.degraded = h.Degraded
+	rep.draining = h.Draining
+	rep.lastProbe = now
+	if !rep.up && !h.Draining {
+		rep.consecOKs++
+		if rep.consecOKs >= readmitAfter {
+			rep.up = true
+			rep.consecOKs = 0
+			rep.readmitted = now
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot copies the mutable state for selection and status reporting.
+func (rep *replica) snapshot() replicaState {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return replicaState{
+		up: rep.up, draining: rep.draining, degraded: rep.degraded,
+		gen: rep.gen, key: rep.key,
+		consecFails: rep.consecFails, readmitted: rep.readmitted,
+		lastErr: rep.lastErr,
+	}
+}
+
+type replicaState struct {
+	up, draining, degraded bool
+	gen                    uint64
+	key                    string
+	consecFails            int
+	readmitted             time.Time
+	lastErr                string
+}
+
+// probeOne sends one health probe and folds the result into the replica
+// state. The cluster.probe fault point can fail the probe (injected
+// error) or delay it (sleeping hook) without a network.
+func (rt *Router) probeOne(ctx context.Context, rep *replica) {
+	var injected error
+	faultinject.Fire(faultinject.ClusterProbe, rep.url, &injected)
+	h, err := rt.fetchHealth(ctx, rep)
+	if injected != nil {
+		err = injected
+	}
+	if err != nil {
+		rt.cfg.Metrics.probed(true)
+		if rep.noteFailure(rt.cfg.EjectAfter, err.Error()) {
+			rt.cfg.Metrics.ejected()
+			rt.cfg.Logf("cluster: ejected replica %s (shard %d): %v", rep.url, rep.shard, err)
+		}
+		return
+	}
+	rt.cfg.Metrics.probed(false)
+	if rep.noteProbeOK(h, rt.cfg.ReadmitAfter, time.Now()) {
+		rt.cfg.Metrics.readmitted()
+		rt.cfg.Logf("cluster: readmitted replica %s (shard %d) at generation %d (slow-start %s)",
+			rep.url, rep.shard, h.Generation, rt.cfg.SlowStart)
+	}
+}
+
+// fetchHealth performs the HTTP round trip of one probe. A 503 whose
+// body carries draining=true is not an error — it is the replica saying
+// goodbye — but any other non-200 is.
+func (rt *Router) fetchHealth(ctx context.Context, rep *replica) (healthzBody, error) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/v1/healthz", nil)
+	if err != nil {
+		return healthzBody{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return healthzBody{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return healthzBody{}, err
+	}
+	var h healthzBody
+	if jerr := json.Unmarshal(raw, &h); jerr != nil && resp.StatusCode == http.StatusOK {
+		return healthzBody{}, fmt.Errorf("healthz body does not decode: %w", jerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if h.Draining {
+			return h, nil
+		}
+		return healthzBody{}, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return h, nil
+}
+
+// ProbeAll probes every replica once, synchronously, then refreshes the
+// fleet gauges. Tests and the smoke harness use it for deterministic
+// control; production routers run StartProbes instead.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	for _, rep := range rt.all {
+		rt.probeOne(ctx, rep)
+	}
+	rt.refreshFleetGauges()
+}
+
+// StartProbes launches one probe loop per replica, each sleeping a
+// jittered interval (±20%) so a fleet of probers never interrogates a
+// replica in lockstep. The loops stop when ctx is done.
+func (rt *Router) StartProbes(ctx context.Context) {
+	for _, rep := range rt.all {
+		go func(rep *replica) {
+			for {
+				d := float64(rt.cfg.ProbeEvery) * (0.8 + 0.4*rt.rng.Float64())
+				t := time.NewTimer(time.Duration(d))
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+				rt.probeOne(ctx, rep)
+				rt.refreshFleetGauges()
+			}
+		}(rep)
+	}
+}
+
+// refreshFleetGauges recomputes the up/lagging/majority gauges from the
+// current replica states.
+func (rt *Router) refreshFleetGauges() {
+	key, gen := rt.majority()
+	up, lagging := 0, 0
+	for _, rep := range rt.all {
+		st := rep.snapshot()
+		if !st.up || st.draining {
+			continue
+		}
+		up++
+		if key != "" && st.key != "" && st.key != key {
+			lagging++
+		}
+	}
+	rt.cfg.Metrics.fleet(up, lagging, gen)
+}
+
+// majority returns the fleet-majority model key and its generation
+// number, voting over in-rotation replicas with a known key. Ties break
+// toward the higher generation, then lexicographically larger key, so
+// the answer is deterministic.
+func (rt *Router) majority() (string, uint64) {
+	votes := make(map[string]int)
+	gens := make(map[string]uint64)
+	for _, rep := range rt.all {
+		st := rep.snapshot()
+		if !st.up || st.draining || st.key == "" {
+			continue
+		}
+		votes[st.key]++
+		if st.gen > gens[st.key] {
+			gens[st.key] = st.gen
+		}
+	}
+	bestKey, bestVotes := "", 0
+	for key, n := range votes {
+		switch {
+		case n > bestVotes:
+			bestKey, bestVotes = key, n
+		case n == bestVotes:
+			if gens[key] > gens[bestKey] || (gens[key] == gens[bestKey] && key > bestKey) {
+				bestKey = key
+			}
+		}
+	}
+	return bestKey, gens[bestKey]
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"net/http"
+
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// routeNames labels the per-route request counters; it mirrors the
+// forwarded /v1 prediction surface.
+var routeNames = []string{"retweet", "link", "time", "topics"}
+
+// Metrics is the routing tier's instrument set under the cold_cluster_*
+// namespace. A nil *Metrics disables instrumentation; every method is
+// nil-safe.
+type Metrics struct {
+	reg *obs.Registry
+
+	requests map[string]*obs.Counter // cold_cluster_requests_total{route=...}
+
+	ForwardSeconds *obs.Histogram // cold_cluster_forward_seconds
+
+	Retries         *obs.Counter // cold_cluster_retries_total
+	BudgetExhausted *obs.Counter // cold_cluster_retry_budget_exhausted_total
+	Hedges          *obs.Counter // cold_cluster_hedges_total
+	HedgeWins       *obs.Counter // cold_cluster_hedge_wins_total
+
+	BreakerOpens *obs.Counter // cold_cluster_breaker_opens_total
+	BreakerShed  *obs.Counter // cold_cluster_breaker_shed_total
+
+	Probes        *obs.Counter // cold_cluster_probes_total
+	ProbeFailures *obs.Counter // cold_cluster_probe_failures_total
+	Ejections     *obs.Counter // cold_cluster_replica_ejections_total
+	Readmissions  *obs.Counter // cold_cluster_replica_readmissions_total
+
+	SkewDiscards    *obs.Counter // cold_cluster_generation_skew_total
+	DegradedAnswers *obs.Counter // cold_cluster_degraded_answers_total
+	ProxyErrors     *obs.Counter // cold_cluster_proxy_errors_total
+
+	ReplicasUp      *obs.Gauge // cold_cluster_replicas_up
+	ReplicasLagging *obs.Gauge // cold_cluster_replicas_lagging
+	MajorityGen     *obs.Gauge // cold_cluster_majority_generation
+}
+
+// NewMetrics registers the routing instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		reg:      reg,
+		requests: make(map[string]*obs.Counter, len(routeNames)),
+		ForwardSeconds: reg.Histogram("cold_cluster_forward_seconds",
+			"End-to-end routed request latency, including retries and hedges.", nil),
+		Retries: reg.Counter("cold_cluster_retries_total",
+			"Forward attempts retried on another replica after a failure."),
+		BudgetExhausted: reg.Counter("cold_cluster_retry_budget_exhausted_total",
+			"Extra attempts suppressed because the retry budget was empty."),
+		Hedges: reg.Counter("cold_cluster_hedges_total",
+			"Tail-latency hedge requests launched."),
+		HedgeWins: reg.Counter("cold_cluster_hedge_wins_total",
+			"Hedge requests that answered before the primary attempt."),
+		BreakerOpens: reg.Counter("cold_cluster_breaker_opens_total",
+			"Shard circuit-breaker transitions into the open state."),
+		BreakerShed: reg.Counter("cold_cluster_breaker_shed_total",
+			"Requests shed because the shard breaker was open."),
+		Probes: reg.Counter("cold_cluster_probes_total",
+			"Active replica health probes sent."),
+		ProbeFailures: reg.Counter("cold_cluster_probe_failures_total",
+			"Active replica health probes that failed."),
+		Ejections: reg.Counter("cold_cluster_replica_ejections_total",
+			"Replicas ejected from rotation after consecutive failures."),
+		Readmissions: reg.Counter("cold_cluster_replica_readmissions_total",
+			"Ejected replicas readmitted after probe recovery."),
+		SkewDiscards: reg.Counter("cold_cluster_generation_skew_total",
+			"Replica responses discarded for not matching the request's pinned model generation."),
+		DegradedAnswers: reg.Counter("cold_cluster_degraded_answers_total",
+			"Requests answered by the router's degraded fallback engine."),
+		ProxyErrors: reg.Counter("cold_cluster_proxy_errors_total",
+			"Requests that exhausted every replica with no fallback available."),
+		ReplicasUp: reg.Gauge("cold_cluster_replicas_up",
+			"Replicas currently in rotation."),
+		ReplicasLagging: reg.Gauge("cold_cluster_replicas_lagging",
+			"In-rotation replicas serving a non-majority model generation."),
+		MajorityGen: reg.Gauge("cold_cluster_majority_generation",
+			"Fleet-majority model generation number."),
+	}
+	for _, route := range routeNames {
+		m.requests[route] = reg.CounterL("cold_cluster_requests_total",
+			`route="`+route+`"`, "Routed prediction requests by route.")
+	}
+	return m
+}
+
+// Handler exposes the underlying registry in Prometheus text format.
+func (m *Metrics) Handler() http.Handler {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	return m.reg.Handler()
+}
+
+func (m *Metrics) request(route string) {
+	if m == nil {
+		return
+	}
+	m.requests[route].Inc()
+}
+
+func (m *Metrics) forwarded(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.ForwardSeconds.Observe(seconds)
+}
+
+func (m *Metrics) retried() {
+	if m == nil {
+		return
+	}
+	m.Retries.Inc()
+}
+
+func (m *Metrics) budgetExhausted() {
+	if m == nil {
+		return
+	}
+	m.BudgetExhausted.Inc()
+}
+
+func (m *Metrics) hedged() {
+	if m == nil {
+		return
+	}
+	m.Hedges.Inc()
+}
+
+func (m *Metrics) hedgeWon() {
+	if m == nil {
+		return
+	}
+	m.HedgeWins.Inc()
+}
+
+func (m *Metrics) breakerOpened() {
+	if m == nil {
+		return
+	}
+	m.BreakerOpens.Inc()
+}
+
+func (m *Metrics) breakerShedOne() {
+	if m == nil {
+		return
+	}
+	m.BreakerShed.Inc()
+}
+
+func (m *Metrics) probed(failed bool) {
+	if m == nil {
+		return
+	}
+	m.Probes.Inc()
+	if failed {
+		m.ProbeFailures.Inc()
+	}
+}
+
+func (m *Metrics) ejected() {
+	if m == nil {
+		return
+	}
+	m.Ejections.Inc()
+}
+
+func (m *Metrics) readmitted() {
+	if m == nil {
+		return
+	}
+	m.Readmissions.Inc()
+}
+
+func (m *Metrics) skewDiscarded() {
+	if m == nil {
+		return
+	}
+	m.SkewDiscards.Inc()
+}
+
+func (m *Metrics) degradedAnswer() {
+	if m == nil {
+		return
+	}
+	m.DegradedAnswers.Inc()
+}
+
+func (m *Metrics) proxyError() {
+	if m == nil {
+		return
+	}
+	m.ProxyErrors.Inc()
+}
+
+func (m *Metrics) fleet(up, lagging int, majorityGen uint64) {
+	if m == nil {
+		return
+	}
+	m.ReplicasUp.Set(float64(up))
+	m.ReplicasLagging.Set(float64(lagging))
+	m.MajorityGen.Set(float64(majorityGen))
+}

@@ -1,0 +1,878 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/serve"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// Config holds the router's topology and resilience knobs. Zero values
+// get sensible defaults from New; only Shards is required.
+type Config struct {
+	// Shards is the backend topology: Shards[i] is the replica pool
+	// (base URLs, e.g. "http://127.0.0.1:8081") serving shard i. Users
+	// are assigned to shards with ShardOf(user, len(Shards)).
+	Shards [][]string
+
+	// RequestTimeout bounds one routed request end to end, including
+	// every retry and hedge; 0 → 2s. The deadline propagates to the
+	// replicas through the outgoing request contexts, so an abandoned
+	// attempt is cancelled downstream, not just ignored.
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds a single forwarded attempt; 0 →
+	// RequestTimeout/2.
+	AttemptTimeout time.Duration
+	// MaxAttempts caps forward attempts per request (first try
+	// included); 0 → 3.
+	MaxAttempts int
+	// RetryBase/RetryMax shape the exponential backoff between retries;
+	// the actual sleep is uniformly jittered in (0, d] ("full jitter").
+	// 0 → 10ms / 250ms.
+	RetryBase, RetryMax time.Duration
+	// BudgetBurst and BudgetRatio configure the retry budget: at most
+	// BudgetBurst banked tokens, earning BudgetRatio tokens per routed
+	// request; every retry or hedge spends one. 0 → 10 / 0.1.
+	BudgetBurst int
+	BudgetRatio float64
+	// HedgeAfter, when positive, fires a tail-latency hedge to a second
+	// replica of the shard if the first attempt has not answered within
+	// this delay. First usable response wins; the loser is cancelled.
+	HedgeAfter time.Duration
+
+	// ProbeEvery is the active health-probe interval (jittered ±20%);
+	// 0 → 1s. ProbeTimeout bounds one probe; 0 → ProbeEvery/2.
+	ProbeEvery   time.Duration
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a replica after this many consecutive probe or
+	// traffic failures; 0 → 3. ReadmitAfter readmits it after this many
+	// consecutive probe successes; 0 → 2.
+	EjectAfter   int
+	ReadmitAfter int
+	// SlowStart ramps a readmitted replica's selection probability
+	// linearly from 0 to full over this window; 0 → 3s.
+	SlowStart time.Duration
+
+	// BreakerFailures consecutive whole-request failures open a shard's
+	// breaker; 0 → 5. BreakerCooldown is the open window (jittered
+	// ±25%); 0 → 2s. BreakerProbes bounds half-open trial requests;
+	// 0 → 1.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	BreakerProbes   int
+
+	// RetryAfterHint is the base Retry-After when shedding with no
+	// better estimate; 0 → 1s. The emitted value is jittered so shed
+	// clients do not stampede back on the same tick.
+	RetryAfterHint time.Duration
+
+	// Fallback, when set, answers a shard's traffic (honestly marked
+	// degraded) when every replica is unusable — the same
+	// popularity-prior engine coldserve degrades to.
+	Fallback serve.Engine
+	// Posts resolves a post index to its bag of words for the fallback
+	// path; nil means fallback requests must carry explicit words.
+	Posts func(post int) (text.BagOfWords, bool)
+
+	// Seed makes the router's jitter and slow-start draws reproducible;
+	// 0 → 1.
+	Seed int64
+	// Logf, when set, receives lifecycle events.
+	Logf func(format string, args ...any)
+	// Metrics, when set, instruments the routing tier.
+	Metrics *Metrics
+	// Client overrides the forwarding HTTP client (tests); nil builds
+	// one with a widened idle pool.
+	Client *http.Client
+}
+
+// Router is the shard-by-user routing tier. Build with New, run the
+// HTTP surface with Serve (or embed Handler), and start active health
+// probing with StartProbes.
+type Router struct {
+	cfg      Config
+	shards   [][]*replica
+	all      []*replica
+	rr       []atomic.Uint64 // per-shard round-robin cursor
+	breakers []*breaker
+	budget   *budget
+	rng      *lockedRand
+	client   *http.Client
+	start    time.Time
+	draining atomic.Bool
+}
+
+// New validates the topology and builds a router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Shards is required")
+	}
+	for i, pool := range cfg.Shards {
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		for _, u := range pool {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("cluster: replica %q of shard %d is not an http(s) URL", u, i)
+			}
+		}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = cfg.RequestTimeout / 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 250 * time.Millisecond
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeEvery / 2
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
+	if cfg.ReadmitAfter <= 0 {
+		cfg.ReadmitAfter = 2
+	}
+	if cfg.SlowStart <= 0 {
+		cfg.SlowStart = 3 * time.Second
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		rng:    newLockedRand(cfg.Seed),
+		client: cfg.Client,
+		start:  time.Now(),
+	}
+	if rt.client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		rt.client = &http.Client{Transport: tr}
+	}
+	rt.shards = make([][]*replica, len(cfg.Shards))
+	rt.rr = make([]atomic.Uint64, len(cfg.Shards))
+	rt.breakers = make([]*breaker, len(cfg.Shards))
+	for i, pool := range cfg.Shards {
+		for _, u := range pool {
+			rep := &replica{url: strings.TrimRight(u, "/"), shard: i, up: true}
+			rt.shards[i] = append(rt.shards[i], rep)
+			rt.all = append(rt.all, rep)
+		}
+		rt.breakers[i] = newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown,
+			cfg.BreakerProbes, rt.rng.Float64, cfg.Metrics.breakerOpened)
+	}
+	rt.budget = newBudget(cfg.BudgetBurst, cfg.BudgetRatio)
+	return rt, nil
+}
+
+// route describes one forwarded endpoint: its metric label, path, and
+// which request field is the routing (shard-owning) user.
+type route struct {
+	name      string
+	path      string
+	userField string
+}
+
+// Routes is the forwarded prediction surface. The routing user is the
+// user whose behavioural state answers the query — the candidate for
+// retweet, the link source for link, the posting user otherwise — and
+// must match what serve-side shard ownership validates.
+var Routes = []struct{ Name, Path, UserField string }{
+	{"retweet", "/v1/predict/retweet", "candidate"},
+	{"link", "/v1/predict/link", "from"},
+	{"time", "/v1/predict/time", "user"},
+	{"topics", "/v1/topics", "user"},
+}
+
+// Handler returns the router's route table: the forwarded /v1
+// prediction surface, the shard map at /v1/cluster/status, liveness,
+// and (with Metrics set) the Prometheus exposition. Non-2xx bodies
+// carry the shared JSON error envelope.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, r := range Routes {
+		mux.Handle("POST "+r.Path, rt.predict(route{r.Name, r.Path, r.UserField}))
+	}
+	mux.HandleFunc("GET /v1/cluster/status", rt.handleStatus)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	if mh := rt.cfg.Metrics.Handler(); mh != nil {
+		mux.Handle("GET /metrics", mh)
+		mux.Handle("GET /v1/metrics", mh)
+	}
+	return envelope(mux)
+}
+
+// Serve runs the router on ln until ctx is cancelled, then drains like
+// the replicas do: new work refused, in-flight forwards finished.
+func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{
+		Handler:     rt.Handler(),
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	rt.draining.Store(true)
+	rt.cfg.Logf("cluster: drain started")
+	drainCtx, cancel := context.WithTimeout(context.Background(), rt.cfg.RequestTimeout+time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("cluster: drain deadline exceeded: %w", err)
+	}
+	rt.cfg.Logf("cluster: drained cleanly")
+	return nil
+}
+
+// ---- request admission and routing ----
+
+// routingFields is the loose decode of a prediction body: just enough
+// to find the routing user. Full validation stays on the replicas.
+type routingFields struct {
+	Publisher *int `json:"publisher"`
+	Candidate *int `json:"candidate"`
+	From      *int `json:"from"`
+	To        *int `json:"to"`
+	User      *int `json:"user"`
+}
+
+func (f *routingFields) field(name string) *int {
+	switch name {
+	case "publisher":
+		return f.Publisher
+	case "candidate":
+		return f.Candidate
+	case "from":
+		return f.From
+	case "to":
+		return f.To
+	default:
+		return f.User
+	}
+}
+
+func (rt *Router) predict(r route) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if rt.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining", "router is draining")
+			return
+		}
+		rt.cfg.Metrics.request(r.name)
+		rt.budget.earn()
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
+			return
+		}
+		var rf routingFields
+		if err := json.Unmarshal(body, &rf); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
+			return
+		}
+		user := rf.field(r.userField)
+		if user == nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "missing field "+r.userField)
+			return
+		}
+		if *user < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("%s %d out of range", r.userField, *user))
+			return
+		}
+		shard := ShardOf(*user, len(rt.shards))
+		start := time.Now()
+		rt.forward(w, req, r, shard, body)
+		rt.cfg.Metrics.forwarded(time.Since(start).Seconds())
+	}
+}
+
+// attemptResult is the outcome of one forwarded attempt.
+type attemptResult struct {
+	rep      *replica
+	terminal bool // a response to hand to the client (2xx valid, or any 4xx)
+	skew     bool // 2xx discarded for model-key mismatch; not a shard fault
+	status   int
+	header   http.Header
+	body     []byte
+	err      error
+}
+
+// forward drives the hardened forwarding path: breaker check, replica
+// selection pinned to the fleet-majority model generation, budgeted
+// retries with full-jitter backoff, optional hedging, and last-resort
+// degradation.
+func (rt *Router) forward(w http.ResponseWriter, req *http.Request, r route, shard int, body []byte) {
+	ctx, cancel := context.WithTimeout(req.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+
+	br := rt.breakers[shard]
+	if ok, wait := br.allow(); !ok {
+		rt.cfg.Metrics.breakerShedOne()
+		rt.degradeOrShed(w, r, shard, body, wait, "breaker_open",
+			fmt.Sprintf("shard %d circuit breaker is open", shard))
+		return
+	}
+
+	key, _ := rt.majority()
+	tried := make(map[*replica]bool, rt.cfg.MaxAttempts)
+	succeeded := false
+	defer func() {
+		if succeeded {
+			br.onSuccess()
+		} else {
+			br.onFailure()
+		}
+	}()
+
+	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		rep := rt.pick(shard, key, tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		if attempt > 0 {
+			if !rt.budget.take() {
+				rt.cfg.Metrics.budgetExhausted()
+				break
+			}
+			rt.cfg.Metrics.retried()
+			if !sleepCtx(ctx, rt.backoff(attempt)) {
+				break
+			}
+		}
+		res := rt.attemptMaybeHedged(ctx, rep, r, shard, key, body, tried)
+		if res.terminal {
+			succeeded = res.status < 500
+			rt.writeForwarded(w, res, key)
+			return
+		}
+		if res.skew {
+			// The replica is healthy, just on another generation; don't
+			// let skew open the shard breaker.
+			succeeded = true
+		}
+	}
+
+	rt.degradeOrShed(w, r, shard, body, rt.cfg.RetryAfterHint, "no_replicas",
+		fmt.Sprintf("no usable replica for shard %d", shard))
+}
+
+// pick selects the next eligible replica of shard via round robin:
+// in rotation, not draining, on the pinned model key (when one is
+// known), past or inside its slow-start ramp, and not already tried.
+func (rt *Router) pick(shard int, key string, tried map[*replica]bool) *replica {
+	pool := rt.shards[shard]
+	n := len(pool)
+	off := int(rt.rr[shard].Add(1))
+	for i := 0; i < n; i++ {
+		rep := pool[(off+i)%n]
+		if tried[rep] {
+			continue
+		}
+		st := rep.snapshot()
+		if !st.up || st.draining {
+			continue
+		}
+		if key != "" && st.key != "" && st.key != key {
+			continue // lagging generation; skew guard keeps it out
+		}
+		if !st.readmitted.IsZero() {
+			frac := float64(time.Since(st.readmitted)) / float64(rt.cfg.SlowStart)
+			if frac < 1 && rt.rng.Float64() > frac {
+				continue // slow-start: admit proportionally to warm-up
+			}
+		}
+		return rep
+	}
+	return nil
+}
+
+// attemptMaybeHedged runs one attempt, racing a hedge against it when
+// configured: if the primary has not answered within HedgeAfter and the
+// budget allows, a second replica gets the same request, the first
+// usable response wins, and the loser's context is cancelled.
+func (rt *Router) attemptMaybeHedged(ctx context.Context, rep *replica, r route, shard int, key string, body []byte, tried map[*replica]bool) *attemptResult {
+	if rt.cfg.HedgeAfter <= 0 {
+		return rt.attemptOne(ctx, rep, r, key, body)
+	}
+	pctx, cancelP := context.WithCancel(ctx)
+	defer cancelP()
+	results := make(chan *attemptResult, 2)
+	go func() { results <- rt.attemptOne(pctx, rep, r, key, body) }()
+
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	select {
+	case res := <-results:
+		timer.Stop()
+		return res
+	case <-timer.C:
+	}
+
+	hedge := rt.pick(shard, key, tried)
+	if hedge == nil || !rt.budget.take() {
+		if hedge == nil {
+			// No second replica to hedge onto; wait out the primary.
+			return <-results
+		}
+		rt.cfg.Metrics.budgetExhausted()
+		return <-results
+	}
+	tried[hedge] = true
+	rt.cfg.Metrics.hedged()
+	faultinject.Fire(faultinject.ClusterHedge, r.name, hedge.url)
+	hctx, cancelH := context.WithCancel(ctx)
+	defer cancelH()
+	go func() { results <- rt.attemptOne(hctx, hedge, r, key, body) }()
+
+	first := <-results
+	if first.terminal {
+		if first.rep == hedge {
+			rt.cfg.Metrics.hedgeWon()
+		}
+		cancelP()
+		cancelH()
+		return first
+	}
+	second := <-results
+	if second.terminal && second.rep == hedge {
+		rt.cfg.Metrics.hedgeWon()
+	}
+	if second.terminal || first.skew {
+		return second
+	}
+	return first
+}
+
+// attemptOne forwards the request body to one replica and classifies
+// the outcome. 2xx responses are checked against the pinned model key;
+// a mismatch (the replica reloaded between our probe and this request)
+// is discarded as generation skew rather than handed to the client.
+func (rt *Router) attemptOne(ctx context.Context, rep *replica, r route, key string, body []byte) *attemptResult {
+	res := &attemptResult{rep: rep}
+	var injected error
+	faultinject.Fire(faultinject.ClusterForward, r.name, rep.url, &injected)
+	if injected != nil {
+		res.err = injected
+		rt.noteAttemptFailure(rep, injected.Error())
+		return res
+	}
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+r.path, bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set("X-Cold-Deadline-Ms", strconv.FormatInt(time.Until(dl).Milliseconds(), 10))
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		res.err = err
+		// A cancelled attempt carries no verdict on the replica: the
+		// hedge won, or the client went away. Only real failures feed
+		// the passive ejection counter.
+		if !errors.Is(err, context.Canceled) {
+			rt.noteAttemptFailure(rep, err.Error())
+		}
+		return res
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		res.err = err
+		rt.noteAttemptFailure(rep, err.Error())
+		return res
+	}
+	res.status, res.header, res.body = resp.StatusCode, resp.Header, raw
+
+	switch {
+	case resp.StatusCode >= 500:
+		res.err = fmt.Errorf("replica %s answered %d", rep.url, resp.StatusCode)
+		rt.noteAttemptFailure(rep, res.err.Error())
+		return res
+	case resp.StatusCode >= 400:
+		// The request itself is bad (or misrouted, or shed): the replica
+		// is healthy and the client must see the answer unchanged.
+		rep.noteTrafficOK(0, "")
+		res.terminal = true
+		return res
+	}
+
+	var envl struct {
+		Generation uint64 `json:"generation"`
+		ModelKey   string `json:"model_key"`
+	}
+	_ = json.Unmarshal(raw, &envl)
+	rep.noteTrafficOK(envl.Generation, envl.ModelKey)
+	if key != "" && envl.ModelKey != "" && envl.ModelKey != key {
+		rt.cfg.Metrics.skewDiscarded()
+		res.skew = true
+		res.err = fmt.Errorf("replica %s answered from generation %q, request pinned to %q",
+			rep.url, envl.ModelKey, key)
+		return res
+	}
+	res.terminal = true
+	return res
+}
+
+// noteAttemptFailure feeds passive failure accounting from live traffic.
+func (rt *Router) noteAttemptFailure(rep *replica, msg string) {
+	if rep.noteFailure(rt.cfg.EjectAfter, msg) {
+		rt.cfg.Metrics.ejected()
+		rt.cfg.Logf("cluster: ejected replica %s (shard %d) on traffic failures: %s", rep.url, rep.shard, msg)
+	}
+}
+
+// writeForwarded copies a terminal replica response to the client,
+// stamping the shard, replica and pinned model key for debuggability.
+func (rt *Router) writeForwarded(w http.ResponseWriter, res *attemptResult, key string) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Cold-Shard", strconv.Itoa(res.rep.shard))
+	w.Header().Set("X-Cold-Replica", res.rep.url)
+	if key != "" {
+		w.Header().Set("X-Cold-Model", key)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// backoff returns the full-jitter delay before retry number attempt
+// (1-based): uniform in (0, min(RetryMax, RetryBase·2^(attempt-1))].
+func (rt *Router) backoff(attempt int) time.Duration {
+	d := float64(rt.cfg.RetryBase)
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= float64(rt.cfg.RetryMax) {
+			d = float64(rt.cfg.RetryMax)
+			break
+		}
+	}
+	return time.Duration(d * rt.rng.Float64())
+}
+
+// sleepCtx sleeps d unless ctx finishes first; false means it did.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// ---- degraded fallback ----
+
+// fallbackRequest mirrors the replica-side prediction body for the
+// degraded local answer path.
+type fallbackRequest struct {
+	Publisher *int  `json:"publisher"`
+	Candidate *int  `json:"candidate"`
+	From      *int  `json:"from"`
+	To        *int  `json:"to"`
+	User      *int  `json:"user"`
+	Post      *int  `json:"post"`
+	Words     []int `json:"words"`
+	TopN      int   `json:"topn"`
+}
+
+// degradeOrShed is the end of the line: answer from the fallback engine
+// (marked degraded) when one is configured and the route permits, else
+// shed with a jittered Retry-After.
+func (rt *Router) degradeOrShed(w http.ResponseWriter, r route, shard int, body []byte, wait time.Duration, code, msg string) {
+	if rt.cfg.Fallback != nil && rt.answerDegraded(w, r, body) {
+		return
+	}
+	if rt.cfg.Fallback == nil {
+		rt.cfg.Metrics.proxyError()
+	}
+	if wait <= 0 {
+		wait = rt.cfg.RetryAfterHint
+	}
+	// Jitter the hint ±50% so shed clients spread their comebacks.
+	wait = time.Duration(float64(wait) * (0.5 + rt.rng.Float64()))
+	w.Header().Set("Retry-After", strconv.Itoa(int((wait+time.Second-1)/time.Second)))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: errorInfo{
+		Code: code, Message: msg, RetryAfterMS: wait.Milliseconds(),
+	}})
+}
+
+// answerDegraded computes the response locally from the fallback
+// engine. It reports false when the request cannot be answered at all
+// (bad body, unresolvable post, topics route), in which case the caller
+// sheds instead.
+func (rt *Router) answerDegraded(w http.ResponseWriter, r route, body []byte) bool {
+	var req fallbackRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return false
+	}
+	eng := rt.cfg.Fallback
+	users := eng.Info().Users
+	valid := func(v *int) bool { return v != nil && *v >= 0 && *v < users }
+	bag := func() (text.BagOfWords, bool) {
+		switch {
+		case req.Words != nil:
+			return text.NewBagOfWords(req.Words), true
+		case req.Post != nil && rt.cfg.Posts != nil:
+			return rt.cfg.Posts(*req.Post)
+		default:
+			return text.BagOfWords{}, false
+		}
+	}
+
+	var out any
+	switch r.name {
+	case "retweet":
+		words, ok := bag()
+		if !ok || !valid(req.Publisher) || !valid(req.Candidate) {
+			return false
+		}
+		out = degradedScore{Score: eng.RetweetScore(*req.Publisher, *req.Candidate, words),
+			ModelKey: fallbackModelKey, Degraded: true}
+	case "link":
+		if !valid(req.From) || !valid(req.To) {
+			return false
+		}
+		out = degradedScore{Score: eng.LinkScore(*req.From, *req.To),
+			ModelKey: fallbackModelKey, Degraded: true}
+	case "time":
+		words, ok := bag()
+		if !ok || !valid(req.User) {
+			return false
+		}
+		out = struct {
+			Slice      int    `json:"slice"`
+			Generation uint64 `json:"generation"`
+			ModelKey   string `json:"model_key"`
+			Degraded   bool   `json:"degraded"`
+		}{eng.PredictTime(*req.User, words), 0, fallbackModelKey, true}
+	default: // topics: the popularity prior has no topic model
+		return false
+	}
+	rt.cfg.Metrics.degradedAnswer()
+	w.Header().Set("X-Cold-Model", fallbackModelKey)
+	writeJSON(w, http.StatusOK, out)
+	return true
+}
+
+// fallbackModelKey marks router-local degraded answers; it matches the
+// key replicas report while serving from their own fallback engine.
+const fallbackModelKey = "fallback"
+
+type degradedScore struct {
+	Score      float64 `json:"score"`
+	Generation uint64  `json:"generation"`
+	ModelKey   string  `json:"model_key"`
+	Degraded   bool    `json:"degraded"`
+}
+
+// ---- status and liveness ----
+
+// ReplicaStatus is one replica's externally visible state.
+type ReplicaStatus struct {
+	URL                 string `json:"url"`
+	Up                  bool   `json:"up"`
+	Draining            bool   `json:"draining,omitempty"`
+	Degraded            bool   `json:"degraded,omitempty"`
+	Lagging             bool   `json:"lagging,omitempty"`
+	Generation          uint64 `json:"generation"`
+	ModelKey            string `json:"model_key,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// ShardStatus is one shard's pool and breaker state.
+type ShardStatus struct {
+	Index    int             `json:"index"`
+	Breaker  string          `json:"breaker"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// StatusReply is the /v1/cluster/status body: the shard map a client
+// library needs to understand the fleet, plus the router's own health.
+type StatusReply struct {
+	Shards             []ShardStatus `json:"shards"`
+	MajorityModelKey   string        `json:"majority_model_key,omitempty"`
+	MajorityGeneration uint64        `json:"majority_generation"`
+	RetryBudgetTokens  float64       `json:"retry_budget_tokens"`
+	UptimeS            float64       `json:"uptime_s"`
+}
+
+// Status assembles the live shard map.
+func (rt *Router) Status() StatusReply {
+	key, gen := rt.majority()
+	reply := StatusReply{
+		MajorityModelKey:   key,
+		MajorityGeneration: gen,
+		RetryBudgetTokens:  rt.budget.value(),
+		UptimeS:            time.Since(rt.start).Seconds(),
+	}
+	for i, pool := range rt.shards {
+		ss := ShardStatus{Index: i, Breaker: rt.breakers[i].current().String()}
+		for _, rep := range pool {
+			st := rep.snapshot()
+			ss.Replicas = append(ss.Replicas, ReplicaStatus{
+				URL: rep.url, Up: st.up, Draining: st.draining, Degraded: st.degraded,
+				Lagging:    key != "" && st.key != "" && st.key != key,
+				Generation: st.gen, ModelKey: st.key,
+				ConsecutiveFailures: st.consecFails, LastError: st.lastErr,
+			})
+		}
+		reply.Shards = append(reply.Shards, ss)
+	}
+	return reply
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Status())
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
+	if rt.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status   string  `json:"status"`
+		UptimeS  float64 `json:"uptime_s"`
+		Draining bool    `json:"draining"`
+		Shards   int     `json:"shards"`
+	}{status, time.Since(rt.start).Seconds(), rt.draining.Load(), len(rt.shards)})
+}
+
+// ---- error envelope (same shape as internal/serve) ----
+
+type errorInfo struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: msg}})
+}
+
+// envelope normalises mux-generated plain-text 404/405 bodies into the
+// shared JSON envelope; forwarded replica errors are already enveloped.
+func envelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercepted bool
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.wroteHeader {
+		return
+	}
+	ew.wroteHeader = true
+	if status >= 400 && !strings.HasPrefix(ew.Header().Get("Content-Type"), "application/json") {
+		ew.intercepted = true
+		ew.Header().Del("Content-Length")
+		ew.Header().Del("X-Content-Type-Options")
+		ew.Header().Set("Content-Type", "application/json")
+		ew.ResponseWriter.WriteHeader(status)
+		code, msg := "error", http.StatusText(status)
+		switch status {
+		case http.StatusNotFound:
+			code, msg = "not_found", "no such endpoint"
+		case http.StatusMethodNotAllowed:
+			code, msg = "method_not_allowed", "method not allowed for this endpoint"
+		}
+		json.NewEncoder(ew.ResponseWriter).Encode(errorBody{Error: errorInfo{Code: code, Message: msg}})
+		return
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(b []byte) (int, error) {
+	if !ew.wroteHeader {
+		ew.WriteHeader(http.StatusOK)
+	}
+	if ew.intercepted {
+		return len(b), nil
+	}
+	return ew.ResponseWriter.Write(b)
+}
+
+// lockedRand is a seeded, mutex-guarded rand source: the router jitters
+// from many goroutines, and chaos tests need reproducible draws.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}

@@ -1,0 +1,541 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/serve"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// fakeReplica is a scriptable coldserve stand-in: it answers the /v1
+// surface with the serve-shaped JSON the router consumes, and can be
+// "killed" (connections reset mid-flight, like a dead process), made to
+// fail with 500s, slowed down, drained, or moved to another model
+// generation — all without rebinding ports.
+type fakeReplica struct {
+	srv   *httptest.Server
+	down  atomic.Bool
+	fail  atomic.Bool
+	drain atomic.Bool
+	delay atomic.Int64 // nanoseconds before answering
+	gen   atomic.Uint64
+	key   atomic.Value // string
+	hits  atomic.Int64 // prediction requests that reached this replica
+}
+
+func newFakeReplica(t *testing.T, key string, gen uint64) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.key.Store(key)
+	f.gen.Store(gen)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.down.Load() {
+			// A dead process resets the connection; Hijack+close is the
+			// closest a live test server gets.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server must support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if d := f.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		switch {
+		case r.URL.Path == "/v1/healthz":
+			code := http.StatusOK
+			status := "ok"
+			if f.drain.Load() {
+				code, status = http.StatusServiceUnavailable, "draining"
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]any{
+				"status": status, "uptime_s": 1.0,
+				"generation": f.gen.Load(), "model_key": f.key.Load().(string),
+				"degraded": false, "draining": f.drain.Load(),
+			})
+		case strings.HasPrefix(r.URL.Path, "/v1/predict/") || r.URL.Path == "/v1/topics":
+			f.hits.Add(1)
+			if f.fail.Load() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				io.WriteString(w, `{"error":{"code":"internal","message":"injected"}}`)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"score": 0.5, "generation": f.gen.Load(),
+				"model_key": f.key.Load().(string), "degraded": false,
+			})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// fastConfig returns a Config with test-speed timings over the given
+// fake replica topology; probes stay manual (huge interval) so tests
+// drive them deterministically with ProbeAll.
+func fastConfig(shards ...[]*fakeReplica) Config {
+	cfg := Config{
+		RequestTimeout: 2 * time.Second,
+		AttemptTimeout: 500 * time.Millisecond,
+		MaxAttempts:    3,
+		RetryBase:      time.Millisecond,
+		RetryMax:       5 * time.Millisecond,
+		ProbeEvery:     time.Hour,
+		ProbeTimeout:   500 * time.Millisecond,
+		EjectAfter:     2,
+		ReadmitAfter:   2,
+		SlowStart:      time.Millisecond, // warmed nearly instantly
+		BudgetBurst:    100,              // ample unless a test shrinks it
+	}
+	for _, pool := range shards {
+		var urls []string
+		for _, f := range pool {
+			urls = append(urls, f.srv.URL)
+		}
+		cfg.Shards = append(cfg.Shards, urls)
+	}
+	return cfg
+}
+
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return rt, front
+}
+
+// post sends one routed prediction request and returns the response
+// with its decoded body.
+func post(t *testing.T, url, path string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("response %s does not decode: %v\n%s", resp.Status, err, raw)
+		}
+	}
+	return resp, decoded
+}
+
+// userForShard finds a user id that ShardOf assigns to the wanted shard.
+func userForShard(want, shards int) int {
+	for u := 0; ; u++ {
+		if ShardOf(u, shards) == want {
+			return u
+		}
+	}
+}
+
+func TestRouterForwardsByUserShard(t *testing.T) {
+	s0 := newFakeReplica(t, "m@1", 1)
+	s1 := newFakeReplica(t, "m@1", 1)
+	rt, front := newTestRouter(t, fastConfig([]*fakeReplica{s0}, []*fakeReplica{s1}))
+	rt.ProbeAll(context.Background())
+
+	for shard, rep := range []*fakeReplica{s0, s1} {
+		user := userForShard(shard, 2)
+		resp, body := post(t, front.URL, "/v1/predict/link",
+			fmt.Sprintf(`{"from":%d,"to":1}`, user))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d request: %s", shard, resp.Status)
+		}
+		if got := resp.Header.Get("X-Cold-Shard"); got != fmt.Sprint(shard) {
+			t.Fatalf("X-Cold-Shard = %q, want %d", got, shard)
+		}
+		if body["model_key"] != "m@1" {
+			t.Fatalf("model_key = %v, want the fleet key", body["model_key"])
+		}
+		if rep.hits.Load() == 0 {
+			t.Fatalf("shard %d's replica never saw the request", shard)
+		}
+	}
+	// The other shard's replica must not have answered its neighbour's
+	// traffic.
+	if s0.hits.Load() != 1 || s1.hits.Load() != 1 {
+		t.Fatalf("hits = %d/%d, want exactly one each", s0.hits.Load(), s1.hits.Load())
+	}
+}
+
+func TestRouterRetriesToHealthyReplica(t *testing.T) {
+	bad := newFakeReplica(t, "m@1", 1)
+	good := newFakeReplica(t, "m@1", 1)
+	bad.fail.Store(true)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{bad, good})
+	cfg.Metrics = NewMetrics(reg)
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	// Whichever replica round-robin tries first, every request must land
+	// on a 200 — a single failing replica costs retries, not errors.
+	for i := 0; i < 6; i++ {
+		resp, _ := post(t, front.URL, "/v1/predict/retweet", `{"publisher":0,"candidate":2,"words":[1]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %s, want 200 via retry", i, resp.Status)
+		}
+	}
+	if got := cfg.Metrics.Retries.Value(); got == 0 {
+		t.Fatal("expected at least one retry to be recorded")
+	}
+}
+
+func TestRouterRetryBudgetBoundsAmplification(t *testing.T) {
+	a := newFakeReplica(t, "m@1", 1)
+	b := newFakeReplica(t, "m@1", 1)
+	a.fail.Store(true)
+	b.fail.Store(true)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{a, b})
+	cfg.Metrics = NewMetrics(reg)
+	cfg.BudgetBurst = 1
+	cfg.BudgetRatio = 0.001 // effectively no earn-back inside the test
+	cfg.BreakerFailures = 1000
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	for i := 0; i < 8; i++ {
+		post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	}
+	if got := cfg.Metrics.BudgetExhausted.Value(); got == 0 {
+		t.Fatal("expected the retry budget to report exhaustion under sustained failure")
+	}
+	// 8 requests, budget 1: retries are capped near the burst, far below
+	// the MaxAttempts-1 per request a budgetless router would fire.
+	if retries := cfg.Metrics.Retries.Value(); retries > 3 {
+		t.Fatalf("retries = %v with budget 1; the budget is not limiting amplification", retries)
+	}
+}
+
+func TestRouterBreakerShedsWithRetryAfter(t *testing.T) {
+	a := newFakeReplica(t, "m@1", 1)
+	b := newFakeReplica(t, "m@1", 1)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{a, b})
+	cfg.Metrics = NewMetrics(reg)
+	cfg.BreakerFailures = 2
+	cfg.BreakerCooldown = time.Minute // stays open for the whole test
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+	a.fail.Store(true)
+	b.fail.Store(true)
+
+	// Drive the breaker open: whole-request failures, threshold 2.
+	for i := 0; i < 3; i++ {
+		post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	}
+	if got := cfg.Metrics.BreakerOpens.Value(); got == 0 {
+		t.Fatal("breaker never opened under total shard failure")
+	}
+
+	// Open breaker: immediate shed with 503 + Retry-After, no queueing
+	// against the dead shard.
+	before := a.hits.Load() + b.hits.Load()
+	resp, body := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response lacks Retry-After")
+	}
+	errObj, _ := body["error"].(map[string]any)
+	if errObj["code"] != "breaker_open" {
+		t.Fatalf("shed code = %v, want breaker_open", errObj["code"])
+	}
+	if after := a.hits.Load() + b.hits.Load(); after != before {
+		t.Fatalf("shed request still reached the replicas (%d → %d hits)", before, after)
+	}
+	if got := cfg.Metrics.BreakerShed.Value(); got == 0 {
+		t.Fatal("breaker shed not recorded")
+	}
+}
+
+func TestRouterHedgingWinsTail(t *testing.T) {
+	slow := newFakeReplica(t, "m@1", 1)
+	fast := newFakeReplica(t, "m@1", 1)
+	slow.delay.Store(int64(300 * time.Millisecond))
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{slow, fast})
+	cfg.Metrics = NewMetrics(reg)
+	cfg.HedgeAfter = 20 * time.Millisecond
+	cfg.Seed = 42
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	// Enough requests that round-robin lands the primary on the slow
+	// replica at least once; those hedge to the fast one and win.
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		resp, _ := post(t, front.URL, "/v1/predict/time", `{"user":3,"words":[1]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %s", i, resp.Status)
+		}
+	}
+	if cfg.Metrics.Hedges.Value() == 0 || cfg.Metrics.HedgeWins.Value() == 0 {
+		t.Fatalf("hedges = %v wins = %v; expected the slow primary to be hedged around",
+			cfg.Metrics.Hedges.Value(), cfg.Metrics.HedgeWins.Value())
+	}
+	// 4 requests at ≥300ms each would be ≥1.2s unhedged; winning hedges
+	// must have cut well into that.
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("hedged run took %v; hedges are not cutting the tail", took)
+	}
+}
+
+func TestRouterGenerationSkewGuard(t *testing.T) {
+	// Replica A reloaded to m@2; replica B lags on m@1. With one vote
+	// each the tie breaks to the higher generation — requests pin to
+	// m@2 and only A may answer them.
+	ahead := newFakeReplica(t, "m@2", 2)
+	behind := newFakeReplica(t, "m@1", 1)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{ahead, behind})
+	cfg.Metrics = NewMetrics(reg)
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	if key, gen := rt.majority(); key != "m@2" || gen != 2 {
+		t.Fatalf("majority = %q gen %d, want m@2 gen 2", key, gen)
+	}
+	for i := 0; i < 6; i++ {
+		resp, body := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %s", i, resp.Status)
+		}
+		if body["model_key"] != "m@2" {
+			t.Fatalf("request %d answered from %v; generations mixed", i, body["model_key"])
+		}
+		if resp.Header.Get("X-Cold-Model") != "m@2" {
+			t.Fatalf("X-Cold-Model = %q, want the pinned key", resp.Header.Get("X-Cold-Model"))
+		}
+	}
+	if behind.hits.Load() != 0 {
+		t.Fatalf("lagging replica answered %d requests; selection must skip it", behind.hits.Load())
+	}
+	// The fleet gauges report the laggard.
+	rt.refreshFleetGauges()
+	if got := cfg.Metrics.ReplicasLagging.Value(); got != 1 {
+		t.Fatalf("replicas_lagging = %v, want 1", got)
+	}
+
+	// A replica that flips generations AFTER the probe (reload raced the
+	// request) has its response discarded, not returned: skew guard at
+	// the response side.
+	ahead.key.Store("m@3")
+	ahead.gen.Store(3)
+	resp, body := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	if resp.StatusCode == http.StatusOK && body["model_key"] != nil {
+		// Whatever the router did — retried into a 503 or answered after
+		// re-pinning — it must never hand back a key that mismatches the
+		// X-Cold-Model pin.
+		if hdr := resp.Header.Get("X-Cold-Model"); hdr != "" && body["model_key"] != hdr {
+			t.Fatalf("body key %v mismatches pinned header %q", body["model_key"], hdr)
+		}
+	}
+	if got := cfg.Metrics.SkewDiscards.Value(); got == 0 {
+		t.Fatal("generation-skew discard not recorded")
+	}
+}
+
+// fakeEngine is a minimal serve.Engine for fallback tests.
+type fakeEngine struct{ users int }
+
+func (f fakeEngine) Info() serve.ModelInfo { return serve.ModelInfo{Users: f.users, Degraded: true} }
+func (f fakeEngine) RetweetScore(int, int, text.BagOfWords) float64 { return 0.25 }
+func (f fakeEngine) LinkScore(int, int) float64                     { return 0.125 }
+func (f fakeEngine) PredictTime(int, text.BagOfWords) int           { return 2 }
+func (f fakeEngine) TopicPosterior(int, text.BagOfWords) ([]float64, error) {
+	return nil, serve.ErrDegraded
+}
+
+func TestRouterFallsBackDegraded(t *testing.T) {
+	dead := newFakeReplica(t, "m@1", 1)
+	dead.down.Store(true)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{dead})
+	cfg.Metrics = NewMetrics(reg)
+	cfg.Fallback = fakeEngine{users: 100}
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	resp, body := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback answer: %s, want degraded 200", resp.Status)
+	}
+	if body["degraded"] != true {
+		t.Fatalf("fallback response not marked degraded: %v", body)
+	}
+	if body["model_key"] != "fallback" || resp.Header.Get("X-Cold-Model") != "fallback" {
+		t.Fatalf("fallback identity missing: key=%v header=%q", body["model_key"], resp.Header.Get("X-Cold-Model"))
+	}
+	if body["score"] != 0.125 {
+		t.Fatalf("score = %v, want the fallback engine's answer", body["score"])
+	}
+	if cfg.Metrics.DegradedAnswers.Value() == 0 {
+		t.Fatal("degraded answer not recorded")
+	}
+
+	// Topics cannot be served by the popularity prior: honest 503, not a
+	// made-up answer.
+	resp, _ = post(t, front.URL, "/v1/topics", `{"user":0,"words":[1]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("topics under fallback: %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("topics shed lacks Retry-After")
+	}
+}
+
+func TestRouterPassesClientErrorsThrough(t *testing.T) {
+	rep := newFakeReplica(t, "m@1", 1)
+	rt, front := newTestRouter(t, fastConfig([]*fakeReplica{rep}))
+	rt.ProbeAll(context.Background())
+
+	// Missing routing field: rejected at the router, no forward.
+	resp, body := post(t, front.URL, "/v1/predict/link", `{"to":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing field: %s, want 400", resp.Status)
+	}
+	errObj, _ := body["error"].(map[string]any)
+	if errObj["code"] != "bad_request" {
+		t.Fatalf("error code = %v", errObj["code"])
+	}
+	if rep.hits.Load() != 0 {
+		t.Fatal("unroutable request was forwarded anyway")
+	}
+
+	// Unknown endpoints answer the envelope.
+	r2, err := http.Get(front.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %s", r2.Status)
+	}
+	var envl map[string]any
+	if err := json.NewDecoder(r2.Body).Decode(&envl); err != nil {
+		t.Fatalf("404 body is not the JSON envelope: %v", err)
+	}
+}
+
+func TestRouterEjectionAndReadmission(t *testing.T) {
+	flaky := newFakeReplica(t, "m@1", 1)
+	steady := newFakeReplica(t, "m@1", 1)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{flaky, steady})
+	cfg.Metrics = NewMetrics(reg)
+	rt, front := newTestRouter(t, cfg)
+	ctx := context.Background()
+	rt.ProbeAll(ctx)
+
+	// Kill the flaky replica; EjectAfter=2 consecutive probe failures
+	// eject it.
+	flaky.down.Store(true)
+	rt.ProbeAll(ctx)
+	rt.ProbeAll(ctx)
+	if cfg.Metrics.Ejections.Value() == 0 {
+		t.Fatal("dead replica was not ejected by probing")
+	}
+	if got := cfg.Metrics.ReplicasUp.Value(); got != 1 {
+		t.Fatalf("replicas_up = %v after ejection, want 1", got)
+	}
+	// Traffic keeps flowing through the survivor without retries against
+	// the ejected corpse.
+	steadyBefore := steady.hits.Load()
+	for i := 0; i < 4; i++ {
+		resp, _ := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d with one replica down: %s", i, resp.Status)
+		}
+	}
+	if steady.hits.Load()-steadyBefore != 4 {
+		t.Fatalf("survivor served %d of 4", steady.hits.Load()-steadyBefore)
+	}
+
+	// Recovery: ReadmitAfter=2 consecutive probe successes readmit it
+	// (slow-start, but the test window is 1ms so it warms immediately).
+	flaky.down.Store(false)
+	rt.ProbeAll(ctx)
+	rt.ProbeAll(ctx)
+	if cfg.Metrics.Readmissions.Value() == 0 {
+		t.Fatal("recovered replica was not readmitted")
+	}
+	if got := cfg.Metrics.ReplicasUp.Value(); got != 2 {
+		t.Fatalf("replicas_up = %v after readmission, want 2", got)
+	}
+	time.Sleep(2 * time.Millisecond) // past the slow-start window
+	flakyBefore := flaky.hits.Load()
+	for i := 0; i < 8; i++ {
+		post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	}
+	if flaky.hits.Load() == flakyBefore {
+		t.Fatal("readmitted replica never received traffic again")
+	}
+}
+
+func TestRouterStatusEndpoint(t *testing.T) {
+	a := newFakeReplica(t, "m@1", 1)
+	b := newFakeReplica(t, "m@1", 1)
+	rt, front := newTestRouter(t, fastConfig([]*fakeReplica{a}, []*fakeReplica{b}))
+	rt.ProbeAll(context.Background())
+
+	resp, err := http.Get(front.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("status shards = %d, want 2", len(st.Shards))
+	}
+	for _, shard := range st.Shards {
+		if shard.Breaker != "closed" {
+			t.Fatalf("shard %d breaker = %q, want closed", shard.Index, shard.Breaker)
+		}
+		for _, rep := range shard.Replicas {
+			if !rep.Up || rep.ModelKey != "m@1" {
+				t.Fatalf("replica state %+v, want up on m@1", rep)
+			}
+		}
+	}
+	if st.MajorityModelKey != "m@1" || st.RetryBudgetTokens <= 0 {
+		t.Fatalf("status = %+v, want majority m@1 and a positive budget", st)
+	}
+}

@@ -82,6 +82,25 @@ const (
 	// the destination path and a *error.
 	CkptFSRename = "checkpoint.fs.rename"
 
+	// The cluster.* points instrument the shard router (internal/cluster),
+	// simulating the network fault classes a routing tier meets in front
+	// of a replica fleet.
+
+	// ClusterProbe fires before each health probe of a replica, with the
+	// replica URL and a *error. A hook that sets the error fails the probe
+	// without touching the network (exercising consecutive-failure
+	// ejection); a sleeping hook simulates a slow health endpoint.
+	ClusterProbe = "cluster.probe"
+	// ClusterForward fires before each forwarded attempt, with the route
+	// name, the target replica URL and a *error. A hook that sets the
+	// error fails the attempt as a transport error (exercising retries and
+	// passive failure accounting); a sleeping hook simulates a slow
+	// replica (exercising the per-attempt deadline and hedging).
+	ClusterForward = "cluster.forward"
+	// ClusterHedge fires when a tail-latency hedge request launches, with
+	// the route name and the hedge target's URL.
+	ClusterHedge = "cluster.hedge"
+
 	// The ingest.wal.* points form the injectable filesystem shim inside
 	// the streaming write-ahead log (internal/ingest), mirroring the
 	// checkpoint.fs.* fault classes for the append path.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -120,7 +121,10 @@ type Ingester struct {
 	started  atomic.Bool   // Start called (fold loop running)
 	draining chan struct{} // closed by Drain
 	stopped  chan struct{} // closed when the fold loop exits
-	gen      uint64        // published generations
+	// gen counts published generations. Atomic, not foldMu-guarded, so
+	// the health endpoint can report it without waiting on a fold or
+	// drain in progress.
+	gen atomic.Uint64
 }
 
 // chMutex is a channel-based mutex (acquire = send), used instead of
@@ -370,10 +374,10 @@ func (ing *Ingester) publishLocked() error {
 	if err != nil {
 		return err
 	}
-	ing.gen++
+	gen := ing.gen.Add(1)
 	ing.cfg.Metrics.publishedOne()
 	ing.cfg.Logf("ingest: published model generation %d (U=%d, seq %d) to %s",
-		ing.gen, ing.st.model.U, ing.st.appliedSeq, ing.cfg.PublishPath)
+		gen, ing.st.model.U, ing.st.appliedSeq, ing.cfg.PublishPath)
 	if ing.cfg.Reloader != nil {
 		if err := ing.cfg.Reloader.Reload(); err != nil {
 			return fmt.Errorf("serving reload after publish: %w", err)
@@ -462,13 +466,31 @@ func (ing *Ingester) Status() Status {
 	ing.foldMu.lock()
 	st.AppliedSeq = ing.st.appliedSeq
 	st.Users = len(ing.st.names)
-	st.Generations = ing.gen
 	ing.foldMu.unlock()
+	st.Generations = ing.gen.Load()
 	return st
 }
 
-// RetryAfter exposes the configured shed hint for the HTTP layer.
-func (ing *Ingester) RetryAfter() time.Duration { return ing.cfg.RetryAfter }
+// Draining reports whether Drain has been called. Lock-free, so the
+// health endpoint stays responsive while a drain holds the fold lock.
+func (ing *Ingester) Draining() bool {
+	select {
+	case <-ing.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Generation reports the number of published model generations.
+func (ing *Ingester) Generation() uint64 { return ing.gen.Load() }
+
+// RetryAfter returns the shed hint for the HTTP layer, jittered to
+// ±50% of the configured base so shed clients spread their retries
+// instead of stampeding back on the same tick.
+func (ing *Ingester) RetryAfter() time.Duration {
+	return time.Duration(float64(ing.cfg.RetryAfter) * (0.5 + rand.Float64()))
+}
 
 // Model returns a deep copy of the current live model, for tests and
 // CLI inspection.

@@ -96,11 +96,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.ing.Status())
 }
 
+// handleHealthz reports liveness plus the published model generation
+// and drain state, in the same shape the prediction server reports, so
+// one prober handles both daemons. Draining answers 503 — routers and
+// load balancers stop sending work without a special case. It reads
+// only lock-free state, so it stays responsive while a drain or slow
+// fold holds the fold lock.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status  string  `json:"status"`
-		UptimeS float64 `json:"uptime_s"`
-	}{"ok", time.Since(s.start).Seconds()})
+	body := struct {
+		Status     string  `json:"status"`
+		UptimeS    float64 `json:"uptime_s"`
+		Generation uint64  `json:"generation"`
+		Degraded   bool    `json:"degraded"`
+		Draining   bool    `json:"draining"`
+	}{Status: "ok", UptimeS: time.Since(s.start).Seconds(),
+		Generation: s.ing.Generation()}
+	code := http.StatusOK
+	if s.ing.Draining() {
+		body.Status, body.Draining, code = "draining", true, http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 // Serve runs the firehose endpoint on ln until ctx is cancelled, then

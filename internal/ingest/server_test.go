@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -136,13 +137,19 @@ func TestServerShedsWithRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity record: %s, want 429", resp.Status)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "3" {
-		t.Fatalf("Retry-After header = %q, want \"3\"", got)
+	// The hint is jittered to ±50% of the configured 3s so shed clients
+	// spread their retries: header seconds in [ceil(1.5) .. ceil(4.5)].
+	sec, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || sec < 2 || sec > 5 {
+		t.Fatalf("Retry-After header = %q, want an integer in [2,5]", resp.Header.Get("Retry-After"))
 	}
 	var envelope errorBody
 	decodeBody(t, resp, &envelope)
-	if envelope.Error.Code != "overloaded" || envelope.Error.RetryAfterMS != 3000 {
+	if envelope.Error.Code != "overloaded" {
 		t.Fatalf("shed envelope = %+v", envelope.Error)
+	}
+	if ms := envelope.Error.RetryAfterMS; ms < 1500 || ms > 4500 {
+		t.Fatalf("retry_after_ms = %d, want within the jitter window [1500,4500]", ms)
 	}
 }
 

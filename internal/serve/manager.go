@@ -24,6 +24,12 @@ type Snapshot struct {
 	Source     string
 	Generation uint64
 	LoadedAt   time.Time
+	// Key is the opaque model identity: derived from the loaded file
+	// (name, mtime, size), so two replicas serving the same published
+	// model report the same key even though their local generation
+	// counters differ. The routing tier pins each request to one key so
+	// a response never mixes model generations.
+	Key string
 }
 
 // Degraded reports whether this snapshot serves from the fallback prior.
@@ -114,7 +120,7 @@ func (m *Manager) SetFallback(e Engine) {
 	defer m.mu.Unlock()
 	m.gen++
 	m.fallback.Store(&Snapshot{Engine: e, Source: "fallback:popularity-prior",
-		Generation: m.gen, LoadedAt: time.Now()})
+		Generation: m.gen, LoadedAt: time.Now(), Key: "fallback"})
 	if m.cur.Load() == nil {
 		m.cfg.Metrics.generationSwapped(m.gen)
 	}
@@ -191,7 +197,8 @@ func (m *Manager) reloadLocked(force bool) error {
 	}
 	old := m.cur.Load()
 	m.gen++
-	next := &Snapshot{Engine: eng, Source: id.path, Generation: m.gen, LoadedAt: time.Now()}
+	next := &Snapshot{Engine: eng, Source: id.path, Generation: m.gen, LoadedAt: time.Now(),
+		Key: fmt.Sprintf("%s@%d.%d", filepath.Base(id.path), id.mtime.UnixNano(), id.size)}
 	m.cur.Store(next)
 	if old != nil {
 		m.prev = old
@@ -230,7 +237,7 @@ func (m *Manager) Rollback() error {
 	cur := m.cur.Load()
 	m.gen++
 	back := &Snapshot{Engine: m.prev.Engine, Source: m.prev.Source,
-		Generation: m.gen, LoadedAt: time.Now()}
+		Generation: m.gen, LoadedAt: time.Now(), Key: m.prev.Key}
 	m.cur.Store(back)
 	m.prev = cur
 	m.cfg.Metrics.generationSwapped(back.Generation)
@@ -302,6 +309,7 @@ func (m *Manager) watchLoop(ctx context.Context) (clean bool) {
 // Status is the manager's health summary, surfaced by /readyz.
 type Status struct {
 	Generation    uint64    `json:"generation"`
+	ModelKey      string    `json:"model_key,omitempty"`
 	Source        string    `json:"source,omitempty"`
 	LoadedAt      time.Time `json:"loaded_at"`
 	Degraded      bool      `json:"degraded"`
@@ -327,6 +335,7 @@ func (m *Manager) Status() Status {
 	m.mu.Unlock()
 	if s := m.Current(); s != nil {
 		st.Generation = s.Generation
+		st.ModelKey = s.Key
 		st.Source = s.Source
 		st.LoadedAt = s.LoadedAt
 		st.Degraded = s.Degraded()

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// TestManagerReloadRollbackHammer drives Reload, Rollback, candidate
+// corruption and concurrent readers against one Manager under -race.
+// The invariant: every snapshot a reader observes is one that passed
+// load-time validation — never nil once serving started, never a torn
+// or corrupt model, always answering with the validated model's exact
+// score. Rollback racing Reload may serve either generation, but both
+// are validated ones.
+func TestManagerReloadRollbackHammer(t *testing.T) {
+	path := saveModel(t, filepath.Join(t.TempDir(), "model.json"))
+	mgr := newTestManager(t, path)
+	mgr.cfg.Logf = func(string, ...any) {} // the hammer would drown the log
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	// The baseline is the validated model's answer; every engine loaded
+	// from this file must reproduce it bit-for-bit.
+	probe := text.NewBagOfWords([]int{1, 2, 3})
+	baseline := mgr.Current().Engine.RetweetScore(0, 1, probe)
+	baseGen := mgr.Current().Generation
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Reloaders re-read the candidate; rollbackers flip history.
+	for i := 0; i < 2; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				_ = mgr.Reload()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				_ = mgr.Rollback()
+			}
+		}()
+	}
+	// A saboteur alternates corrupt and valid candidate files: corrupt
+	// ones must be rejected at validation, valid ones may take over.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if i%2 == 0 {
+				corruptFile(t, path)
+			} else {
+				saveModel(t, path)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Readers assert the invariant on every observation.
+	errc := make(chan string, 1)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap := mgr.Current()
+				switch {
+				case snap == nil:
+					select {
+					case errc <- "Current() went nil while serving":
+					default:
+					}
+					return
+				case snap.Generation < baseGen:
+					select {
+					case errc <- "served a generation older than the first validated one":
+					default:
+					}
+					return
+				case snap.Key == "":
+					select {
+					case errc <- "served a snapshot with no model key":
+					default:
+					}
+					return
+				}
+				if got := snap.Engine.RetweetScore(0, 1, probe); got != baseline {
+					select {
+					case errc <- "served an engine that does not reproduce the validated score":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Leave the file valid and confirm the manager still converges to a
+	// clean, validated snapshot after the storm.
+	saveModel(t, path)
+	if err := mgr.Reload(); err != nil {
+		t.Fatalf("post-hammer reload: %v", err)
+	}
+	snap := mgr.Current()
+	if snap == nil || snap.Degraded() || snap.Engine.RetweetScore(0, 1, probe) != baseline {
+		t.Fatalf("post-hammer snapshot unhealthy: %+v", snap)
+	}
+}

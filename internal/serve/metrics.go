@@ -25,8 +25,9 @@ type Metrics struct {
 	InFlight *obs.Gauge   // cold_serve_in_flight
 	Shed     *obs.Counter // cold_serve_shed_total
 	Panics   *obs.Counter // cold_serve_panics_total
-	Rejected *obs.Counter // cold_serve_rejected_total
-	Degraded *obs.Counter // cold_serve_degraded
+	Rejected  *obs.Counter // cold_serve_rejected_total
+	Degraded  *obs.Counter // cold_serve_degraded
+	Misrouted *obs.Counter // cold_serve_misrouted_total
 
 	Reloads        *obs.Counter // cold_serve_model_reloads_total
 	ReloadFailures *obs.Counter // cold_serve_model_reload_failures_total
@@ -54,6 +55,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Requests rejected with 4xx input-validation errors."),
 		Degraded: reg.Counter("cold_serve_degraded",
 			"Requests answered by the degraded-mode fallback engine."),
+		Misrouted: reg.Counter("cold_serve_misrouted_total",
+			"Requests refused with 421 because the routing user belongs to another shard."),
 		Reloads: reg.Counter("cold_serve_model_reloads_total",
 			"Successful model reloads (atomic snapshot swaps)."),
 		ReloadFailures: reg.Counter("cold_serve_model_reload_failures_total",
@@ -123,6 +126,13 @@ func (m *Metrics) rejectedOne() {
 		return
 	}
 	m.Rejected.Inc()
+}
+
+func (m *Metrics) misrouted() {
+	if m == nil {
+		return
+	}
+	m.Misrouted.Inc()
 }
 
 func (m *Metrics) degradedOne() {

@@ -33,6 +33,18 @@ type Config struct {
 	DrainTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses.
 	RetryAfter time.Duration
+	// ShardIndex/ShardCount describe this replica's slice of the user
+	// space when serving behind the cluster router; both zero means
+	// unsharded. They are advertised in /v1/healthz so the router can
+	// cross-check its topology.
+	ShardIndex int
+	ShardCount int
+	// ShardOwner, when set, reports whether this replica owns a routing
+	// user. Requests for users it does not own are refused with 421
+	// (misdirected request) instead of silently answered from the wrong
+	// shard's state. The function is injected (cluster.ShardOf wired by
+	// the binary) so this package never imports the routing tier.
+	ShardOwner func(user int) bool
 	// Logf, when set, receives lifecycle events.
 	Logf func(format string, args ...any)
 	// Metrics, when set, instruments the request path and exposes the
@@ -366,6 +378,24 @@ func (s *Server) user(w http.ResponseWriter, name string, v *int, info ModelInfo
 	return *v, true
 }
 
+// owned enforces shard ownership of the routing user: the user whose
+// behavioural state answers the query (candidate for retweet, link
+// source for link, the posting user otherwise). A request for a user
+// this replica does not own answers 421 — the router misrouted it, and
+// answering from the wrong shard's state would be silently wrong.
+func (s *Server) owned(w http.ResponseWriter, name string, user int) bool {
+	if s.cfg.ShardOwner == nil || s.cfg.ShardOwner(user) {
+		return true
+	}
+	s.cfg.Metrics.misrouted()
+	writeJSON(w, http.StatusMisdirectedRequest, errorBody{Error: errorInfo{
+		Code: "wrong_shard",
+		Message: fmt.Sprintf("%s %d is not owned by shard %d/%d",
+			name, user, s.cfg.ShardIndex, s.cfg.ShardCount),
+	}})
+	return false
+}
+
 // bag resolves the post content of a request: explicit word ids, or a
 // post index into the loaded dataset.
 func (s *Server) bag(w http.ResponseWriter, req *predictRequest, info ModelInfo) (text.BagOfWords, bool) {
@@ -399,6 +429,7 @@ func (s *Server) bag(w http.ResponseWriter, req *predictRequest, info ModelInfo)
 type scoreResponse struct {
 	Score      float64 `json:"score"`
 	Generation uint64  `json:"generation"`
+	ModelKey   string  `json:"model_key,omitempty"`
 	Degraded   bool    `json:"degraded"`
 }
 
@@ -420,6 +451,9 @@ func (s *Server) handleRetweet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.owned(w, "candidate", cand) {
+		return
+	}
 	words, ok := s.bag(w, &req, info)
 	if !ok {
 		return
@@ -427,6 +461,7 @@ func (s *Server) handleRetweet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scoreResponse{
 		Score:      snap.Engine.RetweetScore(pub, cand, words),
 		Generation: snap.Generation,
+		ModelKey:   snap.Key,
 		Degraded:   snap.Degraded(),
 	})
 }
@@ -445,6 +480,9 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.owned(w, "from", from) {
+		return
+	}
 	to, ok := s.user(w, "to", req.To, info)
 	if !ok {
 		return
@@ -452,6 +490,7 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scoreResponse{
 		Score:      snap.Engine.LinkScore(from, to),
 		Generation: snap.Generation,
+		ModelKey:   snap.Key,
 		Degraded:   snap.Degraded(),
 	})
 }
@@ -470,6 +509,9 @@ func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.owned(w, "user", user) {
+		return
+	}
 	words, ok := s.bag(w, &req, info)
 	if !ok {
 		return
@@ -477,8 +519,9 @@ func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Slice      int    `json:"slice"`
 		Generation uint64 `json:"generation"`
+		ModelKey   string `json:"model_key,omitempty"`
 		Degraded   bool   `json:"degraded"`
-	}{snap.Engine.PredictTime(user, words), snap.Generation, snap.Degraded()})
+	}{snap.Engine.PredictTime(user, words), snap.Generation, snap.Key, snap.Degraded()})
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
@@ -493,6 +536,9 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	info := snap.Engine.Info()
 	user, ok := s.user(w, "user", req.User, info)
 	if !ok {
+		return
+	}
+	if !s.owned(w, "user", user) {
 		return
 	}
 	words, ok := s.bag(w, &req, info)
@@ -520,14 +566,40 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Topics     []topicWeight `json:"topics"`
 		Generation uint64        `json:"generation"`
-	}{top, snap.Generation})
+		ModelKey   string        `json:"model_key,omitempty"`
+	}{top, snap.Generation, snap.Key})
 }
 
+// handleHealthz reports liveness plus the routing-relevant identity:
+// which model generation this replica answers from, whether it is
+// degraded, and whether it is draining (503, so routers and probes stop
+// sending work without a special case). All fields are additive to the
+// original {status, uptime_s} body.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status  string  `json:"status"`
-		UptimeS float64 `json:"uptime_s"`
-	}{"ok", time.Since(s.start).Seconds()})
+	body := struct {
+		Status     string  `json:"status"`
+		UptimeS    float64 `json:"uptime_s"`
+		Generation uint64  `json:"generation"`
+		ModelKey   string  `json:"model_key,omitempty"`
+		Degraded   bool    `json:"degraded"`
+		Draining   bool    `json:"draining"`
+		Shard      *int    `json:"shard,omitempty"`
+		Shards     int     `json:"shards,omitempty"`
+	}{Status: "ok", UptimeS: time.Since(s.start).Seconds()}
+	if snap := s.mgr.Current(); snap != nil {
+		body.Generation = snap.Generation
+		body.ModelKey = snap.Key
+		body.Degraded = snap.Degraded()
+	}
+	if s.cfg.ShardCount > 0 {
+		idx := s.cfg.ShardIndex
+		body.Shard, body.Shards = &idx, s.cfg.ShardCount
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		body.Status, body.Draining, code = "draining", true, http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 // readyState summarises the lifecycle for orchestration probes.
