@@ -56,6 +56,24 @@ func newSmokeReplica(key string) *smokeReplica {
 			json.NewEncoder(w).Encode(map[string]any{
 				"score": 0.5, "generation": 1, "model_key": f.key.Load().(string),
 			})
+		case r.URL.Path == "/v1/score/batch":
+			var body struct {
+				Items []json.RawMessage `json:"items"`
+			}
+			json.NewDecoder(r.Body).Decode(&body)
+			results := make([]json.RawMessage, len(body.Items))
+			for i := range results {
+				results[i] = json.RawMessage(`{"status":"ok","score":0.5}`)
+			}
+			json.NewEncoder(w).Encode(map[string]any{
+				"results": results, "generation": 1,
+				"model_key": f.key.Load().(string), "degraded": false,
+			})
+		case strings.HasPrefix(r.URL.Path, "/v1/rank/"):
+			json.NewEncoder(w).Encode(map[string]any{
+				"user": 0, "candidates": []any{}, "generation": 1,
+				"model_key": f.key.Load().(string),
+			})
 		default:
 			http.NotFound(w, r)
 		}
@@ -64,7 +82,8 @@ func newSmokeReplica(key string) *smokeReplica {
 }
 
 // clusterSmoke drives every cold_cluster_* instrument: routed requests
-// on all four routes, a retry onto a healthy replica, retry-budget
+// on all six routes (the four single-score routes plus the scattered
+// batch and the forwarded rank), a retry onto a healthy replica, retry-budget
 // exhaustion, a breaker open + shed, a winning hedge, probe failures
 // with an ejection/readmission cycle, a generation-skew discard, a
 // proxy error with no fallback, and a degraded fallback answer.
@@ -129,6 +148,20 @@ func clusterSmoke(reg *obs.Registry, fallback serve.Engine) error {
 		if err := post(front.URL, rq.path, rq.body, 200); err != nil {
 			return err
 		}
+	}
+	// The batch-first routes: a scatter/gather batch and a forwarded
+	// rank lookup (route labels "batch" and "rank").
+	if err := post(front.URL, "/v1/score/batch",
+		`{"items":[{"kind":"link","from":0,"to":1},{"kind":"time","user":1,"words":[1]}]}`, 200); err != nil {
+		return fmt.Errorf("routed batch: %w", err)
+	}
+	rankResp, err := http.Get(front.URL + "/v1/rank/0")
+	if err != nil {
+		return err
+	}
+	rankResp.Body.Close()
+	if rankResp.StatusCode != 200 {
+		return fmt.Errorf("GET /v1/rank/0 = %d, want 200", rankResp.StatusCode)
 	}
 	a.fail.Store(true)
 	for i := 0; i < 4; i++ {

@@ -1,0 +1,403 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/serve"
+	"github.com/cold-diffusion/cold/internal/synth"
+)
+
+// loadOpts are the knobs of `coldbench -load`.
+type loadOpts struct {
+	seed       uint64
+	rate       float64 // offered single-score requests per second
+	requests   int     // scored items per phase per mode
+	distinct   int     // distinct request tuples the Zipf stream draws from
+	zipfS      float64 // Zipf skew; hotter heads cache better
+	chunk      int     // items per /v1/score/batch round-trip
+	minHitRate float64 // assert: batch-mode warm cache hit rate floor (0 = off)
+	maxP99MS   float64 // assert: batch-mode warm p99 ceiling in ms (0 = off)
+}
+
+// loadPhase is one measured phase of one serving mode.
+type loadPhase struct {
+	Requests       int     `json:"requests"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	ThroughputPerS float64 `json:"throughput_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Errors         int     `json:"errors"`
+}
+
+// loadMode is one serving configuration driven cold then warm with the
+// identical request stream.
+type loadMode struct {
+	Cold loadPhase `json:"cold"`
+	Warm loadPhase `json:"warm"`
+}
+
+// loadRecord is the machine-readable serving benchmark written by
+// `coldbench -load out.json` (BENCH_2.json in the repository): the
+// one-call-per-score baseline against the batch-first hot path at the
+// same offered load, each measured cold (empty cache) and warm.
+type loadRecord struct {
+	SchemaVersion int    `json:"schema_version"`
+	Timestamp     string `json:"timestamp"`
+	GitSHA        string `json:"git_sha"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Seed          uint64 `json:"seed"`
+
+	Users        int     `json:"users"`
+	Posts        int     `json:"posts"`
+	OfferedRate  float64 `json:"offered_rate_per_sec"`
+	DistinctKeys int     `json:"distinct_keys"`
+	ZipfS        float64 `json:"zipf_s"`
+	Chunk        int     `json:"batch_chunk"`
+
+	// SingleCall serves with micro-batching and the score cache disabled
+	// and is driven one POST /v1/predict/retweet per score — the shape of
+	// the hot path before the batch-first redesign.
+	SingleCall loadMode `json:"single_call"`
+	// Batch serves with the redesign's defaults (micro-batcher + score
+	// cache + top-k precompute) and is driven through /v1/score/batch.
+	Batch loadMode `json:"batch"`
+
+	BatchWarmP99Speedup        float64 `json:"batch_warm_p99_speedup"`
+	BatchWarmThroughputSpeedup float64 `json:"batch_warm_throughput_speedup"`
+}
+
+// runLoad trains a small model once, serves it twice — the pre-redesign
+// single-call shape and the batch-first shape — and drives both with
+// the same open-loop Zipf request stream, writing one loadRecord.
+func runLoad(path string, opts loadOpts) error {
+	if opts.rate <= 0 {
+		opts.rate = 3000
+	}
+	if opts.requests <= 0 {
+		opts.requests = 4000
+	}
+	if opts.distinct <= 0 {
+		opts.distinct = 2000
+	}
+	if opts.zipfS <= 1 {
+		opts.zipfS = 1.4
+	}
+	if opts.chunk <= 0 {
+		opts.chunk = 32
+	}
+
+	cfg := synth.Small(opts.seed)
+	data, _, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	tcfg := core.DefaultConfig(cfg.C, cfg.K)
+	tcfg.Iterations, tcfg.BurnIn, tcfg.SampleLag = 30, 10, 5
+	tcfg.Seed = opts.seed
+	model, err := core.Train(data, tcfg)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "coldload")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.json")
+	if err := model.SaveFile(modelPath); err != nil {
+		return err
+	}
+
+	// The identical request stream drives every phase of both modes:
+	// Zipf-ranked draws from a fixed pool of distinct retweet tuples.
+	rng := rand.New(rand.NewSource(int64(opts.seed)))
+	zipf := rand.NewZipf(rng, opts.zipfS, 1, uint64(opts.distinct-1))
+	type tuple struct{ pub, cand, post int }
+	pool := make([]tuple, opts.distinct)
+	for i := range pool {
+		pool[i] = tuple{rng.Intn(model.U), rng.Intn(model.U), rng.Intn(len(data.Posts))}
+	}
+	seq := make([]tuple, opts.requests)
+	for i := range seq {
+		seq[i] = pool[zipf.Uint64()]
+	}
+	bodies := make([][]byte, len(seq))
+	for i, tp := range seq {
+		bodies[i], _ = json.Marshal(map[string]int{
+			"publisher": tp.pub, "candidate": tp.cand, "post": tp.post})
+	}
+	chunks := make([][]byte, 0, (len(seq)+opts.chunk-1)/opts.chunk)
+	chunkItems := make([]int, 0, cap(chunks))
+	for at := 0; at < len(seq); at += opts.chunk {
+		end := min(at+opts.chunk, len(seq))
+		items := make([]map[string]int, 0, end-at)
+		for _, tp := range seq[at:end] {
+			items = append(items, map[string]int{
+				"publisher": tp.pub, "candidate": tp.cand, "post": tp.post})
+		}
+		b, _ := json.Marshal(map[string]any{"items": withKind(items)})
+		chunks = append(chunks, b)
+		chunkItems = append(chunkItems, end-at)
+	}
+
+	rec := loadRecord{
+		SchemaVersion: 1,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          opts.seed,
+		Users:         model.U,
+		Posts:         len(data.Posts),
+		OfferedRate:   opts.rate,
+		DistinctKeys:  opts.distinct,
+		ZipfS:         opts.zipfS,
+		Chunk:         opts.chunk,
+	}
+
+	rec.SingleCall, err = serveAndDrive(modelPath, data, serve.Config{
+		MaxInFlight: 1024, RequestTimeout: 10 * time.Second,
+		BatchWindow: -1, CacheEntries: -1, // pre-redesign hot path
+	}, func(base string, mt *serve.Metrics) (loadPhase, loadPhase, error) {
+		cold, err := driveSingles(base, bodies, opts.rate, mt)
+		if err != nil {
+			return cold, cold, err
+		}
+		warm, err := driveSingles(base, bodies, opts.rate, mt)
+		return cold, warm, err
+	})
+	if err != nil {
+		return fmt.Errorf("single-call mode: %w", err)
+	}
+
+	rec.Batch, err = serveAndDrive(modelPath, data, serve.Config{
+		MaxInFlight: 1024, RequestTimeout: 10 * time.Second,
+	}, func(base string, mt *serve.Metrics) (loadPhase, loadPhase, error) {
+		cold, err := driveChunks(base, chunks, chunkItems, opts.rate, mt)
+		if err != nil {
+			return cold, cold, err
+		}
+		warm, err := driveChunks(base, chunks, chunkItems, opts.rate, mt)
+		return cold, warm, err
+	})
+	if err != nil {
+		return fmt.Errorf("batch mode: %w", err)
+	}
+
+	if rec.Batch.Warm.P99MS > 0 {
+		rec.BatchWarmP99Speedup = rec.SingleCall.Warm.P99MS / rec.Batch.Warm.P99MS
+	}
+	if rec.SingleCall.Warm.ThroughputPerS > 0 {
+		rec.BatchWarmThroughputSpeedup = rec.Batch.Warm.ThroughputPerS / rec.SingleCall.Warm.ThroughputPerS
+	}
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("single: cold p50=%.2fms p99=%.2fms %.0f/s | warm p50=%.2fms p99=%.2fms %.0f/s\n",
+		rec.SingleCall.Cold.P50MS, rec.SingleCall.Cold.P99MS, rec.SingleCall.Cold.ThroughputPerS,
+		rec.SingleCall.Warm.P50MS, rec.SingleCall.Warm.P99MS, rec.SingleCall.Warm.ThroughputPerS)
+	fmt.Printf("batch:  cold p50=%.2fms p99=%.2fms %.0f/s hit=%.0f%% | warm p50=%.2fms p99=%.2fms %.0f/s hit=%.0f%%\n",
+		rec.Batch.Cold.P50MS, rec.Batch.Cold.P99MS, rec.Batch.Cold.ThroughputPerS, 100*rec.Batch.Cold.CacheHitRate,
+		rec.Batch.Warm.P50MS, rec.Batch.Warm.P99MS, rec.Batch.Warm.ThroughputPerS, 100*rec.Batch.Warm.CacheHitRate)
+	fmt.Printf("wrote %s\n", path)
+
+	if opts.minHitRate > 0 && rec.Batch.Warm.CacheHitRate < opts.minHitRate {
+		return fmt.Errorf("warm cache hit rate %.3f below floor %.3f",
+			rec.Batch.Warm.CacheHitRate, opts.minHitRate)
+	}
+	if opts.maxP99MS > 0 && rec.Batch.Warm.P99MS > opts.maxP99MS {
+		return fmt.Errorf("warm batch p99 %.2fms above ceiling %.2fms",
+			rec.Batch.Warm.P99MS, opts.maxP99MS)
+	}
+	errs := rec.SingleCall.Cold.Errors + rec.SingleCall.Warm.Errors +
+		rec.Batch.Cold.Errors + rec.Batch.Warm.Errors
+	if errs > 0 {
+		return fmt.Errorf("%d load requests failed", errs)
+	}
+	return nil
+}
+
+// withKind stamps the retweet kind on each batch item.
+func withKind(items []map[string]int) []map[string]any {
+	out := make([]map[string]any, len(items))
+	for i, it := range items {
+		m := map[string]any{"kind": "retweet"}
+		for k, v := range it {
+			m[k] = v
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// serveAndDrive stands up one server over the trained model, runs the
+// driver against it, and tears it down.
+func serveAndDrive(modelPath string, data *corpus.Dataset, scfg serve.Config,
+	drive func(base string, mt *serve.Metrics) (loadPhase, loadPhase, error)) (loadMode, error) {
+	reg := obs.NewRegistry()
+	mt := serve.NewMetrics(reg)
+	scfg.Metrics = mt
+	quiet := func(string, ...any) {}
+	mgr := serve.NewManager(serve.ManagerConfig{
+		Path: modelPath, TopComm: 5, RankK: 50, Logf: quiet, Metrics: mt,
+	})
+	if err := mgr.Reload(); err != nil {
+		return loadMode{}, err
+	}
+	srv := serve.New(scfg, mgr, data)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadMode{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	cold, warm, err := drive("http://"+ln.Addr().String(), mt)
+	return loadMode{Cold: cold, Warm: warm}, err
+}
+
+// loadClient is tuned for many concurrent connections to one host.
+var loadClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConns: 1024, MaxIdleConnsPerHost: 1024,
+}}
+
+// driveOpenLoop paces len(bodies) posts to url at interval, open-loop:
+// requests launch on schedule whether or not earlier ones returned, so
+// server slowness shows up as queueing latency, not a gentler load.
+// In-flight concurrency is capped generously to bound memory. check
+// inspects each response (status 0 and nil body on transport failure)
+// and returns how many scored items in it failed.
+func driveOpenLoop(url string, bodies [][]byte, interval time.Duration,
+	check func(i, status int, body []byte) int) ([]float64, int, time.Duration) {
+	lat := make([]float64, len(bodies))
+	var errs atomic.Int64
+	sem := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, body := range bodies {
+		if sleep := start.Add(time.Duration(i) * interval).Sub(time.Now()); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := loadClient.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs.Add(int64(check(i, 0, nil)))
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lat[i] = time.Since(t0).Seconds() * 1000
+			errs.Add(int64(check(i, resp.StatusCode, raw)))
+		}(i, body)
+	}
+	wg.Wait()
+	return lat, int(errs.Load()), time.Since(start)
+}
+
+// phaseStats folds one phase's measurements plus the cache-counter
+// delta into a loadPhase.
+func phaseStats(lat []float64, errs, items int, wall time.Duration, hits0, miss0, hits1, miss1 uint64) loadPhase {
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	ph := loadPhase{
+		Requests:       items,
+		WallSeconds:    wall.Seconds(),
+		ThroughputPerS: float64(items) / wall.Seconds(),
+		P50MS:          pct(0.50),
+		P99MS:          pct(0.99),
+		Errors:         errs,
+	}
+	if dh, dm := hits1-hits0, miss1-miss0; dh+dm > 0 {
+		ph.CacheHitRate = float64(dh) / float64(dh+dm)
+	}
+	return ph
+}
+
+// driveSingles runs one phase of one-call-per-score traffic.
+func driveSingles(base string, bodies [][]byte, rate float64, mt *serve.Metrics) (loadPhase, error) {
+	h0, m0 := mt.CacheHits.Value(), mt.CacheMisses.Value()
+	interval := time.Duration(float64(time.Second) / rate)
+	lat, errs, wall := driveOpenLoop(base+"/v1/predict/retweet", bodies, interval,
+		func(_, status int, _ []byte) int {
+			if status != http.StatusOK {
+				return 1
+			}
+			return 0
+		})
+	h1, m1 := mt.CacheHits.Value(), mt.CacheMisses.Value()
+	return phaseStats(lat, errs, len(bodies), wall, h0, m0, h1, m1), nil
+}
+
+// driveChunks runs one phase of batched traffic: the same offered item
+// rate, arriving as one /v1/score/batch round-trip per chunk. A chunk
+// answers 200 even when items inside it failed, so the per-item status
+// slots are what gets counted.
+func driveChunks(base string, chunks [][]byte, chunkItems []int, rate float64, mt *serve.Metrics) (loadPhase, error) {
+	items := 0
+	for _, n := range chunkItems {
+		items += n
+	}
+	h0, m0 := mt.CacheHits.Value(), mt.CacheMisses.Value()
+	perChunk := (items + len(chunks) - 1) / len(chunks)
+	interval := time.Duration(float64(perChunk) * float64(time.Second) / rate)
+	lat, errs, wall := driveOpenLoop(base+"/v1/score/batch", chunks, interval,
+		func(i, status int, body []byte) int {
+			if status != http.StatusOK {
+				return chunkItems[i]
+			}
+			var rep struct {
+				Results []struct {
+					Status string `json:"status"`
+				} `json:"results"`
+			}
+			if err := json.Unmarshal(body, &rep); err != nil || len(rep.Results) != chunkItems[i] {
+				return chunkItems[i]
+			}
+			bad := 0
+			for _, r := range rep.Results {
+				if r.Status != "ok" {
+					bad++
+				}
+			}
+			return bad
+		})
+	h1, m1 := mt.CacheHits.Value(), mt.CacheMisses.Value()
+	return phaseStats(lat, errs, items, wall, h0, m0, h1, m1), nil
+}

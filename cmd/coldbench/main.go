@@ -40,11 +40,31 @@ func main() {
 	benchSweeps := flag.Int("bench-sweeps", 5, "timed sweeps per kernel for -json")
 	benchWarmup := flag.Int("bench-warmup", 2, "untimed warmup sweeps per kernel for -json")
 	benchWorkers := flag.Int("bench-workers", 4, "worker count for the parallel kernel in -json")
+	loadPath := flag.String("load", "", "serve the small model and measure the prediction hot path under open-loop Zipf load, writing a machine-readable record to this path")
+	loadRate := flag.Float64("load-rate", 3000, "offered scores per second for -load")
+	loadRequests := flag.Int("load-requests", 4000, "scored items per phase per mode for -load")
+	loadDistinct := flag.Int("load-distinct", 2000, "distinct request tuples in the -load Zipf pool")
+	loadZipf := flag.Float64("load-zipf", 1.4, "Zipf skew of the -load request stream (must be > 1)")
+	loadChunk := flag.Int("load-chunk", 32, "items per batch round-trip in -load")
+	loadMinHitRate := flag.Float64("load-min-hit-rate", 0, "fail -load if the warm batch cache hit rate is below this (0 disables)")
+	loadMaxP99 := flag.Float64("load-max-p99-ms", 0, "fail -load if the warm batch p99 exceeds this many ms (0 disables)")
 	flag.Parse()
 
 	if *metricsFlag {
 		if err := metricsSmoke(*seed); err != nil {
 			log.Fatalf("metrics smoke failed: %v", err)
+		}
+		return
+	}
+
+	if *loadPath != "" {
+		err := runLoad(*loadPath, loadOpts{
+			seed: *seed, rate: *loadRate, requests: *loadRequests,
+			distinct: *loadDistinct, zipfS: *loadZipf, chunk: *loadChunk,
+			minHitRate: *loadMinHitRate, maxP99MS: *loadMaxP99,
+		})
+		if err != nil {
+			log.Fatalf("load: %v", err)
 		}
 		return
 	}

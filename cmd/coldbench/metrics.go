@@ -219,6 +219,55 @@ func metricsSmoke(seed uint64) error {
 		return err
 	}
 
+	// Batch-first hot path: a mixed batch fills the score cache (route
+	// "batch", misses), its repeat answers from the cache (hits), and a
+	// rank lookup serves the precomputed tables (route "rank").
+	batchBody := `{"items":[{"kind":"retweet","publisher":0,"candidate":1,"post":0},{"kind":"link","from":0,"to":1}]}`
+	if err := post("/v1/score/batch", batchBody, 200); err != nil {
+		return err
+	}
+	if err := post("/v1/score/batch", batchBody, 200); err != nil {
+		return err
+	}
+	if mt.CacheHits.Value() == 0 {
+		return fmt.Errorf("repeated batch never hit the score cache")
+	}
+	rankResp, err := http.Get(ts.URL + "/v1/rank/0")
+	if err != nil {
+		return err
+	}
+	rankResp.Body.Close()
+	if rankResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/rank/0 = %d, want 200", rankResp.StatusCode)
+	}
+
+	// Full-triggered flushes and LRU eviction: BatchMax 1 makes every
+	// coalesced single a "full" flush, and a 16-entry cache (one slot
+	// per shard) must evict by pigeonhole after 17 distinct keys.
+	tiny := serve.New(serve.Config{MaxInFlight: 4, RequestTimeout: 10 * time.Second,
+		RetryAfter: time.Second, Metrics: mt, BatchMax: 1, CacheEntries: 16}, mgr, data)
+	tts := httptest.NewServer(tiny.Handler())
+	for i := 0; i < 17; i++ {
+		body := fmt.Sprintf(`{"from":%d,"to":%d}`, i, i+1)
+		resp, err := http.Post(tts.URL+"/v1/predict/link", "application/json", strings.NewReader(body))
+		if err != nil {
+			tts.Close()
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			tts.Close()
+			return fmt.Errorf("tiny-cache link %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+	tts.Close()
+	if mt.BatchFlushes["full"].Value() == 0 {
+		return fmt.Errorf("BatchMax=1 singles never produced a full-triggered flush")
+	}
+	if mt.CacheEvictions.Value() == 0 {
+		return fmt.Errorf("17 distinct keys in a 16-entry cache never evicted")
+	}
+
 	// Sharded refusal: a server that owns no users answers 421 and counts
 	// the misroute.
 	shardSrv := serve.New(serve.Config{MaxInFlight: 4, RequestTimeout: 10 * time.Second,

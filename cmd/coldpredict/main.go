@@ -12,6 +12,13 @@
 // Usage:
 //
 //	coldpredict -model model.json -data dataset.json < queries.txt
+//	coldpredict -server http://host:8080 -chunk 32 < queries.txt
+//
+// With -server the model is not loaded locally: queries ride a running
+// coldserve or coldrouter through POST /v1/score/batch, one round-trip
+// per -chunk queries instead of one per query. Range validation then
+// happens server-side and answers a per-item error slot, which skips
+// that line only.
 //
 // Malformed query lines are reported to stderr with their line number
 // and skipped — one bad row cannot abort a batch job. Valid results go
@@ -40,7 +47,14 @@ func main() {
 	modelPath := flag.String("model", "model.json", "trained model (from coldtrain)")
 	dataPath := flag.String("data", "dataset.json", "dataset providing post content")
 	topComm := flag.Int("topcomm", 5, "TopComm size for the predictor")
+	server := flag.String("server", "", "base URL of a running coldserve or coldrouter; queries go through POST /v1/score/batch instead of a local model")
+	chunkSize := flag.Int("chunk", 32, "queries per batch round-trip in -server mode")
 	flag.Parse()
+
+	if *server != "" {
+		runRemote(*server, *chunkSize)
+		return
+	}
 
 	model, err := core.LoadModelFile(*modelPath)
 	if err != nil {

@@ -28,6 +28,14 @@
 //	POST /v1/predict/link      {"from","to"}
 //	POST /v1/predict/time      {"user","post"|"words"}
 //	POST /v1/topics            {"user","post"|"words","topn"}
+//	POST /v1/score/batch       {"items":[{"kind","..."},...]} mixed-kind batch
+//	GET  /v1/rank/{user}       precomputed top-k retweet candidates
+//
+// The prediction hot path is batch-first: single-score requests are
+// coalesced by a micro-batcher (-batch-window/-batch-max) and answered
+// through a generation-keyed score cache (-score-cache); cached entries
+// die wholesale on every reload or rollback. Candidate rankings are
+// precomputed per reload to -rank-k depth.
 //
 // Every non-2xx response body is the shared JSON error envelope
 // {"error":{"code","message","retry_after_ms?"}}.
@@ -67,7 +75,11 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 64, "admitted concurrent prediction requests; excess is shed with 429")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
-	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed requests")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed requests (jittered ±50% per response)")
+	batchWindow := flag.Duration("batch-window", time.Millisecond, "micro-batch coalescing window for single-score requests; negative disables")
+	batchMax := flag.Int("batch-max", 64, "micro-batch flushes early at this many coalesced requests")
+	cacheEntries := flag.Int("score-cache", 32768, "generation-keyed score cache capacity in entries; negative disables")
+	rankK := flag.Int("rank-k", 50, "per-community candidate-ranking depth precomputed at each model load")
 	loadRetries := flag.Int("load-retries", 6, "startup model-load attempts before degrading or exiting")
 	shardIndex := flag.Int("shard-index", 0, "this replica's shard index when serving behind coldrouter")
 	shardCount := flag.Int("shard-count", 0, "total shard count; 0 serves all users (unsharded)")
@@ -98,6 +110,7 @@ func main() {
 	mgr := serve.NewManager(serve.ManagerConfig{
 		Path:    *modelPath,
 		TopComm: *topComm,
+		RankK:   *rankK,
 		Poll:    *poll,
 		Backoff: backoff,
 		Logf:    logf,
@@ -122,6 +135,9 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
 		RetryAfter:     *retryAfter,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		CacheEntries:   *cacheEntries,
 		Logf:           logf,
 		Metrics:        metrics,
 	}

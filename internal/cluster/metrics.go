@@ -8,7 +8,7 @@ import (
 
 // routeNames labels the per-route request counters; it mirrors the
 // forwarded /v1 prediction surface.
-var routeNames = []string{"retweet", "link", "time", "topics"}
+var routeNames = []string{"retweet", "link", "time", "topics", "batch", "rank"}
 
 // Metrics is the routing tier's instrument set under the cold_cluster_*
 // namespace. A nil *Metrics disables instrumentation; every method is

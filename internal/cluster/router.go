@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -197,18 +198,23 @@ func New(cfg Config) (*Router, error) {
 	return rt, nil
 }
 
-// route describes one forwarded endpoint: its metric label, path, and
-// which request field is the routing (shard-owning) user.
+// route describes one forwarded endpoint: its metric label, HTTP
+// method (empty → POST), path, and which request field is the routing
+// (shard-owning) user.
 type route struct {
 	name      string
+	method    string
 	path      string
 	userField string
 }
 
-// Routes is the forwarded prediction surface. The routing user is the
-// user whose behavioural state answers the query — the candidate for
-// retweet, the link source for link, the posting user otherwise — and
-// must match what serve-side shard ownership validates.
+// Routes is the forwarded single-score prediction surface. The routing
+// user is the user whose behavioural state answers the query — the
+// candidate for retweet, the link source for link, the posting user
+// otherwise — and must match what serve-side shard ownership validates.
+// The batch route (/v1/score/batch, split per shard and re-merged) and
+// the rank route (/v1/rank/{user}, routed on the path segment) have
+// their own handlers.
 var Routes = []struct{ Name, Path, UserField string }{
 	{"retweet", "/v1/predict/retweet", "candidate"},
 	{"link", "/v1/predict/link", "from"},
@@ -217,14 +223,17 @@ var Routes = []struct{ Name, Path, UserField string }{
 }
 
 // Handler returns the router's route table: the forwarded /v1
-// prediction surface, the shard map at /v1/cluster/status, liveness,
-// and (with Metrics set) the Prometheus exposition. Non-2xx bodies
-// carry the shared JSON error envelope.
+// prediction surface (single-score routes, the scatter/gather batch
+// route, and the rank route), the shard map at /v1/cluster/status,
+// liveness, and (with Metrics set) the Prometheus exposition. Non-2xx
+// bodies carry the shared JSON error envelope.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range Routes {
-		mux.Handle("POST "+r.Path, rt.predict(route{r.Name, r.Path, r.UserField}))
+		mux.Handle("POST "+r.Path, rt.predict(route{name: r.Name, path: r.Path, userField: r.UserField}))
 	}
+	mux.Handle("POST /v1/score/batch", rt.scoreBatch())
+	mux.Handle("GET /v1/rank/{user}", rt.rank())
 	mux.HandleFunc("GET /v1/cluster/status", rt.handleStatus)
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	if mh := rt.cfg.Metrics.Handler(); mh != nil {
@@ -322,6 +331,215 @@ func (rt *Router) predict(r route) http.HandlerFunc {
 	}
 }
 
+// ---- batch scatter/gather ----
+
+// batchRoutingItem is the loose per-item decode of a /v1/score/batch
+// entry: the kind plus just enough to find the routing user. Full
+// validation stays on the replicas.
+type batchRoutingItem struct {
+	Kind      string `json:"kind"`
+	Candidate *int   `json:"candidate"`
+	From      *int   `json:"from"`
+	User      *int   `json:"user"`
+}
+
+// routingUser is the shard-owning user for one batch item, mirroring
+// the per-route userField of the single-score surface.
+func (it *batchRoutingItem) routingUser() *int {
+	switch it.Kind {
+	case "retweet":
+		return it.Candidate
+	case "link":
+		return it.From
+	default:
+		return it.User
+	}
+}
+
+// errorItem renders one failed batch slot in the replica's per-item
+// shape, so merged responses stay uniform regardless of which side
+// produced the slot.
+func errorItem(code, msg string) json.RawMessage {
+	b, _ := json.Marshal(struct {
+		Status string    `json:"status"`
+		Error  errorInfo `json:"error"`
+	}{"error", errorInfo{Code: code, Message: msg}})
+	return b
+}
+
+// scoreBatch is the batched forwarding path: items are split by owning
+// shard, each sub-batch rides the same hardened per-shard pipeline as a
+// single score (pinning, retries, hedging, breakers), and the per-item
+// results are merged back in input order. A failed shard fails only its
+// own items — to per-item degraded answers when the fallback engine
+// can produce them, per-item error slots otherwise.
+func (rt *Router) scoreBatch() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if rt.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining", "router is draining")
+			return
+		}
+		rt.cfg.Metrics.request("batch")
+		rt.budget.earn()
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 4<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
+			return
+		}
+		var in struct {
+			Items []json.RawMessage `json:"items"`
+		}
+		if err := json.Unmarshal(body, &in); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
+			return
+		}
+		if len(in.Items) == 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "empty items")
+			return
+		}
+
+		start := time.Now()
+		results := make([]json.RawMessage, len(in.Items))
+		shardItems := make(map[int][]json.RawMessage)
+		shardIdx := make(map[int][]int) // input slot of each sub-batch item
+		for i, raw := range in.Items {
+			var it batchRoutingItem
+			if err := json.Unmarshal(raw, &it); err != nil {
+				results[i] = errorItem("bad_request", "bad batch item: "+err.Error())
+				continue
+			}
+			user := it.routingUser()
+			if user == nil {
+				results[i] = errorItem("bad_request", "missing routing user field")
+				continue
+			}
+			if *user < 0 {
+				results[i] = errorItem("bad_request",
+					fmt.Sprintf("routing user %d out of range", *user))
+				continue
+			}
+			shard := ShardOf(*user, len(rt.shards))
+			shardItems[shard] = append(shardItems[shard], raw)
+			shardIdx[shard] = append(shardIdx[shard], i)
+		}
+
+		ctx, cancel := context.WithTimeout(req.Context(), rt.cfg.RequestTimeout)
+		defer cancel()
+		type shardReply struct {
+			shard int
+			out   forwardOutcome
+		}
+		replies := make(chan shardReply, len(shardItems))
+		var wg sync.WaitGroup
+		for shard, items := range shardItems {
+			sub, _ := json.Marshal(struct {
+				Items []json.RawMessage `json:"items"`
+			}{items})
+			wg.Add(1)
+			go func(shard int, sub []byte) {
+				defer wg.Done()
+				replies <- shardReply{shard,
+					rt.collect(ctx, route{name: "batch", path: "/v1/score/batch"}, shard, sub)}
+			}(shard, sub)
+		}
+		wg.Wait()
+		close(replies)
+
+		degraded := false
+		for rp := range replies {
+			rt.mergeShardReply(results, shardIdx[rp.shard], shardItems[rp.shard], rp.out, &degraded)
+		}
+
+		key, gen := rt.majority()
+		if key != "" {
+			w.Header().Set("X-Cold-Model", key)
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Results    []json.RawMessage `json:"results"`
+			Generation uint64            `json:"generation"`
+			ModelKey   string            `json:"model_key,omitempty"`
+			Degraded   bool              `json:"degraded"`
+		}{results, gen, key, degraded})
+		rt.cfg.Metrics.forwarded(time.Since(start).Seconds())
+	}
+}
+
+// mergeShardReply scatters one shard's outcome back into the merged
+// result slots: relayed per-item payloads on success, the replica's
+// error on every item for a terminal failure, and degraded or shed
+// per-item answers when the shard produced nothing.
+func (rt *Router) mergeShardReply(results []json.RawMessage, idx []int, items []json.RawMessage, out forwardOutcome, degraded *bool) {
+	if out.res != nil && out.res.status == http.StatusOK {
+		var rep struct {
+			Results  []json.RawMessage `json:"results"`
+			Degraded bool              `json:"degraded"`
+		}
+		if err := json.Unmarshal(out.res.body, &rep); err == nil && len(rep.Results) == len(idx) {
+			for j, i := range idx {
+				results[i] = rep.Results[j]
+			}
+			if rep.Degraded {
+				*degraded = true
+			}
+			return
+		}
+		for _, i := range idx {
+			results[i] = errorItem("internal", "malformed replica batch reply")
+		}
+		return
+	}
+	if out.res != nil {
+		// Terminal non-200 (replica-side reject): surface the replica's
+		// envelope error on every item of the sub-batch.
+		var eb errorBody
+		code, msg := "internal", fmt.Sprintf("replica answered %d", out.res.status)
+		if err := json.Unmarshal(out.res.body, &eb); err == nil && eb.Error.Code != "" {
+			code, msg = eb.Error.Code, eb.Error.Message
+		}
+		for _, i := range idx {
+			results[i] = errorItem(code, msg)
+		}
+		return
+	}
+	// No replica answered: per-item degraded fallback where possible,
+	// the shed verdict otherwise.
+	for j, i := range idx {
+		if it, ok := rt.degradedItem(items[j]); ok {
+			results[i] = it
+			*degraded = true
+			continue
+		}
+		results[i] = errorItem(out.code, out.msg)
+	}
+}
+
+// rank forwards GET /v1/rank/{user} to the shard owning the user. The
+// popularity-prior fallback has no community rankings, so an unusable
+// shard sheds rather than degrades.
+func (rt *Router) rank() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if rt.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining", "router is draining")
+			return
+		}
+		rt.cfg.Metrics.request("rank")
+		rt.budget.earn()
+		user, err := strconv.Atoi(req.PathValue("user"))
+		if err != nil || user < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad user path segment")
+			return
+		}
+		path := "/v1/rank/" + strconv.Itoa(user)
+		if k := req.URL.Query().Get("k"); k != "" {
+			path += "?k=" + url.QueryEscape(k)
+		}
+		shard := ShardOf(user, len(rt.shards))
+		start := time.Now()
+		rt.forward(w, req, route{name: "rank", method: http.MethodGet, path: path}, shard, nil)
+		rt.cfg.Metrics.forwarded(time.Since(start).Seconds())
+	}
+}
+
 // attemptResult is the outcome of one forwarded attempt.
 type attemptResult struct {
 	rep      *replica
@@ -333,20 +551,40 @@ type attemptResult struct {
 	err      error
 }
 
-// forward drives the hardened forwarding path: breaker check, replica
-// selection pinned to the fleet-majority model generation, budgeted
-// retries with full-jitter backoff, optional hedging, and last-resort
-// degradation.
+// forwardOutcome is what the hardened forward path produced for one
+// shard: a terminal replica response to relay, or (res == nil) the shed
+// verdict — how long the client should wait, and why.
+type forwardOutcome struct {
+	res  *attemptResult
+	key  string // pinned majority model key
+	wait time.Duration
+	code string
+	msg  string
+}
+
+// forward drives the hardened forwarding path and writes the result:
+// terminal responses are relayed, everything else degrades or sheds.
 func (rt *Router) forward(w http.ResponseWriter, req *http.Request, r route, shard int, body []byte) {
 	ctx, cancel := context.WithTimeout(req.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
+	out := rt.collect(ctx, r, shard, body)
+	if out.res != nil {
+		rt.writeForwarded(w, out.res, out.key)
+		return
+	}
+	rt.degradeOrShed(w, r, shard, body, out.wait, out.code, out.msg)
+}
 
+// collect is the write-free core of forward: breaker check, replica
+// selection pinned to the fleet-majority model generation, budgeted
+// retries with full-jitter backoff, and optional hedging. The batch
+// fan-out calls it once per shard and merges outcomes itself.
+func (rt *Router) collect(ctx context.Context, r route, shard int, body []byte) forwardOutcome {
 	br := rt.breakers[shard]
 	if ok, wait := br.allow(); !ok {
 		rt.cfg.Metrics.breakerShedOne()
-		rt.degradeOrShed(w, r, shard, body, wait, "breaker_open",
-			fmt.Sprintf("shard %d circuit breaker is open", shard))
-		return
+		return forwardOutcome{wait: wait, code: "breaker_open",
+			msg: fmt.Sprintf("shard %d circuit breaker is open", shard)}
 	}
 
 	key, _ := rt.majority()
@@ -382,8 +620,7 @@ func (rt *Router) forward(w http.ResponseWriter, req *http.Request, r route, sha
 		res := rt.attemptMaybeHedged(ctx, rep, r, shard, key, body, tried)
 		if res.terminal {
 			succeeded = res.status < 500
-			rt.writeForwarded(w, res, key)
-			return
+			return forwardOutcome{res: res, key: key}
 		}
 		if res.skew {
 			// The replica is healthy, just on another generation; don't
@@ -392,8 +629,8 @@ func (rt *Router) forward(w http.ResponseWriter, req *http.Request, r route, sha
 		}
 	}
 
-	rt.degradeOrShed(w, r, shard, body, rt.cfg.RetryAfterHint, "no_replicas",
-		fmt.Sprintf("no usable replica for shard %d", shard))
+	return forwardOutcome{wait: rt.cfg.RetryAfterHint, code: "no_replicas",
+		msg: fmt.Sprintf("no usable replica for shard %d", shard)}
 }
 
 // pick selects the next eligible replica of shard via round robin:
@@ -497,12 +734,18 @@ func (rt *Router) attemptOne(ctx context.Context, rep *replica, r route, key str
 	}
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+r.path, bytes.NewReader(body))
+	method := r.method
+	if method == "" {
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(actx, method, rep.url+r.path, bytes.NewReader(body))
 	if err != nil {
 		res.err = err
 		return res
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		req.Header.Set("X-Cold-Deadline-Ms", strconv.FormatInt(time.Until(dl).Milliseconds(), 10))
 	}
@@ -670,39 +913,125 @@ func (rt *Router) answerDegraded(w http.ResponseWriter, r route, body []byte) bo
 		}
 	}
 
-	var out any
+	var sr serve.ScoreRequest
 	switch r.name {
 	case "retweet":
 		words, ok := bag()
 		if !ok || !valid(req.Publisher) || !valid(req.Candidate) {
 			return false
 		}
-		out = degradedScore{Score: eng.RetweetScore(*req.Publisher, *req.Candidate, words),
-			ModelKey: fallbackModelKey, Degraded: true}
+		sr = serve.ScoreRequest{Kind: serve.KindRetweet,
+			Publisher: *req.Publisher, Candidate: *req.Candidate, Words: words}
 	case "link":
 		if !valid(req.From) || !valid(req.To) {
 			return false
 		}
-		out = degradedScore{Score: eng.LinkScore(*req.From, *req.To),
-			ModelKey: fallbackModelKey, Degraded: true}
+		sr = serve.ScoreRequest{Kind: serve.KindLink, From: *req.From, To: *req.To}
 	case "time":
 		words, ok := bag()
 		if !ok || !valid(req.User) {
 			return false
 		}
+		sr = serve.ScoreRequest{Kind: serve.KindTime, User: *req.User, Words: words}
+	default: // topics, rank: the popularity prior has neither
+		return false
+	}
+	res := eng.ScoreBatch(context.Background(), []serve.ScoreRequest{sr})
+	if res[0].Err != nil {
+		return false
+	}
+
+	var out any
+	if r.name == "time" {
 		out = struct {
 			Slice      int    `json:"slice"`
 			Generation uint64 `json:"generation"`
 			ModelKey   string `json:"model_key"`
 			Degraded   bool   `json:"degraded"`
-		}{eng.PredictTime(*req.User, words), 0, fallbackModelKey, true}
-	default: // topics: the popularity prior has no topic model
-		return false
+		}{res[0].Slice, 0, fallbackModelKey, true}
+	} else {
+		out = degradedScore{Score: res[0].Score, ModelKey: fallbackModelKey, Degraded: true}
 	}
 	rt.cfg.Metrics.degradedAnswer()
 	w.Header().Set("X-Cold-Model", fallbackModelKey)
 	writeJSON(w, http.StatusOK, out)
 	return true
+}
+
+// degradedItem answers one batch item locally from the fallback engine,
+// rendered in the replica's per-item result shape. false means the item
+// cannot be answered at all (no fallback, bad item, topics kind).
+func (rt *Router) degradedItem(raw json.RawMessage) (json.RawMessage, bool) {
+	eng := rt.cfg.Fallback
+	if eng == nil {
+		return nil, false
+	}
+	var req struct {
+		Kind string `json:"kind"`
+		fallbackRequest
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, false
+	}
+	users := eng.Info().Users
+	valid := func(v *int) bool { return v != nil && *v >= 0 && *v < users }
+	bag := func() (text.BagOfWords, bool) {
+		switch {
+		case req.Words != nil:
+			return text.NewBagOfWords(req.Words), true
+		case req.Post != nil && rt.cfg.Posts != nil:
+			return rt.cfg.Posts(*req.Post)
+		default:
+			return text.BagOfWords{}, false
+		}
+	}
+
+	var sr serve.ScoreRequest
+	switch req.Kind {
+	case "retweet":
+		words, ok := bag()
+		if !ok || !valid(req.Publisher) || !valid(req.Candidate) {
+			return nil, false
+		}
+		sr = serve.ScoreRequest{Kind: serve.KindRetweet,
+			Publisher: *req.Publisher, Candidate: *req.Candidate, Words: words}
+	case "link":
+		if !valid(req.From) || !valid(req.To) {
+			return nil, false
+		}
+		sr = serve.ScoreRequest{Kind: serve.KindLink, From: *req.From, To: *req.To}
+	case "time":
+		words, ok := bag()
+		if !ok || !valid(req.User) {
+			return nil, false
+		}
+		sr = serve.ScoreRequest{Kind: serve.KindTime, User: *req.User, Words: words}
+	default: // topics: the popularity prior has no topic model
+		return nil, false
+	}
+	res := eng.ScoreBatch(context.Background(), []serve.ScoreRequest{sr})
+	if res[0].Err != nil {
+		return nil, false
+	}
+	rt.cfg.Metrics.degradedAnswer()
+
+	var out []byte
+	if req.Kind == "time" {
+		out, _ = json.Marshal(struct {
+			Status   string `json:"status"`
+			Slice    int    `json:"slice"`
+			ModelKey string `json:"model_key"`
+			Degraded bool   `json:"degraded"`
+		}{"ok", res[0].Slice, fallbackModelKey, true})
+	} else {
+		out, _ = json.Marshal(struct {
+			Status   string  `json:"status"`
+			Score    float64 `json:"score"`
+			ModelKey string  `json:"model_key"`
+			Degraded bool    `json:"degraded"`
+		}{"ok", res[0].Score, fallbackModelKey, true})
+	}
+	return out, true
 }
 
 // fallbackModelKey marks router-local degraded answers; it matches the

@@ -8,14 +8,15 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/obs"
 	"github.com/cold-diffusion/cold/internal/serve"
-	"github.com/cold-diffusion/cold/internal/text"
 )
 
 // fakeReplica is a scriptable coldserve stand-in: it answers the /v1
@@ -82,6 +83,56 @@ func newFakeReplica(t *testing.T, key string, gen uint64) *fakeReplica {
 			json.NewEncoder(w).Encode(map[string]any{
 				"score": 0.5, "generation": f.gen.Load(),
 				"model_key": f.key.Load().(string), "degraded": false,
+			})
+		case r.URL.Path == "/v1/score/batch":
+			f.hits.Add(1)
+			if f.fail.Load() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				io.WriteString(w, `{"error":{"code":"internal","message":"injected"}}`)
+				return
+			}
+			var in struct {
+				Items []struct {
+					Kind      string `json:"kind"`
+					Candidate int    `json:"candidate"`
+					From      int    `json:"from"`
+					User      int    `json:"user"`
+				} `json:"items"`
+			}
+			json.NewDecoder(r.Body).Decode(&in)
+			// Echo each item's routing user back as its value, so merge
+			// tests can see exactly which input slot an answer landed in.
+			results := make([]map[string]any, len(in.Items))
+			for i, it := range in.Items {
+				switch it.Kind {
+				case "time":
+					results[i] = map[string]any{"status": "ok", "slice": it.User}
+				case "link":
+					results[i] = map[string]any{"status": "ok", "score": float64(it.From)}
+				default:
+					results[i] = map[string]any{"status": "ok", "score": float64(it.Candidate)}
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"results": results, "generation": f.gen.Load(),
+				"model_key": f.key.Load().(string), "degraded": false,
+			})
+		case strings.HasPrefix(r.URL.Path, "/v1/rank/"):
+			f.hits.Add(1)
+			if f.fail.Load() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				io.WriteString(w, `{"error":{"code":"internal","message":"injected"}}`)
+				return
+			}
+			user, _ := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/v1/rank/"))
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"user":       user,
+				"candidates": []map[string]any{{"user": user + 1, "score": 0.5}},
+				"generation": f.gen.Load(), "model_key": f.key.Load().(string),
 			})
 		default:
 			http.NotFound(w, r)
@@ -374,10 +425,25 @@ func TestRouterGenerationSkewGuard(t *testing.T) {
 type fakeEngine struct{ users int }
 
 func (f fakeEngine) Info() serve.ModelInfo { return serve.ModelInfo{Users: f.users, Degraded: true} }
-func (f fakeEngine) RetweetScore(int, int, text.BagOfWords) float64 { return 0.25 }
-func (f fakeEngine) LinkScore(int, int) float64                     { return 0.125 }
-func (f fakeEngine) PredictTime(int, text.BagOfWords) int           { return 2 }
-func (f fakeEngine) TopicPosterior(int, text.BagOfWords) ([]float64, error) {
+
+func (f fakeEngine) ScoreBatch(_ context.Context, reqs []serve.ScoreRequest) []serve.ScoreResult {
+	out := make([]serve.ScoreResult, len(reqs))
+	for i, req := range reqs {
+		switch req.Kind {
+		case serve.KindRetweet:
+			out[i].Score = 0.25
+		case serve.KindLink:
+			out[i].Score = 0.125
+		case serve.KindTime:
+			out[i].Slice = 2
+		default:
+			out[i].Err = serve.ErrDegraded
+		}
+	}
+	return out
+}
+
+func (f fakeEngine) Rank(int, int) ([]core.RankedCandidate, error) {
 	return nil, serve.ErrDegraded
 }
 
@@ -537,5 +603,160 @@ func TestRouterStatusEndpoint(t *testing.T) {
 	}
 	if st.MajorityModelKey != "m@1" || st.RetryBudgetTokens <= 0 {
 		t.Fatalf("status = %+v, want majority m@1 and a positive budget", st)
+	}
+}
+
+// shardedUsers returns one user owned by shard 0 and one by shard 1.
+func shardedUsers(t *testing.T) (int, int) {
+	t.Helper()
+	u0, u1 := -1, -1
+	for j := 0; j < 64 && (u0 < 0 || u1 < 0); j++ {
+		if ShardOf(j, 2) == 0 && u0 < 0 {
+			u0 = j
+		}
+		if ShardOf(j, 2) == 1 && u1 < 0 {
+			u1 = j
+		}
+	}
+	if u0 < 0 || u1 < 0 {
+		t.Fatal("could not find users for both shards")
+	}
+	return u0, u1
+}
+
+// TestRouterBatchSplitsAndMerges pins the scatter/gather contract: one
+// client batch becomes one sub-batch per owning shard, and the merged
+// response preserves input order item for item — including error slots
+// for items that never left the router.
+func TestRouterBatchSplitsAndMerges(t *testing.T) {
+	a := newFakeReplica(t, "m@1", 1)
+	b := newFakeReplica(t, "m@1", 1)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{a}, []*fakeReplica{b})
+	cfg.Metrics = NewMetrics(reg)
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+	u0, u1 := shardedUsers(t)
+
+	body := fmt.Sprintf(`{"items":[
+		{"kind":"retweet","publisher":0,"candidate":%d,"words":[1]},
+		{"kind":"link","from":%d,"to":0},
+		{"kind":"bogus"},
+		{"kind":"time","user":%d,"words":[1]}]}`, u0, u1, u1)
+	resp, got := post(t, front.URL, "/v1/score/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %s, want 200", resp.Status)
+	}
+	results, ok := got["results"].([]any)
+	if !ok || len(results) != 4 {
+		t.Fatalf("results = %#v, want 4 slots", got["results"])
+	}
+	r0 := results[0].(map[string]any)
+	if r0["status"] != "ok" || r0["score"] != float64(u0) {
+		t.Fatalf("slot 0 = %#v, want shard-0 echo of candidate %d", r0, u0)
+	}
+	r1 := results[1].(map[string]any)
+	if r1["status"] != "ok" || r1["score"] != float64(u1) {
+		t.Fatalf("slot 1 = %#v, want shard-1 echo of from %d", r1, u1)
+	}
+	r2 := results[2].(map[string]any)
+	if r2["status"] != "error" {
+		t.Fatalf("slot 2 = %#v, want router-side error slot", r2)
+	}
+	r3 := results[3].(map[string]any)
+	if r3["status"] != "ok" || r3["slice"] != float64(u1) {
+		t.Fatalf("slot 3 = %#v, want shard-1 echo of user %d", r3, u1)
+	}
+	if got["model_key"] != "m@1" || got["degraded"] != false {
+		t.Fatalf("batch envelope = %#v, want model m@1 not degraded", got)
+	}
+	if a.hits.Load() != 1 || b.hits.Load() != 1 {
+		t.Fatalf("sub-batches hit a=%d b=%d, want exactly one each", a.hits.Load(), b.hits.Load())
+	}
+	if v := cfg.Metrics.requests["batch"].Value(); v != 1 {
+		t.Fatalf("batch route counter = %d, want 1", v)
+	}
+}
+
+// TestRouterBatchDegradedItems: a dead shard fails only its own items,
+// and those answer from the fallback engine where it can.
+func TestRouterBatchDegradedItems(t *testing.T) {
+	dead := newFakeReplica(t, "m@1", 1)
+	dead.down.Store(true)
+	live := newFakeReplica(t, "m@1", 1)
+	cfg := fastConfig([]*fakeReplica{dead}, []*fakeReplica{live})
+	cfg.Fallback = fakeEngine{users: 1 << 20}
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+	u0, u1 := shardedUsers(t)
+
+	body := fmt.Sprintf(`{"items":[
+		{"kind":"retweet","publisher":0,"candidate":%d,"words":[1]},
+		{"kind":"topics","user":%d,"post":0},
+		{"kind":"link","from":%d,"to":0}]}`, u0, u0, u1)
+	resp, got := post(t, front.URL, "/v1/score/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %s, want 200", resp.Status)
+	}
+	results := got["results"].([]any)
+	r0 := results[0].(map[string]any)
+	if r0["status"] != "ok" || r0["score"] != 0.25 || r0["degraded"] != true {
+		t.Fatalf("slot 0 = %#v, want fallback retweet score 0.25 marked degraded", r0)
+	}
+	r1 := results[1].(map[string]any)
+	if r1["status"] != "error" {
+		t.Fatalf("slot 1 = %#v, want error (no fallback topic model)", r1)
+	}
+	r2 := results[2].(map[string]any)
+	if r2["status"] != "ok" || r2["score"] != float64(u1) || r2["degraded"] != nil {
+		t.Fatalf("slot 2 = %#v, want live shard-1 answer", r2)
+	}
+	if got["degraded"] != true {
+		t.Fatalf("batch envelope degraded = %v, want true", got["degraded"])
+	}
+}
+
+// TestRouterForwardsRank: rank requests route on the path's user and
+// shed (never degrade) when the owning shard is unusable.
+func TestRouterForwardsRank(t *testing.T) {
+	a := newFakeReplica(t, "m@1", 1)
+	b := newFakeReplica(t, "m@1", 1)
+	cfg := fastConfig([]*fakeReplica{a}, []*fakeReplica{b})
+	cfg.Fallback = fakeEngine{users: 1 << 20} // must still not answer rank
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+	_, u1 := shardedUsers(t)
+
+	resp, err := http.Get(front.URL + "/v1/rank/" + strconv.Itoa(u1) + "?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got["user"] != float64(u1) {
+		t.Fatalf("rank = %s %#v, want 200 for user %d", resp.Status, got, u1)
+	}
+	if a.hits.Load() != 0 || b.hits.Load() != 1 {
+		t.Fatalf("rank hits a=%d b=%d, want shard 1 only", a.hits.Load(), b.hits.Load())
+	}
+
+	if resp, err = http.Get(front.URL + "/v1/rank/notanumber"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad rank user = %s, want 400", resp.Status)
+	}
+
+	b.down.Store(true)
+	if resp, err = http.Get(front.URL + "/v1/rank/" + strconv.Itoa(u1)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("rank on dead shard = %s, want 503 shed", resp.Status)
 	}
 }

@@ -271,9 +271,9 @@ func (p *Predictor) Score(i, ip int, words text.BagOfWords) float64 {
 	return total
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// TopComm returns the cached TopComm(i) community list built by
+// NewPredictor, in descending π_i order. The slice is shared, read-only
+// state — callers must not modify it.
+func (p *Predictor) TopComm(i int) []int {
+	return p.topComm[i]
 }

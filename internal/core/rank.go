@@ -1,0 +1,107 @@
+package core
+
+import "sort"
+
+// RankedCandidate is one entry of a candidate ranking: a user and the
+// diffusion score that placed them there.
+type RankedCandidate struct {
+	User  int     `json:"user"`
+	Score float64 `json:"score"`
+}
+
+// CommunityRanker precomputes per-community candidate rankings once per
+// model load so that "who is most likely to link to / spread from user
+// i" becomes a constant-size merge instead of a full-user scan.
+//
+// The link score of §6.2 factors through communities:
+//
+//	P_{i→i'} = Σ_c π_ic · A_c(i')   with   A_c(i') = Σ_c' π_i'c' η_cc'
+//
+// A_c(i') — the affinity of community c for user i' — does not depend on
+// the querying user i, so each community's top-k users by A_c can be
+// computed offline in O(U·C²) at load time. An online query then merges
+// the lists of TopComm(i) (the same top-community restriction the §5.2
+// predictors use), weighting each by π_ic. The result is the TopComm
+// approximation of LinkScore restricted to candidates that rank in the
+// top k of at least one of i's top communities — exact for candidates
+// whose mass comes from those communities, and the only candidates a
+// top-n query can surface anyway.
+type CommunityRanker struct {
+	m       *Model
+	k       int
+	perComm [][]RankedCandidate // [c] descending by Score, ties by user
+}
+
+// NewCommunityRanker builds the per-community top-k tables. k <= 0
+// selects the default depth of 50; k is clamped to the user count.
+func NewCommunityRanker(m *Model, k int) *CommunityRanker {
+	C, U := m.Cfg.C, m.U
+	if k <= 0 {
+		k = 50
+	}
+	k = min(k, U)
+	r := &CommunityRanker{m: m, k: k, perComm: make([][]RankedCandidate, C)}
+	aff := make([]RankedCandidate, U)
+	for c := 0; c < C; c++ {
+		row := m.Eta[c]
+		for ip := 0; ip < U; ip++ {
+			a := 0.0
+			for cp := 0; cp < C; cp++ {
+				a += m.Pi[ip][cp] * row[cp]
+			}
+			aff[ip] = RankedCandidate{User: ip, Score: a}
+		}
+		sort.Slice(aff, func(x, y int) bool {
+			if aff[x].Score != aff[y].Score {
+				return aff[x].Score > aff[y].Score
+			}
+			return aff[x].User < aff[y].User
+		})
+		r.perComm[c] = append([]RankedCandidate(nil), aff[:k]...)
+		// restore user order for the next community's affinity fill
+		sort.Slice(aff, func(x, y int) bool { return aff[x].User < aff[y].User })
+	}
+	return r
+}
+
+// K returns the per-community ranking depth.
+func (r *CommunityRanker) K() int { return r.k }
+
+// TopCandidates returns up to n candidates for user i, merged from the
+// precomputed lists of the given top communities (normally the
+// predictor's TopComm(i)) and weighted by π_ic. The user themself is
+// excluded. n <= 0 or n > K() returns up to K() candidates. Results are
+// sorted by score descending, ties broken by ascending user index, so
+// the ranking is deterministic for a given model.
+func (r *CommunityRanker) TopCandidates(i int, topComm []int, n int) []RankedCandidate {
+	if n <= 0 || n > r.k {
+		n = r.k
+	}
+	merged := make(map[int]float64)
+	for _, c := range topComm {
+		pic := r.m.Pi[i][c]
+		if pic == 0 {
+			continue
+		}
+		for _, e := range r.perComm[c] {
+			if e.User == i {
+				continue
+			}
+			merged[e.User] += pic * e.Score
+		}
+	}
+	out := make([]RankedCandidate, 0, len(merged))
+	for u, s := range merged {
+		out = append(out, RankedCandidate{User: u, Score: s})
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Score != out[y].Score {
+			return out[x].Score > out[y].Score
+		}
+		return out[x].User < out[y].User
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func rankTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, _, _ := trainSmall(t, 31)
+	return m
+}
+
+// With full depth (k = U), the merged candidate score must equal the
+// TopComm-restricted link score Σ_{c∈TopComm(i)} π_ic · Σ_c' π_i'c' η_cc'
+// computed directly from the model parameters.
+func TestCommunityRankerMatchesRestrictedLinkScore(t *testing.T) {
+	m := rankTestModel(t)
+	p := NewPredictor(m, 3)
+	r := NewCommunityRanker(m, m.U)
+
+	for _, i := range []int{0, 7, 19} {
+		top := r.TopCandidates(i, p.TopComm(i), m.U)
+		if len(top) != m.U-1 {
+			t.Fatalf("user %d: got %d candidates, want %d", i, len(top), m.U-1)
+		}
+		got := make(map[int]float64, len(top))
+		for _, e := range top {
+			got[e.User] = e.Score
+		}
+		if _, ok := got[i]; ok {
+			t.Fatalf("user %d ranked as their own candidate", i)
+		}
+		for ip := 0; ip < m.U; ip++ {
+			if ip == i {
+				continue
+			}
+			want := 0.0
+			for _, c := range p.TopComm(i) {
+				a := 0.0
+				for cp := 0; cp < m.Cfg.C; cp++ {
+					a += m.Pi[ip][cp] * m.Eta[c][cp]
+				}
+				want += m.Pi[i][c] * a
+			}
+			if math.Abs(got[ip]-want) > 1e-12 {
+				t.Fatalf("user %d candidate %d: score %g, want %g", i, ip, got[ip], want)
+			}
+		}
+	}
+}
+
+func TestCommunityRankerDeterministicAndSorted(t *testing.T) {
+	m := rankTestModel(t)
+	p := NewPredictor(m, 3)
+	r1 := NewCommunityRanker(m, 10)
+	r2 := NewCommunityRanker(m, 10)
+	if r1.K() != 10 {
+		t.Fatalf("K() = %d, want 10", r1.K())
+	}
+	for i := 0; i < m.U; i++ {
+		a := r1.TopCandidates(i, p.TopComm(i), 5)
+		b := r2.TopCandidates(i, p.TopComm(i), 5)
+		if len(a) != len(b) {
+			t.Fatalf("user %d: lengths differ (%d vs %d)", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("user %d: rebuild changed ranking at %d: %+v vs %+v", i, j, a[j], b[j])
+			}
+			if j > 0 && a[j].Score > a[j-1].Score {
+				t.Fatalf("user %d: ranking not sorted at %d", i, j)
+			}
+		}
+		if len(a) > 5 {
+			t.Fatalf("user %d: n=5 returned %d candidates", i, len(a))
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// errNotReady is the internal no-snapshot signal; handlers translate it
+// into the 503 not_ready envelope.
+var errNotReady = errors.New("no model loaded")
+
+// batcher coalesces concurrent single-score requests into one Engine
+// batch, amortising snapshot acquisition and per-call overhead across a
+// short admission window.
+//
+// The design is leader election, not a background goroutine: the first
+// request to find the pending set empty becomes the leader, waits until
+// the window elapses or the batch fills, then takes the whole pending
+// set and flushes it inline on its own request goroutine. Followers
+// just park on their result channel. With no resident goroutine the
+// batcher needs no lifecycle — tests that only use Server.Handler()
+// leak nothing, and an idle server burns nothing.
+type batcher struct {
+	window time.Duration
+	max    int
+	// flush scores one taken batch and must deliver an outcome to every
+	// item's done channel, even on panic (see Server.flushBatch).
+	flush func(items []batchItem, reason string)
+
+	mu      sync.Mutex
+	pending []batchItem
+	leading bool
+	full    chan struct{} // capacity 1: wakes the leader when the batch fills
+}
+
+type batchItem struct {
+	req  ScoreRequest
+	done chan batchOutcome // buffered(1); exactly one delivery per item
+}
+
+// batchOutcome pairs a result with the snapshot it was scored against —
+// resolved once per flush, so one micro-batch never mixes generations.
+// A nil snap means the server had no model at flush time.
+type batchOutcome struct {
+	res  ScoreResult
+	snap *Snapshot
+}
+
+func newBatcher(window time.Duration, maxItems int, flush func([]batchItem, string)) *batcher {
+	return &batcher{
+		window: window,
+		max:    maxItems,
+		flush:  flush,
+		full:   make(chan struct{}, 1),
+	}
+}
+
+// do submits one request and blocks until its batch is flushed or ctx
+// is done. The returned snapshot is the one the whole batch was scored
+// against.
+func (b *batcher) do(ctx context.Context, req ScoreRequest) (ScoreResult, *Snapshot, error) {
+	it := batchItem{req: req, done: make(chan batchOutcome, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, it)
+	filled := len(b.pending) >= b.max
+	if b.leading {
+		b.mu.Unlock()
+		if filled {
+			select {
+			case b.full <- struct{}{}:
+			default:
+			}
+		}
+	} else {
+		b.leading = true
+		b.mu.Unlock()
+		b.lead(filled)
+	}
+	select {
+	case out := <-it.done:
+		if out.snap == nil {
+			return ScoreResult{}, nil, errNotReady
+		}
+		return out.res, out.snap, nil
+	case <-ctx.Done():
+		// The batch still scores this item (the flusher owns it now);
+		// the outcome just has no reader. done is buffered, so the
+		// delivery never blocks the flusher.
+		return ScoreResult{}, nil, ctx.Err()
+	}
+}
+
+// lead runs the leader protocol: wait out the window (or an early fill
+// signal), then take and flush whatever accumulated.
+func (b *batcher) lead(alreadyFull bool) {
+	if !alreadyFull && b.window > 0 {
+		t := time.NewTimer(b.window)
+		select {
+		case <-t.C:
+		case <-b.full:
+			t.Stop()
+		}
+	}
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.leading = false
+	b.mu.Unlock()
+	// Drain a stale fill signal so it cannot cut the next leader's
+	// window short. Safe after leading=false: a signal sent between the
+	// unlock and here belongs to this batch, which is already taken.
+	select {
+	case <-b.full:
+	default:
+	}
+	reason := flushWindow
+	if len(batch) >= b.max {
+		reason = flushFull
+	}
+	b.flush(batch, reason)
+}
+
+// Flush reasons, the label values of cold_serve_batch_flushes_total.
+const (
+	flushWindow = "window"
+	flushFull   = "full"
+)
+
+// flushBatch is the batcher's flush hook: resolve the serving snapshot
+// once, score the whole batch through the cache, and deliver every
+// outcome. A panic in the engine still delivers (error outcomes) before
+// re-panicking, so follower requests are never left parked; the leader
+// surfaces the panic through its own guard recover.
+func (s *Server) flushBatch(items []batchItem, reason string) {
+	s.cfg.Metrics.batchFlushed(reason, len(items))
+	snap := s.mgr.Current()
+	delivered := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			if !delivered {
+				out := batchOutcome{snap: snap}
+				out.res.Err = fmt.Errorf("internal error: %v", rec)
+				for _, it := range items {
+					it.done <- out
+				}
+			}
+			panic(rec)
+		}
+	}()
+	if snap == nil {
+		for _, it := range items {
+			it.done <- batchOutcome{}
+		}
+		delivered = true
+		return
+	}
+	reqs := make([]ScoreRequest, len(items))
+	for i, it := range items {
+		reqs[i] = it.req
+	}
+	// Scored under the server's lifetime, not any single request's
+	// context: items from several requests share the flush, and the
+	// per-request deadline still applies to the waiting side in do().
+	results := s.scoreBatch(context.Background(), snap, reqs)
+	delivered = true
+	for i, it := range items {
+		it.done <- batchOutcome{res: results[i], snap: snap}
+	}
+}
+
+// scoreBatch answers a batch against one snapshot, serving repeat
+// (generation, item) pairs from the score cache and batching the misses
+// into a single Engine call. Only clean results enter the cache.
+func (s *Server) scoreBatch(ctx context.Context, snap *Snapshot, reqs []ScoreRequest) []ScoreResult {
+	mt := s.cfg.Metrics
+	mt.batchScored(len(reqs))
+	if s.cache == nil {
+		return snap.Engine.ScoreBatch(ctx, reqs)
+	}
+	results := make([]ScoreResult, len(reqs))
+	var missIdx []int
+	for i := range reqs {
+		if res, ok := s.cache.get(snap.Generation, &reqs[i]); ok {
+			results[i] = res
+			mt.cacheHit()
+		} else {
+			missIdx = append(missIdx, i)
+			mt.cacheMiss()
+		}
+	}
+	if len(missIdx) == 0 {
+		return results
+	}
+	miss := make([]ScoreRequest, len(missIdx))
+	for j, i := range missIdx {
+		miss[j] = reqs[i]
+	}
+	missRes := snap.Engine.ScoreBatch(ctx, miss)
+	for j, i := range missIdx {
+		results[i] = missRes[j]
+		if missRes[j].Err == nil {
+			s.cache.put(snap.Generation, &reqs[i], missRes[j])
+		}
+	}
+	return results
+}
+
+// scoreOne routes one single-endpoint item through the micro-batcher,
+// or straight to the cache-wrapped engine when batching is disabled.
+func (s *Server) scoreOne(ctx context.Context, req ScoreRequest) (ScoreResult, *Snapshot, error) {
+	if s.batch != nil {
+		return s.batch.do(ctx, req)
+	}
+	snap := s.mgr.Current()
+	if snap == nil {
+		return ScoreResult{}, nil, errNotReady
+	}
+	res := s.scoreBatch(ctx, snap, []ScoreRequest{req})
+	return res[0], snap, nil
+}

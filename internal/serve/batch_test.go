@@ -1,0 +1,656 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/stats"
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// ---- batcher unit tests ----
+
+// recordingFlush collects flushes and answers every item, standing in
+// for Server.flushBatch.
+type recordingFlush struct {
+	mu      sync.Mutex
+	flushes []struct {
+		n      int
+		reason string
+	}
+	snap *Snapshot
+}
+
+func (rf *recordingFlush) flush(items []batchItem, reason string) {
+	rf.mu.Lock()
+	rf.flushes = append(rf.flushes, struct {
+		n      int
+		reason string
+	}{len(items), reason})
+	rf.mu.Unlock()
+	for i, it := range items {
+		it.done <- batchOutcome{res: ScoreResult{Score: float64(i)}, snap: rf.snap}
+	}
+}
+
+// A full batch flushes before the window elapses, in one flush carrying
+// every coalesced item.
+func TestBatcherFlushesEarlyWhenFull(t *testing.T) {
+	const n = 8
+	rf := &recordingFlush{snap: &Snapshot{Generation: 42}}
+	b := newBatcher(10*time.Second, n, rf.flush) // window long enough to never fire
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, snap, err := b.do(context.Background(), ScoreRequest{Kind: KindLink})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if snap.Generation != 42 {
+				errs <- fmt.Errorf("generation = %d, want 42", snap.Generation)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	total := 0
+	for _, f := range rf.flushes {
+		total += f.n
+	}
+	if total != n {
+		t.Fatalf("flushed %d items across %d flushes, want %d", total, len(rf.flushes), n)
+	}
+	// All n submitters block until flush, so the fill signal (not the
+	// 10s window) must have produced a single full flush.
+	if len(rf.flushes) != 1 || rf.flushes[0].reason != flushFull {
+		t.Fatalf("flushes = %+v, want one %q flush", rf.flushes, flushFull)
+	}
+}
+
+// A lone request flushes when the window elapses, reason "window".
+func TestBatcherWindowFlush(t *testing.T) {
+	rf := &recordingFlush{snap: &Snapshot{Generation: 1}}
+	b := newBatcher(2*time.Millisecond, 64, rf.flush)
+
+	res, _, err := b.do(context.Background(), ScoreRequest{Kind: KindLink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0 {
+		t.Fatalf("score = %v, want 0", res.Score)
+	}
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if len(rf.flushes) != 1 || rf.flushes[0].n != 1 || rf.flushes[0].reason != flushWindow {
+		t.Fatalf("flushes = %+v, want one 1-item %q flush", rf.flushes, flushWindow)
+	}
+}
+
+// A flush that reports no snapshot surfaces as errNotReady to every
+// waiter.
+func TestBatcherNoSnapshot(t *testing.T) {
+	b := newBatcher(time.Millisecond, 64, func(items []batchItem, _ string) {
+		for _, it := range items {
+			it.done <- batchOutcome{} // snap == nil: server had no model
+		}
+	})
+	if _, _, err := b.do(context.Background(), ScoreRequest{Kind: KindLink}); err != errNotReady {
+		t.Fatalf("err = %v, want errNotReady", err)
+	}
+}
+
+// ---- score cache unit tests ----
+
+func TestScoreCacheGenerationKeying(t *testing.T) {
+	c := newScoreCache(1024, nil)
+	req := ScoreRequest{Kind: KindRetweet, Publisher: 3, Candidate: 7,
+		Words: text.NewBagOfWords([]int{1, 2, 2, 5})}
+
+	if _, ok := c.get(1, &req); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(1, &req, ScoreResult{Score: 0.5})
+	if res, ok := c.get(1, &req); !ok || res.Score != 0.5 {
+		t.Fatalf("get(gen 1) = %+v %v, want 0.5 true", res, ok)
+	}
+
+	// The generation is part of the key: a model swap makes every old
+	// entry unreachable without any explicit invalidation.
+	if _, ok := c.get(2, &req); ok {
+		t.Fatal("entry survived a generation bump")
+	}
+
+	// Same tuple, different words: a different key, not a wrong hit.
+	other := req
+	other.Words = text.NewBagOfWords([]int{9, 9, 9})
+	if _, ok := c.get(1, &other); ok {
+		t.Fatal("hit for a different word bag")
+	}
+
+	// Kinds the cache does not key (unknown) are never stored.
+	odd := ScoreRequest{Kind: Kind("bogus")}
+	c.put(1, &odd, ScoreResult{Score: 1})
+	if _, ok := c.get(1, &odd); ok {
+		t.Fatal("uncacheable kind was cached")
+	}
+}
+
+func TestScoreCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	mt := NewMetrics(reg)
+	// 16 entries → exactly one per shard: any two keys landing in the
+	// same shard evict each other.
+	c := newScoreCache(16, mt)
+	const inserts = 256
+	for i := 0; i < inserts; i++ {
+		req := ScoreRequest{Kind: KindLink, From: i, To: i + 1}
+		c.put(1, &req, ScoreResult{Score: float64(i)})
+	}
+	if n := c.len(); n > 16 {
+		t.Fatalf("cache holds %d entries, cap is 16", n)
+	}
+	if ev := mt.CacheEvictions.Value(); ev == 0 {
+		t.Fatal("no evictions recorded after overfilling every shard")
+	}
+	if live := mt.CacheEntries.Value(); live != float64(c.len()) {
+		t.Fatalf("entries gauge = %v, live entries = %d", live, c.len())
+	}
+	// Surviving entries still answer exactly.
+	hits := 0
+	for i := 0; i < inserts; i++ {
+		req := ScoreRequest{Kind: KindLink, From: i, To: i + 1}
+		if res, ok := c.get(1, &req); ok {
+			hits++
+			if res.Score != float64(i) {
+				t.Fatalf("survivor %d answers %v", i, res.Score)
+			}
+		}
+	}
+	if hits != c.len() {
+		t.Fatalf("%d hits but %d live entries", hits, c.len())
+	}
+}
+
+// ---- batch endpoint ----
+
+type wireItemResult struct {
+	Status string   `json:"status"`
+	Score  *float64 `json:"score"`
+	Slice  *int     `json:"slice"`
+	Topics []struct {
+		Topic  int     `json:"topic"`
+		Weight float64 `json:"weight"`
+	} `json:"topics"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+type wireBatchReply struct {
+	Results    []wireItemResult `json:"results"`
+	Generation uint64           `json:"generation"`
+	ModelKey   string           `json:"model_key"`
+	Degraded   bool             `json:"degraded"`
+}
+
+// TestScoreBatchMixedKinds is the /v1/score/batch contract test: mixed
+// kinds answered in order against one snapshot, invalid items failing
+// alone in their slot, and every value bit-identical to the model
+// computed directly.
+func TestScoreBatchMixedKinds(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{}, mgr, true)
+	model, data := testModel(t)
+	p := core.NewPredictor(model, 3)
+
+	items := []map[string]any{
+		{"kind": "retweet", "publisher": 0, "candidate": 1, "post": 2},
+		{"kind": "link", "from": 2, "to": 3},
+		{"kind": "time", "user": 1, "post": 0},
+		{"kind": "topics", "user": 1, "post": 0, "topn": 2},
+		{"kind": "bogus"},
+		{"kind": "retweet", "publisher": 9999, "candidate": 1, "words": []int{1}},
+		{"kind": "retweet", "publisher": 0, "candidate": 1, "words": []int{1, 2, 3}},
+	}
+	var rep wireBatchReply
+	code, _ := ts.call("POST", "/v1/score/batch", map[string]any{"items": items}, &rep)
+	if code != 200 {
+		t.Fatalf("batch = %d, want 200", code)
+	}
+	if len(rep.Results) != len(items) {
+		t.Fatalf("%d results for %d items", len(rep.Results), len(items))
+	}
+	if rep.Degraded || rep.ModelKey == "" || rep.Generation == 0 {
+		t.Fatalf("envelope = %+v, want generation and model key, not degraded", rep)
+	}
+
+	wantScore := func(slot int, want float64) {
+		t.Helper()
+		r := rep.Results[slot]
+		if r.Status != "ok" || r.Score == nil {
+			t.Fatalf("slot %d = %+v, want ok score", slot, r)
+		}
+		if *r.Score != want {
+			t.Fatalf("slot %d score = %v, want bit-identical %v", slot, *r.Score, want)
+		}
+	}
+	wantScore(0, p.Score(0, 1, data.Posts[2].Words))
+	wantScore(1, model.LinkScore(2, 3))
+	if r := rep.Results[2]; r.Status != "ok" || r.Slice == nil ||
+		*r.Slice != model.PredictTimestamp(1, data.Posts[0].Words) {
+		t.Fatalf("time slot = %+v, want slice %d", r, model.PredictTimestamp(1, data.Posts[0].Words))
+	}
+	tp := p.TopicPosterior(1, data.Posts[0].Words)
+	topIdx := stats.ArgTopK(tp, 2)
+	if r := rep.Results[3]; r.Status != "ok" || len(r.Topics) != 2 {
+		t.Fatalf("topics slot = %+v, want 2 topics", r)
+	}
+	for j, k := range topIdx {
+		got := rep.Results[3].Topics[j]
+		if got.Topic != k || got.Weight != tp[k] {
+			t.Fatalf("topics[%d] = %+v, want t%d=%v", j, got, k, tp[k])
+		}
+	}
+	for slot, wantCode := range map[int]string{4: "bad_request", 5: "bad_request"} {
+		r := rep.Results[slot]
+		if r.Status != "error" || r.Error == nil || r.Error.Code != wantCode {
+			t.Fatalf("slot %d = %+v, want %s error", slot, r, wantCode)
+		}
+	}
+	wantScore(6, p.Score(0, 1, text.NewBagOfWords([]int{1, 2, 3})))
+}
+
+func TestScoreBatchRejectsEmptyAndOversize(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{MaxBatchItems: 2}, mgr, true)
+
+	var e errorBody
+	if code, _ := ts.call("POST", "/v1/score/batch", map[string]any{"items": []any{}}, &e); code != 400 {
+		t.Fatalf("empty batch = %d %+v, want 400", code, e.Error)
+	}
+	link := map[string]any{"kind": "link", "from": 0, "to": 1}
+	e = errorBody{}
+	code, _ := ts.call("POST", "/v1/score/batch",
+		map[string]any{"items": []any{link, link, link}}, &e)
+	if code != 400 || e.Error.Code != "bad_request" {
+		t.Fatalf("oversize batch = %d %+v, want 400 bad_request", code, e.Error)
+	}
+}
+
+// Batch items for users another shard owns fail in their slot with
+// wrong_shard while owned siblings still answer — the router's
+// per-item merge depends on this.
+func TestScoreBatchShardOwnership(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{
+		ShardIndex: 0, ShardCount: 2,
+		ShardOwner: func(user int) bool { return user%2 == 0 },
+	}, mgr, true)
+
+	items := []map[string]any{
+		{"kind": "link", "from": 2, "to": 3},                                   // from 2: owned
+		{"kind": "link", "from": 3, "to": 2},                                   // from 3: misrouted
+		{"kind": "retweet", "publisher": 1, "candidate": 3, "words": []int{1}}, // candidate 3: misrouted
+	}
+	var rep wireBatchReply
+	if code, _ := ts.call("POST", "/v1/score/batch", map[string]any{"items": items}, &rep); code != 200 {
+		t.Fatalf("batch = %d, want 200", code)
+	}
+	if r := rep.Results[0]; r.Status != "ok" {
+		t.Fatalf("owned slot = %+v, want ok", r)
+	}
+	for _, slot := range []int{1, 2} {
+		r := rep.Results[slot]
+		if r.Status != "error" || r.Error == nil || r.Error.Code != "wrong_shard" {
+			t.Fatalf("misrouted slot %d = %+v, want wrong_shard", slot, r)
+		}
+	}
+}
+
+// ---- exactness through the full hot path ----
+
+// TestHotPathBitExactness is the API-redesign acceptance test: the same
+// query answered through every path — the batch endpoint cold, the
+// batch endpoint again from the cache, and the single route through the
+// micro-batcher — returns the bit-identical float64 the model computes
+// directly. The cache contract is exact answers, not approximately
+// cached ones.
+func TestHotPathBitExactness(t *testing.T) {
+	reg := obs.NewRegistry()
+	mt := NewMetrics(reg)
+	path := saveModel(t, filepath.Join(t.TempDir(), "model.json"))
+	mgr := NewManager(ManagerConfig{Path: path, TopComm: 3, Logf: t.Logf, Metrics: mt})
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, Config{Metrics: mt}, mgr, true)
+	model, data := testModel(t)
+	p := core.NewPredictor(model, 3)
+
+	items := []map[string]any{
+		{"kind": "retweet", "publisher": 0, "candidate": 1, "post": 2},
+		{"kind": "link", "from": 0, "to": 1},
+		{"kind": "time", "user": 2, "post": 1},
+	}
+	want := []float64{
+		p.Score(0, 1, data.Posts[2].Words),
+		model.LinkScore(0, 1),
+		float64(model.PredictTimestamp(2, data.Posts[1].Words)),
+	}
+	check := func(rep *wireBatchReply, pass string) {
+		t.Helper()
+		for i, r := range rep.Results {
+			if r.Status != "ok" {
+				t.Fatalf("%s slot %d = %+v", pass, i, r)
+			}
+			got := 0.0
+			if r.Score != nil {
+				got = *r.Score
+			} else if r.Slice != nil {
+				got = float64(*r.Slice)
+			}
+			if got != want[i] {
+				t.Fatalf("%s slot %d = %v, want bit-identical %v", pass, i, got, want[i])
+			}
+		}
+	}
+
+	var cold wireBatchReply
+	if code, _ := ts.call("POST", "/v1/score/batch", map[string]any{"items": items}, &cold); code != 200 {
+		t.Fatalf("cold batch = %d", code)
+	}
+	check(&cold, "cold")
+	missesAfterCold := mt.CacheMisses.Value()
+	if missesAfterCold == 0 {
+		t.Fatal("cold pass recorded no cache misses")
+	}
+
+	var warm wireBatchReply
+	if code, _ := ts.call("POST", "/v1/score/batch", map[string]any{"items": items}, &warm); code != 200 {
+		t.Fatalf("warm batch = %d", code)
+	}
+	check(&warm, "warm")
+	if hits := mt.CacheHits.Value(); hits != uint64(len(items)) {
+		t.Fatalf("warm pass cache hits = %d, want %d", hits, len(items))
+	}
+	if mt.CacheMisses.Value() != missesAfterCold {
+		t.Fatal("warm pass missed the cache")
+	}
+
+	// The single route is an adapter over the same hot path: same bits,
+	// and its repeat is also a cache hit.
+	var single scoreResponse
+	code, _ := ts.call("POST", "/v1/predict/retweet",
+		map[string]any{"publisher": 0, "candidate": 1, "post": 2}, &single)
+	if code != 200 || single.Score != want[0] {
+		t.Fatalf("single route = %d score %v, want 200 score %v", code, single.Score, want[0])
+	}
+	if mt.CacheHits.Value() != uint64(len(items))+1 {
+		t.Fatalf("single-route repeat was not a cache hit (hits = %d)", mt.CacheHits.Value())
+	}
+
+	// A reload bumps the generation: the same query misses (fresh keys),
+	// then answers the identical bits from the identical model file.
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	var regen wireBatchReply
+	if code, _ := ts.call("POST", "/v1/score/batch", map[string]any{"items": items}, &regen); code != 200 {
+		t.Fatalf("post-reload batch = %d", code)
+	}
+	check(&regen, "post-reload")
+	if regen.Generation <= cold.Generation {
+		t.Fatalf("generation did not advance: %d then %d", cold.Generation, regen.Generation)
+	}
+	if mt.CacheMisses.Value() == missesAfterCold {
+		t.Fatal("post-reload pass hit a prior generation's cache entries")
+	}
+}
+
+// ---- rank endpoint ----
+
+func TestRankEndpoint(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	ts := startServer(t, Config{}, mgr, true)
+	eng := mgr.Current().Engine
+
+	var rep struct {
+		User       int                    `json:"user"`
+		Candidates []core.RankedCandidate `json:"candidates"`
+		Generation uint64                 `json:"generation"`
+	}
+	if code, _ := ts.call("GET", "/v1/rank/1", nil, &rep); code != 200 {
+		t.Fatalf("rank = %d, want 200", code)
+	}
+	want, err := eng.Rank(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.User != 1 || len(rep.Candidates) != len(want) || len(want) == 0 {
+		t.Fatalf("rank body = %+v, want %d candidates for user 1", rep, len(want))
+	}
+	for i := range want {
+		if rep.Candidates[i] != want[i] {
+			t.Fatalf("candidate %d = %+v, want %+v", i, rep.Candidates[i], want[i])
+		}
+	}
+
+	// ?k truncates to the requested depth.
+	rep.Candidates = nil
+	if code, _ := ts.call("GET", "/v1/rank/1?k=2", nil, &rep); code != 200 || len(rep.Candidates) != 2 {
+		t.Fatalf("rank k=2 = %d with %d candidates, want 200 with 2", code, len(rep.Candidates))
+	}
+	if rep.Candidates[0] != want[0] || rep.Candidates[1] != want[1] {
+		t.Fatalf("k=2 prefix = %+v, want %+v", rep.Candidates, want[:2])
+	}
+
+	var e errorBody
+	if code, _ := ts.call("GET", "/v1/rank/notanumber", nil, &e); code != 400 {
+		t.Fatalf("bad user segment = %d, want 400", code)
+	}
+	e = errorBody{}
+	if code, _ := ts.call("GET", "/v1/rank/99999", nil, &e); code != 400 {
+		t.Fatalf("out-of-range user = %d, want 400", code)
+	}
+	e = errorBody{}
+	if code, _ := ts.call("GET", "/v1/rank/1?k=-3", nil, &e); code != 400 {
+		t.Fatalf("bad k = %d, want 400", code)
+	}
+}
+
+// The fallback engine has no ranking tables: /v1/rank answers 503
+// degraded rather than inventing an unranked list.
+func TestRankDegraded(t *testing.T) {
+	_, data := testModel(t)
+	fb, err := core.NewFallbackPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(ManagerConfig{
+		Path: filepath.Join(t.TempDir(), "absent.json"), Logf: t.Logf,
+	})
+	mgr.SetFallback(NewFallbackEngine(fb))
+	ts := startServer(t, Config{}, mgr, true)
+
+	var e errorBody
+	if code, _ := ts.call("GET", "/v1/rank/1", nil, &e); code != 503 || e.Error.Code != "degraded" {
+		t.Fatalf("degraded rank = %d %+v, want 503 degraded", code, e.Error)
+	}
+}
+
+// ---- generation safety under reload/rollback churn ----
+
+// TestCacheGenerationSafetyHammer extends the PR-7 reload/rollback
+// hammer (manager_race_test.go) down into the batch-and-cache hot path:
+// two *different* valid models are swapped under sustained reload and
+// rollback churn while concurrent clients score through the cached
+// /v1/score/batch endpoint. The invariant is that a response is never
+// assembled from a prior generation's cache: every response must be
+// internally consistent (duplicate probe items answer identically —
+// one snapshot per batch) and externally consistent (the score is a
+// pure function of the reported model key and generation; a stale
+// cache hit would pair an old model's bits with a new snapshot's
+// identity). Run with -race.
+func TestCacheGenerationSafetyHammer(t *testing.T) {
+	modelA, data := testModel(t)
+	// A second, genuinely different model over the same corpus: a
+	// different training seed lands in a different posterior.
+	cfgB := core.DefaultConfig(3, 3)
+	cfgB.Iterations, cfgB.BurnIn, cfgB.Seed = 10, 5, 101
+	modelB, err := core.Train(data, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := text.NewBagOfWords([]int{1, 2, 3})
+	pub, cand := 0, 1
+	wantA := core.NewPredictor(modelA, 3).Score(pub, cand, probe)
+	wantB := core.NewPredictor(modelB, 3).Score(pub, cand, probe)
+	for c := 2; wantA == wantB && c < modelA.U; c++ {
+		cand = c
+		wantA = core.NewPredictor(modelA, 3).Score(pub, cand, probe)
+		wantB = core.NewPredictor(modelB, 3).Score(pub, cand, probe)
+	}
+	if wantA == wantB {
+		t.Fatal("could not find a probe the two models score differently")
+	}
+
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := modelA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t, path)
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, Config{MaxInFlight: 64, RequestTimeout: 30 * time.Second}, mgr, true)
+
+	stop := make(chan struct{})
+	errc := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+
+	// Saboteur: alternate the two models under the same path, reloading
+	// each, with rollbacks mixed in. Every swap bumps the generation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		models := []*core.Model{modelB, modelA}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := models[i%2].SaveFile(path); err != nil {
+				report("saboteur save: %v", err)
+				return
+			}
+			if err := mgr.Reload(); err != nil {
+				report("saboteur reload: %v", err)
+				return
+			}
+			if i%3 == 2 {
+				_ = mgr.Rollback() // may legitimately fail before history exists
+			}
+		}
+	}()
+
+	// Readers: the same probe twice per batch. Each (generation, key)
+	// observed must always answer the same bits.
+	item := map[string]any{"kind": "retweet", "publisher": pub, "candidate": cand,
+		"words": []int{1, 2, 3}}
+	var genScores, keyScores sync.Map
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var rep wireBatchReply
+				code, _ := ts.call("POST", "/v1/score/batch",
+					map[string]any{"items": []any{item, item}}, &rep)
+				if code != 200 {
+					report("batch = %d mid-hammer", code)
+					continue
+				}
+				if len(rep.Results) != 2 {
+					report("batch answered %d slots", len(rep.Results))
+					continue
+				}
+				var got [2]float64
+				for i, r := range rep.Results {
+					if r.Status != "ok" || r.Score == nil {
+						report("slot %d = %+v mid-hammer", i, r)
+						return
+					}
+					got[i] = *r.Score
+				}
+				if got[0] != got[1] {
+					report("one batch mixed generations: %v vs %v", got[0], got[1])
+					return
+				}
+				if got[0] != wantA && got[0] != wantB {
+					report("score %v matches neither model (%v / %v)", got[0], wantA, wantB)
+					return
+				}
+				if prev, loaded := genScores.LoadOrStore(rep.Generation, got[0]); loaded && prev != got[0] {
+					report("generation %d answered %v then %v: stale cache entry served",
+						rep.Generation, prev, got[0])
+					return
+				}
+				if prev, loaded := keyScores.LoadOrStore(rep.ModelKey, got[0]); loaded && prev != got[0] {
+					report("model key %q answered %v then %v: stale cache entry served",
+						rep.ModelKey, prev, got[0])
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Both models must actually have been observed, or the hammer
+	// proved nothing about cross-generation isolation.
+	seen := map[float64]bool{}
+	genScores.Range(func(_, v any) bool {
+		seen[v.(float64)] = true
+		return true
+	})
+	if !seen[wantA] || !seen[wantB] {
+		t.Fatalf("hammer observed scores %v; want both %v and %v served", seen, wantA, wantB)
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/cold-diffusion/cold/internal/text"
+)
+
+// scoreCache is a sharded LRU over individual prediction results, keyed
+// by (model generation, kind, users, word hash).
+//
+// The generation component is the entire invalidation story: the
+// Manager bumps its generation counter on every snapshot swap (reload,
+// rollback, fallback installation), so every key the new snapshot
+// produces is fresh and can never collide with a prior model's entries.
+// Dead generations are never scanned or purged — their entries simply
+// stop being requested and age out of the LRU tails. No epoch
+// bookkeeping, no lock shared between reload and the read path.
+//
+// Word bags enter the key as a 64-bit hash; each entry additionally
+// pins the exact bag and compares it on lookup, so a hash collision
+// reads as a miss, never as another post's score. The cache contract is
+// bit-identical answers, not probably-identical ones.
+const cacheShards = 16
+
+type scoreCache struct {
+	shards [cacheShards]cacheShard
+	mt     *Metrics
+}
+
+type cacheKey struct {
+	gen      uint64
+	kind     Kind
+	a, b     int
+	wordHash uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	words text.BagOfWords
+	res   ScoreResult
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	idx map[cacheKey]*list.Element
+}
+
+// newScoreCache sizes a cache for roughly `entries` results spread over
+// the shards (minimum one per shard).
+func newScoreCache(entries int, mt *Metrics) *scoreCache {
+	perShard := max(1, (entries+cacheShards-1)/cacheShards)
+	c := &scoreCache{mt: mt}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].idx = make(map[cacheKey]*list.Element, perShard)
+	}
+	return c
+}
+
+// wordHash is FNV-1a over the bag's (id, count) pairs. The bag
+// representation is canonical (ids sorted, counts folded), so equal
+// bags always hash equal.
+func wordHash(words text.BagOfWords) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	words.Each(func(v, count int) {
+		h = (h ^ uint64(v)) * prime
+		h = (h ^ uint64(count)) * prime
+	})
+	return h
+}
+
+// cacheKeyOf builds the key for one request. ok is false for kinds the
+// cache does not know (never cached).
+func cacheKeyOf(gen uint64, r *ScoreRequest) (cacheKey, bool) {
+	k := cacheKey{gen: gen, kind: r.Kind}
+	switch r.Kind {
+	case KindRetweet:
+		k.a, k.b = r.Publisher, r.Candidate
+		k.wordHash = wordHash(r.Words)
+	case KindLink:
+		k.a, k.b = r.From, r.To
+	case KindTime, KindTopics:
+		k.a = r.User
+		k.wordHash = wordHash(r.Words)
+	default:
+		return cacheKey{}, false
+	}
+	return k, true
+}
+
+func (c *scoreCache) shardOf(k cacheKey) *cacheShard {
+	h := k.wordHash
+	h ^= k.gen * 0x9e3779b97f4a7c15
+	h ^= uint64(k.a)*0xbf58476d1ce4e5b9 + uint64(k.b)*0x94d049bb133111eb
+	for _, ch := range k.kind {
+		h = h*31 + uint64(ch)
+	}
+	h ^= h >> 33
+	return &c.shards[h%cacheShards]
+}
+
+func bagsEqual(a, b text.BagOfWords) bool {
+	if len(a.IDs) != len(b.IDs) {
+		return false
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] || a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the cached result for (gen, req) if present, promoting
+// the entry to most-recently-used.
+func (c *scoreCache) get(gen uint64, req *ScoreRequest) (ScoreResult, bool) {
+	key, ok := cacheKeyOf(gen, req)
+	if !ok {
+		return ScoreResult{}, false
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.idx[key]
+	if !ok {
+		return ScoreResult{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !bagsEqual(ent.words, req.Words) {
+		// 64-bit hash collision between two different bags: a miss.
+		return ScoreResult{}, false
+	}
+	sh.ll.MoveToFront(el)
+	return ent.res, true
+}
+
+// put stores a successful result, evicting the shard's LRU tail when
+// full. Failed results (res.Err != nil) are never cached by callers.
+func (c *scoreCache) put(gen uint64, req *ScoreRequest, res ScoreResult) {
+	key, ok := cacheKeyOf(gen, req)
+	if !ok {
+		return
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.idx[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		sh.ll.MoveToFront(el)
+		return
+	}
+	if sh.ll.Len() >= sh.cap {
+		tail := sh.ll.Back()
+		if tail != nil {
+			sh.ll.Remove(tail)
+			delete(sh.idx, tail.Value.(*cacheEntry).key)
+			c.mt.cacheEvicted()
+		}
+	} else {
+		c.mt.cacheSized(+1)
+	}
+	sh.idx[key] = sh.ll.PushFront(&cacheEntry{key: key, words: req.Words, res: res})
+}
+
+// len reports the total live entries, for tests.
+func (c *scoreCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].ll.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

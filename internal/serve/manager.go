@@ -43,6 +43,9 @@ type ManagerConfig struct {
 	Path string
 	// TopComm is the Predictor TopComm size (0 → the paper's 5).
 	TopComm int
+	// RankK is the per-community candidate-ranking depth precomputed at
+	// each load for GET /v1/rank/{user} (0 → 50).
+	RankK int
 	// Poll is the watch interval; 0 → 2s.
 	Poll time.Duration
 	// Backoff is the initial-load retry schedule; zero → DefaultBackoff.
@@ -162,7 +165,7 @@ func (m *Manager) loadEngine(path string) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newModelEngine(model, m.cfg.TopComm, m.cfg.Metrics.predictorMetrics()), nil
+	return newModelEngine(model, m.cfg.TopComm, m.cfg.RankK, m.cfg.Metrics.predictorMetrics()), nil
 }
 
 // Reload resolves the current candidate, loads and validates it, and

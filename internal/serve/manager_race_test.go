@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,14 @@ import (
 
 	"github.com/cold-diffusion/cold/internal/text"
 )
+
+// retweetScoreOf runs one retweet item through an engine's batch path,
+// for tests that probe a snapshot directly.
+func retweetScoreOf(e Engine, pub, cand int, words text.BagOfWords) (float64, error) {
+	res := e.ScoreBatch(context.Background(),
+		[]ScoreRequest{{Kind: KindRetweet, Publisher: pub, Candidate: cand, Words: words}})
+	return res[0].Score, res[0].Err
+}
 
 // TestManagerReloadRollbackHammer drives Reload, Rollback, candidate
 // corruption and concurrent readers against one Manager under -race.
@@ -27,7 +36,10 @@ func TestManagerReloadRollbackHammer(t *testing.T) {
 	// The baseline is the validated model's answer; every engine loaded
 	// from this file must reproduce it bit-for-bit.
 	probe := text.NewBagOfWords([]int{1, 2, 3})
-	baseline := mgr.Current().Engine.RetweetScore(0, 1, probe)
+	baseline, err := retweetScoreOf(mgr.Current().Engine, 0, 1, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
 	baseGen := mgr.Current().Generation
 
 	var stop atomic.Bool
@@ -92,7 +104,7 @@ func TestManagerReloadRollbackHammer(t *testing.T) {
 					}
 					return
 				}
-				if got := snap.Engine.RetweetScore(0, 1, probe); got != baseline {
+				if got, err := retweetScoreOf(snap.Engine, 0, 1, probe); err != nil || got != baseline {
 					select {
 					case errc <- "served an engine that does not reproduce the validated score":
 					default:
@@ -119,7 +131,10 @@ func TestManagerReloadRollbackHammer(t *testing.T) {
 		t.Fatalf("post-hammer reload: %v", err)
 	}
 	snap := mgr.Current()
-	if snap == nil || snap.Degraded() || snap.Engine.RetweetScore(0, 1, probe) != baseline {
+	if snap == nil || snap.Degraded() {
 		t.Fatalf("post-hammer snapshot unhealthy: %+v", snap)
+	}
+	if got, err := retweetScoreOf(snap.Engine, 0, 1, probe); err != nil || got != baseline {
+		t.Fatalf("post-hammer snapshot does not reproduce the validated score (err=%v)", err)
 	}
 }

@@ -31,8 +31,9 @@ func TestManagerLoadsAndServes(t *testing.T) {
 		t.Fatal("full model reported degraded")
 	}
 	// The engine answers.
-	if s := snap.Engine.RetweetScore(0, 1, text.NewBagOfWords([]int{1, 2})); s < 0 || s > 1 {
-		t.Fatalf("score %v out of range", s)
+	s, err := retweetScoreOf(snap.Engine, 0, 1, text.NewBagOfWords([]int{1, 2}))
+	if err != nil || s < 0 || s > 1 {
+		t.Fatalf("score %v (err %v) out of range", s, err)
 	}
 }
 
@@ -221,11 +222,16 @@ func TestFallbackTakeoverAndRecovery(t *testing.T) {
 	if snap == nil || !snap.Degraded() {
 		t.Fatalf("fallback snapshot = %+v, want degraded", snap)
 	}
-	if s := snap.Engine.RetweetScore(0, 1, text.BagOfWords{}); s <= 0 || s >= 1 {
-		t.Fatalf("fallback score %v out of (0,1)", s)
+	if s, err := retweetScoreOf(snap.Engine, 0, 1, text.BagOfWords{}); err != nil || s <= 0 || s >= 1 {
+		t.Fatalf("fallback score %v (err %v) out of (0,1)", s, err)
 	}
-	if _, err := snap.Engine.TopicPosterior(0, text.BagOfWords{}); !errors.Is(err, ErrDegraded) {
-		t.Fatalf("fallback TopicPosterior err = %v, want ErrDegraded", err)
+	res := snap.Engine.ScoreBatch(context.Background(),
+		[]ScoreRequest{{Kind: KindTopics, User: 0}})
+	if !errors.Is(res[0].Err, ErrDegraded) {
+		t.Fatalf("fallback topics err = %v, want ErrDegraded", res[0].Err)
+	}
+	if _, err := snap.Engine.Rank(0, 5); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("fallback Rank err = %v, want ErrDegraded", err)
 	}
 	if !strings.Contains(snap.Source, "fallback") {
 		t.Fatalf("fallback source = %q", snap.Source)

@@ -9,7 +9,7 @@ import (
 
 // predictRoutes are the admission-controlled prediction routes, used as
 // the label set of the per-route request metrics.
-var predictRoutes = []string{"retweet", "link", "time", "topics"}
+var predictRoutes = []string{"retweet", "link", "time", "topics", "batch", "rank"}
 
 // Metrics is the serving layer's instrument set under the cold_serve_*
 // namespace. One Metrics is shared between a Server and its Manager so
@@ -22,9 +22,9 @@ type Metrics struct {
 	requests map[string]*obs.Counter   // cold_serve_requests_total{route=...}
 	latency  map[string]*obs.Histogram // cold_serve_request_seconds{route=...}
 
-	InFlight *obs.Gauge   // cold_serve_in_flight
-	Shed     *obs.Counter // cold_serve_shed_total
-	Panics   *obs.Counter // cold_serve_panics_total
+	InFlight  *obs.Gauge   // cold_serve_in_flight
+	Shed      *obs.Counter // cold_serve_shed_total
+	Panics    *obs.Counter // cold_serve_panics_total
 	Rejected  *obs.Counter // cold_serve_rejected_total
 	Degraded  *obs.Counter // cold_serve_degraded
 	Misrouted *obs.Counter // cold_serve_misrouted_total
@@ -33,6 +33,16 @@ type Metrics struct {
 	ReloadFailures *obs.Counter // cold_serve_model_reload_failures_total
 	Generation     *obs.Gauge   // cold_serve_model_generation
 	WatchRestarts  *obs.Counter // cold_serve_watch_restarts_total
+
+	// Hot-path instruments: the micro-batcher and the generation-keyed
+	// score cache.
+	BatchItems     *obs.Counter            // cold_serve_batch_items_total
+	BatchSize      *obs.Histogram          // cold_serve_batch_size
+	BatchFlushes   map[string]*obs.Counter // cold_serve_batch_flushes_total{reason=...}
+	CacheHits      *obs.Counter            // cold_serve_cache_hits_total
+	CacheMisses    *obs.Counter            // cold_serve_cache_misses_total
+	CacheEvictions *obs.Counter            // cold_serve_cache_evictions_total
+	CacheEntries   *obs.Gauge              // cold_serve_cache_entries
 
 	// Predictor instruments the scoring hot path; attach it to the
 	// model engine's predictor via ManagerConfig.Metrics.
@@ -65,6 +75,25 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Generation number of the serving snapshot."),
 		WatchRestarts: reg.Counter("cold_serve_watch_restarts_total",
 			"Model-watcher loop crashes recovered by supervised restart."),
+		BatchItems: reg.Counter("cold_serve_batch_items_total",
+			"Score items evaluated through the batch scoring path (cache hits included)."),
+		BatchSize: reg.Histogram("cold_serve_batch_size",
+			"Items per micro-batch flush.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		BatchFlushes: map[string]*obs.Counter{
+			"window": reg.CounterL("cold_serve_batch_flushes_total", `reason="window"`,
+				"Micro-batch flushes triggered by the batching window elapsing."),
+			"full": reg.CounterL("cold_serve_batch_flushes_total", `reason="full"`,
+				"Micro-batch flushes triggered by the batch filling before the window."),
+		},
+		CacheHits: reg.Counter("cold_serve_cache_hits_total",
+			"Score items answered from the generation-keyed prediction cache."),
+		CacheMisses: reg.Counter("cold_serve_cache_misses_total",
+			"Score items that missed the prediction cache and hit the engine."),
+		CacheEvictions: reg.Counter("cold_serve_cache_evictions_total",
+			"Prediction-cache entries evicted from an LRU shard tail."),
+		CacheEntries: reg.Gauge("cold_serve_cache_entries",
+			"Live prediction-cache entries across all shards."),
 		Predictor: core.NewPredictorMetrics(reg),
 	}
 	for _, route := range predictRoutes {
@@ -169,6 +198,49 @@ func (m *Metrics) generationSwapped(generation uint64) {
 		return
 	}
 	m.Generation.Set(float64(generation))
+}
+
+func (m *Metrics) batchScored(items int) {
+	if m == nil {
+		return
+	}
+	m.BatchItems.Add(uint64(items))
+}
+
+func (m *Metrics) batchFlushed(reason string, items int) {
+	if m == nil {
+		return
+	}
+	m.BatchFlushes[reason].Inc()
+	m.BatchSize.Observe(float64(items))
+}
+
+func (m *Metrics) cacheHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+func (m *Metrics) cacheMiss() {
+	if m == nil {
+		return
+	}
+	m.CacheMisses.Inc()
+}
+
+func (m *Metrics) cacheEvicted() {
+	if m == nil {
+		return
+	}
+	m.CacheEvictions.Inc()
+}
+
+func (m *Metrics) cacheSized(delta float64) {
+	if m == nil {
+		return
+	}
+	m.CacheEntries.Add(delta)
 }
 
 func (m *Metrics) predictorMetrics() *core.PredictorMetrics {

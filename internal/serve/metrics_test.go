@@ -184,8 +184,8 @@ func TestMetricsReflectShedAndDegraded(t *testing.T) {
 	if code != http.StatusTooManyRequests || e.Error.Code != "overloaded" {
 		t.Fatalf("overload = %d %+v, want 429 overloaded", code, e.Error)
 	}
-	if e.Error.RetryAfterMS != 2000 {
-		t.Fatalf("retry_after_ms = %d, want 2000", e.Error.RetryAfterMS)
+	if ms := e.Error.RetryAfterMS; ms < 1000 || ms > 3000 {
+		t.Fatalf("retry_after_ms = %d, want within ±50%% of 2000", ms)
 	}
 	close(release)
 	wg.Wait()
@@ -243,7 +243,9 @@ func TestMetricsTrackReloads(t *testing.T) {
 	// Scoring through the loaded engine drives the predictor metrics.
 	snap := mgr.Current()
 	_, data := testModel(t)
-	snap.Engine.RetweetScore(0, 1, data.Posts[0].Words)
+	if _, err := retweetScoreOf(snap.Engine, 0, 1, data.Posts[0].Words); err != nil {
+		t.Fatal(err)
+	}
 	if mt.Predictor.ScoreSeconds.Count() != 1 {
 		t.Fatalf("predictor score histogram count = %d, want 1", mt.Predictor.ScoreSeconds.Count())
 	}

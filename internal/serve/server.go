@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/faultinject"
 	"github.com/cold-diffusion/cold/internal/stats"
@@ -31,8 +33,23 @@ type Config struct {
 	// this long to finish after the drain signal before the listener is
 	// torn down hard.
 	DrainTimeout time.Duration
-	// RetryAfter is the hint sent with 429 responses.
+	// RetryAfter is the base hint sent with 429 responses; the emitted
+	// value is jittered ±50% so a shed burst doesn't come back as a
+	// synchronized retry herd (matching the ingest-side jitter).
 	RetryAfter time.Duration
+	// BatchWindow is the micro-batching window: concurrent single-score
+	// requests arriving within it coalesce into one Engine batch.
+	// 0 → 1ms; negative disables coalescing (every request flushes
+	// alone, still through the cache).
+	BatchWindow time.Duration
+	// BatchMax flushes a micro-batch early once this many items are
+	// pending; 0 → 64.
+	BatchMax int
+	// MaxBatchItems bounds one POST /v1/score/batch request; 0 → 512.
+	MaxBatchItems int
+	// CacheEntries sizes the generation-keyed prediction cache (total
+	// entries across shards). 0 → 32768; negative disables caching.
+	CacheEntries int
 	// ShardIndex/ShardCount describe this replica's slice of the user
 	// space when serving behind the cluster router; both zero means
 	// unsharded. They are advertised in /v1/healthz so the router can
@@ -64,6 +81,8 @@ type Server struct {
 	data *corpus.Dataset
 
 	sem      chan struct{}
+	batch    *batcher    // nil → micro-batching disabled
+	cache    *scoreCache // nil → score caching disabled
 	draining atomic.Bool
 	start    time.Time
 
@@ -87,16 +106,35 @@ func New(cfg Config, mgr *Manager, data *corpus.Dataset) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = time.Millisecond
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 512
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 32768
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		mgr:   mgr,
 		data:  data,
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newScoreCache(cfg.CacheEntries, cfg.Metrics)
+	}
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.flushBatch)
+	}
+	return s
 }
 
 // Handler returns the full route table: the versioned /v1 surface,
@@ -118,6 +156,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/predict/link", s.guard("link", s.handleLink))
 	mux.Handle("POST /v1/predict/time", s.guard("time", s.handleTime))
 	mux.Handle("POST /v1/topics", s.guard("topics", s.handleTopics))
+	mux.Handle("POST /v1/score/batch", s.guard("batch", s.handleScoreBatch))
+	mux.Handle("GET /v1/rank/{user}", s.guard("rank", s.handleRank))
 	if mh := s.cfg.Metrics.Handler(); mh != nil {
 		// /metrics is the conventional scrape path; /v1/metrics is the
 		// in-contract alias.
@@ -177,12 +217,15 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.Handler {
 		default:
 			s.shed.Add(1)
 			mt.shedOne()
+			// ±50% jitter so a shed burst doesn't return as one
+			// synchronized retry herd (same policy as the ingester).
+			retry := time.Duration(float64(s.cfg.RetryAfter) * (0.5 + rand.Float64()))
 			w.Header().Set("Retry-After",
-				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errorInfo{
 				Code:         "overloaded",
 				Message:      "overloaded, retry later",
-				RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+				RetryAfterMS: retry.Milliseconds(),
 			}})
 			return
 		}
@@ -365,63 +408,93 @@ func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
 	return snap
 }
 
-// user validates a user index against the engine.
-func (s *Server) user(w http.ResponseWriter, name string, v *int, info ModelInfo) (int, bool) {
+// userIndex validates a user index against the engine's user count
+// without writing anything — shared by the single-route helpers (which
+// reject the whole request) and the batch builder (which fails one
+// item).
+func userIndex(name string, v *int, info ModelInfo) (int, *errorInfo) {
 	if v == nil {
-		s.reject(w, "missing field "+name)
-		return 0, false
+		return 0, &errorInfo{Code: "bad_request", Message: "missing field " + name}
 	}
 	if *v < 0 || *v >= info.Users {
-		s.reject(w, fmt.Sprintf("%s %d out of range [0,%d)", name, *v, info.Users))
-		return 0, false
+		return 0, &errorInfo{Code: "bad_request",
+			Message: fmt.Sprintf("%s %d out of range [0,%d)", name, *v, info.Users)}
 	}
-	return *v, true
+	return *v, nil
 }
 
-// owned enforces shard ownership of the routing user: the user whose
-// behavioural state answers the query (candidate for retweet, link
-// source for link, the posting user otherwise). A request for a user
-// this replica does not own answers 421 — the router misrouted it, and
-// answering from the wrong shard's state would be silently wrong.
-func (s *Server) owned(w http.ResponseWriter, name string, user int) bool {
+// ownership enforces shard ownership of the routing user: the user
+// whose behavioural state answers the query (candidate for retweet,
+// link source for link, the posting user otherwise). A non-nil return
+// means the router misrouted the item — answering from the wrong
+// shard's state would be silently wrong.
+func (s *Server) ownership(name string, user int) *errorInfo {
 	if s.cfg.ShardOwner == nil || s.cfg.ShardOwner(user) {
-		return true
+		return nil
 	}
-	s.cfg.Metrics.misrouted()
-	writeJSON(w, http.StatusMisdirectedRequest, errorBody{Error: errorInfo{
+	return &errorInfo{
 		Code: "wrong_shard",
 		Message: fmt.Sprintf("%s %d is not owned by shard %d/%d",
 			name, user, s.cfg.ShardIndex, s.cfg.ShardCount),
-	}})
+	}
+}
+
+// bagFor resolves post content without writing anything: explicit word
+// ids, or a post index into the loaded dataset.
+func (s *Server) bagFor(post *int, words []int, info ModelInfo) (text.BagOfWords, *errorInfo) {
+	bad := func(msg string) (text.BagOfWords, *errorInfo) {
+		return text.BagOfWords{}, &errorInfo{Code: "bad_request", Message: msg}
+	}
+	switch {
+	case words != nil:
+		for _, id := range words {
+			if id < 0 || (info.Vocab > 0 && id >= info.Vocab) {
+				return bad(fmt.Sprintf("word id %d out of range [0,%d)", id, info.Vocab))
+			}
+		}
+		return text.NewBagOfWords(words), nil
+	case post != nil:
+		if s.data == nil {
+			return bad("no dataset loaded on this server; pass words instead of a post index")
+		}
+		if *post < 0 || *post >= len(s.data.Posts) {
+			return bad(fmt.Sprintf("post %d out of range [0,%d)", *post, len(s.data.Posts)))
+		}
+		return s.data.Posts[*post].Words, nil
+	default:
+		return bad("need either post or words")
+	}
+}
+
+// user validates a user index against the engine, answering 400 itself.
+func (s *Server) user(w http.ResponseWriter, name string, v *int, info ModelInfo) (int, bool) {
+	u, ei := userIndex(name, v, info)
+	if ei != nil {
+		s.reject(w, ei.Message)
+		return 0, false
+	}
+	return u, true
+}
+
+// owned is the single-route ownership check: 421 on a misroute.
+func (s *Server) owned(w http.ResponseWriter, name string, user int) bool {
+	ei := s.ownership(name, user)
+	if ei == nil {
+		return true
+	}
+	s.cfg.Metrics.misrouted()
+	writeJSON(w, http.StatusMisdirectedRequest, errorBody{Error: *ei})
 	return false
 }
 
-// bag resolves the post content of a request: explicit word ids, or a
-// post index into the loaded dataset.
+// bag resolves the post content of a request, answering 400 itself.
 func (s *Server) bag(w http.ResponseWriter, req *predictRequest, info ModelInfo) (text.BagOfWords, bool) {
-	switch {
-	case req.Words != nil:
-		for _, id := range req.Words {
-			if id < 0 || (info.Vocab > 0 && id >= info.Vocab) {
-				s.reject(w, fmt.Sprintf("word id %d out of range [0,%d)", id, info.Vocab))
-				return text.BagOfWords{}, false
-			}
-		}
-		return text.NewBagOfWords(req.Words), true
-	case req.Post != nil:
-		if s.data == nil {
-			s.reject(w, "no dataset loaded on this server; pass words instead of a post index")
-			return text.BagOfWords{}, false
-		}
-		if *req.Post < 0 || *req.Post >= len(s.data.Posts) {
-			s.reject(w, fmt.Sprintf("post %d out of range [0,%d)", *req.Post, len(s.data.Posts)))
-			return text.BagOfWords{}, false
-		}
-		return s.data.Posts[*req.Post].Words, true
-	default:
-		s.reject(w, "need either post or words")
+	b, ei := s.bagFor(req.Post, req.Words, info)
+	if ei != nil {
+		s.reject(w, ei.Message)
 		return text.BagOfWords{}, false
 	}
+	return b, true
 }
 
 // ---- handlers ----
@@ -432,6 +505,48 @@ type scoreResponse struct {
 	ModelKey   string  `json:"model_key,omitempty"`
 	Degraded   bool    `json:"degraded"`
 }
+
+type topicWeight struct {
+	Topic  int     `json:"topic"`
+	Weight float64 `json:"weight"`
+}
+
+// topTopics renders the topn heaviest entries of a posterior.
+func topTopics(post []float64, topn int) []topicWeight {
+	if topn <= 0 || topn > len(post) {
+		topn = min(3, len(post))
+	}
+	top := make([]topicWeight, 0, topn)
+	for _, k := range stats.ArgTopK(post, topn) {
+		top = append(top, topicWeight{Topic: k, Weight: post[k]})
+	}
+	return top
+}
+
+// scoreFailed writes the envelope for a hot-path failure: the batcher
+// had no snapshot, the request deadline fired while parked, or the
+// engine failed the item.
+func (s *Server) scoreFailed(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errNotReady):
+		writeError(w, http.StatusServiceUnavailable, "not_ready", "no model loaded")
+	case errors.Is(err, ErrDegraded):
+		writeError(w, http.StatusServiceUnavailable, "degraded",
+			"topic posterior unavailable in degraded mode (no topic model loaded)")
+	case errors.Is(err, ErrBadItem):
+		s.reject(w, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "deadline_exceeded", "request deadline exceeded")
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// The single-score handlers are thin adapters over the batch hot path:
+// they validate exactly as before, build one ScoreRequest, and submit
+// it through the micro-batcher (scoreOne), so single-call traffic gets
+// the same coalescing and caching as /v1/score/batch. The response
+// carries the generation the batch was actually scored against.
 
 func (s *Server) handleRetweet(w http.ResponseWriter, r *http.Request) {
 	snap := s.snapshot(w)
@@ -458,11 +573,20 @@ func (s *Server) handleRetweet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	res, fsnap, err := s.scoreOne(r.Context(),
+		ScoreRequest{Kind: KindRetweet, Publisher: pub, Candidate: cand, Words: words})
+	if err == nil {
+		err = res.Err
+	}
+	if err != nil {
+		s.scoreFailed(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, scoreResponse{
-		Score:      snap.Engine.RetweetScore(pub, cand, words),
-		Generation: snap.Generation,
-		ModelKey:   snap.Key,
-		Degraded:   snap.Degraded(),
+		Score:      res.Score,
+		Generation: fsnap.Generation,
+		ModelKey:   fsnap.Key,
+		Degraded:   fsnap.Degraded(),
 	})
 }
 
@@ -487,11 +611,19 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	res, fsnap, err := s.scoreOne(r.Context(), ScoreRequest{Kind: KindLink, From: from, To: to})
+	if err == nil {
+		err = res.Err
+	}
+	if err != nil {
+		s.scoreFailed(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, scoreResponse{
-		Score:      snap.Engine.LinkScore(from, to),
-		Generation: snap.Generation,
-		ModelKey:   snap.Key,
-		Degraded:   snap.Degraded(),
+		Score:      res.Score,
+		Generation: fsnap.Generation,
+		ModelKey:   fsnap.Key,
+		Degraded:   fsnap.Degraded(),
 	})
 }
 
@@ -516,12 +648,20 @@ func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	res, fsnap, err := s.scoreOne(r.Context(), ScoreRequest{Kind: KindTime, User: user, Words: words})
+	if err == nil {
+		err = res.Err
+	}
+	if err != nil {
+		s.scoreFailed(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Slice      int    `json:"slice"`
 		Generation uint64 `json:"generation"`
 		ModelKey   string `json:"model_key,omitempty"`
 		Degraded   bool   `json:"degraded"`
-	}{snap.Engine.PredictTime(user, words), snap.Generation, snap.Key, snap.Degraded()})
+	}{res.Slice, fsnap.Generation, fsnap.Key, fsnap.Degraded()})
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
@@ -545,29 +685,237 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	post, err := snap.Engine.TopicPosterior(user, words)
-	if errors.Is(err, ErrDegraded) {
-		writeError(w, http.StatusServiceUnavailable, "degraded",
-			"topic posterior unavailable in degraded mode (no topic model loaded)")
+	res, fsnap, err := s.scoreOne(r.Context(), ScoreRequest{Kind: KindTopics, User: user, Words: words})
+	if err == nil {
+		err = res.Err
+	}
+	if err != nil {
+		s.scoreFailed(w, err)
 		return
-	}
-	topn := req.TopN
-	if topn <= 0 || topn > len(post) {
-		topn = min(3, len(post))
-	}
-	type topicWeight struct {
-		Topic  int     `json:"topic"`
-		Weight float64 `json:"weight"`
-	}
-	top := make([]topicWeight, 0, topn)
-	for _, k := range stats.ArgTopK(post, topn) {
-		top = append(top, topicWeight{Topic: k, Weight: post[k]})
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Topics     []topicWeight `json:"topics"`
 		Generation uint64        `json:"generation"`
 		ModelKey   string        `json:"model_key,omitempty"`
-	}{top, snap.Generation, snap.Key})
+	}{topTopics(res.Topics, req.TopN), fsnap.Generation, fsnap.Key})
+}
+
+// ---- batch endpoint ----
+
+// batchScoreItem is the wire shape of one POST /v1/score/batch item: a
+// kind discriminator plus the union of the single-route fields.
+type batchScoreItem struct {
+	Kind      string `json:"kind"`
+	Publisher *int   `json:"publisher,omitempty"`
+	Candidate *int   `json:"candidate,omitempty"`
+	From      *int   `json:"from,omitempty"`
+	To        *int   `json:"to,omitempty"`
+	User      *int   `json:"user,omitempty"`
+	Post      *int   `json:"post,omitempty"`
+	Words     []int  `json:"words,omitempty"`
+	TopN      int    `json:"topn,omitempty"`
+}
+
+// batchItemResult is the per-item slot of the batch response: status
+// "ok" with the kind's value field, or status "error" with the same
+// error shape the single routes use in their envelope.
+type batchItemResult struct {
+	Status string        `json:"status"`
+	Score  *float64      `json:"score,omitempty"`
+	Slice  *int          `json:"slice,omitempty"`
+	Topics []topicWeight `json:"topics,omitempty"`
+	Error  *errorInfo    `json:"error,omitempty"`
+}
+
+// buildItem validates one wire item into a ScoreRequest, mirroring the
+// single-route validation order (fields, then ownership, then words).
+func (s *Server) buildItem(it *batchScoreItem, info ModelInfo) (ScoreRequest, *errorInfo) {
+	req := ScoreRequest{Kind: Kind(it.Kind)}
+	switch req.Kind {
+	case KindRetweet:
+		pub, ei := userIndex("publisher", it.Publisher, info)
+		if ei != nil {
+			return req, ei
+		}
+		cand, ei := userIndex("candidate", it.Candidate, info)
+		if ei != nil {
+			return req, ei
+		}
+		if ei := s.ownership("candidate", cand); ei != nil {
+			return req, ei
+		}
+		words, ei := s.bagFor(it.Post, it.Words, info)
+		if ei != nil {
+			return req, ei
+		}
+		req.Publisher, req.Candidate, req.Words = pub, cand, words
+	case KindLink:
+		from, ei := userIndex("from", it.From, info)
+		if ei != nil {
+			return req, ei
+		}
+		if ei := s.ownership("from", from); ei != nil {
+			return req, ei
+		}
+		to, ei := userIndex("to", it.To, info)
+		if ei != nil {
+			return req, ei
+		}
+		req.From, req.To = from, to
+	case KindTime, KindTopics:
+		user, ei := userIndex("user", it.User, info)
+		if ei != nil {
+			return req, ei
+		}
+		if ei := s.ownership("user", user); ei != nil {
+			return req, ei
+		}
+		words, ei := s.bagFor(it.Post, it.Words, info)
+		if ei != nil {
+			return req, ei
+		}
+		req.User, req.Words = user, words
+	default:
+		return req, &errorInfo{Code: "bad_request",
+			Message: fmt.Sprintf("unknown kind %q (want retweet|link|time|topics)", it.Kind)}
+	}
+	return req, nil
+}
+
+// itemErrorInfo maps a per-item engine error onto the envelope codes
+// the single routes use for the same condition.
+func itemErrorInfo(err error) *errorInfo {
+	switch {
+	case errors.Is(err, ErrDegraded):
+		return &errorInfo{Code: "degraded", Message: err.Error()}
+	case errors.Is(err, ErrBadItem):
+		return &errorInfo{Code: "bad_request", Message: err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &errorInfo{Code: "deadline_exceeded", Message: "request deadline exceeded"}
+	default:
+		return &errorInfo{Code: "internal", Message: err.Error()}
+	}
+}
+
+// renderItem converts one engine result slot to its wire shape.
+func renderItem(kind Kind, res *ScoreResult, topn int) batchItemResult {
+	if res.Err != nil {
+		return batchItemResult{Status: "error", Error: itemErrorInfo(res.Err)}
+	}
+	switch kind {
+	case KindRetweet, KindLink:
+		v := res.Score
+		return batchItemResult{Status: "ok", Score: &v}
+	case KindTime:
+		v := res.Slice
+		return batchItemResult{Status: "ok", Slice: &v}
+	default: // KindTopics
+		return batchItemResult{Status: "ok", Topics: topTopics(res.Topics, topn)}
+	}
+}
+
+// handleScoreBatch is the batch-first scoring endpoint: a mixed list of
+// retweet/link/time/topics items scored against one snapshot, answered
+// 200 with a per-item status slot — an invalid or degraded item fails
+// alone, in place, without failing its siblings.
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var body struct {
+		Items []batchScoreItem `json:"items"`
+	}
+	if !s.decode(w, r, &body) {
+		return
+	}
+	if len(body.Items) == 0 {
+		s.reject(w, "empty items")
+		return
+	}
+	if len(body.Items) > s.cfg.MaxBatchItems {
+		s.reject(w, fmt.Sprintf("batch of %d items exceeds the limit of %d",
+			len(body.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	info := snap.Engine.Info()
+	results := make([]batchItemResult, len(body.Items))
+	reqs := make([]ScoreRequest, 0, len(body.Items))
+	idx := make([]int, 0, len(body.Items))
+	for i := range body.Items {
+		req, ei := s.buildItem(&body.Items[i], info)
+		if ei != nil {
+			if ei.Code == "wrong_shard" {
+				s.cfg.Metrics.misrouted()
+			} else {
+				s.rejected.Add(1)
+				s.cfg.Metrics.rejectedOne()
+			}
+			results[i] = batchItemResult{Status: "error", Error: ei}
+			continue
+		}
+		reqs = append(reqs, req)
+		idx = append(idx, i)
+	}
+	scored := s.scoreBatch(r.Context(), snap, reqs)
+	for j, i := range idx {
+		results[i] = renderItem(reqs[j].Kind, &scored[j], body.Items[i].TopN)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results    []batchItemResult `json:"results"`
+		Generation uint64            `json:"generation"`
+		ModelKey   string            `json:"model_key,omitempty"`
+		Degraded   bool              `json:"degraded"`
+	}{results, snap.Generation, snap.Key, snap.Degraded()})
+}
+
+// handleRank serves the per-reload precomputed candidate rankings:
+// GET /v1/rank/{user}?k=N.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	user, err := strconv.Atoi(r.PathValue("user"))
+	if err != nil {
+		s.reject(w, "bad user path segment "+strconv.Quote(r.PathValue("user")))
+		return
+	}
+	info := snap.Engine.Info()
+	if user < 0 || user >= info.Users {
+		s.reject(w, fmt.Sprintf("user %d out of range [0,%d)", user, info.Users))
+		return
+	}
+	if !s.owned(w, "user", user) {
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err = strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.reject(w, "bad k query parameter "+strconv.Quote(q))
+			return
+		}
+	}
+	cands, err := snap.Engine.Rank(user, n)
+	switch {
+	case errors.Is(err, ErrDegraded):
+		writeError(w, http.StatusServiceUnavailable, "degraded",
+			"candidate rankings unavailable in degraded mode (no full model loaded)")
+		return
+	case errors.Is(err, ErrBadItem):
+		s.reject(w, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		User       int                    `json:"user"`
+		Candidates []core.RankedCandidate `json:"candidates"`
+		Generation uint64                 `json:"generation"`
+		ModelKey   string                 `json:"model_key,omitempty"`
+	}{user, cands, snap.Generation, snap.Key})
 }
 
 // handleHealthz reports liveness plus the routing-relevant identity:

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -226,8 +227,12 @@ func TestShedsLoadAndRecovers(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("overload request = %d, want 429", code)
 	}
-	if ra := hdr.Get("Retry-After"); ra != "3" {
-		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	// The hint is the 3s base jittered ±50%, rounded up to whole seconds.
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 2 || ra > 5 {
+		t.Fatalf("Retry-After = %q, want an integer in [2,5]", hdr.Get("Retry-After"))
+	}
+	if ms := e.Error.RetryAfterMS; ms < 1500 || ms > 4500 {
+		t.Fatalf("retry_after_ms = %d, want within ±50%% of 3000", ms)
 	}
 
 	close(release)
