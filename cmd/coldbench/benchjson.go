@@ -12,61 +12,94 @@ import (
 
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/gas"
+	"github.com/cold-diffusion/cold/internal/synth"
 )
 
 // benchRecord is the machine-readable sampler benchmark written by
 // `coldbench -json out.json`. One record per run; the repository keeps a
 // trajectory of them (BENCH_0.json is the seed-kernel baseline) so every
-// PR's sampler change is measured against the same workload.
+// PR's sampler change is measured against the same workloads.
+//
+// Schema v2 replaces the single serial-vs-parallel pair of v1 with a
+// worker × preset matrix: every preset is timed once serially and once
+// per worker count on the parallel GAS sampler. The sampled chain is
+// identical at every worker count (per-shard RNG streams), so the legs
+// measure pure scheduling overhead, not statistical drift.
 type benchRecord struct {
 	SchemaVersion int    `json:"schema_version"`
 	Timestamp     string `json:"timestamp"`
 	GitSHA        string `json:"git_sha"`
 	GoVersion     string `json:"go_version"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
-	Preset        string `json:"preset"`
 	Seed          uint64 `json:"seed"`
 
+	Presets []benchPreset `json:"presets"`
+}
+
+// benchPreset is one synthetic workload's row of the matrix.
+type benchPreset struct {
+	Preset  string       `json:"preset"`
 	Dataset corpus.Stats `json:"dataset"`
 	C       int          `json:"communities"`
 	K       int          `json:"topics"`
 
-	Serial          core.SweepBench `json:"serial"`
-	Parallel        core.SweepBench `json:"parallel"`
-	ParallelSpeedup float64         `json:"parallel_speedup"`
+	Serial   core.SweepBench    `json:"serial"`
+	Parallel []benchParallelLeg `json:"parallel"`
 }
 
-// benchJSON times the serial and parallel Gibbs sweep on the given
-// dataset and writes one benchRecord to path.
-func benchJSON(path, preset string, data *corpus.Dataset, c, k, workers, warmup, sweeps int, seed uint64) error {
-	cfg := core.DefaultConfig(c, k)
-	cfg.Seed = seed
+// benchParallelLeg is one worker count's measurement on one preset.
+//
+// WallSpeedup is serial wall time over this leg's wall time — honest but
+// meaningless on a GOMAXPROCS=1 box, where all workers share one core.
+// ProjectedSeconds/ProjectedSpeedup come from the 1-worker leg's
+// per-shard critical-path schedule (gas.EngineStats.ProjectedSeconds):
+// the shard plan and chain are identical at every worker count, and the
+// 1-worker timings carry no cross-worker preemption noise, so projecting
+// that schedule onto w workers is the faithful scaling estimate.
+// ProjectedSpeedup is relative to the 1-worker parallel leg's own
+// projection, i.e. it isolates scaling from serial-vs-parallel kernel
+// differences.
+type benchParallelLeg struct {
+	core.SweepBench
+	WallSpeedup      float64 `json:"wall_speedup"`
+	ProjectedSeconds float64 `json:"projected_seconds,omitempty"`
+	ProjectedSpeedup float64 `json:"projected_speedup,omitempty"`
+}
 
-	serial, err := core.BenchSweeps(data, cfg, warmup, sweeps)
-	if err != nil {
-		return fmt.Errorf("serial bench: %w", err)
+// benchJSON times the serial and parallel Gibbs sweep on every preset ×
+// worker combination and writes one benchRecord to path. When
+// minSpeedup > 0, it fails if any preset's 4-worker projected speedup
+// falls below it — the CI scaling gate.
+func benchJSON(path string, presets []string, workers []int, warmup, sweeps int, seed uint64, minSpeedup float64) error {
+	if len(presets) == 0 || len(workers) == 0 {
+		return fmt.Errorf("need at least one preset and one worker count")
 	}
-	pcfg := cfg
-	pcfg.Workers = workers
-	parallel, err := core.BenchSweeps(data, pcfg, warmup, sweeps)
-	if err != nil {
-		return fmt.Errorf("parallel bench: %w", err)
+	hasOne := false
+	for _, w := range workers {
+		if w == 1 {
+			hasOne = true
+		}
+	}
+	if !hasOne {
+		return fmt.Errorf("the worker list must include 1: the 1-worker parallel leg anchors the projected-speedup schedule")
 	}
 
 	rec := benchRecord{
-		SchemaVersion:   1,
-		Timestamp:       time.Now().UTC().Format(time.RFC3339),
-		GitSHA:          gitSHA(),
-		GoVersion:       runtime.Version(),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Preset:          preset,
-		Seed:            seed,
-		Dataset:         data.Stats(),
-		C:               c,
-		K:               k,
-		Serial:          serial,
-		Parallel:        parallel,
-		ParallelSpeedup: serial.Seconds / parallel.Seconds,
+		SchemaVersion: 2,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          seed,
+	}
+
+	for _, preset := range presets {
+		row, err := benchPresetRow(preset, workers, warmup, sweeps, seed, minSpeedup)
+		if err != nil {
+			return fmt.Errorf("preset %s: %w", preset, err)
+		}
+		rec.Presets = append(rec.Presets, row)
 	}
 
 	out, err := json.MarshalIndent(rec, "", "  ")
@@ -77,13 +110,82 @@ func benchJSON(path, preset string, data *corpus.Dataset, c, k, workers, warmup,
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("serial:   %.0f tokens/s  %.0f posts/s  %.0f links/s  %.2f sweeps/s  %.0f allocs/sweep\n",
-		serial.TokensPerSec, serial.PostsPerSec, serial.LinksPerSec, serial.SweepsPerSec, serial.AllocsPerSweep)
-	fmt.Printf("parallel: %.0f tokens/s  %.0f posts/s  %.0f links/s  %.2f sweeps/s  %.0f allocs/sweep  (%d workers, %.2fx)\n",
-		parallel.TokensPerSec, parallel.PostsPerSec, parallel.LinksPerSec, parallel.SweepsPerSec,
-		parallel.AllocsPerSweep, workers, rec.ParallelSpeedup)
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+func benchPresetRow(preset string, workers []int, warmup, sweeps int, seed uint64, minSpeedup float64) (benchPreset, error) {
+	var scfg synth.Config
+	switch preset {
+	case "small":
+		scfg = synth.Small(seed)
+	case "medium":
+		scfg = synth.Medium(seed)
+	case "large":
+		scfg = synth.Large(seed)
+	default:
+		return benchPreset{}, fmt.Errorf("unknown preset %q (want small, medium or large)", preset)
+	}
+	data, _, err := synth.Generate(scfg)
+	if err != nil {
+		return benchPreset{}, err
+	}
+
+	cfg := core.DefaultConfig(scfg.C, scfg.K)
+	cfg.Seed = seed
+
+	serial, err := core.BenchSweeps(data, cfg, warmup, sweeps)
+	if err != nil {
+		return benchPreset{}, fmt.Errorf("serial bench: %w", err)
+	}
+	fmt.Printf("%-7s serial:     %8.0f tokens/s  %.2f sweeps/s  %.0f allocs/sweep\n",
+		preset, serial.TokensPerSec, serial.SweepsPerSec, serial.AllocsPerSweep)
+
+	row := benchPreset{
+		Preset:  preset,
+		Dataset: data.Stats(),
+		C:       scfg.C,
+		K:       scfg.K,
+		Serial:  serial,
+	}
+
+	// The 1-worker leg runs first so its schedule is available when the
+	// other legs are reported.
+	var anchor gas.EngineStats
+	legs := make(map[int]benchParallelLeg, len(workers))
+	order := append([]int{1}, workers...)
+	for _, w := range order {
+		if _, done := legs[w]; done || w < 1 {
+			continue
+		}
+		pcfg := cfg
+		pcfg.Workers = w
+		bench, stats, err := core.BenchParallelSweeps(data, pcfg, warmup, sweeps)
+		if err != nil {
+			return benchPreset{}, fmt.Errorf("parallel bench (%d workers): %w", w, err)
+		}
+		if w == 1 {
+			anchor = stats
+		}
+		legs[w] = benchParallelLeg{
+			SweepBench:       bench,
+			WallSpeedup:      serial.Seconds / bench.Seconds,
+			ProjectedSeconds: anchor.ProjectedSeconds(w),
+			ProjectedSpeedup: anchor.ProjectedSeconds(1) / anchor.ProjectedSeconds(w),
+		}
+	}
+	for _, w := range workers {
+		leg := legs[w]
+		row.Parallel = append(row.Parallel, leg)
+		fmt.Printf("%-7s %d worker(s): %8.0f tokens/s  %.2f sweeps/s  %.0f allocs/sweep  barrier/busy %.3f  wall %.2fx  projected %.2fx\n",
+			preset, w, leg.TokensPerSec, leg.SweepsPerSec, leg.AllocsPerSweep,
+			leg.BarrierBusyRatio, leg.WallSpeedup, leg.ProjectedSpeedup)
+		if minSpeedup > 0 && w == 4 && leg.ProjectedSpeedup < minSpeedup {
+			return benchPreset{}, fmt.Errorf("scaling gate: 4-worker projected speedup %.2fx < required %.2fx",
+				leg.ProjectedSpeedup, minSpeedup)
+		}
+	}
+	return row, nil
 }
 
 // gitSHA resolves the current commit: from the binary's embedded VCS

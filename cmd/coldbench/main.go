@@ -39,7 +39,9 @@ func main() {
 	jsonPath := flag.String("json", "", "time the Gibbs sweep and write a machine-readable benchmark record to this path instead of regenerating figures")
 	benchSweeps := flag.Int("bench-sweeps", 5, "timed sweeps per kernel for -json")
 	benchWarmup := flag.Int("bench-warmup", 2, "untimed warmup sweeps per kernel for -json")
-	benchWorkers := flag.Int("bench-workers", 4, "worker count for the parallel kernel in -json")
+	benchWorkers := flag.String("bench-workers", "1,2,4,8", "worker counts for the parallel legs of -json (must include 1)")
+	benchPresets := flag.String("bench-presets", "small,medium,large", "synthetic presets benchmarked by -json")
+	benchMinSpeedup := flag.Float64("bench-min-speedup", 0, "fail -json if any preset's 4-worker projected speedup is below this (0 disables)")
 	loadPath := flag.String("load", "", "serve the small model and measure the prediction hot path under open-loop Zipf load, writing a machine-readable record to this path")
 	loadRate := flag.Float64("load-rate", 3000, "offered scores per second for -load")
 	loadRequests := flag.Int("load-requests", 4000, "scored items per phase per mode for -load")
@@ -53,6 +55,15 @@ func main() {
 	if *metricsFlag {
 		if err := metricsSmoke(*seed); err != nil {
 			log.Fatalf("metrics smoke failed: %v", err)
+		}
+		return
+	}
+
+	if *jsonPath != "" {
+		presets := splitCSV(*benchPresets)
+		err := benchJSON(*jsonPath, presets, parseInts(*benchWorkers), *benchWarmup, *benchSweeps, *seed, *benchMinSpeedup)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
 		}
 		return
 	}
@@ -109,13 +120,6 @@ func main() {
 	}
 	if *topics > 0 {
 		k = *topics
-	}
-
-	if *jsonPath != "" {
-		if err := benchJSON(*jsonPath, *preset, data, c, k, *benchWorkers, *benchWarmup, *benchSweeps, *seed); err != nil {
-			log.Fatalf("bench: %v", err)
-		}
-		return
 	}
 
 	sched := eval.DefaultSchedule()
@@ -246,6 +250,16 @@ func sweepAround(v int) []int {
 		lo = 2
 	}
 	return []int{lo, v, v + v/2}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseInts(s string) []int {

@@ -106,11 +106,29 @@ func (d *derived) refresh(st *state) {
 // postMoved maintains the caches after addPost/removePost updated the
 // counters for a post in community c, topic z, cell ck.
 func (d *derived) postMoved(st *state, c, z, ck int) {
+	d.refreshCK(st, c)
+	d.refreshCKT(st, ck)
+	d.refreshKV(st, z)
+}
+
+// refreshCK, refreshCKT and refreshKV recompute single cache entries
+// from their integer counters. The parallel sampler's merge calls them
+// for exactly the entries whose counters moved, so a merged state
+// carries bit-identical caches to a from-scratch refresh at O(touched)
+// cost. Like every maintenance site, they "set to f(count)" rather than
+// adjust, preserving the bit-identity invariant at the top of the file.
+func (d *derived) refreshCK(st *state, c int) {
 	d.denomCK[c] = float64(st.nCKSum[c]) + d.kAlpha
 	d.invCK[c] = 1 / d.denomCK[c]
+}
+
+func (d *derived) refreshCKT(st *state, ck int) {
 	d.denomCKT[ck] = float64(st.nCKTSum[ck]) + d.tEps
 	d.invCKT[ck] = 1 / d.denomCKT[ck]
-	d.denomKV[z] = float64(st.nKVSum[z]) + d.vBeta
+}
+
+func (d *derived) refreshKV(st *state, k int) {
+	d.denomKV[k] = float64(st.nKVSum[k]) + d.vBeta
 }
 
 // logAt returns log(n+off) for the table built with offset off,
@@ -127,7 +145,7 @@ func tableLog(tab []float64, n int, off float64) float64 {
 const logTableSize = 4096
 
 // logTables memoises log(n+off) tables per offset: every serial state,
-// materialized parallel snapshot and rollback rebuild with the same
+// parallel shared state and rollback rebuild with the same
 // hyper-parameters shares one table.
 var (
 	logTabMu    sync.Mutex

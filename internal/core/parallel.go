@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/gas"
@@ -10,251 +11,226 @@ import (
 )
 
 // Parallel inference (§4.3, Alg 2). The dataset is laid out as the
-// bipartite graph of Fig 4: user vertices and time-slice vertices, with a
-// user–time edge holding the posts that user published in that slice, and
-// user–user edges carrying the link community indicators. Vertex-local
-// counters (n_i^{(c)} on user vertices, the n_{ckt} column on time
-// vertices) are rebuilt in the gather/apply phases each superstep;
-// scatter resamples assignments against the previous superstep's global
-// counters; Merge folds per-worker deltas into the globals — the
-// synchronous approximation standard for distributed collapsed Gibbs
-// samplers.
+// bipartite graph of Fig 4: user vertices and time-slice vertices, with
+// a user–time edge holding the posts that user published in that slice,
+// and user–user edges carrying the link community indicators.
+//
+// Unlike the first cut of this file, the program is *incremental* in
+// the GraphLab sense: it owns one full serial `state` (the same counter
+// matrices and derived float caches the serial sampler uses) as the
+// shared snapshot, and workers buffer their count adjustments in sparse
+// per-worker deltas that merge back into that state at batch
+// boundaries — O(entries touched), never O(C·K + K·V). There is no
+// gather/apply phase and no per-sweep counter rebuild: between merges
+// the state is read-only, and each merge refreshes exactly the derived
+// cache entries whose counters moved.
+//
+// Determinism does not depend on the worker count. The engines cut the
+// scatter order into token-mass-balanced shards as a function of the
+// graph alone, and every shard carries its own RNG stream seeded from
+// (cfg.Seed, shard id). Whichever worker executes a shard draws the
+// same variates, within-shard order is the edge order, and the buffered
+// deltas are integer additions (commutative, associative), so the
+// sampled chain — and the final model, bit for bit — is identical for
+// workers ∈ {1, 2, 4, 8, ...}. The 1-worker execution of this schedule
+// doubles as the canonical "serial" reference in the determinism tests.
 
-type coldVD struct {
-	user   bool
-	counts []int32 // user: per-community; time: per-(community,topic)
-}
+type coldVD struct{}
+
+// coldAcc is the (unused) gather accumulator: the program is
+// incremental, so the engines never run gather/apply.
+type coldAcc = struct{}
 
 type coldED struct {
 	link  int32   // link index, or -1 for a user–time edge
-	posts []int32 // post indices for user–time edges
+	posts []int32 // post indices for user–time edges, ascending
 }
 
+// coldCtx is one worker's scatter context: sparse count deltas buffered
+// against the shared state, plus kernel scratch. It carries no RNG —
+// randomness is keyed by shard, not worker (see coldProgram.shardRNG).
 type coldCtx struct {
-	r       *rng.RNG
-	dNCK    []int64 // C*K
-	dNCKSum []int64 // C
-	dNKV    []int64 // K*V
-	dNKVSum []int64 // K
-	dNCC    []int64 // C*C
-	dNSC    []int64 // C
-	dNDC    []int64 // C
-	wc, wk  []float64
+	dNIC    *delta // U*C  user–community (posts and link endpoints)
+	dNCK    *delta // C*K  posts per cell; also folds into nCKTSum
+	dNCKSum *delta // C
+	dNCKT   *delta // (C*K)*T
+	dNKV    *delta // K*V
+	dNKVSum *delta // K
+	dNCC    *delta // C*C
+	dNSC    *delta // C
+	dNDC    *delta // C
+	wc      []float64
+	wk      []float64
+}
+
+// resetDeltas clears every pending adjustment; required after a failed
+// superstep whose merge never ran, so a later merge cannot fold stale
+// deltas from the abandoned sweep.
+func (ctx *coldCtx) resetDeltas() {
+	for _, d := range []*delta{ctx.dNIC, ctx.dNCK, ctx.dNCKSum, ctx.dNCKT,
+		ctx.dNKV, ctx.dNKVSum, ctx.dNCC, ctx.dNSC, ctx.dNDC} {
+		d.reset()
+	}
 }
 
 type coldProgram struct {
-	cfg     Config
-	data    *corpus.Dataset
-	lambda0 float64
-	nNeg    float64
+	cfg  Config
+	data *corpus.Dataset
 
-	// Shared latent assignments; each post/link is owned by exactly one
-	// edge, so scatter writes race-free.
-	c, z, s, sp []int
+	// st is the single source of truth: assignments, integer counters
+	// and derived kernel caches, shared by every worker as the
+	// read-only snapshot between merge boundaries. Latent assignment
+	// writes (st.c/z/s/sp) are race-free because each post and link is
+	// owned by exactly one edge, hence one shard, hence one worker.
+	st *state
 
-	// Global counters, updated only in Merge.
-	nCK    []int64 // C*K (also n_{ck}^{(·)} since every post has one time stamp)
-	nCKSum []int64 // C
-	nKV    []int64 // K*V
-	nKVSum []int64 // K
-	nCC    []int64 // C*C
-	nSC    []int64 // C source link endpoints
-	nDC    []int64 // C destination link endpoints
+	// shardRNG holds one random stream per scatter shard, seeded from
+	// (cfg.Seed, shard id). The shard plan depends only on (data, cfg),
+	// so these streams — and the sampled chain — are identical under
+	// any worker count, and checkpoints restore onto any pool size.
+	shardRNG []*rng.RNG
 }
 
-// negMass mirrors state.negMass against the snapshot globals.
-func (p *coldProgram) negMass(a, b int) float64 {
-	if !p.cfg.NegCorrection {
-		return p.lambda0
-	}
-	links := float64(len(p.data.Links))
-	C := float64(p.cfg.C)
-	wa := (float64(p.nSC[a]) + 1) / (links + C)
-	wb := (float64(p.nDC[b]) + 1) / (links + C)
-	return p.nNeg * wa * wb
-}
+// Incremental declares that the program maintains all vertex-adjacent
+// state itself (nIC lives in st and is updated at merge boundaries), so
+// the engines skip gather/apply entirely.
+func (p *coldProgram) Incremental() bool { return true }
 
 func (p *coldProgram) NewCtx(worker int) *coldCtx {
-	cfg := p.cfg
+	cfg, data := p.cfg, p.data
 	return &coldCtx{
-		r:       rng.New(cfg.Seed + 0x9e3779b9*uint64(worker+1)),
-		dNCK:    make([]int64, cfg.C*cfg.K),
-		dNCKSum: make([]int64, cfg.C),
-		dNKV:    make([]int64, cfg.K*p.data.V),
-		dNKVSum: make([]int64, cfg.K),
-		dNCC:    make([]int64, cfg.C*cfg.C),
-		dNSC:    make([]int64, cfg.C),
-		dNDC:    make([]int64, cfg.C),
+		dNIC:    newDelta(data.U * cfg.C),
+		dNCK:    newDelta(cfg.C * cfg.K),
+		dNCKSum: newDelta(cfg.C),
+		dNCKT:   newDelta(cfg.C * cfg.K * data.T),
+		dNKV:    newDelta(cfg.K * data.V),
+		dNKVSum: newDelta(cfg.K),
+		dNCC:    newDelta(cfg.C * cfg.C),
+		dNSC:    newDelta(cfg.C),
+		dNDC:    newDelta(cfg.C),
 		wc:      make([]float64, cfg.C),
 		wk:      make([]float64, cfg.K),
 	}
 }
 
-// Gather returns the community (or community-topic) count contribution of
-// one incident edge, per lines 2–10 of Alg 2.
-func (p *coldProgram) Gather(g *gas.Graph[coldVD, coldED], v int32, e *gas.Edge[coldED]) []int32 {
-	vd := &g.Vertices[v]
-	if vd.user {
-		counts := make([]int32, p.cfg.C)
-		if e.Data.link >= 0 {
-			l := e.Data.link
-			if e.Src == v {
-				counts[p.s[l]]++
-			} else {
-				counts[p.sp[l]]++
-			}
-		} else {
-			for _, j := range e.Data.posts {
-				counts[p.c[j]]++
-			}
-		}
-		return counts
-	}
-	counts := make([]int32, p.cfg.C*p.cfg.K)
-	for _, j := range e.Data.posts {
-		counts[p.c[j]*p.cfg.K+p.z[j]]++
-	}
-	return counts
+// Gather, Sum and Apply are never called: the program is incremental,
+// so the engines skip the gather/apply phase.
+func (p *coldProgram) Gather(*gas.Graph[coldVD, coldED], int32, *gas.Edge[coldED]) coldAcc {
+	return coldAcc{}
+}
+func (p *coldProgram) Sum(a, _ coldAcc) coldAcc                               { return a }
+func (p *coldProgram) Apply(*gas.Graph[coldVD, coldED], int32, coldAcc, bool) {}
+
+// Scatter is unreachable: the engines always drive ScatterShard for
+// programs implementing gas.ShardScatterer.
+func (p *coldProgram) Scatter(*gas.Graph[coldVD, coldED], int32, *gas.Edge[coldED], *coldCtx) {
+	panic("core: coldProgram.Scatter called; engines must use ScatterShard")
 }
 
-func (p *coldProgram) Sum(a, b []int32) []int32 {
-	for i := range b {
-		a[i] += b[i]
-	}
-	return a
-}
-
-// GatherInto is the allocation-free gather path (gas.InPlaceGatherer):
-// the engine hands each worker one recyclable accumulator, so the
-// gather phase stops allocating a count vector per incident edge.
-func (p *coldProgram) GatherInto(g *gas.Graph[coldVD, coldED], v int32, e *gas.Edge[coldED], acc []int32, has bool) []int32 {
-	vd := &g.Vertices[v]
-	size := p.cfg.C * p.cfg.K
-	if vd.user {
-		size = p.cfg.C
-	}
-	if !has {
-		if cap(acc) < size {
-			acc = make([]int32, size)
-		} else {
-			acc = acc[:size]
-			for i := range acc {
-				acc[i] = 0
-			}
-		}
-	}
-	if vd.user {
-		if e.Data.link >= 0 {
-			l := e.Data.link
-			if e.Src == v {
-				acc[p.s[l]]++
-			} else {
-				acc[p.sp[l]]++
-			}
-		} else {
-			for _, j := range e.Data.posts {
-				acc[p.c[j]]++
-			}
-		}
-		return acc
-	}
-	K := p.cfg.K
-	for _, j := range e.Data.posts {
-		acc[p.c[j]*K+p.z[j]]++
-	}
-	return acc
-}
-
-// Apply installs the folded counts as the vertex's local counters.
-func (p *coldProgram) Apply(g *gas.Graph[coldVD, coldED], v int32, acc []int32, has bool) {
-	vd := &g.Vertices[v]
-	if !has {
-		for i := range vd.counts {
-			vd.counts[i] = 0
-		}
-		return
-	}
-	copy(vd.counts, acc)
-}
-
-// Scatter resamples the assignments carried by one edge (lines 19–26 of
-// Alg 2): posts on user–time edges via Eqs. (1) and (3), link indicator
-// pairs on user–user edges via Eq. (2).
-func (p *coldProgram) Scatter(g *gas.Graph[coldVD, coldED], eid int32, e *gas.Edge[coldED], ctx *coldCtx) {
+// EdgeWeight estimates one edge's scatter cost for token-mass shard
+// balancing: each post pays an Eq. (1) pass over C communities plus an
+// Eq. (3) pass dominated by ~K multiplies per token; a link pays two
+// O(C) endpoint passes.
+func (p *coldProgram) EdgeWeight(g *gas.Graph[coldVD, coldED], eid int32, e *gas.Edge[coldED]) int64 {
 	if e.Data.link >= 0 {
-		p.scatterLink(g, e, ctx)
-		return
+		return int64(2 * p.cfg.C)
 	}
-	p.scatterPosts(g, e, ctx)
+	var w int64
+	for _, j := range e.Data.posts {
+		w += int64(p.cfg.C) + int64(p.cfg.K)*int64(1+p.data.Posts[j].Words.Len())
+	}
+	return w
 }
 
-func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[coldED], ctx *coldCtx) {
-	cfg := p.cfg
-	C, K, V := cfg.C, cfg.K, p.data.V
-	userCounts := g.Vertices[e.Src].counts // n_i^{(c)} snapshot
-	timeCounts := g.Vertices[e.Dst].counts // n_{ck,t} column snapshot
-	kAlpha := float64(K) * cfg.Alpha
-	tEps := float64(p.data.T) * cfg.Epsilon
-	vBeta := float64(V) * cfg.Beta
+// ScatterShard resamples every assignment carried by the shard's edges
+// (lines 19–26 of Alg 2) using the shard's own RNG stream. beat is
+// ticked once per edge for the stall supervisor.
+func (p *coldProgram) ScatterShard(g *gas.Graph[coldVD, coldED], shard int, edges []int32, ctx *coldCtx, beat *gas.Beat) {
+	r := p.shardRNG[shard]
+	for _, eid := range edges {
+		if !beat.Next() {
+			return
+		}
+		e := &g.Edges[eid]
+		if e.Data.link >= 0 {
+			p.scatterLink(e, ctx, r)
+		} else {
+			p.scatterPosts(e, ctx, r)
+		}
+	}
+}
+
+// scatterPosts resamples the posts of one user–time edge with the PR 4
+// factored linear-domain kernel, reading the shared state's counters
+// and derived caches as of the last merge boundary. The post's own
+// contribution is excluded arithmetically (the snapshot twin of the
+// serial kernel's remove/add), falling back to the log-domain reference
+// on underflow exactly like the serial sampler.
+func (p *coldProgram) scatterPosts(e *gas.Edge[coldED], ctx *coldCtx, r *rng.RNG) {
+	st, cfg := p.st, p.cfg
+	d := st.dv
+	C, K, T, V := cfg.C, cfg.K, p.data.T, p.data.V
+	alpha, eps, rho, beta := cfg.Alpha, cfg.Epsilon, cfg.Rho, cfg.Beta
+	user := st.nIC[int(e.Src)]
+	t := int(e.Dst) - p.data.U
 
 	for _, j32 := range e.Data.posts {
 		j := int(j32)
 		post := &p.data.Posts[j]
-		oldC, oldZ := p.c[j], p.z[j]
+		oldC, oldZ := st.c[j], st.z[j]
 		oldCK := oldC*K + oldZ
-
-		// n with the post's snapshot contribution excluded.
-		excl := func(val int64, hit bool) float64 {
-			if hit {
-				val--
-			}
-			return float64(val)
-		}
 
 		// Eq. (1): resample the community given the current topic.
 		k := oldZ
 		total := 0.0
 		for c := 0; c < C; c++ {
 			ck := c*K + k
-			own := c == oldC // post contributes to c's counters iff c == oldC (z fixed at oldZ)
-			nIC := excl(int64(userCounts[c]), own)
-			nCK := excl(p.nCK[ck], own)
-			nCKSum := excl(p.nCKSum[c], own)
-			nCKT := excl(int64(timeCounts[ck]), own)
-			nCKTSum := nCK // one time stamp per post
-			w := (nIC + cfg.Rho) *
-				(nCK + cfg.Alpha) / (nCKSum + kAlpha) *
-				(nCKT + cfg.Epsilon) / (nCKTSum + tEps)
+			nIC := float64(user[c])
+			nCK := float64(st.nCK[c][k])
+			nCKT := float64(st.nCKT[ck][t])
+			ic := d.invCK[c]
+			it := d.invCKT[ck]
+			if c == oldC { // the post occupies this cell in the snapshot
+				nIC--
+				nCK--
+				nCKT--
+				ic = 1 / (d.denomCK[c] - 1)
+				it = 1 / (d.denomCKT[ck] - 1)
+			}
+			w := (nIC + rho) * (nCK + alpha) * ic * (nCKT + eps) * it
 			ctx.wc[c] = w
 			total += w
 		}
-		newC := ctx.r.CategoricalTotal(ctx.wc, total)
-		p.c[j] = newC
+		newC := r.CategoricalTotal(ctx.wc, total)
+		st.c[j] = newC
 
-		// Eq. (3): resample the topic given the fresh community. Same
-		// factored linear-domain kernel as the serial sampler (gibbs.go),
-		// against the superstep's snapshot counters, with the identical
-		// underflow fallback to the log-domain reference.
+		// Eq. (3): resample the topic given the fresh community.
 		nTokens := post.Words.Len()
 		ids, counts := post.Words.IDs, post.Words.Counts
+		ckBase := newC * K
 		fast := nTokens <= fastTokenCap
 		if fast {
 			maxW := 0.0
 			total = 0
 			for k := 0; k < K; k++ {
-				ck := newC*K + k
-				own := newC == oldC && k == oldZ
-				nCK := excl(p.nCK[ck], own)
-				nCKT := excl(int64(timeCounts[ck]), own)
+				ck := ckBase + k
+				nCK := float64(st.nCK[newC][k])
+				nCKT := float64(st.nCKT[ck][t])
+				it := d.invCKT[ck]
+				if newC == oldC && k == oldZ {
+					nCK--
+					nCKT--
+					it = 1 / (d.denomCKT[ck] - 1)
+				}
 				ownWords := k == oldZ
-				base := float64(p.nKVSum[k]) + vBeta
+				base := d.denomKV[k]
 				if ownWords {
 					base -= float64(nTokens)
 				}
-				kOff := k * V
+				row := st.nKV[k]
 				num := 1.0
 				for i, v := range ids {
-					nv := float64(p.nKV[kOff+v]) + cfg.Beta
+					nv := float64(row[v]) + beta
 					if ownWords {
 						nv -= float64(counts[i])
 					}
@@ -270,7 +246,8 @@ func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[col
 				if w > maxW {
 					maxW = w
 				}
-				w *= (nCK + cfg.Alpha) * (nCKT + cfg.Epsilon) / (nCK + tEps)
+				// nCKTSum for a cell equals nCK (one stamp per post).
+				w *= (nCK + alpha) * (nCKT + eps) * it
 				ctx.wk[k] = w
 				total += w
 			}
@@ -281,20 +258,24 @@ func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[col
 		if !fast {
 			maxLog := math.Inf(-1)
 			for k := 0; k < K; k++ {
-				ck := newC*K + k
-				own := newC == oldC && k == oldZ
-				nCK := excl(p.nCK[ck], own)
-				nCKT := excl(int64(timeCounts[ck]), own)
-				lw := math.Log(nCK + cfg.Alpha)
-				lw += math.Log(nCKT+cfg.Epsilon) - math.Log(nCK+tEps)
+				ck := ckBase + k
+				nCK := float64(st.nCK[newC][k])
+				nCKT := float64(st.nCKT[ck][t])
+				den := d.denomCKT[ck]
+				if newC == oldC && k == oldZ {
+					nCK--
+					nCKT--
+					den--
+				}
+				lw := math.Log(nCK+alpha) + math.Log(nCKT+eps) - math.Log(den)
 				ownWords := k == oldZ
-				base := float64(p.nKVSum[k]) + vBeta
+				base := d.denomKV[k]
 				if ownWords {
 					base -= float64(nTokens)
 				}
-				kOff := k * V
+				row := st.nKV[k]
 				for i, v := range ids {
-					nv := float64(p.nKV[kOff+v]) + cfg.Beta
+					nv := float64(row[v]) + beta
 					if ownWords {
 						nv -= float64(counts[i])
 					}
@@ -317,174 +298,229 @@ func (p *coldProgram) scatterPosts(g *gas.Graph[coldVD, coldED], e *gas.Edge[col
 				total += w
 			}
 		}
-		newZ := ctx.r.CategoricalTotal(ctx.wk, total)
-		p.z[j] = newZ
+		newZ := r.CategoricalTotal(ctx.wk, total)
+		st.z[j] = newZ
 
-		// Record deltas against the snapshot.
+		// Record sparse deltas against the snapshot.
 		if newC != oldC || newZ != oldZ {
-			ctx.dNCK[oldCK]--
-			ctx.dNCK[newC*K+newZ]++
-			ctx.dNCKSum[oldC]--
-			ctx.dNCKSum[newC]++
+			newCK := ckBase + newZ
+			ctx.dNCK.add(oldCK, -1)
+			ctx.dNCK.add(newCK, 1)
+			ctx.dNCKT.add(oldCK*T+t, -1)
+			ctx.dNCKT.add(newCK*T+t, 1)
+		}
+		if newC != oldC {
+			ctx.dNCKSum.add(oldC, -1)
+			ctx.dNCKSum.add(newC, 1)
+			uBase := int(e.Src) * C
+			ctx.dNIC.add(uBase+oldC, -1)
+			ctx.dNIC.add(uBase+newC, 1)
 		}
 		if newZ != oldZ {
 			for i, v := range ids {
-				ctx.dNKV[oldZ*V+v] -= int64(counts[i])
-				ctx.dNKV[newZ*V+v] += int64(counts[i])
+				ctx.dNKV.add(oldZ*V+v, -int64(counts[i]))
+				ctx.dNKV.add(newZ*V+v, int64(counts[i]))
 			}
-			ctx.dNKVSum[oldZ] -= int64(nTokens)
-			ctx.dNKVSum[newZ] += int64(nTokens)
+			ctx.dNKVSum.add(oldZ, -int64(nTokens))
+			ctx.dNKVSum.add(newZ, int64(nTokens))
 		}
 	}
 }
 
-func (p *coldProgram) scatterLink(g *gas.Graph[coldVD, coldED], e *gas.Edge[coldED], ctx *coldCtx) {
-	cfg := p.cfg
+// scatterLink resamples one link's endpoint pair via Eq. (2) against
+// the snapshot counters.
+func (p *coldProgram) scatterLink(e *gas.Edge[coldED], ctx *coldCtx, r *rng.RNG) {
+	st, cfg := p.st, p.cfg
 	C := cfg.C
-	l := e.Data.link
-	srcCounts := g.Vertices[e.Src].counts
-	dstCounts := g.Vertices[e.Dst].counts
-	oldA, oldB := p.s[l], p.sp[l]
-	l1 := cfg.Lambda1
+	l := int(e.Data.link)
+	src := st.nIC[int(e.Src)]
+	dst := st.nIC[int(e.Dst)]
+	oldA, oldB := st.s[l], st.sp[l]
+	l1, rho := cfg.Lambda1, cfg.Rho
 
 	// Source endpoint given the destination's current community.
 	total := 0.0
 	for c := 0; c < C; c++ {
-		nIC := float64(srcCounts[c])
+		nIC := float64(src[c])
+		n := float64(st.nCC[c][oldB])
 		if c == oldA {
 			nIC--
-		}
-		n := float64(p.nCC[c*C+oldB])
-		if c == oldA {
 			n--
 		}
-		w := (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(c, oldB) + l1)
+		w := (nIC + rho) * (n + l1) / (n + st.negMass(c, oldB) + l1)
 		ctx.wc[c] = w
 		total += w
 	}
-	newA := ctx.r.CategoricalTotal(ctx.wc, total)
+	newA := r.CategoricalTotal(ctx.wc, total)
 
 	// Destination endpoint given the fresh source community.
 	total = 0
 	for c := 0; c < C; c++ {
-		nIC := float64(dstCounts[c])
+		nIC := float64(dst[c])
 		if c == oldB {
 			nIC--
 		}
-		n := float64(p.nCC[newA*C+c])
+		n := float64(st.nCC[newA][c])
 		if newA == oldA && c == oldB {
 			n--
 		}
-		w := (nIC + cfg.Rho) * (n + l1) / (n + p.negMass(newA, c) + l1)
+		w := (nIC + rho) * (n + l1) / (n + st.negMass(newA, c) + l1)
 		ctx.wc[c] = w
 		total += w
 	}
-	newB := ctx.r.CategoricalTotal(ctx.wc, total)
+	newB := r.CategoricalTotal(ctx.wc, total)
 
-	p.s[l], p.sp[l] = newA, newB
+	st.s[l], st.sp[l] = newA, newB
 	if newA != oldA || newB != oldB {
-		ctx.dNCC[oldA*C+oldB]--
-		ctx.dNCC[newA*C+newB]++
+		ctx.dNCC.add(oldA*C+oldB, -1)
+		ctx.dNCC.add(newA*C+newB, 1)
 	}
 	if newA != oldA {
-		ctx.dNSC[oldA]--
-		ctx.dNSC[newA]++
+		ctx.dNSC.add(oldA, -1)
+		ctx.dNSC.add(newA, 1)
+		fb := int(e.Src) * C
+		ctx.dNIC.add(fb+oldA, -1)
+		ctx.dNIC.add(fb+newA, 1)
 	}
 	if newB != oldB {
-		ctx.dNDC[oldB]--
-		ctx.dNDC[newB]++
+		ctx.dNDC.add(oldB, -1)
+		ctx.dNDC.add(newB, 1)
+		tb := int(e.Dst) * C
+		ctx.dNIC.add(tb+oldB, -1)
+		ctx.dNIC.add(tb+newB, 1)
 	}
 }
 
-// Merge folds every worker's deltas into the global counters — the
-// periodic global aggregation of §4.3.
-func (p *coldProgram) Merge(ctxs []*coldCtx) {
+// MergeBoundary folds every worker's buffered deltas into the shared
+// state — O(total entries touched) — and refreshes exactly the derived
+// cache entries whose underlying counters moved, so the caches stay
+// bit-identical to a from-scratch rebuild without ever paying for one.
+// The ChromaticEngine calls it at every batch boundary (later batches
+// then sample against fresh counters); Merge at superstep end folds the
+// final batch. Worker order is fixed (ctxs index order) but immaterial:
+// the deltas are integer additions, which commute.
+func (p *coldProgram) MergeBoundary(ctxs []*coldCtx) {
+	st := p.st
+	d := st.dv
+	C, K, T, V := p.cfg.C, p.cfg.K, p.data.T, p.data.V
 	for _, ctx := range ctxs {
-		foldInto(p.nCK, ctx.dNCK)
-		foldInto(p.nCKSum, ctx.dNCKSum)
-		foldInto(p.nKV, ctx.dNKV)
-		foldInto(p.nKVSum, ctx.dNKVSum)
-		foldInto(p.nCC, ctx.dNCC)
-		foldInto(p.nSC, ctx.dNSC)
-		foldInto(p.nDC, ctx.dNDC)
-	}
-}
-
-func foldInto(dst, delta []int64) {
-	for i, d := range delta {
-		if d != 0 {
-			dst[i] += d
-			delta[i] = 0
-		}
-	}
-}
-
-// zeroDeltas clears every pending global-state delta; required after a
-// failed superstep whose Merge never ran, so a later merge cannot apply
-// stale deltas from the abandoned sweep.
-func (ctx *coldCtx) zeroDeltas() {
-	for _, d := range [][]int64{ctx.dNCK, ctx.dNCKSum, ctx.dNKV, ctx.dNKVSum, ctx.dNCC, ctx.dNSC, ctx.dNDC} {
-		for i := range d {
-			d[i] = 0
-		}
-	}
-}
-
-// rebuildCounters recomputes the global counters from the current
-// assignments (their pure function), for initialisation and rollback.
-func (p *coldProgram) rebuildCounters() {
-	for _, d := range [][]int64{p.nCK, p.nCKSum, p.nKV, p.nKVSum, p.nCC, p.nSC, p.nDC} {
-		for i := range d {
-			d[i] = 0
-		}
-	}
-	K, V := p.cfg.K, p.data.V
-	for j := range p.data.Posts {
-		c, z := p.c[j], p.z[j]
-		p.nCK[c*K+z]++
-		p.nCKSum[c]++
-		p.data.Posts[j].Words.Each(func(v, count int) {
-			p.nKV[z*V+v] += int64(count)
-			p.nKVSum[z] += int64(count)
-		})
-	}
-	if p.cfg.UseLinks {
-		for l := range p.data.Links {
-			p.nCC[p.s[l]*p.cfg.C+p.sp[l]]++
-			p.nSC[p.s[l]]++
-			p.nDC[p.sp[l]]++
-		}
-	}
-}
-
-// negativeCounter returns the name of the first negative global counter,
-// or "" when all are sane (the parallel twin of state.negativeCounter).
-func (p *coldProgram) negativeCounter() string {
-	checks := []struct {
-		name string
-		vec  []int64
-	}{
-		{"nCK", p.nCK}, {"nCKSum", p.nCKSum}, {"nKV", p.nKV}, {"nKVSum", p.nKVSum},
-		{"nCC", p.nCC}, {"nSC", p.nSC}, {"nDC", p.nDC},
-	}
-	for _, ch := range checks {
-		for i, v := range ch.vec {
-			if v < 0 {
-				return fmt.Sprintf("%s[%d]=%d", ch.name, i, v)
+		dl := ctx.dNIC
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				st.nIC[int(i)/C][int(i)%C] += int(v)
 			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
 		}
+		dl.touched = dl.touched[:0]
+
+		// nIC totals never change when assignments move, so nICSum needs
+		// no delta. nCK cells double as per-cell time totals (nCKTSum).
+		dl = ctx.dNCK
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				ck := int(i)
+				st.nCK[ck/K][ck%K] += int(v)
+				st.nCKTSum[ck] += int(v)
+				d.refreshCKT(st, ck)
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNCKSum
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				st.nCKSum[i] += int(v)
+				d.refreshCK(st, int(i))
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNCKT
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				ckt := int(i)
+				st.nCKT[ckt/T][ckt%T] += int(v)
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNKV
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				kv := int(i)
+				st.nKV[kv/V][kv%V] += int(v)
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNKVSum
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				st.nKVSum[i] += int(v)
+				d.refreshKV(st, int(i))
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNCC
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				cc := int(i)
+				st.nCC[cc/C][cc%C] += int(v)
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNSC
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				st.nSC[i] += int(v)
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
+
+		dl = ctx.dNDC
+		for _, i := range dl.touched {
+			if v := dl.vals[i]; v != 0 {
+				st.nDC[i] += int(v)
+			}
+			dl.vals[i] = 0
+			dl.mark[i] = false
+		}
+		dl.touched = dl.touched[:0]
 	}
-	return ""
 }
+
+// Merge folds any deltas still buffered after the last batch. With
+// boundary merging it is O(workers) — everything was already folded.
+func (p *coldProgram) Merge(ctxs []*coldCtx) { p.MergeBoundary(ctxs) }
 
 // coldEngine is the engine surface the parallel sampler needs: stepping
-// with contained panics, access to per-worker contexts for RNG
-// checkpointing, and metrics attachment.
+// with contained panics, per-worker contexts, shard count for RNG
+// stream sizing, and scatter timing for the bench layer.
 type coldEngine interface {
 	Step() error
 	Ctxs() []*coldCtx
 	SetMetrics(*gas.Metrics)
 	SetStallPolicy(*gas.StallPolicy)
+	NumShards() int
+	Stats() gas.EngineStats
+	ResetStats()
 }
 
 // parallelSampler adapts the GAS sampler (cfg.Workers goroutine workers
@@ -493,80 +529,39 @@ type parallelSampler struct {
 	prog   *coldProgram
 	engine coldEngine
 	r      *rng.RNG // main stream; only consumed during initialisation
-	// snap is the serial-state view of the program's assignments, built
-	// once and then refreshed in place (rebuildCounts) when dirty; it
-	// shares the c/z/s/sp backing slices with prog, so a refresh only
-	// re-derives counters — no per-sweep allocation.
-	snap      *state
-	snapDirty bool
 }
 
-func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics, sp *gas.StallPolicy) (*parallelSampler, error) {
-	r := rng.New(cfg.Seed)
-	prog := &coldProgram{
-		cfg:     cfg,
-		data:    data,
-		lambda0: cfg.lambda0(data.U, len(data.Links)),
-		nNeg:    negCount(data.U, len(data.Links)),
-		c:       make([]int, len(data.Posts)),
-		z:       make([]int, len(data.Posts)),
-		nCK:     make([]int64, cfg.C*cfg.K),
-		nCKSum:  make([]int64, cfg.C),
-		nKV:     make([]int64, cfg.K*data.V),
-		nKVSum:  make([]int64, cfg.K),
-		nCC:     make([]int64, cfg.C*cfg.C),
-		nSC:     make([]int64, cfg.C),
-		nDC:     make([]int64, cfg.C),
+// buildColdGraph lays the dataset out as the bipartite graph of Fig 4
+// in canonical order: user–time post edges grouped by user (then time),
+// so contiguous shard spans cover runs of consecutive users and one
+// user's nIC row stays hot inside one worker, followed by the link
+// edges in dataset order. The order — and therefore the shard plan and
+// the sampled chain — is a pure function of the dataset.
+func buildColdGraph(data *corpus.Dataset, cfg Config) *gas.Graph[coldVD, coldED] {
+	g := gas.NewGraph[coldVD, coldED](make([]coldVD, data.U+data.T))
+	order := make([]int32, len(data.Posts))
+	for j := range order {
+		order[j] = int32(j)
 	}
-	if cfg.UseLinks {
-		prog.s = make([]int, len(data.Links))
-		prog.sp = make([]int, len(data.Links))
-	}
-
-	if resume == nil {
-		// Random initialisation, mirrored into the global counters.
-		for j := range data.Posts {
-			prog.c[j] = r.Intn(cfg.C)
-			prog.z[j] = r.Intn(cfg.K)
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := &data.Posts[order[a]], &data.Posts[order[b]]
+		if pa.User != pb.User {
+			return pa.User < pb.User
 		}
-		if cfg.UseLinks {
-			for l := range data.Links {
-				prog.s[l] = r.Intn(cfg.C)
-				prog.sp[l] = r.Intn(cfg.C)
-			}
+		if pa.Time != pb.Time {
+			return pa.Time < pb.Time
 		}
-	} else {
-		if err := validateAssignments(data, cfg, resume.C, resume.Z, resume.S, resume.SP); err != nil {
-			return nil, err
-		}
-		copy(prog.c, resume.C)
-		copy(prog.z, resume.Z)
-		if cfg.UseLinks {
-			copy(prog.s, resume.S)
-			copy(prog.sp, resume.SP)
-		}
-	}
-	prog.rebuildCounters()
-
-	// Build the bipartite graph of Fig 4: users then time slices.
-	vertices := make([]coldVD, data.U+data.T)
-	for i := 0; i < data.U; i++ {
-		vertices[i] = coldVD{user: true, counts: make([]int32, cfg.C)}
-	}
-	for t := 0; t < data.T; t++ {
-		vertices[data.U+t] = coldVD{counts: make([]int32, cfg.C*cfg.K)}
-	}
-	g := gas.NewGraph[coldVD, coldED](vertices)
-	type utKey struct{ u, t int }
-	utEdges := make(map[utKey]int32)
-	for j, post := range data.Posts {
-		key := utKey{post.User, post.Time}
-		eid, ok := utEdges[key]
-		if !ok {
+		return order[a] < order[b]
+	})
+	eid := int32(-1)
+	lastU, lastT := -1, -1
+	for _, j := range order {
+		post := &data.Posts[j]
+		if post.User != lastU || post.Time != lastT {
 			eid = g.AddEdge(int32(post.User), int32(data.U+post.Time), coldED{link: -1})
-			utEdges[key] = eid
+			lastU, lastT = post.User, post.Time
 		}
-		g.Edges[eid].Data.posts = append(g.Edges[eid].Data.posts, int32(j))
+		g.Edges[eid].Data.posts = append(g.Edges[eid].Data.posts, j)
 	}
 	if cfg.UseLinks {
 		for l, e := range data.Links {
@@ -574,12 +569,36 @@ func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm
 		}
 	}
 	g.Finalize()
+	return g
+}
 
+func newParallelSampler(data *corpus.Dataset, cfg Config, resume *Checkpoint, gm *gas.Metrics, sp *gas.StallPolicy) (*parallelSampler, error) {
+	r := rng.New(cfg.Seed)
+	var st *state
+	if resume == nil {
+		// Random initialisation — the same draw order as the serial
+		// sampler, so serial and parallel runs start from one chain.
+		st = newState(data, cfg, r)
+	} else {
+		var err error
+		st, err = stateFromAssignments(data, cfg, resume.C, resume.Z, resume.S, resume.SP)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.ensureDerived()
+	prog := &coldProgram{cfg: cfg, data: data, st: st}
+
+	g := buildColdGraph(data, cfg)
 	var engine coldEngine
 	if cfg.Chromatic {
-		engine = gas.NewChromaticEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
+		engine = gas.NewChromaticEngine[coldVD, coldED, coldAcc, *coldCtx](g, prog, cfg.Workers)
 	} else {
-		engine = gas.NewEngine[coldVD, coldED, []int32, *coldCtx](g, prog, cfg.Workers)
+		engine = gas.NewEngine[coldVD, coldED, coldAcc, *coldCtx](g, prog, cfg.Workers)
+	}
+	prog.shardRNG = make([]*rng.RNG, engine.NumShards())
+	for i := range prog.shardRNG {
+		prog.shardRNG[i] = rng.New(cfg.Seed + 0x9e3779b9*uint64(i+1))
 	}
 	if gm != nil {
 		engine.SetMetrics(gm)
@@ -602,113 +621,72 @@ func (p *parallelSampler) sweep() (err error) {
 			err = fmt.Errorf("core: parallel sweep panicked: %v", rec)
 		}
 	}()
-	p.snapDirty = true
 	return p.engine.Step()
 }
 
-// materialized returns the counters of the latest sweep, refreshing the
-// persistent snapshot state in place when a sweep (or rollback) has run
-// since the last call.
-func (p *parallelSampler) materialized() *state {
-	if p.snap == nil {
-		p.snap = p.prog.materialize()
-		p.snapDirty = false
-	} else if p.snapDirty {
-		p.snap.rebuildCounts()
-		p.snapDirty = false
-	}
-	return p.snap
-}
+// The shared state is always merge-fresh, so likelihood monitoring,
+// estimation and health probes read it directly — no per-sweep
+// materialisation or counter rebuild.
+func (p *parallelSampler) logLikelihood() float64 { return p.prog.st.logLikelihood() }
+func (p *parallelSampler) estimate() *Model       { return p.prog.st.estimate() }
+func (p *parallelSampler) health() string         { return p.prog.st.negativeCounter() }
 
-func (p *parallelSampler) logLikelihood() float64 { return p.materialized().logLikelihood() }
-func (p *parallelSampler) estimate() *Model       { return p.materialized().estimate() }
-func (p *parallelSampler) health() string         { return p.prog.negativeCounter() }
+// engineStats exposes the engine's accumulated scatter timing (busy,
+// barrier, serial merge, per-batch critical path) for the bench layer.
+func (p *parallelSampler) engineStats() gas.EngineStats { return p.engine.Stats() }
+
+// resetEngineStats clears the accumulated timing (e.g. after warmup).
+func (p *parallelSampler) resetEngineStats() { p.engine.ResetStats() }
 
 func (p *parallelSampler) rngStates() [][4]uint64 {
-	ctxs := p.engine.Ctxs()
-	states := make([][4]uint64, 0, 1+len(ctxs))
+	states := make([][4]uint64, 0, 1+len(p.prog.shardRNG))
 	states = append(states, p.r.State())
-	for _, ctx := range ctxs {
-		states = append(states, ctx.r.State())
+	for _, sr := range p.prog.shardRNG {
+		states = append(states, sr.State())
 	}
 	return states
 }
 
 func (p *parallelSampler) restoreRNG(states [][4]uint64) error {
-	ctxs := p.engine.Ctxs()
-	if len(states) != 1+len(ctxs) {
-		return fmt.Errorf("core: parallel sampler expects %d RNG streams (1 main + %d workers), checkpoint has %d", 1+len(ctxs), len(ctxs), len(states))
+	n := len(p.prog.shardRNG)
+	if len(states) != 1+n {
+		return fmt.Errorf("core: parallel sampler expects %d RNG streams (1 main + %d shard streams), checkpoint has %d", 1+n, n, len(states))
 	}
 	p.r.Restore(states[0])
-	for i, ctx := range ctxs {
-		ctx.r.Restore(states[i+1])
+	for i, sr := range p.prog.shardRNG {
+		sr.Restore(states[i+1])
 	}
 	return nil
 }
 
 func (p *parallelSampler) reseed(salt uint64) {
 	p.r = rng.New(p.r.Uint64() ^ salt)
-	for _, ctx := range p.engine.Ctxs() {
-		ctx.r = rng.New(ctx.r.Uint64() ^ salt)
+	for i, sr := range p.prog.shardRNG {
+		p.prog.shardRNG[i] = rng.New(sr.Uint64() ^ salt)
 	}
 }
 
 func (p *parallelSampler) assignments() (c, z, s, sp []int) {
-	return p.prog.c, p.prog.z, p.prog.s, p.prog.sp
+	st := p.prog.st
+	return st.c, st.z, st.s, st.sp
 }
 
 func (p *parallelSampler) setAssignments(c, z, s, sp []int) error {
+	st := p.prog.st
 	if err := validateAssignments(p.prog.data, p.prog.cfg, c, z, s, sp); err != nil {
 		return err
 	}
-	copy(p.prog.c, c)
-	copy(p.prog.z, z)
+	copy(st.c, c)
+	copy(st.z, z)
 	if p.prog.cfg.UseLinks {
-		copy(p.prog.s, s)
-		copy(p.prog.sp, sp)
+		copy(st.s, s)
+		copy(st.sp, sp)
 	}
-	p.prog.rebuildCounters()
-	// A failed superstep may have died before Merge: drop its deltas so
-	// the next merge starts from a clean slate.
+	st.rebuildCounts()
+	// A failed superstep may have died between merge boundaries: drop
+	// buffered deltas so the next merge starts from a clean slate.
 	for _, ctx := range p.engine.Ctxs() {
-		ctx.zeroDeltas()
+		ctx.resetDeltas()
 	}
-	p.snapDirty = true
 	return nil
-}
-
-// materialize reconstructs a full serial state (all counters) from the
-// parallel program's assignments, for likelihood monitoring and
-// estimation.
-func (p *coldProgram) materialize() *state {
-	st := &state{
-		cfg:     p.cfg,
-		data:    p.data,
-		lambda0: p.lambda0,
-		nNeg:    p.nNeg,
-		c:       p.c,
-		z:       p.z,
-		s:       p.s,
-		sp:      p.sp,
-		nIC:     intMatrix(p.data.U, p.cfg.C),
-		nICSum:  make([]int, p.data.U),
-		nCK:     intMatrix(p.cfg.C, p.cfg.K),
-		nCKSum:  make([]int, p.cfg.C),
-		nCKT:    intMatrix(p.cfg.C*p.cfg.K, p.data.T),
-		nCKTSum: make([]int, p.cfg.C*p.cfg.K),
-		nKV:     intMatrix(p.cfg.K, p.data.V),
-		nKVSum:  make([]int, p.cfg.K),
-		nCC:     intMatrix(p.cfg.C, p.cfg.C),
-		nSC:     make([]int, p.cfg.C),
-		nDC:     make([]int, p.cfg.C),
-	}
-	for j := range p.data.Posts {
-		st.addPost(j)
-	}
-	if p.cfg.UseLinks {
-		for l := range p.data.Links {
-			st.addLink(l)
-		}
-	}
-	return st
 }

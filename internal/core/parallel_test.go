@@ -123,22 +123,132 @@ func TestParallelNoLink(t *testing.T) {
 	}
 }
 
-func TestMaterializeConsistent(t *testing.T) {
+// TestParallelMergedStateConsistent sweeps the parallel sampler and then
+// recomputes every counter from the merged assignments: the sparse-delta
+// folds must leave the shared state exactly where a from-scratch rebuild
+// would put it (including derived float caches, which checkInvariants
+// re-derives through rebuildCounts).
+func TestParallelMergedStateConsistent(t *testing.T) {
 	data, _, err := synth.Generate(synth.Config{U: 30, C: 3, K: 3, T: 6, V: 60,
 		PostsPerUser: 5, WordsPerPost: 5, LinksPerUser: 3, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig(3, 3).withDefaults()
-	cfg.Workers = 2
-	cfg.Iterations, cfg.BurnIn = 4, 2
-	// Run parallel training, then verify materialized counters satisfy
-	// the same invariants the serial state maintains.
-	m, _, err := TrainWithStats(data, cfg)
+	for _, chromatic := range []bool{true, false} {
+		cfg := DefaultConfig(3, 3).withDefaults()
+		cfg.Workers = 2
+		cfg.Chromatic = chromatic
+		smp, err := newParallelSampler(data, cfg, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := smp.sweep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := smp.prog.st.checkInvariants(); err != nil {
+			t.Fatalf("chromatic=%v: merged state inconsistent: %v", chromatic, err)
+		}
+	}
+}
+
+// TestParallelBitIdenticalAcrossWorkers is the determinism matrix: the
+// parallel sampler must produce bit-identical assignments for workers ∈
+// {1, 2, 4, 8} on the small and medium presets, for both engines. The
+// 1-worker leg is the serial reference execution of the shard schedule,
+// so agreement with it is agreement with the serial chain.
+func TestParallelBitIdenticalAcrossWorkers(t *testing.T) {
+	presets := []struct {
+		name string
+		cfg  synth.Config
+	}{
+		{"small", synth.Small(21)},
+		{"medium", synth.Medium(22)},
+	}
+	if testing.Short() {
+		presets = presets[:1]
+	}
+	workers := []int{1, 2, 4, 8}
+	for _, p := range presets {
+		data, _, err := synth.Generate(p.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chromatic := range []bool{true, false} {
+			var refC, refZ, refS, refSP []int
+			for _, w := range workers {
+				cfg := DefaultConfig(p.cfg.C, p.cfg.K).withDefaults()
+				cfg.Workers, cfg.Chromatic, cfg.Seed = w, chromatic, 7
+				smp, err := newParallelSampler(data, cfg, nil, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sweeps := 3
+				if p.name == "medium" {
+					sweeps = 2
+				}
+				for i := 0; i < sweeps; i++ {
+					if err := smp.sweep(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c, z, s, sp := smp.assignments()
+				if w == 1 {
+					refC = append([]int(nil), c...)
+					refZ = append([]int(nil), z...)
+					refS = append([]int(nil), s...)
+					refSP = append([]int(nil), sp...)
+					continue
+				}
+				for name, pair := range map[string][2][]int{
+					"c": {refC, c}, "z": {refZ, z}, "s": {refS, s}, "sp": {refSP, sp},
+				} {
+					for i := range pair[0] {
+						if pair[0][i] != pair[1][i] {
+							t.Fatalf("%s chromatic=%v: %s[%d] differs between 1 and %d workers: %d vs %d",
+								p.name, chromatic, name, i, w, pair[0][i], pair[1][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSweepZeroAllocs is the parallel twin of the serial kernel
+// alloc tests: after the first sweep has populated the shard plan and
+// worker pool, a steady-state sweep must not touch the heap.
+func TestParallelSweepZeroAllocs(t *testing.T) {
+	data, _, err := synth.Generate(synth.Config{U: 40, C: 3, K: 4, T: 8, V: 80,
+		PostsPerUser: 6, WordsPerPost: 6, LinksPerUser: 4, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = m
+	for _, chromatic := range []bool{true, false} {
+		for _, w := range []int{1, 4} {
+			cfg := DefaultConfig(3, 4).withDefaults()
+			cfg.Workers, cfg.Chromatic = w, chromatic
+			smp, err := newParallelSampler(data, cfg, nil, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if err := smp.sweep(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if err := smp.sweep(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("chromatic=%v workers=%d: parallel sweep allocates %.2f objects, want 0",
+					chromatic, w, avg)
+			}
+		}
+	}
 }
 
 func TestChromaticTrainerWorks(t *testing.T) {

@@ -170,7 +170,7 @@ type sweeper interface {
 	logLikelihood() float64 // after the latest sweep
 	estimate() *Model       // point estimates of the current sample
 	health() string         // "" or a description of corrupted counters
-	rngStates() [][4]uint64 // [0] is the main stream, rest are workers
+	rngStates() [][4]uint64 // [0] is the main stream, rest are shard streams
 	restoreRNG([][4]uint64) error
 	reseed(salt uint64)                     // perturb all streams after a rollback
 	assignments() (c, z, s, sp []int)       // live slices; caller must copy

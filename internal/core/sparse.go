@@ -1,0 +1,41 @@
+package core
+
+// delta is a sparse accumulator of pending int64 adjustments over a
+// dense index space [0, n). Adds are O(1) against the dense vals array;
+// folding and clearing walk only the touched list, so a sweep's merge
+// and reset cost O(entries actually touched) instead of O(n) — the
+// property that lets per-worker count deltas span K·V-sized matrices
+// without every superstep paying for the whole matrix. touched is
+// preallocated to full capacity, so steady-state sweeps never grow it.
+type delta struct {
+	vals    []int64
+	touched []int32
+	mark    []bool
+}
+
+func newDelta(n int) *delta {
+	return &delta{
+		vals:    make([]int64, n),
+		touched: make([]int32, 0, n),
+		mark:    make([]bool, n),
+	}
+}
+
+// add accumulates v at index i.
+func (d *delta) add(i int, v int64) {
+	if !d.mark[i] {
+		d.mark[i] = true
+		d.touched = append(d.touched, int32(i))
+	}
+	d.vals[i] += v
+}
+
+// reset drops all pending adjustments in O(touched). A touched entry
+// whose adds cancelled to zero is dropped like any other.
+func (d *delta) reset() {
+	for _, i := range d.touched {
+		d.vals[i] = 0
+		d.mark[i] = false
+	}
+	d.touched = d.touched[:0]
+}

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+func TestDeltaAddFoldReset(t *testing.T) {
+	d := newDelta(10)
+	d.add(3, 2)
+	d.add(7, -1)
+	d.add(3, 5)
+	if len(d.touched) != 2 {
+		t.Fatalf("touched %v, want exactly {3,7}", d.touched)
+	}
+	if d.vals[3] != 7 || d.vals[7] != -1 {
+		t.Fatalf("vals[3]=%d vals[7]=%d, want 7 and -1", d.vals[3], d.vals[7])
+	}
+	d.reset()
+	if len(d.touched) != 0 {
+		t.Fatalf("touched not cleared: %v", d.touched)
+	}
+	for i, v := range d.vals {
+		if v != 0 {
+			t.Fatalf("vals[%d]=%d after reset", i, v)
+		}
+	}
+	for i, m := range d.mark {
+		if m {
+			t.Fatalf("mark[%d] still set after reset", i)
+		}
+	}
+	// Reuse after reset must re-track touched indices.
+	d.add(7, 4)
+	if len(d.touched) != 1 || d.touched[0] != 7 || d.vals[7] != 4 {
+		t.Fatalf("reuse after reset broken: touched=%v vals[7]=%d", d.touched, d.vals[7])
+	}
+}
+
+func TestDeltaCancellingAddsStayTouched(t *testing.T) {
+	d := newDelta(4)
+	d.add(2, 1)
+	d.add(2, -1)
+	if d.vals[2] != 0 {
+		t.Fatalf("vals[2]=%d, want 0", d.vals[2])
+	}
+	if len(d.touched) != 1 {
+		t.Fatalf("cancelled entry must stay on the touched list until reset")
+	}
+	d.reset()
+	if len(d.touched) != 0 || d.mark[2] {
+		t.Fatal("reset did not clear cancelled entry")
+	}
+}
+
+// TestDeltaNoGrowth pins the zero-alloc contract: a delta preallocates
+// its touched list to full capacity, so no sequence of adds can grow it.
+func TestDeltaNoGrowth(t *testing.T) {
+	const n = 257
+	d := newDelta(n)
+	if cap(d.touched) < n {
+		t.Fatalf("touched cap %d < %d", cap(d.touched), n)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < n; i++ {
+			d.add(i, int64(i))
+		}
+		d.reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("add/reset cycle allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -161,6 +161,11 @@ func Reset() {
 	hooks = nil
 }
 
+// Armed reports whether any injection point is armed. Hot paths that
+// would pay for Fire's variadic argument boxing on every call can guard
+// with it: the args slice is only built when a hook could observe it.
+func Armed() bool { return armed.Load() != 0 }
+
 // Fire invokes the hook armed at point, if any. The fast path (nothing
 // armed anywhere) is one atomic load.
 func Fire(point string, args ...any) {

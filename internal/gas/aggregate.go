@@ -38,14 +38,10 @@ func aggregate[R any](workers, n int, zero R, combine func(a, b R) R, item func(
 	var wg sync.WaitGroup
 	block := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * block
-		hi := lo + block
+		lo, hi := blockLo(w, block), blockHi(w, block, n)
 		if lo >= n {
 			partials[w] = zero
 			continue
-		}
-		if hi > n {
-			hi = n
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {

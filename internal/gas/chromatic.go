@@ -20,7 +20,8 @@ type ChromaticEngine[VD, ED, Acc, Ctx any] struct {
 	ipg      InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
 	workers  int
 	ctxs     []Ctx
-	colors   [][]int32 // edge ids per colour class
+	colors   [][]int32               // edge ids per colour class
+	sx       *shardExec[VD, ED, Ctx] // sharded scatter path (inert for per-edge programs)
 	m        *Metrics
 	sp       *StallPolicy
 	poisoned error // set after a stall; every later Step returns it
@@ -42,8 +43,25 @@ func NewChromaticEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED
 		e.ctxs[w] = p.NewCtx(w)
 	}
 	e.colors = colorEdges(g)
+	// Sharded programs scatter colour class by colour class; incremental
+	// boundary-merging programs additionally let adjacent classes
+	// coalesce into weight-bounded batches (they never touch shared
+	// vertex data, so edge consistency is not needed between classes —
+	// the boundary merge after each batch is what keeps counters fresh).
+	e.sx = newShardExec[VD, ED, Ctx](g, p, e.ctxs, workers, e.colors)
 	return e
 }
+
+// NumShards reports the scatter plan's shard count (0 when the program
+// scatters per edge). Sharded programs size per-shard state, e.g. RNG
+// streams, from it.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) NumShards() int { return e.sx.numShards() }
+
+// Stats returns a copy of the accumulated sharded-scatter timing.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Stats() EngineStats { return e.sx.snapshot() }
+
+// ResetStats zeroes the accumulated timing.
+func (e *ChromaticEngine[VD, ED, Acc, Ctx]) ResetStats() { e.sx.reset() }
 
 // colorEdges assigns each edge the smallest colour not used by another
 // edge at either endpoint (greedy edge colouring; at most 2Δ−1 colours).
@@ -108,29 +126,38 @@ func (e *ChromaticEngine[VD, ED, Acc, Ctx]) Step() error {
 	if e.poisoned != nil {
 		return e.poisoned
 	}
-	if err := runBlocks(e.m, e.sp, "gather", e.workers, len(e.g.Vertices), func(worker, lo, hi int, beat *Beat) {
-		gatherApply(e.g, e.p, e.ipg, lo, hi, beat)
-	}); err != nil {
-		return e.poison(err)
-	}
-	for _, class := range e.colors {
-		if err := runBlocks(e.m, e.sp, "scatter", e.workers, len(class), func(worker, lo, hi int, beat *Beat) {
-			faultinject.Fire(faultinject.GasScatterWorker, worker)
-			ctx := e.ctxs[worker]
-			for i := lo; i < hi; i++ {
-				if !beat.Next() {
-					return
-				}
-				id := class[i]
-				e.p.Scatter(e.g, id, &e.g.Edges[id], ctx)
-			}
+	if !e.sx.incremental {
+		if err := runBlocks(e.m, e.sp, "gather", e.workers, len(e.g.Vertices), func(worker, lo, hi int, beat *Beat) {
+			gatherApply(e.g, e.p, e.ipg, lo, hi, beat)
 		}); err != nil {
 			return e.poison(err)
 		}
 	}
-	if err := safely(func() { e.p.Merge(e.ctxs) }); err != nil {
+	if e.sx.sharded != nil {
+		if err := e.sx.runScatter(e.g, e.ctxs, e.m, e.sp); err != nil {
+			return e.poison(err)
+		}
+	} else {
+		for _, class := range e.colors {
+			if err := runBlocks(e.m, e.sp, "scatter", e.workers, len(class), func(worker, lo, hi int, beat *Beat) {
+				faultinject.Fire(faultinject.GasScatterWorker, worker)
+				ctx := e.ctxs[worker]
+				for i := lo; i < hi; i++ {
+					if !beat.Next() {
+						return
+					}
+					id := class[i]
+					e.p.Scatter(e.g, id, &e.g.Edges[id], ctx)
+				}
+			}); err != nil {
+				return e.poison(err)
+			}
+		}
+	}
+	if err := e.sx.runMerge(e.ctxs); err != nil {
 		return err
 	}
+	e.sx.stats.Supersteps++
 	if e.m != nil {
 		e.m.Supersteps.Inc()
 	}

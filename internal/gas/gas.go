@@ -204,6 +204,7 @@ type Engine[VD, ED, Acc, Ctx any] struct {
 	ipg      InPlaceGatherer[VD, ED, Acc, Ctx] // non-nil when p supports in-place gather
 	workers  int
 	ctxs     []Ctx
+	sx       *shardExec[VD, ED, Ctx] // sharded scatter path (inert for per-edge programs)
 	m        *Metrics
 	sp       *StallPolicy
 	poisoned error // set after a stall; every later Step returns it
@@ -223,8 +224,26 @@ func NewEngine[VD, ED, Acc, Ctx any](g *Graph[VD, ED], p Program[VD, ED, Acc, Ct
 	for w := 0; w < workers; w++ {
 		e.ctxs[w] = p.NewCtx(w)
 	}
+	// The synchronous engine has no ordering constraints between edges
+	// (snapshot semantics), so the whole edge set forms one batch.
+	all := make([]int32, len(g.Edges))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	e.sx = newShardExec[VD, ED, Ctx](g, p, e.ctxs, workers, [][]int32{all})
 	return e
 }
+
+// NumShards reports the scatter plan's shard count (0 when the program
+// scatters per edge). Sharded programs size per-shard state, e.g. RNG
+// streams, from it.
+func (e *Engine[VD, ED, Acc, Ctx]) NumShards() int { return e.sx.numShards() }
+
+// Stats returns a copy of the accumulated sharded-scatter timing.
+func (e *Engine[VD, ED, Acc, Ctx]) Stats() EngineStats { return e.sx.snapshot() }
+
+// ResetStats zeroes the accumulated timing.
+func (e *Engine[VD, ED, Acc, Ctx]) ResetStats() { e.sx.reset() }
 
 // Workers returns the engine's worker count.
 func (e *Engine[VD, ED, Acc, Ctx]) Workers() int { return e.workers }
@@ -257,12 +276,18 @@ func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
 	if e.poisoned != nil {
 		return e.poisoned
 	}
-	if err := runBlocks(e.m, e.sp, "gather", e.workers, len(e.g.Vertices), func(worker, lo, hi int, beat *Beat) {
-		gatherApply(e.g, e.p, e.ipg, lo, hi, beat)
-	}); err != nil {
-		return e.poison(err)
+	if !e.sx.incremental {
+		if err := runBlocks(e.m, e.sp, "gather", e.workers, len(e.g.Vertices), func(worker, lo, hi int, beat *Beat) {
+			gatherApply(e.g, e.p, e.ipg, lo, hi, beat)
+		}); err != nil {
+			return e.poison(err)
+		}
 	}
-	if err := runBlocks(e.m, e.sp, "scatter", e.workers, len(e.g.Edges), func(worker, lo, hi int, beat *Beat) {
+	if e.sx.sharded != nil {
+		if err := e.sx.runScatter(e.g, e.ctxs, e.m, e.sp); err != nil {
+			return e.poison(err)
+		}
+	} else if err := runBlocks(e.m, e.sp, "scatter", e.workers, len(e.g.Edges), func(worker, lo, hi int, beat *Beat) {
 		faultinject.Fire(faultinject.GasScatterWorker, worker)
 		ctx := e.ctxs[worker]
 		for id := lo; id < hi; id++ {
@@ -274,9 +299,10 @@ func (e *Engine[VD, ED, Acc, Ctx]) Step() error {
 	}); err != nil {
 		return e.poison(err)
 	}
-	if err := safely(func() { e.p.Merge(e.ctxs) }); err != nil {
+	if err := e.sx.runMerge(e.ctxs); err != nil {
 		return err
 	}
+	e.sx.stats.Supersteps++
 	if e.m != nil {
 		e.m.Supersteps.Inc()
 	}
