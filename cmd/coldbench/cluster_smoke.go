@@ -19,11 +19,13 @@ import (
 // metrics smoke: it answers the /v1 surface the router consumes and can
 // be killed, failed, slowed or moved to another model generation.
 type smokeReplica struct {
-	srv   *httptest.Server
-	down  atomic.Bool
-	fail  atomic.Bool
-	delay atomic.Int64 // nanoseconds
-	key   atomic.Value // string model key
+	srv      *httptest.Server
+	down     atomic.Bool
+	fail     atomic.Bool
+	shed     atomic.Bool  // answer predictions with a 503 brownout verdict
+	brownout atomic.Int64 // brownout ladder level reported by healthz
+	delay    atomic.Int64 // nanoseconds
+	key      atomic.Value // string model key
 }
 
 func newSmokeReplica(key string) *smokeReplica {
@@ -46,8 +48,14 @@ func newSmokeReplica(key string) *smokeReplica {
 		case r.URL.Path == "/v1/healthz":
 			json.NewEncoder(w).Encode(map[string]any{
 				"status": "ok", "generation": 1, "model_key": f.key.Load().(string),
+				"brownout_level": f.brownout.Load(),
 			})
 		case strings.HasPrefix(r.URL.Path, "/v1/predict/") || r.URL.Path == "/v1/topics":
+			if f.shed.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":{"code":"brownout","message":"brownout L3: shed"}}`)
+				return
+			}
 			if f.fail.Load() {
 				w.WriteHeader(http.StatusInternalServerError)
 				fmt.Fprint(w, `{"error":{"code":"internal","message":"injected"}}`)
@@ -263,6 +271,33 @@ func clusterSmoke(reg *obs.Registry, fallback serve.Engine) error {
 	}
 	if cm.ProxyErrors.Value() == 0 {
 		return fmt.Errorf("exhausted shard with no fallback did not count a proxy error")
+	}
+
+	// Pressure relay: a browned-out fleet answers its deliberate 503
+	// verdict fast, and the router relays it without retrying into the
+	// heat — breaker-neutral, counted as a pressure relay, and the
+	// probed brownout level marks the replicas hot in the fleet gauges.
+	pa, pb := newSmokeReplica("m@1"), newSmokeReplica("m@1")
+	defer pa.srv.Close()
+	defer pb.srv.Close()
+	for _, rep := range []*smokeReplica{pa, pb} {
+		rep.shed.Store(true)
+		rep.brownout.Store(3)
+	}
+	prt, pfront, err := newRouter(cluster.Config{}, []*smokeReplica{pa, pb})
+	if err != nil {
+		return err
+	}
+	defer pfront.Close()
+	prt.ProbeAll(ctx)
+	if err := post(pfront.URL, "/v1/predict/link", `{"from":0,"to":1}`, 503); err != nil {
+		return fmt.Errorf("brownout verdict relay: %w", err)
+	}
+	if cm.PressureRelays.Value() == 0 {
+		return fmt.Errorf("brownout 503 was not counted as a pressure relay")
+	}
+	if cm.ReplicasHot.Value() == 0 {
+		return fmt.Errorf("probed brownout L3 replicas were not marked hot")
 	}
 
 	// Degraded fallback: a dead shard with the popularity prior armed

@@ -33,6 +33,7 @@ type loadOpts struct {
 	chunk      int     // items per /v1/score/batch round-trip
 	minHitRate float64 // assert: batch-mode warm cache hit rate floor (0 = off)
 	maxP99MS   float64 // assert: batch-mode warm p99 ceiling in ms (0 = off)
+	overload   bool    // run the adaptive-overload phase and gate its invariants
 }
 
 // loadPhase is one measured phase of one serving mode.
@@ -82,6 +83,11 @@ type loadRecord struct {
 
 	BatchWarmP99Speedup        float64 `json:"batch_warm_p99_speedup"`
 	BatchWarmThroughputSpeedup float64 `json:"batch_warm_throughput_speedup"`
+
+	// Overload is the adaptive-admission storm trajectory (per-tier
+	// goodput under 3x mixed load, brownout peak and recovery), present
+	// when -load-overload is set. Schema version 2 added this section.
+	Overload *overloadRecord `json:"overload,omitempty"`
 }
 
 // runLoad trains a small model once, serves it twice — the pre-redesign
@@ -159,7 +165,7 @@ func runLoad(path string, opts loadOpts) error {
 	}
 
 	rec := loadRecord{
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GitSHA:        gitSHA(),
 		GoVersion:     runtime.Version(),
@@ -202,6 +208,15 @@ func runLoad(path string, opts loadOpts) error {
 		return fmt.Errorf("batch mode: %w", err)
 	}
 
+	// The overload phase runs last (it deliberately saturates the box)
+	// and its gate failures are reported after the record is written, so
+	// a tripped gate still leaves the trajectory on disk to diagnose.
+	var overloadErr error
+	if opts.overload {
+		fmt.Println("overload: 3x mixed-tier storm against the adaptive admission stack...")
+		rec.Overload, overloadErr = runOverloadPhase(modelPath, data, 0.9)
+	}
+
 	if rec.Batch.Warm.P99MS > 0 {
 		rec.BatchWarmP99Speedup = rec.SingleCall.Warm.P99MS / rec.Batch.Warm.P99MS
 	}
@@ -224,6 +239,12 @@ func runLoad(path string, opts loadOpts) error {
 	fmt.Printf("batch:  cold p50=%.2fms p99=%.2fms %.0f/s hit=%.0f%% | warm p50=%.2fms p99=%.2fms %.0f/s hit=%.0f%%\n",
 		rec.Batch.Cold.P50MS, rec.Batch.Cold.P99MS, rec.Batch.Cold.ThroughputPerS, 100*rec.Batch.Cold.CacheHitRate,
 		rec.Batch.Warm.P50MS, rec.Batch.Warm.P99MS, rec.Batch.Warm.ThroughputPerS, 100*rec.Batch.Warm.CacheHitRate)
+	if o := rec.Overload; o != nil {
+		fmt.Printf("overload: interactive goodput %.3f under storm vs %.3f baseline (ratio %.2f) | peak=L%d recovered=%v limit=%d/%d\n",
+			o.Storm["interactive"].Goodput, o.Baseline["interactive"].Goodput,
+			o.InteractiveRatio, o.PeakBrownoutLevel, o.RecoveredToL0,
+			o.LimitAfterRecovery, o.Ceiling)
+	}
 	fmt.Printf("wrote %s\n", path)
 
 	if opts.minHitRate > 0 && rec.Batch.Warm.CacheHitRate < opts.minHitRate {
@@ -238,6 +259,9 @@ func runLoad(path string, opts loadOpts) error {
 		rec.Batch.Cold.Errors + rec.Batch.Warm.Errors
 	if errs > 0 {
 		return fmt.Errorf("%d load requests failed", errs)
+	}
+	if overloadErr != nil {
+		return fmt.Errorf("overload phase: %w", overloadErr)
 	}
 	return nil
 }

@@ -50,6 +50,7 @@ func main() {
 	loadChunk := flag.Int("load-chunk", 32, "items per batch round-trip in -load")
 	loadMinHitRate := flag.Float64("load-min-hit-rate", 0, "fail -load if the warm batch cache hit rate is below this (0 disables)")
 	loadMaxP99 := flag.Float64("load-max-p99-ms", 0, "fail -load if the warm batch p99 exceeds this many ms (0 disables)")
+	loadOverload := flag.Bool("load-overload", false, "append the adaptive-overload phase to -load: a 3x mixed-tier storm gating interactive goodput, deadline enforcement, and brownout recovery")
 	flag.Parse()
 
 	if *metricsFlag {
@@ -73,6 +74,7 @@ func main() {
 			seed: *seed, rate: *loadRate, requests: *loadRequests,
 			distinct: *loadDistinct, zipfS: *loadZipf, chunk: *loadChunk,
 			minHitRate: *loadMinHitRate, maxP99MS: *loadMaxP99,
+			overload: *loadOverload,
 		})
 		if err != nil {
 			log.Fatalf("load: %v", err)

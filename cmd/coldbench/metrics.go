@@ -17,9 +17,11 @@ import (
 
 	"github.com/cold-diffusion/cold/internal/checkpoint"
 	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/faultinject"
 	"github.com/cold-diffusion/cold/internal/ingest"
 	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/overload"
 	"github.com/cold-diffusion/cold/internal/serve"
 	"github.com/cold-diffusion/cold/internal/synth"
 	"github.com/cold-diffusion/cold/internal/text"
@@ -144,7 +146,9 @@ func metricsSmoke(seed uint64) error {
 		return fmt.Errorf("reload of a missing model file unexpectedly succeeded")
 	}
 
-	srv := serve.New(serve.Config{MaxInFlight: 1, RequestTimeout: 10 * time.Second,
+	// QueueCap -1 disables the admission queue so the parked-slot probe
+	// below sheds with the classic 429 instead of waiting in line.
+	srv := serve.New(serve.Config{MaxInFlight: 1, QueueCap: -1, RequestTimeout: 10 * time.Second,
 		RetryAfter: time.Second, Metrics: mt}, mgr, data)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -306,6 +310,10 @@ func metricsSmoke(seed uint64) error {
 		return fmt.Errorf("crashed watcher was never restarted")
 	}
 
+	if err := overloadSmoke(mt, mgr, data, modelPath); err != nil {
+		return fmt.Errorf("overload cycle: %w", err)
+	}
+
 	if err := ingestSmoke(reg, dir, model); err != nil {
 		return fmt.Errorf("ingest cycle: %w", err)
 	}
@@ -324,6 +332,162 @@ func metricsSmoke(seed uint64) error {
 	}
 	fmt.Printf("metrics smoke: every registered series updated (%d exposition lines)\n",
 		strings.Count(b.String(), "\n"))
+	return nil
+}
+
+// overloadSmoke drives the adaptive-admission and brownout instruments:
+// the four shed reasons, the brownout/limit/queue gauges, a
+// previous-generation stale cache hit, a popularity-prior fallback
+// answer under deep brownout, and the past-deadline suppression guard.
+func overloadSmoke(mt *serve.Metrics, mgr *serve.Manager, data *corpus.Dataset, modelPath string) error {
+	defer faultinject.Reset()
+	// Batching is disabled so the past-deadline leg is deterministic: a
+	// cache hit bypasses the engine's ctx checks and writes a late 200
+	// that only the deadlineWriter can (and must) suppress.
+	srv := serve.New(serve.Config{MaxInFlight: 1, RequestTimeout: 10 * time.Second,
+		RetryAfter: time.Second, BatchWindow: -1, Metrics: mt}, mgr, data)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	retweet := `{"publisher":0,"candidate":1,"post":0}`
+	send := func(path, body string, hdr map[string]string, want int) error {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			return fmt.Errorf("POST %s %v = %d, want %d", path, hdr, resp.StatusCode, want)
+		}
+		return nil
+	}
+
+	// The health probe mirrors the limit and queue gauges and feeds the
+	// ladder a pressure sample.
+	hz, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/healthz = %d, want 200", hz.StatusCode)
+	}
+
+	// Dead on arrival: an already-expired deadline sheds at admission.
+	if err := send("/v1/predict/retweet", retweet,
+		map[string]string{overload.DeadlineHeader: "0"}, 503); err != nil {
+		return fmt.Errorf("DOA deadline: %w", err)
+	}
+
+	// Expired in queue: park the single slot; a queued short-deadline
+	// request dies in line rather than being served late.
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	faultinject.Set(faultinject.ServeHandler, func(...any) {
+		started <- struct{}{}
+		<-release
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = send("/v1/predict/retweet", retweet, nil, 200)
+	}()
+	<-started
+	if err := send("/v1/predict/retweet", retweet,
+		map[string]string{overload.DeadlineHeader: "40"}, 503); err != nil {
+		return fmt.Errorf("expired in queue: %w", err)
+	}
+	close(release)
+	wg.Wait()
+	faultinject.Clear(faultinject.ServeHandler)
+
+	// Warm the cache at the current generation (also the tuple the
+	// past-deadline and stale legs replay).
+	if err := send("/v1/predict/retweet", retweet, nil, 200); err != nil {
+		return fmt.Errorf("cache warm: %w", err)
+	}
+
+	// Past-deadline suppression: the writer fence only matters in the
+	// narrow race where the handler finishes after the deadline but
+	// before the context abort is scheduled — any wider miss is already
+	// answered by the context path. Sleeping exactly the deadline lands
+	// in that window within a few tries; every attempt must answer
+	// something (200 in time, or a 503 from either deadline path), and
+	// the fence counter must fire before the attempts run out.
+	faultinject.Set(faultinject.ServeHandler, func(...any) { time.Sleep(30 * time.Millisecond) })
+	for i := 0; i < 200 && mt.PastDeadline.Value() == 0; i++ {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict/retweet", strings.NewReader(retweet))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(overload.DeadlineHeader, "30")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 && resp.StatusCode != 503 {
+			return fmt.Errorf("deadline-racing request = %d, want 200 or 503", resp.StatusCode)
+		}
+	}
+	faultinject.Clear(faultinject.ServeHandler)
+	if mt.PastDeadline.Value() == 0 {
+		return fmt.Errorf("late success was never suppressed by the deadline-writer fence")
+	}
+
+	// L4 sheds non-interactive traffic; L3 answers background tiers from
+	// the popularity prior.
+	srv.Brownout().Force(4)
+	if err := send("/v1/score/batch",
+		`{"items":[{"kind":"retweet","publisher":0,"candidate":1,"post":0}]}`, nil, 503); err != nil {
+		return fmt.Errorf("L4 bulk shed: %w", err)
+	}
+	srv.Brownout().Force(3)
+	if err := send("/v1/predict/retweet", retweet,
+		map[string]string{overload.PriorityHeader: "background"}, 200); err != nil {
+		return fmt.Errorf("L3 fallback answer: %w", err)
+	}
+	if mt.FallbackServed.Value() == 0 {
+		return fmt.Errorf("background tier at L3 was not answered from the prior")
+	}
+
+	// L1 serves slightly-stale cache entries: reload to a new generation
+	// and replay the warmed tuple — the previous generation answers.
+	now := time.Now().Add(time.Second)
+	if err := os.Chtimes(modelPath, now, now); err != nil {
+		return err
+	}
+	if err := mgr.Reload(); err != nil {
+		return fmt.Errorf("reload for the stale-cache leg: %w", err)
+	}
+	srv.Brownout().Force(1)
+	if err := send("/v1/predict/retweet", retweet, nil, 200); err != nil {
+		return fmt.Errorf("stale-eligible request: %w", err)
+	}
+	if mt.StaleServed.Value() == 0 {
+		return fmt.Errorf("previous-generation cache entry was not served at L1")
+	}
+
+	// Every shed reason must have fired by now (queue_full via the
+	// parked-slot 429 earlier in the cycle).
+	for _, reason := range []overload.Reason{
+		overload.ReasonQueueFull, overload.ReasonDeadlineUnmeetable,
+		overload.ReasonExpiredInQueue, overload.ReasonBrownout,
+	} {
+		if mt.Sheds[reason].Value() == 0 {
+			return fmt.Errorf("shed reason %q was never counted", reason)
+		}
+	}
 	return nil
 }
 
@@ -416,5 +580,37 @@ func ingestSmoke(reg *obs.Registry, dir string, model *core.Model) error {
 	if err := recovered.Drain(ctx); err != nil {
 		return err
 	}
+
+	// Background-tier yield: with the serving tier reporting brownout
+	// L3+, every fold tick is skipped and counted; Drain (the shutdown
+	// path) still folds.
+	hotIng, _, err := ingest.New(ingest.Config{
+		WALDir: filepath.Join(dir, "wal-hot"), Base: model, Sweeps: 2,
+		FoldEvery: 2 * time.Millisecond,
+		Brownout:  func() int { return 4 },
+		Metrics:   im,
+	})
+	if err != nil {
+		return err
+	}
+	hctx, hcancel := context.WithCancel(ctx)
+	hotIng.Start(hctx)
+	if _, err := hotIng.Submit(ctx, rec(0)); err != nil {
+		hcancel()
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for im.FoldsDeferred.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if im.FoldsDeferred.Value() == 0 {
+		hcancel()
+		return fmt.Errorf("browned-out fold loop never deferred a tick")
+	}
+	if err := hotIng.Drain(ctx); err != nil {
+		hcancel()
+		return fmt.Errorf("drain while hot: %w", err)
+	}
+	hcancel()
 	return nil
 }

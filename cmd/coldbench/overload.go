@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/corpus"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/overload"
+	"github.com/cold-diffusion/cold/internal/serve"
+)
+
+// The overload phase of `coldbench -load -load-overload` throws a
+// deterministic 3x mixed-tier storm at the adaptive admission stack and
+// records what the robustness layer promises: interactive goodput held
+// near its unloaded baseline, zero responses signed off past their
+// propagated deadline, and a brownout ladder that walks back to L0 with
+// the concurrency limit re-grown once the storm passes. The record
+// anchors BENCH_4.json; the gates make it a CI tripwire.
+
+// otier is one synthetic client population: its X-Cold-Priority header
+// and the deadline it propagates per request.
+type otier struct {
+	name     string
+	deadline time.Duration
+}
+
+var overloadTiers = []otier{
+	{"interactive", 400 * time.Millisecond},
+	{"batch", 600 * time.Millisecond},
+	{"background", 500 * time.Millisecond},
+}
+
+// tierGoodput is one tier's client-side view of one load phase.
+type tierGoodput struct {
+	Sent    int     `json:"sent"`
+	OK      int     `json:"ok"`      // 200 within the propagated deadline
+	LateOK  int     `json:"late_ok"` // 200 observed past deadline + grace; must be 0
+	Goodput float64 `json:"goodput"` // OK / Sent
+}
+
+// overloadRecord is the machine-readable result of the overload phase.
+type overloadRecord struct {
+	Ceiling      int `json:"ceiling"`
+	StormWorkers int `json:"storm_workers"`
+
+	// Baseline drives interactive-only traffic at ~1x capacity with no
+	// injected tail; Storm is the 3x mixed-tier burst train with a heavy
+	// tail every 6th request.
+	Baseline map[string]*tierGoodput `json:"baseline"`
+	Storm    map[string]*tierGoodput `json:"storm"`
+
+	// InteractiveRatio = storm interactive goodput / baseline interactive
+	// goodput — the headline number the CI gate holds above its floor.
+	InteractiveRatio float64 `json:"interactive_goodput_ratio"`
+
+	ShedsByReason      map[string]uint64 `json:"sheds_by_reason"`
+	PeakBrownoutLevel  int               `json:"peak_brownout_level"`
+	RecoveryLevels     []int             `json:"recovery_levels"` // distinct ladder levels sampled after the storm
+	RecoveredToL0      bool              `json:"recovered_to_l0"`
+	LimitAfterRecovery int               `json:"limit_after_recovery"`
+	Backoffs           uint64            `json:"limiter_backoffs"`
+	Grows              uint64            `json:"limiter_grows"`
+}
+
+// oLatency is the injected service-time profile: a base cost that grows
+// with in-slot concurrency (congestion the AIMD limiter can relieve by
+// backing off) plus, when tailEvery > 0, a deterministic heavy tail
+// every tailEvery-th request.
+type oLatency struct {
+	inSlot    atomic.Int64
+	n         atomic.Int64
+	tailEvery atomic.Int64
+}
+
+func (ol *oLatency) inject() {
+	k := ol.inSlot.Add(1)
+	d := 3*time.Millisecond + time.Duration(k)*time.Millisecond
+	if te := ol.tailEvery.Load(); te > 0 && ol.n.Add(1)%te == 0 {
+		d = 60 * time.Millisecond
+	}
+	time.Sleep(d)
+	ol.inSlot.Add(-1)
+}
+
+// oCounts accumulates one tier's outcomes across a phase.
+type oCounts struct {
+	sent   atomic.Uint64
+	ok     atomic.Uint64
+	lateOK atomic.Uint64
+}
+
+func (c *oCounts) snapshot() *tierGoodput {
+	tg := &tierGoodput{
+		Sent:   int(c.sent.Load()),
+		OK:     int(c.ok.Load()),
+		LateOK: int(c.lateOK.Load()),
+	}
+	if tg.Sent > 0 {
+		tg.Goodput = float64(tg.OK) / float64(tg.Sent)
+	}
+	return tg
+}
+
+// overloadRequest posts one scored prediction with the tier's priority
+// and deadline headers; status 0 means a connection-level failure.
+func overloadRequest(client *http.Client, base string, body []byte, tier otier) int {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/predict/retweet", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(overload.PriorityHeader, tier.name)
+	req.Header.Set(overload.DeadlineHeader, strconv.FormatInt(tier.deadline.Milliseconds(), 10))
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// driveOverloadBursts fires `workers` closed-loop clients (tier by
+// round-robin over tiers) for `bursts` on/off cycles and returns the
+// per-tier counts. A 100ms client-side grace absorbs scheduling delay
+// on noisy runners; the server-side deadline guard is what must never
+// sign off late.
+func driveOverloadBursts(client *http.Client, base string, tiers []otier,
+	workers, bursts int, on, off time.Duration) map[string]*oCounts {
+	counts := make(map[string]*oCounts, len(tiers))
+	for _, tier := range tiers {
+		counts[tier.name] = &oCounts{}
+	}
+	body, _ := json.Marshal(map[string]int{"publisher": 0, "candidate": 1, "post": 0})
+	for b := 0; b < bursts; b++ {
+		stop := time.Now().Add(on)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			tier := tiers[i%len(tiers)]
+			c := counts[tier.name]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					start := time.Now()
+					code := overloadRequest(client, base, body, tier)
+					elapsed := time.Since(start)
+					c.sent.Add(1)
+					if code == http.StatusOK {
+						switch {
+						case elapsed <= tier.deadline:
+							c.ok.Add(1)
+						case elapsed > tier.deadline+100*time.Millisecond:
+							c.lateOK.Add(1)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		time.Sleep(off)
+	}
+	return counts
+}
+
+// runOverloadPhase stands up one adaptive server over the trained model
+// and measures the storm trajectory. It fails (a CI gate, not a
+// measurement) when interactive goodput under storm drops below
+// ratioFloor times its baseline, when any response lands past its
+// deadline, or when the ladder does not walk monotonically back to L0
+// with the limit re-grown.
+func runOverloadPhase(modelPath string, data *corpus.Dataset, ratioFloor float64) (*overloadRecord, error) {
+	defer faultinject.Reset()
+	const ceiling = 8
+	const stormWorkers = 3 * ceiling
+
+	reg := obs.NewRegistry()
+	mt := serve.NewMetrics(reg)
+	quiet := func(string, ...any) {}
+	mgr := serve.NewManager(serve.ManagerConfig{
+		Path: modelPath, TopComm: 5, RankK: 50, Logf: quiet, Metrics: mt,
+	})
+	if err := mgr.Reload(); err != nil {
+		return nil, err
+	}
+	srv := serve.New(serve.Config{
+		MaxInFlight: ceiling, BrownoutHold: 150 * time.Millisecond,
+		RequestTimeout: 2 * time.Second, RetryAfter: time.Second,
+		Logf: quiet, Metrics: mt,
+	}, mgr, data)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: stormWorkers}}
+	defer client.CloseIdleConnections()
+
+	rec := &overloadRecord{Ceiling: ceiling, StormWorkers: stormWorkers}
+	lat := &oLatency{}
+	faultinject.Set(faultinject.ServeHandler, func(...any) { lat.inject() })
+
+	// Baseline: interactive-only at ~1x capacity, no tail. This is the
+	// goodput the storm phase is measured against.
+	baseline := driveOverloadBursts(client, base, overloadTiers[:1],
+		ceiling, 2, 300*time.Millisecond, 50*time.Millisecond)
+	rec.Baseline = map[string]*tierGoodput{"interactive": baseline["interactive"].snapshot()}
+
+	// Storm: 3x mixed-tier closed-loop burst train with the heavy tail
+	// armed. Sample the ladder between bursts for the peak level.
+	lat.tailEvery.Store(6)
+	storm := driveOverloadBursts(client, base, overloadTiers,
+		stormWorkers, 3, 300*time.Millisecond, 100*time.Millisecond)
+	lat.tailEvery.Store(0)
+	rec.Storm = make(map[string]*tierGoodput, len(overloadTiers))
+	for name, c := range storm {
+		rec.Storm[name] = c.snapshot()
+	}
+	if lvl := srv.Brownout().Level(); lvl > rec.PeakBrownoutLevel {
+		rec.PeakBrownoutLevel = lvl
+	}
+
+	// Gates on the storm itself.
+	for name, tg := range rec.Storm {
+		if tg.LateOK > 0 {
+			return rec, fmt.Errorf("%d %s responses served past their deadline under storm", tg.LateOK, name)
+		}
+	}
+	if rec.Baseline["interactive"].LateOK > 0 {
+		return rec, fmt.Errorf("%d interactive responses served past deadline at baseline", rec.Baseline["interactive"].LateOK)
+	}
+	bg := rec.Baseline["interactive"].Goodput
+	sg := rec.Storm["interactive"].Goodput
+	if bg > 0 {
+		rec.InteractiveRatio = sg / bg
+	}
+	if rec.Baseline["interactive"].Sent == 0 || rec.Storm["interactive"].Sent == 0 {
+		return rec, fmt.Errorf("overload phase produced no interactive traffic")
+	}
+	if ratioFloor > 0 && rec.InteractiveRatio < ratioFloor {
+		return rec, fmt.Errorf("interactive goodput under storm %.3f fell below %.2fx baseline %.3f",
+			sg, ratioFloor, bg)
+	}
+
+	// Recovery A: keep the (now fast) server saturated so the limiter's
+	// growth condition holds and the limit re-grows to the ceiling.
+	body, _ := json.Marshal(map[string]int{"publisher": 0, "candidate": 1, "post": 0})
+	regrow := time.Now().Add(6 * time.Second)
+	for srv.Overload().Limit() < ceiling && time.Now().Before(regrow) {
+		var wg sync.WaitGroup
+		for i := 0; i < ceiling; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				overloadRequest(client, base, body, otier{"interactive", 2 * time.Second})
+			}()
+		}
+		wg.Wait()
+	}
+	rec.LimitAfterRecovery = srv.Overload().Limit()
+
+	// Recovery B: trickle light traffic so the ladder observes falling
+	// pressure; the sampled level sequence must be monotone
+	// non-increasing and end at L0.
+	cool := time.Now().Add(6 * time.Second)
+	last := srv.Brownout().Level()
+	rec.RecoveryLevels = append(rec.RecoveryLevels, last)
+	for last > 0 && time.Now().Before(cool) {
+		overloadRequest(client, base, body, otier{"interactive", 2 * time.Second})
+		time.Sleep(10 * time.Millisecond)
+		lvl := srv.Brownout().Level()
+		if lvl > last {
+			return rec, fmt.Errorf("brownout level rose L%d -> L%d during recovery; must be monotone non-increasing", last, lvl)
+		}
+		if lvl != last {
+			rec.RecoveryLevels = append(rec.RecoveryLevels, lvl)
+			last = lvl
+		}
+	}
+	rec.RecoveredToL0 = last == 0
+	if !rec.RecoveredToL0 {
+		return rec, fmt.Errorf("brownout level still L%d after the recovery window, want L0", last)
+	}
+	if rec.LimitAfterRecovery < ceiling {
+		return rec, fmt.Errorf("concurrency limit did not re-grow: %d/%d", rec.LimitAfterRecovery, ceiling)
+	}
+
+	st := srv.Overload().Stats()
+	rec.Backoffs, rec.Grows = st.Backoffs, st.Grows
+	rec.ShedsByReason = make(map[string]uint64, len(st.Sheds))
+	for reason, n := range st.Sheds {
+		rec.ShedsByReason[string(reason)] = n
+	}
+	return rec, nil
+}

@@ -110,6 +110,8 @@ func main() {
 	segBytes := flag.Int64("segment-bytes", 4<<20, "daemon: WAL segment rotation threshold")
 	syncEvery := flag.Int("sync-every", 1, "daemon: fsync after every Nth record (1 = every acknowledged record is durable)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "daemon: grace period for queue flush on shutdown")
+	brownoutProbe := flag.String("brownout-probe", "", "daemon: coldserve /v1/healthz URL to poll; folds defer while it reports brownout L3+")
+	brownoutEvery := flag.Duration("brownout-every", time.Second, "daemon: brownout probe interval")
 	logFormat := flag.String("log-format", "text", "daemon: log format: text or json")
 	logLevel := flag.String("log-level", "info", "daemon: log level: debug, info, warn, error")
 	flag.Parse()
@@ -120,6 +122,7 @@ func main() {
 			foldEvery: *foldEvery, shedPolicy: *shedPolicy, queueCap: *queueCap,
 			retryAfter: *retryAfter, sweeps: *sweeps, window: *window,
 			segBytes: *segBytes, syncEvery: *syncEvery, drainTimeout: *drainTimeout,
+			brownoutProbe: *brownoutProbe, brownoutEvery: *brownoutEvery,
 			logFormat: *logFormat, logLevel: *logLevel,
 		}))
 	}
@@ -244,6 +247,8 @@ type daemonConfig struct {
 	segBytes                         int64
 	syncEvery                        int
 	drainTimeout                     time.Duration
+	brownoutProbe                    string
+	brownoutEvery                    time.Duration
 	logFormat, logLevel              string
 }
 
@@ -271,6 +276,16 @@ func runDaemon(cfg daemonConfig) int {
 	reg := obs.NewRegistry()
 	metrics := ingest.NewMetrics(reg)
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	// Fold-in is background-tier work: when a co-located coldserve
+	// reports brownout L3+, the fold loop yields its CPU to scoring.
+	var brownout func() int
+	if cfg.brownoutProbe != "" {
+		brownout = ingest.WatchBrownout(ctx, nil, cfg.brownoutProbe, cfg.brownoutEvery, logf)
+	}
+
 	ing, rec, err := ingest.New(ingest.Config{
 		WALDir:       cfg.walDir,
 		Base:         base,
@@ -283,6 +298,7 @@ func runDaemon(cfg daemonConfig) int {
 		Window:       cfg.window,
 		SegmentBytes: cfg.segBytes,
 		SyncEvery:    cfg.syncEvery,
+		Brownout:     brownout,
 		Metrics:      metrics,
 		Logf:         logf,
 	})
@@ -294,8 +310,6 @@ func runDaemon(cfg daemonConfig) int {
 		"segments", rec.Segments, "truncated_bytes", rec.TruncatedBytes,
 		"quarantined", len(rec.Quarantined))
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
 	ing.Start(ctx)
 
 	srv := ingest.NewServer(ing, logf)

@@ -72,7 +72,11 @@ func main() {
 	dataPath := flag.String("data", "", "dataset for post-index queries and the degraded-mode fallback (optional)")
 	topComm := flag.Int("topcomm", 5, "TopComm size for the predictor")
 	poll := flag.Duration("poll", 2*time.Second, "model watch interval")
-	maxInFlight := flag.Int("max-inflight", 64, "admitted concurrent prediction requests; excess is shed with 429")
+	maxInFlight := flag.Int("max-inflight", 64, "concurrency ceiling the adaptive limiter grows toward; excess is queued or shed")
+	limitFloor := flag.Int("limit-floor", 0, "adaptive limiter floor; 0 derives from the ceiling, negative pins the static limit (seed behaviour)")
+	queueCap := flag.Int("queue-cap", 0, "deadline-aware admission queue capacity; 0 derives from the ceiling, negative disables queueing")
+	brownoutHold := flag.Duration("brownout-hold", 0, "minimum dwell at a brownout level before stepping back down; 0 uses the default")
+	brownoutRankK := flag.Int("brownout-rank-k", 0, "rank depth served at brownout L2+; 0 uses a quarter of -rank-k")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed requests (jittered ±50% per response)")
@@ -132,6 +136,10 @@ func main() {
 
 	cfg := serve.Config{
 		MaxInFlight:    *maxInFlight,
+		LimitFloor:     *limitFloor,
+		QueueCap:       *queueCap,
+		BrownoutHold:   *brownoutHold,
+		BrownoutRankK:  *brownoutRankK,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
 		RetryAfter:     *retryAfter,

@@ -26,10 +26,11 @@ type replica struct {
 	up          bool // in rotation
 	draining    bool // replica reported drain state; skip immediately
 	degraded    bool // replica itself serves from its fallback engine
+	brownout    int  // replica's reported brownout ladder level (0..4)
 	gen         uint64
-	key         string // opaque model identity from probes/responses
-	consecFails int    // consecutive probe or traffic failures
-	consecOKs   int    // consecutive probe successes while ejected
+	key         string    // opaque model identity from probes/responses
+	consecFails int       // consecutive probe or traffic failures
+	consecOKs   int       // consecutive probe successes while ejected
 	readmitted  time.Time // slow-start ramp anchor; zero when warmed
 	lastProbe   time.Time
 	lastErr     string
@@ -38,11 +39,12 @@ type replica struct {
 // healthzBody is the replica health shape the router consumes; it
 // matches what serve's /v1/healthz reports.
 type healthzBody struct {
-	Status     string `json:"status"`
-	Generation uint64 `json:"generation"`
-	ModelKey   string `json:"model_key"`
-	Degraded   bool   `json:"degraded"`
-	Draining   bool   `json:"draining"`
+	Status        string `json:"status"`
+	Generation    uint64 `json:"generation"`
+	ModelKey      string `json:"model_key"`
+	Degraded      bool   `json:"degraded"`
+	Draining      bool   `json:"draining"`
+	BrownoutLevel int    `json:"brownout_level"`
 }
 
 // noteFailure records one failed probe or forwarded attempt, ejecting
@@ -91,6 +93,7 @@ func (rep *replica) noteProbeOK(h healthzBody, readmitAfter int, now time.Time) 
 	rep.key = h.ModelKey
 	rep.degraded = h.Degraded
 	rep.draining = h.Draining
+	rep.brownout = h.BrownoutLevel
 	rep.lastProbe = now
 	if !rep.up && !h.Draining {
 		rep.consecOKs++
@@ -104,13 +107,30 @@ func (rep *replica) noteProbeOK(h healthzBody, readmitAfter int, now time.Time) 
 	return false
 }
 
+// notePressure records a deliberate pressure shed (a brownout 503)
+// observed from live traffic. The replica is alive — it answered, fast,
+// with a verdict — so the failure run clears like any usable response;
+// and until the next probe refreshes the true level, the replica is
+// assumed browned out at least to minLevel so retries and hedges stop
+// selecting it.
+func (rep *replica) notePressure(minLevel int) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.consecFails = 0
+	rep.lastErr = ""
+	if rep.brownout < minLevel {
+		rep.brownout = minLevel
+	}
+}
+
 // snapshot copies the mutable state for selection and status reporting.
 func (rep *replica) snapshot() replicaState {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	return replicaState{
 		up: rep.up, draining: rep.draining, degraded: rep.degraded,
-		gen: rep.gen, key: rep.key,
+		brownout: rep.brownout,
+		gen:      rep.gen, key: rep.key,
 		consecFails: rep.consecFails, readmitted: rep.readmitted,
 		lastErr: rep.lastErr,
 	}
@@ -118,6 +138,7 @@ func (rep *replica) snapshot() replicaState {
 
 type replicaState struct {
 	up, draining, degraded bool
+	brownout               int
 	gen                    uint64
 	key                    string
 	consecFails            int
@@ -215,11 +236,11 @@ func (rt *Router) StartProbes(ctx context.Context) {
 	}
 }
 
-// refreshFleetGauges recomputes the up/lagging/majority gauges from the
-// current replica states.
+// refreshFleetGauges recomputes the up/lagging/hot/majority gauges from
+// the current replica states.
 func (rt *Router) refreshFleetGauges() {
 	key, gen := rt.majority()
-	up, lagging := 0, 0
+	up, lagging, hot := 0, 0, 0
 	for _, rep := range rt.all {
 		st := rep.snapshot()
 		if !st.up || st.draining {
@@ -229,8 +250,11 @@ func (rt *Router) refreshFleetGauges() {
 		if key != "" && st.key != "" && st.key != key {
 			lagging++
 		}
+		if st.brownout >= hotBrownoutLevel {
+			hot++
+		}
 	}
-	rt.cfg.Metrics.fleet(up, lagging, gen)
+	rt.cfg.Metrics.fleet(up, lagging, hot, gen)
 }
 
 // majority returns the fleet-majority model key and its generation

@@ -36,9 +36,11 @@ type Metrics struct {
 	SkewDiscards    *obs.Counter // cold_cluster_generation_skew_total
 	DegradedAnswers *obs.Counter // cold_cluster_degraded_answers_total
 	ProxyErrors     *obs.Counter // cold_cluster_proxy_errors_total
+	PressureRelays  *obs.Counter // cold_cluster_pressure_relays_total
 
 	ReplicasUp      *obs.Gauge // cold_cluster_replicas_up
 	ReplicasLagging *obs.Gauge // cold_cluster_replicas_lagging
+	ReplicasHot     *obs.Gauge // cold_cluster_replicas_hot
 	MajorityGen     *obs.Gauge // cold_cluster_majority_generation
 }
 
@@ -75,10 +77,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Requests answered by the router's degraded fallback engine."),
 		ProxyErrors: reg.Counter("cold_cluster_proxy_errors_total",
 			"Requests that exhausted every replica with no fallback available."),
+		PressureRelays: reg.Counter("cold_cluster_pressure_relays_total",
+			"Replica brownout/overload sheds relayed to the client without retry (breaker-neutral)."),
 		ReplicasUp: reg.Gauge("cold_cluster_replicas_up",
 			"Replicas currently in rotation."),
 		ReplicasLagging: reg.Gauge("cold_cluster_replicas_lagging",
 			"In-rotation replicas serving a non-majority model generation."),
+		ReplicasHot: reg.Gauge("cold_cluster_replicas_hot",
+			"In-rotation replicas reporting brownout level L3 or deeper."),
 		MajorityGen: reg.Gauge("cold_cluster_majority_generation",
 			"Fleet-majority model generation number."),
 	}
@@ -198,11 +204,19 @@ func (m *Metrics) proxyError() {
 	m.ProxyErrors.Inc()
 }
 
-func (m *Metrics) fleet(up, lagging int, majorityGen uint64) {
+func (m *Metrics) pressureRelayed() {
+	if m == nil {
+		return
+	}
+	m.PressureRelays.Inc()
+}
+
+func (m *Metrics) fleet(up, lagging, hot int, majorityGen uint64) {
 	if m == nil {
 		return
 	}
 	m.ReplicasUp.Set(float64(up))
 	m.ReplicasLagging.Set(float64(lagging))
+	m.ReplicasHot.Set(float64(hot))
 	m.MajorityGen.Set(float64(majorityGen))
 }

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// TestBrownoutShedIsBreakerNeutral pins the breaker × brownout contract:
+// a replica that answers fast brownout 503s is carrying out overload
+// policy, not failing. Its sheds must relay to the client without
+// retries, without opening the shard breaker, and without feeding the
+// passive ejection counter.
+func TestBrownoutShedIsBreakerNeutral(t *testing.T) {
+	hot := newFakeReplica(t, "m@1", 1)
+	hot.shed.Store(true)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{hot})
+	cfg.Metrics = NewMetrics(reg)
+	cfg.BreakerFailures = 2
+	cfg.EjectAfter = 2
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	for i := 0; i < 6; i++ {
+		resp, body := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d = %s, want the relayed 503", i, resp.Status)
+		}
+		errInfo, _ := body["error"].(map[string]any)
+		if errInfo["code"] != "brownout" {
+			t.Fatalf("request %d error code = %v, want the replica's brownout verdict", i, errInfo["code"])
+		}
+	}
+
+	// Six sheds, breaker threshold two: the breaker must still be closed
+	// and the replica still in rotation — brownout answers are health.
+	if st := rt.breakers[0].current(); st != breakerClosed {
+		t.Fatalf("breaker after 6 brownout sheds = %v, want closed", st)
+	}
+	if snap := rt.shards[0][0].snapshot(); !snap.up {
+		t.Fatal("replica ejected on brownout sheds; they must be ejection-neutral")
+	}
+	if got := cfg.Metrics.Retries.Value(); got != 0 {
+		t.Fatalf("retries = %v, want 0: a pressure shed is terminal, not retryable", got)
+	}
+	if got := cfg.Metrics.PressureRelays.Value(); got != 6 {
+		t.Fatalf("pressure relays = %v, want 6", got)
+	}
+	// The shed also teaches the router the replica is hot before the
+	// next probe confirms it.
+	if lvl := rt.shards[0][0].snapshot().brownout; lvl < hotBrownoutLevel {
+		t.Fatalf("passive brownout level = %d, want >= %d", lvl, hotBrownoutLevel)
+	}
+}
+
+// TestRouterPrefersCalmReplicaForInteractive: with the pool split
+// between an L0 replica and a browned-out one, interactive traffic must
+// land on the calm replica; explicitly low-priority traffic may use
+// either.
+func TestRouterPrefersCalmReplicaForInteractive(t *testing.T) {
+	calm := newFakeReplica(t, "m@1", 1)
+	warm := newFakeReplica(t, "m@1", 1)
+	warm.brownout.Store(2)
+	rt, front := newTestRouter(t, fastConfig([]*fakeReplica{calm, warm}))
+	rt.ProbeAll(context.Background())
+
+	for i := 0; i < 8; i++ {
+		resp, _ := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("interactive request %d = %s", i, resp.Status)
+		}
+	}
+	if warm.hits.Load() != 0 {
+		t.Fatalf("browned-out replica answered %d interactive requests; all should prefer L0",
+			warm.hits.Load())
+	}
+	if calm.hits.Load() != 8 {
+		t.Fatalf("calm replica hits = %d, want 8", calm.hits.Load())
+	}
+
+	// When every replica is browned out, interactive traffic still gets
+	// served — preference, not exclusion.
+	calm.brownout.Store(1)
+	rt.ProbeAll(context.Background())
+	resp, _ := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("all-browned-out pool = %s, want 200 (prefer, never starve)", resp.Status)
+	}
+}
+
+// TestRouterNeverRetriesIntoHotReplica: when the only alternative for a
+// retry reports L3+, the router sheds rather than pushing the retry
+// into the heat.
+func TestRouterNeverRetriesIntoHotReplica(t *testing.T) {
+	failing := newFakeReplica(t, "m@1", 1)
+	failing.fail.Store(true)
+	hot := newFakeReplica(t, "m@1", 1)
+	hot.brownout.Store(3)
+	reg := obs.NewRegistry()
+	cfg := fastConfig([]*fakeReplica{failing, hot})
+	cfg.Metrics = NewMetrics(reg)
+	// Keep the failing replica in rotation and the breaker closed for
+	// the whole test: the assertion is about retry placement, not
+	// ejection or breaking.
+	cfg.EjectAfter = 100
+	cfg.BreakerFailures = 100
+	rt, front := newTestRouter(t, cfg)
+	rt.ProbeAll(context.Background())
+
+	for i := 0; i < 4; i++ {
+		resp, body := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d = %s, want 503 shed", i, resp.Status)
+		}
+		errInfo, _ := body["error"].(map[string]any)
+		if errInfo["code"] != "no_replicas" {
+			t.Fatalf("request %d error code = %v, want no_replicas", i, errInfo["code"])
+		}
+	}
+	if hot.hits.Load() != 0 {
+		t.Fatalf("L3 replica received %d retried requests; retries must respect receiver pressure",
+			hot.hits.Load())
+	}
+}
+
+// TestRouterForwardsPriorityAndTightensDeadline pins the cross-tier
+// header contract: the client's X-Cold-Priority relays verbatim, and a
+// client-propagated X-Cold-Deadline-Ms tightens (never stretches) the
+// deadline stamped on the replica hop.
+func TestRouterForwardsPriorityAndTightensDeadline(t *testing.T) {
+	rep := newFakeReplica(t, "m@1", 1)
+	rt, front := newTestRouter(t, fastConfig([]*fakeReplica{rep}))
+	rt.ProbeAll(context.Background())
+
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/predict/link",
+		strings.NewReader(`{"from":0,"to":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Cold-Priority", "background")
+	req.Header.Set("X-Cold-Deadline-Ms", "150")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request = %s, want 200", resp.Status)
+	}
+
+	if got, _ := rep.lastPriority.Load().(string); got != "background" {
+		t.Fatalf("replica saw priority %q, want the client's %q relayed", got, "background")
+	}
+	raw, _ := rep.lastDeadline.Load().(string)
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		t.Fatalf("replica saw no parseable deadline header (%q): %v", raw, err)
+	}
+	// fastConfig's RequestTimeout is 2s; the client's 150ms budget must
+	// win, minus whatever the hop consumed.
+	if ms <= 0 || ms > 150 {
+		t.Fatalf("forwarded deadline = %dms, want within the client's 150ms budget", ms)
+	}
+
+	// Without a client header the route default applies server-side and
+	// no priority is invented by the router.
+	resp2, _ := post(t, front.URL, "/v1/predict/link", `{"from":0,"to":1}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plain request = %s", resp2.Status)
+	}
+	if got, _ := rep.lastPriority.Load().(string); got != "" {
+		t.Fatalf("router invented priority %q for a header-less request", got)
+	}
+	dl2, _ := rep.lastDeadline.Load().(string)
+	ms2, err := strconv.ParseInt(dl2, 10, 64)
+	if err != nil || ms2 <= 150 || ms2 > 2000 {
+		t.Fatalf("header-less forwarded deadline = %q, want the router's own ~2s budget", dl2)
+	}
+}
+
+// TestStatusExposesBrownoutLevel: the probed per-replica brownout level
+// must surface in /v1/cluster/status for fleet operators.
+func TestStatusExposesBrownoutLevel(t *testing.T) {
+	rep := newFakeReplica(t, "m@1", 1)
+	rep.brownout.Store(2)
+	rt, front := newTestRouter(t, fastConfig([]*fakeReplica{rep}))
+	rt.ProbeAll(context.Background())
+
+	resp, err := http.Get(front.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply StatusReply
+	if err := jsonDecode(resp, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Shards) != 1 || len(reply.Shards[0].Replicas) != 1 {
+		t.Fatalf("unexpected topology in status: %+v", reply)
+	}
+	if got := reply.Shards[0].Replicas[0].BrownoutLevel; got != 2 {
+		t.Fatalf("status brownout_level = %d, want 2", got)
+	}
+}
+
+// jsonDecode decodes one response body, failing loudly on mismatch.
+func jsonDecode(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

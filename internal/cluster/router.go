@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/overload"
 	"github.com/cold-diffusion/cold/internal/serve"
 	"github.com/cold-diffusion/cold/internal/text"
 )
@@ -199,13 +200,73 @@ func New(cfg Config) (*Router, error) {
 }
 
 // route describes one forwarded endpoint: its metric label, HTTP
-// method (empty → POST), path, and which request field is the routing
-// (shard-owning) user.
+// method (empty → POST), path, which request field is the routing
+// (shard-owning) user, and the request's priority tier (the client's
+// X-Cold-Priority when valid, the route default otherwise) with the raw
+// header value kept for relay to the replica.
 type route struct {
 	name      string
 	method    string
 	path      string
 	userField string
+	tier      overload.Tier
+	priority  string
+}
+
+// hotBrownoutLevel is the replica brownout level at or above which the
+// router stops pushing extra work: retries and hedges never select an
+// L3+ replica, and a brownout shed answered by one is relayed to the
+// client instead of retried into the heat.
+const hotBrownoutLevel = 3
+
+// routeTier is the tier a route serves when the client sends no
+// priority header, mirroring coldserve's own route defaults.
+func routeTier(name string) overload.Tier {
+	switch name {
+	case "batch":
+		return overload.TierBatch
+	case "rank":
+		return overload.TierRank
+	default:
+		return overload.TierInteractive
+	}
+}
+
+// stampPriority resolves the request's effective tier (a valid client
+// X-Cold-Priority wins over the route default) and records the raw
+// header value so attemptOne can relay it verbatim. An unknown name
+// still relays — the replica applies the same fallback-to-default rule.
+func stampPriority(req *http.Request, r *route) {
+	r.tier = routeTier(r.name)
+	if v := req.Header.Get(overload.PriorityHeader); v != "" {
+		r.priority = v
+		if t, ok := overload.ParseTier(v); ok {
+			r.tier = t
+		}
+	}
+}
+
+// forwardCtx bounds one routed request by RequestTimeout and, when the
+// client itself propagated X-Cold-Deadline-Ms, by that remaining budget
+// too — a deadline set upstream of the router survives the hop instead
+// of being stretched back out to the router's own timeout.
+func (rt *Router) forwardCtx(req *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(req.Context(), rt.cfg.RequestTimeout)
+	if ms, err := strconv.ParseInt(req.Header.Get(overload.DeadlineHeader), 10, 64); err == nil {
+		if dl := time.Now().Add(time.Duration(ms) * time.Millisecond); dl.Before(mustDeadline(ctx)) {
+			dctx, dcancel := context.WithDeadline(ctx, dl)
+			outer := cancel
+			ctx, cancel = dctx, func() { dcancel(); outer() }
+		}
+	}
+	return ctx, cancel
+}
+
+// mustDeadline reads a deadline known to exist (forwardCtx always sets
+// one via RequestTimeout).
+func mustDeadline(ctx context.Context) time.Time {
+	dl, _ := ctx.Deadline()
+	return dl
 }
 
 // Routes is the forwarded single-score prediction surface. The routing
@@ -325,8 +386,12 @@ func (rt *Router) predict(r route) http.HandlerFunc {
 			return
 		}
 		shard := ShardOf(*user, len(rt.shards))
+		// Stamp a per-request copy: r is shared by every request of this
+		// route, and priority is per-request state.
+		pr := r
+		stampPriority(req, &pr)
 		start := time.Now()
-		rt.forward(w, req, r, shard, body)
+		rt.forward(w, req, pr, shard, body)
 		rt.cfg.Metrics.forwarded(time.Since(start).Seconds())
 	}
 }
@@ -423,8 +488,10 @@ func (rt *Router) scoreBatch() http.HandlerFunc {
 			shardIdx[shard] = append(shardIdx[shard], i)
 		}
 
-		ctx, cancel := context.WithTimeout(req.Context(), rt.cfg.RequestTimeout)
+		ctx, cancel := rt.forwardCtx(req)
 		defer cancel()
+		br := route{name: "batch", path: "/v1/score/batch"}
+		stampPriority(req, &br)
 		type shardReply struct {
 			shard int
 			out   forwardOutcome
@@ -438,8 +505,7 @@ func (rt *Router) scoreBatch() http.HandlerFunc {
 			wg.Add(1)
 			go func(shard int, sub []byte) {
 				defer wg.Done()
-				replies <- shardReply{shard,
-					rt.collect(ctx, route{name: "batch", path: "/v1/score/batch"}, shard, sub)}
+				replies <- shardReply{shard, rt.collect(ctx, br, shard, sub)}
 			}(shard, sub)
 		}
 		wg.Wait()
@@ -534,8 +600,10 @@ func (rt *Router) rank() http.HandlerFunc {
 			path += "?k=" + url.QueryEscape(k)
 		}
 		shard := ShardOf(user, len(rt.shards))
+		rr := route{name: "rank", method: http.MethodGet, path: path}
+		stampPriority(req, &rr)
 		start := time.Now()
-		rt.forward(w, req, route{name: "rank", method: http.MethodGet, path: path}, shard, nil)
+		rt.forward(w, req, rr, shard, nil)
 		rt.cfg.Metrics.forwarded(time.Since(start).Seconds())
 	}
 }
@@ -545,6 +613,7 @@ type attemptResult struct {
 	rep      *replica
 	terminal bool // a response to hand to the client (2xx valid, or any 4xx)
 	skew     bool // 2xx discarded for model-key mismatch; not a shard fault
+	pressure bool // deliberate overload shed (brownout 503); not a shard fault
 	status   int
 	header   http.Header
 	body     []byte
@@ -565,7 +634,7 @@ type forwardOutcome struct {
 // forward drives the hardened forwarding path and writes the result:
 // terminal responses are relayed, everything else degrades or sheds.
 func (rt *Router) forward(w http.ResponseWriter, req *http.Request, r route, shard int, body []byte) {
-	ctx, cancel := context.WithTimeout(req.Context(), rt.cfg.RequestTimeout)
+	ctx, cancel := rt.forwardCtx(req)
 	defer cancel()
 	out := rt.collect(ctx, r, shard, body)
 	if out.res != nil {
@@ -602,7 +671,13 @@ func (rt *Router) collect(ctx context.Context, r route, shard int, body []byte) 
 		if ctx.Err() != nil {
 			break
 		}
-		rep := rt.pick(shard, key, tried)
+		// First attempts of interactive traffic prefer L0 replicas; a
+		// retry must respect receiver pressure and never lands on a
+		// replica reporting L3+ (it would only deepen the brownout).
+		rep := rt.pick(shard, key, tried, pickOpts{
+			preferCalm: r.tier == overload.TierInteractive,
+			skipHot:    attempt > 0,
+		})
 		if rep == nil {
 			break
 		}
@@ -619,7 +694,9 @@ func (rt *Router) collect(ctx context.Context, r route, shard int, body []byte) 
 		}
 		res := rt.attemptMaybeHedged(ctx, rep, r, shard, key, body, tried)
 		if res.terminal {
-			succeeded = res.status < 500
+			// A pressure shed (brownout 503) is a deliberate verdict from
+			// a live replica, not a shard fault: relay it breaker-neutral.
+			succeeded = res.status < 500 || res.pressure
 			return forwardOutcome{res: res, key: key}
 		}
 		if res.skew {
@@ -633,10 +710,38 @@ func (rt *Router) collect(ctx context.Context, r route, shard int, body []byte) 
 		msg: fmt.Sprintf("no usable replica for shard %d", shard)}
 }
 
+// pickOpts shapes replica selection around receiver pressure.
+type pickOpts struct {
+	// preferCalm makes a first pass over brownout-L0 replicas before
+	// accepting a browned-out one; interactive traffic sets it so the
+	// least-degraded replica answers when the pool is split.
+	preferCalm bool
+	// skipHot refuses replicas reporting hotBrownoutLevel or deeper
+	// outright. Retries and hedges set it: extra attempts must not be
+	// pushed into a replica that is already shedding load.
+	skipHot bool
+}
+
 // pick selects the next eligible replica of shard via round robin:
 // in rotation, not draining, on the pinned model key (when one is
-// known), past or inside its slow-start ramp, and not already tried.
-func (rt *Router) pick(shard int, key string, tried map[*replica]bool) *replica {
+// known), past or inside its slow-start ramp, not already tried, and
+// within opts' brownout bounds.
+func (rt *Router) pick(shard int, key string, tried map[*replica]bool, opts pickOpts) *replica {
+	if opts.preferCalm {
+		if rep := rt.pickPass(shard, key, tried, 0); rep != nil {
+			return rep
+		}
+	}
+	maxBrownout := overload.MaxLevel
+	if opts.skipHot {
+		maxBrownout = hotBrownoutLevel - 1
+	}
+	return rt.pickPass(shard, key, tried, maxBrownout)
+}
+
+// pickPass is one round-robin sweep accepting replicas whose reported
+// brownout level is at most maxBrownout.
+func (rt *Router) pickPass(shard int, key string, tried map[*replica]bool, maxBrownout int) *replica {
 	pool := rt.shards[shard]
 	n := len(pool)
 	off := int(rt.rr[shard].Add(1))
@@ -648,6 +753,9 @@ func (rt *Router) pick(shard int, key string, tried map[*replica]bool) *replica 
 		st := rep.snapshot()
 		if !st.up || st.draining {
 			continue
+		}
+		if st.brownout > maxBrownout {
+			continue // browned out beyond what this pass accepts
 		}
 		if key != "" && st.key != "" && st.key != key {
 			continue // lagging generation; skew guard keeps it out
@@ -684,7 +792,12 @@ func (rt *Router) attemptMaybeHedged(ctx context.Context, rep *replica, r route,
 	case <-timer.C:
 	}
 
-	hedge := rt.pick(shard, key, tried)
+	// A hedge is speculative extra load; like a retry it never lands on
+	// a replica that reports L3+ pressure.
+	hedge := rt.pick(shard, key, tried, pickOpts{
+		preferCalm: r.tier == overload.TierInteractive,
+		skipHot:    true,
+	})
 	if hedge == nil || !rt.budget.take() {
 		if hedge == nil {
 			// No second replica to hedge onto; wait out the primary.
@@ -747,7 +860,10 @@ func (rt *Router) attemptOne(ctx context.Context, rep *replica, r route, key str
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if dl, ok := ctx.Deadline(); ok {
-		req.Header.Set("X-Cold-Deadline-Ms", strconv.FormatInt(time.Until(dl).Milliseconds(), 10))
+		req.Header.Set(overload.DeadlineHeader, strconv.FormatInt(time.Until(dl).Milliseconds(), 10))
+	}
+	if r.priority != "" {
+		req.Header.Set(overload.PriorityHeader, r.priority)
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -771,6 +887,20 @@ func (rt *Router) attemptOne(ctx context.Context, rep *replica, r route, key str
 
 	switch {
 	case resp.StatusCode >= 500:
+		if code := envelopeCode(raw); code == "brownout" || code == "deadline_unmeetable" {
+			// A deliberate pressure shed: the replica answered fast, from
+			// under load, with a verdict — it is not failing, and retrying
+			// into the heat would only deepen it. Relay the shed to the
+			// client, breaker- and ejection-neutral.
+			if code == "brownout" {
+				rep.notePressure(hotBrownoutLevel)
+			} else {
+				rep.notePressure(0)
+			}
+			rt.cfg.Metrics.pressureRelayed()
+			res.terminal, res.pressure = true, true
+			return res
+		}
 		res.err = fmt.Errorf("replica %s answered %d", rep.url, resp.StatusCode)
 		rt.noteAttemptFailure(rep, res.err.Error())
 		return res
@@ -1054,6 +1184,7 @@ type ReplicaStatus struct {
 	Draining            bool   `json:"draining,omitempty"`
 	Degraded            bool   `json:"degraded,omitempty"`
 	Lagging             bool   `json:"lagging,omitempty"`
+	BrownoutLevel       int    `json:"brownout_level,omitempty"`
 	Generation          uint64 `json:"generation"`
 	ModelKey            string `json:"model_key,omitempty"`
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
@@ -1092,8 +1223,9 @@ func (rt *Router) Status() StatusReply {
 			st := rep.snapshot()
 			ss.Replicas = append(ss.Replicas, ReplicaStatus{
 				URL: rep.url, Up: st.up, Draining: st.draining, Degraded: st.degraded,
-				Lagging:    key != "" && st.key != "" && st.key != key,
-				Generation: st.gen, ModelKey: st.key,
+				Lagging:       key != "" && st.key != "" && st.key != key,
+				BrownoutLevel: st.brownout,
+				Generation:    st.gen, ModelKey: st.key,
 				ConsecutiveFailures: st.consecFails, LastError: st.lastErr,
 			})
 		}
@@ -1129,6 +1261,16 @@ type errorInfo struct {
 
 type errorBody struct {
 	Error errorInfo `json:"error"`
+}
+
+// envelopeCode extracts the error code of an enveloped non-2xx body,
+// empty when the body is not the shared envelope.
+func envelopeCode(raw []byte) string {
+	var eb errorBody
+	if json.Unmarshal(raw, &eb) != nil {
+		return ""
+	}
+	return eb.Error.Code
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -25,14 +25,19 @@ import (
 // fail with 500s, slowed down, drained, or moved to another model
 // generation — all without rebinding ports.
 type fakeReplica struct {
-	srv   *httptest.Server
-	down  atomic.Bool
-	fail  atomic.Bool
-	drain atomic.Bool
-	delay atomic.Int64 // nanoseconds before answering
-	gen   atomic.Uint64
-	key   atomic.Value // string
-	hits  atomic.Int64 // prediction requests that reached this replica
+	srv      *httptest.Server
+	down     atomic.Bool
+	fail     atomic.Bool
+	drain    atomic.Bool
+	shed     atomic.Bool  // answer predictions with a fast brownout 503
+	brownout atomic.Int64 // brownout level reported by /v1/healthz
+	delay    atomic.Int64 // nanoseconds before answering
+	gen      atomic.Uint64
+	key      atomic.Value // string
+	hits     atomic.Int64 // prediction requests that reached this replica
+
+	lastPriority atomic.Value // string: last X-Cold-Priority seen
+	lastDeadline atomic.Value // string: last X-Cold-Deadline-Ms seen
 }
 
 func newFakeReplica(t *testing.T, key string, gen uint64) *fakeReplica {
@@ -70,9 +75,19 @@ func newFakeReplica(t *testing.T, key string, gen uint64) *fakeReplica {
 				"status": status, "uptime_s": 1.0,
 				"generation": f.gen.Load(), "model_key": f.key.Load().(string),
 				"degraded": false, "draining": f.drain.Load(),
+				"brownout_level": f.brownout.Load(),
 			})
 		case strings.HasPrefix(r.URL.Path, "/v1/predict/") || r.URL.Path == "/v1/topics":
 			f.hits.Add(1)
+			f.lastPriority.Store(r.Header.Get("X-Cold-Priority"))
+			f.lastDeadline.Store(r.Header.Get("X-Cold-Deadline-Ms"))
+			if f.shed.Load() {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				io.WriteString(w, `{"error":{"code":"brownout","message":"brownout L3: rank traffic is shed until pressure drops"}}`)
+				return
+			}
 			if f.fail.Load() {
 				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(http.StatusInternalServerError)

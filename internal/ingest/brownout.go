@@ -1,0 +1,77 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// WatchBrownout polls a serving replica's /v1/healthz for its brownout
+// ladder level and returns a Config.Brownout source backed by the last
+// observed value. The standalone ingest daemon uses this to yield fold
+// CPU to a co-located coldserve under pressure without any shared
+// in-process state.
+//
+// An unreachable or malformed healthz decays the level to zero after
+// one failed poll: if the serving tier is down there is nobody to
+// starve, and holding a stale "hot" reading would stall fold-in
+// indefinitely. The poller stops when ctx is cancelled. logf may be
+// nil. every <= 0 defaults to a second — the ladder's own hold time is
+// longer, so this is fast enough to catch every level transition.
+func WatchBrownout(ctx context.Context, client *http.Client, url string, every time.Duration, logf func(format string, args ...any)) func() int {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var level atomic.Int64
+	poll := func() {
+		rctx, cancel := context.WithTimeout(ctx, every)
+		defer cancel()
+		req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+		if err != nil {
+			level.Store(0)
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if level.Swap(0) != 0 {
+				logf("ingest: brownout probe %s unreachable, resuming folds: %v", url, err)
+			}
+			return
+		}
+		defer resp.Body.Close()
+		// Draining and degraded replicas answer non-200 with the same
+		// body; the level is meaningful regardless of status code.
+		var body struct {
+			BrownoutLevel int64 `json:"brownout_level"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			level.Store(0)
+			return
+		}
+		if prev := level.Swap(body.BrownoutLevel); prev != body.BrownoutLevel {
+			logf("ingest: serving tier brownout L%d -> L%d", prev, body.BrownoutLevel)
+		}
+	}
+	go func() {
+		poll()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+	return func() int { return int(level.Load()) }
+}

@@ -88,7 +88,20 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Metrics, when set, instruments the whole pipeline.
 	Metrics *Metrics
+	// Brownout, when set, reports the serving tier's brownout ladder
+	// level (0..4). Fold-in is background-tier work: at level 3 and
+	// deeper the fold loop defers its ticks (the CPU belongs to the
+	// traffic that caused the brownout) and a full admission queue sheds
+	// even under PolicyBlock, so feeders back off instead of piling up
+	// blocked against a server that will not fold for a while. nil means
+	// no pressure signal (standalone daemon without a probe).
+	Brownout func() int
 }
+
+// brownoutDeferLevel is the serving brownout level at which fold work
+// yields; it matches the serve layer's L3 (popularity-prior fallback)
+// threshold — the point where the serving box is provably starved.
+const brownoutDeferLevel = 3
 
 // entry is one accepted record riding the queue from Submit to the fold
 // goroutine.
@@ -250,7 +263,11 @@ func (ing *Ingester) Submit(ctx context.Context, rec PostRecord) (uint64, error)
 	select {
 	case ing.slots <- struct{}{}:
 	default:
-		if ing.cfg.Policy == PolicyShed {
+		if ing.cfg.Policy == PolicyShed || ing.hot() {
+			// A full queue under deep serving brownout sheds even for
+			// PolicyBlock feeders: folds are deferred while hot, so a
+			// blocked submitter would be waiting on work that is not
+			// scheduled to happen.
 			ing.cfg.Metrics.shedOne()
 			return 0, fmt.Errorf("%w (retry after %s)", ErrOverloaded, ing.cfg.RetryAfter)
 		}
@@ -295,6 +312,13 @@ func (ing *Ingester) Start(ctx context.Context) {
 			case <-ing.draining:
 				return
 			case <-t.C:
+				if ing.hot() {
+					// Background-tier yield: the serving box is at L3+,
+					// so the Gibbs sweeps wait for the next tick. Queued
+					// records stay WAL-durable; nothing is lost.
+					ing.cfg.Metrics.foldDeferredOne()
+					continue
+				}
 				if _, err := ing.foldOnce(); err != nil {
 					ing.cfg.Logf("ingest: fold pass: %v", err)
 				}
@@ -490,6 +514,13 @@ func (ing *Ingester) Generation() uint64 { return ing.gen.Load() }
 // instead of stampeding back on the same tick.
 func (ing *Ingester) RetryAfter() time.Duration {
 	return time.Duration(float64(ing.cfg.RetryAfter) * (0.5 + rand.Float64()))
+}
+
+// hot reports whether the serving tier's brownout level says fold work
+// must yield. Drain ignores it by construction (the final fold runs
+// through foldLocked directly, never through the tick gate).
+func (ing *Ingester) hot() bool {
+	return ing.cfg.Brownout != nil && ing.cfg.Brownout() >= brownoutDeferLevel
 }
 
 // Model returns a deep copy of the current live model, for tests and

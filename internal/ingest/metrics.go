@@ -10,14 +10,15 @@ import (
 // cold_ingest_* namespace. A nil *Metrics disables instrumentation; all
 // methods are nil-safe, matching the serve.Metrics convention.
 type Metrics struct {
-	Appended    *obs.Counter   // cold_ingest_appended_total
-	Replayed    *obs.Counter   // cold_ingest_replayed_total
-	Quarantined *obs.Counter   // cold_ingest_quarantined_total
-	Applied     *obs.Counter   // cold_ingest_applied_total
-	Shed        *obs.Counter   // cold_ingest_shed_total
-	Publishes   *obs.Counter   // cold_ingest_publishes_total
-	QueueDepth  *obs.Gauge     // cold_ingest_queue_depth
-	FoldSeconds *obs.Histogram // cold_ingest_fold_seconds
+	Appended      *obs.Counter   // cold_ingest_appended_total
+	Replayed      *obs.Counter   // cold_ingest_replayed_total
+	Quarantined   *obs.Counter   // cold_ingest_quarantined_total
+	Applied       *obs.Counter   // cold_ingest_applied_total
+	Shed          *obs.Counter   // cold_ingest_shed_total
+	Publishes     *obs.Counter   // cold_ingest_publishes_total
+	FoldsDeferred *obs.Counter   // cold_ingest_folds_deferred_total
+	QueueDepth    *obs.Gauge     // cold_ingest_queue_depth
+	FoldSeconds   *obs.Histogram // cold_ingest_fold_seconds
 
 	reg *obs.Registry
 }
@@ -46,6 +47,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Submissions shed with 429 because the admission queue was full."),
 		Publishes: reg.Counter("cold_ingest_publishes_total",
 			"Model generations published for serving hot reload."),
+		FoldsDeferred: reg.Counter("cold_ingest_folds_deferred_total",
+			"Fold ticks skipped because the serving tier reported brownout L3+ (background-tier yield)."),
 		QueueDepth: reg.Gauge("cold_ingest_queue_depth",
 			"Records accepted into the admission queue but not yet folded in."),
 		FoldSeconds: reg.Histogram("cold_ingest_fold_seconds",
@@ -94,6 +97,13 @@ func (m *Metrics) publishedOne() {
 		return
 	}
 	m.Publishes.Inc()
+}
+
+func (m *Metrics) foldDeferredOne() {
+	if m == nil {
+		return
+	}
+	m.FoldsDeferred.Inc()
 }
 
 func (m *Metrics) queueDepth(depth int) {

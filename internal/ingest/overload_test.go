@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/obs"
+)
+
+// TestIngesterFoldDefersUnderBrownout pins the background-tier yield:
+// while the serving tier reports brownout L3+, fold ticks are skipped
+// (records stay queued but WAL-durable), and folding resumes — applying
+// everything queued — once the pressure clears.
+func TestIngesterFoldDefersUnderBrownout(t *testing.T) {
+	base := testBase(t)
+	var level atomic.Int64
+	level.Store(3)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	ing := newTestIngester(t, Config{
+		WALDir: t.TempDir(), Base: base, Sweeps: 2,
+		FoldEvery: 5 * time.Millisecond,
+		Brownout:  func() int { return int(level.Load()) },
+		Metrics:   m,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ing.Start(ctx)
+
+	const total = 4
+	for i := 0; i < total; i++ {
+		if _, err := ing.Submit(ctx, streamRecord(base, i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	// Several fold intervals pass; nothing may fold while hot, and every
+	// skipped tick is accounted.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.FoldsDeferred.Value() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("folds deferred = %d after 2s, want >= 3", m.FoldsDeferred.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := m.Applied.Value(); got != 0 {
+		t.Fatalf("applied %d records during brownout L3; folds must defer", got)
+	}
+
+	// Pressure clears: the next tick folds the whole backlog.
+	level.Store(0)
+	for m.Applied.Value() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("applied = %d after recovery, want %d", m.Applied.Value(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := ing.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngesterBlockPolicyShedsWhenHot: blocking backpressure parks the
+// submitter until the fold loop frees a slot — but a browned-out fold
+// loop is not draining, so blocking would hold client connections
+// indefinitely. Under L3+ a full queue sheds even with PolicyBlock, and
+// Drain still folds (it bypasses the tick gate).
+func TestIngesterBlockPolicyShedsWhenHot(t *testing.T) {
+	base := testBase(t)
+	var level atomic.Int64
+	level.Store(4)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	ing := newTestIngester(t, Config{
+		WALDir: t.TempDir(), Base: base, Sweeps: 2,
+		QueueCap: 1, Policy: PolicyBlock,
+		Brownout: func() int { return int(level.Load()) },
+		Metrics:  m,
+	})
+	ctx := context.Background()
+	if _, err := ing.Submit(ctx, streamRecord(base, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.Submit(ctx, streamRecord(base, 1)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full-queue submit while hot: %v, want ErrOverloaded", err)
+	}
+	if got := m.Shed.Value(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// Back at L0 the block policy blocks again (bounded here by a short
+	// deadline), proving the shed was the brownout, not a policy change.
+	level.Store(0)
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := ing.Submit(short, streamRecord(base, 2)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full-queue submit at L0: %v, want DeadlineExceeded (blocking restored)", err)
+	}
+
+	// Drain is the shutdown path: it must fold regardless of pressure.
+	level.Store(4)
+	if err := ing.Drain(ctx); err != nil {
+		t.Fatalf("drain while hot: %v", err)
+	}
+	if got := m.Applied.Value(); got != 1 {
+		t.Fatalf("applied after drain = %d, want the accepted record folded", got)
+	}
+}
+
+// TestServerIngestDeadlineHeader pins the /v1/ingest deadline contract:
+// an expired X-Cold-Deadline-Ms is rejected before touching the queue, a
+// malformed one is a client error, and a live one bounds the blocking
+// backpressure wait.
+func TestServerIngestDeadlineHeader(t *testing.T) {
+	base := testBase(t)
+	ing := newTestIngester(t, Config{
+		WALDir: t.TempDir(), Base: base, Sweeps: 2,
+		QueueCap: 1, Policy: PolicyBlock,
+	})
+	ts := httptest.NewServer(NewServer(ing, t.Logf).Handler())
+	defer ts.Close()
+	defer ing.Drain(context.Background())
+
+	send := func(deadline string, rec PostRecord) (*http.Response, errorBody) {
+		t.Helper()
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if deadline != "" {
+			req.Header.Set("X-Cold-Deadline-Ms", deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope errorBody
+		if resp.StatusCode >= 400 {
+			decodeBody(t, resp, &envelope)
+		} else {
+			resp.Body.Close()
+		}
+		return resp, envelope
+	}
+
+	// Already expired at admission: rejected before any durability work.
+	resp, envelope := send("0", streamRecord(base, 0))
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Error.Code != "deadline_exceeded" {
+		t.Fatalf("expired deadline: %s code %q, want 503 deadline_exceeded", resp.Status, envelope.Error.Code)
+	}
+	if st := ing.Status(); st.LastSeq != 0 {
+		t.Fatalf("expired request reached the WAL (seq %d); must be rejected at admission", st.LastSeq)
+	}
+
+	// Malformed header: client error.
+	resp, envelope = send("soon", streamRecord(base, 0))
+	if resp.StatusCode != http.StatusBadRequest || envelope.Error.Code != "bad_request" {
+		t.Fatalf("malformed deadline: %s code %q, want 400 bad_request", resp.Status, envelope.Error.Code)
+	}
+
+	// A generous deadline admits normally...
+	if resp, _ = send("5000", streamRecord(base, 0)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("live deadline: %s, want 200", resp.Status)
+	}
+	// ...and with the queue now full, a short one bounds the blocking
+	// wait instead of parking the connection forever.
+	start := time.Now()
+	resp, envelope = send("50", streamRecord(base, 1))
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Error.Code != "deadline_exceeded" {
+		t.Fatalf("blocked past deadline: %s code %q, want 503 deadline_exceeded", resp.Status, envelope.Error.Code)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("blocked submit held the connection %s past a 50ms deadline", waited)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/cold-diffusion/cold/internal/overload"
 )
 
 // Server is the firehose front door: a thin HTTP layer over an Ingester
@@ -59,6 +61,26 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// The cross-tier deadline contract: an already-expired propagated
+	// X-Cold-Deadline-Ms is rejected before any work, and a live one
+	// bounds the blocking backpressure wait inside Submit.
+	ctx := r.Context()
+	if v := r.Header.Get(overload.DeadlineHeader); v != "" {
+		ms, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("bad %s header %q", overload.DeadlineHeader, v))
+			return
+		}
+		if ms <= 0 {
+			writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+				"request deadline already expired at admission")
+			return
+		}
+		dctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		ctx = dctx
+	}
 	var rec PostRecord
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -66,7 +88,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
 		return
 	}
-	seq, err := s.ing.Submit(r.Context(), rec)
+	seq, err := s.ing.Submit(ctx, rec)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, ingestResponse{Seq: seq, Durable: true})
@@ -82,7 +104,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}})
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining", "ingester is draining")
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		// The propagated deadline ran out while blocked on backpressure;
+		// nothing durable happened, and the upstream has already given
+		// up on the answer.
+		writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+			"request deadline expired before the record was durable")
+	case errors.Is(err, context.Canceled):
 		// The client went away while blocked on backpressure; nothing
 		// durable happened. 503 tells a proxy the request is retryable.
 		writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled before the record was durable")

@@ -1,0 +1,117 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// MaxLevel is the top of the brownout ladder (L4: shed all
+// non-interactive traffic).
+const MaxLevel = 4
+
+// LadderConfig tunes the brownout ladder. Zero values get the defaults
+// documented per field.
+type LadderConfig struct {
+	// Enter[i] is the pressure at or above which the ladder steps up
+	// INTO level i+1 (Enter[0] → L1 … Enter[3] → L4). Zero →
+	// {0.55, 0.70, 0.85, 0.95}.
+	Enter [MaxLevel]float64
+	// Exit[i] is the pressure at or below which the ladder steps down
+	// OUT of level i+1. Zero → {0.40, 0.55, 0.70, 0.80}. Each exit
+	// sits well under its entry so the level doesn't flap across a
+	// noisy boundary.
+	Exit [MaxLevel]float64
+	// Hold is the minimum dwell time at a level before a step down
+	// (there is no up-hold: overload reaction must be immediate).
+	// 0 → 2s.
+	Hold time.Duration
+	// Now is the clock, injectable for tests; nil → time.Now.
+	Now func() time.Time
+}
+
+// DefaultEnter / DefaultExit are the stock thresholds, exported so the
+// docs, tests and DESIGN.md tables share one source of truth.
+var (
+	DefaultEnter = [MaxLevel]float64{0.55, 0.70, 0.85, 0.95}
+	DefaultExit  = [MaxLevel]float64{0.40, 0.55, 0.70, 0.80}
+)
+
+// Ladder converts the controller's pressure signal into a brownout
+// level L0..L4 with hysteresis: it steps UP one level per observation
+// whenever pressure reaches the next entry threshold (so a saturating
+// burst climbs quickly but never skips the intermediate degradations),
+// and steps DOWN one level only after pressure has fallen to the
+// current level's exit threshold AND the level has been held for the
+// dwell time — recovering from a deep brownout is deliberately gradual,
+// which also makes the level monotone non-increasing once load drops.
+//
+// Ladder is safe for concurrent use.
+type Ladder struct {
+	cfg LadderConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	level    int
+	lastStep time.Time
+}
+
+// NewLadder builds a ladder at L0.
+func NewLadder(cfg LadderConfig) *Ladder {
+	if cfg.Enter == ([MaxLevel]float64{}) {
+		cfg.Enter = DefaultEnter
+	}
+	if cfg.Exit == ([MaxLevel]float64{}) {
+		cfg.Exit = DefaultExit
+	}
+	if cfg.Hold <= 0 {
+		cfg.Hold = 2 * time.Second
+	}
+	l := &Ladder{cfg: cfg, now: cfg.Now}
+	if l.now == nil {
+		l.now = time.Now
+	}
+	return l
+}
+
+// Observe feeds one pressure sample and returns the (possibly stepped)
+// level. Call it wherever pressure is naturally sampled — the serving
+// layer observes on every admission attempt, release and health probe,
+// so the ladder keeps stepping down under trailing light traffic.
+func (l *Ladder) Observe(pressure float64) int {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.level < MaxLevel && pressure >= l.cfg.Enter[l.level]:
+		l.level++
+		l.lastStep = now
+	case l.level > 0 && pressure <= l.cfg.Exit[l.level-1] &&
+		now.Sub(l.lastStep) >= l.cfg.Hold:
+		l.level--
+		l.lastStep = now
+	}
+	return l.level
+}
+
+// Level reads the current level without feeding a sample.
+func (l *Ladder) Level() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.level
+}
+
+// Force pins the ladder to a level immediately, resetting the dwell
+// clock. It is the operator/test override: a forced level still decays
+// back down through Observe once pressure allows, one Hold per step.
+func (l *Ladder) Force(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	l.mu.Lock()
+	l.level = level
+	l.lastStep = l.now()
+	l.mu.Unlock()
+}

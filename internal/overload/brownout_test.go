@@ -1,0 +1,127 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLadderClimbsOneLevelPerObservation(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLadder(LadderConfig{Now: clk.Now})
+	if l.Level() != 0 {
+		t.Fatalf("initial level = %d", l.Level())
+	}
+	// Saturating pressure climbs one rung per sample — never skipping
+	// the intermediate degradations.
+	want := []int{1, 2, 3, 4, 4}
+	for i, w := range want {
+		if got := l.Observe(1.0); got != w {
+			t.Fatalf("observation %d: level = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLadderEntryThresholdsGateEachRung(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLadder(LadderConfig{Now: clk.Now})
+	// 0.60 clears Enter[0]=0.55 but not Enter[1]=0.70: the ladder
+	// enters L1 and stays there no matter how many samples arrive.
+	for i := 0; i < 5; i++ {
+		l.Observe(0.60)
+	}
+	if got := l.Level(); got != 1 {
+		t.Fatalf("level = %d at pressure 0.60, want 1", got)
+	}
+	if got := l.Observe(0.72); got != 2 {
+		t.Fatalf("level = %d at pressure 0.72, want 2", got)
+	}
+}
+
+func TestLadderHysteresisHoldsBeforeSteppingDown(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLadder(LadderConfig{Hold: time.Second, Now: clk.Now})
+	l.Observe(1.0) // L1
+	l.Observe(1.0) // L2
+
+	// Pressure collapses, but the dwell time hasn't elapsed: the level
+	// must hold (no flapping across a noisy boundary).
+	if got := l.Observe(0); got != 2 {
+		t.Fatalf("level = %d immediately after pressure drop, want held 2", got)
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if got := l.Observe(0); got != 1 {
+		t.Fatalf("level = %d after hold, want 1", got)
+	}
+	// One step per hold interval: straight back to 0 is not allowed.
+	if got := l.Observe(0); got != 1 {
+		t.Fatalf("level = %d, want still 1 (one step per hold)", got)
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if got := l.Observe(0); got != 0 {
+		t.Fatalf("level = %d after second hold, want 0", got)
+	}
+}
+
+func TestLadderExitBelowEntry(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLadder(LadderConfig{Hold: time.Second, Now: clk.Now})
+	l.Observe(0.60) // L1 (Enter[0]=0.55)
+	clk.Advance(2 * time.Second)
+	// 0.50 is under the entry but above Exit[0]=0.40: still L1.
+	if got := l.Observe(0.50); got != 1 {
+		t.Fatalf("level = %d in the hysteresis band, want 1", got)
+	}
+	clk.Advance(2 * time.Second)
+	if got := l.Observe(0.35); got != 0 {
+		t.Fatalf("level = %d below the exit threshold, want 0", got)
+	}
+}
+
+func TestLadderMonotoneRecovery(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLadder(LadderConfig{Hold: 100 * time.Millisecond, Now: clk.Now})
+	for i := 0; i < 4; i++ {
+		l.Observe(1.0)
+	}
+	if l.Level() != 4 {
+		t.Fatalf("level = %d, want 4", l.Level())
+	}
+	// Once load drops, the level must only ever decrease.
+	prev := l.Level()
+	for i := 0; i < 20; i++ {
+		clk.Advance(60 * time.Millisecond)
+		got := l.Observe(0.1)
+		if got > prev {
+			t.Fatalf("level rose %d -> %d during recovery", prev, got)
+		}
+		prev = got
+	}
+	if prev != 0 {
+		t.Fatalf("level = %d after recovery, want 0", prev)
+	}
+}
+
+func TestLadderForce(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLadder(LadderConfig{Hold: time.Second, Now: clk.Now})
+	l.Force(3)
+	if got := l.Level(); got != 3 {
+		t.Fatalf("forced level = %d, want 3", got)
+	}
+	// A forced level decays like any other: hold, then one step down.
+	if got := l.Observe(0); got != 3 {
+		t.Fatalf("level = %d before hold elapsed, want 3", got)
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if got := l.Observe(0); got != 2 {
+		t.Fatalf("level = %d after hold, want 2", got)
+	}
+	l.Force(99)
+	if got := l.Level(); got != MaxLevel {
+		t.Fatalf("Force must clamp to MaxLevel, got %d", got)
+	}
+	l.Force(-5)
+	if got := l.Level(); got != 0 {
+		t.Fatalf("Force must clamp to 0, got %d", got)
+	}
+}

@@ -1,0 +1,513 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Shed errors returned by Admit. The serving layer maps them onto the
+// /v1 error envelope (429 overloaded, 503 deadline_unmeetable /
+// deadline_exceeded).
+var (
+	ErrQueueFull          = errors.New("overload: admission queue full")
+	ErrDeadlineUnmeetable = errors.New("overload: deadline cannot be met at the current service rate")
+	ErrExpiredInQueue     = errors.New("overload: deadline expired while queued")
+)
+
+// Config tunes a Controller. Zero values get the defaults documented
+// per field.
+type Config struct {
+	// Ceiling is the concurrency ceiling (the old static MaxInFlight).
+	// Required (> 0).
+	Ceiling int
+	// Floor is the limiter's lower bound; 0 → Ceiling/16 (min 1).
+	// Negative disables adaptation entirely: the limit is pinned at
+	// Ceiling, reproducing the static admission pool.
+	Floor int
+	// QueueCap bounds the total queued waiters across all tiers;
+	// 0 → 4 × Ceiling. Negative disables queuing: over-limit arrivals
+	// shed immediately with ErrQueueFull (the pre-queue behaviour).
+	QueueCap int
+	// Window / Tolerance / Backoff pass through to the Limiter.
+	Window    int
+	Tolerance float64
+	Backoff   float64
+	// Now is the clock, injectable for tests; nil → time.Now.
+	Now func() time.Time
+	// OnShed, when set, is called for every shed decision (counting
+	// hooks). It runs with the controller's lock held, so it must be
+	// cheap and must not call back into the Controller.
+	OnShed func(tier Tier, reason Reason)
+}
+
+// waiter is one queued admission request. Its lifecycle is guarded by
+// the controller's mutex: exactly one of grant/shed/abandon wins, and
+// the outcome is delivered once on ready (buffered, never blocks the
+// deliverer).
+type waiter struct {
+	tier     Tier
+	deadline time.Time // zero = none
+	ready    chan waiterOutcome
+	state    waiterState
+}
+
+type waiterState int
+
+const (
+	waiting waiterState = iota
+	granted
+	gone // shed, expired, or abandoned
+)
+
+type waiterOutcome struct {
+	err     error
+	granted time.Time
+}
+
+// Ticket is an admitted request's slot handle. Release it exactly once
+// when the work finishes (including panics — the serving layer releases
+// in a defer).
+type Ticket struct {
+	c       *Controller
+	tier    Tier
+	granted time.Time
+}
+
+// Tier reports the tier the ticket was admitted under.
+func (t *Ticket) Tier() Tier { return t.tier }
+
+// Stats is the controller's observable state for /v1/stats, healthz
+// and the metrics gauges.
+type Stats struct {
+	Limit    int     `json:"limit"`
+	Ceiling  int     `json:"ceiling"`
+	InFlight int     `json:"in_flight"`
+	Queued   int     `json:"queued"`
+	QueueCap int     `json:"queue_cap"`
+	Pressure float64 `json:"pressure"`
+	// RatePerSec is the smoothed completion rate the unmeetable-
+	// deadline estimate divides by.
+	RatePerSec float64 `json:"rate_per_sec"`
+	Backoffs   uint64  `json:"limit_backoffs"`
+	Grows      uint64  `json:"limit_grows"`
+	// Sheds counts shed decisions by reason (brownout sheds are
+	// recorded by the serving layer via RecordShed).
+	Sheds map[Reason]uint64 `json:"sheds"`
+}
+
+// Controller is the deadline-aware priority admission queue in front of
+// the AIMD limiter. Admit blocks (briefly) for a slot; Release returns
+// it and feeds the limiter. There is no resident goroutine: slots are
+// handed off to waiters at Release time, mirroring the leader-election
+// micro-batcher's design.
+type Controller struct {
+	cfg      Config
+	now      func() time.Time
+	queueCap int
+
+	mu       sync.Mutex
+	lim      *Limiter
+	inFlight int
+	queues   [numTiers][]*waiter
+	queued   int // waiters in state waiting, across all tiers
+
+	// rate is the EWMA completion rate (per second) used for the
+	// shed-at-enqueue wait estimate; 0 until warmed up.
+	rate     float64
+	lastDone time.Time
+
+	// shedEWMA tracks the recent shed fraction of admission attempts,
+	// folded into the pressure signal so a queue-less (QueueCap < 0)
+	// configuration still reports pressure when it sheds.
+	shedEWMA float64
+
+	sheds [numTiers]map[Reason]uint64
+}
+
+// NewController builds the admission controller.
+func NewController(cfg Config) *Controller {
+	c := &Controller{cfg: cfg, now: cfg.Now}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	c.lim = NewLimiter(LimiterConfig{
+		Ceiling:   cfg.Ceiling,
+		Floor:     cfg.Floor,
+		Window:    cfg.Window,
+		Tolerance: cfg.Tolerance,
+		Backoff:   cfg.Backoff,
+	})
+	switch {
+	case cfg.QueueCap < 0:
+		c.queueCap = 0
+	case cfg.QueueCap == 0:
+		c.queueCap = 4 * max(1, cfg.Ceiling)
+	default:
+		c.queueCap = cfg.QueueCap
+	}
+	for i := range c.sheds {
+		c.sheds[i] = make(map[Reason]uint64, 4)
+	}
+	return c
+}
+
+// Adaptive reports whether the limit adjusts (false in static mode).
+func (c *Controller) Adaptive() bool { return c.lim.Adaptive() }
+
+// Limit is the current learned concurrency limit.
+func (c *Controller) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lim.Limit()
+}
+
+// Admit asks for an admission slot for one request. deadline is the
+// request's propagated absolute deadline (zero = none). It returns a
+// Ticket immediately when a slot is free and nobody of equal or higher
+// priority is waiting; otherwise it queues and blocks until a slot is
+// handed off, the deadline passes (ErrExpiredInQueue), the queue
+// refuses it (ErrQueueFull, ErrDeadlineUnmeetable), or ctx is done.
+func (c *Controller) Admit(ctx context.Context, tier Tier, deadline time.Time) (*Ticket, error) {
+	if tier < 0 || int(tier) >= numTiers {
+		tier = TierBackground
+	}
+	now := c.now()
+	c.mu.Lock()
+	c.sweepLocked(now)
+
+	// Dead on arrival: never burn a slot on work that cannot finish in
+	// time. (The serving layer normally rejects these before Admit;
+	// this is the defence for direct users of the package.)
+	if !deadline.IsZero() && !now.Before(deadline) {
+		c.shedLocked(tier, ReasonDeadlineUnmeetable)
+		c.mu.Unlock()
+		return nil, ErrDeadlineUnmeetable
+	}
+
+	// Fast path: free slot and no same-or-higher-priority waiter whose
+	// place in line we would be stealing.
+	if c.inFlight < c.lim.Limit() && !c.waitingAtOrAboveLocked(tier) {
+		c.inFlight++
+		c.shedEWMA += shedAlpha * (0 - c.shedEWMA)
+		c.mu.Unlock()
+		return &Ticket{c: c, tier: tier, granted: now}, nil
+	}
+
+	// Queue disabled: the old static-pool behaviour, an instant shed.
+	if c.queueCap == 0 {
+		c.shedLocked(tier, ReasonQueueFull)
+		c.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+
+	// Shed-at-enqueue: if the wait for everything ahead of this request
+	// already overruns its deadline at the current service rate, refuse
+	// it now instead of queuing doomed work.
+	if !deadline.IsZero() && c.rate > 0 {
+		ahead := float64(c.inFlight + c.waitersAtOrAboveLocked(tier) + 1)
+		wait := time.Duration(ahead / c.rate * float64(time.Second))
+		if now.Add(wait).After(deadline) {
+			c.shedLocked(tier, ReasonDeadlineUnmeetable)
+			c.mu.Unlock()
+			return nil, ErrDeadlineUnmeetable
+		}
+	}
+
+	if c.queued >= c.queueCap && !c.evictLowerLocked(tier) {
+		c.shedLocked(tier, ReasonQueueFull)
+		c.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+
+	w := &waiter{tier: tier, deadline: deadline, ready: make(chan waiterOutcome, 1)}
+	c.queues[tier] = append(c.queues[tier], w)
+	c.queued++
+	c.mu.Unlock()
+
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(deadline.Sub(now))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case out := <-w.ready:
+		if out.err != nil {
+			return nil, out.err
+		}
+		return &Ticket{c: c, tier: tier, granted: out.granted}, nil
+	case <-expire:
+		if tk := c.abandon(w, ReasonExpiredInQueue); tk != nil {
+			// Lost the race: a slot was granted between the timer firing
+			// and the lock. Hand it straight back (it counts as a
+			// deadline miss — the work never ran but the slot cycled).
+			c.Release(tk, true)
+		}
+		return nil, ErrExpiredInQueue
+	case <-ctx.Done():
+		if tk := c.abandon(w, ""); tk != nil {
+			c.Release(tk, false)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns an admitted slot, feeds the limiter with the
+// completion (latency and whether the request's deadline was missed),
+// and hands the slot to the highest-priority live waiter. Safe to call
+// exactly once per Ticket.
+func (c *Controller) Release(t *Ticket, deadlineMiss bool) {
+	if t == nil || t.c != c {
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	// Saturation is judged before decrementing: this completion ran
+	// with inFlight at (or beyond, after a backoff) the limit, or with
+	// work queued behind it.
+	saturated := c.inFlight >= c.lim.Limit() || c.queued > 0
+	c.inFlight--
+	c.lim.Observe(now.Sub(t.granted), deadlineMiss, saturated)
+	if !c.lastDone.IsZero() {
+		if dt := now.Sub(c.lastDone).Seconds(); dt > 0 {
+			inst := 1.0 / dt
+			if inst > maxRate {
+				inst = maxRate
+			}
+			if c.rate == 0 {
+				c.rate = inst
+			} else {
+				c.rate += rateAlpha * (inst - c.rate)
+			}
+		}
+	}
+	c.lastDone = now
+	c.sweepLocked(now)
+	c.grantLocked(now)
+	c.mu.Unlock()
+}
+
+// RecordShed counts an externally decided shed (the brownout ladder's
+// pre-admission sheds) so /v1/stats and the OnShed hook see every
+// reason through one funnel. Brownout sheds deliberately do NOT feed
+// the pressure signal: pressure driven by its own consequences would
+// latch the ladder at its top level.
+func (c *Controller) RecordShed(tier Tier, reason Reason) {
+	if tier < 0 || int(tier) >= numTiers {
+		tier = TierBackground
+	}
+	c.mu.Lock()
+	c.sheds[tier][reason]++
+	if c.cfg.OnShed != nil {
+		c.cfg.OnShed(tier, reason)
+	}
+	c.mu.Unlock()
+}
+
+// Pressure is the controller's load signal in [0, 1]: half utilisation
+// (in-flight / limit), half queue fill, overridden by the recent shed
+// fraction when that is higher (so queue-less configurations still
+// report pressure while shedding).
+func (c *Controller) Pressure() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pressureLocked()
+}
+
+func (c *Controller) pressureLocked() float64 {
+	limit := float64(c.lim.Limit())
+	util := float64(c.inFlight) / limit
+	if util > 1 {
+		util = 1
+	}
+	var fill float64
+	if c.queueCap > 0 {
+		fill = float64(c.queued) / float64(c.queueCap)
+		if fill > 1 {
+			fill = 1
+		}
+	}
+	p := 0.5*util + 0.5*fill
+	if c.shedEWMA > p {
+		p = c.shedEWMA
+	}
+	return p
+}
+
+// Stats snapshots the controller's observable state.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sheds := make(map[Reason]uint64, 4)
+	for i := range c.sheds {
+		for reason, n := range c.sheds[i] {
+			sheds[reason] += n
+		}
+	}
+	return Stats{
+		Limit:      c.lim.Limit(),
+		Ceiling:    int(c.lim.ceiling),
+		InFlight:   c.inFlight,
+		Queued:     c.queued,
+		QueueCap:   c.queueCap,
+		Pressure:   c.pressureLocked(),
+		RatePerSec: c.rate,
+		Backoffs:   c.lim.Backoffs(),
+		Grows:      c.lim.Grows(),
+		Sheds:      sheds,
+	}
+}
+
+// ShedCount reports the shed count for one (tier, reason) pair.
+func (c *Controller) ShedCount(tier Tier, reason Reason) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sheds[tier][reason]
+}
+
+const (
+	rateAlpha = 0.05
+	shedAlpha = 0.2
+	maxRate   = 1e6 // completions/sec cap on one inter-completion gap
+)
+
+// ---- internals (all called with c.mu held) ----
+
+func (c *Controller) shedLocked(tier Tier, reason Reason) {
+	c.sheds[tier][reason]++
+	c.shedEWMA += shedAlpha * (1 - c.shedEWMA)
+	if c.cfg.OnShed != nil {
+		c.cfg.OnShed(tier, reason)
+	}
+}
+
+// waitingAtOrAboveLocked reports whether any waiter of priority >= tier
+// (numerically <=) is queued — the fast path must not jump that line.
+func (c *Controller) waitingAtOrAboveLocked(tier Tier) bool {
+	for t := 0; t <= int(tier); t++ {
+		for _, w := range c.queues[t] {
+			if w.state == waiting {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waitersAtOrAboveLocked counts the waiters that would be served before
+// a new arrival of the given tier.
+func (c *Controller) waitersAtOrAboveLocked(tier Tier) int {
+	n := 0
+	for t := 0; t <= int(tier); t++ {
+		for _, w := range c.queues[t] {
+			if w.state == waiting {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sweepLocked expires queued waiters whose deadline has passed and
+// compacts lazily removed entries — the CoDel-flavoured half of the
+// queue: nothing sits in line after it is already dead.
+func (c *Controller) sweepLocked(now time.Time) {
+	for t := range c.queues {
+		q := c.queues[t]
+		kept := q[:0]
+		for _, w := range q {
+			switch {
+			case w.state != waiting:
+				// granted or gone: drop from the slice.
+			case !w.deadline.IsZero() && !now.Before(w.deadline):
+				w.state = gone
+				c.queued--
+				c.shedLocked(Tier(t), ReasonExpiredInQueue)
+				w.ready <- waiterOutcome{err: ErrExpiredInQueue}
+			default:
+				kept = append(kept, w)
+			}
+		}
+		// Zero the tail so dropped waiters don't pin memory.
+		for i := len(kept); i < len(q); i++ {
+			q[i] = nil
+		}
+		c.queues[t] = kept
+	}
+}
+
+// grantLocked hands freed slots to the highest-priority live waiters.
+func (c *Controller) grantLocked(now time.Time) {
+	for c.inFlight < c.lim.Limit() {
+		w := c.popLocked()
+		if w == nil {
+			return
+		}
+		w.state = granted
+		c.inFlight++
+		w.ready <- waiterOutcome{granted: now}
+	}
+}
+
+// popLocked removes and returns the highest-priority waiting waiter
+// (FIFO within a tier), or nil.
+func (c *Controller) popLocked() *waiter {
+	for t := range c.queues {
+		q := c.queues[t]
+		for i, w := range q {
+			if w.state == waiting {
+				c.queues[t] = q[i+1:]
+				c.queued--
+				return w
+			}
+			q[i] = nil
+		}
+		c.queues[t] = q[:0]
+	}
+	return nil
+}
+
+// evictLowerLocked makes room in a full queue for a higher-priority
+// arrival by shedding the NEWEST waiter of the LOWEST-priority occupied
+// tier below it (newest: it has waited least, so evicting it wastes the
+// least invested queue time). Returns false when nothing outranked is
+// queued — the arrival itself must shed.
+func (c *Controller) evictLowerLocked(tier Tier) bool {
+	for t := numTiers - 1; t > int(tier); t-- {
+		q := c.queues[t]
+		for i := len(q) - 1; i >= 0; i-- {
+			if w := q[i]; w.state == waiting {
+				w.state = gone
+				c.queued--
+				c.shedLocked(Tier(t), ReasonQueueFull)
+				w.ready <- waiterOutcome{err: ErrQueueFull}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// abandon removes a waiter whose Admit call is giving up (deadline
+// timer or context cancellation). If the waiter was already granted —
+// the slot handoff raced the timer — it returns a Ticket the caller
+// must Release; otherwise it returns nil after counting the shed
+// (reason "" counts nothing: a client cancellation is not a shed).
+func (c *Controller) abandon(w *waiter, reason Reason) *Ticket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch w.state {
+	case granted:
+		out := <-w.ready
+		return &Ticket{c: c, tier: w.tier, granted: out.granted}
+	case waiting:
+		w.state = gone
+		c.queued--
+		if reason != "" {
+			c.shedLocked(w.tier, reason)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for the deterministic
+// controller tests (the blocking-queue tests use the real clock with
+// short waits instead, because Admit's expiry timer is a real timer).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestControllerFastPathAndRelease(t *testing.T) {
+	c := NewController(Config{Ceiling: 2})
+	tk1, err := c.Admit(context.Background(), TierInteractive, time.Time{})
+	if err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	tk2, err := c.Admit(context.Background(), TierBatch, time.Time{})
+	if err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	st := c.Stats()
+	if st.InFlight != 2 || st.Limit != 2 {
+		t.Fatalf("stats = %+v, want 2 in flight at limit 2", st)
+	}
+	c.Release(tk1, false)
+	c.Release(tk2, false)
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("in flight after release = %d", got)
+	}
+}
+
+func TestControllerPriorityOrdering(t *testing.T) {
+	c := NewController(Config{Ceiling: 1, QueueCap: 8})
+	hold, err := c.Admit(context.Background(), TierInteractive, time.Time{})
+	if err != nil {
+		t.Fatalf("hold: %v", err)
+	}
+
+	type result struct {
+		tier Tier
+		at   time.Time
+	}
+	order := make(chan result, 2)
+	var started sync.WaitGroup
+	admit := func(tier Tier) {
+		started.Done()
+		tk, err := c.Admit(context.Background(), tier, time.Time{})
+		if err != nil {
+			t.Errorf("admit %v: %v", tier, err)
+			return
+		}
+		order <- result{tier, time.Now()}
+		time.Sleep(5 * time.Millisecond)
+		c.Release(tk, false)
+	}
+	// Background queues first, interactive second; the slot must still
+	// go to interactive first.
+	started.Add(1)
+	go admit(TierBackground)
+	started.Wait()
+	waitQueued(t, c, 1)
+	started.Add(1)
+	go admit(TierInteractive)
+	started.Wait()
+	waitQueued(t, c, 2)
+
+	c.Release(hold, false)
+	first := <-order
+	second := <-order
+	if first.tier != TierInteractive || second.tier != TierBackground {
+		t.Fatalf("grant order = %v, %v; want interactive first", first.tier, second.tier)
+	}
+}
+
+// waitQueued polls until the queue depth reaches n (the admit
+// goroutines enqueue asynchronously).
+func waitQueued(t *testing.T, c *Controller, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, c.Stats().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestControllerQueueFullAndEviction(t *testing.T) {
+	c := NewController(Config{Ceiling: 1, QueueCap: 1})
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	defer c.Release(hold, false)
+
+	// Fill the queue with a background waiter.
+	bgErr := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), TierBackground, time.Time{})
+		bgErr <- err
+	}()
+	waitQueued(t, c, 1)
+
+	// Same-or-lower priority arrivals shed immediately…
+	if _, err := c.Admit(context.Background(), TierBackground, time.Time{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("background into a full queue: %v, want ErrQueueFull", err)
+	}
+	if got := c.ShedCount(TierBackground, ReasonQueueFull); got != 1 {
+		t.Fatalf("queue_full shed count = %d, want 1", got)
+	}
+
+	// …but an interactive arrival evicts the queued background waiter.
+	intDone := make(chan error, 1)
+	go func() {
+		tk, err := c.Admit(context.Background(), TierInteractive, time.Time{})
+		if tk != nil {
+			defer c.Release(tk, false)
+		}
+		intDone <- err
+	}()
+	if err := <-bgErr; !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("evicted background waiter got %v, want ErrQueueFull", err)
+	}
+	c.Release(hold, false)
+	if err := <-intDone; err != nil {
+		t.Fatalf("interactive after eviction: %v", err)
+	}
+}
+
+func TestControllerQueueDisabledShedsInstantly(t *testing.T) {
+	c := NewController(Config{Ceiling: 1, QueueCap: -1})
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	defer c.Release(hold, false)
+	start := time.Now()
+	_, err := c.Admit(context.Background(), TierInteractive, time.Time{})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("queue-less shed must not block")
+	}
+}
+
+func TestControllerDeadOnArrival(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{Ceiling: 4, Now: clk.Now})
+	_, err := c.Admit(context.Background(), TierInteractive, clk.Now().Add(-time.Millisecond))
+	if !errors.Is(err, ErrDeadlineUnmeetable) {
+		t.Fatalf("err = %v, want ErrDeadlineUnmeetable", err)
+	}
+}
+
+func TestControllerShedsUnmeetableDeadlineAtEnqueue(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{Ceiling: 1, QueueCap: 8, Now: clk.Now})
+
+	// Warm the service-rate estimate at ~10 completions/sec.
+	for i := 0; i < 5; i++ {
+		tk, err := c.Admit(context.Background(), TierInteractive, time.Time{})
+		if err != nil {
+			t.Fatalf("warmup admit: %v", err)
+		}
+		clk.Advance(100 * time.Millisecond)
+		c.Release(tk, false)
+	}
+	if rate := c.Stats().RatePerSec; rate < 5 || rate > 20 {
+		t.Fatalf("rate = %v, want ~10/s", rate)
+	}
+
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	defer c.Release(hold, false)
+
+	// Two work units ahead at ~100ms each: a 50ms deadline is doomed
+	// and must shed at enqueue, without blocking.
+	_, err := c.Admit(context.Background(), TierInteractive, clk.Now().Add(50*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineUnmeetable) {
+		t.Fatalf("err = %v, want ErrDeadlineUnmeetable", err)
+	}
+	if got := c.ShedCount(TierInteractive, ReasonDeadlineUnmeetable); got == 0 {
+		t.Fatal("deadline_unmeetable shed not counted")
+	}
+
+	// A lavish deadline still queues fine.
+	done := make(chan error, 1)
+	go func() {
+		tk, err := c.Admit(context.Background(), TierInteractive, time.Now().Add(time.Hour))
+		if tk != nil {
+			c.Release(tk, false)
+		}
+		done <- err
+	}()
+	waitQueued(t, c, 1)
+	c.Release(hold, false)
+	if err := <-done; err != nil {
+		t.Fatalf("meetable deadline: %v", err)
+	}
+}
+
+func TestControllerExpiresWhileQueued(t *testing.T) {
+	c := NewController(Config{Ceiling: 1, QueueCap: 8})
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+
+	start := time.Now()
+	_, err := c.Admit(context.Background(), TierBatch, time.Now().Add(30*time.Millisecond))
+	if !errors.Is(err, ErrExpiredInQueue) {
+		t.Fatalf("err = %v, want ErrExpiredInQueue", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("expired after only %v; must have actually queued", waited)
+	}
+	if got := c.ShedCount(TierBatch, ReasonExpiredInQueue); got != 1 {
+		t.Fatalf("expired_in_queue shed count = %d, want 1", got)
+	}
+	c.Release(hold, false)
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("in flight = %d after everything drained", got)
+	}
+}
+
+func TestControllerContextCancelWhileQueued(t *testing.T) {
+	c := NewController(Config{Ceiling: 1, QueueCap: 8})
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	defer c.Release(hold, false)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, TierInteractive, time.Time{})
+		done <- err
+	}()
+	waitQueued(t, c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A client cancellation is not a shed.
+	if got := c.ShedCount(TierInteractive, ReasonExpiredInQueue); got != 0 {
+		t.Fatalf("cancellation miscounted as a shed: %d", got)
+	}
+}
+
+func TestControllerPressureSignal(t *testing.T) {
+	c := NewController(Config{Ceiling: 2, QueueCap: 2})
+	if p := c.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %v, want 0", p)
+	}
+	tk1, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	tk2, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	if p := c.Pressure(); p < 0.45 || p > 0.55 {
+		t.Fatalf("saturated-no-queue pressure = %v, want ~0.5", p)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := c.Admit(context.Background(), TierInteractive, time.Time{})
+			if err == nil {
+				c.Release(tk, false)
+			}
+		}()
+	}
+	waitQueued(t, c, 2)
+	if p := c.Pressure(); p < 0.99 {
+		t.Fatalf("saturated-full-queue pressure = %v, want ~1", p)
+	}
+	c.Release(tk1, false)
+	c.Release(tk2, false)
+	wg.Wait()
+}
+
+func TestControllerShedPressureWithoutQueue(t *testing.T) {
+	c := NewController(Config{Ceiling: 1, QueueCap: -1})
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	defer c.Release(hold, false)
+	for i := 0; i < 30; i++ {
+		c.Admit(context.Background(), TierInteractive, time.Time{}) //nolint:errcheck
+	}
+	if p := c.Pressure(); p < 0.9 {
+		t.Fatalf("pressure = %v after a shed storm, want ~1", p)
+	}
+}
+
+func TestControllerOnShedHook(t *testing.T) {
+	var hooked atomic.Uint64
+	c := NewController(Config{Ceiling: 1, QueueCap: -1,
+		OnShed: func(Tier, Reason) { hooked.Add(1) }})
+	hold, _ := c.Admit(context.Background(), TierInteractive, time.Time{})
+	defer c.Release(hold, false)
+	c.Admit(context.Background(), TierBatch, time.Time{}) //nolint:errcheck
+	c.RecordShed(TierRank, ReasonBrownout)
+	if got := hooked.Load(); got != 2 {
+		t.Fatalf("hook fired %d times, want 2", got)
+	}
+	if got := c.ShedCount(TierRank, ReasonBrownout); got != 1 {
+		t.Fatalf("brownout shed count = %d, want 1", got)
+	}
+}
+
+// TestControllerHammer drives concurrent admits/releases under -race
+// and asserts the in-flight accounting never corrupts.
+func TestControllerHammer(t *testing.T) {
+	c := NewController(Config{Ceiling: 8, QueueCap: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tier := Tier(i % numTiers)
+				var dl time.Time
+				if i%3 == 0 {
+					dl = time.Now().Add(time.Duration(i%7) * time.Millisecond)
+				}
+				tk, err := c.Admit(context.Background(), tier, dl)
+				if err != nil {
+					continue
+				}
+				if i%5 == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				c.Release(tk, i%11 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked state after hammer: %+v", st)
+	}
+	if st.Limit < 1 || st.Limit > 8 {
+		t.Fatalf("limit %d escaped [floor, ceiling]", st.Limit)
+	}
+}

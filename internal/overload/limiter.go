@@ -1,0 +1,170 @@
+package overload
+
+import "time"
+
+// LimiterConfig tunes the AIMD concurrency limiter. Zero values get
+// the defaults documented per field.
+type LimiterConfig struct {
+	// Ceiling is the hard upper bound on the learned limit — the old
+	// static MaxInFlight. Required (> 0).
+	Ceiling int
+	// Floor is the lower bound the limit can back off to. 0 →
+	// max(1, Ceiling/16). Negative freezes the limiter at Ceiling
+	// (static admission, the pre-adaptive behaviour).
+	Floor int
+	// Window is the number of completions per adjustment decision;
+	// 0 → 16. Smaller reacts faster, larger is smoother.
+	Window int
+	// Tolerance is the short/long latency inflation ratio that triggers
+	// a multiplicative backoff; 0 → 2.0.
+	Tolerance float64
+	// Backoff is the multiplicative factor applied on backoff;
+	// 0 → 0.75.
+	Backoff float64
+	// ShortAlpha / LongAlpha are the EWMA smoothing factors of the
+	// short- and long-window latency trackers; 0 → 0.3 / 0.02.
+	ShortAlpha float64
+	LongAlpha  float64
+}
+
+// Limiter is a gradient/AIMD concurrency limiter. It watches completion
+// latencies through two EWMAs — a twitchy short window and a slow long
+// window that remembers what "healthy" looked like — plus deadline
+// misses. At every Window-th completion it makes one decision:
+//
+//   - any deadline miss, or short > Tolerance × long (latency
+//     inflation): limit ×= Backoff, floored at Floor;
+//   - otherwise, if the window ever saw the limit saturated:
+//     limit += 1, capped at Ceiling.
+//
+// Growing only under saturation keeps the limit parked wherever it was
+// on an idle box instead of creeping to the ceiling for free.
+//
+// Limiter is NOT safe for concurrent use; the Controller serialises
+// access under its own mutex. Use it directly only in single-threaded
+// tests and sims.
+type Limiter struct {
+	floor, ceiling float64
+	limit          float64
+	frozen         bool // Floor < 0: static admission, never adjust
+
+	short, long           float64 // latency EWMAs, seconds
+	shortAlpha, longAlpha float64
+	tolerance             float64
+	backoff               float64
+	window                int
+
+	seen      int  // completions in the current window
+	misses    int  // deadline misses in the current window
+	saturated bool // the window saw in-flight at the limit (or a queue)
+
+	backoffs uint64
+	grows    uint64
+}
+
+// NewLimiter builds a limiter starting at its Ceiling: an unloaded
+// server behaves exactly like the static pool until the first backoff.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Ceiling <= 0 {
+		cfg.Ceiling = 1
+	}
+	l := &Limiter{
+		ceiling:    float64(cfg.Ceiling),
+		limit:      float64(cfg.Ceiling),
+		tolerance:  cfg.Tolerance,
+		backoff:    cfg.Backoff,
+		shortAlpha: cfg.ShortAlpha,
+		longAlpha:  cfg.LongAlpha,
+		window:     cfg.Window,
+	}
+	switch {
+	case cfg.Floor < 0:
+		l.floor, l.frozen = l.ceiling, true
+	case cfg.Floor == 0:
+		l.floor = float64(max(1, cfg.Ceiling/16))
+	default:
+		l.floor = float64(min(cfg.Floor, cfg.Ceiling))
+	}
+	if l.window <= 0 {
+		l.window = 16
+	}
+	if l.tolerance <= 1 {
+		l.tolerance = 2.0
+	}
+	if l.backoff <= 0 || l.backoff >= 1 {
+		l.backoff = 0.75
+	}
+	if l.shortAlpha <= 0 || l.shortAlpha > 1 {
+		l.shortAlpha = 0.3
+	}
+	if l.longAlpha <= 0 || l.longAlpha > 1 {
+		l.longAlpha = 0.02
+	}
+	return l
+}
+
+// Limit is the current learned concurrency limit, always in
+// [Floor, Ceiling].
+func (l *Limiter) Limit() int { return int(l.limit) }
+
+// Adaptive reports whether the limiter adjusts at all (false in the
+// frozen static-admission mode).
+func (l *Limiter) Adaptive() bool { return !l.frozen }
+
+// Backoffs and Grows count adjustment decisions, for /v1/stats and the
+// recovery assertions in tests.
+func (l *Limiter) Backoffs() uint64 { return l.backoffs }
+func (l *Limiter) Grows() uint64    { return l.grows }
+
+// Inflation is the short/long latency ratio (1 = steady state, higher
+// = the hot path is slowing down). 0 until the first observation.
+func (l *Limiter) Inflation() float64 {
+	if l.long <= 0 {
+		return 0
+	}
+	return l.short / l.long
+}
+
+// Observe records one completion: its in-slot latency, whether it
+// missed its deadline, and whether the limiter was saturated while it
+// ran. Every Window-th call makes one AIMD adjustment.
+func (l *Limiter) Observe(latency time.Duration, deadlineMiss, saturated bool) {
+	sec := latency.Seconds()
+	if sec < 0 {
+		sec = 0
+	}
+	if l.long == 0 {
+		l.short, l.long = sec, sec
+	} else {
+		l.short += l.shortAlpha * (sec - l.short)
+		l.long += l.longAlpha * (sec - l.long)
+	}
+	if deadlineMiss {
+		l.misses++
+	}
+	if saturated {
+		l.saturated = true
+	}
+	l.seen++
+	if l.seen < l.window {
+		return
+	}
+	if !l.frozen {
+		inflated := l.long > 0 && l.short > l.tolerance*l.long
+		switch {
+		case l.misses > 0 || inflated:
+			l.limit *= l.backoff
+			if l.limit < l.floor {
+				l.limit = l.floor
+			}
+			l.backoffs++
+		case l.saturated:
+			l.limit++
+			if l.limit > l.ceiling {
+				l.limit = l.ceiling
+			}
+			l.grows++
+		}
+	}
+	l.seen, l.misses, l.saturated = 0, 0, false
+}

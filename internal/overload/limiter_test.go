@@ -1,0 +1,101 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fill pushes one full adjustment window of identical observations.
+func fill(l *Limiter, lat time.Duration, miss, saturated bool) {
+	for i := 0; i < 16; i++ {
+		l.Observe(lat, miss, saturated)
+	}
+}
+
+func TestLimiterGrowsOnlyUnderSaturation(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Ceiling: 64, Floor: 4})
+	// Back off once so there is headroom to grow into.
+	fill(l, time.Millisecond, true, true)
+	backedOff := l.Limit()
+	if backedOff >= 64 {
+		t.Fatalf("limit %d did not back off from the ceiling", backedOff)
+	}
+
+	// Healthy but unsaturated windows must not grow the limit.
+	fill(l, time.Millisecond, false, false)
+	if got := l.Limit(); got != backedOff {
+		t.Fatalf("idle window grew the limit: %d -> %d", backedOff, got)
+	}
+
+	// Healthy saturated windows grow additively, one per window.
+	fill(l, time.Millisecond, false, true)
+	if got := l.Limit(); got != backedOff+1 {
+		t.Fatalf("saturated window: limit = %d, want %d", got, backedOff+1)
+	}
+	if l.Grows() != 1 {
+		t.Fatalf("grows = %d, want 1", l.Grows())
+	}
+}
+
+func TestLimiterBacksOffMultiplicativelyOnMisses(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Ceiling: 64, Floor: 4})
+	if l.Limit() != 64 {
+		t.Fatalf("initial limit = %d, want the ceiling", l.Limit())
+	}
+	fill(l, time.Millisecond, true, false)
+	if got := l.Limit(); got != 48 { // 64 × 0.75
+		t.Fatalf("after one missed window: limit = %d, want 48", got)
+	}
+	// Repeated misses walk the limit down to the floor and no further.
+	for i := 0; i < 40; i++ {
+		fill(l, time.Millisecond, true, false)
+	}
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit = %d, want the floor 4", got)
+	}
+	if l.Backoffs() == 0 {
+		t.Fatal("backoffs not counted")
+	}
+}
+
+func TestLimiterBacksOffOnLatencyInflation(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Ceiling: 32})
+	// Establish a healthy long window at ~1ms.
+	for i := 0; i < 20; i++ {
+		fill(l, time.Millisecond, false, false)
+	}
+	start := l.Limit()
+	// The hot path suddenly takes 50ms: short inflates past 2× long.
+	fill(l, 50*time.Millisecond, false, true)
+	if got := l.Limit(); got >= start {
+		t.Fatalf("latency inflation did not back off: %d -> %d", start, got)
+	}
+	if l.Inflation() <= 1 {
+		t.Fatalf("inflation = %v, want > 1", l.Inflation())
+	}
+}
+
+func TestLimiterFrozenStaticMode(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Ceiling: 16, Floor: -1})
+	if l.Adaptive() {
+		t.Fatal("Floor < 0 must freeze the limiter")
+	}
+	fill(l, time.Second, true, true)
+	fill(l, time.Second, true, true)
+	if got := l.Limit(); got != 16 {
+		t.Fatalf("frozen limit moved: %d", got)
+	}
+	if l.Backoffs() != 0 || l.Grows() != 0 {
+		t.Fatalf("frozen limiter adjusted: backoffs=%d grows=%d", l.Backoffs(), l.Grows())
+	}
+}
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Ceiling: 64})
+	if got := int(l.floor); got != 4 { // 64/16
+		t.Fatalf("default floor = %d, want 4", got)
+	}
+	if !l.Adaptive() {
+		t.Fatal("default limiter must be adaptive")
+	}
+}

@@ -1,0 +1,122 @@
+// Package overload is the serving tier's adaptive overload-control
+// subsystem: a gradient/AIMD concurrency limiter (Limiter), a
+// deadline-aware priority admission queue wrapped around it
+// (Controller), and a brownout ladder (Ladder) that converts the
+// controller's pressure signal into graceful-degradation levels.
+//
+// The design replaces a static admission pool (a fixed MaxInFlight
+// semaphore with instant 429s) with three cooperating pieces:
+//
+//   - The Limiter learns how much concurrency the machine actually
+//     sustains: it tracks a short- and a long-window latency EWMA,
+//     grows the limit additively while saturated and healthy, and
+//     backs off multiplicatively when the short window inflates past
+//     the long one or completions start missing their deadlines. The
+//     old static MaxInFlight survives as the ceiling.
+//
+//   - The Controller fronts the limiter with a small priority queue.
+//     Requests carry a Tier (interactive > batch > rank > background);
+//     a request whose propagated deadline cannot be met by the queue's
+//     current service-rate estimate is shed at enqueue time (no doomed
+//     work is admitted), and queued requests are CoDel-style expired
+//     the moment their deadline passes.
+//
+//   - The Ladder maps smoothed pressure onto brownout levels L0..L4
+//     with per-level entry/exit thresholds and dwell-time hysteresis,
+//     so the serving layer can degrade in deliberate steps (widen the
+//     batch window, serve stale cache generations, shrink rank-k,
+//     fall back to the popularity prior, shed non-interactive traffic)
+//     instead of collapsing all at once.
+//
+// The package is transport-agnostic: it never imports net/http. The
+// serving layer parses the X-Cold-Priority / X-Cold-Deadline-Ms
+// headers and calls Admit/Release; the cluster router forwards them.
+package overload
+
+import "strconv"
+
+// Header names of the cross-tier overload contract. The router stamps
+// both on forwarded requests; coldserve reads them at admission.
+const (
+	// PriorityHeader carries the request's Tier name ("interactive",
+	// "batch", "rank", "background"). Absent → the route's default.
+	PriorityHeader = "X-Cold-Priority"
+	// DeadlineHeader carries the milliseconds REMAINING until the
+	// client-side deadline at send time (set by the cluster router from
+	// its request context). A value <= 0 means the request is already
+	// dead on arrival.
+	DeadlineHeader = "X-Cold-Deadline-Ms"
+)
+
+// Tier is a request priority class. Lower values are more important:
+// under pressure the controller grants slots to the lowest Tier first
+// and sheds the highest first.
+type Tier int
+
+const (
+	// TierInteractive is a user-facing single prediction (the default
+	// for /v1/predict/* and /v1/topics).
+	TierInteractive Tier = iota
+	// TierBatch is offline-ish bulk scoring (/v1/score/batch).
+	TierBatch
+	// TierRank is precomputed-ranking reads (/v1/rank/{user}).
+	TierRank
+	// TierBackground is maintenance traffic: ingest fold-in, cache
+	// warming, backfills. First to brown out, last to get a slot.
+	TierBackground
+
+	numTiers = int(TierBackground) + 1
+)
+
+var tierNames = [numTiers]string{"interactive", "batch", "rank", "background"}
+
+func (t Tier) String() string {
+	if t < 0 || int(t) >= numTiers {
+		return "tier(" + strconv.Itoa(int(t)) + ")"
+	}
+	return tierNames[t]
+}
+
+// ParseTier maps a wire name to its Tier. Unknown names return false;
+// callers fall back to the route default rather than erroring, so a
+// typo'd client header degrades to normal service, never a 400.
+func ParseTier(s string) (Tier, bool) {
+	for i, name := range tierNames {
+		if s == name {
+			return Tier(i), true
+		}
+	}
+	return 0, false
+}
+
+// Tiers lists every tier in priority order, for metric registration
+// and table rendering.
+func Tiers() []Tier {
+	return []Tier{TierInteractive, TierBatch, TierRank, TierBackground}
+}
+
+// Reason classifies a shed decision; these are the label values of
+// cold_serve_shed_total{reason=...} and the keys of the /v1/stats
+// shed-by-reason map.
+type Reason string
+
+const (
+	// ReasonQueueFull: the limit was reached and the wait queue was at
+	// capacity (or queuing is disabled).
+	ReasonQueueFull Reason = "queue_full"
+	// ReasonDeadlineUnmeetable: the queue's service-rate estimate says
+	// the request's deadline would pass before a slot could be granted,
+	// so it was refused at enqueue instead of queued to die.
+	ReasonDeadlineUnmeetable Reason = "deadline_unmeetable"
+	// ReasonExpiredInQueue: the request was queued with headroom but
+	// its deadline passed before a slot freed up.
+	ReasonExpiredInQueue Reason = "expired_in_queue"
+	// ReasonBrownout: the brownout ladder shed the request's tier
+	// before admission (L3/L4 policy, recorded by the serving layer).
+	ReasonBrownout Reason = "brownout"
+)
+
+// Reasons lists every shed reason, for metric registration.
+func Reasons() []Reason {
+	return []Reason{ReasonQueueFull, ReasonDeadlineUnmeetable, ReasonExpiredInQueue, ReasonBrownout}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/cold-diffusion/cold/internal/overload"
 )
 
 // errNotReady is the internal no-snapshot signal; handlers translate it
@@ -24,7 +26,9 @@ var errNotReady = errors.New("no model loaded")
 // batcher needs no lifecycle — tests that only use Server.Handler()
 // leak nothing, and an idle server burns nothing.
 type batcher struct {
-	window time.Duration
+	// window is sampled per batch so the brownout ladder can widen it
+	// live (L1+ trades latency for amortisation).
+	window func() time.Duration
 	max    int
 	// flush scores one taken batch and must deliver an outcome to every
 	// item's done channel, even on panic (see Server.flushBatch).
@@ -50,6 +54,12 @@ type batchOutcome struct {
 }
 
 func newBatcher(window time.Duration, maxItems int, flush func([]batchItem, string)) *batcher {
+	return newBatcherFunc(func() time.Duration { return window }, maxItems, flush)
+}
+
+// newBatcherFunc builds a batcher whose window is re-evaluated for each
+// batch (the server supplies its brownout-aware window).
+func newBatcherFunc(window func() time.Duration, maxItems int, flush func([]batchItem, string)) *batcher {
 	return &batcher{
 		window: window,
 		max:    maxItems,
@@ -96,8 +106,8 @@ func (b *batcher) do(ctx context.Context, req ScoreRequest) (ScoreResult, *Snaps
 // lead runs the leader protocol: wait out the window (or an early fill
 // signal), then take and flush whatever accumulated.
 func (b *batcher) lead(alreadyFull bool) {
-	if !alreadyFull && b.window > 0 {
-		t := time.NewTimer(b.window)
+	if w := b.window(); !alreadyFull && w > 0 {
+		t := time.NewTimer(w)
 		select {
 		case <-t.C:
 		case <-b.full:
@@ -174,11 +184,22 @@ func (s *Server) flushBatch(items []batchItem, reason string) {
 // scoreBatch answers a batch against one snapshot, serving repeat
 // (generation, item) pairs from the score cache and batching the misses
 // into a single Engine call. Only clean results enter the cache.
+//
+// Under brownout the cache policy shifts: at L1+ a miss on the serving
+// generation may be answered by the previous generation's entry (a
+// slightly-stale score beats computing a fresh one under pressure), and
+// at L2+ misses are computed but not inserted — refusing cold fills
+// protects the hot set instead of churning it.
 func (s *Server) scoreBatch(ctx context.Context, snap *Snapshot, reqs []ScoreRequest) []ScoreResult {
 	mt := s.cfg.Metrics
 	mt.batchScored(len(reqs))
 	if s.cache == nil {
 		return snap.Engine.ScoreBatch(ctx, reqs)
+	}
+	lvl := s.brownoutLevel()
+	var prevGen uint64
+	if lvl >= brownoutStaleCache {
+		prevGen = s.mgr.PrevGeneration()
 	}
 	results := make([]ScoreResult, len(reqs))
 	var missIdx []int
@@ -186,10 +207,19 @@ func (s *Server) scoreBatch(ctx context.Context, snap *Snapshot, reqs []ScoreReq
 		if res, ok := s.cache.get(snap.Generation, &reqs[i]); ok {
 			results[i] = res
 			mt.cacheHit()
-		} else {
-			missIdx = append(missIdx, i)
-			mt.cacheMiss()
+			continue
 		}
+		if prevGen != 0 && prevGen != snap.Generation {
+			if res, ok := s.cache.get(prevGen, &reqs[i]); ok {
+				results[i] = res
+				s.staleServed.Add(1)
+				mt.staleServedOne()
+				mt.cacheHit()
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
+		mt.cacheMiss()
 	}
 	if len(missIdx) == 0 {
 		return results
@@ -201,16 +231,43 @@ func (s *Server) scoreBatch(ctx context.Context, snap *Snapshot, reqs []ScoreReq
 	missRes := snap.Engine.ScoreBatch(ctx, miss)
 	for j, i := range missIdx {
 		results[i] = missRes[j]
-		if missRes[j].Err == nil {
+		if missRes[j].Err == nil && lvl < brownoutNoFill {
 			s.cache.put(snap.Generation, &reqs[i], missRes[j])
 		}
 	}
 	return results
 }
 
+// brownoutSnapshot returns the popularity-prior fallback when the
+// ladder says this request's tier must be answered from it (L3+,
+// rank/background tiers), else nil. brownoutShed already dropped the
+// tiers the fallback cannot cover, so reaching the scoring path at L3
+// with a low tier implies the fallback exists.
+func (s *Server) brownoutSnapshot(ctx context.Context) *Snapshot {
+	if s.brownoutLevel() < brownoutFallback {
+		return nil
+	}
+	if tierOf(ctx) < overload.TierRank {
+		return nil
+	}
+	fb := s.mgr.FallbackSnapshot()
+	if fb != nil {
+		s.fallbackBulk.Add(1)
+		s.cfg.Metrics.fallbackServedOne()
+	}
+	return fb
+}
+
 // scoreOne routes one single-endpoint item through the micro-batcher,
 // or straight to the cache-wrapped engine when batching is disabled.
+// Low-tier requests under deep brownout bypass the batcher and score
+// against the fallback prior directly — mixing two snapshots inside one
+// micro-batch is never allowed.
 func (s *Server) scoreOne(ctx context.Context, req ScoreRequest) (ScoreResult, *Snapshot, error) {
+	if fb := s.brownoutSnapshot(ctx); fb != nil {
+		res := s.scoreBatch(ctx, fb, []ScoreRequest{req})
+		return res[0], fb, nil
+	}
 	if s.batch != nil {
 		return s.batch.do(ctx, req)
 	}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/overload"
+)
+
+// chaosTier describes one synthetic client population in the overload
+// storm: its priority header and the deadline it propagates.
+type chaosTier struct {
+	name     string
+	deadline time.Duration
+}
+
+var chaosTiers = []chaosTier{
+	{"interactive", 400 * time.Millisecond},
+	{"batch", 600 * time.Millisecond},
+	{"background", 500 * time.Millisecond},
+}
+
+// chaosCounts accumulates one tier's client-side view of a load phase.
+type chaosCounts struct {
+	sent   atomic.Uint64
+	ok     atomic.Uint64 // 200 within the propagated deadline
+	lateOK atomic.Uint64 // 200 observed past deadline (+grace) — must stay 0
+}
+
+// chaosLatency is the injected service-time profile: a base cost that
+// grows with in-slot concurrency (congestion the limiter can actually
+// relieve by backing off) plus, when tailEvery > 0, a deterministic
+// heavy tail every tailEvery-th request (the bursty cascade that forces
+// latency inflation past the limiter's tolerance).
+type chaosLatency struct {
+	inSlot    atomic.Int64
+	n         atomic.Int64
+	tailEvery atomic.Int64
+}
+
+func (cl *chaosLatency) inject() {
+	k := cl.inSlot.Add(1)
+	d := 3*time.Millisecond + time.Duration(k)*time.Millisecond
+	if te := cl.tailEvery.Load(); te > 0 && cl.n.Add(1)%te == 0 {
+		d = 60 * time.Millisecond
+	}
+	time.Sleep(d)
+	cl.inSlot.Add(-1)
+}
+
+// driveChaosBursts fires `workers` closed-loop clients (one tier each,
+// round-robin) at the server for `bursts` on/off cycles and returns the
+// per-tier counts. The request mix, deadlines, and tail schedule are all
+// deterministic; only goroutine interleaving varies.
+func driveChaosBursts(t *testing.T, base string, client *http.Client, workers, bursts int, on, off time.Duration) map[string]*chaosCounts {
+	t.Helper()
+	counts := make(map[string]*chaosCounts, len(chaosTiers))
+	for _, tier := range chaosTiers {
+		counts[tier.name] = &chaosCounts{}
+	}
+	body, err := json.Marshal(map[string]any{"publisher": 0, "candidate": 1, "post": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < bursts; b++ {
+		stop := time.Now().Add(on)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			tier := chaosTiers[i%len(chaosTiers)]
+			c := counts[tier.name]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					start := time.Now()
+					code := chaosRequest(t, client, base, body, tier)
+					elapsed := time.Since(start)
+					c.sent.Add(1)
+					if code == http.StatusOK {
+						// 100ms grace absorbs client-side scheduling delay
+						// under -race; the server-side guard is what must
+						// never sign off on late work.
+						switch {
+						case elapsed <= tier.deadline:
+							c.ok.Add(1)
+						case elapsed > tier.deadline+100*time.Millisecond:
+							c.lateOK.Add(1)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		time.Sleep(off)
+	}
+	return counts
+}
+
+func chaosRequest(t *testing.T, client *http.Client, base string, body []byte, tier chaosTier) int {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/predict/retweet", bytes.NewReader(body))
+	if err != nil {
+		t.Error(err)
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(overload.PriorityHeader, tier.name)
+	req.Header.Set(overload.DeadlineHeader, strconv.FormatInt(tier.deadline.Milliseconds(), 10))
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0 // connection-level failure counts as not-served
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// goodput is the within-deadline success fraction of one tier.
+func goodput(c *chaosCounts) float64 {
+	if c.sent.Load() == 0 {
+		return 0
+	}
+	return float64(c.ok.Load()) / float64(c.sent.Load())
+}
+
+// TestOverloadChaosAdaptiveBeatsStatic is the PR's acceptance test: the
+// same deterministic 3x bursty mixed-tier storm is thrown at the
+// adaptive stack and at the seed's static admission pool. The adaptive
+// stack must deliver strictly more interactive goodput, neither stack
+// may sign off on a response past its propagated deadline, and after
+// the storm the adaptive stack must walk the brownout ladder back to L0
+// with its concurrency limit re-grown.
+func TestOverloadChaosAdaptiveBeatsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload chaos storm takes several seconds")
+	}
+	defer faultinject.Reset()
+
+	const ceiling = 8
+	// 18 closed-loop clients against ~8 effective slots with queueing and
+	// tail-inflated service times is a sustained >3x overload.
+	const workers = 18
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: workers}}
+	defer client.CloseIdleConnections()
+
+	run := func(cfg Config) (map[string]*chaosCounts, *Server, *testServer) {
+		mgr, _ := loadedManager(t)
+		srv, ts := startOverloadServer(t, cfg, mgr)
+		lat := &chaosLatency{}
+		lat.tailEvery.Store(6) // every 6th request hits the 60ms tail
+		faultinject.Set(faultinject.ServeHandler, func(...any) { lat.inject() })
+		counts := driveChaosBursts(t, ts.base, client, workers, 3, 300*time.Millisecond, 100*time.Millisecond)
+		lat.tailEvery.Store(0) // the storm passes; service times normalise
+		return counts, srv, ts
+	}
+
+	static, _, _ := run(Config{
+		MaxInFlight: ceiling, LimitFloor: -1, QueueCap: -1,
+		RequestTimeout: 2 * time.Second, RetryAfter: time.Second,
+	})
+	adaptive, srv, ts := run(Config{
+		MaxInFlight: ceiling, BrownoutHold: 100 * time.Millisecond,
+		RequestTimeout: 2 * time.Second, RetryAfter: time.Second,
+	})
+
+	for name, c := range static {
+		if late := c.lateOK.Load(); late != 0 {
+			t.Errorf("static mode served %d %s responses past their deadline", late, name)
+		}
+	}
+	for name, c := range adaptive {
+		if late := c.lateOK.Load(); late != 0 {
+			t.Errorf("adaptive mode served %d %s responses past their deadline", late, name)
+		}
+	}
+
+	sg, ag := goodput(static["interactive"]), goodput(adaptive["interactive"])
+	t.Logf("interactive goodput: adaptive %.3f (%d/%d) vs static %.3f (%d/%d)",
+		ag, adaptive["interactive"].ok.Load(), adaptive["interactive"].sent.Load(),
+		sg, static["interactive"].ok.Load(), static["interactive"].sent.Load())
+	for _, tier := range chaosTiers[1:] {
+		t.Logf("%s goodput: adaptive %.3f vs static %.3f",
+			tier.name, goodput(adaptive[tier.name]), goodput(static[tier.name]))
+	}
+	if adaptive["interactive"].sent.Load() == 0 || static["interactive"].sent.Load() == 0 {
+		t.Fatal("storm produced no interactive traffic; the harness is broken")
+	}
+	if ag <= sg {
+		t.Fatalf("adaptive interactive goodput %.3f must strictly beat static %.3f", ag, sg)
+	}
+
+	// Recovery: the storm is over. Phase A re-grows the limit by keeping
+	// the (now fast) server saturated; phase B trickles light traffic so
+	// the ladder observes falling pressure and steps down to L0.
+	postStorm := srv.Overload().Stats()
+	t.Logf("post-storm: limit=%d/%d backoffs=%d level=L%d",
+		postStorm.Limit, ceiling, postStorm.Backoffs, srv.Brownout().Level())
+
+	body, _ := json.Marshal(map[string]any{"publisher": 0, "candidate": 1, "post": 0})
+	regrow := time.Now().Add(4 * time.Second)
+	for srv.Overload().Limit() < ceiling && time.Now().Before(regrow) {
+		var wg sync.WaitGroup
+		for i := 0; i < ceiling; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				chaosRequest(t, client, ts.base, body, chaosTier{"interactive", 2 * time.Second})
+			}()
+		}
+		wg.Wait()
+	}
+	if got := srv.Overload().Limit(); got < ceiling {
+		t.Fatalf("limit did not re-grow within the recovery window: %d/%d (post-storm %d)",
+			got, ceiling, postStorm.Limit)
+	}
+
+	cool := time.Now().Add(4 * time.Second)
+	lastLevel := srv.Brownout().Level()
+	for lastLevel > 0 && time.Now().Before(cool) {
+		chaosRequest(t, client, ts.base, body, chaosTier{"interactive", 2 * time.Second})
+		time.Sleep(10 * time.Millisecond)
+		if lvl := srv.Brownout().Level(); lvl > lastLevel {
+			t.Fatalf("brownout level rose L%d -> L%d during recovery; must be monotone non-increasing",
+				lastLevel, lvl)
+		} else {
+			lastLevel = lvl
+		}
+	}
+	if lastLevel != 0 {
+		t.Fatalf("brownout level still L%d after the recovery window, want L0", lastLevel)
+	}
+}

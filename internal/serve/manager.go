@@ -114,6 +114,25 @@ func (m *Manager) Current() *Snapshot {
 	return m.fallback.Load()
 }
 
+// FallbackSnapshot returns the registered degraded-mode snapshot, or
+// nil. The brownout ladder answers low-priority tiers from it at L3+
+// even while a full model is loaded.
+func (m *Manager) FallbackSnapshot() *Snapshot {
+	return m.fallback.Load()
+}
+
+// PrevGeneration is the generation of the last-good predecessor
+// snapshot (0 when there is none). At brownout L1+ the score cache may
+// serve entries of this generation as slightly-stale answers.
+func (m *Manager) PrevGeneration() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prev == nil {
+		return 0
+	}
+	return m.prev.Generation
+}
+
 // SetFallback installs a degraded-mode engine that serves whenever no
 // full model is loaded. A later successful Reload takes over
 // automatically; the fallback stays registered in case of rollback to

@@ -5,6 +5,7 @@ import (
 
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/obs"
+	"github.com/cold-diffusion/cold/internal/overload"
 )
 
 // predictRoutes are the admission-controlled prediction routes, used as
@@ -22,12 +23,21 @@ type Metrics struct {
 	requests map[string]*obs.Counter   // cold_serve_requests_total{route=...}
 	latency  map[string]*obs.Histogram // cold_serve_request_seconds{route=...}
 
-	InFlight  *obs.Gauge   // cold_serve_in_flight
-	Shed      *obs.Counter // cold_serve_shed_total
-	Panics    *obs.Counter // cold_serve_panics_total
-	Rejected  *obs.Counter // cold_serve_rejected_total
-	Degraded  *obs.Counter // cold_serve_degraded
-	Misrouted *obs.Counter // cold_serve_misrouted_total
+	InFlight  *obs.Gauge                       // cold_serve_in_flight
+	Sheds     map[overload.Reason]*obs.Counter // cold_serve_shed_total{reason=...}
+	Panics    *obs.Counter                     // cold_serve_panics_total
+	Rejected  *obs.Counter                     // cold_serve_rejected_total
+	Degraded  *obs.Counter                     // cold_serve_degraded
+	Misrouted *obs.Counter                     // cold_serve_misrouted_total
+
+	// Overload-control instruments: the brownout ladder and the adaptive
+	// admission limiter.
+	BrownoutLevel    *obs.Gauge   // cold_serve_brownout_level
+	ConcurrencyLimit *obs.Gauge   // cold_serve_concurrency_limit
+	QueueDepth       *obs.Gauge   // cold_serve_queue_depth
+	StaleServed      *obs.Counter // cold_serve_stale_served_total
+	FallbackServed   *obs.Counter // cold_serve_brownout_fallback_total
+	PastDeadline     *obs.Counter // cold_serve_past_deadline_suppressed_total
 
 	Reloads        *obs.Counter // cold_serve_model_reloads_total
 	ReloadFailures *obs.Counter // cold_serve_model_reload_failures_total
@@ -57,8 +67,6 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		latency:  make(map[string]*obs.Histogram, len(predictRoutes)),
 		InFlight: reg.Gauge("cold_serve_in_flight",
 			"Prediction requests currently holding an admission slot."),
-		Shed: reg.Counter("cold_serve_shed_total",
-			"Requests shed with 429 because the in-flight pool was full."),
 		Panics: reg.Counter("cold_serve_panics_total",
 			"Handler panics contained into 500 responses."),
 		Rejected: reg.Counter("cold_serve_rejected_total",
@@ -94,7 +102,25 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Prediction-cache entries evicted from an LRU shard tail."),
 		CacheEntries: reg.Gauge("cold_serve_cache_entries",
 			"Live prediction-cache entries across all shards."),
+		BrownoutLevel: reg.Gauge("cold_serve_brownout_level",
+			"Current brownout ladder level (0 = normal service, 4 = shedding all non-interactive traffic)."),
+		ConcurrencyLimit: reg.Gauge("cold_serve_concurrency_limit",
+			"Live AIMD concurrency limit of the admission controller."),
+		QueueDepth: reg.Gauge("cold_serve_queue_depth",
+			"Requests waiting in the deadline-aware admission queue."),
+		StaleServed: reg.Counter("cold_serve_stale_served_total",
+			"Score items answered from the previous model generation's cache entries under brownout."),
+		FallbackServed: reg.Counter("cold_serve_brownout_fallback_total",
+			"Low-priority requests answered from the popularity-prior fallback under deep brownout."),
+		PastDeadline: reg.Counter("cold_serve_past_deadline_suppressed_total",
+			"Success responses suppressed because they would have been written after the request deadline."),
 		Predictor: core.NewPredictorMetrics(reg),
+	}
+	m.Sheds = make(map[overload.Reason]*obs.Counter, 4)
+	for _, reason := range overload.Reasons() {
+		m.Sheds[reason] = reg.CounterL("cold_serve_shed_total",
+			`reason="`+string(reason)+`"`,
+			"Requests shed by the admission controller and brownout ladder, by reason.")
 	}
 	for _, route := range predictRoutes {
 		labels := `route="` + route + `"`
@@ -136,11 +162,54 @@ func (m *Metrics) finished(route string, seconds float64) {
 	m.latency[route].Observe(seconds)
 }
 
-func (m *Metrics) shedOne() {
+// shedOne counts one shed decision. It is the Controller's OnShed hook,
+// invoked under the controller's lock: counter increments are atomic,
+// so it stays cheap and never calls back.
+func (m *Metrics) shedOne(_ overload.Tier, reason overload.Reason) {
 	if m == nil {
 		return
 	}
-	m.Shed.Inc()
+	if c, ok := m.Sheds[reason]; ok {
+		c.Inc()
+	}
+}
+
+// brownoutAt mirrors the ladder level into its gauge.
+func (m *Metrics) brownoutAt(level int) {
+	if m == nil {
+		return
+	}
+	m.BrownoutLevel.Set(float64(level))
+}
+
+// overloadAt mirrors the controller's live limit and queue depth.
+func (m *Metrics) overloadAt(st overload.Stats) {
+	if m == nil {
+		return
+	}
+	m.ConcurrencyLimit.Set(float64(st.Limit))
+	m.QueueDepth.Set(float64(st.Queued))
+}
+
+func (m *Metrics) staleServedOne() {
+	if m == nil {
+		return
+	}
+	m.StaleServed.Inc()
+}
+
+func (m *Metrics) fallbackServedOne() {
+	if m == nil {
+		return
+	}
+	m.FallbackServed.Inc()
+}
+
+func (m *Metrics) pastDeadlineOne() {
+	if m == nil {
+		return
+	}
+	m.PastDeadline.Inc()
 }
 
 func (m *Metrics) panicked() {

@@ -156,7 +156,8 @@ func TestMetricsReflectShedAndDegraded(t *testing.T) {
 	mgr.SetFallback(NewFallbackEngine(fb))
 
 	ts := startServer(t, Config{
-		MaxInFlight: 1, RequestTimeout: 30 * time.Second, RetryAfter: 2 * time.Second, Metrics: mt,
+		MaxInFlight: 1, LimitFloor: -1, QueueCap: -1,
+		RequestTimeout: 30 * time.Second, RetryAfter: 2 * time.Second, Metrics: mt,
 	}, mgr, true)
 
 	// One degraded request that completes normally.
@@ -194,7 +195,7 @@ func TestMetricsReflectShedAndDegraded(t *testing.T) {
 	got := scrape(t, ts, "/metrics")
 	checks := map[string]float64{
 		`cold_serve_requests_total{route="retweet"}`: 2, // both admitted requests
-		"cold_serve_shed_total":                      1,
+		`cold_serve_shed_total{reason="queue_full"}`: 1,
 		"cold_serve_degraded":                        2,
 		"cold_serve_model_generation":                1, // fallback snapshot
 		"cold_serve_in_flight":                       0, // everything released
@@ -211,8 +212,8 @@ func TestMetricsReflectShedAndDegraded(t *testing.T) {
 
 	// The /v1 alias serves the same exposition.
 	alias := scrape(t, ts, "/v1/metrics")
-	if alias["cold_serve_shed_total"] != 1 {
-		t.Errorf("/v1/metrics shed = %v, want 1", alias["cold_serve_shed_total"])
+	if alias[`cold_serve_shed_total{reason="queue_full"}`] != 1 {
+		t.Errorf("/v1/metrics shed = %v, want 1", alias[`cold_serve_shed_total{reason="queue_full"}`])
 	}
 }
 

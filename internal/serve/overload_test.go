@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cold-diffusion/cold/internal/core"
+	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/overload"
+)
+
+// callH is ts.call with request headers (priority and deadline).
+func (ts *testServer) callH(method, path string, body any, headers map[string]string, out any) (int, http.Header) {
+	ts.t.Helper()
+	var buf io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			ts.t.Fatal(err)
+		}
+		buf = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, ts.base+path, buf)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		ts.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			ts.t.Fatalf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// startOverloadServer builds a Server directly (so tests can reach the
+// ladder and controller) and serves it over httptest.
+func startOverloadServer(t *testing.T, cfg Config, mgr *Manager) (*Server, *testServer) {
+	t.Helper()
+	cfg.Logf = t.Logf
+	_, data := testModel(t)
+	srv := New(cfg, mgr, data)
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(hts.Close)
+	return srv, &testServer{t: t, base: hts.URL}
+}
+
+// Satellite: a request whose propagated deadline has already expired at
+// admission is rejected with the deadline_exceeded envelope, before it
+// occupies a slot or queue place.
+func TestDeadlineExpiredAtAdmission(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	srv, ts := startOverloadServer(t, Config{}, mgr)
+
+	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
+	var e errorBody
+	code, _ := ts.callH("POST", "/v1/predict/retweet", body,
+		map[string]string{overload.DeadlineHeader: "0"}, &e)
+	if code != http.StatusServiceUnavailable || e.Error.Code != "deadline_exceeded" {
+		t.Fatalf("expired-deadline request = %d %+v, want 503 deadline_exceeded", code, e.Error)
+	}
+	if n := srv.Overload().ShedCount(overload.TierInteractive, overload.ReasonDeadlineUnmeetable); n != 1 {
+		t.Fatalf("deadline_unmeetable sheds = %d, want 1", n)
+	}
+
+	// A malformed deadline header is a 400, not a shed.
+	code, _ = ts.callH("POST", "/v1/predict/retweet", body,
+		map[string]string{overload.DeadlineHeader: "soon"}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed deadline = %d, want 400", code)
+	}
+
+	// A generous deadline serves normally.
+	var score scoreResponse
+	code, _ = ts.callH("POST", "/v1/predict/retweet", body,
+		map[string]string{overload.DeadlineHeader: "5000"}, &score)
+	if code != 200 {
+		t.Fatalf("in-deadline request = %d, want 200", code)
+	}
+}
+
+// A request that cannot finish before its propagated deadline is never
+// answered with a success: the serving context carries the deadline and
+// the response is the deadline_exceeded envelope.
+func TestNeverServesPastDeadline(t *testing.T) {
+	defer faultinject.Reset()
+	mgr, _ := loadedManager(t)
+	_, ts := startOverloadServer(t, Config{}, mgr)
+
+	faultinject.Set(faultinject.ServeHandler, func(...any) {
+		time.Sleep(80 * time.Millisecond)
+	})
+	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
+	var e errorBody
+	code, _ := ts.callH("POST", "/v1/predict/retweet", body,
+		map[string]string{overload.DeadlineHeader: "30"}, &e)
+	if code == http.StatusOK {
+		t.Fatal("request was served past its deadline")
+	}
+	if code != http.StatusServiceUnavailable || e.Error.Code != "deadline_exceeded" {
+		t.Fatalf("late request = %d %+v, want 503 deadline_exceeded", code, e.Error)
+	}
+}
+
+// The priority header routes a queued request's tier; /v1/stats and
+// /v1/healthz expose the live limit, queue depth, and sheds by reason.
+func TestPriorityQueueAndStatsExposure(t *testing.T) {
+	defer faultinject.Reset()
+	mgr, _ := loadedManager(t)
+	srv, ts := startOverloadServer(t, Config{
+		MaxInFlight: 1, RequestTimeout: 10 * time.Second, RetryAfter: time.Second,
+	}, mgr)
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	faultinject.Set(faultinject.ServeHandler, func(...any) {
+		started <- struct{}{}
+		<-release
+	})
+	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ts.call("POST", "/v1/predict/retweet", body, nil)
+	}()
+	<-started // the single slot is parked
+
+	// A queued background request with a short deadline expires in queue.
+	var e errorBody
+	code, _ := ts.callH("POST", "/v1/predict/retweet", body, map[string]string{
+		overload.PriorityHeader: "background",
+		overload.DeadlineHeader: "40",
+	}, &e)
+	if code != http.StatusServiceUnavailable || e.Error.Code != "deadline_exceeded" {
+		t.Fatalf("expired-in-queue = %d %+v, want 503 deadline_exceeded", code, e.Error)
+	}
+	if n := srv.Overload().ShedCount(overload.TierBackground, overload.ReasonExpiredInQueue); n != 1 {
+		t.Fatalf("expired_in_queue sheds for background = %d, want 1", n)
+	}
+
+	var st struct {
+		Shed     uint64 `json:"shed"`
+		Overload struct {
+			Limit    int               `json:"limit"`
+			Ceiling  int               `json:"ceiling"`
+			InFlight int               `json:"in_flight"`
+			Sheds    map[string]uint64 `json:"sheds"`
+		} `json:"overload"`
+		BrownoutLevel int `json:"brownout_level"`
+	}
+	if code, _ := ts.call("GET", "/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.Overload.Ceiling != 1 || st.Overload.InFlight != 1 {
+		t.Fatalf("overload stats = %+v, want ceiling=1 in_flight=1", st.Overload)
+	}
+	if st.Shed != 1 || st.Overload.Sheds["expired_in_queue"] != 1 {
+		t.Fatalf("sheds = %d %+v, want 1 expired_in_queue", st.Shed, st.Overload.Sheds)
+	}
+
+	var hz struct {
+		BrownoutLevel  int     `json:"brownout_level"`
+		ConcurrencyLim int     `json:"concurrency_limit"`
+		QueueDepth     int     `json:"queue_depth"`
+		Pressure       float64 `json:"pressure"`
+	}
+	if code, _ := ts.call("GET", "/v1/healthz", nil, &hz); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if hz.ConcurrencyLim != 1 {
+		t.Fatalf("healthz concurrency_limit = %d, want 1", hz.ConcurrencyLim)
+	}
+	if hz.Pressure <= 0 {
+		t.Fatalf("healthz pressure = %v, want > 0 with the slot parked", hz.Pressure)
+	}
+
+	close(release)
+	wg.Wait()
+	faultinject.Clear(faultinject.ServeHandler)
+}
+
+// The brownout ladder's per-level effects: L2 clamps rank-k, L3 answers
+// low tiers from the popularity prior, L4 sheds everything
+// non-interactive while interactive traffic still serves.
+func TestBrownoutLadderEffects(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	_, data := testModel(t)
+	fb, err := core.NewFallbackPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetFallback(NewFallbackEngine(fb))
+	srv, ts := startOverloadServer(t, Config{
+		BrownoutRankK: 1,
+		BrownoutHold:  time.Hour, // pin forced levels for the test's duration
+	}, mgr)
+
+	// L0 baseline: rank returns more than the brownout clamp.
+	var rank struct {
+		Candidates []core.RankedCandidate `json:"candidates"`
+	}
+	if code, _ := ts.call("GET", "/v1/rank/0", nil, &rank); code != 200 {
+		t.Fatalf("rank at L0 = %d", code)
+	}
+	if len(rank.Candidates) < 2 {
+		t.Skipf("test model ranks only %d candidates; need >= 2", len(rank.Candidates))
+	}
+
+	// L2: rank-k is clamped.
+	srv.Brownout().Force(2)
+	if code, _ := ts.call("GET", "/v1/rank/0", nil, &rank); code != 200 {
+		t.Fatalf("rank at L2 = %d", code)
+	}
+	if len(rank.Candidates) != 1 {
+		t.Fatalf("rank at L2 returned %d candidates, want the clamp 1", len(rank.Candidates))
+	}
+
+	// L3: the rank route sheds; a background-tier single prediction is
+	// answered from the popularity prior (degraded), interactive is not.
+	srv.Brownout().Force(3)
+	var e errorBody
+	if code, _ := ts.call("GET", "/v1/rank/0", nil, &e); code != http.StatusServiceUnavailable ||
+		e.Error.Code != "brownout" {
+		t.Fatalf("rank at L3 = %d %+v, want 503 brownout", code, e.Error)
+	}
+	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
+	var score scoreResponse
+	if code, _ := ts.callH("POST", "/v1/predict/retweet", body,
+		map[string]string{overload.PriorityHeader: "background"}, &score); code != 200 || !score.Degraded {
+		t.Fatalf("background predict at L3 = %d degraded=%v, want 200 degraded", code, score.Degraded)
+	}
+	if code, _ := ts.call("POST", "/v1/predict/retweet", body, &score); code != 200 || score.Degraded {
+		t.Fatalf("interactive predict at L3 = %d degraded=%v, want 200 full-model", code, score.Degraded)
+	}
+
+	// L4: batch-tier traffic sheds, interactive still serves.
+	srv.Brownout().Force(4)
+	items := map[string]any{"items": []map[string]any{
+		{"kind": "retweet", "publisher": 0, "candidate": 1, "post": 0}}}
+	if code, _ := ts.call("POST", "/v1/score/batch", items, &e); code != http.StatusServiceUnavailable ||
+		e.Error.Code != "brownout" {
+		t.Fatalf("batch at L4 = %d %+v, want 503 brownout", code, e.Error)
+	}
+	if code, _ := ts.call("POST", "/v1/predict/retweet", body, &score); code != 200 {
+		t.Fatalf("interactive predict at L4 = %d, want 200", code)
+	}
+	if n := srv.Overload().ShedCount(overload.TierBatch, overload.ReasonBrownout); n != 1 {
+		t.Fatalf("brownout sheds for batch tier = %d, want 1", n)
+	}
+
+	// healthz reports the level (and a brownout shed's envelope message
+	// names the level, for operators reading raw responses).
+	var hz struct {
+		BrownoutLevel int `json:"brownout_level"`
+	}
+	if code, _ := ts.call("GET", "/v1/healthz", nil, &hz); code != 200 || hz.BrownoutLevel != 4 {
+		t.Fatalf("healthz = %d brownout_level=%d, want 200 level 4", code, hz.BrownoutLevel)
+	}
+	if !strings.Contains(e.Error.Message, "L4") {
+		t.Fatalf("brownout message %q does not name the level", e.Error.Message)
+	}
+}
+
+// Static mode (LimitFloor < 0) disables the ladder entirely: no
+// brownout, no adaptation, instant sheds — the seed's semantics.
+func TestStaticModeDisablesBrownout(t *testing.T) {
+	mgr, _ := loadedManager(t)
+	srv, ts := startOverloadServer(t, Config{MaxInFlight: 2, LimitFloor: -1, QueueCap: -1}, mgr)
+	if srv.Brownout() != nil {
+		t.Fatal("static mode built a brownout ladder")
+	}
+	if srv.Overload().Adaptive() {
+		t.Fatal("static mode built an adaptive limiter")
+	}
+	var hz struct {
+		BrownoutLevel int `json:"brownout_level"`
+	}
+	if code, _ := ts.call("GET", "/v1/healthz", nil, &hz); code != 200 || hz.BrownoutLevel != 0 {
+		t.Fatalf("healthz = %d level=%d, want 200 level 0", code, hz.BrownoutLevel)
+	}
+}
+
+// Brownout L1 serves slightly-stale cache entries: a score cached under
+// the previous generation answers a miss on the current one.
+func TestBrownoutServesStaleGeneration(t *testing.T) {
+	mgr, path := loadedManager(t)
+	srv, ts := startOverloadServer(t, Config{BrownoutHold: time.Hour}, mgr)
+
+	// Warm the cache at generation 1.
+	body := map[string]any{"publisher": 0, "candidate": 1, "post": 0}
+	if code, _ := ts.call("POST", "/v1/predict/retweet", body, nil); code != 200 {
+		t.Fatal("warming request failed")
+	}
+
+	// Reload to generation 2 (same file, force). The gen-1 entry is now
+	// the "previous generation" cache content.
+	if err := touchFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Brownout().Force(1)
+	if code, _ := ts.call("POST", "/v1/predict/retweet", body, nil); code != 200 {
+		t.Fatal("stale-eligible request failed")
+	}
+	if got := srv.staleServed.Load(); got != 1 {
+		t.Fatalf("stale_served = %d, want 1", got)
+	}
+}
+
+// touchFile bumps a file's mtime so the manager sees a new candidate.
+func touchFile(path string) error {
+	now := time.Now().Add(time.Second)
+	return os.Chtimes(path, now, now)
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -16,6 +15,7 @@ import (
 	"github.com/cold-diffusion/cold/internal/core"
 	"github.com/cold-diffusion/cold/internal/corpus"
 	"github.com/cold-diffusion/cold/internal/faultinject"
+	"github.com/cold-diffusion/cold/internal/overload"
 	"github.com/cold-diffusion/cold/internal/stats"
 	"github.com/cold-diffusion/cold/internal/text"
 )
@@ -23,10 +23,32 @@ import (
 // Config holds the server's resilience knobs. Zero values get sensible
 // defaults from New.
 type Config struct {
-	// MaxInFlight bounds concurrently admitted prediction requests;
-	// excess load is shed with 429. Health and model-admin endpoints
+	// MaxInFlight is the concurrency CEILING for admitted prediction
+	// requests. The adaptive limiter starts here and walks the live
+	// limit down (multiplicatively, on deadline misses or latency
+	// inflation) and back up (additively, under healthy saturation);
+	// it never exceeds this value. Health and model-admin endpoints
 	// are not admission-controlled, so operators can always see in.
 	MaxInFlight int
+	// LimitFloor is the adaptive limiter's lower bound; 0 →
+	// MaxInFlight/16 (min 1). Negative pins the limit at MaxInFlight,
+	// reproducing the old static admission pool, and disables the
+	// brownout ladder.
+	LimitFloor int
+	// QueueCap bounds the deadline-aware priority queue in front of
+	// the limiter; 0 → 4 × MaxInFlight. Negative disables queuing:
+	// over-limit arrivals shed immediately with 429 (the old
+	// semantics).
+	QueueCap int
+	// LimitWindow is the limiter's adjustment window in completions;
+	// 0 → 16.
+	LimitWindow int
+	// BrownoutHold is the ladder's minimum dwell time at a level
+	// before stepping down; 0 → 2s.
+	BrownoutHold time.Duration
+	// BrownoutRankK clamps /v1/rank result size at brownout L2+;
+	// 0 → 10.
+	BrownoutRankK int
 	// RequestTimeout bounds each prediction request end to end.
 	RequestTimeout time.Duration
 	// DrainTimeout bounds the graceful shutdown: in-flight requests get
@@ -80,16 +102,19 @@ type Server struct {
 	// queries must carry explicit word ids.
 	data *corpus.Dataset
 
-	sem      chan struct{}
-	batch    *batcher    // nil → micro-batching disabled
-	cache    *scoreCache // nil → score caching disabled
+	ctrl     *overload.Controller
+	ladder   *overload.Ladder // nil → brownout disabled (static mode)
+	batch    *batcher         // nil → micro-batching disabled
+	cache    *scoreCache      // nil → score caching disabled
 	draining atomic.Bool
 	start    time.Time
 
-	served   atomic.Uint64
-	shed     atomic.Uint64
-	panics   atomic.Uint64
-	rejected atomic.Uint64 // 4xx input errors
+	served       atomic.Uint64
+	panics       atomic.Uint64
+	rejected     atomic.Uint64 // 4xx input errors
+	staleServed  atomic.Uint64 // previous-generation cache hits (brownout L1+)
+	fallbackBulk atomic.Uint64 // low-tier requests answered from the prior (L3)
+	pastDeadline atomic.Uint64 // successes suppressed by the deadline writer
 }
 
 // New builds a server around a model manager and an optional dataset.
@@ -118,6 +143,9 @@ func New(cfg Config, mgr *Manager, data *corpus.Dataset) *Server {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 32768
 	}
+	if cfg.BrownoutRankK <= 0 {
+		cfg.BrownoutRankK = 10
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -125,16 +153,37 @@ func New(cfg Config, mgr *Manager, data *corpus.Dataset) *Server {
 		cfg:   cfg,
 		mgr:   mgr,
 		data:  data,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
+	}
+	s.ctrl = overload.NewController(overload.Config{
+		Ceiling:  cfg.MaxInFlight,
+		Floor:    cfg.LimitFloor,
+		QueueCap: cfg.QueueCap,
+		Window:   cfg.LimitWindow,
+		// The hook runs under the controller's lock; shedOne only
+		// touches atomics, so it qualifies as cheap.
+		OnShed: cfg.Metrics.shedOne,
+	})
+	if s.ctrl.Adaptive() {
+		s.ladder = overload.NewLadder(overload.LadderConfig{Hold: cfg.BrownoutHold})
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newScoreCache(cfg.CacheEntries, cfg.Metrics)
 	}
 	if cfg.BatchWindow > 0 {
-		s.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.flushBatch)
+		s.batch = newBatcherFunc(s.batchWindow, cfg.BatchMax, s.flushBatch)
 	}
 	return s
+}
+
+// batchWindow is the micro-batcher's live window: the configured base,
+// widened ×brownoutBatchFactor at brownout L1+ so batches amortise more
+// per-request overhead exactly when the server is under pressure.
+func (s *Server) batchWindow() time.Duration {
+	if s.brownoutLevel() >= brownoutWideBatch {
+		return s.cfg.BatchWindow * brownoutBatchFactor
+	}
+	return s.cfg.BatchWindow
 }
 
 // Handler returns the full route table: the versioned /v1 surface,
@@ -179,19 +228,36 @@ func (s *Server) Handler() http.Handler {
 	return envelope(mux)
 }
 
+// guardInfo travels through the request context so the inner handler
+// goroutine (which outlives the timeout) can release the admission
+// ticket when the work really finishes.
+type guardInfo struct {
+	ticket   *overload.Ticket
+	deadline time.Time // zero = none
+}
+
 // guard wraps a prediction handler in the admission stack, outermost
-// first: load shedding, then the per-request deadline, then panic
-// containment around the handler itself.
+// first: brownout shedding, deadline-aware priority admission, then the
+// per-request deadline, then panic containment around the handler.
 //
 // The in-flight slot is released by the inner handler goroutine, not
 // when the timeout fires — an abandoned slow handler still occupies
-// capacity until it really finishes, so MaxInFlight honestly bounds
-// concurrent work rather than concurrent waiting clients.
+// capacity until it really finishes, so the limit honestly bounds
+// concurrent work rather than concurrent waiting clients. That late
+// release is also exactly the latency/deadline-miss signal the AIMD
+// limiter feeds on.
 func (s *Server) guard(route string, h http.HandlerFunc) http.Handler {
 	mt := s.cfg.Metrics
+	def := defaultTier(route)
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gi, _ := r.Context().Value(ticketKey{}).(*guardInfo)
 		defer func() {
-			<-s.sem
+			if gi == nil {
+				return
+			}
+			miss := !gi.deadline.IsZero() && time.Now().After(gi.deadline)
+			s.ctrl.Release(gi.ticket, miss)
+			s.observeBrownout()
 			mt.released()
 		}()
 		defer func() {
@@ -212,27 +278,64 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.Handler {
 			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 			return
 		}
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			s.shed.Add(1)
-			mt.shedOne()
-			// ±50% jitter so a shed burst doesn't return as one
-			// synchronized retry herd (same policy as the ingester).
-			retry := time.Duration(float64(s.cfg.RetryAfter) * (0.5 + rand.Float64()))
-			w.Header().Set("Retry-After",
-				strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errorInfo{
-				Code:         "overloaded",
-				Message:      "overloaded, retry later",
-				RetryAfterMS: retry.Milliseconds(),
-			}})
+		tier := requestTier(r, def)
+		deadline, hasDL, derr := requestDeadline(r)
+		if derr != nil {
+			s.reject(w, derr.Error())
+			return
+		}
+		// Dead on arrival: a deadline that has already passed can only
+		// produce a response the client will discard. Reject before
+		// burning an admission slot or a queue place on it.
+		if hasDL && !time.Now().Before(deadline) {
+			s.ctrl.RecordShed(tier, overload.ReasonDeadlineUnmeetable)
+			writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+				"request deadline already expired at admission")
+			return
+		}
+		lvl := s.observeBrownout()
+		if s.brownoutShed(w, route, tier, lvl) {
+			return
+		}
+
+		// Admission may queue; bound the wait by the request timeout so a
+		// deadline-less request cannot park forever. The propagated
+		// deadline is passed to Admit separately (NOT as a context
+		// deadline) so its expiry while queued is attributed precisely as
+		// expired_in_queue rather than racing ctx.Err().
+		admitCtx, cancelAdmit := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		var admitDL time.Time
+		if hasDL {
+			admitDL = deadline
+		}
+		ticket, err := s.ctrl.Admit(admitCtx, tier, admitDL)
+		cancelAdmit()
+		if err != nil {
+			s.shedError(w, err)
 			return
 		}
 		s.served.Add(1)
 		mt.admitted(route)
+
+		gi := &guardInfo{ticket: ticket, deadline: admitDL}
+		ctx := context.WithValue(r.Context(), tierKey{}, tier)
+		ctx = context.WithValue(ctx, ticketKey{}, gi)
+		if hasDL {
+			// The propagated deadline becomes the serving context's
+			// deadline (the scoring path aborts on it) AND a response-
+			// writer fence: a success computed in time but written late is
+			// rewritten into deadline_exceeded. Between them, nothing is
+			// ever served past its deadline.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+			w = &deadlineWriter{ResponseWriter: w, deadline: deadline, onMiss: func() {
+				s.pastDeadline.Add(1)
+				mt.pastDeadlineOne()
+			}}
+		}
 		start := time.Now()
-		timed.ServeHTTP(w, r)
+		timed.ServeHTTP(w, r.WithContext(ctx))
 		mt.finished(route, time.Since(start).Seconds())
 	})
 }
@@ -823,6 +926,12 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	if snap == nil {
 		return
 	}
+	// Deep brownout: low-tier bulk scoring is answered from the
+	// popularity prior — validation and scoring both run against it so
+	// the response never mixes snapshots.
+	if fb := s.brownoutSnapshot(r.Context()); fb != nil {
+		snap = fb
+	}
 	var body struct {
 		Items []batchScoreItem `json:"items"`
 	}
@@ -897,6 +1006,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Brownout L2+: clamp the result size. A smaller k is still a
+	// correct ranking prefix, just a cheaper and smaller response.
+	if s.brownoutLevel() >= brownoutShrinkRank && (n == 0 || n > s.cfg.BrownoutRankK) {
+		n = s.cfg.BrownoutRankK
+	}
 	cands, err := snap.Engine.Rank(user, n)
 	switch {
 	case errors.Is(err, ErrDegraded):
@@ -924,16 +1038,27 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 // sending work without a special case). All fields are additive to the
 // original {status, uptime_s} body.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// A health probe is a natural pressure sample: it keeps the ladder
+	// stepping down even when prediction traffic has gone quiet.
+	lvl := s.observeBrownout()
+	st := s.ctrl.Stats()
+	s.cfg.Metrics.overloadAt(st)
 	body := struct {
-		Status     string  `json:"status"`
-		UptimeS    float64 `json:"uptime_s"`
-		Generation uint64  `json:"generation"`
-		ModelKey   string  `json:"model_key,omitempty"`
-		Degraded   bool    `json:"degraded"`
-		Draining   bool    `json:"draining"`
-		Shard      *int    `json:"shard,omitempty"`
-		Shards     int     `json:"shards,omitempty"`
-	}{Status: "ok", UptimeS: time.Since(s.start).Seconds()}
+		Status         string  `json:"status"`
+		UptimeS        float64 `json:"uptime_s"`
+		Generation     uint64  `json:"generation"`
+		ModelKey       string  `json:"model_key,omitempty"`
+		Degraded       bool    `json:"degraded"`
+		Draining       bool    `json:"draining"`
+		Shard          *int    `json:"shard,omitempty"`
+		Shards         int     `json:"shards,omitempty"`
+		BrownoutLevel  int     `json:"brownout_level"`
+		ConcurrencyLim int     `json:"concurrency_limit"`
+		QueueDepth     int     `json:"queue_depth"`
+		Pressure       float64 `json:"pressure"`
+	}{Status: "ok", UptimeS: time.Since(s.start).Seconds(),
+		BrownoutLevel: lvl, ConcurrencyLim: st.Limit,
+		QueueDepth: st.Queued, Pressure: st.Pressure}
 	if snap := s.mgr.Current(); snap != nil {
 		body.Generation = snap.Generation
 		body.ModelKey = snap.Key
@@ -1007,11 +1132,25 @@ func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	lvl := s.observeBrownout()
+	st := s.ctrl.Stats()
+	s.cfg.Metrics.overloadAt(st)
+	var shed uint64
+	for _, n := range st.Sheds {
+		shed += n
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Served   uint64 `json:"served"`
-		Shed     uint64 `json:"shed"`
-		Panics   uint64 `json:"panics"`
-		Rejected uint64 `json:"rejected"`
-		Model    Status `json:"model"`
-	}{s.served.Load(), s.shed.Load(), s.panics.Load(), s.rejected.Load(), s.mgr.Status()})
+		Served        uint64         `json:"served"`
+		Shed          uint64         `json:"shed"`
+		Panics        uint64         `json:"panics"`
+		Rejected      uint64         `json:"rejected"`
+		StaleServed   uint64         `json:"stale_served"`
+		FallbackBulk  uint64         `json:"fallback_served"`
+		PastDeadline  uint64         `json:"past_deadline_suppressed"`
+		BrownoutLevel int            `json:"brownout_level"`
+		Overload      overload.Stats `json:"overload"`
+		Model         Status         `json:"model"`
+	}{s.served.Load(), shed, s.panics.Load(), s.rejected.Load(),
+		s.staleServed.Load(), s.fallbackBulk.Load(), s.pastDeadline.Load(),
+		lvl, st, s.mgr.Status()})
 }

@@ -199,7 +199,10 @@ func TestInputValidation(t *testing.T) {
 func TestShedsLoadAndRecovers(t *testing.T) {
 	defer faultinject.Reset()
 	mgr, _ := loadedManager(t)
-	ts := startServer(t, Config{MaxInFlight: 2, RequestTimeout: 30 * time.Second, RetryAfter: 3 * time.Second}, mgr, true)
+	// QueueCap/LimitFloor < 0 pin the old static-pool semantics: a full
+	// pool sheds instantly instead of queuing.
+	ts := startServer(t, Config{MaxInFlight: 2, LimitFloor: -1, QueueCap: -1,
+		RequestTimeout: 30 * time.Second, RetryAfter: 3 * time.Second}, mgr, true)
 
 	release := make(chan struct{})
 	started := make(chan struct{}, 16)
